@@ -1,0 +1,114 @@
+// E12 — ablation of Rule 2's victim choice.
+//
+// Theorem 1 rejects the LARGEST pending job when the per-machine counter
+// fires; Lemma 3's partition argument (and through it Corollary 1 and the
+// dual feasibility of Lemma 4) depends on exactly that choice. This
+// experiment replaces the victim rule with smallest / newest / random while
+// keeping the counters identical, and measures what breaks: total flow time
+// (the paper's objective, rejected jobs paying until their rejection),
+// the rejected fraction (identical by construction — the counters don't
+// change), and the measured ratio against the strongest certified lower
+// bound for the instance.
+#include <iostream>
+
+#include "analysis/sweep.hpp"
+#include "baselines/flow_lower_bounds.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "metrics/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace osched;
+
+Instance make_workload(const std::string& kind, std::uint64_t seed) {
+  if (kind == "burst-trap") {
+    workload::BurstTrapConfig trap;
+    trap.num_rounds = 6;
+    trap.burst_jobs = 60;
+    trap.seed = seed;
+    return workload::generate_burst_trap(trap);
+  }
+  workload::WorkloadConfig config;
+  config.num_jobs = 1200;
+  config.num_machines = 4;
+  config.seed = seed;
+  if (kind == "overload") {
+    config.load = 1.5;
+  } else {  // "pareto"
+    config.load = 0.95;
+    config.sizes.dist = workload::SizeDistribution::kPareto;
+  }
+  return workload::generate_workload(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace osched;
+
+  util::Cli cli;
+  cli.flag("eps", "0.25", "rejection parameter");
+  cli.flag("reps", "5", "seeded repetitions per cell");
+  cli.flag("seed", "7", "root seed");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  const double eps = cli.num("eps");
+  const auto reps = static_cast<std::size_t>(cli.integer("reps"));
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+
+  std::cout << "E12: Rule-2 victim ablation (eps=" << eps << ", reps=" << reps
+            << ")\n"
+            << "Counters identical across rules; only the sacrificed job "
+               "changes.\n\n";
+
+  const std::vector<Rule2Victim> victims = {
+      Rule2Victim::kLargest, Rule2Victim::kSmallest, Rule2Victim::kNewest,
+      Rule2Victim::kRandom};
+
+  for (const std::string kind : {"burst-trap", "overload", "pareto"}) {
+    std::vector<analysis::SweepCase> cases;
+    for (Rule2Victim victim : victims) {
+      const std::string label = to_string(victim);
+      cases.push_back({label, [kind, victim, eps](std::uint64_t case_seed) {
+                         analysis::MetricRow row;
+                         const Instance instance = make_workload(kind, case_seed);
+
+                         RejectionFlowOptions options;
+                         options.epsilon = eps;
+                         options.rule2_victim = victim;
+                         options.victim_seed = case_seed ^ 0x5ACF1CEULL;
+                         const auto result = run_rejection_flow(instance, options);
+
+                         const auto report = evaluate(result.schedule, instance);
+                         row.set("flow", report.total_flow);
+                         row.set("rejected%", 100.0 * report.rejected_fraction);
+                         row.set("max_flow", report.max_flow);
+
+                         // Certified LB: the paper rule's dual is only valid
+                         // for kLargest; for the ablation rows reuse the
+                         // instance's combinatorial bounds plus the paper
+                         // run's dual (computed fresh, independent of the
+                         // ablated run).
+                         const auto paper = run_rejection_flow(
+                             instance, {.epsilon = eps});
+                         const double lb = best_flow_lower_bound(
+                             instance, paper.opt_lower_bound);
+                         if (lb > 0.0) row.set("ratio_vs_LB", report.total_flow / lb);
+                         return row;
+                       }});
+    }
+    analysis::SweepOptions sweep;
+    sweep.repetitions = reps;
+    sweep.seed = seed;
+    const auto result = analysis::run_sweep(cases, sweep);
+    util::print_section(std::cout, "workload: " + kind);
+    result.to_spread_table("victim rule").print(std::cout);
+  }
+
+  std::cout << "Reading: kLargest (the paper) should dominate or match on\n"
+               "burst-heavy workloads; kSmallest wastes the budget on cheap\n"
+               "jobs and keeps the elephants, inflating total flow.\n";
+  return 0;
+}

@@ -1,0 +1,188 @@
+// E8 — scheduler throughput microbenchmarks (google-benchmark).
+//
+// The theory paper makes no performance claims; this experiment documents
+// that the reference implementations scale to realistic workloads: the
+// Theorem 1 scheduler's per-arrival cost is O(m log n) thanks to the
+// weight-augmented treap, Theorem 2's is O(m * queue), Theorem 3's is
+// O(strategies). Counters report jobs/second.
+#include <benchmark/benchmark.h>
+
+#include "baselines/list_scheduler.hpp"
+#include "core/energy_flow/energy_flow.hpp"
+#include "core/energy_min/config_primal_dual.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "extensions/weighted_flow.hpp"
+#include "lp/flow_time_lp.hpp"
+#include "util/augmented_treap.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace osched;
+
+Instance flow_workload(std::size_t jobs, std::size_t machines,
+                       std::uint64_t seed) {
+  workload::WorkloadConfig config;
+  config.num_jobs = jobs;
+  config.num_machines = machines;
+  config.load = 1.1;
+  config.sizes.dist = workload::SizeDistribution::kPareto;
+  config.machines.model = workload::MachineModel::kUnrelated;
+  config.seed = seed;
+  return workload::generate_workload(config);
+}
+
+void BM_RejectionFlow(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  const Instance instance = flow_workload(jobs, machines, 88);
+  for (auto _ : state) {
+    auto result = run_rejection_flow(instance, {.epsilon = 0.25});
+    benchmark::DoNotOptimize(result.schedule.num_rejected());
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RejectionFlow)
+    ->Args({1000, 1})
+    ->Args({1000, 8})
+    ->Args({10000, 8})
+    ->Args({100000, 8})
+    ->Args({100000, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedySptBaseline(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const Instance instance = flow_workload(jobs, 8, 89);
+  for (auto _ : state) {
+    auto schedule = run_greedy_spt(instance);
+    benchmark::DoNotOptimize(schedule.num_completed());
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GreedySptBaseline)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_EnergyFlow(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  workload::WorkloadConfig config;
+  config.num_jobs = jobs;
+  config.num_machines = 4;
+  config.load = 1.0;
+  config.weights = workload::WeightDistribution::kUniform;
+  config.seed = 90;
+  const Instance instance = workload::generate_workload(config);
+  EnergyFlowOptions options;
+  options.epsilon = 0.4;
+  options.alpha = 2.0;
+  for (auto _ : state) {
+    auto result = run_energy_flow(instance, options);
+    benchmark::DoNotOptimize(result.rejections);
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EnergyFlow)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_ConfigPrimalDual(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  workload::WorkloadConfig config;
+  config.num_jobs = jobs;
+  config.num_machines = 2;
+  config.with_deadlines = true;
+  config.seed = 91;
+  const Instance instance = workload::generate_workload(config);
+  ConfigPDOptions options;
+  options.alpha = 2.0;
+  options.speed_levels = 6;
+  for (auto _ : state) {
+    auto result = run_config_primal_dual(instance, options);
+    benchmark::DoNotOptimize(result.algorithm_energy);
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConfigPrimalDual)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+// The data structure behind Theorem 1's O(log n) dispatch queries.
+struct TreapKey {
+  double p;
+  int id;
+  bool operator<(const TreapKey& other) const {
+    if (p != other.p) return p < other.p;
+    return id < other.id;
+  }
+};
+struct TreapWeight {
+  double operator()(const TreapKey& k) const { return k.p; }
+};
+
+void BM_TreapInsertQueryErase(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(92);
+  std::vector<TreapKey> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = TreapKey{rng.uniform(0.0, 1000.0), static_cast<int>(i)};
+  }
+  for (auto _ : state) {
+    util::AugmentedTreap<TreapKey, TreapWeight> treap;
+    double acc = 0.0;
+    for (const TreapKey& key : keys) {
+      treap.insert(key);
+      acc += treap.stats_less(key).weight;
+    }
+    for (const TreapKey& key : keys) treap.erase(key);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      3.0 * static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TreapInsertQueryErase)->Arg(1000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// The weighted extension (std::set pending queues, O(n) lambda scans —
+// documented as clarity-over-speed; this tracks the actual cost).
+void BM_WeightedRejectionFlow(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  workload::WorkloadConfig config;
+  config.num_jobs = jobs;
+  config.num_machines = 8;
+  config.load = 1.2;
+  config.weights = workload::WeightDistribution::kUniform;
+  config.seed = 31;
+  const Instance instance = workload::generate_workload(config);
+  for (auto _ : state) {
+    auto result = run_weighted_rejection_flow(instance, {.epsilon = 0.2});
+    benchmark::DoNotOptimize(result.rejected_weight);
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WeightedRejectionFlow)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// The simplex on the time-indexed flow LP: cost of a certificate.
+void BM_FlowTimeLp(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  workload::WorkloadConfig config;
+  config.num_jobs = jobs;
+  config.num_machines = 2;
+  config.load = 1.1;
+  config.seed = 13;
+  const Instance instance = workload::generate_workload(config);
+  for (auto _ : state) {
+    auto result = lp::solve_flow_time_lp(instance, {.target_intervals = 48});
+    benchmark::DoNotOptimize(result.lp_objective);
+  }
+  state.counters["cols"] = static_cast<double>(
+      lp::solve_flow_time_lp(instance, {.target_intervals = 48}).num_columns);
+}
+BENCHMARK(BM_FlowTimeLp)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Lower-bound constructions live: runs the Lemma 1 adversary against an
+// immediate-rejection policy (and Theorem 1's algorithm on the same
+// instance), then the Lemma 2 adversary against the Theorem 3 greedy.
+//
+//   ./adversary_demo [--L=16 --eps=0.25 --alpha=3]
+#include <iostream>
+
+#include "baselines/immediate_rejection.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/lemma1_adversary.hpp"
+#include "workload/lemma2_adversary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace osched;
+
+  util::Cli cli;
+  cli.flag("L", "16", "Lemma 1 big-job length (Delta = L^2)");
+  cli.flag("eps", "0.25", "rejection budget for both policies");
+  cli.flag("alpha", "3", "Lemma 2 power exponent");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  const double L = cli.num("L");
+  const double eps = cli.num("eps");
+  const double alpha = cli.num("alpha");
+
+  // ---------------- Lemma 1 ----------------
+  workload::Lemma1Config l1;
+  l1.eps = eps;
+  l1.L = L;
+  const workload::PolicyRunner immediate = [&](const Instance& instance) {
+    return run_immediate_rejection(instance, {.eps = eps, .patience = 3.0})
+        .schedule;
+  };
+  const auto outcome = run_lemma1_adversary(immediate, l1);
+  std::cout << "Lemma 1 instance: " << outcome.num_big << " big jobs (L=" << L
+            << ") + " << outcome.num_small
+            << " small jobs (1/L), Delta = " << outcome.delta << "\n"
+            << "policy started the first big job at t=" << outcome.first_big_start
+            << (outcome.algorithm_waited ? " (waited out: case 1)\n"
+                                         : " (flooded: case 2)\n");
+
+  const double immediate_flow =
+      immediate(outcome.instance).total_flow(outcome.instance);
+  const auto t1 = run_rejection_flow(outcome.instance, {.epsilon = eps});
+  const double t1_flow = t1.schedule.total_flow(outcome.instance);
+
+  util::Table l1_table({"algorithm", "total flow", "ratio vs adversary"});
+  l1_table.row("immediate rejection", immediate_flow,
+               immediate_flow / outcome.adversary_flow);
+  l1_table.row("theorem 1 (late rejection)", t1_flow,
+               t1_flow / outcome.adversary_flow);
+  l1_table.row("adversary witness", outcome.adversary_flow, 1.0);
+  l1_table.print(std::cout);
+  std::cout << "Lemma 1 predicts Omega(sqrt(Delta)) = Omega(" << L
+            << ") for ANY immediate policy; Theorem 1 interrupts the running "
+               "elephant instead.\n\n";
+
+  // ---------------- Lemma 2 ----------------
+  workload::Lemma2Config l2;
+  l2.alpha = alpha;
+  const auto energy = run_lemma2_adversary(l2);
+  std::cout << "Lemma 2 adversary released " << energy.jobs_released
+            << " nested jobs against the Theorem 3 greedy (alpha=" << alpha
+            << ")\n";
+  util::Table l2_table({"quantity", "value"});
+  l2_table.row("algorithm energy", energy.algorithm_energy);
+  l2_table.row(energy.witness_certified ? "witness energy (exact)"
+                                        : "witness energy (incumbent)",
+               energy.witness_energy);
+  l2_table.row("ratio (certified LB on ALG/OPT)", energy.ratio());
+  l2_table.print(std::cout);
+  std::cout << "the lemma's asymptotic floor is (alpha/9)^alpha; the "
+               "commitments force overlap that stacks machine speed.\n";
+  return 0;
+}

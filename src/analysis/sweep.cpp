@@ -1,0 +1,199 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace osched::analysis {
+
+void MetricRow::set(const std::string& key, double value) {
+  for (auto& [existing, v] : entries_) {
+    if (existing == key) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(key, value);
+}
+
+double MetricRow::get(const std::string& key) const {
+  for (const auto& [existing, v] : entries_) {
+    if (existing == key) return v;
+  }
+  OSCHED_CHECK(false) << "metric '" << key << "' missing from row";
+  return 0.0;
+}
+
+bool MetricRow::contains(const std::string& key) const {
+  for (const auto& [existing, v] : entries_) {
+    (void)v;
+    if (existing == key) return true;
+  }
+  return false;
+}
+
+const util::RunningStats& CaseResult::metric(const std::string& key) const {
+  for (std::size_t i = 0; i < metric_order.size(); ++i) {
+    if (metric_order[i] == key) return metrics[i];
+  }
+  OSCHED_CHECK(false) << "metric '" << key << "' missing from case " << label;
+  return metrics.front();
+}
+
+SweepResult run_sweep(const std::vector<SweepCase>& cases,
+                      const SweepOptions& options) {
+  OSCHED_CHECK_GT(options.repetitions, 0u);
+
+  // Pre-sized output slots: tasks write disjoint cells, no locking needed.
+  std::vector<std::vector<MetricRow>> rows(cases.size());
+  for (auto& per_case : rows) per_case.resize(options.repetitions);
+
+  util::ThreadPool pool(options.threads);
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+      const std::uint64_t seed = util::derive_seed(
+          util::derive_seed(options.seed, c), static_cast<std::uint64_t>(rep));
+      pool.submit([&rows, &cases, c, rep, seed] {
+        rows[c][rep] = cases[c].run(seed);
+      });
+    }
+  }
+  pool.wait_idle();
+
+  SweepResult result;
+  result.cases.reserve(cases.size());
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    CaseResult aggregated;
+    aggregated.label = cases[c].label;
+    for (const MetricRow& row : rows[c]) {
+      for (const auto& [key, value] : row.entries()) {
+        auto it = std::find(aggregated.metric_order.begin(),
+                            aggregated.metric_order.end(), key);
+        std::size_t index;
+        if (it == aggregated.metric_order.end()) {
+          aggregated.metric_order.push_back(key);
+          aggregated.metrics.emplace_back();
+          index = aggregated.metrics.size() - 1;
+        } else {
+          index = static_cast<std::size_t>(it - aggregated.metric_order.begin());
+        }
+        aggregated.metrics[index].add(value);
+      }
+    }
+    result.cases.push_back(std::move(aggregated));
+  }
+  return result;
+}
+
+namespace {
+
+/// Union of metric keys across cases, in first-seen order.
+std::vector<std::string> all_metric_keys(const SweepResult& result) {
+  std::vector<std::string> keys;
+  for (const CaseResult& c : result.cases) {
+    for (const std::string& key : c.metric_order) {
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+util::Table SweepResult::to_table(const std::string& label_header) const {
+  const std::vector<std::string> keys = all_metric_keys(*this);
+  std::vector<std::string> headers{label_header};
+  headers.insert(headers.end(), keys.begin(), keys.end());
+  util::Table table(std::move(headers));
+  for (const CaseResult& c : cases) {
+    std::vector<std::string> row{c.label};
+    for (const std::string& key : keys) {
+      const auto it = std::find(c.metric_order.begin(), c.metric_order.end(), key);
+      row.push_back(it == c.metric_order.end()
+                        ? "-"
+                        : util::Table::num(
+                              c.metrics[static_cast<std::size_t>(
+                                            it - c.metric_order.begin())]
+                                  .mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::Table SweepResult::to_spread_table(const std::string& label_header) const {
+  const std::vector<std::string> keys = all_metric_keys(*this);
+  std::vector<std::string> headers{label_header};
+  headers.insert(headers.end(), keys.begin(), keys.end());
+  util::Table table(std::move(headers));
+  for (const CaseResult& c : cases) {
+    std::vector<std::string> row{c.label};
+    for (const std::string& key : keys) {
+      const auto it = std::find(c.metric_order.begin(), c.metric_order.end(), key);
+      if (it == c.metric_order.end()) {
+        row.push_back("-");
+        continue;
+      }
+      const util::RunningStats& stats =
+          c.metrics[static_cast<std::size_t>(it - c.metric_order.begin())];
+      std::string cell = util::Table::num(stats.mean());
+      if (stats.count() > 1) {
+        cell += " ±" + util::Table::num(stats.stddev(), 2);
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void SweepResult::write_csv(std::ostream& out) const {
+  out << "case,metric,mean,stddev,min,max,count\n";
+  for (const CaseResult& c : cases) {
+    for (std::size_t i = 0; i < c.metric_order.size(); ++i) {
+      const util::RunningStats& s = c.metrics[i];
+      out << c.label << ',' << c.metric_order[i] << ',' << s.mean() << ','
+          << s.stddev() << ',' << s.min() << ',' << s.max() << ',' << s.count()
+          << '\n';
+    }
+  }
+}
+
+BootstrapInterval bootstrap_mean_ci(const std::vector<double>& values,
+                                    double confidence, std::size_t resamples,
+                                    std::uint64_t seed) {
+  OSCHED_CHECK(!values.empty());
+  OSCHED_CHECK_GT(confidence, 0.0);
+  OSCHED_CHECK_LT(confidence, 1.0);
+
+  double sum = 0.0;
+  for (double v : values) sum += v;
+
+  BootstrapInterval interval;
+  interval.point = sum / static_cast<double>(values.size());
+  if (values.size() == 1) {
+    interval.lower = interval.upper = interval.point;
+    return interval;
+  }
+
+  util::Rng rng(seed);
+  util::Summary means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double resample_sum = 0.0;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      resample_sum += values[rng.index(values.size())];
+    }
+    means.add(resample_sum / static_cast<double>(values.size()));
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  interval.lower = means.quantile(tail);
+  interval.upper = means.quantile(1.0 - tail);
+  return interval;
+}
+
+}  // namespace osched::analysis

@@ -1,0 +1,92 @@
+// Parameter-sweep driver for the experiment harnesses.
+//
+// Every experiment in bench/ has the same shape: a grid of configurations
+// (an algorithm x a workload x parameters), several seeded repetitions per
+// cell, and a table of per-cell aggregated metrics. This module owns that
+// shape once: cases are labelled closures returning a MetricRow, the driver
+// runs them on the shared thread pool with per-(case, repetition) derived
+// seeds — results are bit-identical regardless of thread count — and the
+// aggregate can be rendered as a console table or CSV.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace osched::analysis {
+
+/// One run's outcome: ordered metric -> value pairs. Order is preserved so
+/// tables read in the order the experiment author set the metrics.
+class MetricRow {
+ public:
+  void set(const std::string& key, double value);
+  /// Value of `key`; aborts if missing (experiment authoring error).
+  double get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// A labelled cell of the sweep grid. The runner receives a derived seed and
+/// must be a pure function of it (no shared mutable state) — the driver
+/// calls it concurrently.
+struct SweepCase {
+  std::string label;
+  std::function<MetricRow(std::uint64_t seed)> run;
+};
+
+struct SweepOptions {
+  std::size_t repetitions = 5;
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Aggregate of one case across repetitions.
+struct CaseResult {
+  std::string label;
+  /// Metric keys in first-seen order.
+  std::vector<std::string> metric_order;
+  /// Per-metric statistics across repetitions (aligned with metric_order).
+  std::vector<util::RunningStats> metrics;
+
+  const util::RunningStats& metric(const std::string& key) const;
+};
+
+struct SweepResult {
+  std::vector<CaseResult> cases;
+
+  /// Mean-value table: one row per case, one column per metric (the union of
+  /// all metric keys, in first-seen order).
+  util::Table to_table(const std::string& label_header = "case") const;
+  /// Mean +/- stddev table (stddev shown when repetitions > 1).
+  util::Table to_spread_table(const std::string& label_header = "case") const;
+  /// CSV: label, metric, mean, stddev, min, max, count.
+  void write_csv(std::ostream& out) const;
+};
+
+SweepResult run_sweep(const std::vector<SweepCase>& cases,
+                      const SweepOptions& options = {});
+
+/// Percentile-bootstrap confidence interval for the mean of `values`.
+struct BootstrapInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;
+};
+BootstrapInterval bootstrap_mean_ci(const std::vector<double>& values,
+                                    double confidence = 0.95,
+                                    std::size_t resamples = 2000,
+                                    std::uint64_t seed = 17);
+
+}  // namespace osched::analysis

@@ -1,0 +1,120 @@
+#include "api/scheduler_api.hpp"
+
+#include "baselines/immediate_rejection.hpp"
+#include "baselines/list_scheduler.hpp"
+#include "core/energy_flow/energy_flow.hpp"
+#include "core/energy_min/config_primal_dual.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "extensions/weighted_flow.hpp"
+#include "sim/validator.hpp"
+#include "util/check.hpp"
+
+namespace osched::api {
+
+std::optional<Algorithm> parse_algorithm(const std::string& name) {
+  if (name == "theorem1") return Algorithm::kTheorem1;
+  if (name == "theorem2") return Algorithm::kTheorem2;
+  if (name == "theorem3") return Algorithm::kTheorem3;
+  if (name == "weighted-ext") return Algorithm::kWeightedExt;
+  if (name == "greedy-spt") return Algorithm::kGreedySpt;
+  if (name == "fifo") return Algorithm::kFifo;
+  if (name == "immediate-reject") return Algorithm::kImmediateReject;
+  return std::nullopt;
+}
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kTheorem1: return "theorem1";
+    case Algorithm::kTheorem2: return "theorem2";
+    case Algorithm::kTheorem3: return "theorem3";
+    case Algorithm::kWeightedExt: return "weighted-ext";
+    case Algorithm::kGreedySpt: return "greedy-spt";
+    case Algorithm::kFifo: return "fifo";
+    case Algorithm::kImmediateReject: return "immediate-reject";
+  }
+  return "?";
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"theorem1", "theorem2",   "theorem3",        "weighted-ext",
+          "greedy-spt", "fifo",     "immediate-reject"};
+}
+
+RunSummary run(Algorithm algorithm, const Instance& instance,
+               const RunOptions& options) {
+  RunSummary summary;
+  summary.algorithm = algorithm;
+
+  // Per-algorithm validation/report knobs.
+  bool parallel_execution = false;
+  bool require_deadlines = false;
+  const PolynomialPower power(options.alpha);
+  const PowerFunction* report_power = nullptr;
+
+  switch (algorithm) {
+    case Algorithm::kTheorem1: {
+      const auto result =
+          run_rejection_flow(instance, {.epsilon = options.epsilon});
+      summary.schedule = result.schedule;
+      summary.certified_lower_bound = result.opt_lower_bound;
+      summary.rule1_rejections = result.rule1_rejections;
+      summary.rule2_rejections = result.rule2_rejections;
+      break;
+    }
+    case Algorithm::kTheorem2: {
+      EnergyFlowOptions ef;
+      ef.epsilon = options.epsilon;
+      ef.alpha = options.alpha;
+      const auto result = run_energy_flow(instance, ef);
+      summary.schedule = result.schedule;
+      summary.rule1_rejections = result.rejections;
+      report_power = &power;
+      break;
+    }
+    case Algorithm::kTheorem3: {
+      ConfigPDOptions pd;
+      pd.alpha = options.alpha;
+      pd.speed_levels = options.speed_levels;
+      pd.start_grid = options.start_grid;
+      const auto result = run_config_primal_dual(instance, pd);
+      summary.schedule = result.schedule;
+      summary.certified_lower_bound = result.opt_lower_bound;
+      parallel_execution = true;
+      require_deadlines = true;
+      report_power = &power;
+      break;
+    }
+    case Algorithm::kWeightedExt: {
+      const auto result =
+          run_weighted_rejection_flow(instance, {.epsilon = options.epsilon});
+      summary.schedule = result.schedule;
+      summary.rule1_rejections = result.rule1_rejections;
+      summary.rule2_rejections = result.rule2_rejections;
+      break;
+    }
+    case Algorithm::kGreedySpt:
+      summary.schedule = run_greedy_spt(instance);
+      break;
+    case Algorithm::kFifo:
+      summary.schedule = run_fifo(instance);
+      break;
+    case Algorithm::kImmediateReject: {
+      const auto result =
+          run_immediate_rejection(instance, {.eps = options.epsilon});
+      summary.schedule = result.schedule;
+      summary.rule1_rejections = result.rejections;
+      break;
+    }
+  }
+
+  if (options.validate) {
+    ValidationOptions validation;
+    validation.allow_parallel_execution = parallel_execution;
+    validation.require_deadlines = require_deadlines;
+    check_schedule(summary.schedule, instance, validation);
+  }
+  summary.report = evaluate(summary.schedule, instance, report_power);
+  return summary;
+}
+
+}  // namespace osched::api

@@ -1,0 +1,28 @@
+// AVERAGE-RATE-inspired baseline for deadline energy minimization.
+//
+// Yao, Demers and Shenker's AVR [17] runs each job at its density
+// p_j / (d_j - r_j) spread over its whole window. The natural
+// non-preemptive, unrelated-machines adaptation: at arrival, for each
+// machine compute the average-rate strategy (start at r_j, speed
+// p_ij / (d_j - r_j), i.e. stretch across the full window) and commit to
+// the machine where the marginal energy against the current profile is
+// smallest. Always feasible; never adjusts starts or speeds — the
+// difference from the Theorem 3 greedy is exactly the freedom to choose
+// start time and speed, which experiment E4/E6 quantifies.
+#pragma once
+
+#include "core/energy_min/strategy.hpp"
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+struct AvrEnergyResult {
+  Schedule schedule;
+  Energy energy = 0.0;
+  std::vector<Strategy> chosen;
+};
+
+AvrEnergyResult run_avr_energy(const Instance& instance, double alpha);
+
+}  // namespace osched

@@ -1,0 +1,233 @@
+#include "baselines/flow_lower_bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "instance/builders.hpp"
+#include "util/check.hpp"
+
+namespace osched {
+
+double lb_sum_min_processing(const Instance& instance) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    total += instance.min_processing(static_cast<JobId>(j));
+  }
+  return total;
+}
+
+std::optional<double> lb_srpt_preemptive_single_machine(
+    const Instance& instance) {
+  if (instance.num_machines() != 1) return std::nullopt;
+  const std::size_t n = instance.num_jobs();
+
+  // (remaining, id) ordered set; simulate between arrival breakpoints.
+  std::set<std::pair<Work, JobId>> active;
+  double flow = 0.0;
+  Time now = 0.0;
+  std::size_t next = 0;
+
+  while (next < n || !active.empty()) {
+    if (active.empty()) {
+      now = std::max(now, instance.job(static_cast<JobId>(next)).release);
+    }
+    // Admit everything released by now.
+    while (next < n &&
+           instance.job(static_cast<JobId>(next)).release <= now + kTimeEps) {
+      const auto j = static_cast<JobId>(next);
+      active.insert({instance.processing(0, j), j});
+      ++next;
+    }
+    OSCHED_CHECK(!active.empty());
+    const Time horizon = next < n
+                             ? instance.job(static_cast<JobId>(next)).release
+                             : kTimeInfinity;
+    auto it = active.begin();
+    const auto [remaining, job] = *it;
+    if (now + remaining <= horizon + kTimeEps) {
+      // Runs to completion before the next arrival.
+      now += remaining;
+      flow += now - instance.job(job).release;
+      active.erase(it);
+    } else {
+      // Preempted at the next arrival.
+      active.erase(it);
+      active.insert({remaining - (horizon - now), job});
+      now = horizon;
+    }
+  }
+  return flow;
+}
+
+namespace {
+
+class ExactFlowSearch {
+ public:
+  /// `weighted` switches the objective to sum w_j F_j; the search (orders of
+  /// start-as-early-as-possible executions) is identical.
+  ExactFlowSearch(const Instance& instance, bool weighted)
+      : instance_(instance), weighted_(weighted) {
+    const std::size_t n = instance.num_jobs();
+    order_.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) order_.push_back(static_cast<JobId>(j));
+    // Candidate order for early good incumbents: SPT, or weighted
+    // shortest-processing-time (Smith's rule) in the weighted case.
+    std::sort(order_.begin(), order_.end(), [&](JobId a, JobId b) {
+      if (!weighted) {
+        return instance.processing(0, a) < instance.processing(0, b);
+      }
+      return instance.processing(0, a) * instance.job(b).weight <
+             instance.processing(0, b) * instance.job(a).weight;
+    });
+    used_.assign(n, false);
+  }
+
+  double run() {
+    dfs(0, 0.0, 0.0);
+    return best_;
+  }
+
+ private:
+  double weight_of(JobId j) const {
+    return weighted_ ? instance_.job(j).weight : 1.0;
+  }
+
+  void dfs(std::size_t depth, Time now, double flow) {
+    const std::size_t n = instance_.num_jobs();
+    if (depth == n) {
+      best_ = std::min(best_, flow);
+      return;
+    }
+    // Admissible bound: every remaining job starts no earlier than
+    // max(now, release).
+    double bound = flow;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (used_[k]) continue;
+      const auto j = order_[k];
+      const Time r = instance_.job(j).release;
+      bound += weight_of(j) *
+               (std::max(now, r) + instance_.processing(0, j) - r);
+    }
+    if (bound >= best_) return;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      if (used_[k]) continue;
+      const auto j = order_[k];
+      const Time r = instance_.job(j).release;
+      const Time start = std::max(now, r);
+      const Time end = start + instance_.processing(0, j);
+      used_[k] = true;
+      dfs(depth + 1, end, flow + weight_of(j) * (end - r));
+      used_[k] = false;
+    }
+  }
+
+  const Instance& instance_;
+  const bool weighted_;
+  std::vector<JobId> order_;
+  std::vector<bool> used_;
+  double best_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+std::optional<double> exact_optimal_flow_single_machine(
+    const Instance& instance, std::size_t max_jobs) {
+  if (instance.num_machines() != 1) return std::nullopt;
+  if (instance.num_jobs() > max_jobs) return std::nullopt;
+  if (instance.num_jobs() == 0) return 0.0;
+  ExactFlowSearch search(instance, /*weighted=*/false);
+  return search.run();
+}
+
+std::optional<double> exact_optimal_weighted_flow_single_machine(
+    const Instance& instance, std::size_t max_jobs) {
+  if (instance.num_machines() != 1) return std::nullopt;
+  if (instance.num_jobs() > max_jobs) return std::nullopt;
+  if (instance.num_jobs() == 0) return 0.0;
+  ExactFlowSearch search(instance, /*weighted=*/true);
+  return search.run();
+}
+
+std::optional<double> exact_optimal_flow_unrelated(
+    const Instance& instance, std::size_t max_assignments) {
+  const std::size_t n = instance.num_jobs();
+  const std::size_t m = instance.num_machines();
+  if (n == 0) return 0.0;
+  if (m == 1) return exact_optimal_flow_single_machine(instance, n);
+
+  // Count assignments (respecting eligibility) and bail out if too many.
+  double assignment_count = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t eligible = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (instance.eligible(static_cast<MachineId>(i), static_cast<JobId>(j))) {
+        ++eligible;
+      }
+    }
+    assignment_count *= static_cast<double>(eligible);
+    if (assignment_count > static_cast<double>(max_assignments)) {
+      return std::nullopt;
+    }
+  }
+
+  std::vector<MachineId> assignment(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+
+  // Per-machine sub-instance solve for the current assignment.
+  auto evaluate_assignment = [&]() {
+    double total = 0.0;
+    for (std::size_t i = 0; i < m && total < best; ++i) {
+      std::vector<std::pair<Time, Work>> jobs;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (assignment[j] == static_cast<MachineId>(i)) {
+          jobs.push_back({instance.job(static_cast<JobId>(j)).release,
+                          instance.processing(static_cast<MachineId>(i),
+                                              static_cast<JobId>(j))});
+        }
+      }
+      if (jobs.empty()) continue;
+      const Instance sub = single_machine_instance(jobs);
+      const auto sub_opt = exact_optimal_flow_single_machine(sub, jobs.size());
+      OSCHED_CHECK(sub_opt.has_value());
+      total += *sub_opt;
+    }
+    best = std::min(best, total);
+  };
+
+  // Odometer over eligible machines per job.
+  std::vector<std::vector<MachineId>> choices(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (instance.eligible(static_cast<MachineId>(i), static_cast<JobId>(j))) {
+        choices[j].push_back(static_cast<MachineId>(i));
+      }
+    }
+  }
+  std::vector<std::size_t> index(n, 0);
+  for (;;) {
+    for (std::size_t j = 0; j < n; ++j) assignment[j] = choices[j][index[j]];
+    evaluate_assignment();
+    std::size_t pos = 0;
+    while (pos < n && ++index[pos] == choices[pos].size()) {
+      index[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+double best_flow_lower_bound(const Instance& instance, double dual_bound) {
+  double best = std::max(0.0, dual_bound);
+  best = std::max(best, lb_sum_min_processing(instance));
+  if (const auto srpt = lb_srpt_preemptive_single_machine(instance)) {
+    best = std::max(best, *srpt);
+  }
+  return best;
+}
+
+}  // namespace osched

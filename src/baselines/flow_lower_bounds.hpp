@@ -1,0 +1,55 @@
+// Certified lower bounds on the optimal total flow time, plus an exact
+// single-machine optimum for small instances.
+//
+// The experiments never report a ratio against anything that is not a
+// certified lower bound on OPT (see metrics/ratio.hpp). These are the
+// combinatorial bounds that complement the dual-objective bound emitted by
+// the Theorem 1 scheduler.
+#pragma once
+
+#include <optional>
+
+#include "instance/instance.hpp"
+
+namespace osched {
+
+/// Trivial bound: every job's flow is at least its fastest processing time.
+double lb_sum_min_processing(const Instance& instance);
+
+/// Single-machine busy-period bound: for any prefix of jobs released by
+/// time t that OPT serves on the one machine, total flow is at least the
+/// flow of the preemptive SRPT schedule, itself at least the sum of
+/// completions of the volume backlog. We use the simpler (still certified)
+/// "SRPT clairvoyant relaxation": the optimal PREEMPTIVE flow computed by
+/// simulating SRPT, which lower-bounds the optimal non-preemptive flow.
+/// Only defined for single-machine instances (returns nullopt otherwise).
+std::optional<double> lb_srpt_preemptive_single_machine(const Instance& instance);
+
+/// Exact optimal non-preemptive total flow on a single machine by
+/// branch-and-bound over job orders (an optimal schedule runs each job at
+/// max(release, previous completion) for some order, so orders are
+/// sufficient). Returns nullopt if num_machines != 1 or n > max_jobs.
+std::optional<double> exact_optimal_flow_single_machine(
+    const Instance& instance, std::size_t max_jobs = 10);
+
+/// Exact optimal non-preemptive total flow on unrelated machines for tiny
+/// instances: enumerate all machine assignments (m^n, jobs restricted to
+/// eligible machines), then — since machines do not interact once the
+/// assignment is fixed — solve each machine independently with the
+/// single-machine branch-and-bound. Returns nullopt when m^n exceeds
+/// max_assignments.
+std::optional<double> exact_optimal_flow_unrelated(
+    const Instance& instance, std::size_t max_assignments = 200'000);
+
+/// Weighted variant of the single-machine exact optimum (sum of w_j F_j);
+/// same order-enumeration argument — an optimal non-preemptive schedule is a
+/// start-as-early-as-possible execution of SOME job order. Used by the
+/// weighted-extension experiment (E14) as ground truth on small instances.
+std::optional<double> exact_optimal_weighted_flow_single_machine(
+    const Instance& instance, std::size_t max_jobs = 10);
+
+/// The strongest certified flow lower bound available for this instance;
+/// pass the Theorem 1 dual bound if a run produced one (0 otherwise).
+double best_flow_lower_bound(const Instance& instance, double dual_bound);
+
+}  // namespace osched

@@ -1,0 +1,35 @@
+// Immediate-rejection policy: the class of algorithms Lemma 1 proves
+// non-competitive.
+//
+// The policy must decide accept/reject AT ARRIVAL and can never revisit the
+// decision (in particular it can never interrupt a running job). This
+// representative uses the natural heuristic: reject an arriving job when
+// the wait it would face exceeds `patience` times its own size — subject to
+// the running budget of eps * (jobs seen so far). Accepted jobs are
+// dispatched to the machine giving the earliest estimated completion and
+// served SPT.
+//
+// Lemma 1 says EVERY policy of this class is Omega(sqrt(Delta))-competitive;
+// experiment E2 exhibits the blow-up on the adaptive two-phase instance and
+// contrasts it with Theorem 1's (late-rejection) algorithm staying flat.
+#pragma once
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+struct ImmediateRejectionOptions {
+  double eps = 0.2;       ///< rejection budget as a fraction of arrivals
+  double patience = 3.0;  ///< reject when estimated wait > patience * p_ij
+};
+
+struct ImmediateRejectionResult {
+  Schedule schedule;
+  std::size_t rejections = 0;
+};
+
+ImmediateRejectionResult run_immediate_rejection(
+    const Instance& instance, const ImmediateRejectionOptions& options = {});
+
+}  // namespace osched

@@ -1,0 +1,48 @@
+// No-rejection baselines: classic online non-preemptive list schedulers.
+//
+// These are the "practice" algorithms the paper's lower bounds apply to:
+// they dispatch every arriving job immediately, never reject, and serve
+// each machine's queue in a fixed discipline. Configurable on two axes:
+//   * dispatch rule: minimize the arriving job's estimated completion time,
+//     minimize machine backlog, or round-robin;
+//   * local order: shortest-processing-time-first or FIFO.
+#pragma once
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+enum class DispatchRule {
+  kMinCompletion,  ///< argmin_i (remaining running + work ahead in queue + p_ij)
+  kMinBacklog,     ///< argmin_i (remaining running + total queued work)
+  kRoundRobin,     ///< cyclic over eligible machines
+};
+
+enum class QueueDiscipline {
+  kSpt,   ///< shortest processing time first (ties: release, id)
+  kFifo,  ///< first released first (ties: id)
+};
+
+const char* to_string(DispatchRule rule);
+const char* to_string(QueueDiscipline discipline);
+
+struct ListSchedulerOptions {
+  DispatchRule dispatch = DispatchRule::kMinCompletion;
+  QueueDiscipline discipline = QueueDiscipline::kSpt;
+};
+
+Schedule run_list_scheduler(const Instance& instance,
+                            const ListSchedulerOptions& options = {});
+
+/// Convenience wrappers used throughout the benches.
+inline Schedule run_greedy_spt(const Instance& instance) {
+  return run_list_scheduler(
+      instance, {DispatchRule::kMinCompletion, QueueDiscipline::kSpt});
+}
+inline Schedule run_fifo(const Instance& instance) {
+  return run_list_scheduler(
+      instance, {DispatchRule::kMinBacklog, QueueDiscipline::kFifo});
+}
+
+}  // namespace osched

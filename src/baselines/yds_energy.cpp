@@ -1,0 +1,111 @@
+#include "baselines/yds_energy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace osched {
+
+namespace {
+
+struct LiveJob {
+  JobId id;
+  Time release;
+  Time deadline;
+  Work volume;
+  /// Original-timeline span, for reporting rounds before collapses.
+  Time original_release;
+  Time original_deadline;
+};
+
+}  // namespace
+
+std::optional<YdsResult> yds_optimal_energy(const Instance& instance,
+                                            double alpha) {
+  OSCHED_CHECK_GE(alpha, 1.0);
+  if (instance.num_machines() != 1) return std::nullopt;
+  for (const Job& job : instance.jobs()) {
+    if (!job.has_deadline()) return std::nullopt;
+  }
+
+  std::vector<LiveJob> live;
+  live.reserve(instance.num_jobs());
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const Job& job = instance.job(j);
+    OSCHED_CHECK_GT(job.deadline, job.release);
+    live.push_back(LiveJob{j, job.release, job.deadline,
+                           instance.processing(0, j), job.release,
+                           job.deadline});
+  }
+
+  YdsResult result;
+  while (!live.empty()) {
+    // Candidate endpoints: releases (left) x deadlines (right).
+    Time best_t1 = 0.0, best_t2 = 0.0;
+    double best_intensity = -1.0;
+    for (const LiveJob& a : live) {
+      for (const LiveJob& b : live) {
+        const Time t1 = a.release;
+        const Time t2 = b.deadline;
+        if (t2 <= t1 + kTimeEps) continue;
+        Work volume = 0.0;
+        for (const LiveJob& j : live) {
+          if (j.release >= t1 - kTimeEps && j.deadline <= t2 + kTimeEps) {
+            volume += j.volume;
+          }
+        }
+        const double intensity = volume / (t2 - t1);
+        if (intensity > best_intensity + 1e-12) {
+          best_intensity = intensity;
+          best_t1 = t1;
+          best_t2 = t2;
+        }
+      }
+    }
+    OSCHED_CHECK_GT(best_intensity, 0.0) << "no critical interval found";
+
+    // Peel the critical interval: its jobs run at the intensity, filling it.
+    YdsRound round;
+    round.speed = best_intensity;
+    const Time length = best_t2 - best_t1;
+    result.energy += std::pow(best_intensity, alpha) * length;
+
+    Time original_t1 = kTimeInfinity;
+    Time original_t2 = 0.0;
+    std::vector<LiveJob> survivors;
+    survivors.reserve(live.size());
+    for (const LiveJob& j : live) {
+      if (j.release >= best_t1 - kTimeEps && j.deadline <= best_t2 + kTimeEps) {
+        round.jobs.push_back(j.id);
+        original_t1 = std::min(original_t1, j.original_release);
+        original_t2 = std::max(original_t2, j.original_deadline);
+      } else {
+        survivors.push_back(j);
+      }
+    }
+    OSCHED_CHECK(!round.jobs.empty());
+    round.begin = original_t1;
+    round.end = original_t2;
+    result.rounds.push_back(std::move(round));
+
+    // Collapse [t1, t2] out of the timeline for the survivors: the critical
+    // interval is fully booked at the maximum intensity, so no other job
+    // will run there in the optimum.
+    for (LiveJob& j : survivors) {
+      const auto collapse = [&](Time t) {
+        if (t >= best_t2 - kTimeEps) return t - length;
+        if (t > best_t1) return best_t1;
+        return t;
+      };
+      j.release = collapse(j.release);
+      j.deadline = collapse(j.deadline);
+      OSCHED_CHECK_GT(j.deadline, j.release - kTimeEps);
+    }
+    live = std::move(survivors);
+  }
+  return result;
+}
+
+}  // namespace osched

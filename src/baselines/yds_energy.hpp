@@ -1,0 +1,47 @@
+// YDS (Yao–Demers–Shenker, FOCS'95 [17]): the OPTIMAL preemptive
+// speed-scaling schedule for deadline-constrained jobs on a single machine
+// with convex power P(s) = s^alpha.
+//
+// The classical critical-interval peeling: repeatedly find the interval
+// I = [t1, t2] maximizing the intensity
+//     g(I) = (sum of volumes of jobs whose [r_j, d_j] fits inside I) / |I|,
+// run exactly those jobs in I at constant speed g(I) (EDF inside I), remove
+// them, collapse I out of the timeline, and recurse. The result is the
+// minimum-energy PREEMPTIVE schedule; preemption is a relaxation of the
+// paper's non-preemptive model, so
+//
+//     yds_energy <= OPT_preemptive <= OPT_non-preemptive,
+//
+// making this the repository's strongest certified lower bound for the
+// Theorem 3 experiments on single-machine instances — valid for CONTINUOUS
+// speeds, hence also for any discretized strategy space, and cheap enough
+// (O(n^3) per round, n rounds) to run at sizes where the branch-and-bound
+// witness is hopeless.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "instance/instance.hpp"
+
+namespace osched {
+
+struct YdsRound {
+  Time begin = 0.0;      ///< critical interval in the ORIGINAL timeline
+  Time end = 0.0;
+  Speed speed = 0.0;     ///< the interval's intensity
+  std::vector<JobId> jobs;  ///< jobs scheduled in this round
+};
+
+struct YdsResult {
+  Energy energy = 0.0;   ///< total energy of the optimal preemptive schedule
+  std::vector<YdsRound> rounds;  ///< peeling order (speeds non-increasing)
+};
+
+/// Runs YDS. Requires a single-machine instance in which every job has a
+/// deadline; returns nullopt otherwise (the caller decides whether that is
+/// an error). `alpha` is the power exponent P(s) = s^alpha, alpha >= 1.
+std::optional<YdsResult> yds_optimal_energy(const Instance& instance,
+                                            double alpha);
+
+}  // namespace osched

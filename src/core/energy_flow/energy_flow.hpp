@@ -1,0 +1,107 @@
+// Theorem 2: online non-preemptive total weighted flow time plus energy on
+// unrelated machines in the speed-scaling model, with weight rejections.
+//
+// Model: machine power P(s) = s^alpha, alpha > 1; job j has weight w_j,
+// release r_j and per-machine volume p_ij; a job runs non-preemptively at a
+// constant speed chosen when it starts.
+//
+// Policies (paper, section 3):
+//  * Scheduling: pending jobs per machine in non-increasing DENSITY order
+//    (delta_ij = w_j / p_ij), ties by earliest release then id; when the
+//    machine idles, start the first pending job at speed
+//       s = gamma * (sum of weights of all pending jobs, incl. the started
+//           one)^{1/alpha},
+//    frozen until the job completes or is rejected.
+//  * Rejection: the running job k carries a weight counter v_k; every
+//    arrival dispatched to the machine adds its weight; k is interrupted
+//    and rejected the first time v_k > w_k / eps (strict).
+//  * Dispatching: job j goes to argmin_i lambda_ij with
+//       lambda_ij = w_j (p_ij/eps + sum_{l <= j} p_il/(gamma W_l^{1/alpha}))
+//                   + (sum_{l > j} w_l) p_ij/(gamma W_j^{1/alpha}),
+//    where the order runs over the pending jobs with j virtually inserted
+//    (running job excluded) and W_l is the prefix weight up to l.
+//
+// Guarantee (Theorem 2): O((1 + 1/eps)^{alpha/(alpha-1)})-competitive for
+// weighted flow + energy, rejecting at most an eps fraction of total weight.
+//
+// The run also produces a certified lower bound on OPT via the feasible
+// dual of Lemma 6 (see EnergyFlowResult for the derivation notes).
+#pragma once
+
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+struct EnergyFlowOptions {
+  double epsilon = 0.5;  ///< rejected-weight budget, in (0,1)
+  double alpha = 2.0;    ///< power exponent, > 1
+  /// Speed coefficient gamma; 0 means "auto": the paper's closed form
+  /// gamma = (eps/(1+eps))^{1/(a-1)} (1/(a-1)) (a-1+ln(a-1))^{(a-1)/a}
+  /// when that expression is positive (alpha > ~1.567), otherwise the
+  /// leading factor (eps/(1+eps))^{1/(alpha-1)} alone.
+  double gamma = 0.0;
+  /// Ablation switch (E9): disables the weight-counter rejection rule while
+  /// keeping HDF order, dispatching and speed scaling — the "Theorem 2
+  /// without its relaxation" policy the paper's lower bounds apply to.
+  bool enable_rejection = true;
+};
+
+/// The paper's gamma(eps, alpha) with the documented fallback.
+double theorem2_gamma(double eps, double alpha);
+
+struct EnergyFlowResult {
+  Schedule schedule;
+  std::size_t rejections = 0;
+  double gamma = 0.0;  ///< the gamma actually used
+
+  // ---- dual bookkeeping (Lemma 6 machinery) ----
+  /// sum_j lambda_j with lambda_j = eps/(1+eps) * min_i lambda_ij.
+  double sum_lambda = 0.0;
+  /// integral over time of sum_i V_i(t) — the total fractional weight of
+  /// jobs not yet definitively finished.
+  double v_integral = 0.0;
+  /// D = sum lambda_j + sum_i int (1-alpha) u_i(t)^alpha dt; u_i(t)^alpha =
+  /// (eps/(gamma(1+eps)(alpha-1)))^{alpha/(alpha-1)} V_i(t).
+  double dual_objective = 0.0;
+  /// Certified lower bound on OPT(weighted flow + energy): the feasible
+  /// dual value D is at most the relaxation's optimum, and plugging the
+  /// optimal schedule into the primal costs at most
+  ///   2*wflow(OPT) + energy(OPT) + (alpha/(gamma(alpha-1))) * sum_j
+  ///   w_j^{(a-1)/a} p_{i*(j),j}
+  /// where the last sum is itself at most OPT / c1(alpha) per job
+  /// (c1(alpha) = (a-1)^{1/a} + (a-1)^{(1-a)/a} is the isolated-job
+  /// flow+energy constant). Hence OPT >= D / (2 + alpha/(gamma (alpha-1)
+  /// c1(alpha))).
+  double opt_lower_bound = 0.0;
+  /// Unconditional per-job lower bound: sum_j c1(alpha) w_j^{(a-1)/a}
+  /// min_i p_ij — the cheapest possible isolated flow+energy of each job.
+  double iso_lower_bound = 0.0;
+  /// Definitive finish times C~_j (completion/rejection + D_j extension).
+  std::vector<Time> definitive_finish;
+  /// Per-job dual variable lambda_j = eps/(1+eps) * min_i lambda_ij, for the
+  /// Lemma 6 dual-feasibility checker.
+  std::vector<double> lambda;
+
+  double best_lower_bound() const {
+    return opt_lower_bound > iso_lower_bound ? opt_lower_bound : iso_lower_bound;
+  }
+};
+
+EnergyFlowResult run_energy_flow(const Instance& instance,
+                                 const EnergyFlowOptions& options = {});
+
+/// Isolated-job constant c1(alpha) = (a-1)^{1/a} + (a-1)^{(1-a)/a}: the
+/// minimum over s of (w/s + s^{alpha-1}) for w=1 (scales as w^{(a-1)/a}).
+double isolated_job_constant(double alpha);
+
+/// Reference O(n) evaluation of lambda_ij for tests: pending jobs given as
+/// (weight, volume) sorted by non-increasing density with j inserted after
+/// equal densities (a new arrival has the latest release).
+double reference_energy_lambda_ij(
+    const std::vector<std::pair<Weight, Work>>& pending_by_density, Weight w_j,
+    Work p_ij, double eps, double alpha, double gamma);
+
+}  // namespace osched

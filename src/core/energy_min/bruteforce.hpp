@@ -1,0 +1,52 @@
+// Exact optimal energy over a discretized strategy space, by
+// branch-and-bound. Certifies the empirical competitive ratio of the
+// configuration primal-dual scheduler on small instances (experiment E4)
+// and provides the adversary witness cost in the Lemma 2 experiment (E5).
+//
+// The search space is the SAME (machine, start, speed) strategy grid the
+// online algorithm uses, so measured ratios compare like against like; the
+// admissible pruning bound exploits superadditivity of convex powers
+// (P(u+v) - P(u) >= P(v)): a job's marginal cost can never beat its
+// isolated cost on an empty machine.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/energy_min/strategy.hpp"
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+struct BruteForceOptions {
+  double alpha = 2.0;
+  /// Heterogeneous machines: P_i(s) = s^{alpha_i}; overrides alpha when
+  /// non-empty (must match the online options for like-for-like ratios).
+  std::vector<double> machine_alphas;
+  std::vector<Speed> speeds;  ///< empty = make_speed_grid(instance, levels)
+  std::size_t speed_levels = 5;
+  Time start_grid = 1.0;
+  /// Safety valve: abort (return nullopt) after this many search nodes.
+  std::size_t node_budget = 50'000'000;
+};
+
+struct BruteForceResult {
+  Energy optimal_energy = 0.0;
+  std::vector<Strategy> chosen;
+  Schedule schedule;
+  std::size_t nodes_explored = 0;
+  /// True when the search ran to completion: optimal_energy is the exact
+  /// optimum over the strategy space. False when the node budget ran out:
+  /// optimal_energy is the best incumbent — still a feasible schedule, so
+  /// still a valid UPPER bound on OPT (what the adversary experiments need).
+  bool certified_optimal = true;
+};
+
+/// Returns nullopt only if the node budget was exhausted before any full
+/// solution was found (with depth-first descent this requires a pathological
+/// budget).
+std::optional<BruteForceResult> brute_force_energy(
+    const Instance& instance, const BruteForceOptions& options = {});
+
+}  // namespace osched

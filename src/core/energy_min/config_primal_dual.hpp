@@ -1,0 +1,76 @@
+// Theorem 3: online non-preemptive energy minimization with deadlines via
+// the configuration-LP primal-dual approach.
+//
+// Algorithm (paper, section 4): at the arrival of job j, select the strategy
+// s_ijk — a (machine, start, speed) triple — minimizing the marginal energy
+//   f_i(A*_i u s_ijk) - f_i(A*_i)
+// against the machine's current committed speed profile A*_i; commit it and
+// never modify it (no interruption, no speed change). Jobs on one machine
+// may execute in parallel (speeds add).
+//
+// Dual variables (for (lambda, mu)-smooth powers):
+//   delta_j  = (1/lambda) * marginal increase at j's arrival,
+//   beta_ijk = (1/lambda) * [f_i(A*_{i,<j} u s_ijk) - f_i(A*_{i,<j})],
+//   gamma_i  = -(mu/lambda) * f_i(A*_i final).
+// Lemma 7 shows feasibility; the dual objective is (1-mu)/lambda * ALG,
+// hence ALG <= lambda/(1-mu) * OPT — which is alpha^alpha for P(s)=s^alpha.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/energy_min/strategy.hpp"
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+struct ConfigPDOptions {
+  double alpha = 2.0;  ///< power exponent P(s) = s^alpha on every machine
+  /// Heterogeneous machines (the paper's full setting): P_i(s) = s^{alpha_i}
+  /// per machine. When non-empty, must have one entry per machine and
+  /// overrides `alpha`; the guarantee is driven by alpha = max_i alpha_i.
+  std::vector<double> machine_alphas;
+  /// Discrete speed set; empty means make_speed_grid(instance, speed_levels).
+  std::vector<Speed> speeds;
+  std::size_t speed_levels = 8;
+  /// Start-time grid step.
+  Time start_grid = 1.0;
+};
+
+/// Resolved per-machine exponents (machine_alphas, or alpha broadcast).
+std::vector<double> resolve_machine_alphas(const ConfigPDOptions& options,
+                                           std::size_t num_machines);
+
+/// Observer invoked per arrival BEFORE the chosen strategy is committed —
+/// gives the dual-feasibility checker the exact pre-arrival profiles it
+/// needs to evaluate beta_ijk for arbitrary strategies.
+struct ArrivalObservation {
+  JobId job = kInvalidJob;
+  const std::vector<SpeedProfile>* profiles = nullptr;  ///< pre-commit, per machine
+  const std::vector<Strategy>* strategies = nullptr;    ///< feasible set of j
+  std::size_t chosen = 0;                               ///< index into strategies
+  double chosen_marginal = 0.0;
+};
+using ArrivalObserver = std::function<void(const ArrivalObservation&)>;
+
+struct ConfigPDResult {
+  Schedule schedule;
+  std::vector<Strategy> chosen;  ///< per job
+  Energy algorithm_energy = 0.0;  ///< sum_i f_i(final profile)
+  /// Per-job dual delta_j = marginal / lambda(alpha).
+  std::vector<double> delta;
+  /// Dual objective (1-mu)/lambda * ALG: a certified lower bound on OPT
+  /// within the discretized strategy space (by Lemma 7 + weak duality).
+  double dual_objective = 0.0;
+  double opt_lower_bound = 0.0;
+  /// Final per-machine profiles (for the dual checker's configuration
+  /// constraint sampling).
+  std::vector<SpeedProfile> profiles;
+};
+
+ConfigPDResult run_config_primal_dual(const Instance& instance,
+                                      const ConfigPDOptions& options = {},
+                                      const ArrivalObserver& observer = {});
+
+}  // namespace osched

@@ -1,0 +1,159 @@
+#include "core/energy_min/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace osched {
+
+void SpeedProfile::ensure_breakpoint(Time t) {
+  auto it = step_.upper_bound(t);
+  if (it == step_.begin()) {
+    step_.emplace(t, 0.0);
+    return;
+  }
+  --it;
+  if (it->first != t) step_.emplace(t, it->second);
+}
+
+void SpeedProfile::add(Time begin, Time end, Speed v) {
+  OSCHED_CHECK_LT(begin, end);
+  OSCHED_CHECK_GT(v, 0.0);
+  ensure_breakpoint(begin);
+  ensure_breakpoint(end);
+  for (auto it = step_.find(begin); it != step_.end() && it->first < end; ++it) {
+    it->second += v;
+  }
+}
+
+Speed SpeedProfile::speed_at(Time t) const {
+  auto it = step_.upper_bound(t);
+  if (it == step_.begin()) return 0.0;
+  --it;
+  return it->second;
+}
+
+Energy SpeedProfile::total_cost(const PowerFunction& power) const {
+  Energy total = 0.0;
+  for (auto it = step_.begin(); it != step_.end(); ++it) {
+    auto next = std::next(it);
+    if (next == step_.end()) {
+      OSCHED_CHECK(it->second <= kTimeEps)
+          << "profile does not return to zero (trailing speed " << it->second << ")";
+      break;
+    }
+    if (it->second > 0.0) {
+      total += power.power(it->second) * (next->first - it->first);
+    }
+  }
+  return total;
+}
+
+Energy SpeedProfile::marginal_cost(Time begin, Time end, Speed v,
+                                   const PowerFunction& power) const {
+  OSCHED_CHECK_LT(begin, end);
+  Energy total = 0.0;
+  Time cursor = begin;
+  auto it = step_.upper_bound(begin);
+  if (it != step_.begin()) --it;
+
+  while (cursor < end) {
+    // Current segment [seg_begin, seg_end) with constant speed u.
+    Speed u = 0.0;
+    Time seg_end = end;
+    if (it != step_.end() && it->first <= cursor) {
+      u = it->second;
+      auto next = std::next(it);
+      seg_end = next == step_.end() ? end : std::min(end, next->first);
+      it = next;
+    } else if (it != step_.end()) {
+      // Before the next breakpoint the profile is whatever the previous
+      // step said; when cursor precedes the first breakpoint, u = 0.
+      seg_end = std::min(end, it->first);
+    }
+    total += (power.power(u + v) - power.power(u)) * (seg_end - cursor);
+    cursor = seg_end;
+  }
+  return total;
+}
+
+std::vector<Speed> make_speed_grid(const Instance& instance,
+                                   std::size_t levels, double headroom) {
+  OSCHED_CHECK_GE(levels, 2u);
+  double slowest = std::numeric_limits<double>::infinity();
+  double fastest_required = 0.0;
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const Job& job = instance.job(j);
+    OSCHED_CHECK(job.has_deadline())
+        << "energy minimization requires deadlines (job " << j << ")";
+    const Time window = job.deadline - job.release;
+    OSCHED_CHECK_GT(window, 0.0);
+    // Slowest useful: cheapest assignment stretched over the full window.
+    slowest = std::min(slowest, instance.min_processing(j) / window);
+    // Fastest required: even the cheapest machine needs at least this.
+    fastest_required = std::max(fastest_required, instance.min_processing(j) / window);
+  }
+  OSCHED_CHECK_GT(fastest_required, 0.0);
+  const double lo = slowest;
+  const double hi = fastest_required * headroom;
+  std::vector<Speed> grid;
+  grid.reserve(levels);
+  if (hi <= lo * (1.0 + 1e-12)) {
+    grid.push_back(lo);
+    return grid;
+  }
+  const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(levels - 1));
+  double v = lo;
+  for (std::size_t k = 0; k < levels; ++k) {
+    grid.push_back(v);
+    v *= ratio;
+  }
+  return grid;
+}
+
+std::vector<Strategy> enumerate_strategies(const Instance& instance, JobId j,
+                                           const std::vector<Speed>& speeds,
+                                           Time start_grid) {
+  OSCHED_CHECK_GT(start_grid, 0.0);
+  const Job& job = instance.job(j);
+  OSCHED_CHECK(job.has_deadline());
+  std::vector<Strategy> out;
+
+  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+    const auto machine = static_cast<MachineId>(i);
+    if (!instance.eligible(machine, j)) continue;
+    const Work p = instance.processing(machine, j);
+    const Time window = job.deadline - job.release;
+
+    bool machine_has_feasible = false;
+    auto add_starts_for_speed = [&](Speed v) {
+      const Time duration = p / v;
+      if (duration > window + kTimeEps) return;
+      machine_has_feasible = true;
+      const Time latest = job.deadline - duration;
+      for (Time start = job.release; start <= latest + kTimeEps;
+           start += start_grid) {
+        out.push_back(Strategy{machine, std::min(start, latest), v});
+      }
+      // The exact latest start (finish at the deadline), if the stepping
+      // missed it.
+      const Time last_step =
+          job.release +
+          std::floor((latest - job.release) / start_grid + kTimeEps) * start_grid;
+      if (latest - last_step > kTimeEps) {
+        out.push_back(Strategy{machine, latest, v});
+      }
+    };
+
+    for (Speed v : speeds) add_starts_for_speed(v);
+    if (!machine_has_feasible) {
+      // Exact-fit speed: run across the whole window.
+      add_starts_for_speed(p / window);
+    }
+  }
+  return out;
+}
+
+}  // namespace osched

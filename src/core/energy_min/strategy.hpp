@@ -1,0 +1,80 @@
+// Strategies and machine speed profiles for the energy-minimization problem
+// (Theorem 3).
+//
+// The paper discretizes times and speeds (section 4, losing only a (1+eps)
+// factor): a *strategy* of job j is a triple (machine, start time, constant
+// speed) whose execution window [start, start + p_ij/speed] fits in
+// [r_j, d_j]. Jobs on one machine MAY overlap; the machine's speed is the
+// sum of the speeds of the jobs executing at that moment, and the energy is
+// the integral of P(total speed).
+//
+// SpeedProfile is the piecewise-constant total-speed function of a machine,
+// supporting exact marginal-cost queries — the quantity
+//   f_i(A* u s_ijk) - f_i(A*)
+// that both the greedy algorithm and the dual variables beta_ijk need.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "instance/power.hpp"
+#include "util/types.hpp"
+
+namespace osched {
+
+struct Strategy {
+  MachineId machine = kInvalidMachine;
+  Time start = 0.0;
+  Speed speed = 0.0;
+
+  /// Execution duration for a job of volume p.
+  Time duration(Work p) const { return p / speed; }
+};
+
+class SpeedProfile {
+ public:
+  /// Adds speed v over [begin, end).
+  void add(Time begin, Time end, Speed v);
+
+  /// Total speed at time t.
+  Speed speed_at(Time t) const;
+
+  /// Total energy: integral of power(speed(t)).
+  Energy total_cost(const PowerFunction& power) const;
+
+  /// Marginal energy of adding speed v over [begin, end):
+  /// integral of power(u(t) + v) - power(u(t)).
+  Energy marginal_cost(Time begin, Time end, Speed v,
+                       const PowerFunction& power) const;
+
+  /// Breakpoints (time, absolute speed from that time on), for inspection.
+  const std::map<Time, Speed>& steps() const { return step_; }
+
+  bool empty() const { return step_.empty(); }
+
+ private:
+  /// Ensures a breakpoint exists at t carrying the current speed.
+  void ensure_breakpoint(Time t);
+
+  /// speed(t) = value at the greatest key <= t; 0 before the first key.
+  std::map<Time, Speed> step_;
+};
+
+/// Builds a geometric speed grid covering every job's feasible range: from
+/// the slowest useful speed (stretch the easiest assignment across the whole
+/// window) up to `headroom` times the fastest *required* speed.
+std::vector<Speed> make_speed_grid(const Instance& instance,
+                                   std::size_t levels, double headroom = 4.0);
+
+/// All feasible strategies of job j: every eligible machine x speed from the
+/// grid x start times r_j, r_j + start_grid, ... plus the latest feasible
+/// start d_j - p/v (the exact "finish at the deadline" option). If the grid
+/// contains no feasible speed for some machine, the exact-fit speed
+/// p_ij/(d_j - r_j) is added for that machine, so the returned set is
+/// non-empty for every job with a feasible window.
+std::vector<Strategy> enumerate_strategies(const Instance& instance, JobId j,
+                                           const std::vector<Speed>& speeds,
+                                           Time start_grid);
+
+}  // namespace osched

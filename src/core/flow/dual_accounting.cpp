@@ -1,0 +1,67 @@
+#include "core/flow/dual_accounting.hpp"
+
+#include <algorithm>
+
+namespace osched {
+
+FlowDualAccounting::FlowDualAccounting(std::size_t num_jobs, double epsilon)
+    : epsilon_(epsilon),
+      extra_(num_jobs, 0.0),
+      c_tilde_(num_jobs, 0.0),
+      finalized_(num_jobs, false) {
+  OSCHED_CHECK_GT(epsilon, 0.0);
+  OSCHED_CHECK_LT(epsilon, 1.0);
+}
+
+void FlowDualAccounting::set_lambda(JobId /*j*/, double min_lambda_ij) {
+  OSCHED_CHECK_GE(min_lambda_ij, 0.0);
+  sum_lambda_ += epsilon_ / (1.0 + epsilon_) * min_lambda_ij;
+}
+
+void FlowDualAccounting::on_rule1_rejection(JobId k,
+                                            const std::vector<JobId>& pending,
+                                            Time q) {
+  OSCHED_CHECK_GE(q, 0.0);
+  OSCHED_CHECK(!finalized_[static_cast<std::size_t>(k)]);
+  extra_[static_cast<std::size_t>(k)] += q;
+  for (JobId j : pending) {
+    OSCHED_CHECK(!finalized_[static_cast<std::size_t>(j)]);
+    extra_[static_cast<std::size_t>(j)] += q;
+  }
+}
+
+void FlowDualAccounting::on_rule2_rejection(JobId j, Time remaining_of_running,
+                                            Work pending_sum_except_trigger_and_j,
+                                            Work p_ij) {
+  OSCHED_CHECK(!finalized_[static_cast<std::size_t>(j)]);
+  OSCHED_CHECK_GE(remaining_of_running, 0.0);
+  OSCHED_CHECK_GE(pending_sum_except_trigger_and_j, -kTimeEps);
+  extra_[static_cast<std::size_t>(j)] +=
+      remaining_of_running + std::max(0.0, pending_sum_except_trigger_and_j) + p_ij;
+}
+
+void FlowDualAccounting::finalize(JobId j, Time release, Time end) {
+  const auto idx = static_cast<std::size_t>(j);
+  OSCHED_CHECK(!finalized_[idx]) << "job " << j << " finalized twice";
+  finalized_[idx] = true;
+  c_tilde_[idx] = end + extra_[idx];
+  OSCHED_CHECK_GE(c_tilde_[idx], release - kTimeEps);
+  residence_ += c_tilde_[idx] - release;
+}
+
+double FlowDualAccounting::beta_integral() const {
+  const double scale = epsilon_ / ((1.0 + epsilon_) * (1.0 + epsilon_));
+  return scale * residence_;
+}
+
+double FlowDualAccounting::opt_lower_bound() const {
+  return std::max(0.0, dual_objective()) / 2.0;
+}
+
+Time FlowDualAccounting::definitive_finish(JobId j) const {
+  const auto idx = static_cast<std::size_t>(j);
+  OSCHED_CHECK(finalized_[idx]) << "job " << j << " not finalized";
+  return c_tilde_[idx];
+}
+
+}  // namespace osched

@@ -1,0 +1,77 @@
+// Dual-fitting bookkeeping for the flow-time algorithm (Theorem 1).
+//
+// The algorithm's analysis defines, for every job j,
+//   lambda_j = eps/(1+eps) * min_i lambda_ij            (set at arrival)
+// and for every machine i and time t,
+//   beta_i(t) = eps/(1+eps)^2 * (|U_i(t)| + |V_i(t)|),
+// where U_i(t) are pending jobs and V_i(t) are jobs that are completed or
+// rejected but not yet "definitively finished" at their extended time
+// C-tilde_j. Because job j occupies U from r_j to C_j and V from C_j to
+// C-tilde_j, the total beta integral collapses to
+//   sum_i int beta_i(t) dt = eps/(1+eps)^2 * sum_j (C-tilde_j - r_j).
+//
+// This class tracks exactly that: per-job "extra" time from Rule 1
+// rejections (the set D_j of the paper), the Rule 2 extension term, and the
+// final dual objective
+//   D = sum_j lambda_j - sum_i int beta_i(t) dt,
+// which by Lemma 4 (feasibility) and weak duality satisfies D <= LP* <=
+// 2*OPT, i.e. D/2 is a certified lower bound on the optimal non-preemptive
+// total flow time. The harnesses report measured ratio = ALG / (D/2).
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace osched {
+
+class FlowDualAccounting {
+ public:
+  FlowDualAccounting(std::size_t num_jobs, double epsilon);
+
+  /// Records lambda_j = eps/(1+eps) * min_i lambda_ij at j's arrival.
+  void set_lambda(JobId j, double min_lambda_ij);
+
+  /// Rule 1 rejected the running job k at time t with remaining time q: every
+  /// job in U_i(t) — the pending jobs passed here plus k itself — has its
+  /// definitive finish pushed back by q (k joins its own D_k per the paper).
+  void on_rule1_rejection(JobId k, const std::vector<JobId>& pending, Time q);
+
+  /// Rule 2 rejected pending job j at time t. The definitive-finish extension
+  /// is the estimated completion had j stayed: remaining time of the running
+  /// job + total pending processing ahead of it (all of it: j was the
+  /// largest) except the just-arrived trigger job + j's own processing time.
+  void on_rule2_rejection(JobId j, Time remaining_of_running,
+                          Work pending_sum_except_trigger_and_j, Work p_ij);
+
+  /// Finalizes C-tilde_j when j leaves the system at time `end` (completion
+  /// time or rejection time).
+  void finalize(JobId j, Time release, Time end);
+
+  double sum_lambda() const { return sum_lambda_; }
+
+  /// sum_j (C-tilde_j - r_j); every job must have been finalized.
+  double definitive_residence() const { return residence_; }
+
+  /// sum_i int beta_i(t) dt = eps/(1+eps)^2 * definitive_residence().
+  double beta_integral() const;
+
+  /// D = sum lambda_j - beta integral.
+  double dual_objective() const { return sum_lambda() - beta_integral(); }
+
+  /// Certified lower bound on OPT: max(D, 0) / 2 (LP value <= 2 OPT).
+  double opt_lower_bound() const;
+
+  Time definitive_finish(JobId j) const;
+
+ private:
+  double epsilon_;
+  double sum_lambda_ = 0.0;
+  double residence_ = 0.0;
+  std::vector<double> extra_;       ///< accumulated D_j + Rule-2 extension
+  std::vector<Time> c_tilde_;       ///< finalized definitive finish
+  std::vector<bool> finalized_;
+};
+
+}  // namespace osched

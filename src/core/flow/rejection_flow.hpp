@@ -1,0 +1,99 @@
+// Theorem 1: online non-preemptive total flow-time minimization on unrelated
+// machines with rejections — the paper's algorithm A.
+//
+// Policies (quoted conventions from the paper, section 2):
+//  * Scheduling: each machine keeps its pending jobs (dispatched, released,
+//    not completed/rejected, not running) in non-decreasing processing-time
+//    order, ties by earliest release then id; whenever a machine becomes
+//    idle it starts the first pending job.
+//  * Dispatching: at the arrival of job j, compute for each machine i
+//      lambda_ij = p_ij/eps + sum_{l <= j} p_il + |{l > j}| * p_ij
+//    over the pending order with j virtually inserted (running job
+//    excluded), and dispatch j to argmin_i lambda_ij.
+//  * Rule 1: when a machine starts a job it gets a counter v; every arrival
+//    dispatched to that machine during the execution increments v; the
+//    running job is interrupted and rejected the first time v reaches
+//    ceil(1/eps).
+//  * Rule 2: each machine has a counter c incremented on every dispatch to
+//    it; the first time c reaches floor(1 + 1/eps), the pending job with the
+//    LARGEST processing time is rejected and c resets to zero. (Rounding
+//    down keeps c <= 1/eps between resets, which Lemma 3 / Corollary 1
+//    require; the threshold still exceeds 1/eps so the rejection budget
+//    holds, and it coincides with the paper's 1 + 1/eps for integral 1/eps.)
+//
+// Guarantee (Theorem 1): competitive ratio 2((1+eps)/eps)^2 against the
+// optimal schedule that must complete ALL jobs, while rejecting at most a
+// 2*eps fraction of the jobs. The run also emits the feasible dual solution
+// of Lemma 4, whose objective/2 certifies a lower bound on OPT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow/dual_accounting.hpp"
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+/// Which pending job Rule 2 sacrifices when the counter fires. The paper
+/// proves Theorem 1 for kLargest only — Lemma 3's partition argument needs
+/// the victim to dominate the estimated completion time of its whole group.
+/// The alternatives exist for the ablation experiment (E12): they keep the
+/// rejection budget but forfeit the Corollary 1 structure, and the measured
+/// flow-time degradation shows how load-bearing the victim choice is.
+enum class Rule2Victim {
+  kLargest,   ///< paper's rule: largest processing time among pending
+  kSmallest,  ///< anti-rule: smallest pending (rejects the cheapest job)
+  kNewest,    ///< the job whose dispatch fired the counter
+  kRandom,    ///< uniformly random pending job (seeded, reproducible)
+};
+
+const char* to_string(Rule2Victim victim);
+
+struct RejectionFlowOptions {
+  /// Rejection parameter in (0, 1).
+  double epsilon = 0.2;
+  /// Ablation switches (E9): disabling a rule skips its counter/rejection.
+  bool enable_rule1 = true;
+  bool enable_rule2 = true;
+  /// Ablation switch (E12): Rule 2 victim selection; kLargest is the paper.
+  Rule2Victim rule2_victim = Rule2Victim::kLargest;
+  /// Seed for kRandom victim draws (unused otherwise).
+  std::uint64_t victim_seed = 0x5EEDF00DULL;
+  /// Machine speed multiplier; 1.0 is the paper's setting. The
+  /// speed-augmented baseline [5] reuses this scheduler with speed > 1
+  /// (processing times shrink to p_ij/speed).
+  double speed = 1.0;
+};
+
+struct RejectionFlowResult {
+  Schedule schedule;
+  std::size_t rule1_rejections = 0;
+  std::size_t rule2_rejections = 0;
+
+  /// Dual-fitting summary (valid as an OPT lower bound only at speed=1).
+  double sum_lambda = 0.0;
+  double beta_integral = 0.0;
+  double dual_objective = 0.0;
+  double opt_lower_bound = 0.0;
+  /// Definitive finish times C-tilde_j (paper's extended completion), used
+  /// by tests to verify sum lambda_j >= eps/(1+eps) * sum (C~_j - r_j).
+  std::vector<Time> definitive_finish;
+  /// Per-job dual variable lambda_j = eps/(1+eps) * min_i lambda_ij, for the
+  /// Lemma 4 dual-feasibility checker.
+  std::vector<double> lambda;
+};
+
+RejectionFlowResult run_rejection_flow(const Instance& instance,
+                                       const RejectionFlowOptions& options = {});
+
+/// The lambda_ij dispatch quantity, exposed for unit tests: given the sorted
+/// processing times of the pending jobs on machine i (running job excluded)
+/// and p_ij, evaluates p_ij/eps + sum_{l<=j} p_il + |{l>j}|*p_ij with j
+/// inserted by (p, tie: arrival later than all equal-p pending jobs — a new
+/// arrival has the latest release). Reference O(n) implementation.
+double reference_lambda_ij(const std::vector<Work>& pending_sorted, Work p_ij,
+                           double eps);
+
+}  // namespace osched

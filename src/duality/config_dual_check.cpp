@@ -1,0 +1,104 @@
+#include "duality/config_dual_check.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace osched {
+
+ConfigDualCheckReport check_config_dual_feasibility(
+    const Instance& instance, const ConfigPDOptions& options,
+    std::size_t config_samples_per_machine, std::uint64_t seed) {
+  const std::vector<double> alphas =
+      resolve_machine_alphas(options, instance.num_machines());
+  std::vector<PolynomialPower> powers;
+  powers.reserve(alphas.size());
+  for (double alpha : alphas) powers.emplace_back(alpha);
+  const double alpha_max = *std::max_element(alphas.begin(), alphas.end());
+  const SmoothnessParams smooth = polynomial_smoothness(alpha_max);
+
+  // Replay the algorithm, capturing for every job the beta value of each of
+  // its strategies against the machine profiles at the job's arrival.
+  struct RecordedStrategy {
+    Strategy strategy;
+    double beta;  ///< marginal at arrival / lambda
+  };
+  std::vector<std::vector<RecordedStrategy>> recorded(instance.num_jobs());
+  std::vector<double> delta(instance.num_jobs(), 0.0);
+
+  ConfigDualCheckReport report;
+
+  const auto observer = [&](const ArrivalObservation& obs) {
+    const auto idx = static_cast<std::size_t>(obs.job);
+    const Work dummy = 0.0;
+    (void)dummy;
+    recorded[idx].reserve(obs.strategies->size());
+    double min_beta = 1e300;
+    for (const Strategy& s : *obs.strategies) {
+      const Work p = instance.processing(s.machine, obs.job);
+      const Time end = s.start + s.duration(p);
+      // Independent beta derivation: copy the profile, add, integrate —
+      // deliberately NOT marginal_cost (the algorithm's own path).
+      const SpeedProfile& pre =
+          (*obs.profiles)[static_cast<std::size_t>(s.machine)];
+      SpeedProfile with = pre;
+      with.add(s.start, end, s.speed);
+      const PolynomialPower& machine_power =
+          powers[static_cast<std::size_t>(s.machine)];
+      const double marginal =
+          with.total_cost(machine_power) - pre.total_cost(machine_power);
+      const double beta = marginal / smooth.lambda;
+      recorded[idx].push_back({s, beta});
+      min_beta = std::min(min_beta, beta);
+    }
+    delta[idx] = obs.chosen_marginal / smooth.lambda;
+    // (a) delta_j <= beta_ijk for every strategy; tightest at the minimum.
+    report.max_delta_violation =
+        std::max(report.max_delta_violation, delta[idx] - min_beta);
+    report.strategies_checked += recorded[idx].size();
+  };
+
+  const ConfigPDResult result =
+      run_config_primal_dual(instance, options, observer);
+
+  // (b) configuration constraints on sampled A per machine.
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+    const double f_final = result.profiles[i].total_cost(powers[i]);
+    const double gamma_i = -(smooth.mu / smooth.lambda) * f_final;
+    for (std::size_t sample = 0; sample < config_samples_per_machine; ++sample) {
+      SpeedProfile config_profile;
+      double beta_sum = 0.0;
+      bool any = false;
+      for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+        if (!rng.bernoulli(0.5)) continue;
+        // Candidate strategies of this job on machine i.
+        std::vector<const RecordedStrategy*> on_machine;
+        for (const RecordedStrategy& rs : recorded[idx]) {
+          if (static_cast<std::size_t>(rs.strategy.machine) == i) {
+            on_machine.push_back(&rs);
+          }
+        }
+        if (on_machine.empty()) continue;
+        const RecordedStrategy& pick = *on_machine[rng.index(on_machine.size())];
+        const Work p = instance.processing(pick.strategy.machine,
+                                           static_cast<JobId>(idx));
+        config_profile.add(pick.strategy.start,
+                           pick.strategy.start + pick.strategy.duration(p),
+                           pick.strategy.speed);
+        beta_sum += pick.beta;
+        any = true;
+      }
+      if (!any) continue;
+      const double f_a = config_profile.total_cost(powers[i]);
+      const double violation = (gamma_i + beta_sum - f_a) / std::max(1.0, f_a);
+      report.max_config_violation =
+          std::max(report.max_config_violation, violation);
+      ++report.configs_checked;
+    }
+  }
+  return report;
+}
+
+}  // namespace osched

@@ -1,0 +1,44 @@
+// Lemma 7 verifier: the configuration-LP dual solution of the Theorem 3
+// greedy is feasible.
+//
+// Two constraint families:
+//  (a) delta_j <= beta_ijk for every strategy s_ijk — delta_j is defined as
+//      the MINIMUM marginal over strategies divided by lambda, so this
+//      checks that the greedy really did take the minimum (re-derived
+//      through an independent add-then-integrate code path rather than
+//      marginal_cost).
+//  (b) gamma_i + sum_{(i,j,k) in A} beta_ijk <= f_i(A) for sampled
+//      configurations A: random subsets of jobs assigned to machine i with
+//      random strategies, where beta uses the profile at each job's arrival
+//      (captured by replaying the algorithm with an observer) and
+//      gamma_i = -(mu/lambda) f_i(A*_i final).
+#pragma once
+
+#include <cstdint>
+
+#include "core/energy_min/config_primal_dual.hpp"
+#include "duality/flow_dual_check.hpp"  // DualCheckReport
+#include "instance/instance.hpp"
+
+namespace osched {
+
+struct ConfigDualCheckReport {
+  /// (a): max over jobs/strategies of (delta_j - beta_ijk); <= tol feasible.
+  double max_delta_violation = -1e300;
+  /// (b): max over sampled configurations of
+  /// (gamma_i + sum beta - f_i(A)) / max(1, f_i(A)); <= tol feasible.
+  double max_config_violation = -1e300;
+  std::size_t strategies_checked = 0;
+  std::size_t configs_checked = 0;
+
+  bool feasible(double tolerance = 1e-7) const {
+    return max_delta_violation <= tolerance &&
+           max_config_violation <= tolerance;
+  }
+};
+
+ConfigDualCheckReport check_config_dual_feasibility(
+    const Instance& instance, const ConfigPDOptions& options,
+    std::size_t config_samples_per_machine = 64, std::uint64_t seed = 1);
+
+}  // namespace osched

@@ -1,0 +1,30 @@
+// Lemma 6 verifier: the dual solution of the Theorem 2 scheduler is
+// feasible.
+//
+// Dual constraint, for every machine i, job j and time t >= r_j:
+//   lambda_j / p_ij <= delta_ij (t - r_j + p_ij) + alpha u_i(t)^{alpha-1}
+//                      + alpha/(gamma(alpha-1)) w_j^{(alpha-1)/alpha},
+// with delta_ij = w_j / p_ij and
+//   u_i(t) = (eps / (gamma (1+eps)(alpha-1)))^{1/(alpha-1)} V_i(t)^{1/alpha},
+// where V_i(t) is the machine's total fractional weight: a job contributes
+// its full weight while waiting, w * q(t)/p while running (q = remaining
+// volume) and its frozen residue w * q_end/p from completion/rejection to
+// its definitive finish C~.
+//
+// Unlike Lemma 4's beta, u_i(t) is not monotone in t (completions drain V),
+// so the checker samples all structural breakpoints (releases, starts,
+// completions, definitive finishes) plus deterministic pseudo-random times.
+#pragma once
+
+#include "core/energy_flow/energy_flow.hpp"
+#include "duality/flow_dual_check.hpp"  // DualCheckReport
+#include "instance/instance.hpp"
+
+namespace osched {
+
+DualCheckReport check_energy_flow_dual_feasibility(
+    const Instance& instance, const EnergyFlowResult& result,
+    const EnergyFlowOptions& options, std::size_t random_samples_per_machine = 64,
+    std::size_t max_constraints = 2'000'000);
+
+}  // namespace osched

@@ -1,0 +1,39 @@
+// Lemma 4 verifier: the dual solution emitted by the Theorem 1 scheduler is
+// feasible constraint by constraint.
+//
+// Dual constraint, for every machine i, job j and time t >= r_j:
+//   lambda_j / p_ij  <=  (t - r_j)/p_ij + 1 + beta_i(t),
+// with beta_i(t) = eps/(1+eps)^2 * (|U_i(t)| + |V_i(t)|). A job dispatched
+// to machine i occupies U_i from its release to its completion/rejection and
+// V_i from there to its definitive finish C~_j, so |U_i(t)| + |V_i(t)| is
+// simply the count of jobs with r <= t < C~ on machine i.
+//
+// For fixed (i, j) the RHS grows linearly in t except at C~ breakpoints
+// where beta steps down, so it suffices to check t = r_j and t = each C~
+// (the instants just after each drop). The checker does exactly that — an
+// INDEPENDENT re-derivation from the schedule record; it shares no state
+// with the scheduler's own accounting.
+#pragma once
+
+#include "core/flow/rejection_flow.hpp"
+#include "instance/instance.hpp"
+
+namespace osched {
+
+struct DualCheckReport {
+  /// max over all checked constraints of (LHS - RHS); <= 0 means feasible.
+  double max_violation = -1e300;
+  std::size_t constraints_checked = 0;
+
+  bool feasible(double tolerance = 1e-7) const {
+    return max_violation <= tolerance;
+  }
+};
+
+/// `eps` must be the epsilon the run used. For n*m*n larger than
+/// max_constraints the (i, j) pairs are subsampled deterministically.
+DualCheckReport check_flow_dual_feasibility(
+    const Instance& instance, const RejectionFlowResult& result, double eps,
+    std::size_t max_constraints = 2'000'000);
+
+}  // namespace osched

@@ -1,0 +1,19 @@
+#include "duality/flow_lp.hpp"
+
+namespace osched {
+
+double flow_lp_primal_value(const Schedule& schedule, const Instance& instance) {
+  double total = 0.0;
+  for (std::size_t idx = 0; idx < schedule.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const JobRecord& rec = schedule.record(j);
+    if (!rec.completed()) continue;
+    const Job& job = instance.job(j);
+    const Work p = instance.processing(rec.machine, j) / rec.speed;
+    // integral over [S, S+p) of ((t - r)/p + 1) dt = (S - r) + p/2 + p.
+    total += (rec.start - job.release) + 1.5 * p;
+  }
+  return total;
+}
+
+}  // namespace osched

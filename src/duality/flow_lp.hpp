@@ -1,0 +1,22 @@
+// Time-indexed LP for total flow time (section 2 of the paper): primal
+// value of a concrete schedule and the factor-2 relationship the analysis
+// rests on.
+//
+// The primal objective charges each executed unit of job j at time t with
+// ((t - r_j)/p_ij + 1) dt; for a non-preemptive execution of length p
+// starting at S this integrates to (S - r_j) + p/2 + p = F_j + p/2, where
+// F_j = S + p - r_j is the flow time. Hence for any schedule
+//   primal = sum_j (F_j + p_j/2)  with  flow <= primal <= 2 * flow,
+// which is exactly why a feasible dual value D certifies OPT >= D/2.
+#pragma once
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+/// Primal LP value of a completed schedule (jobs that were rejected do not
+/// contribute: their coverage constraint is dropped in the rejection model).
+double flow_lp_primal_value(const Schedule& schedule, const Instance& instance);
+
+}  // namespace osched

@@ -1,0 +1,77 @@
+#include "duality/fractional_weight.hpp"
+
+#include <algorithm>
+
+namespace osched {
+
+FractionalWeightProfile::FractionalWeightProfile(const Instance& instance,
+                                                 const EnergyFlowResult& result) {
+  OSCHED_CHECK_EQ(result.schedule.num_jobs(), instance.num_jobs());
+  OSCHED_CHECK_EQ(result.definitive_finish.size(), instance.num_jobs());
+  pieces_.reserve(instance.num_jobs());
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const JobRecord& rec = result.schedule.record(j);
+    const Job& job = instance.job(j);
+    OSCHED_CHECK(rec.started);
+    Piece piece;
+    piece.machine = rec.machine;
+    piece.release = job.release;
+    piece.start = rec.start;
+    piece.end = rec.end;
+    piece.definitive = result.definitive_finish[idx];
+    piece.w = job.weight;
+    piece.p = instance.processing(rec.machine, j);
+    piece.speed = rec.speed;
+    piece.q_end =
+        rec.completed()
+            ? 0.0
+            : std::max(0.0, piece.p - rec.speed * (rec.end - rec.start));
+    pieces_.push_back(piece);
+  }
+}
+
+double FractionalWeightProfile::job_weight_at(JobId j, Time t) const {
+  const Piece& piece = pieces_[static_cast<std::size_t>(j)];
+  if (t < piece.release || t >= piece.definitive) return 0.0;
+  if (t < piece.start) return piece.w;
+  if (t < piece.end) {
+    const Work q = piece.p - piece.speed * (t - piece.start);
+    return piece.w * std::max(0.0, q) / piece.p;
+  }
+  return piece.w * piece.q_end / piece.p;
+}
+
+double FractionalWeightProfile::machine_weight_at(MachineId i, Time t) const {
+  double total = 0.0;
+  for (std::size_t idx = 0; idx < pieces_.size(); ++idx) {
+    if (pieces_[idx].machine == i) {
+      total += job_weight_at(static_cast<JobId>(idx), t);
+    }
+  }
+  return total;
+}
+
+double FractionalWeightProfile::total_weight_at(Time t) const {
+  double total = 0.0;
+  for (std::size_t idx = 0; idx < pieces_.size(); ++idx) {
+    total += job_weight_at(static_cast<JobId>(idx), t);
+  }
+  return total;
+}
+
+std::vector<Time> FractionalWeightProfile::breakpoints() const {
+  std::vector<Time> times;
+  times.reserve(pieces_.size() * 4);
+  for (const Piece& piece : pieces_) {
+    times.push_back(piece.release);
+    times.push_back(piece.start);
+    times.push_back(piece.end);
+    times.push_back(piece.definitive);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+}  // namespace osched

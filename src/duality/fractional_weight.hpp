@@ -1,0 +1,51 @@
+// Fractional-weight reconstruction for the Theorem 2 analysis (and the
+// occupancy reconstruction for Theorem 1's Corollary 1).
+//
+// V_i(t) — the total fractional weight of jobs on machine i that are not
+// yet definitively finished — is the quantity behind the dual variable
+// u_i(t) (Lemma 6) and the monotonicity statement of Lemma 5. This helper
+// re-derives it from a finished run's schedule records, independently of
+// the scheduler's internal accounting, for use by the dual checker and the
+// property tests.
+#pragma once
+
+#include <vector>
+
+#include "core/energy_flow/energy_flow.hpp"
+#include "instance/instance.hpp"
+
+namespace osched {
+
+class FractionalWeightProfile {
+ public:
+  FractionalWeightProfile(const Instance& instance,
+                          const EnergyFlowResult& result);
+
+  /// Fractional weight of job j at time t: w while waiting, w*q(t)/p while
+  /// running, the frozen residue w*q_end/p until the definitive finish C~,
+  /// then 0.
+  double job_weight_at(JobId j, Time t) const;
+
+  /// V_i(t): sum over the jobs dispatched to machine i.
+  double machine_weight_at(MachineId i, Time t) const;
+
+  /// Sum over all machines.
+  double total_weight_at(Time t) const;
+
+  /// All structural breakpoints (releases, starts, ends, definitive
+  /// finishes), sorted and deduplicated — the times where V changes slope.
+  std::vector<Time> breakpoints() const;
+
+ private:
+  struct Piece {
+    MachineId machine;
+    Time release, start, end, definitive;
+    Weight w;
+    Work p;
+    Work q_end;
+    Speed speed;
+  };
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace osched

@@ -1,0 +1,80 @@
+#include "duality/smoothness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace osched {
+
+double smooth_inequality_lhs(const std::vector<double>& a,
+                             const std::vector<double>& b, double alpha) {
+  OSCHED_CHECK_EQ(a.size(), b.size());
+  double lhs = 0.0;
+  double prefix = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    prefix += a[i];
+    lhs += std::pow(b[i] + prefix, alpha) - std::pow(prefix, alpha);
+  }
+  return lhs;
+}
+
+SmoothnessProbe probe_polynomial_smoothness(double alpha, std::size_t trials,
+                                            std::size_t sequence_length,
+                                            std::uint64_t seed) {
+  OSCHED_CHECK_GE(alpha, 1.0);
+  OSCHED_CHECK_GE(sequence_length, 1u);
+  util::Rng rng(seed);
+
+  SmoothnessProbe probe;
+  probe.alpha = alpha;
+  probe.mu = (alpha - 1.0) / alpha;
+  probe.claimed_lambda = std::pow(alpha, alpha - 1.0);
+  probe.trials = trials;
+
+  double required = 0.0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::vector<double> a(sequence_length), b(sequence_length);
+    // Adversarial shapes: mix tiny b against large accumulated a (and vice
+    // versa), plus scale-free log-uniform magnitudes.
+    const int shape = static_cast<int>(rng.uniform_int(0, 3));
+    for (std::size_t i = 0; i < sequence_length; ++i) {
+      const double log_scale = rng.uniform(-3.0, 3.0);
+      const double mag = std::exp(log_scale);
+      switch (shape) {
+        case 0:  // balanced
+          a[i] = mag * rng.next_double();
+          b[i] = mag * rng.next_double();
+          break;
+        case 1:  // b spikes against a flat ramp
+          a[i] = 1.0;
+          b[i] = (i == sequence_length - 1) ? mag * 10.0 : 0.0;
+          break;
+        case 2:  // many small b against one huge early a
+          a[i] = (i == 0) ? mag * 10.0 : 0.0;
+          b[i] = rng.next_double();
+          break;
+        default:  // sparse both
+          a[i] = rng.bernoulli(0.3) ? mag : 0.0;
+          b[i] = rng.bernoulli(0.3) ? mag : 0.0;
+          break;
+      }
+    }
+    double sum_a = 0.0, sum_b = 0.0;
+    for (std::size_t i = 0; i < sequence_length; ++i) {
+      sum_a += a[i];
+      sum_b += b[i];
+    }
+    if (sum_b <= 0.0) continue;
+    const double lhs = smooth_inequality_lhs(a, b, alpha);
+    const double needed =
+        (lhs - probe.mu * std::pow(sum_a, alpha)) / std::pow(sum_b, alpha);
+    required = std::max(required, needed);
+  }
+  probe.required_lambda = required;
+  return probe;
+}
+
+}  // namespace osched

@@ -1,0 +1,42 @@
+// Definition 1 / smooth-inequality probe for polynomial power functions.
+//
+// The proof of Theorem 3 uses the smooth inequality of Cohen, Durr and
+// Thang [18]: for non-negative sequences {a_i}, {b_i} and alpha >= 1,
+//   sum_i [ (b_i + A_i)^alpha - A_i^alpha ]
+//     <= lambda(alpha) (sum_i b_i)^alpha + mu(alpha) (sum_i a_i)^alpha,
+// with A_i = a_1 + ... + a_i, mu(alpha) = (alpha-1)/alpha and
+// lambda(alpha) = Theta(alpha^{alpha-1}).
+//
+// The probe stresses the inequality on adversarially shaped random
+// sequences and reports the smallest lambda that would have sufficed given
+// mu = (alpha-1)/alpha — the empirical companion to the alpha^alpha ratio
+// (experiment E10).
+#pragma once
+
+#include <cstdint>
+
+#include "instance/power.hpp"
+
+namespace osched {
+
+struct SmoothnessProbe {
+  double alpha = 0.0;
+  double mu = 0.0;               ///< (alpha-1)/alpha, fixed
+  double required_lambda = 0.0;  ///< max over trials of the implied lambda
+  double claimed_lambda = 0.0;   ///< alpha^{alpha-1}
+  std::size_t trials = 0;
+
+  bool within_claim(double slack = 1.0) const {
+    return required_lambda <= slack * claimed_lambda;
+  }
+};
+
+SmoothnessProbe probe_polynomial_smoothness(double alpha, std::size_t trials,
+                                            std::size_t sequence_length,
+                                            std::uint64_t seed);
+
+/// Direct evaluation of the smooth-inequality left-hand side.
+double smooth_inequality_lhs(const std::vector<double>& a,
+                             const std::vector<double>& b, double alpha);
+
+}  // namespace osched

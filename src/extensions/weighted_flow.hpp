@@ -1,0 +1,62 @@
+// EXTENSION (not in the paper): online non-preemptive WEIGHTED total
+// flow-time minimization with rejections.
+//
+// The paper proves Theorem 1 for unit weights and handles weights only
+// jointly with energy (Theorem 2); pure weighted non-preemptive flow time is
+// exactly the regime where [2] (Chekuri–Khanna–Zhu) shows an Omega(n) lower
+// bound without relaxations, and the paper's conclusion names such
+// extensions as the open direction. This module transplants the paper's
+// machinery to that setting:
+//
+//   * pending order: highest density first (delta_ij = w_j / p_ij, the order
+//     Theorem 2 uses), ties by earliest release then id;
+//   * dispatch: argmin_i lambda_ij with the weighted marginal estimate
+//       lambda_ij = w_j p_ij / eps + w_j sum_{l <= j} p_il
+//                   + p_ij sum_{l > j} w_l,
+//     the unit-speed specialization of Theorem 2's lambda;
+//   * Rule 1w (Theorem 2's rejection rule at unit speed): a counter v_k
+//     accumulates the WEIGHT dispatched to the machine during job k's
+//     execution; k is interrupted and rejected the first time v_k > w_k/eps.
+//     Each rejection charges w_k <= eps * (weight arrived during k), and the
+//     charged windows are disjoint, so rejected weight <= eps * W.
+//   * Rule 2w (new, budget-safe generalization of Rule 2): a per-machine
+//     counter c_i accumulates all dispatched weight since its last reset;
+//     whenever c_i >= w_v / eps, where v is the pending job with the largest
+//     processing time, v is rejected and c_i resets. At the firing moment
+//     w_v <= eps * c_i, and the windows are again disjoint, so Rule 2w also
+//     rejects at most eps * W of weight — total budget 2 * eps * W, matching
+//     Theorem 1's shape. With unit weights it degenerates to "reject the
+//     largest pending every ~1/eps dispatches", i.e. the paper's Rule 2.
+//
+// NO competitive-ratio theorem is claimed here. The E14 experiment measures
+// the policy against the weighted time-indexed LP certificate
+// (lp/flow_time_lp.hpp with use_weights) and the classical no-rejection
+// baselines; DESIGN.md records it as an extension.
+#pragma once
+
+#include <cstdint>
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+struct WeightedFlowOptions {
+  /// Rejection parameter in (0, 1); the budget is 2*eps of total weight.
+  double epsilon = 0.2;
+  /// Ablation switches, mirroring the Theorem 1 scheduler's.
+  bool enable_rule1 = true;
+  bool enable_rule2 = true;
+};
+
+struct WeightedFlowResult {
+  Schedule schedule;
+  std::size_t rule1_rejections = 0;
+  std::size_t rule2_rejections = 0;
+  Weight rejected_weight = 0.0;
+};
+
+WeightedFlowResult run_weighted_rejection_flow(
+    const Instance& instance, const WeightedFlowOptions& options = {});
+
+}  // namespace osched

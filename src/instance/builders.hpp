@@ -1,0 +1,52 @@
+// Convenience construction of instances.
+//
+// InstanceBuilder accumulates jobs together with their per-machine
+// processing entries and produces a validated Instance. Helper functions
+// cover the common identical-machine and single-machine cases used
+// throughout the tests and the lower-bound constructions.
+#pragma once
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "instance/instance.hpp"
+
+namespace osched {
+
+class InstanceBuilder {
+ public:
+  explicit InstanceBuilder(std::size_t num_machines)
+      : num_machines_(num_machines), processing_(num_machines) {}
+
+  /// Adds a job with machine-dependent processing entries (size must equal
+  /// num_machines). Returns the builder-local job index (pre-sort id).
+  InstanceBuilder& add_job(Time release, std::vector<Work> processing,
+                           Weight weight = 1.0, Time deadline = kTimeInfinity);
+
+  /// Adds a job with the same processing time on every machine.
+  InstanceBuilder& add_identical_job(Time release, Work processing,
+                                     Weight weight = 1.0,
+                                     Time deadline = kTimeInfinity);
+
+  std::size_t num_jobs() const { return jobs_.size(); }
+
+  /// Finalizes; aborts (OSCHED_CHECK) if the instance is structurally
+  /// invalid, since builder misuse is a programming error.
+  Instance build() const;
+
+ private:
+  std::size_t num_machines_;
+  std::vector<Job> jobs_;
+  std::vector<std::vector<Work>> processing_;  // [machine][job]
+};
+
+/// n jobs on a single machine: (release, processing) pairs.
+Instance single_machine_instance(
+    const std::vector<std::pair<Time, Work>>& jobs);
+
+/// Weighted single-machine: (release, processing, weight).
+Instance single_machine_weighted_instance(
+    const std::vector<std::tuple<Time, Work, Weight>>& jobs);
+
+}  // namespace osched

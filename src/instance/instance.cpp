@@ -1,0 +1,104 @@
+#include "instance/instance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace osched {
+
+Instance::Instance(std::vector<Job> jobs,
+                   std::vector<std::vector<Work>> processing)
+    : jobs_(std::move(jobs)), processing_(std::move(processing)) {
+  for (const auto& row : processing_) {
+    OSCHED_CHECK_EQ(row.size(), jobs_.size())
+        << "processing matrix row width must equal the number of jobs";
+  }
+
+  // Sort jobs by (release, id) and renumber, permuting matrix columns to
+  // match. Release order is the order the online algorithms see arrivals.
+  std::vector<std::size_t> perm(jobs_.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs_[a].release != jobs_[b].release)
+      return jobs_[a].release < jobs_[b].release;
+    return jobs_[a].id < jobs_[b].id;
+  });
+
+  std::vector<Job> sorted_jobs(jobs_.size());
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+    sorted_jobs[pos] = jobs_[perm[pos]];
+    sorted_jobs[pos].id = static_cast<JobId>(pos);
+  }
+  jobs_ = std::move(sorted_jobs);
+
+  for (auto& row : processing_) {
+    std::vector<Work> sorted_row(row.size());
+    for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+      sorted_row[pos] = row[perm[pos]];
+    }
+    row = std::move(sorted_row);
+  }
+}
+
+Work Instance::min_processing(JobId j) const {
+  Work best = kTimeInfinity;
+  for (std::size_t i = 0; i < processing_.size(); ++i) {
+    best = std::min(best, processing(static_cast<MachineId>(i), j));
+  }
+  return best;
+}
+
+double Instance::processing_spread() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& row : processing_) {
+    for (Work p : row) {
+      if (p < kTimeInfinity) {
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+      }
+    }
+  }
+  if (hi == 0.0) return 1.0;
+  return hi / lo;
+}
+
+Weight Instance::total_weight() const {
+  Weight total = 0.0;
+  for (const Job& job : jobs_) total += job.weight;
+  return total;
+}
+
+std::string Instance::validate() const {
+  std::ostringstream problems;
+  if (processing_.empty()) problems << "no machines; ";
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const Job& job = jobs_[j];
+    if (job.release < 0.0) {
+      problems << "job " << j << " has negative release; ";
+    }
+    if (job.weight <= 0.0) {
+      problems << "job " << j << " has non-positive weight; ";
+    }
+    if (job.deadline <= job.release) {
+      problems << "job " << j << " has deadline <= release; ";
+    }
+    bool any_eligible = false;
+    for (std::size_t i = 0; i < processing_.size(); ++i) {
+      const Work p = processing_[i][j];
+      if (p < kTimeInfinity) {
+        any_eligible = true;
+        if (p <= 0.0) {
+          problems << "p[" << i << "][" << j << "] is non-positive; ";
+        }
+      }
+    }
+    if (!processing_.empty() && !any_eligible) {
+      problems << "job " << j << " has no eligible machine; ";
+    }
+  }
+  return problems.str();
+}
+
+}  // namespace osched

@@ -1,0 +1,63 @@
+// Unrelated-machines problem instance.
+//
+// Stores the jobs (sorted by release time; ties by id) and the dense
+// p_ij matrix of per-machine processing requirements. A processing entry of
+// +infinity means "job j cannot run on machine i" (restricted assignment).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "instance/job.hpp"
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace osched {
+
+class Instance {
+ public:
+  Instance() = default;
+
+  /// `processing[i][j]` is p_ij; every row must have `jobs.size()` entries.
+  /// Jobs are re-sorted by (release, id) and re-numbered 0..n-1; the matrix
+  /// columns are permuted accordingly, so callers can build in any order.
+  Instance(std::vector<Job> jobs, std::vector<std::vector<Work>> processing);
+
+  std::size_t num_jobs() const { return jobs_.size(); }
+  std::size_t num_machines() const { return processing_.size(); }
+
+  const Job& job(JobId j) const {
+    OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
+    return jobs_[static_cast<std::size_t>(j)];
+  }
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  Work processing(MachineId i, JobId j) const {
+    OSCHED_CHECK(i >= 0 && static_cast<std::size_t>(i) < processing_.size());
+    OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
+    return processing_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  }
+
+  bool eligible(MachineId i, JobId j) const {
+    return processing(i, j) < kTimeInfinity;
+  }
+
+  /// min_i p_ij — the fastest any machine can serve j. Used by lower bounds.
+  Work min_processing(JobId j) const;
+
+  /// max p_ij / min p_ij over all finite entries (the paper's Delta).
+  double processing_spread() const;
+
+  Weight total_weight() const;
+
+  /// Structural sanity: n >= 0, every job has at least one eligible machine,
+  /// finite entries positive, releases non-negative, deadlines after release.
+  /// Returns an empty string when valid, else a description of the problem.
+  std::string validate() const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::vector<std::vector<Work>> processing_;  // [machine][job]
+};
+
+}  // namespace osched

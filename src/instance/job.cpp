@@ -1,0 +1,15 @@
+#include "instance/job.hpp"
+
+#include <sstream>
+
+namespace osched {
+
+std::string to_string(const Job& job) {
+  std::ostringstream out;
+  out << "job{id=" << job.id << ", r=" << job.release << ", w=" << job.weight;
+  if (job.has_deadline()) out << ", d=" << job.deadline;
+  out << "}";
+  return out.str();
+}
+
+}  // namespace osched

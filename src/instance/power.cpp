@@ -1,0 +1,29 @@
+#include "instance/power.hpp"
+
+#include <sstream>
+
+namespace osched {
+
+std::string PolynomialPower::name() const {
+  std::ostringstream out;
+  out << "P(s)=";
+  if (coefficient_ != 1.0) out << coefficient_ << "*";
+  out << "s^" << alpha_;
+  return out.str();
+}
+
+SmoothnessParams polynomial_smoothness(double alpha) {
+  OSCHED_CHECK_GE(alpha, 1.0);
+  // mu(alpha) = (alpha-1)/alpha as in the proof of Theorem 3.
+  // lambda(alpha): the smooth inequality of Cohen–Durr–Thang holds with
+  // lambda = Theta(alpha^{alpha-1}); alpha^{alpha-1} itself is the witness
+  // the paper's ratio alpha^alpha = lambda/(1-mu) corresponds to:
+  //   lambda/(1-mu) = alpha^{alpha-1} / (1/alpha) = alpha^alpha.
+  return SmoothnessParams{std::pow(alpha, alpha - 1.0), (alpha - 1.0) / alpha};
+}
+
+double theorem3_ratio_bound(double alpha) {
+  return std::pow(alpha, alpha);
+}
+
+}  // namespace osched

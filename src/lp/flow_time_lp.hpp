@@ -1,0 +1,94 @@
+// The paper's time-indexed linear program for total flow time (section 2),
+// discretized and solved exactly with the in-repo simplex.
+//
+// Continuous primal (relaxed):
+//   min  sum_{i,j} ∫_{r_j}^∞ ((t - r_j)/p_ij + 1) x_ij(t) dt
+//   s.t. sum_i ∫ x_ij(t)/p_ij dt >= 1      for every job j   (complete[j])
+//        sum_j x_ij(t) <= 1                for every i, t    (capacity)
+//        x_ij(t) >= 0.
+//
+// Discretization: the horizon is cut at every release time and refined to at
+// most `target_intervals` cells; variable y[i][j][k] is the amount of time
+// machine i spends on job j inside cell k (cells never straddle a release,
+// so y is only created for cells starting at or after r_j). With the cost
+// coefficient evaluated at the CELL START, every feasible continuous
+// solution maps to a discrete solution of no greater cost, so
+//
+//   LP_discrete <= LP_continuous <= 2 * OPT_nonpreemptive
+//
+// and lower_bound() = LP_discrete / 2 is a certified lower bound on the
+// optimal non-preemptive total flow time — the strongest certificate in the
+// repository for multi-machine instances (the Theorem 1 scheduler's own dual
+// objective is a feasible point of this LP's dual, hence never larger).
+// Refining the grid only raises the discrete optimum.
+//
+// The row duals are the paper's dual variables: lambda_j from complete[j]
+// and beta_i(t) (per cell, <= 0 in solver convention; the paper's beta is
+// its negation) from the capacity rows — letting experiments compare the
+// ALGORITHM's dual assignment against the OPTIMAL dual point.
+#pragma once
+
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "lp/simplex.hpp"
+
+namespace osched::lp {
+
+struct FlowLpOptions {
+  /// Upper limit on the number of grid cells (the release breakpoints are
+  /// always kept; refinement splits long cells until the budget is used).
+  std::size_t target_intervals = 64;
+  /// Cost coefficients at cell starts give the certified lower bound
+  /// (default). Midpoint coefficients estimate the continuous LP better but
+  /// certify nothing; they exist for the tightness experiment only.
+  bool midpoint_costs = false;
+  /// Weighted objective: coefficients w_j ((t - r_j)/p_ij + 1). The same
+  /// factor-2 argument applies verbatim (both the fractional weighted flow
+  /// and w_j p_ij lower-bound job j's weighted flow), so lower_bound
+  /// certifies the optimal weighted total flow. Off = unit weights (the
+  /// Theorem 1 objective) regardless of the instance's weights.
+  bool use_weights = false;
+  SimplexOptions simplex{};
+};
+
+struct FlowLpCell {
+  Time begin = 0.0;
+  Time end = 0.0;
+  Time length() const { return end - begin; }
+};
+
+struct FlowLpResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Optimal value of the discretized LP.
+  double lp_objective = 0.0;
+  /// Certified lower bound on OPT (= lp_objective / 2) when status is
+  /// optimal and midpoint_costs was false; 0 otherwise.
+  double lower_bound = 0.0;
+  /// Dual of complete[j] (the paper's lambda_j), one per job.
+  std::vector<double> lambda;
+  /// Dual of capacity[i][k] per machine x cell (solver sign: <= 0; the
+  /// paper's beta_i(t) = -beta[i][k]).
+  std::vector<std::vector<double>> beta;
+  /// The time grid used.
+  std::vector<FlowLpCell> cells;
+  /// y[i][j] summed over cells: total time machine i works on j in the
+  /// fractional optimum.
+  std::vector<std::vector<double>> machine_time;
+
+  std::size_t num_columns = 0;
+  std::size_t num_rows = 0;
+  std::size_t iterations = 0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Builds and solves the discretized flow LP. Requires a valid instance.
+FlowLpResult solve_flow_time_lp(const Instance& instance,
+                                const FlowLpOptions& options = {});
+
+/// The grid the solver would use (exposed for tests).
+std::vector<FlowLpCell> make_flow_lp_grid(const Instance& instance,
+                                          std::size_t target_intervals);
+
+}  // namespace osched::lp

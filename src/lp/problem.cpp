@@ -1,0 +1,80 @@
+#include "lp/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osched::lp {
+
+std::size_t LinearProgram::add_column(std::string name, double objective,
+                                      double lower, double upper) {
+  OSCHED_CHECK(!std::isnan(objective));
+  OSCHED_CHECK_LE(lower, upper);
+  OSCHED_CHECK(lower > -kInfinity) << "free/unbounded-below variables are not "
+                                      "needed by this library's models";
+  columns_.push_back(Column{std::move(name), objective, lower, upper});
+  return columns_.size() - 1;
+}
+
+std::size_t LinearProgram::add_row(std::string name, Sense sense, double rhs,
+                                   std::vector<Coefficient> coefficients) {
+  OSCHED_CHECK(!std::isnan(rhs));
+  std::sort(coefficients.begin(), coefficients.end(),
+            [](const Coefficient& a, const Coefficient& b) {
+              return a.column < b.column;
+            });
+  // Merge duplicates, drop explicit zeros.
+  std::vector<Coefficient> merged;
+  merged.reserve(coefficients.size());
+  for (const Coefficient& c : coefficients) {
+    OSCHED_CHECK_LT(c.column, columns_.size())
+        << "row " << name << " references unknown column";
+    if (!merged.empty() && merged.back().column == c.column) {
+      merged.back().value += c.value;
+    } else {
+      merged.push_back(c);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Coefficient& c) { return c.value == 0.0; }),
+               merged.end());
+  rows_.push_back(Row{std::move(name), sense, rhs, std::move(merged)});
+  return rows_.size() - 1;
+}
+
+double LinearProgram::objective_value(const std::vector<double>& x) const {
+  OSCHED_CHECK_EQ(x.size(), columns_.size());
+  double value = 0.0;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    value += columns_[c].objective * x[c];
+  }
+  return value;
+}
+
+double LinearProgram::max_violation(const std::vector<double>& x) const {
+  OSCHED_CHECK_EQ(x.size(), columns_.size());
+  double worst = 0.0;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    worst = std::max(worst, columns_[c].lower - x[c]);
+    if (columns_[c].upper < kInfinity) {
+      worst = std::max(worst, x[c] - columns_[c].upper);
+    }
+  }
+  for (const Row& row : rows_) {
+    double lhs = 0.0;
+    for (const Coefficient& c : row.coefficients) lhs += c.value * x[c.column];
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        worst = std::max(worst, lhs - row.rhs);
+        break;
+      case Sense::kGreaterEqual:
+        worst = std::max(worst, row.rhs - lhs);
+        break;
+      case Sense::kEqual:
+        worst = std::max(worst, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace osched::lp

@@ -1,0 +1,94 @@
+// Linear-program builder.
+//
+// A thin, explicit model of   min c'x  s.t.  row_lo <= Ax <= row_hi,
+// lo <= x <= hi   with named rows and columns. The builder keeps the
+// instance-level structure (sparse rows) and hands the solver a normalized
+// standard form; names survive so duals and solutions can be reported
+// against the modelling vocabulary ("complete[j]", "capacity[i,k]") rather
+// than raw indices.
+//
+// This exists because the paper's entire analysis is LP duality: the
+// time-indexed flow LP of section 2 is not just an analysis device here but
+// an executable artifact (lp/flow_time_lp.hpp) whose exact optimum certifies
+// lower bounds for the experiments. No external solver dependency is
+// acceptable for that role, so the repository carries its own simplex.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace osched::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One nonzero of a constraint row.
+struct Coefficient {
+  std::size_t column = 0;
+  double value = 0.0;
+};
+
+enum class Sense {
+  kLessEqual,     ///< a'x <= rhs
+  kGreaterEqual,  ///< a'x >= rhs
+  kEqual,         ///< a'x == rhs
+};
+
+struct Row {
+  std::string name;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+  std::vector<Coefficient> coefficients;
+};
+
+struct Column {
+  std::string name;
+  double objective = 0.0;
+  double lower = 0.0;
+  double upper = kInfinity;
+};
+
+/// Minimization LP. Columns and rows are appended once; the solver reads the
+/// finished problem. All indices are dense and stable.
+class LinearProgram {
+ public:
+  /// Adds a variable with bounds [lower, upper] and objective coefficient c.
+  /// Returns its column index.
+  std::size_t add_column(std::string name, double objective, double lower = 0.0,
+                         double upper = kInfinity);
+
+  /// Adds a constraint. Coefficients may arrive in any column order;
+  /// duplicate columns are summed. Returns the row index.
+  std::size_t add_row(std::string name, Sense sense, double rhs,
+                      std::vector<Coefficient> coefficients);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  const Column& column(std::size_t c) const {
+    OSCHED_CHECK_LT(c, columns_.size());
+    return columns_[c];
+  }
+  const Row& row(std::size_t r) const {
+    OSCHED_CHECK_LT(r, rows_.size());
+    return rows_[r];
+  }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Objective value of a given point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Largest violation of any row/bound at x; 0 means feasible. Used by
+  /// tests and by callers that want to double-check a reported solution.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace osched::lp

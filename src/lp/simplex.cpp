@@ -1,0 +1,376 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osched::lp {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Dense tableau: `rows` constraint rows over `cols` columns plus rhs.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * (cols + 1), 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * (cols_ + 1) + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * (cols_ + 1) + c]; }
+  double& rhs(std::size_t r) { return data_[r * (cols_ + 1) + cols_]; }
+  double rhs(std::size_t r) const { return data_[r * (cols_ + 1) + cols_]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Gauss–Jordan step: make column `pc` a unit vector with 1 in row `pr`.
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = at(pr, pc);
+    const double inv = 1.0 / p;
+    for (std::size_t c = 0; c <= cols_; ++c) data_[pr * (cols_ + 1) + c] *= inv;
+    at(pr, pc) = 1.0;  // exact
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (factor == 0.0) continue;
+      double* dst = &data_[r * (cols_ + 1)];
+      const double* src = &data_[pr * (cols_ + 1)];
+      for (std::size_t c = 0; c <= cols_; ++c) dst[c] -= factor * src[c];
+      at(r, pc) = 0.0;  // exact
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+struct StandardForm {
+  Tableau tableau{0, 0};
+  std::vector<double> cost;           ///< phase-2 cost per tableau column
+  std::vector<bool> artificial;       ///< per tableau column
+  std::vector<std::size_t> basis;     ///< per row: basic column
+  std::vector<std::size_t> reader;    ///< per row: +1 unit column for duals
+  std::vector<double> row_sign;       ///< original-row dual sign (flip = -1)
+  std::size_t num_original_columns = 0;
+  std::size_t num_original_rows = 0;
+  double objective_constant = 0.0;    ///< c'lo from the bound shift
+};
+
+StandardForm build_standard_form(const LinearProgram& problem) {
+  const std::size_t n = problem.num_columns();
+
+  // Row set: original rows then one row per finite upper bound.
+  struct RawRow {
+    Sense sense;
+    double rhs;
+    const std::vector<Coefficient>* coefficients;  // nullptr for bound rows
+    std::size_t bound_column = 0;
+  };
+  std::vector<RawRow> raw;
+  raw.reserve(problem.num_rows());
+  for (const Row& row : problem.rows()) {
+    raw.push_back(RawRow{row.sense, row.rhs, &row.coefficients});
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const Column& col = problem.column(c);
+    if (col.upper < kInfinity) {
+      raw.push_back(RawRow{Sense::kLessEqual, col.upper - col.lower, nullptr, c});
+    }
+  }
+  const std::size_t m = raw.size();
+
+  StandardForm sf;
+  sf.num_original_columns = n;
+  sf.num_original_rows = problem.num_rows();
+  sf.row_sign.assign(m, 1.0);
+
+  // Shift columns to lower bound zero; fold the shift into each rhs.
+  std::vector<double> shifted_rhs(m);
+  std::vector<Sense> sense(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    double rhs = raw[r].rhs;
+    if (raw[r].coefficients != nullptr) {
+      for (const Coefficient& coef : *raw[r].coefficients) {
+        rhs -= coef.value * problem.column(coef.column).lower;
+      }
+    }
+    shifted_rhs[r] = rhs;
+    sense[r] = raw[r].sense;
+    if (rhs < 0.0) {  // normalize rhs >= 0; flips the sense and the dual sign
+      shifted_rhs[r] = -rhs;
+      sf.row_sign[r] = -1.0;
+      if (sense[r] == Sense::kLessEqual) {
+        sense[r] = Sense::kGreaterEqual;
+      } else if (sense[r] == Sense::kGreaterEqual) {
+        sense[r] = Sense::kLessEqual;
+      }
+    }
+  }
+
+  // Column layout: structurals, then per-row slack/surplus, then artificials.
+  std::size_t extra = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    extra += sense[r] == Sense::kEqual ? 1 : (sense[r] == Sense::kGreaterEqual ? 2 : 1);
+  }
+  const std::size_t total = n + extra;
+  sf.tableau = Tableau(m, total);
+  sf.cost.assign(total, 0.0);
+  sf.artificial.assign(total, false);
+  sf.basis.assign(m, 0);
+  sf.reader.assign(m, 0);
+
+  for (std::size_t c = 0; c < n; ++c) {
+    sf.cost[c] = problem.column(c).objective;
+    sf.objective_constant += problem.column(c).objective * problem.column(c).lower;
+  }
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const double sign = sf.row_sign[r];
+    if (raw[r].coefficients != nullptr) {
+      for (const Coefficient& coef : *raw[r].coefficients) {
+        sf.tableau.at(r, coef.column) = sign * coef.value;
+      }
+    } else {
+      sf.tableau.at(r, raw[r].bound_column) = sign * 1.0;
+    }
+    sf.tableau.rhs(r) = shifted_rhs[r];
+  }
+
+  std::size_t next = n;
+  for (std::size_t r = 0; r < m; ++r) {
+    switch (sense[r]) {
+      case Sense::kLessEqual: {
+        sf.tableau.at(r, next) = 1.0;  // slack; initial basic
+        sf.basis[r] = next;
+        sf.reader[r] = next;
+        ++next;
+        break;
+      }
+      case Sense::kGreaterEqual: {
+        sf.tableau.at(r, next) = -1.0;  // surplus
+        ++next;
+        sf.tableau.at(r, next) = 1.0;  // artificial; initial basic
+        sf.artificial[next] = true;
+        sf.basis[r] = next;
+        sf.reader[r] = next;
+        ++next;
+        break;
+      }
+      case Sense::kEqual: {
+        sf.tableau.at(r, next) = 1.0;  // artificial; initial basic
+        sf.artificial[next] = true;
+        sf.basis[r] = next;
+        sf.reader[r] = next;
+        ++next;
+        break;
+      }
+    }
+  }
+  OSCHED_CHECK_EQ(next, total);
+  return sf;
+}
+
+/// Reduced-cost row d_j = c_j - c_B' B^{-1} A_j, priced from scratch against
+/// the current tableau (columns of the tableau ARE B^{-1} A_j).
+std::vector<double> price(const Tableau& tableau, const std::vector<std::size_t>& basis,
+                          const std::vector<double>& cost) {
+  std::vector<double> reduced(cost);
+  for (std::size_t r = 0; r < tableau.rows(); ++r) {
+    const double cb = cost[basis[r]];
+    if (cb == 0.0) continue;
+    for (std::size_t c = 0; c < tableau.cols(); ++c) {
+      reduced[c] -= cb * tableau.at(r, c);
+    }
+  }
+  return reduced;
+}
+
+double basic_objective(const Tableau& tableau, const std::vector<std::size_t>& basis,
+                       const std::vector<double>& cost) {
+  double value = 0.0;
+  for (std::size_t r = 0; r < tableau.rows(); ++r) {
+    value += cost[basis[r]] * tableau.rhs(r);
+  }
+  return value;
+}
+
+struct PhaseOutcome {
+  SolveStatus status = SolveStatus::kOptimal;
+  std::size_t iterations = 0;
+};
+
+/// Runs simplex pivots until optimality for the given cost vector.
+/// `allowed(c)` filters entering candidates (phase 2 bans artificials).
+template <typename Allowed>
+PhaseOutcome run_phase(Tableau& tableau, std::vector<std::size_t>& basis,
+                       std::vector<double>& reduced, const std::vector<double>& cost,
+                       const Allowed& allowed, double tol, std::size_t max_iterations,
+                       std::size_t& iterations) {
+  // Dantzig pricing until the objective stalls for `stall_limit` pivots, then
+  // Bland's rule (guaranteed finite under degeneracy).
+  const std::size_t stall_limit = tableau.rows() + 16;
+  std::size_t stall = 0;
+  bool bland = false;
+  double last_objective = basic_objective(tableau, basis, cost);
+
+  PhaseOutcome outcome;
+  while (true) {
+    if (iterations >= max_iterations) {
+      outcome.status = SolveStatus::kIterationLimit;
+      return outcome;
+    }
+
+    // Entering column.
+    std::size_t entering = tableau.cols();
+    if (bland) {
+      for (std::size_t c = 0; c < tableau.cols(); ++c) {
+        if (allowed(c) && reduced[c] < -tol) {
+          entering = c;
+          break;
+        }
+      }
+    } else {
+      double best = -tol;
+      for (std::size_t c = 0; c < tableau.cols(); ++c) {
+        if (allowed(c) && reduced[c] < best) {
+          best = reduced[c];
+          entering = c;
+        }
+      }
+    }
+    if (entering == tableau.cols()) {
+      outcome.status = SolveStatus::kOptimal;
+      return outcome;
+    }
+
+    // Leaving row: min ratio; Bland tie-break by smallest basic column.
+    std::size_t leaving = tableau.rows();
+    double best_ratio = 0.0;
+    for (std::size_t r = 0; r < tableau.rows(); ++r) {
+      const double a = tableau.at(r, entering);
+      if (a <= tol) continue;
+      const double ratio = tableau.rhs(r) / a;
+      if (leaving == tableau.rows() || ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol && basis[r] < basis[leaving])) {
+        leaving = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leaving == tableau.rows()) {
+      outcome.status = SolveStatus::kUnbounded;
+      return outcome;
+    }
+
+    tableau.pivot(leaving, entering);
+    basis[leaving] = entering;
+    reduced = price(tableau, basis, cost);
+    ++iterations;
+    ++outcome.iterations;
+
+    const double objective = basic_objective(tableau, basis, cost);
+    if (objective < last_objective - tol) {
+      stall = 0;
+      last_objective = objective;
+    } else if (!bland && ++stall > stall_limit) {
+      bland = true;
+    }
+  }
+}
+
+}  // namespace
+
+SimplexResult solve(const LinearProgram& problem, const SimplexOptions& options) {
+  StandardForm sf = build_standard_form(problem);
+  Tableau& tableau = sf.tableau;
+  const double tol = options.tolerance;
+  const std::size_t max_iterations =
+      options.max_iterations != 0
+          ? options.max_iterations
+          : std::max<std::size_t>(10'000, 50 * (tableau.rows() + tableau.cols()));
+
+  SimplexResult result;
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  bool any_artificial = false;
+  std::vector<double> phase1_cost(tableau.cols(), 0.0);
+  for (std::size_t c = 0; c < tableau.cols(); ++c) {
+    if (sf.artificial[c]) {
+      phase1_cost[c] = 1.0;
+      any_artificial = true;
+    }
+  }
+  if (any_artificial) {
+    std::vector<double> reduced = price(tableau, sf.basis, phase1_cost);
+    const PhaseOutcome outcome =
+        run_phase(tableau, sf.basis, reduced, phase1_cost,
+                  [](std::size_t) { return true; }, tol, max_iterations,
+                  result.iterations);
+    if (outcome.status != SolveStatus::kOptimal) {
+      // Phase 1 is bounded below by 0, so non-optimal means iteration limit.
+      result.status = SolveStatus::kIterationLimit;
+      return result;
+    }
+    const double infeasibility = basic_objective(tableau, sf.basis, phase1_cost);
+    if (infeasibility > 1e-7) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    // Drive any artificial still basic (at value 0) out of the basis where a
+    // non-artificial pivot exists; otherwise the row is redundant and the
+    // artificial harmlessly stays at zero (it is banned from re-entering).
+    for (std::size_t r = 0; r < tableau.rows(); ++r) {
+      if (!sf.artificial[sf.basis[r]]) continue;
+      for (std::size_t c = 0; c < tableau.cols(); ++c) {
+        if (!sf.artificial[c] && std::abs(tableau.at(r, c)) > 1e-7) {
+          tableau.pivot(r, c);
+          sf.basis[r] = c;
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Phase 2: minimize the true objective, artificials banned. ----
+  {
+    std::vector<double> reduced = price(tableau, sf.basis, sf.cost);
+    const auto allowed = [&sf](std::size_t c) { return !sf.artificial[c]; };
+    const PhaseOutcome outcome = run_phase(tableau, sf.basis, reduced, sf.cost,
+                                           allowed, tol, max_iterations,
+                                           result.iterations);
+    result.status = outcome.status;
+    if (outcome.status != SolveStatus::kOptimal) return result;
+
+    // Primal solution (original columns, shifted back).
+    std::vector<double> shifted(tableau.cols(), 0.0);
+    for (std::size_t r = 0; r < tableau.rows(); ++r) {
+      shifted[sf.basis[r]] = tableau.rhs(r);
+    }
+    result.solution.resize(sf.num_original_columns);
+    for (std::size_t c = 0; c < sf.num_original_columns; ++c) {
+      result.solution[c] = problem.column(c).lower + std::max(0.0, shifted[c]);
+    }
+    result.objective = basic_objective(tableau, sf.basis, sf.cost) +
+                       sf.objective_constant;
+
+    // Row duals: each row's reader column is a +1 unit column of that row
+    // with phase-2 cost 0, so its reduced cost equals -y_row; a sign-flipped
+    // row negates the dual of the original row.
+    result.row_duals.resize(sf.num_original_rows);
+    for (std::size_t r = 0; r < sf.num_original_rows; ++r) {
+      result.row_duals[r] = -reduced[sf.reader[r]] * sf.row_sign[r];
+    }
+  }
+  return result;
+}
+
+}  // namespace osched::lp

@@ -1,0 +1,59 @@
+// Two-phase dense primal simplex.
+//
+// Solves the LinearProgram model (min c'x, ranged rows, bounded columns) by
+// reduction to standard form: columns are shifted to lower bound zero, upper
+// bounds become explicit rows, inequality rows get slack/surplus columns,
+// and equality / surplus rows get phase-1 artificials. The tableau is dense
+// — the intended problems (time-indexed flow LPs on experiment-sized
+// instances, unit-test models) have at most a few thousand columns and a few
+// hundred rows, where a dense tableau with Dantzig pricing is both simple to
+// audit and fast enough. Bland's rule kicks in after a stall to guarantee
+// termination under degeneracy.
+//
+// The solver reports the primal solution, the objective, and the dual value
+// of every ORIGINAL row (read off the final reduced costs of the rows'
+// slack/artificial columns), which is what the duality experiments consume:
+// the λ_j / β_i(t) of the paper's flow LP are exactly these row duals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace osched::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* to_string(SolveStatus status);
+
+struct SimplexOptions {
+  /// Pivot cap across both phases; 0 means the solver picks
+  /// max(10000, 50 * (rows + columns)).
+  std::size_t max_iterations = 0;
+  /// Feasibility / optimality tolerance on reduced costs and ratios.
+  double tolerance = 1e-9;
+};
+
+struct SimplexResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  /// Values of the ORIGINAL columns (bounds respected).
+  std::vector<double> solution;
+  /// Dual value per ORIGINAL row. Sign convention: for the minimization
+  /// primal, duals satisfy y >= 0 on >= rows, y <= 0 on <= rows, free on =
+  /// rows, and strong duality holds against the standard-form rhs.
+  std::vector<double> row_duals;
+  std::size_t iterations = 0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+SimplexResult solve(const LinearProgram& problem, const SimplexOptions& options = {});
+
+}  // namespace osched::lp

@@ -1,0 +1,36 @@
+// Objective reports computed from a Schedule + Instance pair.
+#pragma once
+
+#include <string>
+
+#include "instance/instance.hpp"
+#include "instance/power.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+/// Everything the experiment harnesses report about one run.
+struct ObjectiveReport {
+  std::size_t num_jobs = 0;
+  std::size_t num_completed = 0;
+  std::size_t num_rejected = 0;
+  double rejected_fraction = 0.0;         ///< by count
+  double rejected_weight_fraction = 0.0;  ///< by weight
+
+  Time total_flow = 0.0;           ///< includes rejected jobs' partial flow
+  Time completed_flow = 0.0;       ///< completed jobs only
+  Time total_weighted_flow = 0.0;  ///< includes rejected
+  Time max_flow = 0.0;
+  Time makespan = 0.0;
+
+  Energy energy = 0.0;  ///< 0 unless computed with a power function
+  double flow_plus_energy() const { return total_weighted_flow + energy; }
+};
+
+/// Computes the report; pass a power function for speed-scaling problems.
+ObjectiveReport evaluate(const Schedule& schedule, const Instance& instance,
+                         const PowerFunction* power = nullptr);
+
+std::string to_string(const ObjectiveReport& report);
+
+}  // namespace osched

@@ -1,0 +1,38 @@
+#include "metrics/ratio.hpp"
+
+#include <cmath>
+
+namespace osched {
+
+double theorem1_ratio_bound(double eps) {
+  OSCHED_CHECK_GT(eps, 0.0);
+  const double factor = (1.0 + eps) / eps;
+  return 2.0 * factor * factor;
+}
+
+double theorem1_rejection_budget(double eps) {
+  OSCHED_CHECK_GT(eps, 0.0);
+  return 2.0 * eps;
+}
+
+double theorem2_ratio_bound(double eps, double alpha) {
+  OSCHED_CHECK_GT(eps, 0.0);
+  OSCHED_CHECK_GT(alpha, 1.0);
+  // The closed form in the proof of Theorem 2 (with the paper's choice of
+  // gamma) degenerates for alpha <= 2 (its denominator contains
+  // ln(alpha-1)). The stated guarantee is the asymptotic envelope
+  // O((1+1/eps)^{alpha/(alpha-1)}); we report the exact closed form where it
+  // is meaningful and the envelope otherwise.
+  const double envelope = std::pow(1.0 + 1.0 / eps, alpha / (alpha - 1.0));
+  if (alpha > 2.0 + 1e-9) {
+    const double frac = eps / (1.0 + eps);
+    const double numerator = 2.0 + 2.0 * std::pow((1.0 + eps) / eps, 1.0 / (alpha - 1.0)) +
+                             frac * frac;
+    const double denominator =
+        frac * std::log(alpha - 1.0) / (alpha - 1.0 + std::log(alpha - 1.0));
+    if (denominator > 0.0) return numerator / denominator;
+  }
+  return envelope;
+}
+
+}  // namespace osched

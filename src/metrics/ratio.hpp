@@ -1,0 +1,41 @@
+// Competitive-ratio estimation.
+//
+// The true offline OPT is NP-hard at scale, so measured ratios are computed
+// against the strongest available *certified lower bound*. Because the bound
+// never exceeds OPT, the measured ratio ALG/LB upper-bounds ALG/OPT: when the
+// measurement is below the theorem's bound, the theorem's claim is confirmed
+// on that instance (the sound direction for a reproduction).
+#pragma once
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace osched {
+
+struct RatioEstimate {
+  double algorithm_cost = 0.0;
+  double lower_bound = 0.0;  ///< certified LB on OPT (dual/2, witness, or exact)
+  std::string lower_bound_kind;
+
+  double ratio() const {
+    OSCHED_CHECK_GT(lower_bound, 0.0) << "ratio against a zero lower bound";
+    return algorithm_cost / lower_bound;
+  }
+};
+
+/// Theorem 1's bound 2((1+eps)/eps)^2.
+double theorem1_ratio_bound(double eps);
+
+/// Theorem 1's rejection budget: at most 2*eps*n jobs.
+double theorem1_rejection_budget(double eps);
+
+/// Theorem 2's bound: the paper's closed form
+///   (2 + alpha/(gamma(alpha-1)) + gamma^alpha... ) simplified to
+///   O((1+1/eps)^{alpha/(alpha-1)}). We expose the explicit ratio the
+///   paper derives right before choosing gamma:
+///   numerator 2 + 2((1+eps)/eps)^{1/(alpha-1)} + (eps/(1+eps))^2 over
+///   denominator (eps/(1+eps)) * ln(alpha-1)/(alpha-1+ln(alpha-1)).
+double theorem2_ratio_bound(double eps, double alpha);
+
+}  // namespace osched

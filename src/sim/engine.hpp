@@ -1,0 +1,43 @@
+// Online simulation driver.
+//
+// Merges the instance's arrival sequence with the scheduler's own future
+// events (completions, wakeups) and delivers them in time order. At equal
+// times, scheduled events fire BEFORE arrivals: a job arriving exactly when
+// the running job completes sees an idle machine, which matches the paper's
+// convention that a job counts as "dispatched during the execution of k"
+// only at times strictly inside k's execution window.
+#pragma once
+
+#include "instance/instance.hpp"
+#include "sim/event_queue.hpp"
+
+namespace osched {
+
+class SimulationHooks {
+ public:
+  virtual ~SimulationHooks() = default;
+
+  /// A new job is released. The scheduler must dispatch (or reject) it.
+  virtual void on_arrival(JobId job, Time now) = 0;
+
+  /// A scheduler-scheduled event (typically a completion) fires.
+  virtual void on_event(const SimEvent& event, Time now) = 0;
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(const Instance& instance) : instance_(instance) {}
+
+  EventQueue& events() { return events_; }
+  Time now() const { return now_; }
+
+  /// Runs to quiescence: all arrivals delivered and the event queue drained.
+  void run(SimulationHooks& hooks);
+
+ private:
+  const Instance& instance_;
+  EventQueue events_;
+  Time now_ = 0.0;
+};
+
+}  // namespace osched

@@ -1,0 +1,87 @@
+// Cancellable discrete-event queue.
+//
+// Schedulers register future events (job completions, timed wakeups) and may
+// cancel them (e.g. Rule 1 interrupts the running job, voiding its scheduled
+// completion). Cancellation is lazy: cancelled ids are skipped at pop time.
+// Ordering is (time, insertion sequence), so simultaneous events fire in the
+// order they were scheduled — deterministic across runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace osched {
+
+struct SimEvent {
+  Time time = 0.0;
+  std::uint64_t id = 0;
+  MachineId machine = kInvalidMachine;
+  JobId job = kInvalidJob;
+};
+
+class EventQueue {
+ public:
+  /// Schedules an event and returns its cancellation handle.
+  std::uint64_t schedule(Time time, MachineId machine, JobId job) {
+    const std::uint64_t id = next_id_++;
+    heap_.push(SimEvent{time, id, machine, job});
+    ++live_;
+    return id;
+  }
+
+  /// Cancels a previously scheduled event. Cancelling an id twice or after
+  /// it fired is a programming error.
+  void cancel(std::uint64_t id) {
+    OSCHED_CHECK(cancelled_.insert(id).second) << "event " << id << " cancelled twice";
+    OSCHED_CHECK_GT(live_, 0u);
+    --live_;
+  }
+
+  bool empty() const { return live_ == 0; }
+
+  /// Time of the next live event, if any.
+  std::optional<Time> peek_time() {
+    skip_cancelled();
+    if (heap_.empty()) return std::nullopt;
+    return heap_.top().time;
+  }
+
+  /// Pops the next live event. Requires !empty().
+  SimEvent pop() {
+    skip_cancelled();
+    OSCHED_CHECK(!heap_.empty());
+    SimEvent event = heap_.top();
+    heap_.pop();
+    OSCHED_CHECK_GT(live_, 0u);
+    --live_;
+    return event;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace osched

@@ -1,0 +1,202 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace osched {
+
+const char* to_string(JobFate fate) {
+  switch (fate) {
+    case JobFate::kUnscheduled: return "unscheduled";
+    case JobFate::kPending: return "pending";
+    case JobFate::kCompleted: return "completed";
+    case JobFate::kRejectedRunning: return "rejected-running";
+    case JobFate::kRejectedPending: return "rejected-pending";
+  }
+  return "?";
+}
+
+void Schedule::mark_dispatched(JobId j, MachineId machine) {
+  JobRecord& rec = record(j);
+  OSCHED_CHECK(rec.fate == JobFate::kUnscheduled)
+      << "job " << j << " dispatched twice";
+  rec.fate = JobFate::kPending;
+  rec.machine = machine;
+}
+
+void Schedule::mark_started(JobId j, Time start, Speed speed) {
+  JobRecord& rec = record(j);
+  OSCHED_CHECK(rec.fate == JobFate::kPending) << "job " << j << " not pending";
+  OSCHED_CHECK(!rec.started) << "job " << j << " started twice";
+  OSCHED_CHECK_GT(speed, 0.0);
+  rec.started = true;
+  rec.start = start;
+  rec.speed = speed;
+}
+
+void Schedule::mark_completed(JobId j, Time end) {
+  JobRecord& rec = record(j);
+  OSCHED_CHECK(rec.fate == JobFate::kPending && rec.started)
+      << "job " << j << " cannot complete (fate=" << to_string(rec.fate) << ")";
+  rec.fate = JobFate::kCompleted;
+  rec.end = end;
+}
+
+void Schedule::mark_rejected_running(JobId j, Time now) {
+  JobRecord& rec = record(j);
+  OSCHED_CHECK(rec.fate == JobFate::kPending && rec.started)
+      << "job " << j << " is not running";
+  rec.fate = JobFate::kRejectedRunning;
+  rec.end = now;
+  rec.rejection_time = now;
+}
+
+void Schedule::mark_rejected_pending(JobId j, Time now) {
+  JobRecord& rec = record(j);
+  OSCHED_CHECK((rec.fate == JobFate::kPending && !rec.started) ||
+               rec.fate == JobFate::kUnscheduled)
+      << "job " << j << " cannot be queue-rejected";
+  rec.fate = JobFate::kRejectedPending;
+  rec.rejection_time = now;
+}
+
+Time Schedule::flow_time(JobId j, const Instance& instance) const {
+  const JobRecord& rec = record(j);
+  const Time release = instance.job(j).release;
+  switch (rec.fate) {
+    case JobFate::kCompleted:
+      return rec.end - release;
+    case JobFate::kRejectedRunning:
+    case JobFate::kRejectedPending:
+      return rec.rejection_time - release;
+    default:
+      OSCHED_CHECK(false) << "flow_time of unfinished job " << j << " (fate="
+                          << to_string(rec.fate) << ")";
+      return 0.0;
+  }
+}
+
+Time Schedule::total_flow(const Instance& instance, bool include_rejected) const {
+  Time total = 0.0;
+  for (std::size_t j = 0; j < records_.size(); ++j) {
+    const JobRecord& rec = records_[j];
+    if (rec.completed() || (include_rejected && rec.rejected())) {
+      total += flow_time(static_cast<JobId>(j), instance);
+    }
+  }
+  return total;
+}
+
+Time Schedule::total_weighted_flow(const Instance& instance,
+                                   bool include_rejected) const {
+  Time total = 0.0;
+  for (std::size_t j = 0; j < records_.size(); ++j) {
+    const JobRecord& rec = records_[j];
+    if (rec.completed() || (include_rejected && rec.rejected())) {
+      total += instance.job(static_cast<JobId>(j)).weight *
+               flow_time(static_cast<JobId>(j), instance);
+    }
+  }
+  return total;
+}
+
+Time Schedule::max_flow(const Instance& instance, bool include_rejected) const {
+  Time worst = 0.0;
+  for (std::size_t j = 0; j < records_.size(); ++j) {
+    const JobRecord& rec = records_[j];
+    if (rec.completed() || (include_rejected && rec.rejected())) {
+      worst = std::max(worst, flow_time(static_cast<JobId>(j), instance));
+    }
+  }
+  return worst;
+}
+
+std::size_t Schedule::num_completed() const {
+  std::size_t count = 0;
+  for (const JobRecord& rec : records_) count += rec.completed() ? 1 : 0;
+  return count;
+}
+
+std::size_t Schedule::num_rejected() const {
+  std::size_t count = 0;
+  for (const JobRecord& rec : records_) count += rec.rejected() ? 1 : 0;
+  return count;
+}
+
+Weight Schedule::rejected_weight(const Instance& instance) const {
+  Weight total = 0.0;
+  for (std::size_t j = 0; j < records_.size(); ++j) {
+    if (records_[j].rejected()) {
+      total += instance.job(static_cast<JobId>(j)).weight;
+    }
+  }
+  return total;
+}
+
+Time Schedule::makespan() const {
+  Time latest = 0.0;
+  for (const JobRecord& rec : records_) {
+    if (rec.started) latest = std::max(latest, rec.end);
+  }
+  return latest;
+}
+
+namespace {
+
+Energy machine_energy(const Schedule& schedule, const Instance& instance,
+                      MachineId machine, const PowerFunction& power) {
+  // Sweep over speed-change breakpoints. Each started execution on this
+  // machine contributes +speed at its start and -speed at its end; the
+  // energy is the integral of power(sum of active speeds).
+  std::map<Time, Speed> delta;  // time -> speed change
+  for (std::size_t j = 0; j < schedule.num_jobs(); ++j) {
+    const JobRecord& rec = schedule.record(static_cast<JobId>(j));
+    if (rec.machine != machine || !rec.started) continue;
+    if (rec.end <= rec.start) continue;  // zero-length (rejected at start)
+    delta[rec.start] += rec.speed;
+    delta[rec.end] -= rec.speed;
+  }
+  (void)instance;
+
+  Energy total = 0.0;
+  Speed current = 0.0;
+  Time prev = 0.0;
+  bool first = true;
+  for (const auto& [time, change] : delta) {
+    if (!first && current > 0.0) {
+      total += power.power(current) * (time - prev);
+    }
+    current += change;
+    // Clamp tiny negative drift from float cancellation.
+    if (current < 0.0 && current > -1e-9) current = 0.0;
+    OSCHED_CHECK_GE(current, 0.0) << "negative speed profile on machine " << machine;
+    prev = time;
+    first = false;
+  }
+  return total;
+}
+
+}  // namespace
+
+Energy compute_energy(const Schedule& schedule, const Instance& instance,
+                      const PowerFunction& power) {
+  Energy total = 0.0;
+  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+    total += machine_energy(schedule, instance, static_cast<MachineId>(i), power);
+  }
+  return total;
+}
+
+Energy compute_energy(const Schedule& schedule, const Instance& instance,
+                      const std::vector<const PowerFunction*>& powers) {
+  OSCHED_CHECK_EQ(powers.size(), instance.num_machines());
+  Energy total = 0.0;
+  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+    OSCHED_CHECK(powers[i] != nullptr);
+    total +=
+        machine_energy(schedule, instance, static_cast<MachineId>(i), *powers[i]);
+  }
+  return total;
+}
+
+}  // namespace osched

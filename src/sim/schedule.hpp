@@ -1,0 +1,117 @@
+// Schedule record: the single source of truth for what an algorithm did.
+//
+// Every scheduler in the library emits a Schedule. Objectives (flow time,
+// weighted flow time, energy) are recomputed from this record — never taken
+// from a scheduler's internal accounting — and an independent validator
+// (sim/validator.hpp) checks non-preemptive feasibility. This separation is
+// what makes the experimental claims trustworthy: a bug in a scheduler can
+// produce a bad objective value, but not a silently infeasible schedule.
+#pragma once
+
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "instance/power.hpp"
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace osched {
+
+enum class JobFate {
+  /// Never dispatched/decided — only legal mid-simulation.
+  kUnscheduled,
+  /// Dispatched and waiting or running (mid-simulation only).
+  kPending,
+  /// Ran non-preemptively to completion.
+  kCompleted,
+  /// Rejected while running (Rule 1 style interruption).
+  kRejectedRunning,
+  /// Rejected while waiting in a queue (Rule 2 style) or at arrival
+  /// (immediate-rejection policies).
+  kRejectedPending,
+};
+
+const char* to_string(JobFate fate);
+
+struct JobRecord {
+  JobFate fate = JobFate::kUnscheduled;
+  MachineId machine = kInvalidMachine;  ///< machine dispatched to
+  bool started = false;
+  Time start = 0.0;    ///< execution start (valid when started)
+  Speed speed = 1.0;   ///< constant execution speed (1.0 in unit-speed model)
+  Time end = 0.0;      ///< completion, or interruption time when rejected-running
+  Time rejection_time = 0.0;  ///< valid for either rejected fate
+
+  bool rejected() const {
+    return fate == JobFate::kRejectedRunning || fate == JobFate::kRejectedPending;
+  }
+  bool completed() const { return fate == JobFate::kCompleted; }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::size_t num_jobs) : records_(num_jobs) {}
+
+  std::size_t num_jobs() const { return records_.size(); }
+
+  JobRecord& record(JobId j) {
+    OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < records_.size());
+    return records_[static_cast<std::size_t>(j)];
+  }
+  const JobRecord& record(JobId j) const {
+    OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < records_.size());
+    return records_[static_cast<std::size_t>(j)];
+  }
+
+  // ---- Mutation helpers used by schedulers ----
+
+  void mark_dispatched(JobId j, MachineId machine);
+  void mark_started(JobId j, Time start, Speed speed);
+  void mark_completed(JobId j, Time end);
+  /// Rejection of the currently running job (interrupts execution at `now`).
+  void mark_rejected_running(JobId j, Time now);
+  /// Rejection of a job that never started (queue or at-arrival rejection).
+  void mark_rejected_pending(JobId j, Time now);
+
+  // ---- Objective queries (require the paired instance) ----
+
+  /// Flow time of one job: completion − release for completed jobs,
+  /// rejection − release for rejected jobs (the paper's convention: a
+  /// rejected job pays for the time it spent in the system).
+  Time flow_time(JobId j, const Instance& instance) const;
+
+  /// Sum of flow times. When include_rejected is false only completed jobs
+  /// contribute (useful for comparing against no-rejection baselines).
+  Time total_flow(const Instance& instance, bool include_rejected = true) const;
+  Time total_weighted_flow(const Instance& instance,
+                           bool include_rejected = true) const;
+  Time max_flow(const Instance& instance, bool include_rejected = true) const;
+
+  std::size_t num_completed() const;
+  std::size_t num_rejected() const;
+  Weight rejected_weight(const Instance& instance) const;
+
+  /// Latest completion/interruption time across machines.
+  Time makespan() const;
+
+  const std::vector<JobRecord>& records() const { return records_; }
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+/// Total energy of a schedule in the speed-scaling model: per machine, the
+/// speed profile is the SUM of the speeds of concurrently executing jobs
+/// (Theorem 3's model allows parallel execution on one machine; Theorems 1/2
+/// never overlap, in which case this reduces to a per-segment sum), and the
+/// energy is the integral of power(profile).
+Energy compute_energy(const Schedule& schedule, const Instance& instance,
+                      const PowerFunction& power);
+
+/// Per-machine variant with machine-specific power functions (size must
+/// equal instance.num_machines()).
+Energy compute_energy(const Schedule& schedule, const Instance& instance,
+                      const std::vector<const PowerFunction*>& powers);
+
+}  // namespace osched

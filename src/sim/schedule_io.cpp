@@ -1,0 +1,155 @@
+#include "sim/schedule_io.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace osched {
+
+namespace {
+
+const char* fate_token(JobFate fate) {
+  switch (fate) {
+    case JobFate::kUnscheduled: return "unscheduled";
+    case JobFate::kPending: return "pending";
+    case JobFate::kCompleted: return "completed";
+    case JobFate::kRejectedRunning: return "rejected-running";
+    case JobFate::kRejectedPending: return "rejected-pending";
+  }
+  return "?";
+}
+
+JobFate parse_fate(const std::string& token) {
+  if (token == "unscheduled") return JobFate::kUnscheduled;
+  if (token == "pending") return JobFate::kPending;
+  if (token == "completed") return JobFate::kCompleted;
+  if (token == "rejected-running") return JobFate::kRejectedRunning;
+  if (token == "rejected-pending") return JobFate::kRejectedPending;
+  OSCHED_CHECK(false) << "unknown fate token '" << token << "'";
+  return JobFate::kUnscheduled;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void write_schedule_csv(const Schedule& schedule, std::ostream& out) {
+  out << "job,fate,machine,started,start,speed,end,rejection_time\n";
+  const auto precision = out.precision();
+  out << std::setprecision(17);
+  for (std::size_t idx = 0; idx < schedule.num_jobs(); ++idx) {
+    const JobRecord& rec = schedule.record(static_cast<JobId>(idx));
+    out << idx << ',' << fate_token(rec.fate) << ',' << rec.machine << ','
+        << (rec.started ? 1 : 0) << ',' << rec.start << ',' << rec.speed << ','
+        << rec.end << ',' << rec.rejection_time << '\n';
+  }
+  out << std::setprecision(static_cast<int>(precision));
+}
+
+Schedule read_schedule_csv(std::istream& in) {
+  std::string line;
+  OSCHED_CHECK(static_cast<bool>(std::getline(in, line))) << "empty schedule CSV";
+  OSCHED_CHECK(line.rfind("job,", 0) == 0) << "missing schedule CSV header";
+
+  std::vector<JobRecord> records;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    OSCHED_CHECK_EQ(fields.size(), 8u) << "malformed schedule row: " << line;
+    const auto job = static_cast<std::size_t>(std::stoull(fields[0]));
+    OSCHED_CHECK_EQ(job, records.size()) << "schedule rows out of order";
+    JobRecord rec;
+    rec.fate = parse_fate(fields[1]);
+    rec.machine = static_cast<MachineId>(std::stol(fields[2]));
+    rec.started = fields[3] == "1";
+    rec.start = std::stod(fields[4]);
+    rec.speed = std::stod(fields[5]);
+    rec.end = std::stod(fields[6]);
+    rec.rejection_time = std::stod(fields[7]);
+    records.push_back(rec);
+  }
+  Schedule schedule(records.size());
+  for (std::size_t idx = 0; idx < records.size(); ++idx) {
+    schedule.record(static_cast<JobId>(idx)) = records[idx];
+  }
+  return schedule;
+}
+
+std::vector<std::string> diff_schedules(const Schedule& a, const Schedule& b,
+                                        const ScheduleDiffOptions& options) {
+  std::vector<std::string> differences;
+  const auto add = [&differences, &options](std::string message) {
+    if (options.max_differences == 0 ||
+        differences.size() < options.max_differences) {
+      differences.push_back(std::move(message));
+    }
+  };
+  const auto full = [&differences, &options] {
+    return options.max_differences != 0 &&
+           differences.size() >= options.max_differences;
+  };
+
+  if (a.num_jobs() != b.num_jobs()) {
+    add("job counts differ: " + std::to_string(a.num_jobs()) + " vs " +
+        std::to_string(b.num_jobs()));
+    return differences;
+  }
+
+  const double tol = options.time_tolerance;
+  const auto time_differs = [tol](Time x, Time y) {
+    return std::abs(x - y) > tol;
+  };
+  for (std::size_t idx = 0; idx < a.num_jobs() && !full(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const JobRecord& ra = a.record(j);
+    const JobRecord& rb = b.record(j);
+    const std::string prefix = "job " + std::to_string(idx) + ": ";
+    if (ra.fate != rb.fate) {
+      add(prefix + "fate " + fate_token(ra.fate) + " vs " + fate_token(rb.fate));
+      continue;  // remaining fields are not comparable across fates
+    }
+    if (ra.machine != rb.machine) {
+      add(prefix + "machine " + std::to_string(ra.machine) + " vs " +
+          std::to_string(rb.machine));
+    }
+    if (ra.started != rb.started) {
+      add(prefix + "started " + std::to_string(ra.started) + " vs " +
+          std::to_string(rb.started));
+    }
+    if (ra.started && rb.started && time_differs(ra.start, rb.start)) {
+      std::ostringstream msg;
+      msg << prefix << "start " << ra.start << " vs " << rb.start;
+      add(msg.str());
+    }
+    if (ra.started && rb.started && std::abs(ra.speed - rb.speed) > tol) {
+      std::ostringstream msg;
+      msg << prefix << "speed " << ra.speed << " vs " << rb.speed;
+      add(msg.str());
+    }
+    if (ra.started && rb.started && time_differs(ra.end, rb.end)) {
+      std::ostringstream msg;
+      msg << prefix << "end " << ra.end << " vs " << rb.end;
+      add(msg.str());
+    }
+    if (ra.rejected() && rb.rejected() &&
+        time_differs(ra.rejection_time, rb.rejection_time)) {
+      std::ostringstream msg;
+      msg << prefix << "rejection_time " << ra.rejection_time << " vs "
+          << rb.rejection_time;
+      add(msg.str());
+    }
+  }
+  return differences;
+}
+
+}  // namespace osched

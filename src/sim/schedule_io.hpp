@@ -1,0 +1,44 @@
+// Schedule serialization and diffing.
+//
+// A Schedule is the single source of truth for what an algorithm did, so it
+// should be storable and comparable like any other experiment artifact:
+//   * write_schedule_csv / read_schedule_csv — lossless round trip of every
+//     JobRecord field, for archiving runs next to their workload traces
+//     (the trace workbench's --dump flag) and for cross-version regression
+//     pinning;
+//   * diff_schedules — field-by-field comparison with a time tolerance,
+//     returning human-readable discrepancies. Used by determinism tests
+//     (same seed => byte-equal decisions) and for comparing two policies'
+//     treatment of the same instance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+/// CSV columns: job, fate, machine, started, start, speed, end,
+/// rejection_time. One row per job, in job-id order, with a header.
+void write_schedule_csv(const Schedule& schedule, std::ostream& out);
+
+/// Parses the write_schedule_csv format. Aborts (OSCHED_CHECK) on malformed
+/// input — schedules are machine-written artifacts, not user input.
+Schedule read_schedule_csv(std::istream& in);
+
+struct ScheduleDiffOptions {
+  /// Times within this tolerance compare equal.
+  double time_tolerance = 1e-9;
+  /// Stop after this many reported differences (0 = unlimited).
+  std::size_t max_differences = 0;
+};
+
+/// Human-readable differences ("job 3: fate completed vs rejected-running",
+/// "job 5: start 2.5 vs 2.75"); empty means the schedules agree on every
+/// record.
+std::vector<std::string> diff_schedules(const Schedule& a, const Schedule& b,
+                                        const ScheduleDiffOptions& options = {});
+
+}  // namespace osched

@@ -1,0 +1,39 @@
+// Independent feasibility validator for schedules.
+//
+// The validator re-derives feasibility from the Schedule record and the
+// Instance alone; it shares no state with any scheduler. Tests run every
+// scheduler's output through it, so an algorithmic bug cannot masquerade as
+// a good objective value on an infeasible schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched {
+
+struct ValidationOptions {
+  /// Theorem 3's model allows several jobs to execute concurrently on one
+  /// machine (speeds add). Theorems 1/2 do not.
+  bool allow_parallel_execution = false;
+  /// Require completed jobs to meet their deadlines (Theorem 3 setting).
+  bool require_deadlines = false;
+  /// Require every job to be either completed or rejected (end of run).
+  bool require_all_decided = true;
+  /// In the unit-speed model (Theorem 1) completed jobs must occupy exactly
+  /// p_ij time; in speed-scaling, exactly p_ij / speed.
+  double tolerance = 1e-6;
+};
+
+/// Returns a list of human-readable violations; empty means feasible.
+std::vector<std::string> validate_schedule(const Schedule& schedule,
+                                           const Instance& instance,
+                                           const ValidationOptions& options = {});
+
+/// Convenience for tests: aborts with the first violation.
+void check_schedule(const Schedule& schedule, const Instance& instance,
+                    const ValidationOptions& options = {});
+
+}  // namespace osched

@@ -1,0 +1,211 @@
+// Order-statistic treap augmented with subtree weight sums.
+//
+// The flow-time algorithm (Theorem 1) keeps each machine's pending jobs in
+// shortest-processing-time order and, per arrival, needs
+//   sum of p_il over pending jobs ordered before j, and
+//   the count of pending jobs ordered after j,
+// to evaluate the dispatch quantity lambda_ij on every machine. This treap
+// answers both in O(log n) via (count, weight) subtree augmentation, and
+// also serves the scheduling policy (pop smallest) and Rule 2 (find
+// largest). Priorities come from a deterministic SplitMix64 stream so runs
+// are exactly reproducible.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace osched::util {
+
+/// Key must be strictly-totally-ordered by operator< (ties must be broken
+/// inside the key, e.g. by job id). WeightFn: double operator()(const Key&).
+template <typename Key, typename WeightFn>
+class AugmentedTreap {
+ public:
+  struct PrefixStats {
+    std::size_t count = 0;  ///< number of keys strictly less
+    double weight = 0.0;    ///< total weight of keys strictly less
+  };
+
+  explicit AugmentedTreap(WeightFn weight_fn = WeightFn{},
+                          std::uint64_t seed = 0x5eed5eedULL)
+      : weight_fn_(std::move(weight_fn)), prio_state_(seed) {}
+
+  std::size_t size() const { return root_ ? root_->count : 0; }
+  bool empty() const { return !root_; }
+  double total_weight() const { return root_ ? root_->weight_sum : 0.0; }
+
+  /// Inserts a key; aborts on duplicates (keys must be unique).
+  void insert(const Key& key) {
+    auto [less, geq] = split(std::move(root_), key);
+    OSCHED_CHECK(!min_of(geq) || key < *min_of(geq)) << "duplicate treap key";
+    auto node = std::make_unique<Node>(key, weight_fn_(key), next_priority());
+    root_ = merge(std::move(less), merge(std::move(node), std::move(geq)));
+  }
+
+  /// Removes a key; returns false if absent.
+  bool erase(const Key& key) {
+    auto [less, geq] = split(std::move(root_), key);
+    auto [equal, greater] = split_first(std::move(geq), key);
+    const bool found = equal != nullptr;
+    root_ = merge(std::move(less), std::move(greater));
+    return found;
+  }
+
+  bool contains(const Key& key) const {
+    const Node* node = root_.get();
+    while (node) {
+      if (key < node->key) {
+        node = node->left.get();
+      } else if (node->key < key) {
+        node = node->right.get();
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Count and weight of keys strictly less than `key`.
+  PrefixStats stats_less(const Key& key) const {
+    PrefixStats stats;
+    const Node* node = root_.get();
+    while (node) {
+      if (node->key < key) {
+        stats.count += 1 + count_of(node->left);
+        stats.weight += weight_fn_(node->key) + weight_of(node->left);
+        node = node->right.get();
+      } else {
+        node = node->left.get();
+      }
+    }
+    return stats;
+  }
+
+  std::optional<Key> min() const {
+    const Node* node = root_.get();
+    if (!node) return std::nullopt;
+    while (node->left) node = node->left.get();
+    return node->key;
+  }
+
+  std::optional<Key> max() const {
+    const Node* node = root_.get();
+    if (!node) return std::nullopt;
+    while (node->right) node = node->right.get();
+    return node->key;
+  }
+
+  /// Removes and returns the smallest key. Requires non-empty.
+  Key pop_min() {
+    auto smallest = min();
+    OSCHED_CHECK(smallest.has_value()) << "pop_min on empty treap";
+    OSCHED_CHECK(erase(*smallest));
+    return *smallest;
+  }
+
+  /// In-order traversal.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_node(root_.get(), fn);
+  }
+
+  void clear() { root_.reset(); }
+
+ private:
+  struct Node {
+    Node(const Key& k, double w, std::uint64_t p)
+        : key(k), priority(p), self_weight(w), weight_sum(w) {}
+    Key key;
+    std::uint64_t priority;
+    double self_weight;
+    std::size_t count = 1;
+    double weight_sum;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static std::size_t count_of(const NodePtr& node) {
+    return node ? node->count : 0;
+  }
+  static double weight_of(const NodePtr& node) {
+    return node ? node->weight_sum : 0.0;
+  }
+  static void pull(Node* node) {
+    node->count = 1 + count_of(node->left) + count_of(node->right);
+    node->weight_sum =
+        node->self_weight + weight_of(node->left) + weight_of(node->right);
+  }
+
+  static const Key* min_of(const NodePtr& node) {
+    const Node* cur = node.get();
+    if (!cur) return nullptr;
+    while (cur->left) cur = cur->left.get();
+    return &cur->key;
+  }
+
+  /// Splits into (< key, >= key).
+  static std::pair<NodePtr, NodePtr> split(NodePtr node, const Key& key) {
+    if (!node) return {nullptr, nullptr};
+    if (node->key < key) {
+      auto [mid, right] = split(std::move(node->right), key);
+      node->right = std::move(mid);
+      pull(node.get());
+      return {std::move(node), std::move(right)};
+    }
+    auto [left, mid] = split(std::move(node->left), key);
+    node->left = std::move(mid);
+    pull(node.get());
+    return {std::move(left), std::move(node)};
+  }
+
+  /// From a tree whose keys are all >= key, detaches the node equal to key
+  /// (if present). Returns (equal-node-with-children-detached, rest).
+  static std::pair<NodePtr, NodePtr> split_first(NodePtr node, const Key& key) {
+    if (!node) return {nullptr, nullptr};
+    if (!(key < node->key) && !(node->key < key)) {
+      NodePtr rest = merge(std::move(node->left), std::move(node->right));
+      node->left.reset();
+      node->right.reset();
+      pull(node.get());
+      return {std::move(node), std::move(rest)};
+    }
+    auto [equal, rest_left] = split_first(std::move(node->left), key);
+    node->left = std::move(rest_left);
+    pull(node.get());
+    return {std::move(equal), std::move(node)};
+  }
+
+  static NodePtr merge(NodePtr a, NodePtr b) {
+    if (!a) return b;
+    if (!b) return a;
+    if (a->priority > b->priority) {
+      a->right = merge(std::move(a->right), std::move(b));
+      pull(a.get());
+      return a;
+    }
+    b->left = merge(std::move(a), std::move(b->left));
+    pull(b.get());
+    return b;
+  }
+
+  template <typename Fn>
+  static void for_each_node(const Node* node, Fn& fn) {
+    if (!node) return;
+    for_each_node(node->left.get(), fn);
+    fn(node->key);
+    for_each_node(node->right.get(), fn);
+  }
+
+  std::uint64_t next_priority() { return splitmix64(prio_state_); }
+
+  WeightFn weight_fn_;
+  std::uint64_t prio_state_;
+  NodePtr root_;
+};
+
+}  // namespace osched::util

@@ -1,0 +1,59 @@
+// Invariant-checking macros.
+//
+// Programming errors (broken invariants, out-of-range indices, violated
+// preconditions) abort with a message; they are never used for recoverable
+// conditions. OSCHED_CHECK stays on in release builds: every scheduler in
+// this library is a reference implementation of a published algorithm and
+// silent state corruption would invalidate the experimental results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace osched::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "OSCHED_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+// Lazy message builder so the streaming operands are only evaluated on
+// failure.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() { check_failed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace osched::detail
+
+#define OSCHED_CHECK(cond)                                              \
+  if (cond) {                                                           \
+  } else                                                                \
+    ::osched::detail::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define OSCHED_CHECK_LE(a, b) OSCHED_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OSCHED_CHECK_LT(a, b) OSCHED_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OSCHED_CHECK_GE(a, b) OSCHED_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OSCHED_CHECK_GT(a, b) OSCHED_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OSCHED_CHECK_EQ(a, b) OSCHED_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define OSCHED_CHECK_NE(a, b) OSCHED_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)

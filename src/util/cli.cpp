@@ -1,0 +1,117 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace osched::util {
+
+Cli& Cli::flag(const std::string& name, const std::string& default_value,
+               const std::string& help) {
+  OSCHED_CHECK(!flags_.contains(name)) << "duplicate flag --" << name;
+  flags_[name] = Flag{default_value, help, std::nullopt};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cerr, argv[0]);
+      help_requested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "error: positional arguments are not supported: " << arg << "\n";
+      print_usage(std::cerr, argv[0]);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      std::cerr << "error: unknown flag --" << arg << "\n";
+      print_usage(std::cerr, argv[0]);
+      return false;
+    }
+    if (eq == std::string::npos) {
+      // --flag value, or bare boolean --flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  OSCHED_CHECK(it != flags_.end()) << "flag --" << name << " was never declared";
+  return it->second;
+}
+
+std::string Cli::str(const std::string& name) const {
+  const Flag& f = find(name);
+  return f.value.value_or(f.default_value);
+}
+
+double Cli::num(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  OSCHED_CHECK(end != v.c_str() && *end == '\0')
+      << "flag --" << name << " is not a number: " << v;
+  return parsed;
+}
+
+std::int64_t Cli::integer(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  OSCHED_CHECK(end != v.c_str() && *end == '\0')
+      << "flag --" << name << " is not an integer: " << v;
+  return parsed;
+}
+
+bool Cli::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  OSCHED_CHECK(false) << "flag --" << name << " is not a boolean: " << v;
+  return false;
+}
+
+std::vector<double> Cli::num_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(str(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const double parsed = std::strtod(item.c_str(), &end);
+    OSCHED_CHECK(end != item.c_str() && *end == '\0')
+        << "flag --" << name << " has a non-numeric element: " << item;
+    out.push_back(parsed);
+  }
+  return out;
+}
+
+void Cli::print_usage(std::ostream& out, const std::string& program) const {
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    out << "  --" << name << " (default: " << f.default_value << ")  " << f.help
+        << "\n";
+  }
+}
+
+}  // namespace osched::util

@@ -1,0 +1,50 @@
+// Small command-line flag parser used by the examples and bench harnesses.
+//
+// Supports --name=value, --name value, and bare --flag booleans. Unknown
+// flags are an error (surfacing typos in experiment scripts immediately).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace osched::util {
+
+class Cli {
+ public:
+  /// Declares a flag with a default and help text; returns *this for chaining.
+  Cli& flag(const std::string& name, const std::string& default_value,
+            const std::string& help);
+
+  /// Parses argv. Returns false (and prints usage + error to stderr) on
+  /// unknown flags or malformed input. `--help` prints usage and returns
+  /// false with help_requested() set.
+  bool parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  std::string str(const std::string& name) const;
+  double num(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  /// Parses comma-separated doubles ("0.1,0.2,0.5").
+  std::vector<double> num_list(const std::string& name) const;
+
+  void print_usage(std::ostream& out, const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+  const Flag& find(const std::string& name) const;
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace osched::util

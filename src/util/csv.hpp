@@ -1,0 +1,49 @@
+// Minimal CSV reading/writing for experiment outputs and trace files.
+//
+// The dialect is deliberately simple: comma separator, quoting with '"' when
+// a field contains a comma/quote/newline, '"' escaped by doubling. This is
+// enough for numeric experiment tables and the job-trace format.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osched::util {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally-owned stream (file or string stream).
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed string/number rows.
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    write_row({to_field(fields)...});
+  }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(double v);
+  static std::string to_field(int v) { return std::to_string(v); }
+  static std::string to_field(long v) { return std::to_string(v); }
+  static std::string to_field(long long v) { return std::to_string(v); }
+  static std::string to_field(unsigned v) { return std::to_string(v); }
+  static std::string to_field(unsigned long v) { return std::to_string(v); }
+  static std::string to_field(unsigned long long v) { return std::to_string(v); }
+
+  std::ostream& out_;
+};
+
+/// Parses CSV text into rows of fields. Returns nullopt on malformed quoting.
+std::optional<std::vector<std::vector<std::string>>> parse_csv(
+    std::string_view text);
+
+}  // namespace osched::util

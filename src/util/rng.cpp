@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace osched::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  // Mix the stream index into the root through two SplitMix64 steps; the
+  // golden-ratio increment guarantees distinct streams for distinct indices.
+  std::uint64_t s = root ^ (0x6a09e667f3bcc909ULL + stream * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256** reference update.
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  OSCHED_CHECK_LE(lo, hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform(double lo, double hi) {
+  OSCHED_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double rate) {
+  OSCHED_CHECK_GT(rate, 0.0);
+  // Inversion; 1 - U in (0,1] avoids log(0).
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+double Rng::pareto(double scale, double alpha) {
+  OSCHED_CHECK_GT(scale, 0.0);
+  OSCHED_CHECK_GT(alpha, 0.0);
+  return scale / std::pow(1.0 - next_double(), 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; draws exactly two uniforms per call.
+  const double u1 = 1.0 - next_double();  // (0, 1]
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  OSCHED_CHECK_GT(n, 0u);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+}  // namespace osched::util

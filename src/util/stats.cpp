@@ -1,0 +1,138 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace osched::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  OSCHED_CHECK_GT(n_, 0u) << "min of empty sample";
+  return min_;
+}
+
+double RunningStats::max() const {
+  OSCHED_CHECK_GT(n_, 0u) << "max of empty sample";
+  return max_;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Summary::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::min() const {
+  OSCHED_CHECK(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Summary::max() const {
+  OSCHED_CHECK(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Summary::quantile(double q) const {
+  OSCHED_CHECK(!values_.empty());
+  OSCHED_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    OSCHED_CHECK_GT(v, 0.0) << "geometric mean requires positive values";
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  OSCHED_CHECK_EQ(x.size(), y.size());
+  OSCHED_CHECK_GE(x.size(), 2u);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    OSCHED_CHECK_GT(x[i], 0.0);
+    OSCHED_CHECK_GT(y[i], 0.0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  OSCHED_CHECK_GT(std::abs(denom), 1e-12) << "degenerate x sample";
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace osched::util

@@ -1,0 +1,70 @@
+// Streaming and batch statistics used by the metrics module and the
+// benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace osched::util {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+/// Suitable for one-pass aggregation over large simulation outputs.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over a stored sample: adds exact quantiles to RunningStats.
+class Summary {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  /// Quantile in [0,1] with linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  /// Sorts lazily; const because sorting does not change the multiset.
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Geometric mean of strictly positive values (0 if any value <= 0 slipped
+/// in, with a check in debug). Used for aggregating competitive ratios.
+double geometric_mean(const std::vector<double>& values);
+
+/// Least-squares slope of log(y) against log(x): the empirical growth
+/// exponent. Used by the lower-bound experiments (E2) to verify that the
+/// measured ratio grows like sqrt(Delta).
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace osched::util

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace osched::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == 'e' || c == 'E' || c == '%' || c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void Table::add_row(std::vector<std::string> cells) {
+  OSCHED_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_line = [&](const std::vector<std::string>& cells, bool align_right) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      out << ' ';
+      const bool right = align_right && looks_numeric(cells[c]);
+      if (right) out << std::string(pad, ' ');
+      out << cells[c];
+      if (!right) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  print_line(headers_, /*align_right=*/false);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_line(row, /*align_right=*/true);
+  out << '\n';
+}
+
+void print_section(std::ostream& out, const std::string& title) {
+  out << "\n### " << title << "\n\n";
+}
+
+}  // namespace osched::util

@@ -1,0 +1,55 @@
+// Console table rendering for the experiment harnesses.
+//
+// Every bench binary prints its result as one or more of these tables, in
+// the same rows/series layout recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace osched::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Variadic convenience accepting strings and numbers.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    add_row({cell(cells)...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns, a header separator, and a trailing blank
+  /// line. Numeric-looking cells are right-aligned.
+  void print(std::ostream& out) const;
+
+  /// Formats a double with `digits` significant digits (used by harnesses
+  /// for uniform numeric formatting).
+  static std::string num(double v, int digits = 4);
+
+ private:
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v) { return num(v); }
+  static std::string cell(int v) { return std::to_string(v); }
+  static std::string cell(long v) { return std::to_string(v); }
+  static std::string cell(long long v) { return std::to_string(v); }
+  static std::string cell(unsigned v) { return std::to_string(v); }
+  static std::string cell(unsigned long v) { return std::to_string(v); }
+  static std::string cell(unsigned long long v) { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "### title" section header the harnesses use between tables.
+void print_section(std::ostream& out, const std::string& title);
+
+}  // namespace osched::util

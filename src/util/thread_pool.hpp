@@ -1,0 +1,65 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The pool parallelizes *across* independent simulation runs in parameter
+// sweeps (each run is single-threaded and deterministic); results are
+// written to pre-sized output slots so no synchronization is needed beyond
+// the task queue itself.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace osched::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (the library reports failures
+  /// through return values and OSCHED_CHECK).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, n) on the pool, blocking until all complete.
+/// Iterations are distributed in contiguous chunks to limit queue traffic.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: map a function over [0, n) in parallel, collecting results
+/// into a vector (slot i belongs exclusively to iteration i).
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace osched::util

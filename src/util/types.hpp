@@ -1,0 +1,45 @@
+// Core scalar types shared by every module.
+//
+// Time and processing volumes are continuous (double): the flow-time and
+// flow+energy algorithms (Theorems 1 and 2 of the paper) are stated in
+// continuous time. The energy-minimization algorithm (Theorem 3) uses its
+// own discretized time grid on top of these scalars, exactly as the paper
+// discretizes in §4.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace osched {
+
+/// Continuous time (seconds, arbitrary unit).
+using Time = double;
+
+/// Processing time (T1) or processing volume (T2/T3) of a job on a machine.
+using Work = double;
+
+/// Job weight (T2); 1.0 for unweighted problems.
+using Weight = double;
+
+/// Machine speed in the speed-scaling model.
+using Speed = double;
+
+/// Energy (integral of power over time).
+using Energy = double;
+
+/// Index of a job within an Instance. Jobs are numbered 0..n-1 in release
+/// order (ties broken by index).
+using JobId = std::int32_t;
+
+/// Index of a machine within an Instance.
+using MachineId = std::int32_t;
+
+inline constexpr JobId kInvalidJob = -1;
+inline constexpr MachineId kInvalidMachine = -1;
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Absolute slack used when comparing continuous times that were produced by
+/// arithmetically equivalent but differently-ordered computations.
+inline constexpr double kTimeEps = 1e-9;
+
+}  // namespace osched

@@ -1,0 +1,50 @@
+// ASCII rendering of schedules: Gantt charts and machine speed profiles.
+//
+// The examples print these so a reader can SEE what the paper's policies do
+// — where Rule 1 interrupts a running elephant, how Rule 2 trims a queue,
+// how the Theorem 3 greedy stacks parallel executions — without any plotting
+// dependency. Rendering is pure string building over the Schedule record;
+// nothing here feeds back into measurements.
+#pragma once
+
+#include <string>
+
+#include "instance/instance.hpp"
+#include "instance/power.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched::viz {
+
+struct GanttOptions {
+  /// Characters available for the time axis.
+  std::size_t width = 96;
+  /// Draw at most this many machines (0 = all).
+  std::size_t max_machines = 0;
+  /// Mark rejected-running jobs with 'x' at the interruption point and list
+  /// queue rejections under the chart.
+  bool show_rejections = true;
+  /// Clip the axis at this time (0 = makespan).
+  Time horizon = 0.0;
+};
+
+/// One row per machine; executions drawn as runs of the job's glyph
+/// (0-9a-zA-Z cycling by id), '.' for idle. A legend maps glyphs to jobs.
+std::string render_gantt(const Schedule& schedule, const Instance& instance,
+                         const GanttOptions& options = {});
+
+struct ProfileOptions {
+  std::size_t width = 96;
+  /// Vertical resolution (rows) of the speed axis.
+  std::size_t height = 8;
+  Time horizon = 0.0;  ///< 0 = makespan
+};
+
+/// Total-speed-over-time bar chart for one machine (speeds of concurrently
+/// executing jobs add, Theorem 3's model). Also prints the energy under the
+/// profile for the given power function.
+std::string render_speed_profile(const Schedule& schedule,
+                                 const Instance& instance, MachineId machine,
+                                 const PowerFunction& power,
+                                 const ProfileOptions& options = {});
+
+}  // namespace osched::viz

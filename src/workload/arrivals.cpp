@@ -1,0 +1,65 @@
+#include "workload/arrivals.hpp"
+
+#include "util/check.hpp"
+
+namespace osched::workload {
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kUniform: return "uniform";
+    case ArrivalKind::kBatch: return "batch";
+  }
+  return "?";
+}
+
+std::vector<Time> generate_arrivals(util::Rng& rng, std::size_t n,
+                                    const ArrivalConfig& config) {
+  OSCHED_CHECK_GT(config.rate, 0.0);
+  std::vector<Time> arrivals;
+  arrivals.reserve(n);
+  Time t = 0.0;
+  switch (config.kind) {
+    case ArrivalKind::kPoisson:
+      for (std::size_t j = 0; j < n; ++j) {
+        t += rng.exponential(config.rate);
+        arrivals.push_back(t);
+      }
+      break;
+    case ArrivalKind::kBursty: {
+      OSCHED_CHECK_GT(config.burst_factor, 1.0);
+      OSCHED_CHECK_GE(config.burst_length, 1.0);
+      // Alternate burst/idle so the long-run rate matches config.rate:
+      // inside a burst arrivals come at rate burst_factor * rate; after an
+      // expected burst_length jobs, insert an idle gap that restores the
+      // average inter-arrival time.
+      const double burst_rate = config.burst_factor * config.rate;
+      const double mean_gap_deficit =
+          (1.0 / config.rate - 1.0 / burst_rate) * config.burst_length;
+      std::size_t burst_remaining = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (burst_remaining == 0) {
+          burst_remaining =
+              1 + static_cast<std::size_t>(rng.exponential(1.0 / config.burst_length));
+          if (j > 0) t += rng.exponential(1.0 / mean_gap_deficit);
+        }
+        t += rng.exponential(burst_rate);
+        --burst_remaining;
+        arrivals.push_back(t);
+      }
+      break;
+    }
+    case ArrivalKind::kUniform:
+      for (std::size_t j = 0; j < n; ++j) {
+        arrivals.push_back(static_cast<double>(j) / config.rate);
+      }
+      break;
+    case ArrivalKind::kBatch:
+      arrivals.assign(n, 0.0);
+      break;
+  }
+  return arrivals;
+}
+
+}  // namespace osched::workload

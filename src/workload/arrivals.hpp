@@ -1,0 +1,41 @@
+// Arrival-time processes for synthetic workloads.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace osched::workload {
+
+enum class ArrivalKind {
+  /// Memoryless arrivals with the given rate.
+  kPoisson,
+  /// On/off bursts: exponentially long busy periods with `burst_factor`
+  /// times the base rate, separated by idle periods (models flash crowds
+  /// and the "many jobs arrive during one long job" pattern the rejection
+  /// rules are designed for).
+  kBursty,
+  /// Deterministic equal spacing (rate jobs per unit time).
+  kUniform,
+  /// Everything at time zero (the pathological batch the lower bounds use).
+  kBatch,
+};
+
+const char* to_string(ArrivalKind kind);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Average arrival rate (jobs per time unit).
+  double rate = 1.0;
+  /// kBursty only: rate multiplier inside bursts (> 1).
+  double burst_factor = 8.0;
+  /// kBursty only: expected number of jobs per burst.
+  double burst_length = 20.0;
+};
+
+/// Generates `n` non-decreasing release times starting at 0.
+std::vector<Time> generate_arrivals(util::Rng& rng, std::size_t n,
+                                    const ArrivalConfig& config);
+
+}  // namespace osched::workload

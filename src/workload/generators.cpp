@@ -1,0 +1,140 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "instance/builders.hpp"
+
+namespace osched::workload {
+
+const char* to_string(SizeDistribution dist) {
+  switch (dist) {
+    case SizeDistribution::kUniform: return "uniform";
+    case SizeDistribution::kExponential: return "exponential";
+    case SizeDistribution::kPareto: return "pareto";
+    case SizeDistribution::kBimodal: return "bimodal";
+    case SizeDistribution::kLognormal: return "lognormal";
+  }
+  return "?";
+}
+
+const char* to_string(WeightDistribution dist) {
+  switch (dist) {
+    case WeightDistribution::kUnit: return "unit";
+    case WeightDistribution::kUniform: return "uniform";
+    case WeightDistribution::kInverseSize: return "inverse-size";
+    case WeightDistribution::kProportionalSize: return "proportional-size";
+  }
+  return "?";
+}
+
+double expected_size(const SizeConfig& config) {
+  switch (config.dist) {
+    case SizeDistribution::kUniform:
+      return 0.5 * (config.min_size + config.max_size);
+    case SizeDistribution::kExponential:
+      return config.mean_size;
+    case SizeDistribution::kPareto:
+      // Mean of Pareto(scale, shape) = scale * shape / (shape - 1), infinite
+      // for shape <= 1 (cap for rate derivation).
+      if (config.pareto_shape <= 1.0) return 10.0 * config.min_size;
+      return config.min_size * config.pareto_shape / (config.pareto_shape - 1.0);
+    case SizeDistribution::kBimodal:
+      return (1.0 - config.bimodal_fraction) * config.min_size +
+             config.bimodal_fraction * config.max_size;
+    case SizeDistribution::kLognormal:
+      return config.mean_size;
+  }
+  return 1.0;
+}
+
+namespace {
+
+double sample_size(util::Rng& rng, const SizeConfig& config) {
+  switch (config.dist) {
+    case SizeDistribution::kUniform:
+      return rng.uniform(config.min_size, config.max_size);
+    case SizeDistribution::kExponential:
+      // Shifted slightly away from zero: zero-length jobs are degenerate.
+      return std::max(1e-3 * config.mean_size,
+                      rng.exponential(1.0 / config.mean_size));
+    case SizeDistribution::kPareto:
+      return rng.pareto(config.min_size, config.pareto_shape);
+    case SizeDistribution::kBimodal:
+      return rng.bernoulli(config.bimodal_fraction) ? config.max_size
+                                                    : config.min_size;
+    case SizeDistribution::kLognormal: {
+      const double sigma = config.lognormal_sigma;
+      const double mu = std::log(config.mean_size) - 0.5 * sigma * sigma;
+      return rng.lognormal(mu, sigma);
+    }
+  }
+  return 1.0;
+}
+
+Weight sample_weight(util::Rng& rng, double base, WeightDistribution dist) {
+  switch (dist) {
+    case WeightDistribution::kUnit: return 1.0;
+    case WeightDistribution::kUniform: return rng.uniform(0.5, 4.0);
+    case WeightDistribution::kInverseSize: return 1.0 / base;
+    case WeightDistribution::kProportionalSize: return base;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Instance generate_workload(const WorkloadConfig& config) {
+  OSCHED_CHECK_GT(config.num_machines, 0u);
+  OSCHED_CHECK_GT(config.load, 0.0);
+  util::Rng rng(config.seed);
+
+  ArrivalConfig arrivals = config.arrivals;
+  arrivals.rate = config.load * static_cast<double>(config.num_machines) /
+                  expected_size(config.sizes);
+  const std::vector<Time> releases =
+      generate_arrivals(rng, config.num_jobs, arrivals);
+  const std::vector<double> speeds =
+      sample_machine_speeds(rng, config.num_machines, config.machines);
+
+  InstanceBuilder builder(config.num_machines);
+  for (std::size_t j = 0; j < config.num_jobs; ++j) {
+    const double base = sample_size(rng, config.sizes);
+    std::vector<Work> row =
+        expand_processing_row(rng, base, speeds, config.machines);
+    const Weight weight = sample_weight(rng, base, config.weights);
+    Time deadline = kTimeInfinity;
+    if (config.with_deadlines) {
+      Work fastest = kTimeInfinity;
+      for (Work p : row) fastest = std::min(fastest, p);
+      deadline = releases[j] +
+                 rng.uniform(config.slack_min, config.slack_max) * fastest;
+    }
+    builder.add_job(releases[j], std::move(row), weight, deadline);
+  }
+  return builder.build();
+}
+
+Instance generate_burst_trap(const BurstTrapConfig& config) {
+  util::Rng rng(config.seed);
+  InstanceBuilder builder(config.num_machines);
+  Time t = 0.0;
+  for (std::size_t round = 0; round < config.num_rounds; ++round) {
+    builder.add_identical_job(t, config.long_size);
+    // The tiny jobs land shortly after the elephant starts, spread over a
+    // fraction of its run.
+    const Time burst_start = t + 0.01 * config.long_size;
+    const Time spread = 0.2 * config.long_size;
+    for (std::size_t k = 0; k < config.burst_jobs; ++k) {
+      builder.add_identical_job(
+          burst_start + spread * static_cast<double>(k) /
+                            std::max<std::size_t>(1, config.burst_jobs),
+          config.small_size);
+    }
+    // Next round starts after this elephant would finish plus slack.
+    t += config.long_size * (1.2 + 0.2 * rng.next_double());
+  }
+  return builder.build();
+}
+
+}  // namespace osched::workload

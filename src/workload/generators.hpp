@@ -1,0 +1,87 @@
+// Full synthetic workload generation: arrival process x size distribution x
+// machine model x weights x (optional) deadlines.
+//
+// The paper evaluates nothing empirically, so these are the workload
+// families its motivation section implies: Poisson/bursty arrivals of
+// uniform or heavy-tailed (Pareto) jobs on heterogeneous clusters, plus the
+// pathological patterns (batch fronts, long-job bursts) that the rejection
+// rules exist to survive.
+#pragma once
+
+#include <cstdint>
+
+#include "instance/instance.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/machine_models.hpp"
+
+namespace osched::workload {
+
+enum class SizeDistribution {
+  kUniform,      ///< U[min_size, max_size]
+  kExponential,  ///< mean mean_size
+  kPareto,       ///< scale min_size, shape pareto_shape (heavy tail)
+  kBimodal,      ///< min_size w.p. 1-bimodal_fraction, else max_size
+  kLognormal,    ///< exp(N(log(mean_size) - sigma^2/2, sigma))
+};
+
+const char* to_string(SizeDistribution dist);
+
+struct SizeConfig {
+  SizeDistribution dist = SizeDistribution::kUniform;
+  double min_size = 0.5;
+  double max_size = 2.0;
+  double mean_size = 1.0;
+  double pareto_shape = 1.8;
+  double bimodal_fraction = 0.05;  ///< fraction of elephants
+  double lognormal_sigma = 1.0;
+};
+
+enum class WeightDistribution {
+  kUnit,              ///< all weights 1 (Theorem 1 setting)
+  kUniform,           ///< U[0.5, 4]
+  kInverseSize,       ///< w = 1/base: equalized densities
+  kProportionalSize,  ///< w = base: big jobs matter more
+};
+
+const char* to_string(WeightDistribution dist);
+
+struct WorkloadConfig {
+  std::size_t num_jobs = 1000;
+  std::size_t num_machines = 4;
+  ArrivalConfig arrivals;       ///< arrivals.rate is DERIVED from load below
+  /// Target utilization: arrival rate is set to
+  /// load * num_machines / mean job size, so load ~ 1 saturates the cluster.
+  double load = 0.9;
+  SizeConfig sizes;
+  MachineModelConfig machines;
+  WeightDistribution weights = WeightDistribution::kUnit;
+  /// When true, every job gets a deadline r + slack * (min_i p_ij) with
+  /// slack uniform in [slack_min, slack_max] (Theorem 3 workloads).
+  bool with_deadlines = false;
+  double slack_min = 1.5;
+  double slack_max = 6.0;
+  std::uint64_t seed = 1;
+};
+
+/// Expected size of the configured size distribution (used to derive the
+/// arrival rate from the target load).
+double expected_size(const SizeConfig& config);
+
+Instance generate_workload(const WorkloadConfig& config);
+
+/// The pathological pattern of the paper's introduction: a handful of huge
+/// jobs, each followed by a burst of tiny ones released while it runs.
+/// Non-preemptive schedulers without rejection are forced to hold the tiny
+/// jobs behind the elephant.
+struct BurstTrapConfig {
+  std::size_t num_rounds = 5;
+  Work long_size = 100.0;
+  std::size_t burst_jobs = 50;
+  Work small_size = 0.1;
+  std::size_t num_machines = 1;
+  std::uint64_t seed = 1;
+};
+
+Instance generate_burst_trap(const BurstTrapConfig& config);
+
+}  // namespace osched::workload

@@ -1,0 +1,120 @@
+#include "workload/lemma1_adversary.hpp"
+
+#include <cmath>
+
+#include "instance/builders.hpp"
+#include "sim/validator.hpp"
+#include "util/check.hpp"
+
+namespace osched::workload {
+
+namespace {
+
+Instance phase1_instance(std::size_t num_big, double L) {
+  InstanceBuilder builder(1);
+  for (std::size_t k = 0; k < num_big; ++k) {
+    builder.add_identical_job(0.0, L);
+  }
+  return builder.build();
+}
+
+/// Earliest execution start among non-rejected big jobs; 0 if none started
+/// (a policy that rejects everything gets the phase-2 flood immediately).
+Time observe_first_big_start(const Schedule& schedule) {
+  Time earliest = kTimeInfinity;
+  for (const JobRecord& rec : schedule.records()) {
+    if (rec.started && rec.completed()) {
+      earliest = std::min(earliest, rec.start);
+    }
+  }
+  return earliest < kTimeInfinity ? earliest : 0.0;
+}
+
+}  // namespace
+
+Lemma1Outcome run_lemma1_adversary(const PolicyRunner& policy,
+                                   const Lemma1Config& config) {
+  OSCHED_CHECK_GT(config.eps, 0.0);
+  OSCHED_CHECK_LT(config.eps, 1.0);
+  OSCHED_CHECK_GT(config.L, 1.0);
+  const double L = config.L;
+  const auto num_big =
+      static_cast<std::size_t>(std::ceil(1.0 / config.eps - 1e-9));
+
+  // Phase 1 probe: a deterministic online policy behaves identically on the
+  // phase-1 prefix of the final instance, so its observed start time is
+  // binding.
+  const Instance phase1 = phase1_instance(num_big, L);
+  const Schedule probe = policy(phase1);
+  OSCHED_CHECK_EQ(probe.num_jobs(), phase1.num_jobs());
+  const Time t_star = observe_first_big_start(probe);
+
+  Lemma1Outcome outcome;
+  outcome.first_big_start = t_star;
+  outcome.algorithm_waited = t_star > L * L;
+  outcome.num_big = num_big;
+
+  if (outcome.algorithm_waited) {
+    // Case 1: no phase 2. Witness: big jobs back-to-back from time 0.
+    outcome.instance = phase1;
+    outcome.num_small = 0;
+    Schedule witness(phase1.num_jobs());
+    double flow = 0.0;
+    for (std::size_t k = 0; k < num_big; ++k) {
+      const auto j = static_cast<JobId>(k);
+      witness.mark_dispatched(j, 0);
+      witness.mark_started(j, static_cast<double>(k) * L, 1.0);
+      witness.mark_completed(j, static_cast<double>(k + 1) * L);
+      flow += static_cast<double>(k + 1) * L;
+    }
+    outcome.adversary_schedule = std::move(witness);
+    outcome.adversary_flow = flow;
+    outcome.delta = 1.0;  // only one job size in play
+    return outcome;
+  }
+
+  // Case 2: flood with small jobs of length 1/L every 1/L units over
+  // [t*, t* + L].
+  const double small = 1.0 / L;
+  const auto num_small = static_cast<std::size_t>(std::floor(L * L + 1e-9)) + 1;
+  InstanceBuilder builder(1);
+  for (std::size_t k = 0; k < num_big; ++k) {
+    builder.add_identical_job(0.0, L);
+  }
+  for (std::size_t s = 0; s < num_small; ++s) {
+    builder.add_identical_job(t_star + static_cast<double>(s) * small, small);
+  }
+  outcome.instance = builder.build();
+  outcome.num_small = num_small;
+  outcome.delta = L / small;  // = L^2
+
+  // Witness: every small job runs at its release (they are spaced exactly
+  // one service time apart); big jobs run back-to-back afterwards.
+  Schedule witness(outcome.instance.num_jobs());
+  double flow = 0.0;
+  // Ids: the Instance sorts by (release, insertion id), so the big jobs are
+  // 0..num_big-1 and the small jobs follow in release order.
+  for (std::size_t s = 0; s < num_small; ++s) {
+    const auto j = static_cast<JobId>(num_big + s);
+    const Time r = outcome.instance.job(j).release;
+    witness.mark_dispatched(j, 0);
+    witness.mark_started(j, r, 1.0);
+    witness.mark_completed(j, r + small);
+    flow += small;
+  }
+  const Time bigs_start = t_star + static_cast<double>(num_small) * small;
+  for (std::size_t k = 0; k < num_big; ++k) {
+    const auto j = static_cast<JobId>(k);
+    const Time start = bigs_start + static_cast<double>(k) * L;
+    witness.mark_dispatched(j, 0);
+    witness.mark_started(j, start, 1.0);
+    witness.mark_completed(j, start + L);
+    flow += start + L;  // release 0
+  }
+  check_schedule(witness, outcome.instance);  // adversary must be feasible
+  outcome.adversary_schedule = std::move(witness);
+  outcome.adversary_flow = flow;
+  return outcome;
+}
+
+}  // namespace osched::workload

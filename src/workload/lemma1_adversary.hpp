@@ -1,0 +1,58 @@
+// Lemma 1 adaptive adversary: immediate-rejection policies cannot be
+// competitive.
+//
+// The construction (paper, proof of Lemma 1), single machine:
+//   Phase 1: ceil(1/eps) jobs of length L released at time 0. The policy
+//   can immediately reject at most one of them.
+//   Observe t*, the earliest time the policy starts a (non-rejected) big
+//   job.
+//   - If t* > L^2 the adversary stops: the policy idled too long, its flow
+//     is Omega(L^2/eps) while scheduling the big jobs back-to-back costs
+//     Theta(L/eps^2).
+//   - Otherwise, starting at t* a job of length 1/L is released every 1/L
+//     time units until t* + L (Theta(L^2) small jobs). The policy committed
+//     non-preemptively to the running big job and cannot reject it anymore;
+//     the small jobs it keeps (at least a 1-eps fraction) wait Omega(L)
+//     each: Omega(L^3) total. The adversary serves every small job at its
+//     release and the big jobs afterwards: Theta(L^2).
+//   Either way the ratio is Omega(L) = Omega(sqrt(Delta)), Delta = L^2.
+//
+// The driver works against ANY deterministic online policy (supplied as a
+// function Instance -> Schedule): determinism + online-ness guarantee the
+// policy behaves identically on the phase-1 prefix of the final instance,
+// so observing it on phase 1 alone is sound.
+#pragma once
+
+#include <functional>
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched::workload {
+
+using PolicyRunner = std::function<Schedule(const Instance&)>;
+
+struct Lemma1Config {
+  /// The policy's rejection budget parameter (fraction of jobs).
+  double eps = 0.25;
+  /// Big-job length; small jobs have length 1/L, so Delta = L^2.
+  double L = 16.0;
+};
+
+struct Lemma1Outcome {
+  Instance instance;          ///< the final adaptive instance
+  Time first_big_start = 0.0; ///< observed t*
+  bool algorithm_waited = false;  ///< t* > L^2 (case 1 of the proof)
+  std::size_t num_big = 0;
+  std::size_t num_small = 0;
+  /// The adversary's explicit witness schedule on the final instance and
+  /// its total flow time (an upper bound on OPT).
+  Schedule adversary_schedule;
+  double adversary_flow = 0.0;
+  double delta = 0.0;  ///< p_max / p_min of the final instance
+};
+
+Lemma1Outcome run_lemma1_adversary(const PolicyRunner& policy,
+                                   const Lemma1Config& config = {});
+
+}  // namespace osched::workload

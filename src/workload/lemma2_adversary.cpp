@@ -1,0 +1,135 @@
+#include "workload/lemma2_adversary.hpp"
+
+#include <cmath>
+
+#include "core/energy_min/bruteforce.hpp"
+#include "core/energy_min/config_primal_dual.hpp"
+#include "instance/builders.hpp"
+#include "instance/power.hpp"
+#include "util/check.hpp"
+
+namespace osched::workload {
+
+namespace {
+
+struct Pending {
+  Time release;
+  Time deadline;
+  Work volume;
+};
+
+Instance build_instance(const std::vector<Pending>& jobs) {
+  InstanceBuilder builder(1);
+  for (const Pending& job : jobs) {
+    builder.add_job(job.release, {job.volume}, 1.0, job.deadline);
+  }
+  return builder.build();
+}
+
+/// The paper's normalized "fast" policy: commit every job to start at its
+/// release with speed 1 (feasible: duration = window/3 <= window). Being
+/// prefix-deterministic by construction, the adaptive loop only needs one
+/// pass. Returns the result in the same shape run_config_primal_dual does.
+ConfigPDResult run_eager_speed_one(const Instance& instance, double alpha) {
+  ConfigPDResult result;
+  result.schedule = Schedule(instance.num_jobs());
+  SpeedProfile profile;
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const Job& job = instance.job(j);
+    Strategy strategy{MachineId{0}, job.release, 1.0};
+    const Time end = strategy.start + strategy.duration(instance.processing(0, j));
+    OSCHED_CHECK_LE(end, job.deadline + kTimeEps);
+    profile.add(strategy.start, end, strategy.speed);
+    result.chosen.push_back(strategy);
+    result.schedule.mark_dispatched(j, 0);
+    result.schedule.mark_started(j, strategy.start, strategy.speed);
+    result.schedule.mark_completed(j, end);
+  }
+  const PolynomialPower power(alpha);
+  result.algorithm_energy = profile.total_cost(power);
+  result.profiles.push_back(std::move(profile));
+  return result;
+}
+
+}  // namespace
+
+Lemma2Outcome run_lemma2_adversary(const Lemma2Config& config) {
+  OSCHED_CHECK_GT(config.alpha, 1.0);
+  const double alpha = config.alpha;
+  const auto max_jobs =
+      std::max<std::size_t>(2, static_cast<std::size_t>(std::llround(alpha)));
+
+  const Time d1 = std::pow(3.0, alpha + 1.0);
+  std::vector<Pending> jobs{{0.0, d1, d1 / 3.0}};
+
+  // Fixed speed grid spanning "stretch across the window" (density 1/3) up
+  // to a generous 2*alpha: prefix-deterministic because it never changes.
+  std::vector<Speed> speeds;
+  {
+    const double lo = 1.0 / 3.0;
+    const double hi = 2.0 * alpha;
+    const std::size_t levels = std::max<std::size_t>(2, config.speed_levels);
+    const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(levels - 1));
+    double v = lo;
+    for (std::size_t k = 0; k < levels; ++k) {
+      speeds.push_back(v);
+      v *= ratio;
+    }
+  }
+
+  ConfigPDOptions policy_options;
+  policy_options.alpha = alpha;
+  policy_options.speeds = speeds;
+  policy_options.start_grid = config.start_grid;
+
+  const auto run_policy = [&](const Instance& instance) {
+    switch (config.policy) {
+      case Lemma2Policy::kEagerSpeedOne:
+        return run_eager_speed_one(instance, alpha);
+      case Lemma2Policy::kConfigPrimalDual:
+        break;
+    }
+    return run_config_primal_dual(instance, policy_options);
+  };
+
+  // Adaptive release loop: re-running the deterministic policy on each
+  // prefix reproduces its previous commitments exactly, so only the newest
+  // job's commitment is "new information" per round.
+  ConfigPDResult policy_result;
+  for (;;) {
+    const Instance instance = build_instance(jobs);
+    policy_result = run_policy(instance);
+    if (jobs.size() >= max_jobs) break;
+
+    const Strategy& last = policy_result.chosen.back();
+    const Work last_volume = jobs.back().volume;
+    const Time start = last.start;
+    const Time completion = start + last.duration(last_volume);
+    const Time next_release = start + 1.0;
+    const Time next_deadline = completion;
+    const Time window = next_deadline - next_release;
+    if (window <= config.min_window) break;
+    jobs.push_back({next_release, next_deadline, window / 3.0});
+  }
+
+  Lemma2Outcome outcome;
+  outcome.instance = build_instance(jobs);
+  outcome.commitments = policy_result.chosen;
+  outcome.algorithm_schedule = policy_result.schedule;
+  outcome.algorithm_energy = policy_result.algorithm_energy;
+  outcome.jobs_released = jobs.size();
+
+  BruteForceOptions witness_options;
+  witness_options.alpha = alpha;
+  witness_options.speeds = speeds;
+  witness_options.start_grid = config.witness_start_grid;
+  witness_options.node_budget = config.witness_node_budget;
+  const auto witness = brute_force_energy(outcome.instance, witness_options);
+  OSCHED_CHECK(witness.has_value()) << "witness search found no schedule";
+  outcome.witness_energy = witness->optimal_energy;
+  outcome.witness_certified = witness->certified_optimal;
+  return outcome;
+}
+
+}  // namespace osched::workload

@@ -1,0 +1,66 @@
+#include "workload/machine_models.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace osched::workload {
+
+const char* to_string(MachineModel model) {
+  switch (model) {
+    case MachineModel::kIdentical: return "identical";
+    case MachineModel::kRelated: return "related";
+    case MachineModel::kUnrelated: return "unrelated";
+    case MachineModel::kRestricted: return "restricted";
+  }
+  return "?";
+}
+
+std::vector<double> sample_machine_speeds(util::Rng& rng, std::size_t machines,
+                                          const MachineModelConfig& config) {
+  OSCHED_CHECK_GE(config.speed_spread, 1.0);
+  std::vector<double> speeds(machines, 1.0);
+  if (config.model == MachineModel::kRelated) {
+    for (auto& s : speeds) s = rng.uniform(1.0, config.speed_spread);
+  }
+  return speeds;
+}
+
+std::vector<Work> expand_processing_row(util::Rng& rng, double base,
+                                        const std::vector<double>& speeds,
+                                        const MachineModelConfig& config) {
+  OSCHED_CHECK_GT(base, 0.0);
+  const std::size_t m = speeds.size();
+  std::vector<Work> row(m);
+  switch (config.model) {
+    case MachineModel::kIdentical:
+      for (auto& p : row) p = base;
+      break;
+    case MachineModel::kRelated:
+      for (std::size_t i = 0; i < m; ++i) row[i] = base / speeds[i];
+      break;
+    case MachineModel::kUnrelated: {
+      const double log_spread = std::log(config.speed_spread);
+      for (auto& p : row) {
+        p = base * std::exp(rng.uniform(-log_spread, log_spread));
+      }
+      break;
+    }
+    case MachineModel::kRestricted: {
+      bool any = false;
+      for (auto& p : row) {
+        if (rng.bernoulli(config.eligibility)) {
+          p = base;
+          any = true;
+        } else {
+          p = kTimeInfinity;
+        }
+      }
+      if (!any) row[rng.index(m)] = base;  // guarantee eligibility
+      break;
+    }
+  }
+  return row;
+}
+
+}  // namespace osched::workload

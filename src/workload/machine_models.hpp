@@ -1,0 +1,44 @@
+// Machine heterogeneity models: how a job's base size expands into the
+// unrelated-machines p_ij row.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace osched::workload {
+
+enum class MachineModel {
+  /// p_ij = base_j on every machine.
+  kIdentical,
+  /// Uniformly related: machine i has speed s_i in [1, speed_spread];
+  /// p_ij = base_j / s_i.
+  kRelated,
+  /// Fully unrelated: p_ij = base_j * u_ij with u_ij log-uniform in
+  /// [1/speed_spread, speed_spread].
+  kUnrelated,
+  /// Restricted assignment: p_ij = base_j on eligible machines (each with
+  /// probability eligibility, at least one guaranteed), +inf elsewhere.
+  kRestricted,
+};
+
+const char* to_string(MachineModel model);
+
+struct MachineModelConfig {
+  MachineModel model = MachineModel::kUnrelated;
+  double speed_spread = 4.0;   ///< heterogeneity breadth (>= 1)
+  double eligibility = 0.5;    ///< kRestricted: per-machine eligibility prob
+};
+
+/// Per-machine speed factors for kRelated (size m); 1.0 for other models.
+std::vector<double> sample_machine_speeds(util::Rng& rng, std::size_t machines,
+                                          const MachineModelConfig& config);
+
+/// Expands one job's base size into its p_ij row. `speeds` must come from
+/// sample_machine_speeds with the same config.
+std::vector<Work> expand_processing_row(util::Rng& rng, double base,
+                                        const std::vector<double>& speeds,
+                                        const MachineModelConfig& config);
+
+}  // namespace osched::workload

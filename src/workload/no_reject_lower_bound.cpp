@@ -1,0 +1,100 @@
+#include "workload/no_reject_lower_bound.hpp"
+
+#include <cmath>
+
+#include "instance/builders.hpp"
+#include "util/check.hpp"
+
+namespace osched::workload {
+
+namespace {
+
+Instance phase1_instance(double L) {
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, L);
+  return builder.build();
+}
+
+Instance final_instance(double L, Time t_star, std::size_t num_units) {
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, L);
+  for (std::size_t k = 1; k <= num_units; ++k) {
+    builder.add_identical_job(t_star + static_cast<Time>(k), 1.0);
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+NoRejectLbOutcome run_no_reject_lower_bound(const PolicyRunner& policy,
+                                            const NoRejectLbConfig& config) {
+  OSCHED_CHECK_GT(config.L, 1.0);
+  const double L = config.L;
+  const Time patience = config.patience > 0.0 ? config.patience : L * L;
+
+  // Observe the policy's commitment on the one-job prefix. Determinism plus
+  // online-ness make this sound: the policy cannot behave differently on the
+  // prefix of the final instance, because every other job is released
+  // strictly after the observed start.
+  const Instance prefix = phase1_instance(L);
+  const Schedule prefix_schedule = policy(prefix);
+  const JobRecord& rec = prefix_schedule.record(0);
+  OSCHED_CHECK(rec.started)
+      << "the no-reject lower-bound driver requires a policy that starts the "
+         "long job (it was "
+      << to_string(rec.fate) << ")";
+  const Time t_star = rec.start;
+
+  NoRejectLbOutcome outcome;
+  outcome.long_job_start = t_star;
+  outcome.delta = L;
+
+  if (t_star > patience) {
+    // Case 1: the policy idled past the patience bound. The single-job
+    // instance already certifies a ratio of at least (t* + L)/L >= L.
+    outcome.algorithm_waited = true;
+    outcome.instance = prefix;
+    outcome.num_unit_jobs = 0;
+    outcome.adversary_schedule = Schedule(1);
+    outcome.adversary_schedule.mark_dispatched(0, 0);
+    outcome.adversary_schedule.mark_started(0, 0.0, 1.0);
+    outcome.adversary_schedule.mark_completed(0, L);
+    outcome.adversary_flow = L;
+    return outcome;
+  }
+
+  // Case 2: unit jobs released one per time unit strictly inside the long
+  // job's execution window (t*, t* + L].
+  const auto num_units = static_cast<std::size_t>(std::floor(L));
+  outcome.num_unit_jobs = num_units;
+  outcome.instance = final_instance(L, t_star, num_units);
+
+  // Witness: every unit job at its release (they never overlap: consecutive
+  // releases are one unit apart), the long job after the last unit.
+  outcome.adversary_schedule = Schedule(outcome.instance.num_jobs());
+  double flow = 0.0;
+  Time last_unit_end = 0.0;
+  for (std::size_t idx = 0; idx < outcome.instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const Job& job = outcome.instance.job(j);
+    const Work p = outcome.instance.processing(0, j);
+    if (p >= L) continue;  // the long job is placed below
+    outcome.adversary_schedule.mark_dispatched(j, 0);
+    outcome.adversary_schedule.mark_started(j, job.release, 1.0);
+    outcome.adversary_schedule.mark_completed(j, job.release + p);
+    last_unit_end = std::max(last_unit_end, job.release + p);
+    flow += p;
+  }
+  for (std::size_t idx = 0; idx < outcome.instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    if (outcome.instance.processing(0, j) < L) continue;
+    outcome.adversary_schedule.mark_dispatched(j, 0);
+    outcome.adversary_schedule.mark_started(j, last_unit_end, 1.0);
+    outcome.adversary_schedule.mark_completed(j, last_unit_end + L);
+    flow += last_unit_end + L - outcome.instance.job(j).release;
+  }
+  outcome.adversary_flow = flow;
+  return outcome;
+}
+
+}  // namespace osched::workload

@@ -1,0 +1,59 @@
+// The classical instance family showing why rejection (or another
+// relaxation) is REQUIRED: any deterministic online non-preemptive algorithm
+// that must complete every job has competitive ratio Omega(Delta) for total
+// flow time on a single machine, where Delta = p_max / p_min.
+//
+// Construction (folklore; the paper cites the stronger Omega(n) bound of
+// Chekuri, Khanna, Zhu [2] for the weighted case):
+//   * One long job of length L is released at time 0.
+//   * A deterministic algorithm with no rejection option must eventually
+//     start it, say at time t*. (If it never starts while jobs keep
+//     arriving, its flow is unbounded; if it waits past L^2 it already
+//     loses.) The moment it commits, the adversary releases a stream of
+//     unit jobs, one per time unit, for the next L time units.
+//   * The algorithm holds every unit job behind the long job: total flow
+//     Omega(L^2). The adversary instead serves the unit jobs at release and
+//     the long job last: total flow O(L).
+//
+// Unlike Lemmas 1 and 2, this driver does not need to adapt to the policy
+// beyond observing t* — the released stream depends only on the committed
+// start, exactly like the Lemma 1 phase-2 trigger. The experiments (E2, E6)
+// run it against the no-rejection baselines to exhibit the blow-up and
+// against the Theorem 1 scheduler to show rejection removes it.
+#pragma once
+
+#include <functional>
+
+#include "instance/instance.hpp"
+#include "sim/schedule.hpp"
+
+namespace osched::workload {
+
+struct NoRejectLbConfig {
+  /// Long-job length; unit jobs have length 1, so Delta = L.
+  double L = 32.0;
+  /// Maximum time the adversary waits for the policy to start the long job
+  /// before declaring the "waited too long" case; the paper's analyses use
+  /// L^2, kept configurable for experiments. 0 means L^2.
+  Time patience = 0.0;
+};
+
+struct NoRejectLbOutcome {
+  Instance instance;            ///< the final adaptive instance
+  Time long_job_start = 0.0;    ///< observed t*
+  bool algorithm_waited = false;  ///< t* exceeded the patience bound
+  std::size_t num_unit_jobs = 0;
+  /// Adversary witness: unit jobs at release, long job afterwards.
+  Schedule adversary_schedule;
+  double adversary_flow = 0.0;
+  double delta = 0.0;  ///< p_max / p_min = L
+};
+
+/// Runs the adversary against a deterministic online policy (supplied as a
+/// function Instance -> Schedule, same contract as the Lemma 1 driver).
+using PolicyRunner = std::function<Schedule(const Instance&)>;
+
+NoRejectLbOutcome run_no_reject_lower_bound(const PolicyRunner& policy,
+                                            const NoRejectLbConfig& config = {});
+
+}  // namespace osched::workload

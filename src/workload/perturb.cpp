@@ -1,0 +1,66 @@
+#include "workload/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace osched::workload {
+
+Instance perturb_instance(const Instance& instance,
+                          const PerturbConfig& config) {
+  OSCHED_CHECK_GE(config.release_jitter, 0.0);
+  OSCHED_CHECK_GE(config.size_noise, 0.0);
+  OSCHED_CHECK_GE(config.drop_fraction, 0.0);
+  OSCHED_CHECK_LT(config.drop_fraction, 1.0);
+  util::Rng rng(config.seed);
+
+  // Mean interarrival gap sets the jitter scale; a single job gets scale 1.
+  double gap = 1.0;
+  if (instance.num_jobs() > 1) {
+    const Time span = instance.jobs().back().release -
+                      instance.jobs().front().release;
+    gap = std::max(span, 1e-9) /
+          static_cast<double>(instance.num_jobs() - 1);
+  }
+
+  std::vector<Job> jobs;
+  std::vector<std::vector<Work>> processing(instance.num_machines());
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    // Every job draws the same number of variates whether kept or dropped,
+    // so the perturbation of job k does not depend on which other jobs
+    // survived.
+    const bool dropped = rng.bernoulli(config.drop_fraction);
+    const double shift =
+        rng.uniform(-config.release_jitter, config.release_jitter) * gap;
+    const double size_factor =
+        config.size_noise > 0.0 ? rng.lognormal(0.0, config.size_noise) : 1.0;
+    if (dropped) continue;
+
+    Job job = instance.job(j);
+    const Time original_release = job.release;
+    job.release = std::max(0.0, job.release + shift);
+    if (job.has_deadline()) {
+      // Keep the window length: the deadline follows the release.
+      job.deadline += job.release - original_release;
+    }
+    jobs.push_back(job);
+    for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+      const Work p = instance.processing(static_cast<MachineId>(i), j);
+      processing[i].push_back(p < kTimeInfinity ? p * size_factor : p);
+    }
+  }
+  // Degenerate all-dropped case: keep one job so the instance stays valid.
+  if (jobs.empty() && instance.num_jobs() > 0) {
+    jobs.push_back(instance.job(0));
+    for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+      processing[i].push_back(instance.processing(static_cast<MachineId>(i), 0));
+    }
+  }
+  return Instance(std::move(jobs), std::move(processing));
+}
+
+}  // namespace osched::workload

@@ -1,0 +1,119 @@
+#include "workload/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace osched::workload {
+
+namespace {
+
+std::string format_value(double v) {
+  if (v >= kTimeInfinity) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::optional<double> parse_value(const std::string& s) {
+  if (s == "inf") return kTimeInfinity;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::string instance_to_csv(const Instance& instance) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  std::vector<std::string> header{"release", "weight", "deadline"};
+  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+    header.push_back("p_" + std::to_string(i));
+  }
+  writer.write_row(header);
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const Job& job = instance.job(j);
+    std::vector<std::string> row{format_value(job.release),
+                                 format_value(job.weight),
+                                 format_value(job.deadline)};
+    for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+      row.push_back(format_value(instance.processing(static_cast<MachineId>(i), j)));
+    }
+    writer.write_row(row);
+  }
+  return out.str();
+}
+
+std::optional<Instance> instance_from_csv(const std::string& text,
+                                          std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Instance> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  const auto rows = util::parse_csv(text);
+  if (!rows.has_value()) return fail("malformed CSV");
+  if (rows->empty()) return fail("empty trace");
+  const auto& header = (*rows)[0];
+  if (header.size() < 4 || header[0] != "release") {
+    return fail("bad header (expected release,weight,deadline,p_0,...)");
+  }
+  const std::size_t machines = header.size() - 3;
+
+  std::vector<Job> jobs;
+  std::vector<std::vector<Work>> processing(machines);
+  for (std::size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    if (row.empty() || (row.size() == 1 && row[0].empty())) continue;
+    if (row.size() != header.size()) {
+      return fail("row " + std::to_string(r) + " has wrong arity");
+    }
+    Job job;
+    job.id = static_cast<JobId>(jobs.size());
+    const auto release = parse_value(row[0]);
+    const auto weight = parse_value(row[1]);
+    const auto deadline = parse_value(row[2]);
+    if (!release || !weight || !deadline) {
+      return fail("row " + std::to_string(r) + " has non-numeric job fields");
+    }
+    job.release = *release;
+    job.weight = *weight;
+    job.deadline = *deadline;
+    jobs.push_back(job);
+    for (std::size_t i = 0; i < machines; ++i) {
+      const auto p = parse_value(row[3 + i]);
+      if (!p) return fail("row " + std::to_string(r) + " has non-numeric p_ij");
+      processing[i].push_back(*p);
+    }
+  }
+
+  Instance instance(std::move(jobs), std::move(processing));
+  const std::string problems = instance.validate();
+  if (!problems.empty()) return fail("invalid instance: " + problems);
+  return instance;
+}
+
+bool save_instance(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << instance_to_csv(instance);
+  return static_cast<bool>(out);
+}
+
+std::optional<Instance> load_instance(const std::string& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return instance_from_csv(buffer.str(), error);
+}
+
+}  // namespace osched::workload

@@ -1,0 +1,27 @@
+// Instance (trace) serialization.
+//
+// CSV layout, one job per row:
+//   release,weight,deadline,p_0,p_1,...,p_{m-1}
+// with a header row naming the columns; "inf" encodes ineligible machines
+// and absent deadlines. Round-trips exactly through %.17g formatting.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "instance/instance.hpp"
+
+namespace osched::workload {
+
+std::string instance_to_csv(const Instance& instance);
+
+/// Returns nullopt (with a message in *error if given) on malformed input.
+std::optional<Instance> instance_from_csv(const std::string& text,
+                                          std::string* error = nullptr);
+
+/// File convenience wrappers. save returns false on IO failure.
+bool save_instance(const Instance& instance, const std::string& path);
+std::optional<Instance> load_instance(const std::string& path,
+                                      std::string* error = nullptr);
+
+}  // namespace osched::workload

@@ -1,0 +1,163 @@
+// Tests for the sweep driver: metric bookkeeping, aggregation, seed
+// derivation (bit-identical results regardless of thread count), table/CSV
+// rendering, and the bootstrap interval.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace osched::analysis {
+namespace {
+
+TEST(MetricRow, PreservesInsertionOrderAndOverwrites) {
+  MetricRow row;
+  row.set("b", 2.0);
+  row.set("a", 1.0);
+  row.set("b", 3.0);
+  ASSERT_EQ(row.entries().size(), 2u);
+  EXPECT_EQ(row.entries()[0].first, "b");
+  EXPECT_DOUBLE_EQ(row.entries()[0].second, 3.0);
+  EXPECT_EQ(row.entries()[1].first, "a");
+  EXPECT_TRUE(row.contains("a"));
+  EXPECT_FALSE(row.contains("c"));
+  EXPECT_DOUBLE_EQ(row.get("a"), 1.0);
+}
+
+TEST(RunSweep, AggregatesAcrossRepetitions) {
+  std::vector<SweepCase> cases;
+  cases.push_back({"const", [](std::uint64_t) {
+                     MetricRow row;
+                     row.set("value", 7.0);
+                     return row;
+                   }});
+  cases.push_back({"seeded", [](std::uint64_t seed) {
+                     MetricRow row;
+                     util::Rng rng(seed);
+                     row.set("value", rng.uniform(0.0, 1.0));
+                     return row;
+                   }});
+
+  SweepOptions options;
+  options.repetitions = 8;
+  options.seed = 42;
+  const SweepResult result = run_sweep(cases, options);
+
+  ASSERT_EQ(result.cases.size(), 2u);
+  EXPECT_EQ(result.cases[0].label, "const");
+  EXPECT_EQ(result.cases[0].metric("value").count(), 8u);
+  EXPECT_DOUBLE_EQ(result.cases[0].metric("value").mean(), 7.0);
+  EXPECT_DOUBLE_EQ(result.cases[0].metric("value").stddev(), 0.0);
+  // Different seeds per repetition: nonzero spread with overwhelming
+  // probability.
+  EXPECT_GT(result.cases[1].metric("value").stddev(), 0.0);
+}
+
+TEST(RunSweep, ResultsAreIndependentOfThreadCount) {
+  const auto runner = [](std::uint64_t seed) {
+    MetricRow row;
+    util::Rng rng(seed);
+    row.set("x", rng.uniform(0.0, 100.0));
+    row.set("y", rng.exponential(0.5));
+    return row;
+  };
+  std::vector<SweepCase> cases;
+  for (int c = 0; c < 4; ++c) {
+    cases.push_back({"case" + std::to_string(c), runner});
+  }
+
+  SweepOptions serial;
+  serial.repetitions = 6;
+  serial.seed = 2024;
+  serial.threads = 1;
+  SweepOptions parallel = serial;
+  parallel.threads = 8;
+
+  const SweepResult a = run_sweep(cases, serial);
+  const SweepResult b = run_sweep(cases, parallel);
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (std::size_t c = 0; c < a.cases.size(); ++c) {
+    ASSERT_EQ(a.cases[c].metric_order, b.cases[c].metric_order);
+    for (std::size_t k = 0; k < a.cases[c].metrics.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.cases[c].metrics[k].mean(), b.cases[c].metrics[k].mean());
+      EXPECT_DOUBLE_EQ(a.cases[c].metrics[k].min(), b.cases[c].metrics[k].min());
+      EXPECT_DOUBLE_EQ(a.cases[c].metrics[k].max(), b.cases[c].metrics[k].max());
+    }
+  }
+}
+
+TEST(RunSweep, CasesWithDifferentMetricsShareTheTable) {
+  std::vector<SweepCase> cases;
+  cases.push_back({"flow", [](std::uint64_t) {
+                     MetricRow row;
+                     row.set("flow", 10.0);
+                     return row;
+                   }});
+  cases.push_back({"energy", [](std::uint64_t) {
+                     MetricRow row;
+                     row.set("energy", 5.0);
+                     return row;
+                   }});
+  const SweepResult result = run_sweep(cases, {.repetitions = 2});
+
+  std::ostringstream rendered;
+  result.to_table().print(rendered);
+  const std::string text = rendered.str();
+  // Both metric columns appear; missing cells render as '-'.
+  EXPECT_NE(text.find("flow"), std::string::npos);
+  EXPECT_NE(text.find("energy"), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+TEST(RunSweep, CsvHasOneLinePerCaseMetric) {
+  std::vector<SweepCase> cases;
+  cases.push_back({"a", [](std::uint64_t) {
+                     MetricRow row;
+                     row.set("m1", 1.0);
+                     row.set("m2", 2.0);
+                     return row;
+                   }});
+  const SweepResult result = run_sweep(cases, {.repetitions = 3});
+  std::ostringstream csv;
+  result.write_csv(csv);
+  const std::string text = csv.str();
+  std::size_t lines = 0;
+  for (char ch : text) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);  // header + 2 metrics
+  EXPECT_NE(text.find("a,m1,1"), std::string::npos);
+  EXPECT_NE(text.find("a,m2,2"), std::string::npos);
+}
+
+TEST(Bootstrap, DegenerateSampleGivesPointInterval) {
+  const auto interval = bootstrap_mean_ci({3.0});
+  EXPECT_DOUBLE_EQ(interval.point, 3.0);
+  EXPECT_DOUBLE_EQ(interval.lower, 3.0);
+  EXPECT_DOUBLE_EQ(interval.upper, 3.0);
+}
+
+TEST(Bootstrap, IntervalCoversTheSampleMeanAndShrinksWithN) {
+  util::Rng rng(7);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(rng.normal(50.0, 10.0));
+  for (int i = 0; i < 400; ++i) large.push_back(rng.normal(50.0, 10.0));
+
+  const auto ci_small = bootstrap_mean_ci(small);
+  const auto ci_large = bootstrap_mean_ci(large);
+  EXPECT_LE(ci_small.lower, ci_small.point);
+  EXPECT_GE(ci_small.upper, ci_small.point);
+  EXPECT_LT(ci_large.upper - ci_large.lower, ci_small.upper - ci_small.lower);
+  EXPECT_NEAR(ci_large.point, 50.0, 2.5);
+}
+
+TEST(Bootstrap, IsDeterministicForFixedSeed) {
+  const std::vector<double> values{1.0, 5.0, 2.0, 8.0, 3.0};
+  const auto a = bootstrap_mean_ci(values, 0.9, 500, 123);
+  const auto b = bootstrap_mean_ci(values, 0.9, 500, 123);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+}  // namespace
+}  // namespace osched::analysis

@@ -1,0 +1,113 @@
+// Tests for the scheduler facade: name round-trips, per-algorithm wiring
+// (certificates, counters, energy in the report), and the validator hookup.
+#include <gtest/gtest.h>
+
+#include "api/scheduler_api.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "instance/builders.hpp"
+#include "workload/generators.hpp"
+
+namespace osched::api {
+namespace {
+
+TEST(Api, AlgorithmNamesRoundTrip) {
+  for (const std::string& name : algorithm_names()) {
+    const auto parsed = parse_algorithm(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(to_string(*parsed), name);
+  }
+  EXPECT_FALSE(parse_algorithm("nope").has_value());
+  EXPECT_FALSE(parse_algorithm("").has_value());
+  EXPECT_FALSE(parse_algorithm("Theorem1").has_value());  // case-sensitive
+}
+
+Instance flow_workload(std::uint64_t seed, std::size_t jobs = 150) {
+  workload::WorkloadConfig config;
+  config.num_jobs = jobs;
+  config.num_machines = 3;
+  config.load = 1.3;
+  config.seed = seed;
+  return workload::generate_workload(config);
+}
+
+TEST(Api, Theorem1MatchesTheDirectCall) {
+  const Instance instance = flow_workload(5);
+  RunOptions options;
+  options.epsilon = 0.25;
+  const RunSummary summary = run(Algorithm::kTheorem1, instance, options);
+
+  const auto direct = run_rejection_flow(instance, {.epsilon = 0.25});
+  EXPECT_DOUBLE_EQ(summary.report.total_flow,
+                   direct.schedule.total_flow(instance));
+  EXPECT_DOUBLE_EQ(summary.certified_lower_bound, direct.opt_lower_bound);
+  EXPECT_EQ(summary.rule1_rejections, direct.rule1_rejections);
+  EXPECT_EQ(summary.rule2_rejections, direct.rule2_rejections);
+  EXPECT_GT(summary.certified_lower_bound, 0.0);
+}
+
+TEST(Api, FlowAlgorithmsReportNoEnergy) {
+  const Instance instance = flow_workload(6);
+  for (Algorithm algorithm : {Algorithm::kTheorem1, Algorithm::kWeightedExt,
+                              Algorithm::kGreedySpt, Algorithm::kFifo,
+                              Algorithm::kImmediateReject}) {
+    const RunSummary summary = run(algorithm, instance);
+    EXPECT_EQ(summary.report.energy, 0.0) << to_string(algorithm);
+    EXPECT_EQ(summary.report.num_jobs, instance.num_jobs());
+    EXPECT_EQ(summary.algorithm, algorithm);
+  }
+}
+
+TEST(Api, NoRejectionBaselinesCompleteEverything) {
+  const Instance instance = flow_workload(7);
+  for (Algorithm algorithm : {Algorithm::kGreedySpt, Algorithm::kFifo}) {
+    const RunSummary summary = run(algorithm, instance);
+    EXPECT_EQ(summary.report.num_completed, instance.num_jobs());
+    EXPECT_EQ(summary.report.num_rejected, 0u);
+  }
+}
+
+TEST(Api, Theorem2FillsEnergyInTheReport) {
+  const Instance instance = flow_workload(8, 60);
+  RunOptions options;
+  options.epsilon = 0.4;
+  options.alpha = 2.5;
+  const RunSummary summary = run(Algorithm::kTheorem2, instance, options);
+  EXPECT_GT(summary.report.energy, 0.0);
+  EXPECT_GT(summary.report.total_weighted_flow, 0.0);
+}
+
+TEST(Api, Theorem3RunsDeadlineInstancesAndCertifies) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 25;
+  config.num_machines = 2;
+  config.load = 0.7;
+  config.with_deadlines = true;
+  config.seed = 9;
+  const Instance instance = workload::generate_workload(config);
+
+  RunOptions options;
+  options.alpha = 2.0;
+  options.speed_levels = 6;
+  const RunSummary summary = run(Algorithm::kTheorem3, instance, options);
+  EXPECT_EQ(summary.report.num_completed, instance.num_jobs());
+  EXPECT_GT(summary.report.energy, 0.0);
+  EXPECT_GT(summary.certified_lower_bound, 0.0);
+  // Theorem 3: ALG <= alpha^alpha * OPT, and the certificate is a lower
+  // bound on OPT within the strategy space, so ALG / LB <= alpha^alpha must
+  // hold on every instance.
+  EXPECT_LE(summary.report.energy,
+            std::pow(options.alpha, options.alpha) *
+                    summary.certified_lower_bound +
+                1e-6);
+}
+
+TEST(Api, ImmediateRejectStaysWithinItsBudget) {
+  const Instance instance = flow_workload(10);
+  RunOptions options;
+  options.epsilon = 0.2;
+  const RunSummary summary = run(Algorithm::kImmediateReject, instance, options);
+  EXPECT_LE(summary.report.rejected_fraction, 0.2 + 1e-9);
+}
+
+}  // namespace
+}  // namespace osched::api

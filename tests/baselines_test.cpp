@@ -1,0 +1,327 @@
+// Tests for the baseline schedulers and the flow lower bounds.
+#include <gtest/gtest.h>
+
+#include "baselines/avr_energy.hpp"
+#include "baselines/flow_lower_bounds.hpp"
+#include "baselines/immediate_rejection.hpp"
+#include "baselines/list_scheduler.hpp"
+#include "baselines/speed_augmented.hpp"
+#include "core/energy_min/config_primal_dual.hpp"
+#include "instance/builders.hpp"
+#include "metrics/ratio.hpp"
+#include "sim/validator.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace osched {
+namespace {
+
+// ---------------------------------------------------------------- list
+
+TEST(ListScheduler, SptServesShortestFirst) {
+  const Instance instance =
+      single_machine_instance({{0.0, 10.0}, {1.0, 4.0}, {2.0, 2.0}});
+  const Schedule schedule = run_greedy_spt(instance);
+  check_schedule(schedule, instance);
+  EXPECT_DOUBLE_EQ(schedule.record(2).start, 10.0);  // shorter first
+  EXPECT_DOUBLE_EQ(schedule.record(1).start, 12.0);
+}
+
+TEST(ListScheduler, FifoServesInReleaseOrder) {
+  const Instance instance =
+      single_machine_instance({{0.0, 10.0}, {1.0, 4.0}, {2.0, 2.0}});
+  const Schedule schedule = run_fifo(instance);
+  check_schedule(schedule, instance);
+  EXPECT_DOUBLE_EQ(schedule.record(1).start, 10.0);  // release order
+  EXPECT_DOUBLE_EQ(schedule.record(2).start, 14.0);
+}
+
+TEST(ListScheduler, MinCompletionBalancesMachines) {
+  InstanceBuilder builder(2);
+  builder.add_identical_job(0.0, 4.0);
+  builder.add_identical_job(0.0, 4.0);
+  const Instance instance = builder.build();
+  const Schedule schedule = run_greedy_spt(instance);
+  check_schedule(schedule, instance);
+  EXPECT_NE(schedule.record(0).machine, schedule.record(1).machine);
+}
+
+TEST(ListScheduler, RoundRobinCycles) {
+  InstanceBuilder builder(3);
+  for (int k = 0; k < 6; ++k) builder.add_identical_job(0.0, 1.0);
+  const Instance instance = builder.build();
+  const Schedule schedule = run_list_scheduler(
+      instance, {DispatchRule::kRoundRobin, QueueDiscipline::kFifo});
+  check_schedule(schedule, instance);
+  EXPECT_EQ(schedule.record(0).machine, 0);
+  EXPECT_EQ(schedule.record(1).machine, 1);
+  EXPECT_EQ(schedule.record(2).machine, 2);
+  EXPECT_EQ(schedule.record(3).machine, 0);
+}
+
+TEST(ListScheduler, NeverRejects) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 300;
+  config.num_machines = 2;
+  config.load = 2.0;  // heavy overload: still no rejection
+  config.seed = 77;
+  const Instance instance = workload::generate_workload(config);
+  const Schedule schedule = run_greedy_spt(instance);
+  check_schedule(schedule, instance);
+  EXPECT_EQ(schedule.num_rejected(), 0u);
+  EXPECT_EQ(schedule.num_completed(), instance.num_jobs());
+}
+
+TEST(ListScheduler, RespectsRestrictedEligibility) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 200;
+  config.num_machines = 4;
+  config.machines.model = workload::MachineModel::kRestricted;
+  config.machines.eligibility = 0.4;
+  config.seed = 78;
+  const Instance instance = workload::generate_workload(config);
+  for (auto rule : {DispatchRule::kMinCompletion, DispatchRule::kMinBacklog,
+                    DispatchRule::kRoundRobin}) {
+    const Schedule schedule =
+        run_list_scheduler(instance, {rule, QueueDiscipline::kSpt});
+    check_schedule(schedule, instance);  // validator checks eligibility
+  }
+}
+
+// ---------------------------------------------------------------- immediate
+
+TEST(ImmediateRejection, BudgetRespected) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 500;
+  config.num_machines = 1;
+  config.load = 3.0;
+  config.seed = 12;
+  const Instance instance = workload::generate_workload(config);
+  const auto result =
+      run_immediate_rejection(instance, {.eps = 0.2, .patience = 1.0});
+  check_schedule(result.schedule, instance);
+  EXPECT_LE(static_cast<double>(result.rejections),
+            0.2 * static_cast<double>(instance.num_jobs()) + 1e-9);
+}
+
+TEST(ImmediateRejection, RejectsOnlyAtArrival) {
+  // Rejected jobs must never have started (that is the class restriction).
+  workload::WorkloadConfig config;
+  config.num_jobs = 400;
+  config.load = 2.5;
+  config.seed = 13;
+  const Instance instance = workload::generate_workload(config);
+  const auto result =
+      run_immediate_rejection(instance, {.eps = 0.3, .patience = 0.5});
+  for (const JobRecord& rec : result.schedule.records()) {
+    if (rec.rejected()) {
+      EXPECT_EQ(rec.fate, JobFate::kRejectedPending);
+      EXPECT_FALSE(rec.started);
+      // Rejection exactly at arrival.
+      // (release lookup via instance would need the id; fate check suffices)
+    }
+  }
+}
+
+TEST(ImmediateRejection, ZeroPatienceStillScheduling) {
+  const Instance instance = single_machine_instance({{0.0, 2.0}});
+  const auto result = run_immediate_rejection(instance, {.eps = 0.5, .patience = 0.0});
+  check_schedule(result.schedule, instance);
+  // No queue at arrival -> wait 0, not > 0: accepted.
+  EXPECT_EQ(result.schedule.num_completed(), 1u);
+}
+
+// ---------------------------------------------------------------- speed-aug
+
+TEST(SpeedAugmented, RunsFasterThanUnitSpeed) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 300;
+  config.num_machines = 2;
+  config.load = 1.2;
+  config.seed = 21;
+  const Instance instance = workload::generate_workload(config);
+
+  SpeedAugmentedOptions options;
+  options.eps_rejection = 0.2;
+  options.eps_speed = 0.5;
+  const auto augmented = run_speed_augmented_flow(instance, options);
+  check_schedule(augmented.schedule, instance);
+
+  const auto unit = run_rejection_flow(instance, {.epsilon = 0.2});
+  // With 1.5x speed the flow should be strictly better on a loaded system.
+  EXPECT_LT(augmented.schedule.total_flow(instance),
+            unit.schedule.total_flow(instance));
+}
+
+// ---------------------------------------------------------------- AVR
+
+TEST(AvrEnergy, StretchesAcrossWindow) {
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, 4.0, 1.0, /*deadline=*/8.0);
+  const Instance instance = builder.build();
+  const auto result = run_avr_energy(instance, 2.0);
+  EXPECT_NEAR(result.chosen[0].speed, 0.5, 1e-12);
+  EXPECT_NEAR(result.schedule.record(0).start, 0.0, 1e-12);
+  EXPECT_NEAR(result.schedule.record(0).end, 8.0, 1e-12);
+  EXPECT_NEAR(result.energy, 0.25 * 8.0, 1e-9);
+  ValidationOptions vopts;
+  vopts.allow_parallel_execution = true;
+  vopts.require_deadlines = true;
+  check_schedule(result.schedule, instance, vopts);
+}
+
+TEST(AvrEnergy, GreedyPDNeverWorseOnSequentialWindows) {
+  // Disjoint windows: ConfigPD can do at least as well as AVR (it includes
+  // AVR-like strategies in its grid thanks to the exact-fit fallback).
+  workload::WorkloadConfig config;
+  config.num_jobs = 25;
+  config.num_machines = 2;
+  config.with_deadlines = true;
+  config.slack_min = 2.0;
+  config.slack_max = 5.0;
+  config.seed = 31;
+  const Instance instance = workload::generate_workload(config);
+
+  const auto avr = run_avr_energy(instance, 2.0);
+  ConfigPDOptions pd_options;
+  pd_options.alpha = 2.0;
+  pd_options.speed_levels = 10;
+  pd_options.start_grid = 0.5;
+  const auto pd = run_config_primal_dual(instance, pd_options);
+  // Not a theorem, but with a fine grid the PD greedy should beat or match
+  // plain AVR on typical instances.
+  EXPECT_LE(pd.algorithm_energy, avr.energy * 1.10);
+}
+
+// ---------------------------------------------------------------- lower bounds
+
+TEST(FlowLowerBounds, SumMinProcessing) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {4.0, 2.0});
+  builder.add_job(1.0, {3.0, 6.0});
+  EXPECT_DOUBLE_EQ(lb_sum_min_processing(builder.build()), 5.0);
+}
+
+TEST(FlowLowerBounds, SrptMatchesHandComputation) {
+  // Jobs: (r=0,p=5), (r=1,p=1). SRPT: run j0 [0,1), preempt for j1 [1,2),
+  // resume j0 [2,6). Flows: j1: 1, j0: 6. Total 7.
+  const Instance instance = single_machine_instance({{0.0, 5.0}, {1.0, 1.0}});
+  const auto srpt = lb_srpt_preemptive_single_machine(instance);
+  ASSERT_TRUE(srpt.has_value());
+  EXPECT_NEAR(*srpt, 7.0, 1e-9);
+}
+
+TEST(FlowLowerBounds, SrptOnlySingleMachine) {
+  InstanceBuilder builder(2);
+  builder.add_identical_job(0.0, 1.0);
+  EXPECT_FALSE(lb_srpt_preemptive_single_machine(builder.build()).has_value());
+}
+
+TEST(FlowLowerBounds, ExactOptimalKnowsWaitingHelps) {
+  // (r=0, p=10), (r=1, p=1): serving the long job first costs 10 + 10 = 20;
+  // idling until 1 and serving the short one first costs 1 + 12 - 0 = ...
+  // order (short, long): short [1,2) flow 1; long [2,12) flow 12; total 13.
+  const Instance instance = single_machine_instance({{0.0, 10.0}, {1.0, 1.0}});
+  const auto opt = exact_optimal_flow_single_machine(instance);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_NEAR(*opt, 13.0, 1e-9);
+}
+
+TEST(FlowLowerBounds, ExactOptimalDominatesRelaxations) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<Time, Work>> jobs;
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 5));
+    Time t = 0.0;
+    for (int k = 0; k < n; ++k) {
+      t += rng.exponential(1.0);
+      jobs.push_back({t, rng.uniform(0.2, 3.0)});
+    }
+    const Instance instance = single_machine_instance(jobs);
+    const auto opt = exact_optimal_flow_single_machine(instance);
+    ASSERT_TRUE(opt.has_value());
+    const auto srpt = lb_srpt_preemptive_single_machine(instance);
+    ASSERT_TRUE(srpt.has_value());
+    EXPECT_GE(*opt, *srpt - 1e-9);
+    EXPECT_GE(*opt, lb_sum_min_processing(instance) - 1e-9);
+    // And any feasible schedule costs at least OPT.
+    const Schedule greedy = run_greedy_spt(instance);
+    EXPECT_GE(greedy.total_flow(instance), *opt - 1e-9);
+  }
+}
+
+TEST(FlowLowerBounds, ExactUnrelatedMatchesSingleMachinePath) {
+  const Instance instance = single_machine_instance({{0.0, 10.0}, {1.0, 1.0}});
+  const auto unrelated = exact_optimal_flow_unrelated(instance);
+  const auto single = exact_optimal_flow_single_machine(instance);
+  ASSERT_TRUE(unrelated.has_value());
+  ASSERT_TRUE(single.has_value());
+  EXPECT_NEAR(*unrelated, *single, 1e-9);
+}
+
+TEST(FlowLowerBounds, ExactUnrelatedUsesBothMachines) {
+  // Two jobs released together, each faster on a different machine.
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {1.0, 5.0});
+  builder.add_job(0.0, {5.0, 1.0});
+  const Instance instance = builder.build();
+  const auto opt = exact_optimal_flow_unrelated(instance);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_NEAR(*opt, 2.0, 1e-9);  // each on its fast machine in parallel
+}
+
+TEST(FlowLowerBounds, ExactUnrelatedRespectsEligibility) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {kTimeInfinity, 2.0});
+  builder.add_job(0.0, {kTimeInfinity, 3.0});
+  const Instance instance = builder.build();
+  const auto opt = exact_optimal_flow_unrelated(instance);
+  ASSERT_TRUE(opt.has_value());
+  // Both on machine 1: SPT order -> 2 + 5.
+  EXPECT_NEAR(*opt, 7.0, 1e-9);
+}
+
+TEST(FlowLowerBounds, ExactUnrelatedBailsOutOnLargeSpaces) {
+  InstanceBuilder builder(4);
+  for (int k = 0; k < 12; ++k) builder.add_identical_job(0.0, 1.0);
+  EXPECT_FALSE(
+      exact_optimal_flow_unrelated(builder.build(), /*max_assignments=*/1000)
+          .has_value());
+}
+
+// Theorem 1 against the TRUE optimum (not just the dual bound) on tiny
+// instances — the strongest form of the competitive-ratio check.
+TEST(FlowLowerBounds, Theorem1WithinBoundOfTrueOptimum) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 15; ++trial) {
+    InstanceBuilder builder(2);
+    const int n = 4 + static_cast<int>(rng.uniform_int(0, 3));
+    Time t = 0.0;
+    for (int k = 0; k < n; ++k) {
+      t += rng.exponential(1.0);
+      builder.add_job(t, {rng.uniform(0.3, 4.0), rng.uniform(0.3, 4.0)});
+    }
+    const Instance instance = builder.build();
+    const auto opt = exact_optimal_flow_unrelated(instance);
+    ASSERT_TRUE(opt.has_value());
+    for (double eps : {0.25, 0.5}) {
+      const auto result = run_rejection_flow(instance, {.epsilon = eps});
+      const double alg = result.schedule.total_flow(instance);
+      EXPECT_LE(alg, theorem1_ratio_bound(eps) * *opt + 1e-9)
+          << "trial=" << trial << " eps=" << eps;
+      // And the dual bound must not exceed the true optimum.
+      EXPECT_LE(result.opt_lower_bound, *opt + 1e-9);
+    }
+  }
+}
+
+TEST(FlowLowerBounds, BestBoundTakesMax) {
+  const Instance instance = single_machine_instance({{0.0, 5.0}, {1.0, 1.0}});
+  const double best = best_flow_lower_bound(instance, /*dual_bound=*/100.0);
+  EXPECT_DOUBLE_EQ(best, 100.0);
+  const double no_dual = best_flow_lower_bound(instance, 0.0);
+  EXPECT_NEAR(no_dual, 7.0, 1e-9);  // SRPT wins over sum-min (6)
+}
+
+}  // namespace
+}  // namespace osched

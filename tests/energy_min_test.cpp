@@ -1,0 +1,388 @@
+// Tests for Theorem 3: speed profiles, strategy enumeration, the greedy
+// configuration primal-dual scheduler, the brute-force optimum, and the
+// alpha^alpha guarantee on randomized small instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energy_min/bruteforce.hpp"
+#include "core/energy_min/config_primal_dual.hpp"
+#include "core/energy_min/strategy.hpp"
+#include "instance/builders.hpp"
+#include "sim/validator.hpp"
+#include "util/rng.hpp"
+
+namespace osched {
+namespace {
+
+// ---------------------------------------------------------------- profiles
+
+TEST(SpeedProfile, SingleIntervalCost) {
+  SpeedProfile profile;
+  profile.add(1.0, 3.0, 2.0);
+  PolynomialPower p2(2.0);
+  EXPECT_NEAR(profile.total_cost(p2), 4.0 * 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(profile.speed_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(2.9), 2.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(3.0), 0.0);
+}
+
+TEST(SpeedProfile, OverlappingAddsSpeeds) {
+  SpeedProfile profile;
+  profile.add(0.0, 4.0, 1.0);
+  profile.add(2.0, 6.0, 2.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(profile.speed_at(5.0), 2.0);
+  PolynomialPower p2(2.0);
+  // [0,2): 1; [2,4): 9; [4,6): 4 => 2 + 18 + 8 = 28.
+  EXPECT_NEAR(profile.total_cost(p2), 28.0, 1e-12);
+}
+
+TEST(SpeedProfile, MarginalCostAgainstEmpty) {
+  SpeedProfile profile;
+  PolynomialPower p3(3.0);
+  EXPECT_NEAR(profile.marginal_cost(0.0, 2.0, 2.0, p3), 8.0 * 2.0, 1e-12);
+}
+
+TEST(SpeedProfile, MarginalCostStraddlesSegments) {
+  SpeedProfile profile;
+  profile.add(1.0, 3.0, 1.0);
+  PolynomialPower p2(2.0);
+  // Add v=1 over [0,4): [0,1) (4-0... (0+1)^2-0 =1)*1 + [1,3) ((2^2-1)=3)*2 +
+  // [3,4) (1)*1 = 1 + 6 + 1 = 8.
+  EXPECT_NEAR(profile.marginal_cost(0.0, 4.0, 1.0, p2), 8.0, 1e-12);
+}
+
+TEST(SpeedProfile, MarginalMatchesCostDifference) {
+  util::Rng rng(8);
+  PolynomialPower p(2.5);
+  for (int trial = 0; trial < 50; ++trial) {
+    SpeedProfile profile;
+    for (int k = 0; k < 5; ++k) {
+      const Time a = rng.uniform(0.0, 10.0);
+      profile.add(a, a + rng.uniform(0.1, 5.0), rng.uniform(0.1, 2.0));
+    }
+    const Time b = rng.uniform(0.0, 10.0);
+    const Time e = b + rng.uniform(0.1, 5.0);
+    const Speed v = rng.uniform(0.1, 2.0);
+    const double before = profile.total_cost(p);
+    const double marginal = profile.marginal_cost(b, e, v, p);
+    profile.add(b, e, v);
+    const double after = profile.total_cost(p);
+    ASSERT_NEAR(marginal, after - before, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- strategies
+
+Instance deadline_instance(
+    const std::vector<std::tuple<Time, Time, Work>>& jobs_rdp,
+    std::size_t machines = 1) {
+  InstanceBuilder builder(machines);
+  for (const auto& [r, d, p] : jobs_rdp) {
+    builder.add_job(r, std::vector<Work>(machines, p), 1.0, d);
+  }
+  return builder.build();
+}
+
+TEST(Strategies, RespectWindow) {
+  const Instance instance = deadline_instance({{0.0, 10.0, 4.0}});
+  const auto strategies =
+      enumerate_strategies(instance, 0, {1.0, 2.0}, /*start_grid=*/1.0);
+  ASSERT_FALSE(strategies.empty());
+  for (const Strategy& s : strategies) {
+    const Time end = s.start + s.duration(4.0);
+    EXPECT_GE(s.start, 0.0 - 1e-9);
+    EXPECT_LE(end, 10.0 + 1e-9);
+  }
+  // Speed 1: starts 0..6 (7) ; speed 2: starts 0..8 (9). Latest starts are
+  // on the grid already.
+  EXPECT_EQ(strategies.size(), 7u + 9u);
+}
+
+TEST(Strategies, ExactFitSpeedAddedWhenGridInfeasible) {
+  // Window 2, p = 4: needs speed >= 2; grid only has 1 -> exact fit 2.
+  const Instance instance = deadline_instance({{0.0, 2.0, 4.0}});
+  const auto strategies = enumerate_strategies(instance, 0, {1.0}, 1.0);
+  ASSERT_FALSE(strategies.empty());
+  for (const Strategy& s : strategies) {
+    EXPECT_NEAR(s.speed, 2.0, 1e-12);
+    EXPECT_NEAR(s.start, 0.0, 1e-12);
+  }
+}
+
+TEST(Strategies, LatestStartIncludedWhenOffGrid) {
+  // Window [0, 5.5], p=2, speed 1: latest start 3.5 off the unit grid.
+  const Instance instance = deadline_instance({{0.0, 5.5, 2.0}});
+  const auto strategies = enumerate_strategies(instance, 0, {1.0}, 1.0);
+  bool has_latest = false;
+  for (const Strategy& s : strategies) {
+    if (std::abs(s.start - 3.5) < 1e-9) has_latest = true;
+  }
+  EXPECT_TRUE(has_latest);
+}
+
+TEST(Strategies, SkipIneligibleMachines) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {kTimeInfinity, 3.0}, 1.0, 6.0);
+  const Instance instance = builder.build();
+  const auto strategies = enumerate_strategies(instance, 0, {1.0}, 1.0);
+  ASSERT_FALSE(strategies.empty());
+  for (const Strategy& s : strategies) EXPECT_EQ(s.machine, 1);
+}
+
+TEST(SpeedGrid, CoversRequiredSpeeds) {
+  const Instance instance =
+      deadline_instance({{0.0, 10.0, 1.0}, {0.0, 2.0, 4.0}});
+  const auto grid = make_speed_grid(instance, 6);
+  ASSERT_EQ(grid.size(), 6u);
+  // Slowest useful = 1/10; fastest required = 4/2 = 2; headroom 4 => 8.
+  EXPECT_NEAR(grid.front(), 0.1, 1e-9);
+  EXPECT_NEAR(grid.back(), 8.0, 1e-9);
+  for (std::size_t k = 1; k < grid.size(); ++k) EXPECT_GT(grid[k], grid[k - 1]);
+}
+
+// ---------------------------------------------------------------- greedy PD
+
+TEST(ConfigPD, SingleJobPicksSlowestFeasibleSpeed) {
+  // Energy p^alpha/v^{alpha-1}... running slower is always cheaper for a
+  // lone job, so the greedy picks the smallest feasible grid speed.
+  const Instance instance = deadline_instance({{0.0, 8.0, 4.0}});
+  ConfigPDOptions options;
+  options.alpha = 2.0;
+  options.speeds = {0.5, 1.0, 2.0};
+  const auto result = run_config_primal_dual(instance, options);
+  EXPECT_NEAR(result.chosen[0].speed, 0.5, 1e-12);
+  // Energy = v^2 * (p/v) = v * p = 2.
+  EXPECT_NEAR(result.algorithm_energy, 2.0, 1e-9);
+
+  ValidationOptions vopts;
+  vopts.allow_parallel_execution = true;
+  vopts.require_deadlines = true;
+  check_schedule(result.schedule, instance, vopts);
+}
+
+TEST(ConfigPD, AvoidsOverlapWhenCheaper) {
+  // Two unit jobs with disjoint-feasible windows wide enough to separate:
+  // stacking speeds would cost (2v)^2*t, separating costs 2*v^2*t.
+  const Instance instance =
+      deadline_instance({{0.0, 4.0, 1.0}, {0.0, 4.0, 1.0}});
+  ConfigPDOptions options;
+  options.alpha = 2.0;
+  options.speeds = {0.5};
+  options.start_grid = 1.0;
+  const auto result = run_config_primal_dual(instance, options);
+  // Each runs 2 time units at 0.5 in the 4-window: no overlap possible to
+  // avoid? Windows allow [0,2) and [2,4): greedy should separate.
+  const auto& a = result.schedule.record(0);
+  const auto& b = result.schedule.record(1);
+  const bool disjoint = a.end <= b.start + 1e-9 || b.end <= a.start + 1e-9;
+  EXPECT_TRUE(disjoint) << "a=[" << a.start << "," << a.end << ") b=[" << b.start
+                        << "," << b.end << ")";
+  EXPECT_NEAR(result.algorithm_energy, 2 * 0.25 * 2.0, 1e-9);
+}
+
+TEST(ConfigPD, SpreadsAcrossMachines) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {2.0, 2.0}, 1.0, 2.0);
+  builder.add_job(0.0, {2.0, 2.0}, 1.0, 2.0);
+  const Instance instance = builder.build();
+  ConfigPDOptions options;
+  options.alpha = 3.0;
+  options.speeds = {1.0};
+  const auto result = run_config_primal_dual(instance, options);
+  EXPECT_NE(result.schedule.record(0).machine, result.schedule.record(1).machine);
+}
+
+TEST(ConfigPD, EnergyMatchesScheduleIntegration) {
+  // Internal profile cost must equal the independent schedule-based energy.
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::tuple<Time, Time, Work>> jobs;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 5));
+    for (int k = 0; k < n; ++k) {
+      const Time r = rng.uniform(0.0, 10.0);
+      const Time window = rng.uniform(1.0, 10.0);
+      jobs.push_back({r, r + window, rng.uniform(0.5, 4.0)});
+    }
+    const Instance instance = deadline_instance(jobs, 2);
+    ConfigPDOptions options;
+    options.alpha = 2.0;
+    const auto result = run_config_primal_dual(instance, options);
+    const PolynomialPower power(2.0);
+    EXPECT_NEAR(result.algorithm_energy,
+                compute_energy(result.schedule, instance, power),
+                1e-6 * std::max(1.0, result.algorithm_energy));
+  }
+}
+
+TEST(ConfigPD, DualObjectiveIsAlgOverAlphaPowerAlpha) {
+  const Instance instance = deadline_instance({{0.0, 6.0, 3.0}, {1.0, 7.0, 2.0}});
+  ConfigPDOptions options;
+  options.alpha = 2.0;
+  const auto result = run_config_primal_dual(instance, options);
+  EXPECT_NEAR(result.dual_objective,
+              result.algorithm_energy / theorem3_ratio_bound(2.0), 1e-9);
+}
+
+TEST(ConfigPD, ObserverSeesPreCommitState) {
+  const Instance instance = deadline_instance({{0.0, 4.0, 2.0}, {0.0, 4.0, 2.0}});
+  ConfigPDOptions options;
+  options.alpha = 2.0;
+  options.speeds = {1.0};
+  int calls = 0;
+  const auto observer = [&](const ArrivalObservation& obs) {
+    ++calls;
+    ASSERT_NE(obs.profiles, nullptr);
+    ASSERT_NE(obs.strategies, nullptr);
+    EXPECT_LT(obs.chosen, obs.strategies->size());
+    if (obs.job == 0) {
+      // Before the first commit every profile is empty.
+      for (const auto& profile : *obs.profiles) EXPECT_TRUE(profile.empty());
+      // Chosen marginal = isolated cost = v^alpha * duration = 1 * 2.
+      EXPECT_NEAR(obs.chosen_marginal, 2.0, 1e-9);
+    }
+  };
+  run_config_primal_dual(instance, options, observer);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ConfigPD, HeterogeneousAlphasPreferLowExponentMachine) {
+  // Two identical machines except the power exponent: a job forced to run
+  // fast is cheaper on the low-alpha machine (speed 2: 2^2=4 vs 2^3=8).
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {4.0, 4.0}, 1.0, /*deadline=*/2.0);  // needs speed 2
+  const Instance instance = builder.build();
+  ConfigPDOptions options;
+  options.machine_alphas = {3.0, 2.0};
+  options.speeds = {2.0};
+  const auto result = run_config_primal_dual(instance, options);
+  EXPECT_EQ(result.schedule.record(0).machine, 1);
+  EXPECT_NEAR(result.algorithm_energy, 4.0 * 2.0, 1e-9);
+}
+
+TEST(ConfigPD, HeterogeneousDualUsesMaxAlpha) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {2.0, 2.0}, 1.0, 4.0);
+  const Instance instance = builder.build();
+  ConfigPDOptions options;
+  options.machine_alphas = {2.0, 3.0};
+  options.speeds = {1.0};
+  const auto result = run_config_primal_dual(instance, options);
+  // lambda/(1-mu) at alpha_max = 3 is 27.
+  EXPECT_NEAR(result.dual_objective, result.algorithm_energy / 27.0, 1e-9);
+}
+
+TEST(ConfigPD, ResolveMachineAlphasBroadcasts) {
+  ConfigPDOptions options;
+  options.alpha = 2.5;
+  const auto resolved = resolve_machine_alphas(options, 3);
+  ASSERT_EQ(resolved.size(), 3u);
+  for (double a : resolved) EXPECT_DOUBLE_EQ(a, 2.5);
+}
+
+TEST(BruteForce, HeterogeneousAlphasMatchGreedyOnSingleJob) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {4.0, 4.0}, 1.0, 2.0);
+  const Instance instance = builder.build();
+  BruteForceOptions options;
+  options.machine_alphas = {3.0, 2.0};
+  options.speeds = {2.0};
+  const auto exact = brute_force_energy(instance, options);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(exact->optimal_energy, 8.0, 1e-9);
+  EXPECT_EQ(exact->chosen[0].machine, 1);
+}
+
+// ---------------------------------------------------------------- bruteforce
+
+TEST(BruteForce, MatchesExhaustiveTwoJobCase) {
+  const Instance instance = deadline_instance({{0.0, 2.0, 1.0}, {0.0, 2.0, 1.0}});
+  BruteForceOptions options;
+  options.alpha = 2.0;
+  options.speeds = {1.0};
+  options.start_grid = 1.0;
+  const auto result = brute_force_energy(instance, options);
+  ASSERT_TRUE(result.has_value());
+  // Separate at speed 1: 1^2*1 + 1^2*1 = 2 (stacking would cost 4).
+  EXPECT_NEAR(result->optimal_energy, 2.0, 1e-9);
+  ValidationOptions vopts;
+  vopts.allow_parallel_execution = true;
+  vopts.require_deadlines = true;
+  check_schedule(result->schedule, instance, vopts);
+}
+
+TEST(BruteForce, NeverWorseThanGreedy) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<std::tuple<Time, Time, Work>> jobs;
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int k = 0; k < n; ++k) {
+      const Time r = std::floor(rng.uniform(0.0, 4.0));
+      const Time window = std::floor(rng.uniform(2.0, 6.0));
+      jobs.push_back({r, r + window, std::floor(rng.uniform(1.0, 4.0))});
+    }
+    const Instance instance = deadline_instance(jobs, 1);
+    ConfigPDOptions greedy_options;
+    greedy_options.alpha = 2.0;
+    greedy_options.speed_levels = 4;
+    const auto greedy = run_config_primal_dual(instance, greedy_options);
+    BruteForceOptions bf_options;
+    bf_options.alpha = 2.0;
+    bf_options.speed_levels = 4;
+    const auto exact = brute_force_energy(instance, bf_options);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(exact->optimal_energy, greedy.algorithm_energy + 1e-9);
+  }
+}
+
+// Theorem 3 end-to-end: greedy within alpha^alpha of the exact optimum over
+// the same strategy space, across alpha values.
+class Theorem3Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem3Test, GreedyWithinAlphaPowerAlphaOfOpt) {
+  const double alpha = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(alpha * 1000));
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::tuple<Time, Time, Work>> jobs;
+    const int n = 3 + static_cast<int>(rng.uniform_int(0, 1));
+    for (int k = 0; k < n; ++k) {
+      const Time r = std::floor(rng.uniform(0.0, 6.0));
+      const Time window = std::floor(rng.uniform(2.0, 8.0));
+      jobs.push_back({r, r + window, std::floor(rng.uniform(1.0, 5.0))});
+    }
+    const Instance instance = deadline_instance(jobs, 2);
+
+    ConfigPDOptions greedy_options;
+    greedy_options.alpha = alpha;
+    greedy_options.speed_levels = 4;
+    const auto greedy = run_config_primal_dual(instance, greedy_options);
+
+    BruteForceOptions bf_options;
+    bf_options.alpha = alpha;
+    bf_options.speed_levels = 4;
+    const auto exact = brute_force_energy(instance, bf_options);
+    ASSERT_TRUE(exact.has_value());
+
+    ASSERT_GT(exact->optimal_energy, 0.0);
+    const double ratio = greedy.algorithm_energy / exact->optimal_energy;
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LE(ratio, theorem3_ratio_bound(alpha) + 1e-9)
+        << "alpha=" << alpha << " trial=" << trial;
+
+    // The dual lower bound must not exceed the true optimum.
+    EXPECT_LE(greedy.opt_lower_bound, exact->optimal_energy + 1e-9);
+  }
+}
+
+std::string Theorem3Name(const ::testing::TestParamInfo<double>& info) {
+  return "alpha" + std::to_string(static_cast<int>(info.param * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, Theorem3Test,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0), Theorem3Name);
+
+}  // namespace
+}  // namespace osched

@@ -1,0 +1,341 @@
+// Tests for the Theorem 1 scheduler: policy semantics (dispatch order,
+// Rule 1, Rule 2), dual bookkeeping, the theorem's guarantees (rejection
+// budget, ratio vs certified lower bound), and schedule feasibility on
+// randomized instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flow/rejection_flow.hpp"
+#include "instance/builders.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/ratio.hpp"
+#include "sim/validator.hpp"
+#include "util/rng.hpp"
+
+namespace osched {
+namespace {
+
+// -------------------------------------------------------------- unit cases
+
+TEST(ReferenceLambda, EmptyQueue) {
+  // lambda = p/eps + p with nothing pending.
+  EXPECT_DOUBLE_EQ(reference_lambda_ij({}, 10.0, 0.5), 30.0);
+}
+
+TEST(ReferenceLambda, MixedQueue) {
+  // pending {2, 5}, p=3, eps=0.5: 3/0.5 + (2+3) + 1*3 = 14.
+  EXPECT_DOUBLE_EQ(reference_lambda_ij({2.0, 5.0}, 3.0, 0.5), 14.0);
+}
+
+TEST(ReferenceLambda, EqualProcessingOrdersBeforeNewJob) {
+  // pending {3}, p=3: the pending job precedes j (earlier release).
+  // lambda = 3/0.5 + (3+3) + 0 = 12.
+  EXPECT_DOUBLE_EQ(reference_lambda_ij({3.0}, 3.0, 0.5), 12.0);
+}
+
+TEST(RejectionFlow, SingleJobRunsImmediately) {
+  const Instance instance = single_machine_instance({{0.0, 5.0}});
+  const auto result = run_rejection_flow(instance, {.epsilon = 0.5});
+  check_schedule(result.schedule, instance);
+  EXPECT_EQ(result.schedule.record(0).fate, JobFate::kCompleted);
+  EXPECT_DOUBLE_EQ(result.schedule.record(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule.record(0).end, 5.0);
+  // First job: lambda_j = eps/(1+eps) * (p/eps + p) = p exactly.
+  EXPECT_NEAR(result.sum_lambda, 5.0, 1e-12);
+}
+
+TEST(RejectionFlow, SptOrderAmongPending) {
+  // Long job occupies the machine; then shorter jobs queue and are served
+  // shortest-first once it completes. eps=0.9 so no rejections occur
+  // (thresholds: rule1 = ceil(1/0.9) = 2? No: 1/0.9 = 1.11 -> ceil = 2;
+  // two arrivals during execution would reject). Use only 2 queued jobs.
+  const Instance instance =
+      single_machine_instance({{0.0, 10.0}, {1.0, 4.0}, {2.0, 2.0}});
+  RejectionFlowOptions options;
+  options.epsilon = 0.6;  // rule1 threshold ceil(1.67)=2: second arrival
+                          // during the long job triggers Rule 1.
+  options.enable_rule1 = false;  // isolate scheduling order
+  options.enable_rule2 = false;
+  const auto result = run_rejection_flow(instance, options);
+  check_schedule(result.schedule, instance);
+  // Job 0 runs [0,10); then job 2 (p=2) before job 1 (p=4).
+  EXPECT_DOUBLE_EQ(result.schedule.record(2).start, 10.0);
+  EXPECT_DOUBLE_EQ(result.schedule.record(1).start, 12.0);
+  EXPECT_EQ(result.schedule.num_rejected(), 0u);
+}
+
+TEST(RejectionFlow, Rule1RejectsRunningJobAtThreshold) {
+  // eps = 0.5: Rule 1 threshold = 2 arrivals during execution.
+  const Instance instance = single_machine_instance(
+      {{0.0, 100.0}, {1.0, 1.0}, {2.0, 1.0}});
+  RejectionFlowOptions options;
+  options.epsilon = 0.5;
+  options.enable_rule2 = false;
+  const auto result = run_rejection_flow(instance, options);
+  check_schedule(result.schedule, instance);
+  EXPECT_EQ(result.rule1_rejections, 1u);
+  EXPECT_EQ(result.schedule.record(0).fate, JobFate::kRejectedRunning);
+  EXPECT_DOUBLE_EQ(result.schedule.record(0).rejection_time, 2.0);
+  // Remaining jobs complete.
+  EXPECT_EQ(result.schedule.record(1).fate, JobFate::kCompleted);
+  EXPECT_EQ(result.schedule.record(2).fate, JobFate::kCompleted);
+  // After the rejection at t=2 the machine starts the shortest pending.
+  EXPECT_DOUBLE_EQ(result.schedule.record(1).start, 2.0);
+}
+
+TEST(RejectionFlow, Rule1CounterResetsForNextExecution) {
+  // One arrival during each of two executions: never reaches threshold 2.
+  const Instance instance = single_machine_instance(
+      {{0.0, 10.0}, {1.0, 10.0}, {11.0, 1.0}});
+  RejectionFlowOptions options;
+  options.epsilon = 0.5;
+  options.enable_rule2 = false;
+  const auto result = run_rejection_flow(instance, options);
+  check_schedule(result.schedule, instance);
+  EXPECT_EQ(result.rule1_rejections, 0u);
+  EXPECT_EQ(result.schedule.num_rejected(), 0u);
+}
+
+TEST(RejectionFlow, Rule2RejectsLargestPending) {
+  // eps = 0.5: Rule 2 threshold = ceil(1 + 2) = 3 dispatches.
+  // Machine busy with a long job (Rule 1 disabled): pending grows.
+  const Instance instance = single_machine_instance(
+      {{0.0, 100.0}, {1.0, 7.0}, {2.0, 9.0}});
+  RejectionFlowOptions options;
+  options.epsilon = 0.5;
+  options.enable_rule1 = false;
+  const auto result = run_rejection_flow(instance, options);
+  check_schedule(result.schedule, instance);
+  EXPECT_EQ(result.rule2_rejections, 1u);
+  // Third dispatch (job 2) trips the counter; largest pending is job 2
+  // itself (p=9 > 7).
+  EXPECT_EQ(result.schedule.record(2).fate, JobFate::kRejectedPending);
+  EXPECT_DOUBLE_EQ(result.schedule.record(2).rejection_time, 2.0);
+  EXPECT_EQ(result.schedule.record(1).fate, JobFate::kCompleted);
+}
+
+TEST(RejectionFlow, HandComputedScenario) {
+  // eps = 0.5 (rule1 threshold 2, rule2 threshold 3).
+  // j0 (r=0, p=10) starts at 0. j1 (r=1, p=5) queues. j2 (r=2, p=3):
+  //   second arrival during j0's run -> Rule 1 rejects j0 (remaining 8);
+  //   third dispatch -> Rule 2 rejects the largest pending j1 (p=5);
+  //   machine idle -> j2 starts at 2, completes at 5.
+  const Instance instance =
+      single_machine_instance({{0.0, 10.0}, {1.0, 5.0}, {2.0, 3.0}});
+  const auto result = run_rejection_flow(instance, {.epsilon = 0.5});
+  check_schedule(result.schedule, instance);
+
+  EXPECT_EQ(result.schedule.record(0).fate, JobFate::kRejectedRunning);
+  EXPECT_EQ(result.schedule.record(1).fate, JobFate::kRejectedPending);
+  EXPECT_EQ(result.schedule.record(2).fate, JobFate::kCompleted);
+  EXPECT_DOUBLE_EQ(result.schedule.record(2).end, 5.0);
+  EXPECT_EQ(result.rule1_rejections, 1u);
+  EXPECT_EQ(result.rule2_rejections, 1u);
+
+  // ALG total flow (rejected pay until rejection): j0: 2, j1: 1, j2: 3.
+  EXPECT_DOUBLE_EQ(result.schedule.total_flow(instance), 6.0);
+
+  // Dual bookkeeping, hand-computed:
+  //   lambda_0 = (1/3)(10/.5 + 10) = 10; lambda_1 = (1/3)(5/.5+5) = 5;
+  //   lambda_2 = (1/3)(3/.5 + 3 + 3) = 4. Sum = 19.
+  EXPECT_NEAR(result.sum_lambda, 19.0, 1e-9);
+  //   C~_0 = 2 + 8 = 10 (its own remaining), C~_1 = 2 + 8 + (0 + 0 + 5) = 15,
+  //   C~_2 = 5 + 8 = 13. Residence = 10 + 14 + 11 = 35.
+  ASSERT_EQ(result.definitive_finish.size(), 3u);
+  EXPECT_NEAR(result.definitive_finish[0], 10.0, 1e-9);
+  EXPECT_NEAR(result.definitive_finish[1], 15.0, 1e-9);
+  EXPECT_NEAR(result.definitive_finish[2], 13.0, 1e-9);
+  //   beta integral = eps/(1+eps)^2 * 35 = 0.5/2.25 * 35.
+  EXPECT_NEAR(result.beta_integral, 0.5 / 2.25 * 35.0, 1e-9);
+  EXPECT_NEAR(result.dual_objective, 19.0 - 0.5 / 2.25 * 35.0, 1e-9);
+}
+
+TEST(RejectionFlow, DispatchPrefersLowerLambdaMachine) {
+  // Machine 0 busy with a long job and a queue; machine 1 idle. Job should
+  // go to machine 1 even though p is slightly larger there.
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {100.0, kTimeInfinity});
+  builder.add_job(1.0, {10.0, kTimeInfinity});
+  builder.add_job(2.0, {5.0, 6.0});
+  const Instance instance = builder.build();
+  RejectionFlowOptions options;
+  options.epsilon = 0.3;
+  options.enable_rule1 = false;
+  options.enable_rule2 = false;
+  const auto result = run_rejection_flow(instance, options);
+  check_schedule(result.schedule, instance);
+  // lambda_0j = 5/0.3 + (5) + 1*5 ~ 26.7; lambda_1j = 6/0.3 + 6 = 26 -> m1.
+  EXPECT_EQ(result.schedule.record(2).machine, 1);
+}
+
+TEST(RejectionFlow, IneligibleMachinesNeverUsed) {
+  InstanceBuilder builder(2);
+  for (int k = 0; k < 6; ++k) {
+    builder.add_job(static_cast<Time>(k), {kTimeInfinity, 2.0});
+  }
+  const Instance instance = builder.build();
+  const auto result = run_rejection_flow(instance, {.epsilon = 0.4});
+  check_schedule(result.schedule, instance);
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    EXPECT_EQ(result.schedule.record(static_cast<JobId>(j)).machine, 1);
+  }
+}
+
+TEST(RejectionFlow, SpeedAugmentationShrinksProcessing) {
+  const Instance instance = single_machine_instance({{0.0, 10.0}});
+  RejectionFlowOptions options;
+  options.epsilon = 0.5;
+  options.speed = 2.0;
+  const auto result = run_rejection_flow(instance, options);
+  check_schedule(result.schedule, instance);
+  EXPECT_DOUBLE_EQ(result.schedule.record(0).end, 5.0);
+  EXPECT_DOUBLE_EQ(result.schedule.record(0).speed, 2.0);
+}
+
+// ------------------------------------------------------- theorem properties
+
+struct RandomWorkloadParams {
+  std::size_t num_jobs;
+  std::size_t num_machines;
+  double load;        // arrival intensity relative to service capacity
+  bool heavy_tail;
+  std::uint64_t seed;
+};
+
+Instance make_random_instance(const RandomWorkloadParams& params) {
+  util::Rng rng(params.seed);
+  InstanceBuilder builder(params.num_machines);
+  Time t = 0.0;
+  for (std::size_t j = 0; j < params.num_jobs; ++j) {
+    t += rng.exponential(params.load * static_cast<double>(params.num_machines));
+    std::vector<Work> row(params.num_machines);
+    const double base = params.heavy_tail ? rng.pareto(0.5, 1.8) : rng.uniform(0.5, 2.0);
+    for (auto& p : row) {
+      p = base * rng.uniform(0.5, 2.0);  // unrelated speeds
+    }
+    builder.add_job(t, row);
+  }
+  return builder.build();
+}
+
+class FlowTheoremTest
+    : public ::testing::TestWithParam<std::tuple<double, int, bool>> {};
+
+TEST_P(FlowTheoremTest, GuaranteesHoldOnRandomInstances) {
+  const auto [eps, machines, heavy] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RandomWorkloadParams params;
+    params.num_jobs = 400;
+    params.num_machines = static_cast<std::size_t>(machines);
+    params.load = 1.2;  // slightly overloaded: rejections matter
+    params.heavy_tail = heavy;
+    params.seed = util::derive_seed(777, seed);
+    const Instance instance = make_random_instance(params);
+
+    const auto result = run_rejection_flow(instance, {.epsilon = eps});
+
+    // (1) Feasibility, independently validated.
+    check_schedule(result.schedule, instance);
+
+    // (2) Rejection budget: at most 2*eps*n jobs (Theorem 1).
+    const double budget = theorem1_rejection_budget(eps) *
+                          static_cast<double>(instance.num_jobs());
+    EXPECT_LE(static_cast<double>(result.schedule.num_rejected()), budget + 1e-9)
+        << "eps=" << eps << " seed=" << seed;
+
+    // (3) Dual-certified competitive ratio within the theorem bound.
+    const double alg = result.schedule.total_flow(instance);
+    ASSERT_GT(result.opt_lower_bound, 0.0);
+    const double measured_ratio = alg / result.opt_lower_bound;
+    EXPECT_LE(measured_ratio, theorem1_ratio_bound(eps) * (1.0 + 1e-9))
+        << "eps=" << eps << " machines=" << machines << " seed=" << seed;
+
+    // (4) The aggregate identity of the analysis:
+    //     sum lambda_j >= eps/(1+eps) * sum_j (C~_j - r_j).
+    double residence = 0.0;
+    for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+      const Time r = instance.job(static_cast<JobId>(j)).release;
+      EXPECT_GE(result.definitive_finish[j], r - 1e-9);
+      residence += result.definitive_finish[j] - r;
+    }
+    EXPECT_GE(result.sum_lambda, eps / (1.0 + eps) * residence - 1e-6)
+        << "eps=" << eps << " seed=" << seed;
+
+    // (5) C~_j dominates the actual flow: C~_j - r_j >= F_j.
+    for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+      const auto job_id = static_cast<JobId>(j);
+      const Time r = instance.job(job_id).release;
+      EXPECT_GE(result.definitive_finish[j] - r,
+                result.schedule.flow_time(job_id, instance) - 1e-6);
+    }
+  }
+}
+
+std::string FlowTheoremName(
+    const ::testing::TestParamInfo<std::tuple<double, int, bool>>& info) {
+  const double eps = std::get<0>(info.param);
+  const int machines = std::get<1>(info.param);
+  const bool heavy = std::get<2>(info.param);
+  return "eps" + std::to_string(static_cast<int>(eps * 100)) + "_m" +
+         std::to_string(machines) + (heavy ? "_pareto" : "_uniform");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsMachinesTail, FlowTheoremTest,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.8),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(false, true)),
+    FlowTheoremName);
+
+TEST(RejectionFlow, AblationNeitherRuleNeverRejects) {
+  RandomWorkloadParams params{200, 2, 1.5, true, 42};
+  const Instance instance = make_random_instance(params);
+  RejectionFlowOptions options;
+  options.epsilon = 0.2;
+  options.enable_rule1 = false;
+  options.enable_rule2 = false;
+  const auto result = run_rejection_flow(instance, options);
+  check_schedule(result.schedule, instance);
+  EXPECT_EQ(result.schedule.num_rejected(), 0u);
+  EXPECT_EQ(result.schedule.num_completed(), instance.num_jobs());
+}
+
+TEST(RejectionFlow, RejectionsReduceFlowUnderBurst) {
+  // A long job followed by a burst of short ones: with rejection the flow
+  // should be far lower than without (the motivation for the paper).
+  std::vector<std::pair<Time, Work>> jobs;
+  jobs.push_back({0.0, 50.0});
+  for (int k = 0; k < 40; ++k) {
+    jobs.push_back({1.0 + 0.01 * k, 0.1});
+  }
+  const Instance instance = single_machine_instance(jobs);
+
+  RejectionFlowOptions with;
+  with.epsilon = 0.2;
+  RejectionFlowOptions without = with;
+  without.enable_rule1 = false;
+  without.enable_rule2 = false;
+
+  const auto rejected = run_rejection_flow(instance, with);
+  const auto kept = run_rejection_flow(instance, without);
+  check_schedule(rejected.schedule, instance);
+  check_schedule(kept.schedule, instance);
+  EXPECT_LT(rejected.schedule.total_flow(instance),
+            0.5 * kept.schedule.total_flow(instance));
+}
+
+TEST(RejectionFlow, ObjectiveReportConsistent) {
+  RandomWorkloadParams params{150, 4, 1.0, false, 7};
+  const Instance instance = make_random_instance(params);
+  const auto result = run_rejection_flow(instance, {.epsilon = 0.3});
+  const ObjectiveReport report = evaluate(result.schedule, instance);
+  EXPECT_EQ(report.num_jobs, instance.num_jobs());
+  EXPECT_EQ(report.num_completed + report.num_rejected, instance.num_jobs());
+  EXPECT_NEAR(report.total_flow,
+              result.schedule.total_flow(instance), 1e-9);
+  EXPECT_GE(report.total_flow, report.completed_flow);
+}
+
+}  // namespace
+}  // namespace osched

@@ -1,0 +1,270 @@
+// Cross-module integration tests: full pipelines (generate -> schedule ->
+// validate -> evaluate -> serialize -> reload -> re-run), determinism, and
+// post-hoc structural invariants of the schedulers (work conservation,
+// non-preemption) re-derived from schedule records alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "api/scheduler_api.hpp"
+#include "baselines/list_scheduler.hpp"
+#include "core/energy_flow/energy_flow.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "core/energy_min/config_primal_dual.hpp"
+#include "instance/builders.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/schedule_io.hpp"
+#include "sim/validator.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace_io.hpp"
+
+namespace osched {
+namespace {
+
+// Work conservation: a machine never idles while a job dispatched to it is
+// released and waiting. Verified purely from the schedule record.
+void expect_work_conserving(const Schedule& schedule, const Instance& instance) {
+  struct Exec {
+    Time start, end;
+    JobId job;
+  };
+  std::map<MachineId, std::vector<Exec>> by_machine;
+  for (std::size_t idx = 0; idx < schedule.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    const JobRecord& rec = schedule.record(j);
+    if (rec.started) {
+      by_machine[rec.machine].push_back({rec.start, rec.end, j});
+    }
+  }
+  for (auto& [machine, execs] : by_machine) {
+    std::sort(execs.begin(), execs.end(),
+              [](const Exec& a, const Exec& b) { return a.start < b.start; });
+    for (std::size_t k = 0; k < execs.size(); ++k) {
+      // Gap before execs[k] (from previous end, or from 0).
+      const Time gap_begin = k == 0 ? 0.0 : execs[k - 1].end;
+      const Time gap_end = execs[k].start;
+      if (gap_end <= gap_begin + 1e-9) continue;
+      // No job dispatched to this machine may be released strictly inside
+      // the gap's interior long before the next start... more precisely the
+      // job that starts at gap_end must have been released at gap_end (or
+      // the gap must be justified by no released pending job).
+      for (std::size_t idx = 0; idx < schedule.num_jobs(); ++idx) {
+        const auto j = static_cast<JobId>(idx);
+        const JobRecord& rec = schedule.record(j);
+        if (rec.machine != machine || !rec.started) continue;
+        if (rec.start < gap_end - 1e-9) continue;  // started before/at gap end
+        // Job starts at or after gap end: it must not have been available
+        // throughout the gap.
+        EXPECT_GE(instance.job(j).release, gap_end - 1e-6)
+            << "machine " << machine << " idled in [" << gap_begin << ","
+            << gap_end << ") while job " << j << " (release "
+            << instance.job(j).release << ") was waiting";
+      }
+    }
+  }
+}
+
+Instance standard_workload(std::uint64_t seed, bool deadlines = false) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 300;
+  config.num_machines = 4;
+  config.load = 1.1;
+  config.sizes.dist = workload::SizeDistribution::kPareto;
+  config.weights = workload::WeightDistribution::kUniform;
+  config.with_deadlines = deadlines;
+  config.seed = seed;
+  return workload::generate_workload(config);
+}
+
+TEST(Integration, FlowPipelineEndToEnd) {
+  const Instance instance = standard_workload(101);
+  const auto result = run_rejection_flow(instance, {.epsilon = 0.25});
+  check_schedule(result.schedule, instance);
+  expect_work_conserving(result.schedule, instance);
+
+  const ObjectiveReport report = evaluate(result.schedule, instance);
+  EXPECT_EQ(report.num_completed + report.num_rejected, instance.num_jobs());
+  EXPECT_GT(report.total_flow, 0.0);
+  EXPECT_GE(report.max_flow, report.total_flow / instance.num_jobs());
+}
+
+TEST(Integration, SchedulersAreDeterministic) {
+  const Instance instance = standard_workload(202);
+  const auto a = run_rejection_flow(instance, {.epsilon = 0.3});
+  const auto b = run_rejection_flow(instance, {.epsilon = 0.3});
+  ASSERT_EQ(a.schedule.num_jobs(), b.schedule.num_jobs());
+  for (std::size_t j = 0; j < a.schedule.num_jobs(); ++j) {
+    const auto& ra = a.schedule.record(static_cast<JobId>(j));
+    const auto& rb = b.schedule.record(static_cast<JobId>(j));
+    EXPECT_EQ(ra.machine, rb.machine);
+    EXPECT_EQ(ra.fate, rb.fate);
+    EXPECT_DOUBLE_EQ(ra.start, rb.start);
+    EXPECT_DOUBLE_EQ(ra.end, rb.end);
+  }
+  EXPECT_DOUBLE_EQ(a.dual_objective, b.dual_objective);
+}
+
+TEST(Integration, TraceRoundTripPreservesSchedulerBehaviour) {
+  const Instance original = standard_workload(303);
+  const std::string csv = workload::instance_to_csv(original);
+  std::string error;
+  const auto reloaded = workload::instance_from_csv(csv, &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+
+  const auto a = run_rejection_flow(original, {.epsilon = 0.2});
+  const auto b = run_rejection_flow(*reloaded, {.epsilon = 0.2});
+  EXPECT_DOUBLE_EQ(a.schedule.total_flow(original),
+                   b.schedule.total_flow(*reloaded));
+  EXPECT_EQ(a.schedule.num_rejected(), b.schedule.num_rejected());
+}
+
+// The full artifact chain: workload -> trace CSV -> reload -> api::run by
+// name -> schedule CSV -> reload -> diff-identical, with recomputed
+// objectives matching through every hop.
+TEST(Integration, FullArtifactChainThroughTheApiFacade) {
+  const Instance original = standard_workload(777);
+  std::string error;
+  const auto reloaded =
+      workload::instance_from_csv(workload::instance_to_csv(original), &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+
+  for (const std::string& name : api::algorithm_names()) {
+    const auto algorithm = api::parse_algorithm(name);
+    ASSERT_TRUE(algorithm.has_value());
+    if (*algorithm == api::Algorithm::kTheorem3) continue;  // needs deadlines
+    api::RunOptions options;
+    options.epsilon = 0.3;
+    const auto a = api::run(*algorithm, original, options);
+    const auto b = api::run(*algorithm, *reloaded, options);
+
+    std::stringstream buffer;
+    write_schedule_csv(a.schedule, buffer);
+    const Schedule restored = read_schedule_csv(buffer);
+    EXPECT_TRUE(diff_schedules(a.schedule, restored, {.time_tolerance = 0.0})
+                    .empty())
+        << name << ": schedule CSV round trip";
+    EXPECT_TRUE(diff_schedules(a.schedule, b.schedule, {.time_tolerance = 0.0})
+                    .empty())
+        << name << ": trace round trip changed the run";
+    EXPECT_DOUBLE_EQ(a.report.total_flow, b.report.total_flow) << name;
+  }
+}
+
+TEST(Integration, AllSchedulersOnOneWorkload) {
+  const Instance instance = standard_workload(404);
+  // Flow schedulers.
+  const auto t1 = run_rejection_flow(instance, {.epsilon = 0.25});
+  check_schedule(t1.schedule, instance);
+  const Schedule greedy = run_greedy_spt(instance);
+  check_schedule(greedy, instance);
+  expect_work_conserving(greedy, instance);
+  const Schedule fifo = run_fifo(instance);
+  check_schedule(fifo, instance);
+  expect_work_conserving(fifo, instance);
+  // Energy+flow on the same instance (weights present).
+  EnergyFlowOptions ef_options;
+  ef_options.epsilon = 0.4;
+  ef_options.alpha = 2.0;
+  const auto t2 = run_energy_flow(instance, ef_options);
+  check_schedule(t2.schedule, instance);
+}
+
+TEST(Integration, EnergyPipelineWithDeadlines) {
+  const Instance instance = standard_workload(505, /*deadlines=*/true);
+  ConfigPDOptions options;
+  options.alpha = 2.0;
+  options.speed_levels = 5;
+  const auto result = run_config_primal_dual(instance, options);
+  ValidationOptions vopts;
+  vopts.allow_parallel_execution = true;
+  vopts.require_deadlines = true;
+  check_schedule(result.schedule, instance, vopts);
+  // Energy identity between internal profiles and schedule integration.
+  const PolynomialPower power(2.0);
+  EXPECT_NEAR(result.algorithm_energy,
+              compute_energy(result.schedule, instance, power),
+              1e-6 * std::max(1.0, result.algorithm_energy));
+}
+
+TEST(Integration, WorkConservationAcrossManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Instance instance = standard_workload(seed * 111);
+    const auto result = run_rejection_flow(instance, {.epsilon = 0.4});
+    check_schedule(result.schedule, instance);
+    expect_work_conserving(result.schedule, instance);
+  }
+}
+
+TEST(Integration, RejectionCountsSplitByRule) {
+  const Instance instance = standard_workload(606);
+  const auto result = run_rejection_flow(instance, {.epsilon = 0.15});
+  std::size_t rejected_running = 0, rejected_pending = 0;
+  for (const JobRecord& rec : result.schedule.records()) {
+    if (rec.fate == JobFate::kRejectedRunning) ++rejected_running;
+    if (rec.fate == JobFate::kRejectedPending) ++rejected_pending;
+  }
+  EXPECT_EQ(rejected_running, result.rule1_rejections);
+  EXPECT_EQ(rejected_pending, result.rule2_rejections);
+}
+
+TEST(Integration, HigherLoadMeansMoreRejections) {
+  std::size_t low_rejections = 0, high_rejections = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    workload::WorkloadConfig config;
+    config.num_jobs = 500;
+    config.num_machines = 2;
+    config.seed = seed;
+    config.load = 0.5;
+    const auto low = run_rejection_flow(workload::generate_workload(config),
+                                        {.epsilon = 0.3});
+    low_rejections += low.schedule.num_rejected();
+    config.load = 2.0;
+    const auto high = run_rejection_flow(workload::generate_workload(config),
+                                         {.epsilon = 0.3});
+    high_rejections += high.schedule.num_rejected();
+  }
+  EXPECT_GE(high_rejections, low_rejections);
+}
+
+TEST(Integration, EmptyAndSingletonInstances) {
+  // Zero jobs.
+  Instance empty({}, {{}});
+  const auto r0 = run_rejection_flow(empty, {.epsilon = 0.5});
+  EXPECT_EQ(r0.schedule.num_jobs(), 0u);
+  EXPECT_DOUBLE_EQ(r0.dual_objective, 0.0);
+
+  // One job, one machine; also through the energy scheduler.
+  std::vector<Job> jobs(1);
+  jobs[0] = Job{0, 1.0, 2.0, kTimeInfinity};
+  Instance singleton(jobs, {{3.0}});
+  const auto r1 = run_rejection_flow(singleton, {.epsilon = 0.5});
+  check_schedule(r1.schedule, singleton);
+  EXPECT_EQ(r1.schedule.num_completed(), 1u);
+
+  EnergyFlowOptions ef;
+  ef.epsilon = 0.5;
+  ef.alpha = 2.0;
+  const auto r2 = run_energy_flow(singleton, ef);
+  check_schedule(r2.schedule, singleton);
+  EXPECT_EQ(r2.schedule.num_completed(), 1u);
+}
+
+TEST(Integration, SimultaneousReleases) {
+  // A batch of identical jobs released together: everything must still be
+  // feasible and deterministic, exercising all tie-breaking paths.
+  InstanceBuilder builder(2);
+  for (int k = 0; k < 40; ++k) builder.add_identical_job(0.0, 1.0);
+  const Instance instance = builder.build();
+  const auto a = run_rejection_flow(instance, {.epsilon = 0.3});
+  const auto b = run_rejection_flow(instance, {.epsilon = 0.3});
+  check_schedule(a.schedule, instance);
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    EXPECT_EQ(a.schedule.record(static_cast<JobId>(j)).machine,
+              b.schedule.record(static_cast<JobId>(j)).machine);
+  }
+}
+
+}  // namespace
+}  // namespace osched

@@ -1,0 +1,145 @@
+// Tests for the metrics module and the dual-accounting helper of Theorem 1.
+#include <gtest/gtest.h>
+
+#include "core/flow/dual_accounting.hpp"
+#include "instance/builders.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/ratio.hpp"
+
+namespace osched {
+namespace {
+
+// ---------------------------------------------------------------- bounds
+
+TEST(RatioBounds, Theorem1Formula) {
+  // eps = 1 would give 2*4 = 8; eps = 0.5 gives 2*(3)^2 = 18.
+  EXPECT_DOUBLE_EQ(theorem1_ratio_bound(0.5), 18.0);
+  EXPECT_DOUBLE_EQ(theorem1_ratio_bound(0.25), 50.0);
+  // Decreasing in eps.
+  EXPECT_GT(theorem1_ratio_bound(0.1), theorem1_ratio_bound(0.2));
+}
+
+TEST(RatioBounds, Theorem1Budget) {
+  EXPECT_DOUBLE_EQ(theorem1_rejection_budget(0.3), 0.6);
+}
+
+TEST(RatioBounds, Theorem2ClosedFormForLargeAlpha) {
+  // alpha = 3, eps = 0.5: denominator = (1/3) ln2/(2+ln2);
+  // numerator = 2 + 2*sqrt(3) + 1/9.
+  const double eps = 0.5;
+  const double numerator = 2.0 + 2.0 * std::sqrt(3.0) + 1.0 / 9.0;
+  const double denominator =
+      (1.0 / 3.0) * std::log(2.0) / (2.0 + std::log(2.0));
+  EXPECT_NEAR(theorem2_ratio_bound(eps, 3.0), numerator / denominator, 1e-9);
+}
+
+TEST(RatioBounds, Theorem2EnvelopeForSmallAlpha) {
+  // alpha = 2 falls back to the envelope (1 + 1/eps)^{alpha/(alpha-1)}.
+  EXPECT_NEAR(theorem2_ratio_bound(0.5, 2.0), 9.0, 1e-9);  // 3^2
+}
+
+TEST(RatioBounds, Theorem3AlphaPowerAlpha) {
+  EXPECT_DOUBLE_EQ(theorem3_ratio_bound(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(theorem3_ratio_bound(3.0), 27.0);
+}
+
+TEST(RatioEstimate, DividesCorrectly) {
+  RatioEstimate estimate;
+  estimate.algorithm_cost = 30.0;
+  estimate.lower_bound = 10.0;
+  EXPECT_DOUBLE_EQ(estimate.ratio(), 3.0);
+}
+
+// ---------------------------------------------------------------- evaluate
+
+TEST(Evaluate, CountsAndFractions) {
+  const Instance instance =
+      single_machine_weighted_instance({{0.0, 2.0, 3.0}, {0.0, 2.0, 1.0}});
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 2.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_rejected_pending(1, 1.0);
+
+  const ObjectiveReport report = evaluate(schedule, instance);
+  EXPECT_EQ(report.num_jobs, 2u);
+  EXPECT_EQ(report.num_completed, 1u);
+  EXPECT_EQ(report.num_rejected, 1u);
+  EXPECT_DOUBLE_EQ(report.rejected_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.rejected_weight_fraction, 0.25);  // 1 of 4
+  EXPECT_DOUBLE_EQ(report.total_flow, 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(report.completed_flow, 2.0);
+  EXPECT_DOUBLE_EQ(report.total_weighted_flow, 3.0 * 2.0 + 1.0 * 1.0);
+  EXPECT_DOUBLE_EQ(report.energy, 0.0);  // no power function given
+}
+
+TEST(Evaluate, EnergyWithPowerFunction) {
+  const Instance instance = single_machine_instance({{0.0, 4.0}});
+  Schedule schedule(1);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 2.0);
+  schedule.mark_completed(0, 2.0);
+  PolynomialPower power(3.0);
+  const ObjectiveReport report = evaluate(schedule, instance, &power);
+  EXPECT_NEAR(report.energy, 8.0 * 2.0, 1e-12);
+  EXPECT_NEAR(report.flow_plus_energy(), 2.0 + 16.0, 1e-12);
+}
+
+TEST(Evaluate, ToStringMentionsKeyFields) {
+  const Instance instance = single_machine_instance({{0.0, 1.0}});
+  Schedule schedule(1);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 1.0);
+  const std::string text = to_string(evaluate(schedule, instance));
+  EXPECT_NE(text.find("jobs=1"), std::string::npos);
+  EXPECT_NE(text.find("flow="), std::string::npos);
+}
+
+// ---------------------------------------------------------------- dual acct
+
+TEST(FlowDualAccounting, LambdaScaling) {
+  FlowDualAccounting dual(2, 0.5);
+  dual.set_lambda(0, 30.0);  // eps/(1+eps) = 1/3 -> 10
+  dual.set_lambda(1, 15.0);  // -> 5
+  EXPECT_NEAR(dual.sum_lambda(), 15.0, 1e-12);
+}
+
+TEST(FlowDualAccounting, ResidenceAndBeta) {
+  FlowDualAccounting dual(2, 0.5);
+  dual.finalize(0, /*release=*/0.0, /*end=*/10.0);
+  dual.finalize(1, /*release=*/5.0, /*end=*/10.0);
+  EXPECT_NEAR(dual.definitive_residence(), 15.0, 1e-12);
+  EXPECT_NEAR(dual.beta_integral(), 0.5 / 2.25 * 15.0, 1e-12);
+}
+
+TEST(FlowDualAccounting, Rule1ExtendsEveryoneInU) {
+  FlowDualAccounting dual(3, 0.5);
+  // Rule 1 rejects job 0 with remaining 7; jobs 1, 2 pending.
+  dual.on_rule1_rejection(0, {1, 2}, 7.0);
+  dual.finalize(0, 0.0, 3.0);   // C~ = 10
+  dual.finalize(1, 1.0, 5.0);   // C~ = 12
+  dual.finalize(2, 2.0, 6.0);   // C~ = 13
+  EXPECT_NEAR(dual.definitive_finish(0), 10.0, 1e-12);
+  EXPECT_NEAR(dual.definitive_finish(1), 12.0, 1e-12);
+  EXPECT_NEAR(dual.definitive_finish(2), 13.0, 1e-12);
+}
+
+TEST(FlowDualAccounting, Rule2ExtensionFormula) {
+  FlowDualAccounting dual(1, 0.25);
+  dual.on_rule2_rejection(0, /*remaining=*/4.0, /*pending_sum=*/6.0, /*p=*/9.0);
+  dual.finalize(0, 0.0, 2.0);
+  EXPECT_NEAR(dual.definitive_finish(0), 2.0 + 4.0 + 6.0 + 9.0, 1e-12);
+}
+
+TEST(FlowDualAccounting, OptLowerBoundNonNegative) {
+  FlowDualAccounting dual(1, 0.5);
+  // Pathological: big residence, no lambda -> negative dual, clamped at 0.
+  dual.finalize(0, 0.0, 100.0);
+  EXPECT_LT(dual.dual_objective(), 0.0);
+  EXPECT_DOUBLE_EQ(dual.opt_lower_bound(), 0.0);
+}
+
+}  // namespace
+}  // namespace osched

@@ -1,0 +1,202 @@
+// Direct property tests for the paper's structural lemmas that are not
+// covered by the dual-feasibility checkers:
+//   * Corollary 1 (of Lemma 3): |U_i(t)| <= (1/eps)(|R_i(t)| + 1) for the
+//     Theorem 1 scheduler, reconstructed from schedule records.
+//   * Lemma 5: V_i(t) is monotone under adding a job to a machine's input
+//     (single-machine setting so the assignment is fixed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/energy_flow/energy_flow.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "duality/fractional_weight.hpp"
+#include "instance/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace osched {
+namespace {
+
+// ---------------------------------------------------------- Corollary 1
+
+// Reconstructs |U_i(t)| (pending-or-running jobs on machine i at time t) and
+// |R_i(t)| (Rule-2-rejected jobs not yet definitively finished) from the
+// run's records and verifies Corollary 1 at every structural breakpoint.
+void expect_corollary1(const Instance& instance,
+                       const RejectionFlowResult& result, double eps) {
+  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+    const auto machine = static_cast<MachineId>(i);
+    std::vector<Time> breakpoints;
+    for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+      const auto j = static_cast<JobId>(idx);
+      const JobRecord& rec = result.schedule.record(j);
+      if (rec.machine != machine) continue;
+      breakpoints.push_back(instance.job(j).release);
+      breakpoints.push_back(rec.rejected() ? rec.rejection_time : rec.end);
+      breakpoints.push_back(result.definitive_finish[idx]);
+    }
+    std::sort(breakpoints.begin(), breakpoints.end());
+    breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                      breakpoints.end());
+
+    for (Time t : breakpoints) {
+      std::size_t u_count = 0;
+      std::size_t r_count = 0;
+      for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+        const auto j = static_cast<JobId>(idx);
+        const JobRecord& rec = result.schedule.record(j);
+        if (rec.machine != machine) continue;
+        const Time release = instance.job(j).release;
+        const Time completion = rec.rejected() ? rec.rejection_time : rec.end;
+        if (release <= t && t < completion) ++u_count;
+        // R_i(t): Rule-2 rejections (the only source of rejected-pending
+        // fates in Theorem 1) that have left U but not V.
+        if (rec.fate == JobFate::kRejectedPending && completion <= t &&
+            t < result.definitive_finish[idx]) {
+          ++r_count;
+        }
+      }
+      EXPECT_LE(static_cast<double>(u_count),
+                (1.0 / eps) * (static_cast<double>(r_count) + 1.0) + 1e-9)
+          << "machine " << machine << " t=" << t << " |U|=" << u_count
+          << " |R|=" << r_count << " eps=" << eps;
+    }
+  }
+}
+
+class Corollary1Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Corollary1Test, HoldsOnRandomOverloadedInstances) {
+  const double eps = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    workload::WorkloadConfig config;
+    config.num_jobs = 300;
+    config.num_machines = 2;
+    config.load = 1.6;  // overloaded: queues grow, Rule 2 fires
+    config.sizes.dist = workload::SizeDistribution::kPareto;
+    config.seed = util::derive_seed(1313, seed);
+    const Instance instance = workload::generate_workload(config);
+    const auto result = run_rejection_flow(instance, {.epsilon = eps});
+    expect_corollary1(instance, result, eps);
+  }
+}
+
+// Both integral 1/eps (0.2, 0.5) and fractional 1/eps (0.15, 0.4, 0.7,
+// 0.85): the fractional cases pin the floor-based Rule 2 threshold (a ceil
+// threshold violates the corollary at eps = 0.4 with |U| = 3 > 2.5).
+INSTANTIATE_TEST_SUITE_P(Eps, Corollary1Test,
+                         ::testing::Values(0.15, 0.2, 0.4, 0.5, 0.7, 0.85),
+                         [](const ::testing::TestParamInfo<double>& i) {
+                           return "eps" + std::to_string(int(i.param * 100));
+                         });
+
+TEST(Corollary1, BurstTrapStressesRule2) {
+  workload::BurstTrapConfig trap;
+  trap.num_rounds = 4;
+  trap.burst_jobs = 80;
+  trap.seed = 5;
+  const Instance instance = workload::generate_burst_trap(trap);
+  const auto result = run_rejection_flow(instance, {.epsilon = 0.25});
+  expect_corollary1(instance, result, 0.25);
+}
+
+// ------------------------------------------------------------- Lemma 5
+
+// Single machine so the dispatch decision is forced: adding a job to the
+// input must never decrease the fractional weight V(t) at any time.
+class Lemma5Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma5Test, AddingAJobNeverDecreasesV) {
+  const double alpha = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(alpha * 100) + 3);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Base instance.
+    std::vector<std::tuple<Time, Work, Weight>> jobs;
+    const int n = 10 + static_cast<int>(rng.uniform_int(0, 10));
+    Time t = 0.0;
+    for (int k = 0; k < n; ++k) {
+      t += rng.exponential(1.0);
+      jobs.push_back({t, rng.uniform(0.5, 3.0), rng.uniform(0.5, 2.0)});
+    }
+    const Instance smaller = single_machine_weighted_instance(jobs);
+
+    // Augmented instance: one extra job somewhere in the middle.
+    auto jobs_plus = jobs;
+    jobs_plus.push_back(
+        {rng.uniform(0.0, t), rng.uniform(0.5, 3.0), rng.uniform(0.5, 2.0)});
+    const Instance larger = single_machine_weighted_instance(jobs_plus);
+
+    EnergyFlowOptions options;
+    options.epsilon = 0.9;  // keep rejections out of the comparison
+    options.alpha = alpha;
+    options.gamma = 1.0;
+    const auto small_run = run_energy_flow(smaller, options);
+    const auto large_run = run_energy_flow(larger, options);
+    if (small_run.rejections != 0 || large_run.rejections != 0) continue;
+
+    const FractionalWeightProfile v_small(smaller, small_run);
+    const FractionalWeightProfile v_large(larger, large_run);
+
+    // Compare at the union of both runs' breakpoints (and midpoints).
+    std::vector<Time> times = v_small.breakpoints();
+    const auto more = v_large.breakpoints();
+    times.insert(times.end(), more.begin(), more.end());
+    std::sort(times.begin(), times.end());
+    for (std::size_t k = 0; k + 1 < times.size(); ++k) {
+      times.push_back(0.5 * (times[k] + times[k + 1]));
+    }
+    for (Time sample : times) {
+      EXPECT_GE(v_large.total_weight_at(sample),
+                v_small.total_weight_at(sample) - 1e-6)
+          << "alpha=" << alpha << " trial=" << trial << " t=" << sample;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, Lemma5Test, ::testing::Values(2.0, 3.0),
+                         [](const ::testing::TestParamInfo<double>& i) {
+                           return "alpha" + std::to_string(int(i.param * 10));
+                         });
+
+TEST(FractionalWeight, SingleJobShape) {
+  // One job (r=0, p=4, w=2), gamma=1, alpha=2: speed = sqrt(2) once started.
+  const Instance instance = single_machine_weighted_instance({{0.0, 4.0, 2.0}});
+  EnergyFlowOptions options;
+  options.epsilon = 0.5;
+  options.alpha = 2.0;
+  options.gamma = 1.0;
+  const auto result = run_energy_flow(instance, options);
+  const FractionalWeightProfile profile(instance, result);
+  // At start: full weight.
+  EXPECT_NEAR(profile.total_weight_at(0.0), 2.0, 1e-9);
+  // Midway through execution (duration 4/sqrt(2)): half the volume remains.
+  const double duration = 4.0 / std::sqrt(2.0);
+  EXPECT_NEAR(profile.total_weight_at(duration / 2.0), 1.0, 1e-9);
+  // After completion: zero.
+  EXPECT_NEAR(profile.total_weight_at(duration + 0.1), 0.0, 1e-12);
+}
+
+TEST(FractionalWeight, FrozenResidueAfterRejection) {
+  // Running job rejected mid-flight keeps its residue until C~.
+  const Instance instance = single_machine_weighted_instance(
+      {{0.0, 10.0, 1.0}, {1.0, 1.0, 5.0}});
+  EnergyFlowOptions options;
+  options.epsilon = 0.5;  // w_k/eps = 2 < 5: rejection on arrival of job 1
+  options.alpha = 2.0;
+  options.gamma = 1.0;
+  const auto result = run_energy_flow(instance, options);
+  ASSERT_EQ(result.rejections, 1u);
+  const FractionalWeightProfile profile(instance, result);
+  const JobRecord& rejected = result.schedule.record(0);
+  ASSERT_EQ(rejected.fate, JobFate::kRejectedRunning);
+  // Just after the rejection, job 0 still carries w * q_end / p > 0.
+  const double just_after = rejected.rejection_time + 1e-6;
+  EXPECT_GT(profile.job_weight_at(0, just_after), 0.5);
+  // And it vanishes exactly at the definitive finish.
+  EXPECT_NEAR(profile.job_weight_at(0, result.definitive_finish[0] + 1e-9), 0.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace osched

@@ -1,0 +1,146 @@
+// Tests for instance perturbation: identity at zero magnitude, structure
+// preservation (eligibility, weights, deadline windows), drop semantics,
+// determinism, and the decoupling of per-job noise from drop decisions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "instance/builders.hpp"
+#include "workload/generators.hpp"
+#include "workload/perturb.hpp"
+
+namespace osched::workload {
+namespace {
+
+Instance base_instance() {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {2.0, kTimeInfinity}, 1.5, 10.0);
+  builder.add_job(1.0, {3.0, 4.0}, 2.0);
+  builder.add_job(2.5, {kTimeInfinity, 1.0}, 0.5, 8.0);
+  builder.add_job(4.0, {5.0, 2.0}, 1.0);
+  return builder.build();
+}
+
+TEST(Perturb, ZeroMagnitudeIsIdentity) {
+  const Instance original = base_instance();
+  const Instance copy = perturb_instance(original, {});
+  ASSERT_EQ(copy.num_jobs(), original.num_jobs());
+  for (std::size_t idx = 0; idx < original.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    EXPECT_EQ(copy.job(j).release, original.job(j).release);
+    EXPECT_EQ(copy.job(j).weight, original.job(j).weight);
+    EXPECT_EQ(copy.job(j).deadline, original.job(j).deadline);
+    for (std::size_t i = 0; i < original.num_machines(); ++i) {
+      EXPECT_EQ(copy.processing(static_cast<MachineId>(i), j),
+                original.processing(static_cast<MachineId>(i), j));
+    }
+  }
+}
+
+TEST(Perturb, SizeNoisePreservesEligibilityAndMachineRatios) {
+  const Instance original = base_instance();
+  PerturbConfig config;
+  config.size_noise = 0.8;
+  config.seed = 7;
+  const Instance noisy = perturb_instance(original, config);
+  ASSERT_EQ(noisy.num_jobs(), original.num_jobs());
+  for (std::size_t idx = 0; idx < original.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    // Infinite entries stay infinite (restricted assignment preserved).
+    for (std::size_t i = 0; i < original.num_machines(); ++i) {
+      const auto machine = static_cast<MachineId>(i);
+      EXPECT_EQ(noisy.eligible(machine, j), original.eligible(machine, j));
+    }
+    // Per-JOB factor: the ratio between two finite entries is unchanged.
+    if (original.eligible(0, j) && original.eligible(1, j)) {
+      EXPECT_NEAR(noisy.processing(0, j) / noisy.processing(1, j),
+                  original.processing(0, j) / original.processing(1, j), 1e-9);
+    }
+    // The instance must remain valid (positive entries).
+    EXPECT_GT(noisy.min_processing(j), 0.0);
+  }
+  EXPECT_TRUE(noisy.validate().empty());
+}
+
+TEST(Perturb, ReleaseJitterKeepsDeadlineWindowLength) {
+  const Instance original = base_instance();
+  PerturbConfig config;
+  config.release_jitter = 2.0;
+  config.seed = 11;
+  const Instance jittered = perturb_instance(original, config);
+  ASSERT_EQ(jittered.num_jobs(), original.num_jobs());
+  // Jobs are re-sorted by release, so compare window-length multisets.
+  std::vector<double> original_windows, jittered_windows;
+  for (std::size_t idx = 0; idx < original.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    if (original.job(j).has_deadline()) {
+      original_windows.push_back(original.job(j).deadline -
+                                 original.job(j).release);
+    }
+    if (jittered.job(j).has_deadline()) {
+      jittered_windows.push_back(jittered.job(j).deadline -
+                                 jittered.job(j).release);
+    }
+    EXPECT_GE(jittered.job(j).release, 0.0);
+  }
+  std::sort(original_windows.begin(), original_windows.end());
+  std::sort(jittered_windows.begin(), jittered_windows.end());
+  ASSERT_EQ(original_windows.size(), jittered_windows.size());
+  for (std::size_t k = 0; k < original_windows.size(); ++k) {
+    EXPECT_NEAR(original_windows[k], jittered_windows[k], 1e-9);
+  }
+  EXPECT_TRUE(jittered.validate().empty());
+}
+
+TEST(Perturb, DropsApproximatelyTheRequestedFraction) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 2000;
+  config.num_machines = 2;
+  config.seed = 3;
+  const Instance big = generate_workload(config);
+
+  PerturbConfig perturb;
+  perturb.drop_fraction = 0.3;
+  perturb.seed = 5;
+  const Instance dropped = perturb_instance(big, perturb);
+  const double kept =
+      static_cast<double>(dropped.num_jobs()) / static_cast<double>(big.num_jobs());
+  EXPECT_NEAR(kept, 0.7, 0.05);
+  EXPECT_TRUE(dropped.validate().empty());
+}
+
+TEST(Perturb, IsDeterministicPerSeed) {
+  const Instance original = base_instance();
+  PerturbConfig config;
+  config.release_jitter = 1.0;
+  config.size_noise = 0.5;
+  config.drop_fraction = 0.2;
+  config.seed = 123;
+  const Instance a = perturb_instance(original, config);
+  const Instance b = perturb_instance(original, config);
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  for (std::size_t idx = 0; idx < a.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    EXPECT_EQ(a.job(j).release, b.job(j).release);
+    for (std::size_t i = 0; i < a.num_machines(); ++i) {
+      EXPECT_EQ(a.processing(static_cast<MachineId>(i), j),
+                b.processing(static_cast<MachineId>(i), j));
+    }
+  }
+}
+
+TEST(Perturb, AllDroppedDegeneratesToOneJob) {
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, 2.0);
+  builder.add_identical_job(1.0, 3.0);
+  const Instance tiny = builder.build();
+  PerturbConfig config;
+  config.drop_fraction = 0.999;
+  config.seed = 1;  // with p=0.999 both jobs drop at most seeds
+  const Instance result = perturb_instance(tiny, config);
+  EXPECT_GE(result.num_jobs(), 1u);
+  EXPECT_TRUE(result.validate().empty());
+}
+
+}  // namespace
+}  // namespace osched::workload

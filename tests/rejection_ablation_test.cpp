@@ -1,0 +1,228 @@
+// Tests for the Rule-2 victim-choice ablation (E12) and the no-rejection
+// lower-bound adversary.
+//
+// The paper proves Theorem 1 for the LARGEST-pending victim only; the
+// alternatives keep the rejection budget (the counter logic is untouched)
+// but forfeit the Lemma 3 partition. These tests pin exactly that contract:
+// budget for every victim rule, Corollary 1 for the paper's rule, observable
+// victim identity for the others, and the Omega(Delta) blow-up of the
+// no-rejection baselines versus the flat behaviour of the Theorem 1
+// scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/list_scheduler.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "instance/builders.hpp"
+#include "sim/validator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/generators.hpp"
+#include "workload/no_reject_lower_bound.hpp"
+
+namespace osched {
+namespace {
+
+// ------------------------------------------------------- Rule-2 victims
+
+// One machine, eps = 0.5 => Rule 2 fires on the 3rd dispatch, which is the
+// ARRIVAL OF JOB 2 (job 0's own dispatch already counted). Pending at that
+// moment: job 1 (p=5) and job 2 (p=9); job 0 is running. Job 3 arrives
+// after the counter reset and always completes.
+Instance victim_probe_instance() {
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, 100.0);  // runs; Rule 1 disabled below
+  builder.add_identical_job(1.0, 5.0);    // pending, smallest at the firing
+  builder.add_identical_job(2.0, 9.0);    // pending, largest; the trigger
+  builder.add_identical_job(3.0, 2.0);    // arrives after the reset
+  return builder.build();
+}
+
+RejectionFlowOptions victim_options(Rule2Victim victim) {
+  RejectionFlowOptions options;
+  options.epsilon = 0.5;
+  options.enable_rule1 = false;  // isolate Rule 2
+  options.rule2_victim = victim;
+  return options;
+}
+
+TEST(Rule2Victim, LargestRejectsTheBiggestPending) {
+  const Instance instance = victim_probe_instance();
+  const auto result =
+      run_rejection_flow(instance, victim_options(Rule2Victim::kLargest));
+  EXPECT_EQ(result.rule2_rejections, 1u);
+  EXPECT_EQ(result.schedule.record(2).fate, JobFate::kRejectedPending);
+  EXPECT_TRUE(result.schedule.record(1).completed());
+  EXPECT_TRUE(result.schedule.record(3).completed());
+  EXPECT_TRUE(result.schedule.record(0).completed());
+}
+
+TEST(Rule2Victim, SmallestRejectsTheCheapestPending) {
+  const Instance instance = victim_probe_instance();
+  const auto result =
+      run_rejection_flow(instance, victim_options(Rule2Victim::kSmallest));
+  EXPECT_EQ(result.rule2_rejections, 1u);
+  EXPECT_EQ(result.schedule.record(1).fate, JobFate::kRejectedPending);
+  EXPECT_TRUE(result.schedule.record(2).completed());
+  EXPECT_TRUE(result.schedule.record(3).completed());
+}
+
+TEST(Rule2Victim, NewestRejectsTheTrigger) {
+  const Instance instance = victim_probe_instance();
+  const auto result =
+      run_rejection_flow(instance, victim_options(Rule2Victim::kNewest));
+  EXPECT_EQ(result.rule2_rejections, 1u);
+  // Job 2's dispatch fired the counter; under kNewest it is its own victim
+  // (here it coincides with kLargest by construction, so also check job 1
+  // stays).
+  EXPECT_EQ(result.schedule.record(2).fate, JobFate::kRejectedPending);
+  EXPECT_TRUE(result.schedule.record(1).completed());
+  EXPECT_TRUE(result.schedule.record(3).completed());
+}
+
+TEST(Rule2Victim, RandomIsSeededAndPicksAPendingJob) {
+  const Instance instance = victim_probe_instance();
+  auto options = victim_options(Rule2Victim::kRandom);
+  const auto first = run_rejection_flow(instance, options);
+  const auto second = run_rejection_flow(instance, options);
+  EXPECT_EQ(first.rule2_rejections, 1u);
+  // Determinism for a fixed seed.
+  for (JobId j = 0; j < 4; ++j) {
+    EXPECT_EQ(first.schedule.record(j).fate, second.schedule.record(j).fate);
+  }
+  // The victim is one of the pending jobs, never the running one.
+  EXPECT_TRUE(first.schedule.record(0).completed() ||
+              first.schedule.record(0).fate == JobFate::kPending);
+  std::size_t rejected = 0;
+  for (JobId j = 1; j < 4; ++j) {
+    rejected += first.schedule.record(j).fate == JobFate::kRejectedPending;
+  }
+  EXPECT_EQ(rejected, 1u);
+}
+
+class VictimBudgetTest : public ::testing::TestWithParam<Rule2Victim> {};
+
+// The 2-eps rejection budget of Theorem 1 is a counter property, so it must
+// survive every victim rule.
+TEST_P(VictimBudgetTest, BudgetHoldsOnOverloadedWorkloads) {
+  for (std::uint64_t seed : {11ull, 12ull}) {
+    workload::WorkloadConfig config;
+    config.num_jobs = 400;
+    config.num_machines = 3;
+    config.load = 1.5;
+    config.sizes.dist = workload::SizeDistribution::kPareto;
+    config.seed = seed;
+    const Instance instance = workload::generate_workload(config);
+
+    RejectionFlowOptions options;
+    options.epsilon = 0.3;
+    options.rule2_victim = GetParam();
+    const auto result = run_rejection_flow(instance, options);
+
+    EXPECT_LE(static_cast<double>(result.schedule.num_rejected()),
+              2.0 * options.epsilon * static_cast<double>(instance.num_jobs()) +
+                  1e-9)
+        << "victim=" << to_string(GetParam()) << " seed=" << seed;
+    check_schedule(result.schedule, instance, {});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, VictimBudgetTest,
+                         ::testing::Values(Rule2Victim::kLargest,
+                                           Rule2Victim::kSmallest,
+                                           Rule2Victim::kNewest,
+                                           Rule2Victim::kRandom),
+                         [](const ::testing::TestParamInfo<Rule2Victim>& param) {
+                           return to_string(param.param);
+                         });
+
+// ------------------------------------------- no-rejection lower bound
+
+workload::PolicyRunner greedy_runner() {
+  return [](const Instance& instance) { return run_greedy_spt(instance); };
+}
+
+TEST(NoRejectLb, BuildsTheStreamInsideTheLongJob) {
+  workload::NoRejectLbConfig config;
+  config.L = 16.0;
+  const auto outcome = run_no_reject_lower_bound(greedy_runner(), config);
+  EXPECT_FALSE(outcome.algorithm_waited);
+  EXPECT_EQ(outcome.num_unit_jobs, 16u);
+  EXPECT_DOUBLE_EQ(outcome.delta, 16.0);
+  ASSERT_EQ(outcome.instance.num_jobs(), 17u);
+
+  // Unit jobs are released strictly inside (t*, t* + L].
+  for (std::size_t idx = 0; idx < outcome.instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    if (outcome.instance.processing(0, j) >= config.L) continue;
+    EXPECT_GT(outcome.instance.job(j).release, outcome.long_job_start);
+    EXPECT_LE(outcome.instance.job(j).release,
+              outcome.long_job_start + config.L + 1e-9);
+  }
+
+  // The witness schedule is feasible and completes everything.
+  check_schedule(outcome.adversary_schedule, outcome.instance, {});
+  EXPECT_EQ(outcome.adversary_schedule.num_completed(),
+            outcome.instance.num_jobs());
+  EXPECT_NEAR(outcome.adversary_flow,
+              outcome.adversary_schedule.total_flow(outcome.instance), 1e-9);
+}
+
+TEST(NoRejectLb, GreedyRatioGrowsLinearlyInDelta) {
+  std::vector<double> Ls{8.0, 16.0, 32.0};
+  std::vector<double> ratios;
+  for (double L : Ls) {
+    workload::NoRejectLbConfig config;
+    config.L = L;
+    const auto outcome = run_no_reject_lower_bound(greedy_runner(), config);
+    const Schedule greedy = run_greedy_spt(outcome.instance);
+    ratios.push_back(greedy.total_flow(outcome.instance) /
+                     outcome.adversary_flow);
+  }
+  EXPECT_GT(ratios[0], 1.5);
+  EXPECT_LT(ratios[0], ratios[1]);
+  EXPECT_LT(ratios[1], ratios[2]);
+  // Doubling Delta should (roughly) double the ratio.
+  EXPECT_GT(ratios[2] / ratios[0], 2.0);
+}
+
+TEST(NoRejectLb, Theorem1SchedulerStaysFlatOnTheSameInstances) {
+  std::vector<double> Ls{8.0, 16.0, 32.0};
+  std::vector<double> ratios;
+  for (double L : Ls) {
+    workload::NoRejectLbConfig config;
+    config.L = L;
+    const auto outcome = run_no_reject_lower_bound(greedy_runner(), config);
+    const auto t1 = run_rejection_flow(outcome.instance, {.epsilon = 0.25});
+    ratios.push_back(t1.schedule.total_flow(outcome.instance) /
+                     outcome.adversary_flow);
+  }
+  // Rejection caps the damage: the ratio stays bounded (Theorem 1's constant
+  // for eps = 0.25 is 2*(5)^2 = 50, but on this family the scheduler
+  // interrupts the elephant via Rule 1 and lands far below it).
+  for (double r : ratios) EXPECT_LT(r, 6.0);
+  // ... and does not scale with Delta like the greedy does.
+  EXPECT_LT(ratios[2], ratios[0] * 2.0);
+}
+
+TEST(NoRejectLb, PatienceCaseProducesTheSingleJobInstance) {
+  // A policy that idles past the patience bound before starting.
+  const workload::PolicyRunner procrastinator = [](const Instance& instance) {
+    Schedule schedule(instance.num_jobs());
+    const Work p = instance.processing(0, 0);
+    schedule.mark_dispatched(0, 0);
+    schedule.mark_started(0, 1000.0, 1.0);
+    schedule.mark_completed(0, 1000.0 + p);
+    return schedule;
+  };
+  workload::NoRejectLbConfig config;
+  config.L = 8.0;  // patience defaults to L^2 = 64 < 1000
+  const auto outcome = run_no_reject_lower_bound(procrastinator, config);
+  EXPECT_TRUE(outcome.algorithm_waited);
+  EXPECT_EQ(outcome.instance.num_jobs(), 1u);
+  EXPECT_DOUBLE_EQ(outcome.adversary_flow, 8.0);
+}
+
+}  // namespace
+}  // namespace osched

@@ -1,0 +1,396 @@
+// Tests for the simulation substrate: event queue, engine ordering,
+// schedule record, objectives, energy integration and the independent
+// validator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "instance/builders.hpp"
+#include "instance/power.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/schedule.hpp"
+#include "sim/validator.hpp"
+
+namespace osched {
+namespace {
+
+// ---------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.schedule(5.0, 0, 1);
+  queue.schedule(1.0, 0, 2);
+  queue.schedule(3.0, 1, 3);
+  EXPECT_EQ(queue.pop().job, 2);
+  EXPECT_EQ(queue.pop().job, 3);
+  EXPECT_EQ(queue.pop().job, 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue queue;
+  queue.schedule(2.0, 0, 10);
+  queue.schedule(2.0, 0, 11);
+  EXPECT_EQ(queue.pop().job, 10);
+  EXPECT_EQ(queue.pop().job, 11);
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue queue;
+  const auto id1 = queue.schedule(1.0, 0, 1);
+  queue.schedule(2.0, 0, 2);
+  queue.cancel(id1);
+  EXPECT_FALSE(queue.empty());
+  EXPECT_EQ(queue.pop().job, 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PeekTimeSkipsCancelled) {
+  EventQueue queue;
+  const auto id1 = queue.schedule(1.0, 0, 1);
+  queue.schedule(4.0, 0, 2);
+  queue.cancel(id1);
+  ASSERT_TRUE(queue.peek_time().has_value());
+  EXPECT_DOUBLE_EQ(*queue.peek_time(), 4.0);
+}
+
+// ---------------------------------------------------------------- Engine
+
+class RecordingHooks : public SimulationHooks {
+ public:
+  explicit RecordingHooks(SimEngine& engine) : engine_(engine) {}
+
+  void on_arrival(JobId job, Time now) override {
+    log.push_back({'A', job, now});
+    if (schedule_on_arrival_.contains(job)) {
+      engine_.events().schedule(schedule_on_arrival_[job], 0, job);
+    }
+  }
+  void on_event(const SimEvent& event, Time now) override {
+    log.push_back({'E', event.job, now});
+  }
+
+  void schedule_completion_at(JobId job, Time t) { schedule_on_arrival_[job] = t; }
+
+  struct Entry {
+    char kind;
+    JobId job;
+    Time time;
+  };
+  std::vector<Entry> log;
+
+ private:
+  SimEngine& engine_;
+  std::map<JobId, Time> schedule_on_arrival_;
+};
+
+TEST(SimEngine, DeliversArrivalsInReleaseOrder) {
+  const Instance instance =
+      single_machine_instance({{3.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}});
+  SimEngine engine(instance);
+  RecordingHooks hooks(engine);
+  engine.run(hooks);
+  ASSERT_EQ(hooks.log.size(), 3u);
+  EXPECT_DOUBLE_EQ(hooks.log[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(hooks.log[2].time, 3.0);
+}
+
+TEST(SimEngine, EventBeforeArrivalAtSameTime) {
+  // Job 0 released at 0 schedules a completion at exactly job 1's release.
+  const Instance instance = single_machine_instance({{0.0, 1.0}, {5.0, 1.0}});
+  SimEngine engine(instance);
+  RecordingHooks hooks(engine);
+  hooks.schedule_completion_at(0, 5.0);
+  engine.run(hooks);
+  ASSERT_EQ(hooks.log.size(), 3u);
+  EXPECT_EQ(hooks.log[0].kind, 'A');
+  EXPECT_EQ(hooks.log[1].kind, 'E');  // completion fires before the arrival
+  EXPECT_EQ(hooks.log[2].kind, 'A');
+  EXPECT_DOUBLE_EQ(hooks.log[1].time, 5.0);
+  EXPECT_DOUBLE_EQ(hooks.log[2].time, 5.0);
+}
+
+// ---------------------------------------------------------------- Schedule
+
+TEST(Schedule, LifecycleAndFlow) {
+  const Instance instance = single_machine_instance({{0.0, 4.0}, {1.0, 2.0}});
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 4.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 4.0, 1.0);
+  schedule.mark_completed(1, 6.0);
+
+  EXPECT_DOUBLE_EQ(schedule.flow_time(0, instance), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.flow_time(1, instance), 5.0);
+  EXPECT_DOUBLE_EQ(schedule.total_flow(instance), 9.0);
+  EXPECT_DOUBLE_EQ(schedule.max_flow(instance), 5.0);
+  EXPECT_DOUBLE_EQ(schedule.makespan(), 6.0);
+  EXPECT_EQ(schedule.num_completed(), 2u);
+  EXPECT_EQ(schedule.num_rejected(), 0u);
+}
+
+TEST(Schedule, RejectedFlowCountsUntilRejection) {
+  const Instance instance = single_machine_instance({{0.0, 4.0}, {1.0, 2.0}});
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_rejected_running(0, 3.0);  // interrupted at 3
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_rejected_pending(1, 2.5);
+
+  EXPECT_DOUBLE_EQ(schedule.flow_time(0, instance), 3.0);
+  EXPECT_DOUBLE_EQ(schedule.flow_time(1, instance), 1.5);
+  EXPECT_DOUBLE_EQ(schedule.total_flow(instance, true), 4.5);
+  EXPECT_DOUBLE_EQ(schedule.total_flow(instance, false), 0.0);
+  EXPECT_EQ(schedule.num_rejected(), 2u);
+}
+
+TEST(Schedule, WeightedFlowUsesWeights) {
+  const Instance instance =
+      single_machine_weighted_instance({{0.0, 2.0, 3.0}, {0.0, 2.0, 1.0}});
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 2.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 2.0, 1.0);
+  schedule.mark_completed(1, 4.0);
+  EXPECT_DOUBLE_EQ(schedule.total_weighted_flow(instance), 3.0 * 2.0 + 1.0 * 4.0);
+  EXPECT_DOUBLE_EQ(schedule.rejected_weight(instance), 0.0);
+}
+
+// ---------------------------------------------------------------- Energy
+
+TEST(Energy, SingleJobConstantSpeed) {
+  const Instance instance = single_machine_instance({{0.0, 6.0}});
+  Schedule schedule(1);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 2.0);   // speed 2 => duration 3
+  schedule.mark_completed(0, 3.0);
+  PolynomialPower power(2.0);
+  // Energy = s^2 * duration = 4 * 3.
+  EXPECT_NEAR(compute_energy(schedule, instance, power), 12.0, 1e-9);
+}
+
+TEST(Energy, ParallelExecutionAddsSpeeds) {
+  // Two jobs overlap on one machine for t in [1,2): profile 1 then 2 then 1.
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, 2.0);  // speed 1, [0,2)
+  builder.add_identical_job(0.0, 1.0);  // speed 1, [1,2)
+  const Instance instance = builder.build();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 2.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 1.0, 1.0);
+  schedule.mark_completed(1, 2.0);
+  PolynomialPower power(2.0);
+  // [0,1): 1^2; [1,2): 2^2 => 1 + 4 = 5. NOT 1+1+1 = 3 (superlinear power).
+  EXPECT_NEAR(compute_energy(schedule, instance, power), 5.0, 1e-9);
+}
+
+TEST(Energy, InterruptedJobStillConsumedEnergy) {
+  const Instance instance = single_machine_instance({{0.0, 10.0}});
+  Schedule schedule(1);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 2.0);
+  schedule.mark_rejected_running(0, 1.5);
+  PolynomialPower power(3.0);
+  EXPECT_NEAR(compute_energy(schedule, instance, power), 8.0 * 1.5, 1e-9);
+}
+
+TEST(Energy, PerMachinePowerFunctions) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {1.0, 1.0});
+  builder.add_job(0.0, {1.0, 1.0});
+  const Instance instance = builder.build();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 1.0);
+  schedule.mark_dispatched(1, 1);
+  schedule.mark_started(1, 0.0, 1.0);
+  schedule.mark_completed(1, 1.0);
+  PolynomialPower p2(2.0), p3(3.0, 5.0);
+  const std::vector<const PowerFunction*> powers{&p2, &p3};
+  EXPECT_NEAR(compute_energy(schedule, instance, powers), 1.0 + 5.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- Validator
+
+Instance two_job_instance() {
+  return single_machine_instance({{0.0, 3.0}, {1.0, 2.0}});
+}
+
+TEST(Validator, AcceptsFeasibleSchedule) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 3.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 3.0, 1.0);
+  schedule.mark_completed(1, 5.0);
+  EXPECT_TRUE(validate_schedule(schedule, instance).empty());
+}
+
+TEST(Validator, CatchesOverlap) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 3.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 2.0, 1.0);  // overlaps job 0
+  schedule.mark_completed(1, 4.0);
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("overlap"), std::string::npos);
+}
+
+TEST(Validator, AllowsOverlapInParallelModel) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 3.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 2.0, 1.0);
+  schedule.mark_completed(1, 4.0);
+  ValidationOptions options;
+  options.allow_parallel_execution = true;
+  EXPECT_TRUE(validate_schedule(schedule, instance, options).empty());
+}
+
+TEST(Validator, CatchesStartBeforeRelease) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 0.5, 1.0);  // release is 1.0
+  schedule.mark_completed(1, 2.5);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 2.5, 1.0);
+  schedule.mark_completed(0, 5.5);
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("before release"), std::string::npos);
+}
+
+TEST(Validator, CatchesDurationMismatch) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 2.0);  // needs 3.0
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 2.0, 1.0);
+  schedule.mark_completed(1, 4.0);
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("duration mismatch"), std::string::npos);
+}
+
+TEST(Validator, CatchesMissedDeadline) {
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, 2.0, 1.0, /*deadline=*/3.0);
+  const Instance instance = builder.build();
+  Schedule schedule(1);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 2.0, 1.0);
+  schedule.mark_completed(0, 4.0);  // deadline 3
+  ValidationOptions options;
+  options.require_deadlines = true;
+  const auto violations = validate_schedule(schedule, instance, options);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("deadline"), std::string::npos);
+}
+
+TEST(Validator, CatchesUndecidedJobs) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 3.0);
+  // Job 1 left pending.
+  schedule.mark_dispatched(1, 0);
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("undecided"), std::string::npos);
+}
+
+TEST(Validator, CatchesIneligibleAssignment) {
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {kTimeInfinity, 2.0});
+  const Instance instance = builder.build();
+  Schedule schedule(1);
+  schedule.mark_dispatched(0, 0);  // machine 0 is ineligible
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 2.0);
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("ineligible"), std::string::npos);
+}
+
+TEST(Validator, RejectedRunningOverrunCaught) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_rejected_running(0, 5.0);  // ran 5 > p=3: should have finished
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_rejected_pending(1, 5.0);
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("longer than its processing"), std::string::npos);
+}
+
+TEST(Validator, AcceptsRejectionAtArrivalWithoutDispatch) {
+  // Immediate-rejection policies reject before choosing a machine: the
+  // record carries no machine, which is legal for kRejectedPending only.
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.mark_rejected_pending(0, instance.job(0).release);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, instance.job(1).release, 1.0);
+  schedule.mark_completed(1, instance.job(1).release +
+                                 instance.processing(0, 1));
+  EXPECT_TRUE(validate_schedule(schedule, instance).empty());
+}
+
+TEST(Validator, UndispatchedRejectionBeforeReleaseCaught) {
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  // Rejected before it was even released: impossible for an online policy.
+  schedule.mark_rejected_pending(0, instance.job(0).release - 1.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, instance.job(1).release, 1.0);
+  schedule.mark_completed(1, instance.job(1).release +
+                                 instance.processing(0, 1));
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("rejected before release"), std::string::npos);
+}
+
+TEST(Validator, CompletedJobStillRequiresAMachine) {
+  // The no-machine exemption is ONLY for rejected-pending records; a
+  // "completed" job with no machine is still a violation.
+  const Instance instance = two_job_instance();
+  Schedule schedule(2);
+  schedule.record(0).fate = JobFate::kCompleted;
+  schedule.record(0).started = true;
+  schedule.record(0).end = 3.0;
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, instance.job(1).release, 1.0);
+  schedule.mark_completed(1, instance.job(1).release +
+                                 instance.processing(0, 1));
+  const auto violations = validate_schedule(schedule, instance);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("invalid machine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osched

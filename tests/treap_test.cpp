@@ -1,0 +1,176 @@
+// Unit + property tests for the augmented treap that backs the pending
+// queues of the flow scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/augmented_treap.hpp"
+#include "util/rng.hpp"
+
+namespace osched::util {
+namespace {
+
+struct Key {
+  double p;
+  int id;
+  bool operator<(const Key& other) const {
+    if (p != other.p) return p < other.p;
+    return id < other.id;
+  }
+  bool operator==(const Key& other) const { return p == other.p && id == other.id; }
+};
+
+struct GetP {
+  double operator()(const Key& k) const { return k.p; }
+};
+
+using Treap = AugmentedTreap<Key, GetP>;
+
+TEST(Treap, EmptyInvariants) {
+  Treap treap;
+  EXPECT_TRUE(treap.empty());
+  EXPECT_EQ(treap.size(), 0u);
+  EXPECT_DOUBLE_EQ(treap.total_weight(), 0.0);
+  EXPECT_FALSE(treap.min().has_value());
+  EXPECT_FALSE(treap.max().has_value());
+}
+
+TEST(Treap, InsertEraseContains) {
+  Treap treap;
+  treap.insert({3.0, 1});
+  treap.insert({1.0, 2});
+  treap.insert({2.0, 3});
+  EXPECT_EQ(treap.size(), 3u);
+  EXPECT_TRUE(treap.contains({2.0, 3}));
+  EXPECT_FALSE(treap.contains({2.0, 4}));
+  EXPECT_TRUE(treap.erase({2.0, 3}));
+  EXPECT_FALSE(treap.erase({2.0, 3}));
+  EXPECT_EQ(treap.size(), 2u);
+}
+
+TEST(Treap, MinMaxAndPopMin) {
+  Treap treap;
+  treap.insert({5.0, 1});
+  treap.insert({2.0, 2});
+  treap.insert({9.0, 3});
+  EXPECT_EQ(treap.min()->id, 2);
+  EXPECT_EQ(treap.max()->id, 3);
+  const Key popped = treap.pop_min();
+  EXPECT_EQ(popped.id, 2);
+  EXPECT_EQ(treap.min()->id, 1);
+}
+
+TEST(Treap, TiesBrokenById) {
+  Treap treap;
+  treap.insert({1.0, 7});
+  treap.insert({1.0, 3});
+  treap.insert({1.0, 5});
+  EXPECT_EQ(treap.min()->id, 3);
+  EXPECT_EQ(treap.max()->id, 7);
+  // stats_less for (1.0, 5): keys (1.0,3) only.
+  const auto stats = treap.stats_less({1.0, 5});
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.weight, 1.0);
+}
+
+TEST(Treap, PrefixStats) {
+  Treap treap;
+  for (int i = 1; i <= 10; ++i) treap.insert({static_cast<double>(i), i});
+  const auto stats = treap.stats_less({5.5, 0});
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_DOUBLE_EQ(stats.weight, 1 + 2 + 3 + 4 + 5);
+  EXPECT_DOUBLE_EQ(treap.total_weight(), 55.0);
+}
+
+TEST(Treap, ForEachInOrder) {
+  Treap treap;
+  treap.insert({3.0, 1});
+  treap.insert({1.0, 2});
+  treap.insert({2.0, 3});
+  std::vector<double> seen;
+  treap.for_each([&](const Key& k) { seen.push_back(k.p); });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Treap, ClearResets) {
+  Treap treap;
+  treap.insert({1.0, 1});
+  treap.clear();
+  EXPECT_TRUE(treap.empty());
+  treap.insert({2.0, 2});
+  EXPECT_EQ(treap.size(), 1u);
+}
+
+// Property test: the treap agrees with a std::set reference model under a
+// random workload of inserts, erases, pops and prefix queries.
+TEST(TreapProperty, AgreesWithReferenceModel) {
+  Rng rng(12345);
+  Treap treap;
+  std::set<Key> model;
+
+  for (int step = 0; step < 20000; ++step) {
+    const double op = rng.next_double();
+    if (op < 0.5 || model.empty()) {
+      Key k{static_cast<double>(rng.uniform_int(0, 300)), step};
+      treap.insert(k);
+      model.insert(k);
+    } else if (op < 0.7) {
+      // Erase a uniformly chosen existing element.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.index(model.size())));
+      ASSERT_TRUE(treap.erase(*it));
+      model.erase(it);
+    } else if (op < 0.8) {
+      const Key popped = treap.pop_min();
+      ASSERT_EQ(popped.id, model.begin()->id);
+      model.erase(model.begin());
+    } else {
+      // Prefix query at a random probe key.
+      Key probe{static_cast<double>(rng.uniform_int(0, 300)), static_cast<int>(rng.uniform_int(0, 20000))};
+      const auto stats = treap.stats_less(probe);
+      std::size_t count = 0;
+      double weight = 0.0;
+      for (const Key& k : model) {
+        if (k < probe) {
+          ++count;
+          weight += k.p;
+        }
+      }
+      ASSERT_EQ(stats.count, count);
+      ASSERT_NEAR(stats.weight, weight, 1e-9);
+    }
+
+    ASSERT_EQ(treap.size(), model.size());
+    if (!model.empty()) {
+      ASSERT_EQ(treap.min()->id, model.begin()->id);
+      ASSERT_EQ(treap.max()->id, model.rbegin()->id);
+    }
+  }
+}
+
+TEST(TreapProperty, TotalWeightTracksSum) {
+  Rng rng(999);
+  Treap treap;
+  double sum = 0.0;
+  std::vector<Key> keys;
+  for (int i = 0; i < 5000; ++i) {
+    Key k{rng.uniform(0.0, 10.0), i};
+    treap.insert(k);
+    keys.push_back(k);
+    sum += k.p;
+  }
+  EXPECT_NEAR(treap.total_weight(), sum, 1e-6);
+  rng.shuffle(keys);
+  for (std::size_t i = 0; i < 2500; ++i) {
+    ASSERT_TRUE(treap.erase(keys[i]));
+    sum -= keys[i].p;
+  }
+  EXPECT_NEAR(treap.total_weight(), sum, 1e-6);
+  EXPECT_EQ(treap.size(), 2500u);
+}
+
+}  // namespace
+}  // namespace osched::util

