@@ -1,49 +1,70 @@
-// E10 — smoothness of polynomial powers (Definition 1).
+// E10 — smoothness of polynomial powers (registered scenario
+// "e10_smoothness", Definition 1).
 //
 // Theorem 3's alpha^alpha ratio = lambda/(1-mu) rests on P(s)=s^alpha being
 // (Theta(alpha^{alpha-1}), (alpha-1)/alpha)-smooth [18]. The probe stresses
 // the smooth inequality with adversarial random sequences and reports the
 // smallest lambda that would have sufficed at mu=(alpha-1)/alpha, plus the
-// ratio bound that empirical lambda would imply.
-#include <cmath>
-#include <iostream>
-
+// ratio bound that empirical lambda would imply ("implied_ratio" tracking
+// alpha^alpha confirms the smoothness route to the bound).
 #include "duality/smoothness.hpp"
+#include "harness/registry.hpp"
 #include "instance/power.hpp"
-#include "util/cli.hpp"
+#include "metrics/ratio.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace osched;
+namespace {
 
-  util::Cli cli;
-  cli.flag("alphas", "1.5,2,2.5,3,3.5", "alpha sweep");
-  cli.flag("trials", "20000", "random sequences per alpha");
-  cli.flag("length", "16", "sequence length");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const auto trials = static_cast<std::size_t>(cli.integer("trials"));
-  const auto length = static_cast<std::size_t>(cli.integer("length"));
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-  std::cout << "E10: empirical smoothness of P(s)=s^alpha (" << trials
-            << " adversarial sequences x length " << length << ")\n";
-
-  util::Table table({"alpha", "mu=(a-1)/a", "lambda required", "alpha^{a-1}",
-                     "implied ratio", "alpha^alpha", "status"});
-  bool all_pass = true;
-  for (double alpha : cli.num_list("alphas")) {
-    const auto probe = probe_polynomial_smoothness(alpha, trials, length, 10101);
-    const double implied_ratio = probe.required_lambda / (1.0 - probe.mu);
+Scenario make_e10() {
+  Scenario scenario;
+  scenario.name = "e10_smoothness";
+  scenario.description =
+      "empirical smoothness of P(s)=s^alpha backing Theorem 3's ratio";
+  scenario.tags = {"energy", "smoothness", "paper", "smoke"};
+  scenario.repetitions = 2;
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0, 3.5}) {
+    scenario.grid.push_back(
+        CaseSpec("alpha=" + util::Table::num(alpha, 2)).with("alpha", alpha));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    const double alpha = ctx.param("alpha");
+    const auto probe = probe_polynomial_smoothness(alpha, ctx.scaled(20000),
+                                                   /*sequence_length=*/16,
+                                                   ctx.seed);
+    MetricRow row;
+    row.set("mu", probe.mu);
+    row.set("required_lambda", probe.required_lambda);
+    row.set("claimed_lambda", probe.claimed_lambda);
+    row.set("implied_ratio", probe.required_lambda / (1.0 - probe.mu));
+    row.set("alpha_pow_alpha", theorem3_ratio_bound(alpha));
     // The Theta() in [18] hides a constant; requiring <= 3x the witness
     // keeps the check honest without hard-coding their exact constant.
-    const bool pass = probe.within_claim(3.0);
-    all_pass = all_pass && pass;
-    table.row(alpha, probe.mu, probe.required_lambda, probe.claimed_lambda,
-              implied_ratio, theorem3_ratio_bound(alpha), pass ? "PASS" : "FAIL");
-  }
-  table.print(std::cout);
-  std::cout << "('implied ratio' = required_lambda/(1-mu): what the ratio of\n"
-            << " Theorem 3 would be with the EMPIRICAL lambda — tracking\n"
-            << " alpha^alpha confirms the smoothness route to the bound)\n"
-            << (all_pass ? "E10 PASS\n" : "E10 FAIL\n");
-  return all_pass ? 0 : 1;
+    row.set("within_claim", probe.within_claim(3.0) ? 1.0 : 0.0);
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    Verdict verdict;
+    for (const harness::CaseResult& c : report.cases) {
+      if (c.metric("within_claim").min() < 1.0) {
+        verdict.pass = false;
+        verdict.note = "smoothness claim violated at " + c.spec.label;
+        return verdict;
+      }
+    }
+    verdict.note = "empirical lambda within 3x of alpha^{alpha-1} everywhere";
+    return verdict;
+  };
+  return scenario;
 }
+
+OSCHED_REGISTER_SCENARIO(make_e10);
+
+}  // namespace

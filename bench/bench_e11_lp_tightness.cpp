@@ -1,25 +1,22 @@
-// E11 — tightness of the certified lower bounds.
+// E11 — tightness of the certified lower bounds (registered scenario
+// "e11_lp_tightness").
 //
 // Every ratio this repository reports divides an algorithm's cost by a
 // CERTIFIED lower bound on OPT, so the looseness of the bound inflates every
-// measured ratio. This experiment quantifies that looseness where ground
+// measured ratio. This scenario quantifies that looseness where ground
 // truth is computable: on small instances with exact branch-and-bound OPT,
 // it reports LB/OPT for each bound —
 //   * lp/2      : time-indexed LP optimum (section 2 of the paper) halved,
 //   * dual/2    : the Theorem 1 scheduler's own feasible dual solution halved,
 //   * srpt      : preemptive SRPT relaxation (single machine only),
 //   * sum p_min : the trivial bound.
-// A second table shows the LP bound sharpening monotonically as the time
-// grid refines — the knob experiments can turn when they need a tighter
-// certificate.
-#include <iostream>
-
-#include "analysis/sweep.hpp"
+// Grid-refinement cases show the LP bound sharpening monotonically as the
+// time grid refines — the knob experiments can turn when they need a
+// tighter certificate. The verdict asserts soundness: LB/OPT <= 1 always.
 #include "baselines/flow_lower_bounds.hpp"
 #include "core/flow/rejection_flow.hpp"
-#include "instance/builders.hpp"
+#include "harness/registry.hpp"
 #include "lp/flow_time_lp.hpp"
-#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
@@ -27,11 +24,19 @@
 namespace {
 
 using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-Instance small_instance(std::size_t machines, std::size_t jobs, bool pareto,
+constexpr std::size_t kJobs = 6;  // exact OPT is exponential
+
+Instance small_instance(std::size_t machines, bool pareto,
                         std::uint64_t seed) {
   workload::WorkloadConfig config;
-  config.num_jobs = jobs;
+  config.num_jobs = kJobs;
   config.num_machines = machines;
   config.load = 1.1;
   if (pareto) config.sizes.dist = workload::SizeDistribution::kPareto;
@@ -39,91 +44,103 @@ Instance small_instance(std::size_t machines, std::size_t jobs, bool pareto,
   return workload::generate_workload(config);
 }
 
-}  // namespace
+MetricRow run_family_unit(const UnitContext& ctx) {
+  MetricRow row;
+  const Instance instance =
+      small_instance(static_cast<std::size_t>(ctx.param("machines")),
+                     ctx.param("pareto") > 0.5, ctx.seed);
 
-int main(int argc, char** argv) {
-  using namespace osched;
-
-  util::Cli cli;
-  cli.flag("jobs", "6", "jobs per instance (exact OPT is exponential)");
-  cli.flag("reps", "6", "instances per family");
-  cli.flag("seed", "3", "root seed");
-  cli.flag("grid", "64", "LP time-grid cells");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const auto jobs = static_cast<std::size_t>(cli.integer("jobs"));
-  const auto reps = static_cast<std::size_t>(cli.integer("reps"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
-  const auto grid = static_cast<std::size_t>(cli.integer("grid"));
-
-  std::cout << "E11: lower-bound tightness vs exact OPT (n=" << jobs
-            << ", reps=" << reps << ", LP grid=" << grid << ")\n"
-            << "LB/OPT in [0,1]; 1.0 = exact. Certified bounds only.\n\n";
-
-  struct Family {
-    std::string name;
-    std::size_t machines;
-    bool pareto;
-  };
-  const std::vector<Family> families = {
-      {"1 machine, uniform sizes", 1, false},
-      {"1 machine, Pareto sizes", 1, true},
-      {"2 unrelated machines, uniform", 2, false},
-      {"2 unrelated machines, Pareto", 2, true},
-  };
-
-  std::vector<analysis::SweepCase> cases;
-  for (const Family& family : families) {
-    cases.push_back({family.name, [family, jobs, grid](std::uint64_t case_seed) {
-                       analysis::MetricRow row;
-                       const Instance instance = small_instance(
-                           family.machines, jobs, family.pareto, case_seed);
-
-                       const auto opt = exact_optimal_flow_unrelated(instance);
-                       if (!opt.has_value()) return row;  // skip: too large
-                       row.set("OPT", *opt);
-
-                       const auto lp_result = lp::solve_flow_time_lp(
-                           instance, {.target_intervals = grid});
-                       if (lp_result.optimal()) {
-                         row.set("lp/2 /OPT", lp_result.lower_bound / *opt);
-                       }
-
-                       const auto run =
-                           run_rejection_flow(instance, {.epsilon = 0.2});
-                       row.set("dual/2 /OPT", run.opt_lower_bound / *opt);
-
-                       if (const auto srpt =
-                               lb_srpt_preemptive_single_machine(instance)) {
-                         row.set("srpt /OPT", *srpt / *opt);
-                       }
-                       row.set("sum_pmin /OPT",
-                               lb_sum_min_processing(instance) / *opt);
-                       return row;
-                     }});
-  }
-
-  analysis::SweepOptions sweep;
-  sweep.repetitions = reps;
-  sweep.seed = seed;
-  const auto result = analysis::run_sweep(cases, sweep);
-  result.to_spread_table("instance family").print(std::cout);
-
-  // ---- Grid refinement series ----
-  util::print_section(std::cout, "LP bound vs grid resolution (single instance)");
-  const Instance instance = small_instance(2, jobs, true, seed + 1);
   const auto opt = exact_optimal_flow_unrelated(instance);
-  util::Table table({"grid cells", "lp objective", "lp/2", "lp/2 / OPT"});
-  for (std::size_t cells : {8u, 16u, 32u, 64u, 128u}) {
-    const auto lp_result =
-        lp::solve_flow_time_lp(instance, {.target_intervals = cells});
-    if (!lp_result.optimal()) continue;
-    table.row(static_cast<unsigned long>(cells), lp_result.lp_objective,
-              lp_result.lower_bound,
-              opt ? lp_result.lower_bound / *opt : 0.0);
-  }
-  table.print(std::cout);
+  if (!opt.has_value()) return row;  // skip: too large
+  row.set("opt", *opt);
 
-  std::cout << "Reading: lp/2 dominates the scheduler's own dual certificate;\n"
-               "refining the grid only raises it (monotone by construction).\n";
-  return 0;
+  const auto lp_result = lp::solve_flow_time_lp(
+      instance, {.target_intervals = 64});
+  if (lp_result.optimal()) {
+    row.set("lp_half_over_opt", lp_result.lower_bound / *opt);
+  }
+
+  const auto run = run_rejection_flow(instance, {.epsilon = 0.2});
+  row.set("dual_half_over_opt", run.opt_lower_bound / *opt);
+
+  if (const auto srpt = lb_srpt_preemptive_single_machine(instance)) {
+    row.set("srpt_over_opt", *srpt / *opt);
+  }
+  row.set("sum_pmin_over_opt", lb_sum_min_processing(instance) / *opt);
+  return row;
 }
+
+MetricRow run_grid_unit(const UnitContext& ctx) {
+  // One fixed family (2 unrelated machines, Pareto sizes); the case sweeps
+  // the LP time-grid resolution on the same per-repetition instance.
+  const Instance instance = small_instance(
+      2, true, util::derive_seed(ctx.scenario_seed,
+                                 9000 + static_cast<std::uint64_t>(
+                                            ctx.repetition)));
+  const auto opt = exact_optimal_flow_unrelated(instance);
+  const auto lp_result = lp::solve_flow_time_lp(
+      instance,
+      {.target_intervals = static_cast<std::size_t>(ctx.param("grid_cells"))});
+
+  MetricRow row;
+  if (!lp_result.optimal()) return row;
+  row.set("lp_objective", lp_result.lp_objective);
+  row.set("lp_half", lp_result.lower_bound);
+  if (opt.has_value()) row.set("lp_half_over_opt", lp_result.lower_bound / *opt);
+  return row;
+}
+
+Scenario make_e11() {
+  Scenario scenario;
+  scenario.name = "e11_lp_tightness";
+  scenario.description =
+      "LB/OPT tightness of every certified bound on exactly-solved instances";
+  scenario.tags = {"lp", "duality", "certificates"};
+  scenario.repetitions = 4;
+  const struct {
+    const char* label;
+    double machines;
+    double pareto;
+  } families[] = {
+      {"1 machine, uniform sizes", 1, 0},
+      {"1 machine, Pareto sizes", 1, 1},
+      {"2 unrelated machines, uniform", 2, 0},
+      {"2 unrelated machines, Pareto", 2, 1},
+  };
+  for (const auto& family : families) {
+    scenario.grid.push_back(CaseSpec(family.label)
+                                .with("machines", family.machines)
+                                .with("pareto", family.pareto));
+  }
+  for (const double cells : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    scenario.grid.push_back(
+        CaseSpec("lp grid cells=" + util::Table::num(cells, 4))
+            .with("grid_cells", cells));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    return ctx.unit_case.has_param("grid_cells") ? run_grid_unit(ctx)
+                                                 : run_family_unit(ctx);
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    // Certified bounds must never exceed OPT.
+    Verdict verdict;
+    for (const harness::CaseResult& c : report.cases) {
+      for (const char* key :
+           {"lp_half_over_opt", "dual_half_over_opt", "srpt_over_opt",
+            "sum_pmin_over_opt"}) {
+        if (c.has_metric(key) && c.metric(key).max() > 1.0 + 1e-9) {
+          verdict.pass = false;
+          verdict.note = std::string(key) + " exceeds OPT at " + c.spec.label;
+          return verdict;
+        }
+      }
+    }
+    verdict.note = "every certified bound stays below exact OPT";
+    return verdict;
+  };
+  return scenario;
+}
+
+OSCHED_REGISTER_SCENARIO(make_e11);
+
+}  // namespace

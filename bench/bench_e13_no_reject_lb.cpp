@@ -1,43 +1,50 @@
-// E13 — the Omega(Delta) blow-up of no-rejection schedulers, and how the
-// Theorem 1 scheduler escapes it.
+// E13 — the Omega(Delta) blow-up of no-rejection schedulers (registered
+// scenario "e13_no_reject_lb"), and how the Theorem 1 scheduler escapes it.
 //
 // Complements E2 (Lemma 1: even WITH immediate rejection the ratio is
 // Omega(sqrt(Delta))): here the adversary is the classical
 // long-job-then-unit-stream family against which any deterministic online
 // non-preemptive algorithm that must finish every job pays Omega(Delta).
-// The table sweeps Delta = L and reports, per policy, total flow divided by
-// the adversary's explicit witness schedule (an upper bound on OPT, so the
+// Cases sweep Delta = L and report, per policy, total flow divided by the
+// adversary's explicit witness schedule (an upper bound on OPT, so the
 // column is a certified lower bound on each policy's competitive ratio).
-#include <iostream>
-
+// The no-rejection columns grow linearly with Delta (the committed elephant
+// holds the unit stream hostage); the Theorem 1 column stays flat — Rule 1
+// interrupts the elephant after ceil(1/eps) arrivals, the paper's point.
 #include "baselines/immediate_rejection.hpp"
 #include "baselines/list_scheduler.hpp"
 #include "core/flow/rejection_flow.hpp"
-#include "util/cli.hpp"
+#include "harness/registry.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/no_reject_lower_bound.hpp"
 
-int main(int argc, char** argv) {
-  using namespace osched;
+namespace {
 
-  util::Cli cli;
-  cli.flag("eps", "0.25", "Theorem 1 rejection parameter");
-  cli.flag("Ls", "8,16,32,64,128", "long-job lengths (Delta values)");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const double eps = cli.num("eps");
-  const std::vector<double> Ls = cli.num_list("Ls");
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-  std::cout << "E13: Omega(Delta) lower bound for no-rejection policies\n"
-            << "ratio = policy flow / adversary witness flow (certified "
-               "ratio LB)\n\n";
+constexpr double kEps = 0.25;
 
-  util::Table table({"Delta=L", "greedy-SPT", "FIFO", "immediate-reject",
-                     "theorem1(eps=" + util::Table::num(eps, 3) + ")",
-                     "t1 rejected"});
-
-  for (double L : Ls) {
+Scenario make_e13() {
+  Scenario scenario;
+  scenario.name = "e13_no_reject_lb";
+  scenario.description =
+      "Omega(Delta) lower bound for no-rejection policies; Theorem 1 stays flat";
+  scenario.tags = {"flow", "lower-bound", "paper", "smoke"};
+  scenario.repetitions = 1;  // the adversary is deterministic
+  for (const double L : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    scenario.grid.push_back(
+        CaseSpec("Delta=" + util::Table::num(L, 4)).with("L", L));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
     workload::NoRejectLbConfig config;
-    config.L = L;
+    config.L = ctx.param("L");
     // Adapt the stream to the greedy's committed start; all policies are
     // then measured on that same final instance.
     const auto outcome = run_no_reject_lower_bound(
@@ -46,22 +53,41 @@ int main(int argc, char** argv) {
     const Instance& instance = outcome.instance;
     const double witness = outcome.adversary_flow;
 
-    const Schedule greedy = run_greedy_spt(instance);
-    const Schedule fifo = run_fifo(instance);
-    const auto immediate = run_immediate_rejection(instance, {.eps = eps});
-    const auto t1 = run_rejection_flow(instance, {.epsilon = eps});
-
-    table.row(L, greedy.total_flow(instance) / witness,
-              fifo.total_flow(instance) / witness,
-              immediate.schedule.total_flow(instance) / witness,
-              t1.schedule.total_flow(instance) / witness,
-              static_cast<unsigned long>(t1.schedule.num_rejected()));
-  }
-  table.print(std::cout);
-
-  std::cout << "Reading: the no-rejection columns grow linearly with Delta\n"
-               "(the committed elephant holds the unit stream hostage); the\n"
-               "Theorem 1 column stays flat — Rule 1 interrupts the elephant\n"
-               "after ceil(1/eps) arrivals, which is the paper's point.\n";
-  return 0;
+    const auto t1 = run_rejection_flow(instance, {.epsilon = kEps});
+    MetricRow row;
+    row.set("greedy_spt_ratio",
+            run_greedy_spt(instance).total_flow(instance) / witness);
+    row.set("fifo_ratio", run_fifo(instance).total_flow(instance) / witness);
+    row.set("immediate_ratio",
+            run_immediate_rejection(instance, {.eps = kEps})
+                    .schedule.total_flow(instance) /
+                witness);
+    row.set("theorem1_ratio", t1.schedule.total_flow(instance) / witness);
+    row.set("t1_rejected", static_cast<double>(t1.schedule.num_rejected()));
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    // The greedy column must grow ~linearly in Delta; the Theorem 1 column
+    // must not grow with it.
+    std::vector<double> Ls, greedy_ratios;
+    double t1_first = 0.0, t1_last = 0.0;
+    for (const harness::CaseResult& c : report.cases) {
+      Ls.push_back(c.spec.param("L"));
+      greedy_ratios.push_back(c.metric("greedy_spt_ratio").mean());
+      t1_last = c.metric("theorem1_ratio").mean();
+      if (Ls.size() == 1) t1_first = t1_last;
+    }
+    const double slope = util::loglog_slope(Ls, greedy_ratios);
+    Verdict verdict;
+    verdict.pass = slope > 0.5 && t1_last < 2.0 * t1_first + 1.0;
+    verdict.note = "greedy growth exponent " + util::Table::num(slope, 3) +
+                   " (expect ~1); theorem1 " + util::Table::num(t1_first, 3) +
+                   " -> " + util::Table::num(t1_last, 3);
+    return verdict;
+  };
+  return scenario;
 }
+
+OSCHED_REGISTER_SCENARIO(make_e13);
+
+}  // namespace

@@ -1,31 +1,51 @@
-// E14 — the weighted flow-time EXTENSION (no paper theorem; the conclusion's
-// open direction) measured on the workloads where weights matter.
+// E14 — the weighted flow-time EXTENSION (registered scenario
+// "e14_weighted_flow"; no paper theorem — the conclusion's open direction)
+// measured on the workloads where weights matter.
 //
-// Two tables:
-//   1. Policy comparison on large weighted workloads: the weighted extension
-//      (HDF + weighted rules), the Theorem 1 scheduler (weight-blind), and
-//      the no-rejection list baselines. Objective: total WEIGHTED flow in
-//      the rejection model (rejected jobs pay w_j * (rejection - release)),
-//      plus the rejected weight fraction against the 2-eps budget.
-//   2. Certified ratios on small instances: the weighted time-indexed LP
-//      (lp/flow_time_lp, use_weights) halved is a certified lower bound on
-//      the optimal weighted flow, so ratio columns are sound upper bounds on
-//      each policy's weighted competitive ratio there.
-#include <iostream>
-
-#include "analysis/sweep.hpp"
+// Policy cases compare, per weight family, the weighted extension (HDF +
+// weighted rules), the Theorem 1 scheduler (weight-blind), and the
+// no-rejection list baselines. Objective: total WEIGHTED flow in the
+// rejection model (rejected jobs pay w_j * (rejection - release)), plus the
+// rejected weight fraction against the 2-eps weight budget — the service
+// guarantee the weighted setting is actually about (the weight-blind run
+// can post a lower weighted flow, but only by silently rejecting ~30% of
+// total weight; its budget counts jobs).
+//
+// LP cases: the weighted time-indexed LP halved is a certified lower bound
+// on the optimal weighted flow, so those ratio columns are sound upper
+// bounds on each policy's weighted competitive ratio.
 #include "baselines/list_scheduler.hpp"
 #include "core/flow/rejection_flow.hpp"
 #include "extensions/weighted_flow.hpp"
+#include "harness/registry.hpp"
 #include "lp/flow_time_lp.hpp"
 #include "metrics/metrics.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
 namespace {
 
 using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
+
+constexpr double kEps = 0.25;
+
+enum class Policy { kWeightedExt = 0, kTheorem1, kGreedySpt, kFifo };
+
+const char* to_label(Policy policy) {
+  switch (policy) {
+    case Policy::kWeightedExt: return "weighted-ext";
+    case Policy::kTheorem1: return "theorem1";
+    case Policy::kGreedySpt: return "greedy-spt";
+    case Policy::kFifo: return "fifo";
+  }
+  return "?";
+}
 
 Instance weighted_workload(workload::WeightDistribution weights,
                            std::size_t jobs, std::size_t machines, double load,
@@ -40,119 +60,125 @@ Instance weighted_workload(workload::WeightDistribution weights,
   return workload::generate_workload(config);
 }
 
-}  // namespace
+MetricRow run_policy_unit(const UnitContext& ctx) {
+  const auto weights = static_cast<workload::WeightDistribution>(
+      static_cast<int>(ctx.param("weights")));
+  const auto policy = static_cast<Policy>(static_cast<int>(ctx.param("policy")));
+  const Instance instance =
+      weighted_workload(weights, ctx.scaled(1200), 4, 1.3, ctx.seed);
 
-int main(int argc, char** argv) {
-  using namespace osched;
-
-  util::Cli cli;
-  cli.flag("eps", "0.25", "rejection parameter");
-  cli.flag("reps", "5", "repetitions per cell");
-  cli.flag("seed", "21", "root seed");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const double eps = cli.num("eps");
-  const auto reps = static_cast<std::size_t>(cli.integer("reps"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
-
-  std::cout << "E14: weighted flow-time extension (eps=" << eps
-            << "); weighted flow in the rejection model\n\n";
-
-  const std::vector<std::pair<std::string, workload::WeightDistribution>>
-      families = {
-          {"uniform weights", workload::WeightDistribution::kUniform},
-          {"inverse-size (equal densities)",
-           workload::WeightDistribution::kInverseSize},
-          {"proportional-size (elephants matter)",
-           workload::WeightDistribution::kProportionalSize},
-      };
-
-  for (const auto& [family_name, weights] : families) {
-    std::vector<analysis::SweepCase> cases;
-    const auto add_case = [&](const std::string& label, auto runner) {
-      cases.push_back({label, [weights, eps, runner](std::uint64_t s) {
-                         analysis::MetricRow row;
-                         const Instance instance =
-                             weighted_workload(weights, 1200, 4, 1.3, s);
-                         runner(instance, row);
-                         (void)eps;
-                         return row;
-                       }});
-    };
-
-    add_case("weighted-ext (HDF+rules)",
-             [eps](const Instance& instance, analysis::MetricRow& row) {
-               const auto result =
-                   run_weighted_rejection_flow(instance, {.epsilon = eps});
-               const auto report = evaluate(result.schedule, instance);
-               row.set("w_flow", report.total_weighted_flow);
-               row.set("rej_w%", 100.0 * report.rejected_weight_fraction);
-               row.set("max_flow", report.max_flow);
-             });
-    add_case("theorem1 (weight-blind)",
-             [eps](const Instance& instance, analysis::MetricRow& row) {
-               const auto result =
-                   run_rejection_flow(instance, {.epsilon = eps});
-               const auto report = evaluate(result.schedule, instance);
-               row.set("w_flow", report.total_weighted_flow);
-               row.set("rej_w%", 100.0 * report.rejected_weight_fraction);
-               row.set("max_flow", report.max_flow);
-             });
-    add_case("greedy-SPT (no reject)",
-             [](const Instance& instance, analysis::MetricRow& row) {
-               const Schedule schedule = run_greedy_spt(instance);
-               const auto report = evaluate(schedule, instance);
-               row.set("w_flow", report.total_weighted_flow);
-               row.set("rej_w%", 0.0);
-               row.set("max_flow", report.max_flow);
-             });
-    add_case("FIFO (no reject)",
-             [](const Instance& instance, analysis::MetricRow& row) {
-               const Schedule schedule = run_fifo(instance);
-               const auto report = evaluate(schedule, instance);
-               row.set("w_flow", report.total_weighted_flow);
-               row.set("rej_w%", 0.0);
-               row.set("max_flow", report.max_flow);
-             });
-
-    analysis::SweepOptions sweep;
-    sweep.repetitions = reps;
-    sweep.seed = seed;
-    const auto result = analysis::run_sweep(cases, sweep);
-    util::print_section(std::cout, family_name + " (n=1200, m=4, load 1.3)");
-    result.to_spread_table("policy").print(std::cout);
+  Schedule schedule;
+  switch (policy) {
+    case Policy::kWeightedExt:
+      schedule = run_weighted_rejection_flow(instance, {.epsilon = kEps}).schedule;
+      break;
+    case Policy::kTheorem1:
+      schedule = run_rejection_flow(instance, {.epsilon = kEps}).schedule;
+      break;
+    case Policy::kGreedySpt:
+      schedule = run_greedy_spt(instance);
+      break;
+    case Policy::kFifo:
+      schedule = run_fifo(instance);
+      break;
   }
-
-  // ---- Certified ratios against the weighted LP ----
-  util::print_section(std::cout,
-                      "certified ratios vs weighted LP/2 (n=24, m=2)");
-  util::Table table({"seed", "LP/2", "weighted-ext", "theorem1", "greedy-SPT"});
-  for (std::uint64_t s = 1; s <= 4; ++s) {
-    const Instance instance = weighted_workload(
-        workload::WeightDistribution::kUniform, 24, 2, 1.1, seed + s);
-    lp::FlowLpOptions lp_options;
-    lp_options.target_intervals = 72;
-    lp_options.use_weights = true;
-    const auto lp_result = lp::solve_flow_time_lp(instance, lp_options);
-    if (!lp_result.optimal()) continue;
-    const double lb = lp_result.lower_bound;
-
-    const auto ext = run_weighted_rejection_flow(instance, {.epsilon = eps});
-    const auto t1 = run_rejection_flow(instance, {.epsilon = eps});
-    const Schedule greedy = run_greedy_spt(instance);
-    table.row(static_cast<unsigned long>(s), lb,
-              ext.schedule.total_weighted_flow(instance) / lb,
-              t1.schedule.total_weighted_flow(instance) / lb,
-              greedy.total_weighted_flow(instance) / lb);
-  }
-  table.print(std::cout);
-
-  std::cout << "Reading: both rejection policies dominate the no-rejection\n"
-               "baselines wherever load exceeds 1. The interesting split is\n"
-               "under proportional-size weights: the weight-blind Theorem 1\n"
-               "run can post a lower weighted flow, but only by silently\n"
-               "rejecting ~30% of total WEIGHT (its budget counts jobs);\n"
-               "the extension keeps rejected weight within its 2*eps weight\n"
-               "budget — the service guarantee the weighted setting is\n"
-               "actually about. No theorem is claimed: ratios are empirical.\n";
-  return 0;
+  const auto report = evaluate(schedule, instance);
+  MetricRow row;
+  row.set("w_flow", report.total_weighted_flow);
+  row.set("rejected_w_pct", 100.0 * report.rejected_weight_fraction);
+  row.set("max_flow", report.max_flow);
+  return row;
 }
+
+MetricRow run_lp_unit(const UnitContext& ctx) {
+  const Instance instance = weighted_workload(
+      workload::WeightDistribution::kUniform, 24, 2, 1.1, ctx.seed);
+  lp::FlowLpOptions lp_options;
+  lp_options.target_intervals = 72;
+  lp_options.use_weights = true;
+  const auto lp_result = lp::solve_flow_time_lp(instance, lp_options);
+
+  MetricRow row;
+  if (!lp_result.optimal()) return row;
+  const double lb = lp_result.lower_bound;
+  row.set("lp_half", lb);
+  row.set("weighted_ext_ratio",
+          run_weighted_rejection_flow(instance, {.epsilon = kEps})
+                  .schedule.total_weighted_flow(instance) /
+              lb);
+  row.set("theorem1_ratio",
+          run_rejection_flow(instance, {.epsilon = kEps})
+                  .schedule.total_weighted_flow(instance) /
+              lb);
+  row.set("greedy_spt_ratio",
+          run_greedy_spt(instance).total_weighted_flow(instance) / lb);
+  return row;
+}
+
+Scenario make_e14() {
+  Scenario scenario;
+  scenario.name = "e14_weighted_flow";
+  scenario.description =
+      "weighted flow-time extension vs weight-blind and no-rejection policies";
+  scenario.tags = {"flow", "weighted", "extension"};
+  scenario.repetitions = 3;
+  const struct {
+    const char* label;
+    workload::WeightDistribution weights;
+  } families[] = {
+      {"uniform-w", workload::WeightDistribution::kUniform},
+      {"inverse-size-w", workload::WeightDistribution::kInverseSize},
+      {"proportional-size-w", workload::WeightDistribution::kProportionalSize},
+  };
+  for (const auto& family : families) {
+    for (const Policy policy : {Policy::kWeightedExt, Policy::kTheorem1,
+                                Policy::kGreedySpt, Policy::kFifo}) {
+      scenario.grid.push_back(
+          CaseSpec(std::string(family.label) + " / " + to_label(policy))
+              .with("weights", static_cast<double>(family.weights))
+              .with("policy", static_cast<double>(policy)));
+    }
+  }
+  scenario.grid.push_back(
+      CaseSpec("certified vs weighted LP/2 (n=24)").with("lp", 1.0));
+
+  scenario.run_unit = [](const UnitContext& ctx) {
+    return ctx.param_or("lp", 0.0) > 0.5 ? run_lp_unit(ctx)
+                                         : run_policy_unit(ctx);
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    Verdict verdict;
+    for (const harness::CaseResult& c : report.cases) {
+      // The extension's whole point: rejected weight within the 2*eps
+      // weight budget on every family.
+      if (c.spec.has_param("policy") &&
+          static_cast<Policy>(static_cast<int>(c.spec.param("policy"))) ==
+              Policy::kWeightedExt &&
+          c.metric("rejected_w_pct").max() > 200.0 * kEps + 1e-9) {
+        verdict.pass = false;
+        verdict.note = "weighted-ext exceeded its weight budget at " +
+                       c.spec.label;
+        return verdict;
+      }
+      // LP ratios are certified: nothing may beat the lower bound.
+      if (c.spec.has_param("lp") && c.has_metric("weighted_ext_ratio")) {
+        for (const char* key :
+             {"weighted_ext_ratio", "theorem1_ratio", "greedy_spt_ratio"}) {
+          if (c.metric(key).min() < 1.0 - 1e-9) {
+            verdict.pass = false;
+            verdict.note = std::string(key) + " beat the certified LP bound";
+            return verdict;
+          }
+        }
+      }
+    }
+    verdict.note =
+        "weighted-ext keeps rejected weight within 2*eps; LP bounds sound";
+    return verdict;
+  };
+  return scenario;
+}
+
+OSCHED_REGISTER_SCENARIO(make_e14);
+
+}  // namespace

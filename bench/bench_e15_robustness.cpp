@@ -1,21 +1,19 @@
-// E15 — robustness of the measured ratios to instance perturbation.
+// E15 — robustness of the measured ratios to instance perturbation
+// (registered scenario "e15_robustness").
 //
-// The theorem bounds are worst-case; E1/E6's measurements come from specific
-// generated instances. This experiment perturbs one nominal workload three
-// ways — release jitter, lognormal size noise, random job drops — and
+// The theorem bounds are worst-case; E1/E6's measurements come from
+// specific generated instances. This scenario perturbs one nominal workload
+// three ways — release jitter, lognormal size noise, random job drops — and
 // re-measures the Theorem 1 ratio (vs each perturbed instance's OWN
 // certified lower bound) and the rejection fraction. Flat rows mean the
-// reproduction measures the policy, not the instance; they also probe the
-// 2-eps budget's independence from instance details (a counter property, it
-// must be EXACTLY flat).
-#include <iostream>
-
-#include "analysis/sweep.hpp"
+// reproduction measures the policy, not the instance; the rejected%
+// column must stay under 2*eps everywhere — the budget is a counter
+// property and cannot depend on the perturbation (this is the verdict).
 #include "baselines/flow_lower_bounds.hpp"
 #include "baselines/list_scheduler.hpp"
 #include "core/flow/rejection_flow.hpp"
+#include "harness/registry.hpp"
 #include "metrics/metrics.hpp"
-#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 #include "workload/perturb.hpp"
@@ -23,104 +21,97 @@
 namespace {
 
 using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-Instance nominal_workload(std::uint64_t seed) {
-  workload::WorkloadConfig config;
-  config.num_jobs = 800;
-  config.num_machines = 4;
-  config.load = 1.3;
-  config.sizes.dist = workload::SizeDistribution::kPareto;
-  config.seed = seed;
-  return workload::generate_workload(config);
+constexpr double kEps = 0.25;
+
+enum class Axis { kReleaseJitter = 0, kSizeNoise, kJobDrops };
+
+const char* to_label(Axis axis) {
+  switch (axis) {
+    case Axis::kReleaseJitter: return "release-jitter";
+    case Axis::kSizeNoise: return "size-noise";
+    case Axis::kJobDrops: return "job-drops";
+  }
+  return "?";
 }
 
-analysis::MetricRow measure(const Instance& instance, double eps) {
-  analysis::MetricRow row;
-  const auto t1 = run_rejection_flow(instance, {.epsilon = eps});
-  const auto report = evaluate(t1.schedule, instance);
-  const double lb = best_flow_lower_bound(instance, t1.opt_lower_bound);
-  row.set("T1 ratio", report.total_flow / lb);
-  row.set("rejected%", 100.0 * report.rejected_fraction);
-  const Schedule greedy = run_greedy_spt(instance);
-  row.set("greedy ratio", greedy.total_flow(instance) / lb);
-  row.set("n", static_cast<double>(instance.num_jobs()));
-  return row;
+Scenario make_e15() {
+  Scenario scenario;
+  scenario.name = "e15_robustness";
+  scenario.description =
+      "ratio robustness under perturbation; the 2*eps budget must be exact";
+  scenario.tags = {"flow", "robustness", "theorem1"};
+  scenario.repetitions = 3;
+  const struct {
+    Axis axis;
+    std::vector<double> magnitudes;
+  } axes[] = {
+      {Axis::kReleaseJitter, {0.0, 0.5, 1.0, 2.0}},
+      {Axis::kSizeNoise, {0.0, 0.2, 0.5, 1.0}},
+      {Axis::kJobDrops, {0.0, 0.1, 0.25, 0.5}},
+  };
+  for (const auto& axis : axes) {
+    for (const double magnitude : axis.magnitudes) {
+      scenario.grid.push_back(
+          CaseSpec(std::string(to_label(axis.axis)) + " " +
+                   util::Table::num(magnitude, 3))
+              .with("axis", static_cast<double>(axis.axis))
+              .with("magnitude", magnitude));
+    }
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    workload::WorkloadConfig nominal_config;
+    nominal_config.num_jobs = ctx.scaled(800);
+    nominal_config.num_machines = 4;
+    nominal_config.load = 1.3;
+    nominal_config.sizes.dist = workload::SizeDistribution::kPareto;
+    nominal_config.seed = 1234;  // one shared nominal workload, as in E15
+    const Instance nominal = workload::generate_workload(nominal_config);
+
+    workload::PerturbConfig perturb;
+    const double magnitude = ctx.param("magnitude");
+    switch (static_cast<Axis>(static_cast<int>(ctx.param("axis")))) {
+      case Axis::kReleaseJitter: perturb.release_jitter = magnitude; break;
+      case Axis::kSizeNoise: perturb.size_noise = magnitude; break;
+      case Axis::kJobDrops: perturb.drop_fraction = magnitude; break;
+    }
+    perturb.seed = ctx.seed;
+    const Instance instance = workload::perturb_instance(nominal, perturb);
+
+    const auto t1 = run_rejection_flow(instance, {.epsilon = kEps});
+    const auto report = evaluate(t1.schedule, instance);
+    const double lb = best_flow_lower_bound(instance, t1.opt_lower_bound);
+
+    MetricRow row;
+    row.set("t1_ratio", report.total_flow / lb);
+    row.set("rejected_pct", 100.0 * report.rejected_fraction);
+    row.set("greedy_ratio",
+            run_greedy_spt(instance).total_flow(instance) / lb);
+    row.set("jobs", static_cast<double>(instance.num_jobs()));
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    Verdict verdict;
+    for (const harness::CaseResult& c : report.cases) {
+      if (c.metric("rejected_pct").max() > 200.0 * kEps + 1e-9) {
+        verdict.pass = false;
+        verdict.note = "rejection budget depends on the perturbation at " +
+                       c.spec.label;
+        return verdict;
+      }
+    }
+    verdict.note = "2*eps budget flat across every perturbation axis";
+    return verdict;
+  };
+  return scenario;
 }
+
+OSCHED_REGISTER_SCENARIO(make_e15);
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  using namespace osched;
-
-  util::Cli cli;
-  cli.flag("eps", "0.25", "rejection parameter");
-  cli.flag("reps", "5", "perturbation draws per magnitude");
-  cli.flag("seed", "41", "root seed");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const double eps = cli.num("eps");
-  const auto reps = static_cast<std::size_t>(cli.integer("reps"));
-  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
-
-  std::cout << "E15: ratio robustness under instance perturbation (eps=" << eps
-            << ")\nratios vs each perturbed instance's own certified LB\n\n";
-
-  struct Axis {
-    std::string name;
-    std::vector<double> magnitudes;
-    workload::PerturbConfig (*make)(double, std::uint64_t);
-  };
-  const std::vector<Axis> axes = {
-      {"release jitter (x mean gap)",
-       {0.0, 0.5, 1.0, 2.0},
-       [](double m, std::uint64_t s) {
-         workload::PerturbConfig config;
-         config.release_jitter = m;
-         config.seed = s;
-         return config;
-       }},
-      {"size noise (lognormal sigma)",
-       {0.0, 0.2, 0.5, 1.0},
-       [](double m, std::uint64_t s) {
-         workload::PerturbConfig config;
-         config.size_noise = m;
-         config.seed = s;
-         return config;
-       }},
-      {"job drops (fraction)",
-       {0.0, 0.1, 0.25, 0.5},
-       [](double m, std::uint64_t s) {
-         workload::PerturbConfig config;
-         config.drop_fraction = m;
-         config.seed = s;
-         return config;
-       }},
-  };
-
-  for (const Axis& axis : axes) {
-    std::vector<analysis::SweepCase> cases;
-    for (double magnitude : axis.magnitudes) {
-      cases.push_back(
-          {util::Table::num(magnitude, 3),
-           [&axis, magnitude, eps](std::uint64_t case_seed) {
-             const Instance nominal = nominal_workload(1234);
-             const Instance perturbed = workload::perturb_instance(
-                 nominal, axis.make(magnitude, case_seed));
-             return measure(perturbed, eps);
-           }});
-    }
-    analysis::SweepOptions sweep;
-    sweep.repetitions = reps;
-    sweep.seed = seed;
-    const auto result = analysis::run_sweep(cases, sweep);
-    util::print_section(std::cout, axis.name);
-    result.to_spread_table("magnitude").print(std::cout);
-  }
-
-  std::cout << "Reading: the T1 ratio column should move little across each\n"
-               "axis (the measurement reflects the policy); the rejected%\n"
-               "column must stay under 2*eps = "
-            << util::Table::num(200.0 * eps, 3)
-            << "% everywhere — the budget is a counter\n"
-               "property and cannot depend on the perturbation.\n";
-  return 0;
-}

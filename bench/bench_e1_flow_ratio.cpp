@@ -1,124 +1,128 @@
-// E1 — Theorem 1 verification table.
+// E1 — Theorem 1 verification (registered scenario "e1_flow_ratio").
 //
 // Claim: the rejection-only flow scheduler is 2((1+eps)/eps)^2-competitive
 // while rejecting at most a 2*eps fraction of jobs.
 //
-// For each (eps, machines, size distribution): several seeded workloads;
-// reported measured ratio = ALG / certified lower bound (dual/2 vs the
+// Grid: (eps, machines, size distribution); several seeded workloads per
+// cell. Measured ratio = ALG / certified lower bound (dual/2 vs the
 // combinatorial bounds, whichever is strongest), so every number is an
 // upper bound on the true competitive ratio. PASS = max ratio below the
 // theorem bound AND rejection budget respected on every run.
-#include <iostream>
-
+//
+// Also registers "smoke_rejection_budget": a seconds-fast scenario asserting
+// the 2*eps rejection budget, tagged for the CI smoke batch.
 #include "baselines/flow_lower_bounds.hpp"
 #include "core/flow/rejection_flow.hpp"
+#include "harness/registry.hpp"
 #include "metrics/ratio.hpp"
 #include "sim/validator.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "workload/generators.hpp"
 
 namespace {
 
-struct Cell {
-  double mean_ratio = 0.0;
-  double max_ratio = 0.0;
-  double max_reject_fraction = 0.0;
-  bool feasible = true;
-};
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-Cell run_cell(double eps, std::size_t machines,
-              osched::workload::SizeDistribution dist, std::size_t jobs,
-              std::size_t seeds) {
-  using namespace osched;
-  Cell cell;
-  std::vector<double> ratios;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    workload::WorkloadConfig config;
-    config.num_jobs = jobs;
-    config.num_machines = machines;
-    config.load = 1.2;
-    config.sizes.dist = dist;
-    config.machines.model = workload::MachineModel::kUnrelated;
-    config.seed = util::derive_seed(1001, seed * 37 + machines);
-    const Instance instance = workload::generate_workload(config);
+MetricRow run_theorem1_unit(const UnitContext& ctx, std::size_t nominal_jobs,
+                            double load) {
+  const double eps = ctx.param("eps");
+  workload::WorkloadConfig config;
+  config.num_jobs = ctx.scaled(nominal_jobs);
+  config.num_machines = static_cast<std::size_t>(ctx.param("machines"));
+  config.load = load;
+  config.sizes.dist = ctx.param_or("pareto", 0.0) > 0.5
+                          ? workload::SizeDistribution::kPareto
+                          : workload::SizeDistribution::kUniform;
+  config.machines.model = workload::MachineModel::kUnrelated;
+  config.seed = ctx.seed;
+  const Instance instance = workload::generate_workload(config);
 
-    const auto result = run_rejection_flow(instance, {.epsilon = eps});
-    cell.feasible =
-        cell.feasible && validate_schedule(result.schedule, instance).empty();
+  const auto result = run_rejection_flow(instance, {.epsilon = eps});
+  const double alg = result.schedule.total_flow(instance);
+  const double lb = best_flow_lower_bound(instance, result.opt_lower_bound);
 
-    const double alg = result.schedule.total_flow(instance);
-    const double lb = best_flow_lower_bound(instance, result.opt_lower_bound);
-    ratios.push_back(alg / lb);
-    cell.max_ratio = std::max(cell.max_ratio, alg / lb);
-    cell.max_reject_fraction =
-        std::max(cell.max_reject_fraction,
-                 static_cast<double>(result.schedule.num_rejected()) /
-                     static_cast<double>(instance.num_jobs()));
-  }
-  cell.mean_ratio = util::geometric_mean(ratios);
-  return cell;
+  MetricRow row;
+  row.set("ratio", alg / lb);
+  row.set("reject_fraction",
+          static_cast<double>(result.schedule.num_rejected()) /
+              static_cast<double>(instance.num_jobs()));
+  row.set("feasible",
+          validate_schedule(result.schedule, instance).empty() ? 1.0 : 0.0);
+  return row;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace osched;
-
-  util::Cli cli;
-  cli.flag("jobs", "1200", "jobs per run");
-  cli.flag("seeds", "5", "seeds per configuration");
-  cli.flag("eps", "0.1,0.2,0.3,0.5,0.7,0.9", "epsilon sweep");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const auto jobs = static_cast<std::size_t>(cli.integer("jobs"));
-  const auto seeds = static_cast<std::size_t>(cli.integer("seeds"));
-  const auto eps_sweep = cli.num_list("eps");
-
-  std::cout << "E1: Theorem 1 — ratio <= 2((1+eps)/eps)^2, rejections <= 2 eps n\n"
-            << "    " << jobs << " Poisson jobs per run, " << seeds
-            << " seeds per cell, load 1.2, unrelated machines\n";
-
-  const std::vector<std::size_t> machine_sweep{1, 4, 10};
-  const std::vector<workload::SizeDistribution> dists{
-      workload::SizeDistribution::kUniform, workload::SizeDistribution::kPareto};
-
-  struct Row {
-    double eps;
-    std::size_t machines;
-    workload::SizeDistribution dist;
-    Cell cell;
-  };
-  std::vector<Row> rows;
-  for (double eps : eps_sweep) {
-    for (std::size_t m : machine_sweep) {
-      for (auto dist : dists) rows.push_back({eps, m, dist, {}});
+Verdict check_theorem1(const ScenarioReport& report) {
+  Verdict verdict;
+  for (const harness::CaseResult& c : report.cases) {
+    const double eps = c.spec.param("eps");
+    const double bound = theorem1_ratio_bound(eps);
+    const double budget = theorem1_rejection_budget(eps);
+    const bool pass = c.metric("feasible").min() >= 1.0 &&
+                      c.metric("ratio").max() <= bound &&
+                      c.metric("reject_fraction").max() <= budget + 1e-12;
+    if (!pass && verdict.pass) {
+      verdict.pass = false;
+      verdict.note = "theorem 1 guarantee violated at " + c.spec.label;
     }
   }
-
-  util::ThreadPool pool;
-  util::parallel_for(pool, rows.size(), [&](std::size_t i) {
-    rows[i].cell = run_cell(rows[i].eps, rows[i].machines, rows[i].dist, jobs, seeds);
-  });
-
-  util::Table table({"eps", "m", "sizes", "ratio (geo)", "ratio (max)",
-                     "bound 2((1+e)/e)^2", "rej frac (max)", "budget 2e",
-                     "status"});
-  bool all_pass = true;
-  for (const Row& row : rows) {
-    const double bound = theorem1_ratio_bound(row.eps);
-    const double budget = theorem1_rejection_budget(row.eps);
-    const bool pass = row.cell.feasible && row.cell.max_ratio <= bound &&
-                      row.cell.max_reject_fraction <= budget + 1e-12;
-    all_pass = all_pass && pass;
-    table.row(row.eps, static_cast<int>(row.machines),
-              workload::to_string(row.dist), row.cell.mean_ratio,
-              row.cell.max_ratio, bound, row.cell.max_reject_fraction, budget,
-              pass ? "PASS" : "FAIL");
-  }
-  table.print(std::cout);
-  std::cout << (all_pass ? "E1 PASS: every cell within the theorem guarantees\n"
-                         : "E1 FAIL: some cell violates Theorem 1!\n");
-  return all_pass ? 0 : 1;
+  if (verdict.pass) verdict.note = "ratio and budget within Theorem 1";
+  return verdict;
 }
+
+Scenario make_e1() {
+  Scenario scenario;
+  scenario.name = "e1_flow_ratio";
+  scenario.description =
+      "Theorem 1: ratio <= 2((1+eps)/eps)^2, rejections <= 2 eps n";
+  scenario.tags = {"flow", "theorem1", "paper"};
+  scenario.repetitions = 3;
+  for (const double eps : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+    for (const std::size_t machines : {1, 4, 10}) {
+      for (const bool pareto : {false, true}) {
+        scenario.grid.push_back(
+            CaseSpec("eps=" + util::Table::num(eps, 2) +
+                     " m=" + std::to_string(machines) +
+                     (pareto ? " pareto" : " uniform"))
+                .with("eps", eps)
+                .with("machines", static_cast<double>(machines))
+                .with("pareto", pareto ? 1.0 : 0.0));
+      }
+    }
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    return run_theorem1_unit(ctx, 1200, 1.2);
+  };
+  scenario.evaluate = check_theorem1;
+  return scenario;
+}
+
+Scenario make_smoke() {
+  Scenario scenario;
+  scenario.name = "smoke_rejection_budget";
+  scenario.description =
+      "fast Theorem 1 budget check: rejected fraction <= 2*eps";
+  scenario.tags = {"smoke", "flow", "theorem1"};
+  scenario.repetitions = 2;
+  for (const double eps : {0.2, 0.5}) {
+    scenario.grid.push_back(CaseSpec("eps=" + util::Table::num(eps, 2))
+                                .with("eps", eps)
+                                .with("machines", 3.0)
+                                .with("pareto", 1.0));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    return run_theorem1_unit(ctx, 300, 1.3);
+  };
+  scenario.evaluate = check_theorem1;
+  return scenario;
+}
+
+OSCHED_REGISTER_SCENARIO(make_e1);
+OSCHED_REGISTER_SCENARIO(make_smoke);
+
+}  // namespace

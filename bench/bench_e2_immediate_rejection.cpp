@@ -1,74 +1,87 @@
-// E2 — Lemma 1: immediate-rejection policies blow up as sqrt(Delta); the
-// paper's late-rejection algorithm stays flat on the same instances.
+// E2 — Lemma 1 (registered scenario "e2_immediate_rejection").
 //
-// The adaptive two-phase adversary is run against the budgeted
-// immediate-rejection policy for growing L (Delta = L^2); the measured
-// ratio vs the adversary's explicit witness schedule should grow linearly
-// in L = sqrt(Delta) (log-log slope ~ 1), while Theorem 1's algorithm —
-// which rejects the RUNNING elephant when the flood arrives — keeps a small
-// constant ratio.
-#include <iostream>
+// Immediate-rejection policies blow up as sqrt(Delta); the paper's
+// late-rejection algorithm stays flat on the same instances. The adaptive
+// two-phase adversary is run against the budgeted immediate-rejection
+// policy for growing L (Delta = L^2); the measured ratio vs the adversary's
+// explicit witness schedule should grow linearly in L = sqrt(Delta)
+// (log-log slope ~ 1), while Theorem 1's algorithm — which rejects the
+// RUNNING elephant when the flood arrives — keeps a small constant ratio.
+#include <cmath>
 
 #include "baselines/immediate_rejection.hpp"
 #include "core/flow/rejection_flow.hpp"
+#include "harness/registry.hpp"
 #include "metrics/ratio.hpp"
-#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/lemma1_adversary.hpp"
 
-int main(int argc, char** argv) {
-  using namespace osched;
+namespace {
 
-  util::Cli cli;
-  cli.flag("eps", "0.25", "rejection budget of both policies");
-  cli.flag("L", "4,8,16,32,64", "big-job lengths (Delta = L^2)");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const double eps = cli.num("eps");
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-  std::cout << "E2: Lemma 1 — any immediate rejection policy is "
-               "Omega(sqrt(Delta))-competitive\n"
-            << "    adaptive two-phase instance, single machine, eps=" << eps
-            << "\n";
+constexpr double kEps = 0.25;
 
-  util::Table table({"L", "Delta", "n", "immediate ratio", "theorem1 ratio",
-                     "sqrt(Delta)"});
-  std::vector<double> Ls, immediate_ratios;
-  double max_t1_ratio = 0.0;
-  for (double L : cli.num_list("L")) {
+Scenario make_e2() {
+  Scenario scenario;
+  scenario.name = "e2_immediate_rejection";
+  scenario.description =
+      "Lemma 1: immediate rejection is Omega(sqrt(Delta))-competitive";
+  scenario.tags = {"flow", "lemma1", "lower-bound", "paper", "smoke"};
+  scenario.repetitions = 1;  // the adversary is deterministic
+  for (const double L : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+    scenario.grid.push_back(
+        CaseSpec("L=" + util::Table::num(L, 3)).with("L", L).with("eps", kEps));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    const double eps = ctx.param("eps");
     workload::Lemma1Config config;
     config.eps = eps;
-    config.L = L;
-    const workload::PolicyRunner policy = [&](const Instance& instance) {
+    config.L = ctx.param("L");
+    const workload::PolicyRunner policy = [eps](const Instance& instance) {
       return run_immediate_rejection(instance, {.eps = eps, .patience = 3.0})
           .schedule;
     };
     const auto outcome = run_lemma1_adversary(policy, config);
     const double immediate_flow =
         policy(outcome.instance).total_flow(outcome.instance);
-    const double immediate_ratio = immediate_flow / outcome.adversary_flow;
-
     const auto t1 = run_rejection_flow(outcome.instance, {.epsilon = eps});
-    const double t1_ratio =
-        t1.schedule.total_flow(outcome.instance) / outcome.adversary_flow;
-    max_t1_ratio = std::max(max_t1_ratio, t1_ratio);
 
-    table.row(L, outcome.delta,
-              static_cast<int>(outcome.instance.num_jobs()), immediate_ratio,
-              t1_ratio, std::sqrt(outcome.delta));
-    Ls.push_back(L);
-    immediate_ratios.push_back(immediate_ratio);
-  }
-  table.print(std::cout);
-
-  const double slope = util::loglog_slope(Ls, immediate_ratios);
-  std::cout << "immediate-policy growth exponent vs sqrt(Delta): " << slope
-            << " (lemma predicts ~1)\n"
-            << "theorem 1 max ratio across the sweep: " << max_t1_ratio
-            << " (stays bounded; its guarantee here is "
-            << theorem1_ratio_bound(eps) << ")\n";
-  const bool pass = slope > 0.5 && max_t1_ratio < theorem1_ratio_bound(eps);
-  std::cout << (pass ? "E2 PASS: immediate policies diverge, Theorem 1 does not\n"
-                     : "E2 FAIL\n");
-  return pass ? 0 : 1;
+    MetricRow row;
+    row.set("delta", outcome.delta);
+    row.set("jobs", static_cast<double>(outcome.instance.num_jobs()));
+    row.set("immediate_ratio", immediate_flow / outcome.adversary_flow);
+    row.set("theorem1_ratio",
+            t1.schedule.total_flow(outcome.instance) / outcome.adversary_flow);
+    row.set("sqrt_delta", std::sqrt(outcome.delta));
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    std::vector<double> Ls, immediate_ratios;
+    double max_t1_ratio = 0.0;
+    for (const harness::CaseResult& c : report.cases) {
+      Ls.push_back(c.spec.param("L"));
+      immediate_ratios.push_back(c.metric("immediate_ratio").mean());
+      max_t1_ratio = std::max(max_t1_ratio, c.metric("theorem1_ratio").max());
+    }
+    const double slope = util::loglog_slope(Ls, immediate_ratios);
+    Verdict verdict;
+    verdict.pass = slope > 0.5 && max_t1_ratio < theorem1_ratio_bound(kEps);
+    verdict.note = "immediate-policy growth exponent " +
+                   util::Table::num(slope, 3) + " (lemma predicts ~1); t1 max " +
+                   util::Table::num(max_t1_ratio, 3);
+    return verdict;
+  };
+  return scenario;
 }
+
+OSCHED_REGISTER_SCENARIO(make_e2);
+
+}  // namespace

@@ -1,143 +1,149 @@
-// E3 — Theorem 2 verification table.
+// E3 — Theorem 2 verification (registered scenario "e3_energy_flow").
 //
 // Claim: weighted flow + energy is O((1+1/eps)^{alpha/(alpha-1)})-
 // competitive while the rejected weight stays within an eps fraction.
 //
-// Sweep (eps, alpha); measured ratio = (weighted flow + energy) / certified
-// lower bound (Lemma 6 dual vs the per-job isolated-cost bound). PASS =
-// rejected-weight budget holds everywhere and ratios stay below the
+// Grid part: sweep (eps, alpha); measured ratio = (weighted flow + energy) /
+// certified lower bound (Lemma 6 dual vs the per-job isolated-cost bound).
+// PASS = rejected-weight budget holds everywhere and ratios stay below the
 // theorem's exact closed form where it is valid (alpha > 2) / a constant
 // times the envelope elsewhere.
-#include <iostream>
+//
+// Ablation cases: same HDF order, dispatching and speed scaling with only
+// the weight-counter rule disabled — on burst-heavy weighted workloads the
+// no-rejection variant keeps serving behind committed elephants and the
+// flow term pays for it.
+#include <algorithm>
 
 #include "core/energy_flow/energy_flow.hpp"
+#include "harness/registry.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/ratio.hpp"
 #include "sim/validator.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "workload/generators.hpp"
 
-int main(int argc, char** argv) {
-  using namespace osched;
+namespace {
 
-  util::Cli cli;
-  cli.flag("jobs", "600", "jobs per run");
-  cli.flag("seeds", "4", "seeds per configuration");
-  cli.flag("eps", "0.2,0.4,0.6,0.8", "epsilon sweep");
-  cli.flag("alphas", "1.8,2,2.5,3", "alpha sweep");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const auto jobs = static_cast<std::size_t>(cli.integer("jobs"));
-  const auto seeds = static_cast<std::size_t>(cli.integer("seeds"));
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-  std::cout << "E3: Theorem 2 — weighted flow + energy with weight rejection\n"
-            << "    " << jobs << " weighted Pareto jobs, 3 unrelated machines, "
-            << seeds << " seeds per cell\n";
+MetricRow run_grid_unit(const UnitContext& ctx) {
+  const double eps = ctx.param("eps");
+  const double alpha = ctx.param("alpha");
 
-  struct Row {
-    double eps, alpha;
-    double geo_ratio = 0.0, max_ratio = 0.0, max_rejected_weight = 0.0;
-    bool feasible = true;
-  };
-  std::vector<Row> rows;
-  for (double eps : cli.num_list("eps")) {
-    for (double alpha : cli.num_list("alphas")) rows.push_back({eps, alpha});
-  }
+  workload::WorkloadConfig config;
+  config.num_jobs = ctx.scaled(600);
+  config.num_machines = 3;
+  config.load = 1.0;
+  config.weights = workload::WeightDistribution::kUniform;
+  config.sizes.dist = workload::SizeDistribution::kPareto;
+  config.seed = ctx.seed;
+  const Instance instance = workload::generate_workload(config);
 
-  util::ThreadPool pool;
-  util::parallel_for(pool, rows.size(), [&](std::size_t i) {
-    Row& row = rows[i];
-    std::vector<double> ratios;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      workload::WorkloadConfig config;
-      config.num_jobs = jobs;
-      config.num_machines = 3;
-      config.load = 1.0;
-      config.weights = workload::WeightDistribution::kUniform;
-      config.sizes.dist = workload::SizeDistribution::kPareto;
-      config.seed = util::derive_seed(3003, seed * 13 + i);
-      const Instance instance = workload::generate_workload(config);
+  EnergyFlowOptions options;
+  options.epsilon = eps;
+  options.alpha = alpha;
+  const auto result = run_energy_flow(instance, options);
 
-      EnergyFlowOptions options;
-      options.epsilon = row.eps;
-      options.alpha = row.alpha;
-      const auto result = run_energy_flow(instance, options);
-      row.feasible =
-          row.feasible && validate_schedule(result.schedule, instance).empty();
+  const PolynomialPower power(alpha);
+  const double alg = result.schedule.total_weighted_flow(instance) +
+                     compute_energy(result.schedule, instance, power);
 
-      const PolynomialPower power(row.alpha);
-      const double alg = result.schedule.total_weighted_flow(instance) +
-                         compute_energy(result.schedule, instance, power);
-      ratios.push_back(alg / result.best_lower_bound());
-      row.max_ratio = std::max(row.max_ratio, ratios.back());
-      row.max_rejected_weight =
-          std::max(row.max_rejected_weight,
-                   result.schedule.rejected_weight(instance) /
-                       instance.total_weight());
-    }
-    row.geo_ratio = util::geometric_mean(ratios);
-  });
-
-  util::Table table({"eps", "alpha", "ratio (geo)", "ratio (max)",
-                     "theorem bound", "rej weight (max)", "budget eps",
-                     "status"});
-  bool all_pass = true;
-  for (const Row& row : rows) {
-    const double bound = theorem2_ratio_bound(row.eps, row.alpha);
-    // The closed form is valid for alpha > 2; elsewhere compare against a
-    // documented constant times the envelope (see metrics/ratio.cpp).
-    const double slack = row.alpha > 2.0 ? 1.0 : 10.0;
-    const bool pass = row.feasible && row.max_ratio <= slack * bound &&
-                      row.max_rejected_weight <= row.eps + 1e-12;
-    all_pass = all_pass && pass;
-    table.row(row.eps, row.alpha, row.geo_ratio, row.max_ratio, bound,
-              row.max_rejected_weight, row.eps, pass ? "PASS" : "FAIL");
-  }
-  table.print(std::cout);
-
-  // ---- Rejection ablation: Theorem 2 with its relaxation switched off ----
-  // Same HDF order, dispatching and speed scaling; only the weight-counter
-  // rule is disabled. On a burst-heavy weighted workload the no-rejection
-  // variant keeps serving behind committed elephants, and the flow term
-  // (not the energy term) pays for it.
-  util::print_section(std::cout,
-                      "ablation: weight-counter rejection on/off (alpha=2.5)");
-  util::Table ablation({"workload", "with rejection", "without", "penalty x",
-                        "rejected weight%"});
-  for (std::uint64_t seed : {71ull, 72ull, 73ull}) {
-    workload::WorkloadConfig config;
-    config.num_jobs = 600;
-    config.num_machines = 3;
-    config.load = 1.4;
-    config.sizes.dist = workload::SizeDistribution::kBimodal;
-    config.weights = workload::WeightDistribution::kUniform;
-    config.seed = seed;
-    const Instance instance = workload::generate_workload(config);
-    const PolynomialPower power(2.5);
-
-    EnergyFlowOptions with;
-    with.epsilon = 0.3;
-    with.alpha = 2.5;
-    const auto on = run_energy_flow(instance, with);
-    EnergyFlowOptions without = with;
-    without.enable_rejection = false;
-    const auto off = run_energy_flow(instance, without);
-
-    const double cost_on = on.schedule.total_weighted_flow(instance) +
-                           compute_energy(on.schedule, instance, power);
-    const double cost_off = off.schedule.total_weighted_flow(instance) +
-                            compute_energy(off.schedule, instance, power);
-    ablation.row("bimodal load 1.4 seed " + std::to_string(seed), cost_on,
-                 cost_off, cost_off / cost_on,
-                 100.0 * on.schedule.rejected_weight(instance) /
-                     instance.total_weight());
-  }
-  ablation.print(std::cout);
-
-  std::cout << (all_pass
-                    ? "E3 PASS: budgets and ratio bounds hold in every cell\n"
-                    : "E3 FAIL\n");
-  return all_pass ? 0 : 1;
+  MetricRow row;
+  row.set("ratio", alg / result.best_lower_bound());
+  row.set("rejected_weight", result.schedule.rejected_weight(instance) /
+                                 instance.total_weight());
+  row.set("feasible",
+          validate_schedule(result.schedule, instance).empty() ? 1.0 : 0.0);
+  return row;
 }
+
+MetricRow run_ablation_unit(const UnitContext& ctx) {
+  workload::WorkloadConfig config;
+  config.num_jobs = ctx.scaled(600);
+  config.num_machines = 3;
+  config.load = 1.4;
+  config.sizes.dist = workload::SizeDistribution::kBimodal;
+  config.weights = workload::WeightDistribution::kUniform;
+  config.seed = ctx.seed;
+  const Instance instance = workload::generate_workload(config);
+  const PolynomialPower power(2.5);
+
+  EnergyFlowOptions with;
+  with.epsilon = 0.3;
+  with.alpha = 2.5;
+  const auto on = run_energy_flow(instance, with);
+  EnergyFlowOptions without = with;
+  without.enable_rejection = false;
+  const auto off = run_energy_flow(instance, without);
+
+  const double cost_on = on.schedule.total_weighted_flow(instance) +
+                         compute_energy(on.schedule, instance, power);
+  const double cost_off = off.schedule.total_weighted_flow(instance) +
+                          compute_energy(off.schedule, instance, power);
+
+  MetricRow row;
+  row.set("with_rejection", cost_on);
+  row.set("without_rejection", cost_off);
+  row.set("penalty_x", cost_off / cost_on);
+  row.set("rejected_weight_pct", 100.0 *
+                                     on.schedule.rejected_weight(instance) /
+                                     instance.total_weight());
+  return row;
+}
+
+Scenario make_e3() {
+  Scenario scenario;
+  scenario.name = "e3_energy_flow";
+  scenario.description =
+      "Theorem 2: weighted flow + energy with weight rejection";
+  scenario.tags = {"energy", "flow", "theorem2", "paper"};
+  scenario.repetitions = 3;
+  for (const double eps : {0.2, 0.4, 0.6, 0.8}) {
+    for (const double alpha : {1.8, 2.0, 2.5, 3.0}) {
+      scenario.grid.push_back(CaseSpec("eps=" + util::Table::num(eps, 2) +
+                                       " alpha=" + util::Table::num(alpha, 2))
+                                  .with("eps", eps)
+                                  .with("alpha", alpha));
+    }
+  }
+  scenario.grid.push_back(
+      CaseSpec("ablation: weight-counter off (alpha=2.5)").with("ablation", 1.0));
+
+  scenario.run_unit = [](const UnitContext& ctx) {
+    return ctx.param_or("ablation", 0.0) > 0.5 ? run_ablation_unit(ctx)
+                                               : run_grid_unit(ctx);
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    Verdict verdict;
+    for (const harness::CaseResult& c : report.cases) {
+      if (c.spec.has_param("ablation")) continue;  // informational
+      const double eps = c.spec.param("eps");
+      const double alpha = c.spec.param("alpha");
+      const double bound = theorem2_ratio_bound(eps, alpha);
+      // The closed form is valid for alpha > 2; elsewhere compare against a
+      // documented constant times the envelope (see metrics/ratio.cpp).
+      const double slack = alpha > 2.0 ? 1.0 : 10.0;
+      const bool pass = c.metric("feasible").min() >= 1.0 &&
+                        c.metric("ratio").max() <= slack * bound &&
+                        c.metric("rejected_weight").max() <= eps + 1e-12;
+      if (!pass && verdict.pass) {
+        verdict.pass = false;
+        verdict.note = "theorem 2 guarantee violated at " + c.spec.label;
+      }
+    }
+    if (verdict.pass) verdict.note = "budgets and ratio bounds hold everywhere";
+    return verdict;
+  };
+  return scenario;
+}
+
+OSCHED_REGISTER_SCENARIO(make_e3);
+
+}  // namespace

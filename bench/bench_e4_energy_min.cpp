@@ -1,158 +1,158 @@
-// E4 — Theorem 3 verification table.
+// E4 — Theorem 3 verification (registered scenario "e4_energy_min").
 //
 // Claim: the configuration primal-dual greedy is alpha^alpha-competitive
 // for non-preemptive energy minimization with deadlines.
 //
-// Small randomized instances are solved EXACTLY (branch-and-bound over the
-// same strategy grid); reported ratios are therefore true competitive
+// Exact cases: small randomized instances solved EXACTLY (branch-and-bound
+// over the same strategy grid), so reported ratios are true competitive
 // ratios within the discretized space, not bounds. The AVR baseline rides
 // along for context.
-#include <iostream>
-
+//
+// YDS cases: single machine at sizes the witness search cannot reach. YDS
+// is the exact PREEMPTIVE continuous-speed optimum — a lower bound on the
+// non-preemptive OPT — so ratios there are certified upper bounds on the
+// greedy's true competitive ratio.
 #include "baselines/avr_energy.hpp"
 #include "baselines/yds_energy.hpp"
 #include "core/energy_min/bruteforce.hpp"
 #include "core/energy_min/config_primal_dual.hpp"
+#include "harness/registry.hpp"
+#include "metrics/ratio.hpp"
 #include "sim/validator.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "workload/generators.hpp"
 
-int main(int argc, char** argv) {
-  using namespace osched;
+namespace {
 
-  util::Cli cli;
-  cli.flag("jobs", "5", "jobs per instance (kept small for exact OPT)");
-  cli.flag("seeds", "12", "instances per alpha");
-  cli.flag("alphas", "1.5,2,2.5,3", "alpha sweep");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const auto jobs = static_cast<std::size_t>(cli.integer("jobs"));
-  const auto seeds = static_cast<std::size_t>(cli.integer("seeds"));
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-  std::cout << "E4: Theorem 3 — greedy vs EXACT optimum on the same strategy "
-               "grid\n"
-            << "    " << jobs << " deadline jobs, 2 machines, " << seeds
-            << " instances per alpha\n";
+MetricRow run_exact_unit(const UnitContext& ctx) {
+  const double alpha = ctx.param("alpha");
+  workload::WorkloadConfig config;
+  config.num_jobs = 5;  // kept small: exact OPT is exponential
+  config.num_machines = 2;
+  config.with_deadlines = true;
+  config.slack_min = 1.5;
+  config.slack_max = 6.0;
+  config.seed = ctx.seed;
+  const Instance instance = workload::generate_workload(config);
 
-  struct Row {
-    double alpha;
-    double geo_ratio = 0.0, max_ratio = 0.0;
-    double geo_avr = 0.0;
-    double geo_dual_gap = 0.0;  ///< OPT / dual lower bound
-    bool all_certified = true;
-    bool feasible = true;
-  };
-  std::vector<Row> rows;
-  for (double alpha : cli.num_list("alphas")) rows.push_back({alpha});
+  ConfigPDOptions pd_options;
+  pd_options.alpha = alpha;
+  pd_options.speed_levels = 4;
+  pd_options.start_grid = 1.0;
+  const auto greedy = run_config_primal_dual(instance, pd_options);
+  ValidationOptions vopts;
+  vopts.allow_parallel_execution = true;
+  vopts.require_deadlines = true;
+  const bool feasible =
+      validate_schedule(greedy.schedule, instance, vopts).empty();
 
-  util::ThreadPool pool;
-  util::parallel_for(pool, rows.size(), [&](std::size_t row_index) {
-    Row& row = rows[row_index];
-    std::vector<double> ratios, avr_ratios, dual_gaps;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      workload::WorkloadConfig config;
-      config.num_jobs = jobs;
-      config.num_machines = 2;
-      config.with_deadlines = true;
-      config.slack_min = 1.5;
-      config.slack_max = 6.0;
-      config.seed = util::derive_seed(4004, seed * 7 + row_index);
-      const Instance instance = workload::generate_workload(config);
+  BruteForceOptions bf_options;
+  bf_options.alpha = alpha;
+  bf_options.speed_levels = 4;
+  bf_options.start_grid = 1.0;
+  const auto exact = brute_force_energy(instance, bf_options);
 
-      ConfigPDOptions pd_options;
-      pd_options.alpha = row.alpha;
-      pd_options.speed_levels = 4;
-      pd_options.start_grid = 1.0;
-      const auto greedy = run_config_primal_dual(instance, pd_options);
-      ValidationOptions vopts;
-      vopts.allow_parallel_execution = true;
-      vopts.require_deadlines = true;
-      row.feasible = row.feasible &&
-                     validate_schedule(greedy.schedule, instance, vopts).empty();
-
-      BruteForceOptions bf_options;
-      bf_options.alpha = row.alpha;
-      bf_options.speed_levels = 4;
-      bf_options.start_grid = 1.0;
-      const auto exact = brute_force_energy(instance, bf_options);
-      if (!exact.has_value()) {
-        row.all_certified = false;
-        continue;
-      }
-      row.all_certified = row.all_certified && exact->certified_optimal;
-
-      ratios.push_back(greedy.algorithm_energy / exact->optimal_energy);
-      row.max_ratio = std::max(row.max_ratio, ratios.back());
-      dual_gaps.push_back(exact->optimal_energy / greedy.opt_lower_bound);
-
-      const auto avr = run_avr_energy(instance, row.alpha);
-      avr_ratios.push_back(avr.energy / exact->optimal_energy);
-    }
-    row.geo_ratio = util::geometric_mean(ratios);
-    row.geo_avr = util::geometric_mean(avr_ratios);
-    row.geo_dual_gap = util::geometric_mean(dual_gaps);
-  });
-
-  util::Table table({"alpha", "greedy/OPT (geo)", "greedy/OPT (max)",
-                     "bound a^a", "AVR/OPT (geo)", "OPT/dualLB (geo)",
-                     "status"});
-  bool all_pass = true;
-  for (const Row& row : rows) {
-    const double bound = theorem3_ratio_bound(row.alpha);
-    const bool pass = row.feasible && row.all_certified &&
-                      row.max_ratio <= bound + 1e-9 && row.geo_ratio >= 1.0 - 1e-9;
-    all_pass = all_pass && pass;
-    table.row(row.alpha, row.geo_ratio, row.max_ratio, bound, row.geo_avr,
-              row.geo_dual_gap, pass ? "PASS" : "FAIL");
+  MetricRow row;
+  row.set("feasible", feasible ? 1.0 : 0.0);
+  if (!exact.has_value()) {
+    row.set("certified", 0.0);
+    return row;
   }
-  table.print(std::cout);
-  std::cout << "(greedy/OPT is exact within the shared strategy grid; the\n"
-            << " dual gap column shows how much slack the alpha^alpha dual\n"
-            << " certificate leaves on benign instances)\n";
-
-  // ---- Scale beyond brute force: single machine vs the YDS certificate ----
-  // YDS is the exact PREEMPTIVE continuous-speed optimum, a lower bound on
-  // the non-preemptive OPT, and runs at sizes the witness search cannot
-  // reach. Ratios here are certified upper bounds on the greedy's true
-  // competitive ratio.
-  util::print_section(std::cout,
-                      "single machine at scale: greedy vs YDS preemptive LB");
-  util::Table yds_table({"alpha", "n", "greedy energy", "YDS LB",
-                         "ratio (certified)", "bound a^a"});
-  bool yds_pass = true;
-  for (double alpha : cli.num_list("alphas")) {
-    for (std::size_t n : {20u, 60u}) {
-      workload::WorkloadConfig config;
-      config.num_jobs = n;
-      config.num_machines = 1;
-      config.load = 0.8;
-      config.with_deadlines = true;
-      config.slack_min = 2.0;
-      config.slack_max = 8.0;
-      config.seed = util::derive_seed(4040, n);
-      const Instance instance = workload::generate_workload(config);
-
-      ConfigPDOptions pd_options;
-      pd_options.alpha = alpha;
-      pd_options.speed_levels = 8;
-      const auto greedy = run_config_primal_dual(instance, pd_options);
-      const auto yds = yds_optimal_energy(instance, alpha);
-      if (!yds.has_value()) continue;
-      const double ratio = greedy.algorithm_energy / yds->energy;
-      yds_pass = yds_pass && ratio >= 1.0 - 1e-9 &&
-                 ratio <= theorem3_ratio_bound(alpha) + 1e-9;
-      yds_table.row(alpha, static_cast<unsigned long>(n),
-                    greedy.algorithm_energy, yds->energy, ratio,
-                    theorem3_ratio_bound(alpha));
-    }
-  }
-  yds_table.print(std::cout);
-
-  all_pass = all_pass && yds_pass;
-  std::cout << (all_pass ? "E4 PASS: greedy within alpha^alpha of the exact "
-                           "optimum (B&B) and of the YDS certificate\n"
-                         : "E4 FAIL\n");
-  return all_pass ? 0 : 1;
+  row.set("certified", exact->certified_optimal ? 1.0 : 0.0);
+  row.set("ratio", greedy.algorithm_energy / exact->optimal_energy);
+  row.set("dual_gap", exact->optimal_energy / greedy.opt_lower_bound);
+  row.set("avr_ratio",
+          run_avr_energy(instance, alpha).energy / exact->optimal_energy);
+  return row;
 }
+
+MetricRow run_yds_unit(const UnitContext& ctx) {
+  const double alpha = ctx.param("alpha");
+  workload::WorkloadConfig config;
+  config.num_jobs = ctx.scaled(static_cast<std::size_t>(ctx.param("jobs")));
+  config.num_machines = 1;
+  config.load = 0.8;
+  config.with_deadlines = true;
+  config.slack_min = 2.0;
+  config.slack_max = 8.0;
+  config.seed = ctx.seed;
+  const Instance instance = workload::generate_workload(config);
+
+  ConfigPDOptions pd_options;
+  pd_options.alpha = alpha;
+  pd_options.speed_levels = 8;
+  const auto greedy = run_config_primal_dual(instance, pd_options);
+  const auto yds = yds_optimal_energy(instance, alpha);
+
+  MetricRow row;
+  if (!yds.has_value()) return row;
+  row.set("greedy_energy", greedy.algorithm_energy);
+  row.set("yds_lb", yds->energy);
+  row.set("ratio", greedy.algorithm_energy / yds->energy);
+  return row;
+}
+
+Scenario make_e4() {
+  Scenario scenario;
+  scenario.name = "e4_energy_min";
+  scenario.description =
+      "Theorem 3: config primal-dual within alpha^alpha of exact/YDS optimum";
+  scenario.tags = {"energy", "theorem3", "paper"};
+  scenario.repetitions = 6;
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0}) {
+    scenario.grid.push_back(
+        CaseSpec("exact alpha=" + util::Table::num(alpha, 2))
+            .with("alpha", alpha)
+            .with("exact", 1.0));
+  }
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0}) {
+    for (const double jobs : {20.0, 60.0}) {
+      scenario.grid.push_back(
+          CaseSpec("yds alpha=" + util::Table::num(alpha, 2) + " n=" +
+                   util::Table::num(jobs, 3))
+              .with("alpha", alpha)
+              .with("jobs", jobs));
+    }
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    return ctx.param_or("exact", 0.0) > 0.5 ? run_exact_unit(ctx)
+                                            : run_yds_unit(ctx);
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    Verdict verdict;
+    for (const harness::CaseResult& c : report.cases) {
+      const double bound = theorem3_ratio_bound(c.spec.param("alpha"));
+      bool pass = true;
+      if (c.spec.has_param("exact")) {
+        pass = c.metric("feasible").min() >= 1.0 &&
+               c.metric("certified").min() >= 1.0 &&
+               c.metric("ratio").max() <= bound + 1e-9 &&
+               c.metric("ratio").min() >= 1.0 - 1e-9;
+      } else if (c.has_metric("ratio")) {
+        pass = c.metric("ratio").min() >= 1.0 - 1e-9 &&
+               c.metric("ratio").max() <= bound + 1e-9;
+      }
+      if (!pass && verdict.pass) {
+        verdict.pass = false;
+        verdict.note = "alpha^alpha guarantee violated at " + c.spec.label;
+      }
+    }
+    if (verdict.pass) {
+      verdict.note = "greedy within alpha^alpha of B&B and YDS certificates";
+    }
+    return verdict;
+  };
+  return scenario;
+}
+
+OSCHED_REGISTER_SCENARIO(make_e4);
+
+}  // namespace

@@ -1,8 +1,9 @@
-// E5 — Lemma 2: the adaptive adversary and the (alpha/9)^alpha mechanism.
+// E5 — Lemma 2 (registered scenario "e5_energy_lower_bound").
 //
-// The lemma lower-bounds EVERY deterministic policy, and its construction
-// punishes policies that concentrate speed: each released window sits inside
-// the previous job's execution, so committed speed stacks. Two policies make
+// The adaptive adversary and the (alpha/9)^alpha mechanism. The lemma
+// lower-bounds EVERY deterministic policy, and its construction punishes
+// policies that concentrate speed: each released window sits inside the
+// previous job's execution, so committed speed stacks. Two policies make
 // the two sides of the story visible:
 //   * eager-speed-1 (the paper's normalized fast policy): windows shrink
 //     geometrically, speeds stack to ~alpha, and the certified ratio against
@@ -14,86 +15,92 @@
 //     not a failure.
 //
 // The witness column is a certified feasible offline schedule found by
-// branch-and-bound over the same strategy grid, so each row's ratio is a
+// branch-and-bound over the same strategy grid, so each case's ratio is a
 // certified lower bound on that policy's competitive ratio at that alpha.
-#include <cmath>
-#include <iostream>
+#include <algorithm>
 
-#include "util/cli.hpp"
-#include "util/stats.hpp"
+#include "harness/registry.hpp"
 #include "util/table.hpp"
 #include "workload/lemma2_adversary.hpp"
 
 namespace {
 
 using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-struct PolicyRun {
-  std::vector<double> ratios;
-};
+constexpr double kAlphas[] = {2.0, 2.5, 3.0, 3.5, 4.0};
 
-PolicyRun run_policy(workload::Lemma2Policy policy,
-                     const std::vector<double>& alphas,
-                     std::size_t speed_levels, util::Table& table,
-                     const char* name) {
-  PolicyRun run;
-  for (double alpha : alphas) {
-    workload::Lemma2Config config;
-    config.alpha = alpha;
-    config.policy = policy;
-    config.speed_levels = speed_levels;
-    const auto outcome = run_lemma2_adversary(config);
-    table.row(name, alpha, static_cast<int>(outcome.jobs_released),
-              outcome.algorithm_energy, outcome.witness_energy, outcome.ratio(),
-              outcome.witness_certified ? "yes" : "incumbent");
-    run.ratios.push_back(outcome.ratio());
+Scenario make_e5() {
+  Scenario scenario;
+  scenario.name = "e5_energy_lower_bound";
+  scenario.description =
+      "Lemma 2: adaptive adversary vs eager-speed-1 and the Theorem 3 greedy";
+  // Not smoke-tagged: the branch-and-bound witness dominates the batch.
+  scenario.tags = {"energy", "lemma2", "lower-bound", "paper"};
+  scenario.repetitions = 1;  // the adversary is deterministic
+  for (const double alpha : kAlphas) {
+    scenario.grid.push_back(
+        CaseSpec("eager alpha=" + util::Table::num(alpha, 2))
+            .with("alpha", alpha)
+            .with("eager", 1.0));
   }
-  return run;
+  for (const double alpha : kAlphas) {
+    scenario.grid.push_back(
+        CaseSpec("greedy alpha=" + util::Table::num(alpha, 2))
+            .with("alpha", alpha)
+            .with("eager", 0.0));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    workload::Lemma2Config config;
+    config.alpha = ctx.param("alpha");
+    config.policy = ctx.param("eager") > 0.5
+                        ? workload::Lemma2Policy::kEagerSpeedOne
+                        : workload::Lemma2Policy::kConfigPrimalDual;
+    config.speed_levels = 10;
+    const auto outcome = run_lemma2_adversary(config);
+
+    MetricRow row;
+    row.set("jobs", static_cast<double>(outcome.jobs_released));
+    row.set("alg_energy", outcome.algorithm_energy);
+    row.set("witness_energy", outcome.witness_energy);
+    row.set("ratio", outcome.ratio());
+    row.set("witness_certified", outcome.witness_certified ? 1.0 : 0.0);
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    // The eager policy must exhibit the lemma's growth; the greedy must stay
+    // feasible (ratio >= 1) and flat at these alphas.
+    std::vector<double> eager_ratios;
+    bool greedy_sound = true;
+    for (const harness::CaseResult& c : report.cases) {
+      const double ratio = c.metric("ratio").mean();
+      if (c.spec.param("eager") > 0.5) {
+        eager_ratios.push_back(ratio);
+      } else if (ratio < 1.0 - 1e-9 || ratio > 2.0) {
+        greedy_sound = false;
+      }
+    }
+    bool eager_growing = eager_ratios.back() > eager_ratios.front();
+    for (std::size_t i = 1; i < eager_ratios.size(); ++i) {
+      if (eager_ratios[i] < eager_ratios[i - 1] * 0.9) eager_growing = false;
+    }
+    Verdict verdict;
+    verdict.pass = eager_growing && eager_ratios.back() > 1.5 && greedy_sound;
+    verdict.note =
+        eager_growing
+            ? "eager ratio grows with alpha (the lemma's mechanism); greedy "
+              "near-optimal (bound vacuous for alpha <= 9)"
+            : "eager-speed-1 ratio NOT growing";
+    return verdict;
+  };
+  return scenario;
 }
+
+OSCHED_REGISTER_SCENARIO(make_e5);
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  using namespace osched;
-
-  util::Cli cli;
-  cli.flag("alphas", "2,2.5,3,3.5,4", "alpha sweep");
-  cli.flag("speed_levels", "10", "speed grid resolution");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const std::vector<double> alphas = cli.num_list("alphas");
-  const auto levels = static_cast<std::size_t>(cli.integer("speed_levels"));
-
-  std::cout << "E5: Lemma 2 — adaptive adversary, single machine\n";
-
-  util::Table table({"policy", "alpha", "jobs", "ALG energy", "witness energy",
-                     "ratio (certified)", "witness exact?"});
-  const PolicyRun eager = run_policy(workload::Lemma2Policy::kEagerSpeedOne,
-                                     alphas, levels, table, "eager-speed-1");
-  const PolicyRun greedy = run_policy(workload::Lemma2Policy::kConfigPrimalDual,
-                                      alphas, levels, table, "theorem3-greedy");
-  table.print(std::cout);
-
-  // The eager policy must exhibit the lemma's growth; the greedy must stay
-  // feasible (ratio >= 1) and flat at these alphas.
-  bool eager_growing = eager.ratios.back() > eager.ratios.front();
-  for (std::size_t i = 1; i < eager.ratios.size(); ++i) {
-    if (eager.ratios[i] < eager.ratios[i - 1] * 0.9) eager_growing = false;
-  }
-  bool greedy_sound = true;
-  for (double r : greedy.ratios) {
-    if (r < 1.0 - 1e-9 || r > 2.0) greedy_sound = false;
-  }
-
-  std::cout << "eager-speed-1 ratio trend: "
-            << (eager_growing ? "growing with alpha (the lemma's mechanism)"
-                              : "NOT growing")
-            << "\ntheorem3-greedy: "
-            << (greedy_sound
-                    ? "near-optimal at small alpha (bound vacuous for alpha <= 9)"
-                    : "OUT OF EXPECTED RANGE")
-            << '\n';
-  const bool pass =
-      eager_growing && eager.ratios.back() > 1.5 && greedy_sound;
-  std::cout << (pass ? "E5 PASS\n" : "E5 FAIL\n");
-  return pass ? 0 : 1;
-}

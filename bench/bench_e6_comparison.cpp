@@ -1,132 +1,113 @@
-// E6 — positioning table: rejection-only (Theorem 1) vs speed-augmentation
-// + rejection (prior art [5]) vs no-rejection baselines vs the immediate
-// rejection policy, across loads on a heavy-tailed datacenter workload.
+// E6 — positioning (registered scenario "e6_comparison"): rejection-only
+// (Theorem 1) vs speed-augmentation + rejection (prior art [5]) vs
+// no-rejection baselines vs the immediate rejection policy, across loads on
+// a heavy-tailed datacenter workload.
 //
 // Expected shape (the paper's thesis): the no-rejection baselines fall off
 // a cliff once the load crosses saturation; Theorem 1 tracks the
 // speed-augmented algorithm closely WITHOUT the extra speed; immediate
 // rejection helps but cannot recover stragglers it already started.
-#include <iostream>
-
+//
+// The named policies run through the api:: facade (the library's front
+// door); only the speed-augmented prior art needs its own header.
+#include "api/scheduler_api.hpp"
 #include "baselines/flow_lower_bounds.hpp"
-#include "baselines/immediate_rejection.hpp"
-#include "baselines/list_scheduler.hpp"
 #include "baselines/speed_augmented.hpp"
 #include "core/flow/rejection_flow.hpp"
+#include "harness/registry.hpp"
 #include "metrics/metrics.hpp"
-#include "sim/validator.hpp"
-#include "util/cli.hpp"
-#include "util/stats.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "workload/generators.hpp"
 
 namespace {
 
-struct AlgoResult {
-  double flow_vs_lb = 0.0;
-  double rejected_pct = 0.0;
-};
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-}  // namespace
+constexpr double kEps = 0.2;
 
-int main(int argc, char** argv) {
-  using namespace osched;
-
-  util::Cli cli;
-  cli.flag("jobs", "1500", "jobs per run");
-  cli.flag("machines", "8", "machines");
-  cli.flag("eps", "0.2", "rejection parameter for all rejection algorithms");
-  cli.flag("loads", "0.7,0.9,1.1,1.4", "load sweep");
-  cli.flag("seeds", "4", "seeds per load");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const auto jobs = static_cast<std::size_t>(cli.integer("jobs"));
-  const auto machines = static_cast<std::size_t>(cli.integer("machines"));
-  const double eps = cli.num("eps");
-  const auto seeds = static_cast<std::size_t>(cli.integer("seeds"));
-
-  std::cout << "E6: who wins — rejection vs speed augmentation vs none\n"
-            << "    " << jobs << " Pareto(1.6) jobs, bursty arrivals, "
-            << machines << " unrelated machines, eps=" << eps << ", " << seeds
-            << " seeds per load\n"
-            << "    (cells: total flow / certified LB; rejection %% in "
-               "parentheses)\n";
-
-  const auto loads = cli.num_list("loads");
-  constexpr std::size_t kAlgos = 5;
-  const char* names[kAlgos] = {"theorem1", "speed-aug [5]", "greedy SPT",
-                               "FIFO", "immediate-rej"};
-  // [load][algo] accumulators.
-  std::vector<std::array<std::vector<double>, kAlgos>> ratio_samples(loads.size());
-  std::vector<std::array<double, kAlgos>> reject_pct(loads.size());
-  for (auto& row : reject_pct) row.fill(0.0);
-
-  util::ThreadPool pool;
-  std::mutex merge_mutex;
-  util::parallel_for(pool, loads.size() * seeds, [&](std::size_t task) {
-    const std::size_t load_index = task / seeds;
-
+Scenario make_e6() {
+  Scenario scenario;
+  scenario.name = "e6_comparison";
+  scenario.description =
+      "who wins: rejection vs speed augmentation vs no rejection, by load";
+  scenario.tags = {"flow", "baselines", "positioning"};
+  scenario.repetitions = 3;
+  for (const double load : {0.7, 0.9, 1.1, 1.4}) {
+    scenario.grid.push_back(
+        CaseSpec("load=" + util::Table::num(load, 3)).with("load", load));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
     workload::WorkloadConfig config;
-    config.num_jobs = jobs;
-    config.num_machines = machines;
-    config.load = loads[load_index];
+    config.num_jobs = ctx.scaled(1500);
+    config.num_machines = 8;
+    config.load = ctx.param("load");
     config.arrivals.kind = workload::ArrivalKind::kBursty;
     config.sizes.dist = workload::SizeDistribution::kPareto;
     config.sizes.pareto_shape = 1.6;
     config.machines.model = workload::MachineModel::kUnrelated;
     config.machines.speed_spread = 3.0;
-    config.seed = util::derive_seed(6006, task);
+    config.seed = ctx.seed;
     const Instance instance = workload::generate_workload(config);
 
-    const auto t1 = run_rejection_flow(instance, {.epsilon = eps});
+    // The theorem-1 run also supplies the certified lower bound every
+    // policy's flow is divided by.
+    const auto t1 = run_rejection_flow(instance, {.epsilon = kEps});
     const double lb = best_flow_lower_bound(instance, t1.opt_lower_bound);
 
+    MetricRow row;
+    row.set("theorem1_ratio", t1.schedule.total_flow(instance) / lb);
+    row.set("theorem1_rej_pct",
+            100.0 * evaluate(t1.schedule, instance).rejected_fraction);
+
     SpeedAugmentedOptions sa_options;
-    sa_options.eps_rejection = eps;
-    sa_options.eps_speed = eps;
+    sa_options.eps_rejection = kEps;
+    sa_options.eps_speed = kEps;
     const auto sa = run_speed_augmented_flow(instance, sa_options);
-    const Schedule greedy = run_greedy_spt(instance);
-    const Schedule fifo = run_fifo(instance);
-    const auto immediate =
-        run_immediate_rejection(instance, {.eps = 2.0 * eps, .patience = 3.0});
+    row.set("speed_aug_ratio", sa.schedule.total_flow(instance) / lb);
 
-    const Schedule* schedules[kAlgos] = {&t1.schedule, &sa.schedule, &greedy,
-                                         &fifo, &immediate.schedule};
-    std::unique_lock lock(merge_mutex);
-    for (std::size_t a = 0; a < kAlgos; ++a) {
-      const ObjectiveReport report = evaluate(*schedules[a], instance);
-      ratio_samples[load_index][a].push_back(report.total_flow / lb);
-      reject_pct[load_index][a] =
-          std::max(reject_pct[load_index][a], 100.0 * report.rejected_fraction);
+    const struct {
+      const char* metric;
+      const char* algorithm;
+      double epsilon;
+    } facade_runs[] = {
+        {"greedy_spt_ratio", "greedy-spt", kEps},
+        {"fifo_ratio", "fifo", kEps},
+        {"immediate_ratio", "immediate-reject", 2.0 * kEps},
+    };
+    for (const auto& run : facade_runs) {
+      api::RunOptions options;
+      options.epsilon = run.epsilon;
+      const auto summary = api::run_by_name(run.algorithm, instance, options);
+      OSCHED_CHECK(summary.has_value()) << "unknown algorithm " << run.algorithm;
+      row.set(run.metric, summary->report.total_flow / lb);
     }
-  });
-
-  std::vector<std::string> headers{"load"};
-  for (const char* name : names) headers.push_back(name);
-  util::Table table(headers);
-  for (std::size_t l = 0; l < loads.size(); ++l) {
-    std::vector<std::string> cells{util::Table::num(loads[l], 3)};
-    for (std::size_t a = 0; a < kAlgos; ++a) {
-      cells.push_back(util::Table::num(
-                          util::geometric_mean(ratio_samples[l][a]), 4) +
-                      " (" + util::Table::num(reject_pct[l][a], 2) + "%)");
-    }
-    table.add_row(std::move(cells));
-  }
-  table.print(std::cout);
-
-  // Shape checks: at the highest load, theorem1 must beat the no-rejection
-  // baselines decisively and stay within ~2x of the speed-augmented prior art.
-  const std::size_t last = loads.size() - 1;
-  const double t1_ratio = util::geometric_mean(ratio_samples[last][0]);
-  const double sa_ratio = util::geometric_mean(ratio_samples[last][1]);
-  const double greedy_ratio = util::geometric_mean(ratio_samples[last][2]);
-  const bool pass = t1_ratio < 0.7 * greedy_ratio && t1_ratio < 3.0 * sa_ratio;
-  std::cout << "at load " << loads[last] << ": theorem1 " << t1_ratio
-            << " vs greedy " << greedy_ratio << " vs speed-aug " << sa_ratio
-            << "\n"
-            << (pass ? "E6 PASS: rejection recovers (most of) what speed "
-                       "augmentation buys\n"
-                     : "E6 FAIL: unexpected ordering\n");
-  return pass ? 0 : 1;
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    // Shape check at the highest load: theorem1 must beat the no-rejection
+    // baselines decisively and stay within ~3x of the speed-augmented prior
+    // art.
+    const harness::CaseResult& last = report.cases.back();
+    const double t1 = last.metric("theorem1_ratio").mean();
+    const double sa = last.metric("speed_aug_ratio").mean();
+    const double greedy = last.metric("greedy_spt_ratio").mean();
+    Verdict verdict;
+    verdict.pass = t1 < 0.7 * greedy && t1 < 3.0 * sa;
+    verdict.note = "at top load: theorem1 " + util::Table::num(t1, 3) +
+                   " vs greedy " + util::Table::num(greedy, 3) +
+                   " vs speed-aug " + util::Table::num(sa, 3);
+    return verdict;
+  };
+  return scenario;
 }
+
+OSCHED_REGISTER_SCENARIO(make_e6);
+
+}  // namespace

@@ -1,128 +1,125 @@
-// E7 — Lemma 4 / Lemma 6 / Lemma 7: the dual solutions constructed by all
-// three algorithms are feasible, verified constraint-by-constraint by
-// independent checkers on randomized instances.
+// E7 — Lemmas 4, 6, 7 (registered scenario "e7_dual_feasibility").
 //
-// Reported numbers are max violations (LHS - RHS over all sampled
-// constraints): feasibility means <= 0 up to float noise. This is the
-// empirical companion of the paper's three feasibility lemmas — and the
+// The dual solutions constructed by all three algorithms are feasible,
+// verified constraint-by-constraint by independent checkers on randomized
+// instances. Reported numbers are max violations (LHS - RHS over all
+// sampled constraints): feasibility means <= 0 up to float noise. This is
+// the empirical companion of the paper's three feasibility lemmas — and the
 // soundness certificate behind every "ratio vs dual LB" column in E1/E3/E4.
-#include <iostream>
+#include <algorithm>
 
 #include "core/energy_flow/energy_flow.hpp"
 #include "core/flow/rejection_flow.hpp"
 #include "duality/config_dual_check.hpp"
 #include "duality/energy_flow_dual_check.hpp"
 #include "duality/flow_dual_check.hpp"
-#include "util/cli.hpp"
+#include "harness/registry.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 #include "workload/generators.hpp"
 
-int main(int argc, char** argv) {
-  using namespace osched;
+namespace {
 
-  util::Cli cli;
-  cli.flag("seeds", "6", "instances per lemma row");
-  cli.flag("jobs", "250", "jobs per flow instance");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const auto seeds = static_cast<std::size_t>(cli.integer("seeds"));
-  const auto jobs = static_cast<std::size_t>(cli.integer("jobs"));
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-  std::cout << "E7: dual feasibility (Lemmas 4, 6, 7) on randomized "
-               "instances\n    max violation <= 0 (+float noise) certifies "
-               "the lower bounds used by E1/E3/E4\n";
+constexpr double kLemma4 = 4.0, kLemma6 = 6.0, kLemma7 = 7.0;
 
-  struct Row {
-    std::string lemma;
-    std::string params;
-    double max_violation = -1e300;
-    std::size_t constraints = 0;
-  };
-  std::vector<Row> rows;
-
-  // Lemma 4 rows.
-  for (double eps : {0.15, 0.4, 0.7}) {
-    Row row;
-    row.lemma = "Lemma 4 (flow)";
-    row.params = "eps=" + util::Table::num(eps, 2);
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+Scenario make_e7() {
+  Scenario scenario;
+  scenario.name = "e7_dual_feasibility";
+  scenario.description =
+      "Lemmas 4/6/7: constructed duals are feasible, checked independently";
+  scenario.tags = {"duality", "lemma4", "lemma6", "lemma7", "paper", "smoke"};
+  scenario.repetitions = 4;
+  for (const double eps : {0.15, 0.4, 0.7}) {
+    scenario.grid.push_back(
+        CaseSpec("lemma4 flow eps=" + util::Table::num(eps, 2))
+            .with("lemma", kLemma4)
+            .with("eps", eps));
+  }
+  for (const double alpha : {2.0, 3.0}) {
+    scenario.grid.push_back(
+        CaseSpec("lemma6 flow+energy alpha=" + util::Table::num(alpha, 2))
+            .with("lemma", kLemma6)
+            .with("alpha", alpha));
+  }
+  for (const double alpha : {1.5, 2.5}) {
+    scenario.grid.push_back(
+        CaseSpec("lemma7 config-LP alpha=" + util::Table::num(alpha, 2))
+            .with("lemma", kLemma7)
+            .with("alpha", alpha));
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    MetricRow row;
+    const double lemma = ctx.param("lemma");
+    if (lemma == kLemma4) {
       workload::WorkloadConfig config;
-      config.num_jobs = jobs;
+      config.num_jobs = ctx.scaled(250);
       config.num_machines = 3;
       config.load = 1.3;
       config.sizes.dist = workload::SizeDistribution::kPareto;
-      config.seed = util::derive_seed(7007, seed);
+      config.seed = ctx.seed;
       const Instance instance = workload::generate_workload(config);
+      const double eps = ctx.param("eps");
       const auto result = run_rejection_flow(instance, {.epsilon = eps});
       const auto report = check_flow_dual_feasibility(instance, result, eps);
-      row.max_violation = std::max(row.max_violation, report.max_violation);
-      row.constraints += report.constraints_checked;
-    }
-    rows.push_back(row);
-  }
-
-  // Lemma 6 rows.
-  for (double alpha : {2.0, 3.0}) {
-    Row row;
-    row.lemma = "Lemma 6 (flow+energy)";
-    row.params = "alpha=" + util::Table::num(alpha, 2) + " eps=0.4";
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      row.set("max_violation", report.max_violation);
+      row.set("constraints", static_cast<double>(report.constraints_checked));
+    } else if (lemma == kLemma6) {
       workload::WorkloadConfig config;
-      config.num_jobs = jobs / 2;
+      config.num_jobs = ctx.scaled(125);
       config.num_machines = 2;
       config.load = 1.0;
       config.weights = workload::WeightDistribution::kUniform;
-      config.seed = util::derive_seed(7077, seed);
+      config.seed = ctx.seed;
       const Instance instance = workload::generate_workload(config);
       EnergyFlowOptions options;
       options.epsilon = 0.4;
-      options.alpha = alpha;
+      options.alpha = ctx.param("alpha");
       const auto result = run_energy_flow(instance, options);
       const auto report =
           check_energy_flow_dual_feasibility(instance, result, options);
-      row.max_violation = std::max(row.max_violation, report.max_violation);
-      row.constraints += report.constraints_checked;
-    }
-    rows.push_back(row);
-  }
-
-  // Lemma 7 rows.
-  for (double alpha : {1.5, 2.5}) {
-    Row row;
-    row.lemma = "Lemma 7 (config LP)";
-    row.params = "alpha=" + util::Table::num(alpha, 2);
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      row.set("max_violation", report.max_violation);
+      row.set("constraints", static_cast<double>(report.constraints_checked));
+    } else {
       workload::WorkloadConfig config;
       config.num_jobs = 20;
       config.num_machines = 2;
       config.with_deadlines = true;
-      config.seed = util::derive_seed(7777, seed);
+      config.seed = ctx.seed;
       const Instance instance = workload::generate_workload(config);
       ConfigPDOptions options;
-      options.alpha = alpha;
+      options.alpha = ctx.param("alpha");
       options.speed_levels = 4;
       const auto report =
-          check_config_dual_feasibility(instance, options, 32, seed);
-      row.max_violation =
-          std::max({row.max_violation, report.max_delta_violation,
-                    report.max_config_violation});
-      row.constraints += report.strategies_checked + report.configs_checked;
+          check_config_dual_feasibility(instance, options, 32, ctx.seed);
+      row.set("max_violation", std::max(report.max_delta_violation,
+                                        report.max_config_violation));
+      row.set("constraints", static_cast<double>(report.strategies_checked +
+                                                 report.configs_checked));
     }
-    rows.push_back(row);
-  }
-
-  util::Table table({"constraint family", "parameters", "constraints checked",
-                     "max violation", "status"});
-  bool all_pass = true;
-  for (const Row& row : rows) {
-    const bool pass = row.max_violation <= 1e-6;
-    all_pass = all_pass && pass;
-    table.row(row.lemma, row.params,
-              static_cast<unsigned long long>(row.constraints),
-              row.max_violation, pass ? "PASS" : "FAIL");
-  }
-  table.print(std::cout);
-  std::cout << (all_pass ? "E7 PASS: every sampled dual constraint holds\n"
-                         : "E7 FAIL: dual infeasibility detected!\n");
-  return all_pass ? 0 : 1;
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    Verdict verdict;
+    for (const harness::CaseResult& c : report.cases) {
+      if (c.metric("max_violation").max() > 1e-6) {
+        verdict.pass = false;
+        verdict.note = "dual infeasibility detected at " + c.spec.label;
+        return verdict;
+      }
+    }
+    verdict.note = "every sampled dual constraint holds";
+    return verdict;
+  };
+  return scenario;
 }
+
+OSCHED_REGISTER_SCENARIO(make_e7);
+
+}  // namespace

@@ -1,24 +1,49 @@
-// E8 — scheduler throughput microbenchmarks (google-benchmark).
+// E8 — scheduler throughput (registered scenario "e8_throughput").
 //
-// The theory paper makes no performance claims; this experiment documents
+// The theory paper makes no performance claims; this scenario documents
 // that the reference implementations scale to realistic workloads: the
 // Theorem 1 scheduler's per-arrival cost is O(m log n) thanks to the
 // weight-augmented treap, Theorem 2's is O(m * queue), Theorem 3's is
-// O(strategies). Counters report jobs/second.
-#include <benchmark/benchmark.h>
-
+// O(strategies). Metrics report jobs/second (ops/second for the treap).
+//
+// Formerly a google-benchmark binary; now plain util::Timer units so the
+// numbers land in the same JSON trajectory as every other scenario. The
+// verdict is informational (always pass): wall-clock assertions in CI are
+// flakiness generators. Because the metrics ARE wall-clock measurements,
+// this is the one scenario whose report is not run-to-run deterministic —
+// keep the "perf" tag out of determinism diffs (see harness/report.hpp).
 #include "baselines/list_scheduler.hpp"
 #include "core/energy_flow/energy_flow.hpp"
 #include "core/energy_min/config_primal_dual.hpp"
 #include "core/flow/rejection_flow.hpp"
 #include "extensions/weighted_flow.hpp"
+#include "harness/registry.hpp"
 #include "lp/flow_time_lp.hpp"
 #include "util/augmented_treap.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 #include "workload/generators.hpp"
 
 namespace {
 
 using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
+
+enum class Kind {
+  kRejectionFlow = 0,
+  kGreedySpt,
+  kEnergyFlow,
+  kConfigPrimalDual,
+  kTreap,
+  kWeightedFlow,
+  kFlowLp,
+};
 
 Instance flow_workload(std::size_t jobs, std::size_t machines,
                        std::uint64_t seed) {
@@ -31,82 +56,6 @@ Instance flow_workload(std::size_t jobs, std::size_t machines,
   config.seed = seed;
   return workload::generate_workload(config);
 }
-
-void BM_RejectionFlow(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  const auto machines = static_cast<std::size_t>(state.range(1));
-  const Instance instance = flow_workload(jobs, machines, 88);
-  for (auto _ : state) {
-    auto result = run_rejection_flow(instance, {.epsilon = 0.25});
-    benchmark::DoNotOptimize(result.schedule.num_rejected());
-  }
-  state.counters["jobs/s"] = benchmark::Counter(
-      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_RejectionFlow)
-    ->Args({1000, 1})
-    ->Args({1000, 8})
-    ->Args({10000, 8})
-    ->Args({100000, 8})
-    ->Args({100000, 64})
-    ->Unit(benchmark::kMillisecond);
-
-void BM_GreedySptBaseline(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  const Instance instance = flow_workload(jobs, 8, 89);
-  for (auto _ : state) {
-    auto schedule = run_greedy_spt(instance);
-    benchmark::DoNotOptimize(schedule.num_completed());
-  }
-  state.counters["jobs/s"] = benchmark::Counter(
-      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_GreedySptBaseline)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
-
-void BM_EnergyFlow(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  workload::WorkloadConfig config;
-  config.num_jobs = jobs;
-  config.num_machines = 4;
-  config.load = 1.0;
-  config.weights = workload::WeightDistribution::kUniform;
-  config.seed = 90;
-  const Instance instance = workload::generate_workload(config);
-  EnergyFlowOptions options;
-  options.epsilon = 0.4;
-  options.alpha = 2.0;
-  for (auto _ : state) {
-    auto result = run_energy_flow(instance, options);
-    benchmark::DoNotOptimize(result.rejections);
-  }
-  state.counters["jobs/s"] = benchmark::Counter(
-      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_EnergyFlow)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
-
-void BM_ConfigPrimalDual(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  workload::WorkloadConfig config;
-  config.num_jobs = jobs;
-  config.num_machines = 2;
-  config.with_deadlines = true;
-  config.seed = 91;
-  const Instance instance = workload::generate_workload(config);
-  ConfigPDOptions options;
-  options.alpha = 2.0;
-  options.speed_levels = 6;
-  for (auto _ : state) {
-    auto result = run_config_primal_dual(instance, options);
-    benchmark::DoNotOptimize(result.algorithm_energy);
-  }
-  state.counters["jobs/s"] = benchmark::Counter(
-      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_ConfigPrimalDual)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
 
 // The data structure behind Theorem 1's O(log n) dispatch queries.
 struct TreapKey {
@@ -121,68 +70,166 @@ struct TreapWeight {
   double operator()(const TreapKey& k) const { return k.p; }
 };
 
-void BM_TreapInsertQueryErase(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(92);
-  std::vector<TreapKey> keys(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    keys[i] = TreapKey{rng.uniform(0.0, 1000.0), static_cast<int>(i)};
-  }
-  for (auto _ : state) {
-    util::AugmentedTreap<TreapKey, TreapWeight> treap;
-    double acc = 0.0;
-    for (const TreapKey& key : keys) {
-      treap.insert(key);
-      acc += treap.stats_less(key).weight;
+MetricRow run_throughput_unit(const UnitContext& ctx) {
+  const auto kind = static_cast<Kind>(static_cast<int>(ctx.param("kind")));
+  const auto n = ctx.scaled(static_cast<std::size_t>(ctx.param("n")));
+  const auto machines =
+      static_cast<std::size_t>(ctx.param_or("machines", 8.0));
+
+  MetricRow row;
+  double seconds = 0.0;
+  double work_items = static_cast<double>(n);
+
+  switch (kind) {
+    case Kind::kRejectionFlow: {
+      const Instance instance = flow_workload(n, machines, ctx.seed);
+      util::Timer timer;
+      const auto result = run_rejection_flow(instance, {.epsilon = 0.25});
+      seconds = timer.elapsed_seconds();
+      row.set("rejected", static_cast<double>(result.schedule.num_rejected()));
+      break;
     }
-    for (const TreapKey& key : keys) treap.erase(key);
-    benchmark::DoNotOptimize(acc);
+    case Kind::kGreedySpt: {
+      const Instance instance = flow_workload(n, machines, ctx.seed);
+      util::Timer timer;
+      const Schedule schedule = run_greedy_spt(instance);
+      seconds = timer.elapsed_seconds();
+      row.set("completed", static_cast<double>(schedule.num_completed()));
+      break;
+    }
+    case Kind::kEnergyFlow: {
+      workload::WorkloadConfig config;
+      config.num_jobs = n;
+      config.num_machines = 4;
+      config.load = 1.0;
+      config.weights = workload::WeightDistribution::kUniform;
+      config.seed = ctx.seed;
+      const Instance instance = workload::generate_workload(config);
+      EnergyFlowOptions options;
+      options.epsilon = 0.4;
+      options.alpha = 2.0;
+      util::Timer timer;
+      const auto result = run_energy_flow(instance, options);
+      seconds = timer.elapsed_seconds();
+      row.set("rejected", static_cast<double>(result.rejections));
+      break;
+    }
+    case Kind::kConfigPrimalDual: {
+      workload::WorkloadConfig config;
+      config.num_jobs = n;
+      config.num_machines = 2;
+      config.with_deadlines = true;
+      config.seed = ctx.seed;
+      const Instance instance = workload::generate_workload(config);
+      ConfigPDOptions options;
+      options.alpha = 2.0;
+      options.speed_levels = 6;
+      util::Timer timer;
+      const auto result = run_config_primal_dual(instance, options);
+      seconds = timer.elapsed_seconds();
+      row.set("energy", result.algorithm_energy);
+      break;
+    }
+    case Kind::kTreap: {
+      util::Rng rng(ctx.seed);
+      std::vector<TreapKey> keys(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        keys[i] = TreapKey{rng.uniform(0.0, 1000.0), static_cast<int>(i)};
+      }
+      util::Timer timer;
+      util::AugmentedTreap<TreapKey, TreapWeight> treap;
+      double acc = 0.0;
+      for (const TreapKey& key : keys) {
+        treap.insert(key);
+        acc += treap.stats_less(key).weight;
+      }
+      for (const TreapKey& key : keys) treap.erase(key);
+      seconds = timer.elapsed_seconds();
+      work_items = 3.0 * static_cast<double>(n);  // insert + query + erase
+      row.set("acc", acc);
+      break;
+    }
+    case Kind::kWeightedFlow: {
+      // std::set pending queues, O(n) lambda scans — documented as
+      // clarity-over-speed; this tracks the actual cost.
+      workload::WorkloadConfig config;
+      config.num_jobs = n;
+      config.num_machines = 8;
+      config.load = 1.2;
+      config.weights = workload::WeightDistribution::kUniform;
+      config.seed = ctx.seed;
+      const Instance instance = workload::generate_workload(config);
+      util::Timer timer;
+      const auto result = run_weighted_rejection_flow(instance, {.epsilon = 0.2});
+      seconds = timer.elapsed_seconds();
+      row.set("rejected_weight", result.rejected_weight);
+      break;
+    }
+    case Kind::kFlowLp: {
+      // The simplex on the time-indexed flow LP: cost of a certificate.
+      workload::WorkloadConfig config;
+      config.num_jobs = n;
+      config.num_machines = 2;
+      config.load = 1.1;
+      config.seed = ctx.seed;
+      const Instance instance = workload::generate_workload(config);
+      util::Timer timer;
+      const auto result =
+          lp::solve_flow_time_lp(instance, {.target_intervals = 48});
+      seconds = timer.elapsed_seconds();
+      row.set("lp_columns", static_cast<double>(result.num_columns));
+      break;
+    }
   }
-  state.counters["ops/s"] = benchmark::Counter(
-      3.0 * static_cast<double>(n) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_TreapInsertQueryErase)->Arg(1000)->Arg(100000)->Unit(benchmark::kMillisecond);
 
-// The weighted extension (std::set pending queues, O(n) lambda scans —
-// documented as clarity-over-speed; this tracks the actual cost).
-void BM_WeightedRejectionFlow(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  workload::WorkloadConfig config;
-  config.num_jobs = jobs;
-  config.num_machines = 8;
-  config.load = 1.2;
-  config.weights = workload::WeightDistribution::kUniform;
-  config.seed = 31;
-  const Instance instance = workload::generate_workload(config);
-  for (auto _ : state) {
-    auto result = run_weighted_rejection_flow(instance, {.epsilon = 0.2});
-    benchmark::DoNotOptimize(result.rejected_weight);
-  }
-  state.counters["jobs/s"] = benchmark::Counter(
-      static_cast<double>(jobs) * static_cast<double>(state.iterations()),
-      benchmark::Counter::kIsRate);
+  row.set("seconds", seconds);
+  row.set("items_per_sec", seconds > 0.0 ? work_items / seconds : 0.0);
+  return row;
 }
-BENCHMARK(BM_WeightedRejectionFlow)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
-// The simplex on the time-indexed flow LP: cost of a certificate.
-void BM_FlowTimeLp(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  workload::WorkloadConfig config;
-  config.num_jobs = jobs;
-  config.num_machines = 2;
-  config.load = 1.1;
-  config.seed = 13;
-  const Instance instance = workload::generate_workload(config);
-  for (auto _ : state) {
-    auto result = lp::solve_flow_time_lp(instance, {.target_intervals = 48});
-    benchmark::DoNotOptimize(result.lp_objective);
+Scenario make_e8() {
+  Scenario scenario;
+  scenario.name = "e8_throughput";
+  scenario.description =
+      "throughput microbenchmarks: jobs/s per scheduler, ops/s for the treap";
+  scenario.tags = {"perf", "throughput"};
+  scenario.repetitions = 3;
+  const struct {
+    const char* label;
+    Kind kind;
+    double n;
+    double machines;
+  } cells[] = {
+      {"rejection_flow n=1000 m=1", Kind::kRejectionFlow, 1000, 1},
+      {"rejection_flow n=1000 m=8", Kind::kRejectionFlow, 1000, 8},
+      {"rejection_flow n=10000 m=8", Kind::kRejectionFlow, 10000, 8},
+      {"rejection_flow n=100000 m=8", Kind::kRejectionFlow, 100000, 8},
+      {"rejection_flow n=100000 m=64", Kind::kRejectionFlow, 100000, 64},
+      {"greedy_spt n=10000", Kind::kGreedySpt, 10000, 8},
+      {"greedy_spt n=100000", Kind::kGreedySpt, 100000, 8},
+      {"energy_flow n=1000", Kind::kEnergyFlow, 1000, 4},
+      {"energy_flow n=10000", Kind::kEnergyFlow, 10000, 4},
+      {"config_primal_dual n=100", Kind::kConfigPrimalDual, 100, 2},
+      {"config_primal_dual n=500", Kind::kConfigPrimalDual, 500, 2},
+      {"treap n=100000", Kind::kTreap, 100000, 0},
+      {"weighted_flow n=1000", Kind::kWeightedFlow, 1000, 8},
+      {"weighted_flow n=10000", Kind::kWeightedFlow, 10000, 8},
+      {"flow_lp n=10", Kind::kFlowLp, 10, 2},
+      {"flow_lp n=20", Kind::kFlowLp, 20, 2},
+  };
+  for (const auto& cell : cells) {
+    scenario.grid.push_back(CaseSpec(cell.label)
+                                .with("kind", static_cast<double>(cell.kind))
+                                .with("n", cell.n)
+                                .with("machines", cell.machines));
   }
-  state.counters["cols"] = static_cast<double>(
-      lp::solve_flow_time_lp(instance, {.target_intervals = 48}).num_columns);
+  scenario.run_unit = run_throughput_unit;
+  scenario.evaluate = [](const ScenarioReport&) {
+    return Verdict{true, "informational: timings tracked, not asserted"};
+  };
+  return scenario;
 }
-BENCHMARK(BM_FlowTimeLp)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+OSCHED_REGISTER_SCENARIO(make_e8);
 
 }  // namespace
-
-BENCHMARK_MAIN();

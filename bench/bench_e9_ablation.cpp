@@ -1,105 +1,136 @@
-// E9 — ablation of the two rejection rules.
+// E9 — rejection-rule ablation (registered scenario "e9_rejection_rules").
 //
 // Rule 1 (reject the RUNNING job when 1/eps arrivals pile up behind it)
 // exists for the elephant-then-burst pattern; Rule 2 (reject the LARGEST
 // pending job every 1+1/eps dispatches) simulates what speed augmentation
 // buys on sustained overload. The ablation quantifies each rule's
 // contribution on the workload shaped for it, plus a neutral Poisson mix.
-#include <iostream>
-
+//
+// All four variants of a (workload, repetition) pair see the SAME instance:
+// the instance seed derives from the scenario seed and repetition only, so
+// cases differ in nothing but the enabled rules.
 #include "baselines/flow_lower_bounds.hpp"
 #include "core/flow/rejection_flow.hpp"
+#include "harness/registry.hpp"
 #include "metrics/metrics.hpp"
-#include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
-int main(int argc, char** argv) {
-  using namespace osched;
+namespace {
 
-  util::Cli cli;
-  cli.flag("eps", "0.2", "rejection parameter");
-  cli.flag("seed", "11", "workload seed");
-  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
-  const double eps = cli.num("eps");
-  const auto seed = static_cast<std::uint64_t>(cli.integer("seed"));
+using namespace osched;
+using harness::CaseSpec;
+using harness::MetricRow;
+using harness::Scenario;
+using harness::ScenarioReport;
+using harness::UnitContext;
+using harness::Verdict;
 
-  std::cout << "E9: rejection-rule ablation (eps=" << eps << ")\n";
+constexpr double kEps = 0.2;
 
-  struct Workload {
-    std::string name;
-    Instance instance;
-  };
-  std::vector<Workload> workloads;
-  {
+enum class Load { kBurstTrap = 0, kOverload, kPareto };
+
+const char* to_label(Load load) {
+  switch (load) {
+    case Load::kBurstTrap: return "burst-trap";
+    case Load::kOverload: return "overload-1.5";
+    case Load::kPareto: return "pareto-0.9";
+  }
+  return "?";
+}
+
+Instance make_instance(Load load, const UnitContext& ctx) {
+  // Same seed for every rule variant of this (workload, repetition).
+  const std::uint64_t seed = util::derive_seed(
+      ctx.scenario_seed, 1000 + static_cast<std::uint64_t>(load) * 64 +
+                             static_cast<std::uint64_t>(ctx.repetition));
+  if (load == Load::kBurstTrap) {
     workload::BurstTrapConfig trap;
     trap.num_rounds = 6;
-    trap.burst_jobs = 60;
+    trap.burst_jobs = ctx.scaled(60);
     trap.seed = seed;
-    workloads.push_back({"burst-trap (elephant+mice)",
-                         workload::generate_burst_trap(trap)});
+    return workload::generate_burst_trap(trap);
   }
-  {
-    workload::WorkloadConfig config;
-    config.num_jobs = 1500;
-    config.num_machines = 4;
+  workload::WorkloadConfig config;
+  config.num_jobs = ctx.scaled(1500);
+  config.num_machines = 4;
+  config.seed = seed;
+  if (load == Load::kOverload) {
     config.load = 1.5;  // sustained overload: Rule 2 territory
-    config.sizes.dist = workload::SizeDistribution::kUniform;
-    config.seed = seed;
-    workloads.push_back({"sustained overload (load 1.5)",
-                         workload::generate_workload(config)});
-  }
-  {
-    workload::WorkloadConfig config;
-    config.num_jobs = 1500;
-    config.num_machines = 4;
+  } else {
     config.load = 0.9;
     config.sizes.dist = workload::SizeDistribution::kPareto;
-    config.seed = seed + 1;
-    workloads.push_back({"subcritical Pareto (load 0.9)",
-                         workload::generate_workload(config)});
   }
-
-  struct Variant {
-    std::string name;
-    bool rule1, rule2;
-  };
-  const std::vector<Variant> variants{{"both rules", true, true},
-                                      {"rule 1 only", true, false},
-                                      {"rule 2 only", false, true},
-                                      {"no rejection", false, false}};
-
-  bool shape_ok = true;
-  for (const Workload& workload_case : workloads) {
-    util::print_section(std::cout, workload_case.name);
-    util::Table table({"variant", "total flow", "vs LB", "max flow",
-                       "rule1 rej", "rule2 rej"});
-    double lb = 0.0;
-    std::vector<double> flows;
-    for (const Variant& variant : variants) {
-      RejectionFlowOptions options;
-      options.epsilon = eps;
-      options.enable_rule1 = variant.rule1;
-      options.enable_rule2 = variant.rule2;
-      const auto result = run_rejection_flow(workload_case.instance, options);
-      if (variant.rule1 && variant.rule2) {
-        lb = best_flow_lower_bound(workload_case.instance, result.opt_lower_bound);
-      }
-      const double flow = result.schedule.total_flow(workload_case.instance);
-      flows.push_back(flow);
-      table.row(variant.name, flow, lb > 0 ? flow / lb : 0.0,
-                result.schedule.max_flow(workload_case.instance),
-                static_cast<int>(result.rule1_rejections),
-                static_cast<int>(result.rule2_rejections));
-    }
-    table.print(std::cout);
-    // Both rules together must not lose to no-rejection on the adversarial
-    // workloads (flows[0] vs flows[3]).
-    if (flows[0] > flows[3] * 1.05) shape_ok = false;
-  }
-
-  std::cout << (shape_ok
-                    ? "E9 PASS: the full rule set never loses to no-rejection\n"
-                    : "E9 FAIL: rejection hurt on some workload\n");
-  return shape_ok ? 0 : 1;
+  return workload::generate_workload(config);
 }
+
+Scenario make_e9() {
+  Scenario scenario;
+  scenario.name = "e9_rejection_rules";
+  scenario.description =
+      "ablation of Rules 1/2: each rule's contribution on its workload";
+  scenario.tags = {"flow", "ablation", "theorem1", "smoke"};
+  scenario.repetitions = 3;
+  const struct {
+    const char* label;
+    double rule1, rule2;
+  } variants[] = {{"both rules", 1, 1},
+                  {"rule 1 only", 1, 0},
+                  {"rule 2 only", 0, 1},
+                  {"no rejection", 0, 0}};
+  for (const Load load : {Load::kBurstTrap, Load::kOverload, Load::kPareto}) {
+    for (const auto& variant : variants) {
+      scenario.grid.push_back(
+          CaseSpec(std::string(to_label(load)) + " / " + variant.label)
+              .with("workload", static_cast<double>(load))
+              .with("rule1", variant.rule1)
+              .with("rule2", variant.rule2));
+    }
+  }
+  scenario.run_unit = [](const UnitContext& ctx) {
+    const auto load = static_cast<Load>(static_cast<int>(ctx.param("workload")));
+    const Instance instance = make_instance(load, ctx);
+
+    RejectionFlowOptions options;
+    options.epsilon = kEps;
+    options.enable_rule1 = ctx.param("rule1") > 0.5;
+    options.enable_rule2 = ctx.param("rule2") > 0.5;
+    const auto result = run_rejection_flow(instance, options);
+
+    MetricRow row;
+    row.set("flow", result.schedule.total_flow(instance));
+    row.set("max_flow", result.schedule.max_flow(instance));
+    row.set("rule1_rej", static_cast<double>(result.rule1_rejections));
+    row.set("rule2_rej", static_cast<double>(result.rule2_rejections));
+    if (options.enable_rule1 && options.enable_rule2) {
+      const double lb = best_flow_lower_bound(instance, result.opt_lower_bound);
+      if (lb > 0.0) row.set("ratio_vs_lb", result.schedule.total_flow(instance) / lb);
+    }
+    return row;
+  };
+  scenario.evaluate = [](const ScenarioReport& report) {
+    // Both rules together must not lose to no-rejection on any workload.
+    Verdict verdict;
+    for (const Load load :
+         {Load::kBurstTrap, Load::kOverload, Load::kPareto}) {
+      const std::string base = to_label(load);
+      const double both =
+          report.case_result(base + " / both rules").metric("flow").mean();
+      const double none =
+          report.case_result(base + " / no rejection").metric("flow").mean();
+      if (both > none * 1.05) {
+        verdict.pass = false;
+        verdict.note = "rejection hurt on " + base;
+        return verdict;
+      }
+    }
+    verdict.note = "the full rule set never loses to no-rejection";
+    return verdict;
+  };
+  return scenario;
+}
+
+OSCHED_REGISTER_SCENARIO(make_e9);
+
+}  // namespace

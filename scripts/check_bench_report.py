@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Schema check for osched_bench --out JSON reports.
+
+Used by CI after the smoke batch; exits non-zero if the report is missing,
+unparsable, or structurally off-schema (see src/harness/report.hpp for the
+schema definition).
+
+Usage: check_bench_report.py report.json [--require-passed]
+"""
+import json
+import sys
+
+EXPECTED_SCHEMA = "osched.bench.report"
+EXPECTED_VERSION = 1
+STAT_KEYS = {"mean", "stddev", "min", "max", "count"}
+
+
+def fail(message: str) -> None:
+    print(f"check_bench_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(value, where: str) -> None:
+    # NaN/Inf are serialized as null by design.
+    if value is not None and not isinstance(value, (int, float)):
+        fail(f"{where}: expected number or null, got {type(value).__name__}")
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_report.py report.json [--require-passed]")
+    path = sys.argv[1]
+    require_passed = "--require-passed" in sys.argv[2:]
+
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {path}: {error}")
+
+    if report.get("schema") != EXPECTED_SCHEMA:
+        fail(f"schema is {report.get('schema')!r}, want {EXPECTED_SCHEMA!r}")
+    if report.get("schema_version") != EXPECTED_VERSION:
+        fail(f"schema_version is {report.get('schema_version')!r}")
+    for key in ("root_seed", "scale", "passed", "scenarios"):
+        if key not in report:
+            fail(f"missing top-level key {key!r}")
+    if not isinstance(report["scenarios"], list) or not report["scenarios"]:
+        fail("scenarios must be a non-empty list")
+
+    for scenario in report["scenarios"]:
+        name = scenario.get("name")
+        if not isinstance(name, str) or not name:
+            fail("scenario without a name")
+        where = f"scenario {name!r}"
+        if not isinstance(scenario.get("tags"), list):
+            fail(f"{where}: tags must be a list")
+        if not isinstance(scenario.get("passed"), bool):
+            fail(f"{where}: passed must be a bool")
+        cases = scenario.get("cases")
+        if not isinstance(cases, list) or not cases:
+            fail(f"{where}: cases must be a non-empty list")
+        for case in cases:
+            label = case.get("label")
+            if not isinstance(label, str) or not label:
+                fail(f"{where}: case without a label")
+            for pname, pvalue in case.get("params", {}).items():
+                check_number(pvalue, f"{where}/{label}: param {pname}")
+            metrics = case.get("metrics")
+            if not isinstance(metrics, dict):
+                fail(f"{where}/{label}: metrics must be an object")
+            for mname, stats in metrics.items():
+                if set(stats) != STAT_KEYS:
+                    fail(f"{where}/{label}/{mname}: stat keys {set(stats)}")
+                for key in STAT_KEYS - {"count"}:
+                    check_number(stats[key], f"{where}/{label}/{mname}.{key}")
+                if not isinstance(stats["count"], int) or stats["count"] < 1:
+                    fail(f"{where}/{label}/{mname}: bad count")
+
+    if require_passed and not report["passed"]:
+        failed = [s["name"] for s in report["scenarios"] if not s["passed"]]
+        fail(f"report not passed; failing scenarios: {', '.join(failed)}")
+
+    print(
+        f"check_bench_report: OK: {len(report['scenarios'])} scenarios, "
+        f"schema v{report['schema_version']}, passed={report['passed']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -2,37 +2,11 @@
 
 #include <algorithm>
 
+#include "harness/runner.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 
 namespace osched::analysis {
-
-void MetricRow::set(const std::string& key, double value) {
-  for (auto& [existing, v] : entries_) {
-    if (existing == key) {
-      v = value;
-      return;
-    }
-  }
-  entries_.emplace_back(key, value);
-}
-
-double MetricRow::get(const std::string& key) const {
-  for (const auto& [existing, v] : entries_) {
-    if (existing == key) return v;
-  }
-  OSCHED_CHECK(false) << "metric '" << key << "' missing from row";
-  return 0.0;
-}
-
-bool MetricRow::contains(const std::string& key) const {
-  for (const auto& [existing, v] : entries_) {
-    (void)v;
-    if (existing == key) return true;
-  }
-  return false;
-}
 
 const util::RunningStats& CaseResult::metric(const std::string& key) const {
   for (std::size_t i = 0; i < metric_order.size(); ++i) {
@@ -46,21 +20,22 @@ SweepResult run_sweep(const std::vector<SweepCase>& cases,
                       const SweepOptions& options) {
   OSCHED_CHECK_GT(options.repetitions, 0u);
 
-  // Pre-sized output slots: tasks write disjoint cells, no locking needed.
+  // Pre-sized output slots: units write disjoint cells, no locking needed.
+  // Execution goes through the harness runner's parallel substrate so ad-hoc
+  // sweeps and registered scenarios share one thread-pool code path.
   std::vector<std::vector<MetricRow>> rows(cases.size());
   for (auto& per_case : rows) per_case.resize(options.repetitions);
 
-  util::ThreadPool pool(options.threads);
-  for (std::size_t c = 0; c < cases.size(); ++c) {
-    for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
-      const std::uint64_t seed = util::derive_seed(
-          util::derive_seed(options.seed, c), static_cast<std::uint64_t>(rep));
-      pool.submit([&rows, &cases, c, rep, seed] {
+  harness::run_parallel_units(
+      cases.size() * options.repetitions, options.threads,
+      [&rows, &cases, &options](std::size_t unit) {
+        const std::size_t c = unit / options.repetitions;
+        const std::size_t rep = unit % options.repetitions;
+        const std::uint64_t seed =
+            util::derive_seed(util::derive_seed(options.seed, c),
+                              static_cast<std::uint64_t>(rep));
         rows[c][rep] = cases[c].run(seed);
       });
-    }
-  }
-  pool.wait_idle();
 
   SweepResult result;
   result.cases.reserve(cases.size());

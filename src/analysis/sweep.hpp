@@ -1,10 +1,10 @@
-// Parameter-sweep driver for the experiment harnesses.
+// Parameter-sweep driver for ad-hoc experiments.
 //
-// Every experiment in bench/ has the same shape: a grid of configurations
-// (an algorithm x a workload x parameters), several seeded repetitions per
-// cell, and a table of per-cell aggregated metrics. This module owns that
-// shape once: cases are labelled closures returning a MetricRow, the driver
-// runs them on the shared thread pool with per-(case, repetition) derived
+// Registered scenarios (harness/registry.hpp) are the primary way to run
+// experiments; this module keeps the lighter closure-based shape for
+// exploratory sweeps in examples and tests. Cases are labelled closures
+// returning a MetricRow; the driver executes them through the harness
+// runner's shared parallel substrate with per-(case, repetition) derived
 // seeds — results are bit-identical regardless of thread count — and the
 // aggregate can be rendered as a console table or CSV.
 #pragma once
@@ -15,27 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "harness/metric_row.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace osched::analysis {
 
-/// One run's outcome: ordered metric -> value pairs. Order is preserved so
-/// tables read in the order the experiment author set the metrics.
-class MetricRow {
- public:
-  void set(const std::string& key, double value);
-  /// Value of `key`; aborts if missing (experiment authoring error).
-  double get(const std::string& key) const;
-  bool contains(const std::string& key) const;
-
-  const std::vector<std::pair<std::string, double>>& entries() const {
-    return entries_;
-  }
-
- private:
-  std::vector<std::pair<std::string, double>> entries_;
-};
+/// Shared with the scenario harness: ordered metric -> value pairs.
+using MetricRow = harness::MetricRow;
 
 /// A labelled cell of the sweep grid. The runner receives a derived seed and
 /// must be a pure function of it (no shared mutable state) — the driver

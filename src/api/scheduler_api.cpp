@@ -117,4 +117,13 @@ RunSummary run(Algorithm algorithm, const Instance& instance,
   return summary;
 }
 
+std::optional<RunSummary> run_by_name(const std::string& name,
+                                      const Instance& instance,
+                                      const RunOptions& options) {
+  const auto algorithm = parse_algorithm(name);
+  if (!algorithm.has_value()) return std::nullopt;
+  return run(*algorithm, instance, options);
+}
+
 }  // namespace osched::api
+

@@ -80,4 +80,11 @@ struct RunSummary {
 RunSummary run(Algorithm algorithm, const Instance& instance,
                const RunOptions& options = {});
 
+/// String-keyed convenience for CLIs and the scenario harness: runs the
+/// algorithm named `name` (see algorithm_names()), or returns nullopt for
+/// an unrecognized name.
+std::optional<RunSummary> run_by_name(const std::string& name,
+                                      const Instance& instance,
+                                      const RunOptions& options = {});
+
 }  // namespace osched::api

@@ -1,0 +1,116 @@
+// osched_bench — the unified scenario runner.
+//
+// Replaces the fifteen bench_e* binaries with one CLI over the scenario
+// registry:
+//   osched_bench --list                     enumerate scenarios
+//   osched_bench --filter smoke --jobs 4    run the smoke-tagged subset
+//   osched_bench --out report.json          machine-readable report for CI
+//   osched_bench --filter e12 --scale 0.25  quarter-size victim ablation
+//
+// Exit code 0 iff every selected scenario's verdict passed.
+#include <fstream>
+#include <iostream>
+
+#include "harness/registry.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace osched;
+
+  util::Cli cli;
+  cli.flag("list", "false", "list registered scenarios and exit")
+      .flag("filter", "", "comma-separated tags / name substrings to run")
+      .flag("jobs", "0", "worker threads (0 = hardware concurrency)")
+      .flag("seed", "1", "root seed; every unit seed derives from it")
+      .flag("scale", "1", "instance-size multiplier (0.25 = quarter size)")
+      .flag("out", "", "write the JSON report here")
+      .flag("csv", "", "write the long-form CSV here")
+      .flag("timing", "true", "include timing fields in the JSON report")
+      .flag("quiet", "false", "suppress per-scenario tables on stdout");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  auto& registry = harness::ScenarioRegistry::global();
+
+  if (cli.boolean("list")) {
+    util::Table table({"scenario", "tags", "cases", "reps", "description"});
+    for (const harness::Scenario* scenario : registry.all()) {
+      std::string tags;
+      for (const std::string& tag : scenario->tags) {
+        tags += (tags.empty() ? "" : ",") + tag;
+      }
+      table.row(scenario->name, tags,
+                static_cast<unsigned long>(scenario->grid.size()),
+                static_cast<unsigned long>(scenario->repetitions),
+                scenario->description);
+    }
+    table.print(std::cout);
+    std::cout << registry.size() << " scenarios registered\n";
+    return 0;
+  }
+
+  const std::string filter = cli.str("filter");
+  const auto selection = registry.matching(filter);
+  if (selection.empty()) {
+    std::cerr << "no scenario matches filter '" << filter << "' (see --list)\n";
+    return 1;
+  }
+
+  const std::int64_t jobs = cli.integer("jobs");
+  const double scale = cli.num("scale");
+  if (jobs < 0) {
+    std::cerr << "error: --jobs must be >= 0 (got " << jobs << ")\n";
+    return 1;
+  }
+  if (scale <= 0.0) {
+    std::cerr << "error: --scale must be > 0 (got " << scale << ")\n";
+    return 1;
+  }
+
+  harness::RunnerOptions options;
+  options.jobs = static_cast<std::size_t>(jobs);
+  options.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  options.scale = scale;
+  options.log = &std::cerr;
+
+  std::cerr << "running " << selection.size() << " scenario(s), seed "
+            << options.seed << ", scale " << options.scale << "\n";
+  const harness::BatchReport batch = harness::run_batch(selection, options);
+
+  if (!cli.boolean("quiet")) harness::print_tables(batch, std::cout);
+
+  const std::string out_path = cli.str("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open --out file: " << out_path << "\n";
+      return 1;
+    }
+    harness::JsonOptions json_options;
+    json_options.include_timing = cli.boolean("timing");
+    out << harness::to_json(batch, json_options);
+    std::cerr << "wrote " << out_path << "\n";
+  }
+
+  const std::string csv_path = cli.str("csv");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::cerr << "cannot open --csv file: " << csv_path << "\n";
+      return 1;
+    }
+    harness::write_csv(batch, out);
+    std::cerr << "wrote " << csv_path << "\n";
+  }
+
+  std::size_t passed = 0;
+  for (const auto& scenario : batch.scenarios) {
+    if (scenario.verdict.pass) ++passed;
+  }
+  std::cerr << passed << "/" << batch.scenarios.size() << " scenarios passed in "
+            << util::format_duration(batch.wall_seconds) << "\n";
+  return batch.all_passed() ? 0 : 1;
+}

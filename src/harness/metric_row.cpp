@@ -1,0 +1,33 @@
+#include "harness/metric_row.hpp"
+
+#include "util/check.hpp"
+
+namespace osched::harness {
+
+void MetricRow::set(const std::string& key, double value) {
+  for (auto& [existing, v] : entries_) {
+    if (existing == key) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(key, value);
+}
+
+double MetricRow::get(const std::string& key) const {
+  for (const auto& [existing, v] : entries_) {
+    if (existing == key) return v;
+  }
+  OSCHED_CHECK(false) << "metric '" << key << "' missing from row";
+  return 0.0;
+}
+
+bool MetricRow::contains(const std::string& key) const {
+  for (const auto& [existing, v] : entries_) {
+    (void)v;
+    if (existing == key) return true;
+  }
+  return false;
+}
+
+}  // namespace osched::harness

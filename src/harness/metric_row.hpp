@@ -1,0 +1,30 @@
+// One run's outcome: ordered metric -> value pairs.
+//
+// Order is preserved so tables and reports read in the order the experiment
+// author set the metrics. This is the unit of data exchanged between a
+// scenario's run function and the batch runner; analysis::MetricRow is an
+// alias of this type so sweep cases and registered scenarios share it.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace osched::harness {
+
+class MetricRow {
+ public:
+  void set(const std::string& key, double value);
+  /// Value of `key`; aborts if missing (experiment authoring error).
+  double get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace osched::harness

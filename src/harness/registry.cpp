@@ -1,0 +1,70 @@
+#include "harness/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace osched::harness {
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();  // never freed
+  return *registry;
+}
+
+bool ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty() || !scenario.run_unit || scenario.grid.empty() ||
+      scenario.repetitions == 0) {
+    return false;
+  }
+  if (find(scenario.name) != nullptr) return false;
+  scenarios_.push_back(std::make_unique<Scenario>(std::move(scenario)));
+  return true;
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& scenario : scenarios_) {
+    if (scenario->name == name) return scenario.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& scenario : scenarios_) out.push_back(scenario.get());
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) { return a->name < b->name; });
+  return out;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::matching(
+    const std::string& filter) const {
+  if (filter.empty()) return all();
+
+  std::vector<std::string> tokens;
+  std::istringstream in(filter);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+
+  std::vector<const Scenario*> out;
+  for (const Scenario* scenario : all()) {
+    const bool matches =
+        std::any_of(tokens.begin(), tokens.end(), [&](const std::string& t) {
+          return scenario->has_tag(t) ||
+                 scenario->name.find(t) != std::string::npos;
+        });
+    if (matches) out.push_back(scenario);
+  }
+  return out;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(Scenario scenario) {
+  const std::string name = scenario.name;
+  OSCHED_CHECK(ScenarioRegistry::global().add(std::move(scenario)))
+      << "invalid or duplicate scenario registration: '" << name << "'";
+}
+
+}  // namespace osched::harness

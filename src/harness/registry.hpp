@@ -1,0 +1,67 @@
+// Scenario registry with static self-registration.
+//
+// Scenario translation units register themselves at static-initialization
+// time via OSCHED_REGISTER_SCENARIO, so linking a scenario file into a
+// binary is all it takes to make the scenario runnable there. The scenario
+// files are built as a CMake OBJECT library (osched_scenarios): an archive
+// would let the linker drop the registration objects.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace osched::harness {
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry that OSCHED_REGISTER_SCENARIO adds to.
+  static ScenarioRegistry& global();
+
+  /// Adds a scenario. Returns false (and registers nothing) if the scenario
+  /// is malformed: empty name, duplicate name, no run_unit, empty grid, or
+  /// zero repetitions.
+  bool add(Scenario scenario);
+
+  /// Scenario by exact name; nullptr if absent.
+  const Scenario* find(const std::string& name) const;
+
+  /// Every scenario, sorted by name (registration order is link order, which
+  /// is not meaningful).
+  std::vector<const Scenario*> all() const;
+
+  /// Scenarios matching a comma-separated filter expression. A scenario
+  /// matches a token when the token equals one of its tags or is a substring
+  /// of its name; it matches the expression when it matches any token. The
+  /// empty filter matches everything.
+  std::vector<const Scenario*> matching(const std::string& filter) const;
+
+  std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  // unique_ptr: pointers handed out stay valid as the vector grows.
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+/// Static-registration helper; aborts loudly on a malformed registration so
+/// a bad scenario file fails at startup, not at --list time.
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(Scenario scenario);
+};
+
+#define OSCHED_SCENARIO_CONCAT_INNER(a, b) a##b
+#define OSCHED_SCENARIO_CONCAT(a, b) OSCHED_SCENARIO_CONCAT_INNER(a, b)
+
+/// Registers the Scenario returned by `maker` (a callable) at static
+/// initialization. Usage, at namespace scope in a scenario file:
+///   OSCHED_REGISTER_SCENARIO(make_e1_scenario);
+#define OSCHED_REGISTER_SCENARIO(maker)                     \
+  static const ::osched::harness::ScenarioRegistrar         \
+      OSCHED_SCENARIO_CONCAT(osched_scenario_registrar_,    \
+                             __COUNTER__) {                 \
+    (maker)()                                               \
+  }
+
+}  // namespace osched::harness

@@ -1,0 +1,231 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace osched::harness {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest representation that round-trips a double; NaN/Inf become null
+/// (JSON has no encoding for them).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  return buf;
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostringstream& out) : out_(out) {}
+
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+  void open(char bracket) {
+    out_ << bracket << '\n';
+    ++depth_;
+    first_ = true;
+  }
+  void close(char bracket) {
+    out_ << '\n';
+    --depth_;
+    indent();
+    out_ << bracket;
+    first_ = false;
+  }
+  /// Starts the next member/element line (commas between siblings).
+  void next() {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    indent();
+  }
+  void key(const std::string& name) {
+    next();
+    out_ << '"' << json_escape(name) << "\": ";
+  }
+
+  std::ostringstream& out() { return out_; }
+
+ private:
+  std::ostringstream& out_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+void write_case_json(JsonWriter& w, const CaseResult& unit_case) {
+  w.next();
+  w.open('{');
+  w.key("label");
+  w.out() << '"' << json_escape(unit_case.spec.label) << '"';
+  w.key("params");
+  w.open('{');
+  for (const auto& [name, value] : unit_case.spec.params) {
+    w.key(name);
+    w.out() << json_number(value);
+  }
+  w.close('}');
+  w.key("metrics");
+  w.open('{');
+  for (std::size_t m = 0; m < unit_case.metric_order.size(); ++m) {
+    const util::RunningStats& stats = unit_case.metrics[m];
+    w.key(unit_case.metric_order[m]);
+    w.out() << "{\"mean\": " << json_number(stats.mean())
+            << ", \"stddev\": " << json_number(stats.stddev())
+            << ", \"min\": " << json_number(stats.min())
+            << ", \"max\": " << json_number(stats.max())
+            << ", \"count\": " << stats.count() << '}';
+  }
+  w.close('}');
+  w.close('}');
+}
+
+}  // namespace
+
+std::string to_json(const BatchReport& batch, const JsonOptions& options) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.open('{');
+  w.key("schema");
+  out << '"' << kReportSchemaName << '"';
+  w.key("schema_version");
+  out << kReportSchemaVersion;
+  w.key("root_seed");
+  out << batch.seed;
+  w.key("scale");
+  out << json_number(batch.scale);
+  w.key("passed");
+  out << (batch.all_passed() ? "true" : "false");
+  w.key("scenarios");
+  w.open('[');
+  for (const ScenarioReport& scenario : batch.scenarios) {
+    w.next();
+    w.open('{');
+    w.key("name");
+    out << '"' << json_escape(scenario.name) << '"';
+    w.key("tags");
+    out << '[';
+    for (std::size_t t = 0; t < scenario.tags.size(); ++t) {
+      out << (t ? ", " : "") << '"' << json_escape(scenario.tags[t]) << '"';
+    }
+    out << ']';
+    w.key("passed");
+    out << (scenario.verdict.pass ? "true" : "false");
+    w.key("note");
+    out << '"' << json_escape(scenario.verdict.note) << '"';
+    w.key("cases");
+    w.open('[');
+    for (const CaseResult& unit_case : scenario.cases) {
+      write_case_json(w, unit_case);
+    }
+    w.close(']');
+    if (options.include_timing) {
+      w.key("compute_seconds");
+      out << json_number(scenario.compute_seconds);
+    }
+    w.close('}');
+  }
+  w.close(']');
+  if (options.include_timing) {
+    w.key("jobs");
+    out << batch.jobs;
+    w.key("wall_seconds");
+    out << json_number(batch.wall_seconds);
+  }
+  w.close('}');
+  out << '\n';
+  return out.str();
+}
+
+void write_csv(const BatchReport& batch, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row(
+      {"scenario", "case", "metric", "mean", "stddev", "min", "max", "count"});
+  for (const ScenarioReport& scenario : batch.scenarios) {
+    for (const CaseResult& unit_case : scenario.cases) {
+      for (std::size_t m = 0; m < unit_case.metric_order.size(); ++m) {
+        const util::RunningStats& stats = unit_case.metrics[m];
+        writer.row(scenario.name, unit_case.spec.label,
+                   unit_case.metric_order[m], stats.mean(), stats.stddev(),
+                   stats.min(), stats.max(),
+                   static_cast<unsigned long long>(stats.count()));
+      }
+    }
+  }
+}
+
+void print_tables(const BatchReport& batch, std::ostream& out) {
+  for (const ScenarioReport& scenario : batch.scenarios) {
+    util::print_section(out, scenario.name);
+
+    // Column union across cases, in first-seen order.
+    std::vector<std::string> keys;
+    for (const CaseResult& unit_case : scenario.cases) {
+      for (const std::string& key : unit_case.metric_order) {
+        if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+          keys.push_back(key);
+        }
+      }
+    }
+
+    std::vector<std::string> headers{"case"};
+    headers.insert(headers.end(), keys.begin(), keys.end());
+    util::Table table(std::move(headers));
+    for (const CaseResult& unit_case : scenario.cases) {
+      std::vector<std::string> row{unit_case.spec.label};
+      for (const std::string& key : keys) {
+        if (!unit_case.has_metric(key)) {
+          row.push_back("-");
+          continue;
+        }
+        const util::RunningStats& stats = unit_case.metric(key);
+        std::string cell = util::Table::num(stats.mean());
+        if (stats.count() > 1 && stats.stddev() > 0.0) {
+          cell += " ±" + util::Table::num(stats.stddev(), 2);
+        }
+        row.push_back(std::move(cell));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(out);
+    out << (scenario.verdict.pass ? "PASS" : "FAIL") << ": " << scenario.name;
+    if (!scenario.verdict.note.empty()) out << " — " << scenario.verdict.note;
+    out << "\n\n";
+  }
+}
+
+}  // namespace osched::harness

@@ -1,0 +1,150 @@
+#include "harness/runner.hpp"
+
+#include <future>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace osched::harness {
+
+bool BatchReport::all_passed() const {
+  for (const ScenarioReport& report : scenarios) {
+    if (!report.verdict.pass) return false;
+  }
+  return true;
+}
+
+const ScenarioReport& BatchReport::scenario(const std::string& name) const {
+  for (const ScenarioReport& report : scenarios) {
+    if (report.name == name) return report;
+  }
+  OSCHED_CHECK(false) << "scenario '" << name << "' missing from batch";
+  return scenarios.front();
+}
+
+std::uint64_t scenario_seed(std::uint64_t root, const std::string& name) {
+  // FNV-1a over the name: stable across platforms and runs, unlike
+  // std::hash. The digest seeds a derive_seed stream off the batch root.
+  std::uint64_t digest = 14695981039346656037ULL;
+  for (const char c : name) {
+    digest ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    digest *= 1099511628211ULL;
+  }
+  return util::derive_seed(root, digest);
+}
+
+namespace {
+
+struct UnitResult {
+  MetricRow row;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+BatchReport run_batch(const std::vector<const Scenario*>& selection,
+                      const RunnerOptions& options) {
+  util::Timer batch_timer;
+
+  BatchReport batch;
+  batch.seed = options.seed;
+  batch.scale = options.scale;
+
+  struct Unit {
+    std::size_t scenario;
+    std::size_t unit_case;
+    std::size_t repetition;
+    std::uint64_t seed;
+    std::uint64_t scenario_root;
+  };
+  std::vector<Unit> units;
+  for (std::size_t s = 0; s < selection.size(); ++s) {
+    const Scenario* scenario = selection[s];
+    OSCHED_CHECK(scenario != nullptr) << "null scenario in selection";
+    const std::uint64_t root = scenario_seed(options.seed, scenario->name);
+    for (std::size_t c = 0; c < scenario->grid.size(); ++c) {
+      for (std::size_t rep = 0; rep < scenario->repetitions; ++rep) {
+        const std::uint64_t seed = util::derive_seed(
+            util::derive_seed(root, c), static_cast<std::uint64_t>(rep));
+        units.push_back({s, c, rep, seed, root});
+      }
+    }
+  }
+
+  util::ThreadPool pool(options.jobs);
+  batch.jobs = pool.thread_count();
+
+  // Futures in submission order: results are collected deterministically no
+  // matter which worker finishes first.
+  std::vector<std::future<UnitResult>> futures;
+  futures.reserve(units.size());
+  for (const Unit& unit : units) {
+    const Scenario* scenario = selection[unit.scenario];
+    futures.push_back(pool.submit_task([scenario, unit, &options] {
+      UnitContext context{scenario->grid[unit.unit_case],
+                          unit.seed,
+                          unit.scenario_root,
+                          unit.unit_case,
+                          unit.repetition,
+                          options.scale};
+      util::Timer timer;
+      UnitResult result;
+      result.row = scenario->run_unit(context);
+      result.seconds = timer.elapsed_seconds();
+      return result;
+    }));
+  }
+
+  // Aggregate in unit order (deterministic).
+  std::vector<ScenarioReport> reports(selection.size());
+  for (std::size_t s = 0; s < selection.size(); ++s) {
+    reports[s].name = selection[s]->name;
+    reports[s].tags = selection[s]->tags;
+    reports[s].cases.resize(selection[s]->grid.size());
+    for (std::size_t c = 0; c < selection[s]->grid.size(); ++c) {
+      reports[s].cases[c].spec = selection[s]->grid[c];
+    }
+  }
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const Unit& unit = units[i];
+    UnitResult result = futures[i].get();
+    reports[unit.scenario].cases[unit.unit_case].accumulate(result.row);
+    reports[unit.scenario].compute_seconds += result.seconds;
+  }
+
+  for (std::size_t s = 0; s < selection.size(); ++s) {
+    ScenarioReport& report = reports[s];
+    report.verdict = selection[s]->evaluate ? selection[s]->evaluate(report)
+                                            : Verdict{};
+    if (options.log != nullptr) {
+      *options.log << (report.verdict.pass ? "PASS " : "FAIL ") << report.name
+                   << " (" << util::format_duration(report.compute_seconds)
+                   << " compute)"
+                   << (report.verdict.note.empty() ? ""
+                                                   : " — " + report.verdict.note)
+                   << '\n';
+    }
+  }
+
+  batch.scenarios = std::move(reports);
+  batch.wall_seconds = batch_timer.elapsed_seconds();
+  return batch;
+}
+
+ScenarioReport run_scenario(const Scenario& scenario,
+                            const RunnerOptions& options) {
+  BatchReport batch = run_batch({&scenario}, options);
+  return std::move(batch.scenarios.front());
+}
+
+void run_parallel_units(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  util::ThreadPool pool(threads);
+  util::parallel_for(pool, count, body);
+}
+
+}  // namespace osched::harness

@@ -1,0 +1,67 @@
+// Parallel batch runner for registered scenarios.
+//
+// The runner flattens the selected scenarios into independent (scenario,
+// case, repetition) units, executes them across the shared util::ThreadPool,
+// and aggregates metric rows per case. Seeds are derived per unit from
+// (root seed, scenario name, case index, repetition) — NOT from the unit's
+// position in the flattened list — so a scenario's numbers are identical
+// whether it runs alone, filtered, or in the full batch, and identical for
+// any --jobs value.
+//
+// analysis::run_sweep routes through run_parallel_units, so ad-hoc sweeps
+// (eps sweeps, victim ablations) and registered scenarios share one
+// execution substrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace osched::harness {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  std::uint64_t seed = 1;
+  /// Instance-size multiplier passed to every UnitContext.
+  double scale = 1.0;
+  /// When set, one line per finished scenario is written here.
+  std::ostream* log = nullptr;
+};
+
+struct BatchReport {
+  std::uint64_t seed = 1;
+  double scale = 1.0;
+  std::size_t jobs = 0;
+  /// In selection order (the CLI selects in name-sorted registry order).
+  std::vector<ScenarioReport> scenarios;
+  double wall_seconds = 0.0;
+
+  bool all_passed() const;
+  const ScenarioReport& scenario(const std::string& name) const;
+};
+
+/// Stable per-scenario root seed: FNV-1a of the name mixed into the batch
+/// root. Independent of the selection, so filtered runs reproduce full runs.
+std::uint64_t scenario_seed(std::uint64_t root, const std::string& name);
+
+/// Runs every (case, repetition) unit of the selected scenarios in parallel
+/// and aggregates the verdicts. Null selection entries are not allowed.
+BatchReport run_batch(const std::vector<const Scenario*>& selection,
+                      const RunnerOptions& options = {});
+
+/// Convenience: run one scenario.
+ScenarioReport run_scenario(const Scenario& scenario,
+                            const RunnerOptions& options = {});
+
+/// Shared parallel substrate: runs body(i) for i in [0, count) on `threads`
+/// workers (0 = hardware concurrency) and blocks until done. Each body(i)
+/// must touch only state owned by unit i.
+void run_parallel_units(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace osched::harness

@@ -1,0 +1,98 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace osched::harness {
+
+CaseSpec&& CaseSpec::with(const std::string& key, double value) && {
+  for (auto& [existing, v] : params) {
+    OSCHED_CHECK(existing != key) << "duplicate param '" << key << "'";
+    (void)v;
+  }
+  params.emplace_back(key, value);
+  return std::move(*this);
+}
+
+double CaseSpec::param(const std::string& key) const {
+  for (const auto& [existing, v] : params) {
+    if (existing == key) return v;
+  }
+  OSCHED_CHECK(false) << "param '" << key << "' missing from case '" << label
+                      << "'";
+  return 0.0;
+}
+
+double CaseSpec::param_or(const std::string& key, double fallback) const {
+  for (const auto& [existing, v] : params) {
+    if (existing == key) return v;
+  }
+  return fallback;
+}
+
+bool CaseSpec::has_param(const std::string& key) const {
+  for (const auto& [existing, v] : params) {
+    (void)v;
+    if (existing == key) return true;
+  }
+  return false;
+}
+
+std::size_t UnitContext::scaled(std::size_t nominal) const {
+  const double sized = std::ceil(static_cast<double>(nominal) * scale);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(sized));
+}
+
+void CaseResult::accumulate(const MetricRow& row) {
+  for (const auto& [key, value] : row.entries()) {
+    const auto it =
+        std::find(metric_order.begin(), metric_order.end(), key);
+    std::size_t index;
+    if (it == metric_order.end()) {
+      metric_order.push_back(key);
+      metrics.emplace_back();
+      index = metrics.size() - 1;
+    } else {
+      index = static_cast<std::size_t>(it - metric_order.begin());
+    }
+    metrics[index].add(value);
+  }
+}
+
+bool CaseResult::has_metric(const std::string& key) const {
+  return std::find(metric_order.begin(), metric_order.end(), key) !=
+         metric_order.end();
+}
+
+const util::RunningStats& CaseResult::metric(const std::string& key) const {
+  for (std::size_t i = 0; i < metric_order.size(); ++i) {
+    if (metric_order[i] == key) return metrics[i];
+  }
+  OSCHED_CHECK(false) << "metric '" << key << "' missing from case '"
+                      << spec.label << "'";
+  return metrics.front();
+}
+
+const CaseResult& ScenarioReport::case_result(const std::string& label) const {
+  for (const CaseResult& c : cases) {
+    if (c.spec.label == label) return c;
+  }
+  OSCHED_CHECK(false) << "case '" << label << "' missing from scenario '"
+                      << name << "'";
+  return cases.front();
+}
+
+bool ScenarioReport::has_case(const std::string& label) const {
+  for (const CaseResult& c : cases) {
+    if (c.spec.label == label) return true;
+  }
+  return false;
+}
+
+bool Scenario::has_tag(const std::string& tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+}  // namespace osched::harness

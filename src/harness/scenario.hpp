@@ -1,0 +1,107 @@
+// Scenario model for the unified experiment harness.
+//
+// A scenario is a named, tagged experiment over a parameter grid: every
+// (case, repetition) pair is an independent *unit* — a pure function of its
+// derived seed — which the batch runner executes concurrently on the shared
+// thread pool. After all units of a scenario finish, its metric rows are
+// aggregated per case and an optional evaluate() function renders the
+// pass/fail verdict that used to live in each bench binary's main().
+//
+// The former bench/bench_e*.cpp experiments are all expressed in this model
+// and self-register through OSCHED_REGISTER_SCENARIO (see registry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/metric_row.hpp"
+#include "util/stats.hpp"
+
+namespace osched::harness {
+
+/// One cell of a scenario's parameter grid. Params are named doubles so the
+/// grid is serializable into the JSON report as written.
+struct CaseSpec {
+  std::string label;
+  std::vector<std::pair<std::string, double>> params;
+
+  CaseSpec() = default;
+  explicit CaseSpec(std::string case_label) : label(std::move(case_label)) {}
+
+  /// Builder-style param attachment: CaseSpec("x").with("eps", 0.2).
+  CaseSpec&& with(const std::string& key, double value) &&;
+  double param(const std::string& key) const;  ///< aborts if missing
+  double param_or(const std::string& key, double fallback) const;
+  bool has_param(const std::string& key) const;
+};
+
+/// Everything a unit run may depend on. Units must be pure functions of this
+/// context (no shared mutable state): the runner calls them concurrently and
+/// the report must be identical for any --jobs value.
+struct UnitContext {
+  const CaseSpec& unit_case;
+  /// Unique per (scenario, case, repetition); the unit's main seed.
+  std::uint64_t seed = 0;
+  /// Scenario-level root seed: derive shared streams from it when several
+  /// cases must observe the SAME instance (e.g. ablations over one workload).
+  std::uint64_t scenario_seed = 0;
+  std::size_t case_index = 0;
+  std::size_t repetition = 0;
+  /// Size multiplier from --scale; smoke/CI runs shrink instances with it.
+  double scale = 1.0;
+
+  double param(const std::string& key) const { return unit_case.param(key); }
+  double param_or(const std::string& key, double fallback) const {
+    return unit_case.param_or(key, fallback);
+  }
+  /// max(1, nominal * scale): the canonical way to size instances.
+  std::size_t scaled(std::size_t nominal) const;
+};
+
+struct Verdict {
+  bool pass = true;
+  std::string note;
+};
+
+/// Aggregate of one case across repetitions.
+struct CaseResult {
+  CaseSpec spec;
+  /// Metric keys in first-seen order.
+  std::vector<std::string> metric_order;
+  /// Per-metric statistics across repetitions (aligned with metric_order).
+  std::vector<util::RunningStats> metrics;
+
+  void accumulate(const MetricRow& row);
+  bool has_metric(const std::string& key) const;
+  const util::RunningStats& metric(const std::string& key) const;
+};
+
+struct ScenarioReport {
+  std::string name;
+  std::vector<std::string> tags;
+  std::vector<CaseResult> cases;
+  Verdict verdict;
+  /// Summed unit compute time (not wall time of the parallel section).
+  double compute_seconds = 0.0;
+
+  const CaseResult& case_result(const std::string& label) const;
+  bool has_case(const std::string& label) const;
+};
+
+struct Scenario {
+  std::string name;         ///< unique registry key, e.g. "e1_flow_ratio"
+  std::string description;  ///< one line for --list
+  std::vector<std::string> tags;
+  std::size_t repetitions = 1;
+  std::vector<CaseSpec> grid;
+  std::function<MetricRow(const UnitContext&)> run_unit;
+  /// Optional: verdict over the aggregated report; defaults to pass.
+  std::function<Verdict(const ScenarioReport&)> evaluate;
+
+  bool has_tag(const std::string& tag) const;
+};
+
+}  // namespace osched::harness

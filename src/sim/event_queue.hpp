@@ -72,7 +72,7 @@ class EventQueue {
   };
 
   void skip_cancelled() {
-    while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
       cancelled_.erase(heap_.top().id);
       heap_.pop();
     }

@@ -10,7 +10,7 @@ namespace osched::util {
 
 Cli& Cli::flag(const std::string& name, const std::string& default_value,
                const std::string& help) {
-  OSCHED_CHECK(!flags_.contains(name)) << "duplicate flag --" << name;
+  OSCHED_CHECK(flags_.find(name) == flags_.end()) << "duplicate flag --" << name;
   flags_[name] = Flag{default_value, help, std::nullopt};
   return *this;
 }

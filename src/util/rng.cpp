@@ -1,7 +1,6 @@
 #include "util/rng.hpp"
 
 #include <cmath>
-#include <numbers>
 
 namespace osched::util {
 
@@ -87,7 +86,7 @@ double Rng::normal(double mean, double stddev) {
   const double u1 = 1.0 - next_double();  // (0, 1]
   const double u2 = next_double();
   const double radius = std::sqrt(-2.0 * std::log(u1));
-  return mean + stddev * radius * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * radius * std::cos(2.0 * 3.14159265358979323846 * u2);
 }
 
 bool Rng::bernoulli(double p) { return next_double() < p; }

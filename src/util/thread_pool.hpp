@@ -9,9 +9,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "util/check.hpp"
@@ -32,6 +35,20 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw (the library reports failures
   /// through return values and OSCHED_CHECK).
   void submit(std::function<void()> task);
+
+  /// Enqueues a value-returning task and hands back its future. The futures
+  /// form of submit(): callers collect results in submission order, which
+  /// keeps parallel experiment output deterministic regardless of which
+  /// worker ran which task.
+  template <typename Fn>
+  auto submit_task(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using Result = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
 
   /// Blocks until every submitted task has finished.
   void wait_idle();

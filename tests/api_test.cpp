@@ -109,5 +109,18 @@ TEST(Api, ImmediateRejectStaysWithinItsBudget) {
   EXPECT_LE(summary.report.rejected_fraction, 0.2 + 1e-9);
 }
 
+TEST(Api, RunByNameMatchesEnumDispatchAndRejectsUnknown) {
+  const Instance instance = flow_workload(11);
+  RunOptions options;
+  options.epsilon = 0.25;
+  const auto by_name = run_by_name("theorem1", instance, options);
+  ASSERT_TRUE(by_name.has_value());
+  const RunSummary direct = run(Algorithm::kTheorem1, instance, options);
+  EXPECT_DOUBLE_EQ(by_name->report.total_flow, direct.report.total_flow);
+  EXPECT_EQ(by_name->report.num_rejected, direct.report.num_rejected);
+
+  EXPECT_FALSE(run_by_name("no-such-policy", instance, options).has_value());
+}
+
 }  // namespace
 }  // namespace osched::api

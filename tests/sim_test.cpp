@@ -63,7 +63,7 @@ class RecordingHooks : public SimulationHooks {
 
   void on_arrival(JobId job, Time now) override {
     log.push_back({'A', job, now});
-    if (schedule_on_arrival_.contains(job)) {
+    if (schedule_on_arrival_.count(job) > 0) {
       engine_.events().schedule(schedule_on_arrival_[job], 0, job);
     }
   }

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
+#include <memory>
 #include <sstream>
 
 #include "util/cli.hpp"
@@ -248,6 +250,28 @@ TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
 TEST(ThreadPool, ParallelForEmptyRange) {
   ThreadPool pool(2);
   parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SubmitTaskReturnsFutureWithResult) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit_task([i] { return i * 3; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(futures[static_cast<std::size_t>(i)].get(), i * 3);
+  }
+}
+
+TEST(ThreadPool, SubmitTaskVoidAndMoveOnlyResult) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto done = pool.submit_task([&counter] { counter.fetch_add(1); });
+  done.get();
+  EXPECT_EQ(counter.load(), 1);
+
+  auto boxed = pool.submit_task([] { return std::make_unique<int>(7); });
+  EXPECT_EQ(*boxed.get(), 7);
 }
 
 TEST(ThreadPool, ParallelMapOrdersResults) {
