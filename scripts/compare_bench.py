@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Diff two osched_bench --out JSON reports with a tolerance band.
+
+Compares a baseline report against a current one, metric by metric:
+
+* Wall-clock metrics ("seconds", "*_per_sec", "peak_rss_*") are compared
+  with a relative tolerance band (--tolerance, default 0.30): jobs/sec may
+  drop by up to that fraction, seconds/RSS may grow by up to that fraction,
+  before the diff counts as a perf regression. Direction matters — getting
+  faster or smaller is never a regression.
+* Every other metric is treated as a deterministic output of (seed, scale)
+  — rejected counts, flow times, dual objectives — and must match exactly
+  (mean, min and max). A mismatch means the two binaries scheduled
+  differently, which is a correctness failure, not noise.
+
+Scenarios/cases/metrics present on only one side are reported as warnings
+(the suite grows over time); --fail-on-missing promotes them to errors.
+
+Exit codes: 0 OK, 1 perf regression beyond tolerance, 2 determinism
+mismatch or structural/schema error.
+
+Usage:
+  compare_bench.py baseline.json current.json [--tolerance 0.30]
+                   [--fail-on-missing]
+"""
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "osched.bench.report"
+
+PERF_EXACT = {"seconds", "compute_seconds", "wall_seconds"}
+PERF_PREFIXES = ("peak_rss",)
+PERF_SUFFIXES = ("_per_sec",)
+
+
+def is_perf_metric(name: str) -> bool:
+    return (
+        name in PERF_EXACT
+        or name.startswith(PERF_PREFIXES)
+        or name.endswith(PERF_SUFFIXES)
+    )
+
+
+def higher_is_better(name: str) -> bool:
+    return name.endswith(PERF_SUFFIXES)
+
+
+def load_report(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"compare_bench: cannot load {path}: {error}")
+    if report.get("schema") != EXPECTED_SCHEMA:
+        sys.exit(f"compare_bench: {path}: schema {report.get('schema')!r}, "
+                 f"want {EXPECTED_SCHEMA!r}")
+    return report
+
+
+def index_cases(report: dict) -> dict:
+    out = {}
+    for scenario in report.get("scenarios", []):
+        for case in scenario.get("cases", []):
+            out[(scenario["name"], case["label"])] = case.get("metrics", {})
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="relative band for wall-clock metrics "
+                             "(default 0.30 = 30%%)")
+    parser.add_argument("--fail-on-missing", action="store_true",
+                        help="treat one-sided scenarios/cases/metrics as "
+                             "errors instead of warnings")
+    args = parser.parse_args()
+
+    base = index_cases(load_report(args.baseline))
+    cur = index_cases(load_report(args.current))
+
+    perf_regressions = []
+    determinism_errors = []
+    warnings = []
+    compared = 0
+
+    for key in sorted(set(base) | set(cur)):
+        scenario, label = key
+        if key not in base or key not in cur:
+            side = "baseline" if key not in cur else "current"
+            warnings.append(f"{scenario}/{label}: only in {side}")
+            continue
+        metrics = sorted(set(base[key]) | set(cur[key]))
+        for name in metrics:
+            if name not in base[key] or name not in cur[key]:
+                side = "baseline" if name not in cur[key] else "current"
+                warnings.append(f"{scenario}/{label}/{name}: only in {side}")
+                continue
+            b, c = base[key][name], cur[key][name]
+            compared += 1
+            where = f"{scenario}/{label}/{name}"
+            if is_perf_metric(name):
+                b_mean, c_mean = b.get("mean"), c.get("mean")
+                if not b_mean or b_mean <= 0 or c_mean is None:
+                    continue  # degenerate timing (zero/null): nothing to band
+                ratio = c_mean / b_mean
+                if higher_is_better(name):
+                    ok = ratio >= 1.0 - args.tolerance
+                    direction = "dropped to"
+                else:
+                    ok = ratio <= 1.0 + args.tolerance
+                    direction = "grew to"
+                if not ok:
+                    perf_regressions.append(
+                        f"{where}: {direction} {ratio:.2f}x of baseline "
+                        f"({b_mean:.6g} -> {c_mean:.6g}, tolerance "
+                        f"{args.tolerance:.0%})")
+            else:
+                for stat in ("mean", "min", "max"):
+                    if b.get(stat) != c.get(stat):
+                        determinism_errors.append(
+                            f"{where}.{stat}: {b.get(stat)!r} != "
+                            f"{c.get(stat)!r} (deterministic metric must "
+                            f"match exactly)")
+                        break
+
+    for message in warnings:
+        print(f"compare_bench: WARN: {message}", file=sys.stderr)
+    for message in perf_regressions:
+        print(f"compare_bench: PERF REGRESSION: {message}", file=sys.stderr)
+    for message in determinism_errors:
+        print(f"compare_bench: DETERMINISM MISMATCH: {message}",
+              file=sys.stderr)
+
+    print(f"compare_bench: compared {compared} metrics: "
+          f"{len(perf_regressions)} perf regression(s), "
+          f"{len(determinism_errors)} determinism mismatch(es), "
+          f"{len(warnings)} warning(s)")
+
+    if determinism_errors or (warnings and args.fail_on_missing):
+        sys.exit(2)
+    if perf_regressions:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -162,12 +162,8 @@ std::optional<double> exact_optimal_flow_unrelated(
   // Count assignments (respecting eligibility) and bail out if too many.
   double assignment_count = 1.0;
   for (std::size_t j = 0; j < n; ++j) {
-    std::size_t eligible = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (instance.eligible(static_cast<MachineId>(i), static_cast<JobId>(j))) {
-        ++eligible;
-      }
-    }
+    const std::size_t eligible =
+        instance.eligible_machines(static_cast<JobId>(j)).size();
     assignment_count *= static_cast<double>(eligible);
     if (assignment_count > static_cast<double>(max_assignments)) {
       return std::nullopt;
@@ -201,11 +197,9 @@ std::optional<double> exact_optimal_flow_unrelated(
   // Odometer over eligible machines per job.
   std::vector<std::vector<MachineId>> choices(n);
   for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = 0; i < m; ++i) {
-      if (instance.eligible(static_cast<MachineId>(i), static_cast<JobId>(j))) {
-        choices[j].push_back(static_cast<MachineId>(i));
-      }
-    }
+    const EligibleMachines eligible =
+        instance.eligible_machines(static_cast<JobId>(j));
+    choices[j].assign(eligible.begin(), eligible.end());
   }
   std::vector<std::size_t> index(n, 0);
   for (;;) {

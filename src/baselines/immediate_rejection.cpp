@@ -54,11 +54,9 @@ class ImmediateSimulation final : public SimulationHooks {
     // Best machine by estimated wait (remaining + queued work ahead in SPT).
     MachineId best = kInvalidMachine;
     double best_wait = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < machines_.size(); ++i) {
-      const auto machine = static_cast<MachineId>(i);
-      if (!instance_.eligible(machine, j)) continue;
-      const MachineState& ms = machines_[i];
-      const Work p = instance_.processing(machine, j);
+    for (const MachineId machine : instance_.eligible_machines(j)) {
+      const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
+      const Work p = instance_.processing_unchecked(machine, j);
       double wait =
           ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
       for (const SptKey& key : ms.pending) {

@@ -101,11 +101,9 @@ class ListSimulation final : public SimulationHooks {
       }
       OSCHED_CHECK(false) << "job " << j << " has no eligible machine";
     }
-    for (std::size_t i = 0; i < machines_.size(); ++i) {
-      const auto machine = static_cast<MachineId>(i);
-      if (!instance_.eligible(machine, j)) continue;
-      const MachineState& ms = machines_[i];
-      const Work p = instance_.processing(machine, j);
+    for (const MachineId machine : instance_.eligible_machines(j)) {
+      const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
+      const Work p = instance_.processing_unchecked(machine, j);
       const double remaining =
           ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
       double score = 0.0;

@@ -89,9 +89,7 @@ class EnergyFlowSimulation final : public SimulationHooks {
 
     double best_lambda = std::numeric_limits<double>::infinity();
     MachineId best_machine = kInvalidMachine;
-    for (std::size_t i = 0; i < machines_.size(); ++i) {
-      const auto machine = static_cast<MachineId>(i);
-      if (!instance_.eligible(machine, j)) continue;
+    for (const MachineId machine : instance_.eligible_machines(j)) {
       const double lambda = lambda_ij(machine, j);
       if (lambda < best_lambda) {
         best_lambda = lambda;
@@ -132,7 +130,7 @@ class EnergyFlowSimulation final : public SimulationHooks {
  private:
   DensityKey make_key(MachineId i, JobId j) const {
     const Job& job = instance_.job(j);
-    const Work p = instance_.processing(i, j);
+    const Work p = instance_.processing_unchecked(i, j);
     return DensityKey{job.weight / p, job.release, j, job.weight, p};
   }
 
@@ -140,7 +138,7 @@ class EnergyFlowSimulation final : public SimulationHooks {
   double lambda_ij(MachineId i, JobId j) const {
     const MachineState& ms = machines_[static_cast<std::size_t>(i)];
     const Job& job = instance_.job(j);
-    const Work p = instance_.processing(i, j);
+    const Work p = instance_.processing_unchecked(i, j);
     const double density = job.weight / p;
 
     double prefix_weight = 0.0;

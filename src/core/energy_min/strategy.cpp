@@ -121,10 +121,8 @@ std::vector<Strategy> enumerate_strategies(const Instance& instance, JobId j,
   OSCHED_CHECK(job.has_deadline());
   std::vector<Strategy> out;
 
-  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
-    const auto machine = static_cast<MachineId>(i);
-    if (!instance.eligible(machine, j)) continue;
-    const Work p = instance.processing(machine, j);
+  for (const MachineId machine : instance.eligible_machines(j)) {
+    const Work p = instance.processing_unchecked(machine, j);
     const Time window = job.deadline - job.release;
 
     bool machine_has_feasible = false;

@@ -18,18 +18,6 @@ void FlowDualAccounting::set_lambda(JobId /*j*/, double min_lambda_ij) {
   sum_lambda_ += epsilon_ / (1.0 + epsilon_) * min_lambda_ij;
 }
 
-void FlowDualAccounting::on_rule1_rejection(JobId k,
-                                            const std::vector<JobId>& pending,
-                                            Time q) {
-  OSCHED_CHECK_GE(q, 0.0);
-  OSCHED_CHECK(!finalized_[static_cast<std::size_t>(k)]);
-  extra_[static_cast<std::size_t>(k)] += q;
-  for (JobId j : pending) {
-    OSCHED_CHECK(!finalized_[static_cast<std::size_t>(j)]);
-    extra_[static_cast<std::size_t>(j)] += q;
-  }
-}
-
 void FlowDualAccounting::on_rule2_rejection(JobId j, Time remaining_of_running,
                                             Work pending_sum_except_trigger_and_j,
                                             Work p_ij) {

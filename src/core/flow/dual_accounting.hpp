@@ -34,9 +34,22 @@ class FlowDualAccounting {
   void set_lambda(JobId j, double min_lambda_ij);
 
   /// Rule 1 rejected the running job k at time t with remaining time q: every
-  /// job in U_i(t) — the pending jobs passed here plus k itself — has its
-  /// definitive finish pushed back by q (k joins its own D_k per the paper).
-  void on_rule1_rejection(JobId k, const std::vector<JobId>& pending, Time q);
+  /// job in U_i(t) — the pending jobs plus k itself — has its definitive
+  /// finish pushed back by q (k joins its own D_k per the paper). The pending
+  /// set is streamed via a visitor-of-visitors so the caller can walk its
+  /// queue in place instead of materializing an id vector per rejection:
+  /// `for_each_pending` is invoked once with a `void(JobId)` callback that it
+  /// must apply to every pending job.
+  template <typename ForEachPending>
+  void on_rule1_rejection(JobId k, Time q, ForEachPending&& for_each_pending) {
+    OSCHED_CHECK_GE(q, 0.0);
+    OSCHED_CHECK(!finalized_[static_cast<std::size_t>(k)]);
+    extra_[static_cast<std::size_t>(k)] += q;
+    for_each_pending([this, q](JobId j) {
+      OSCHED_CHECK(!finalized_[static_cast<std::size_t>(j)]);
+      extra_[static_cast<std::size_t>(j)] += q;
+    });
+  }
 
   /// Rule 2 rejected pending job j at time t. The definitive-finish extension
   /// is the estimated completion had j stayed: remaining time of the running

@@ -60,6 +60,7 @@ class FlowSimulation final : public SimulationHooks {
   FlowSimulation(const Instance& instance, const RejectionFlowOptions& options)
       : instance_(instance),
         options_(options),
+        speed_is_one_(options.speed == 1.0),
         engine_(instance),
         schedule_(instance.num_jobs()),
         dual_(instance.num_jobs(), options.epsilon),
@@ -104,21 +105,45 @@ class FlowSimulation final : public SimulationHooks {
   }
 
   void on_arrival(JobId j, Time now) override {
-    // Dispatch to argmin_i lambda_ij (machines scanned in index order, so
-    // ties go to the lowest index — deterministic).
-    double best_lambda = std::numeric_limits<double>::infinity();
-    MachineId best_machine = kInvalidMachine;
-    for (std::size_t i = 0; i < machines_.size(); ++i) {
-      const auto machine = static_cast<MachineId>(i);
-      if (!instance_.eligible(machine, j)) continue;
-      const double lambda = lambda_ij(machine, j);
-      if (lambda < best_lambda) {
+    // Dispatch to argmin_i lambda_ij over j's eligible machines; ties go to
+    // the lowest machine index, exactly as the former ascending full scan.
+    const Time release = instance_.job(j).release;
+    const EligibleMachines eligible = instance_.eligible_machines(j);
+    OSCHED_CHECK(!eligible.empty())
+        << "job " << j << " has no eligible machine";
+
+    // Seed the scan with the fastest machine: its lambda is usually near the
+    // minimum, which lets the p/eps + p lower bound prune most of the other
+    // treap descents before they start.
+    MachineId seed_machine = *eligible.begin();
+    Work seed_p = effective_processing(seed_machine, j);
+    for (const MachineId machine : eligible) {
+      const Work p = effective_processing(machine, j);
+      if (p < seed_p) {
+        seed_p = p;
+        seed_machine = machine;
+      }
+    }
+    double best_lambda = lambda_ij(seed_machine, j, seed_p, release);
+    MachineId best_machine = seed_machine;
+    for (const MachineId machine : eligible) {
+      if (machine == seed_machine) continue;
+      const Work p = effective_processing(machine, j);
+      // Exact pruning: p/eps + p is lambda_ij for an empty queue, and the
+      // pending contributions only add non-negative terms (floating-point
+      // addition of non-negatives is monotone), so it lower-bounds
+      // lambda_ij. A machine whose bound strictly exceeds the incumbent can
+      // never be the argmin.
+      if (p / options_.epsilon + p > best_lambda) continue;
+      const double lambda = lambda_ij(machine, j, p, release);
+      // Explicit tie rule: the seed may carry a higher index than an
+      // equal-lambda machine scanned here.
+      if (lambda < best_lambda ||
+          (lambda == best_lambda && machine < best_machine)) {
         best_lambda = lambda;
         best_machine = machine;
       }
     }
-    OSCHED_CHECK(best_machine != kInvalidMachine)
-        << "job " << j << " has no eligible machine";
     dual_.set_lambda(j, best_lambda);
     lambda_[static_cast<std::size_t>(j)] =
         options_.epsilon / (1.0 + options_.epsilon) * best_lambda;
@@ -163,15 +188,20 @@ class FlowSimulation final : public SimulationHooks {
   }
 
   Work effective_processing(MachineId i, JobId j) const {
-    return instance_.processing(i, j) / options_.speed;
+    // Indices are validated by construction: i comes from the instance's
+    // eligibility adjacency (or a machine that already holds j) and j from
+    // the arrival stream. speed == 1.0 skips the division (p/1.0 == p, so
+    // the fast path is bit-identical).
+    const Work p = instance_.processing_unchecked(i, j);
+    return speed_is_one_ ? p : p / options_.speed;
   }
 
   /// lambda_ij = p_ij/eps + sum_{l <= j} p_il + |{l > j}| * p_ij over the
   /// pending order with j virtually inserted (running job excluded).
-  double lambda_ij(MachineId i, JobId j) const {
+  /// `p` must be effective_processing(i, j).
+  double lambda_ij(MachineId i, JobId j, Work p, Time release) const {
     const MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const Work p = effective_processing(i, j);
-    const PendingKey key = make_key(i, j);
+    const PendingKey key{p, release, j};
     const auto prefix = ms.pending.stats_less(key);
     const std::size_t after = ms.pending.size() - prefix.count;
     return p / options_.epsilon + (prefix.weight + p) +
@@ -201,11 +231,11 @@ class FlowSimulation final : public SimulationHooks {
     schedule_.mark_rejected_running(k, now);
 
     // Every job of U_i(now) — the pending jobs and k itself — has its
-    // definitive finish pushed back by the removed remaining time.
-    std::vector<JobId> pending_ids;
-    pending_ids.reserve(ms.pending.size());
-    ms.pending.for_each([&](const PendingKey& key) { pending_ids.push_back(key.id); });
-    dual_.on_rule1_rejection(k, pending_ids, std::max(0.0, remaining));
+    // definitive finish pushed back by the removed remaining time. The
+    // pending queue is walked in place; no per-rejection id vector.
+    dual_.on_rule1_rejection(k, std::max(0.0, remaining), [&](auto&& extend) {
+      ms.pending.for_each([&](const PendingKey& key) { extend(key.id); });
+    });
     dual_.finalize(k, instance_.job(k).release, now);
 
     ms.running = kInvalidJob;
@@ -220,15 +250,10 @@ class FlowSimulation final : public SimulationHooks {
         return *ms.pending.min();
       case Rule2Victim::kNewest:
         return make_key(i, trigger);
-      case Rule2Victim::kRandom: {
-        std::size_t target = victim_rng_.index(ms.pending.size());
-        PendingKey chosen{};
-        std::size_t at = 0;
-        ms.pending.for_each([&](const PendingKey& key) {
-          if (at++ == target) chosen = key;
-        });
-        return chosen;
-      }
+      case Rule2Victim::kRandom:
+        // Order-statistic select: O(log n) for the same in-order position
+        // (and the same RNG draw) the former O(n) for_each scan picked.
+        return ms.pending.kth(victim_rng_.index(ms.pending.size()));
     }
     OSCHED_CHECK(false) << "unreachable victim rule";
     return PendingKey{};
@@ -258,6 +283,7 @@ class FlowSimulation final : public SimulationHooks {
 
   const Instance& instance_;
   RejectionFlowOptions options_;
+  bool speed_is_one_ = true;
   SimEngine engine_;
   Schedule schedule_;
   FlowDualAccounting dual_;

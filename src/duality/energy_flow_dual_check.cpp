@@ -105,10 +105,9 @@ DualCheckReport check_energy_flow_dual_feasibility(
     const double lambda_j = result.lambda[idx];
     const double w_term =
         w_term_coeff * std::pow(job.weight, (alpha - 1.0) / alpha);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto machine = static_cast<MachineId>(i);
-      if (!instance.eligible(machine, j)) continue;
-      const Work p = instance.processing(machine, j);
+    for (const MachineId machine : instance.eligible_machines(j)) {
+      const auto i = static_cast<std::size_t>(machine);
+      const Work p = instance.processing_unchecked(machine, j);
       const double delta_ij = job.weight / p;
       const double lhs = lambda_j / p;
       for (Time t : sample_times[i]) {

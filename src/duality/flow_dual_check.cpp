@@ -63,10 +63,9 @@ DualCheckReport check_flow_dual_feasibility(const Instance& instance,
     const auto j = static_cast<JobId>(idx);
     const Job& job = instance.job(j);
     const double lambda_j = result.lambda[idx];
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto machine = static_cast<MachineId>(i);
-      if (!instance.eligible(machine, j)) continue;
-      const Work p = instance.processing(machine, j);
+    for (const MachineId machine : instance.eligible_machines(j)) {
+      const auto i = static_cast<std::size_t>(machine);
+      const Work p = instance.processing_unchecked(machine, j);
 
       auto check_at = [&](Time t) {
         if (t < job.release) return;

@@ -61,12 +61,11 @@ class WeightedFlowSimulation final : public SimulationHooks {
   void on_arrival(JobId j, Time now) override {
     const Weight w = instance_.job(j).weight;
 
-    // Dispatch to argmin lambda_ij (ties to the lowest machine index).
+    // Dispatch to argmin lambda_ij (ties to the lowest machine index; the
+    // eligibility adjacency scans machines in ascending index order).
     double best_lambda = std::numeric_limits<double>::infinity();
     MachineId best = kInvalidMachine;
-    for (std::size_t i = 0; i < machines_.size(); ++i) {
-      const auto machine = static_cast<MachineId>(i);
-      if (!instance_.eligible(machine, j)) continue;
+    for (const MachineId machine : instance_.eligible_machines(j)) {
       const double lambda = lambda_ij(machine, j);
       if (lambda < best_lambda) {
         best_lambda = lambda;
@@ -102,7 +101,7 @@ class WeightedFlowSimulation final : public SimulationHooks {
 
  private:
   DensityKey make_key(MachineId i, JobId j) const {
-    const Work p = instance_.processing(i, j);
+    const Work p = instance_.processing_unchecked(i, j);
     const Job& job = instance_.job(j);
     return DensityKey{job.weight / p, job.release, j, p, job.weight};
   }

@@ -42,21 +42,38 @@ std::vector<const Scenario*> ScenarioRegistry::matching(
     const std::string& filter) const {
   if (filter.empty()) return all();
 
-  std::vector<std::string> tokens;
+  std::vector<std::string> include;
+  std::vector<std::string> exclude;
   std::istringstream in(filter);
   std::string token;
   while (std::getline(in, token, ',')) {
-    if (!token.empty()) tokens.push_back(token);
+    if (token.empty()) continue;
+    if (token[0] == '-') {
+      if (token.size() > 1) exclude.push_back(token.substr(1));
+    } else {
+      include.push_back(token);
+    }
   }
+
+  const auto token_matches = [](const Scenario* scenario,
+                                const std::string& t) {
+    return scenario->has_tag(t) || scenario->name.find(t) != std::string::npos;
+  };
 
   std::vector<const Scenario*> out;
   for (const Scenario* scenario : all()) {
-    const bool matches =
-        std::any_of(tokens.begin(), tokens.end(), [&](const std::string& t) {
-          return scenario->has_tag(t) ||
-                 scenario->name.find(t) != std::string::npos;
+    // With no positive tokens, start from everything (e.g. "-slow" selects
+    // all scenarios except the slow-tagged ones).
+    const bool included =
+        include.empty() ||
+        std::any_of(include.begin(), include.end(), [&](const std::string& t) {
+          return token_matches(scenario, t);
         });
-    if (matches) out.push_back(scenario);
+    const bool excluded =
+        std::any_of(exclude.begin(), exclude.end(), [&](const std::string& t) {
+          return token_matches(scenario, t);
+        });
+    if (included && !excluded) out.push_back(scenario);
   }
   return out;
 }

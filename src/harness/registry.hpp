@@ -34,8 +34,10 @@ class ScenarioRegistry {
 
   /// Scenarios matching a comma-separated filter expression. A scenario
   /// matches a token when the token equals one of its tags or is a substring
-  /// of its name; it matches the expression when it matches any token. The
-  /// empty filter matches everything.
+  /// of its name; it matches the expression when it matches any positive
+  /// token and no token prefixed with '-' (exclusion; "-slow" drops the
+  /// slow-tagged perf scenarios). With only exclusion tokens, the positive
+  /// selection defaults to everything. The empty filter matches everything.
   std::vector<const Scenario*> matching(const std::string& filter) const;
 
   std::size_t size() const { return scenarios_.size(); }

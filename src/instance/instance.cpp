@@ -9,8 +9,8 @@ namespace osched {
 
 Instance::Instance(std::vector<Job> jobs,
                    std::vector<std::vector<Work>> processing)
-    : jobs_(std::move(jobs)), processing_(std::move(processing)) {
-  for (const auto& row : processing_) {
+    : jobs_(std::move(jobs)), num_machines_(processing.size()) {
+  for (const auto& row : processing) {
     OSCHED_CHECK_EQ(row.size(), jobs_.size())
         << "processing matrix row width must equal the number of jobs";
   }
@@ -32,19 +32,35 @@ Instance::Instance(std::vector<Job> jobs,
   }
   jobs_ = std::move(sorted_jobs);
 
-  for (auto& row : processing_) {
-    std::vector<Work> sorted_row(row.size());
-    for (std::size_t pos = 0; pos < perm.size(); ++pos) {
-      sorted_row[pos] = row[perm[pos]];
+  const std::size_t n = jobs_.size();
+  processing_.resize(num_machines_ * n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    Work* job_slice = processing_.data() + pos * num_machines_;
+    const std::size_t original = perm[pos];
+    for (std::size_t i = 0; i < num_machines_; ++i) {
+      job_slice[i] = processing[i][original];
     }
-    row = std::move(sorted_row);
+  }
+
+  // Per-job eligible-machine adjacency, ascending machine index.
+  eligible_offsets_.assign(n + 1, 0);
+  eligible_flat_.reserve(num_machines_ > 0 ? n : 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Work* job_slice = processing_.data() + j * num_machines_;
+    for (std::size_t i = 0; i < num_machines_; ++i) {
+      if (job_slice[i] < kTimeInfinity) {
+        eligible_flat_.push_back(static_cast<MachineId>(i));
+      }
+    }
+    eligible_offsets_[j + 1] = eligible_flat_.size();
   }
 }
 
 Work Instance::min_processing(JobId j) const {
   Work best = kTimeInfinity;
-  for (std::size_t i = 0; i < processing_.size(); ++i) {
-    best = std::min(best, processing(static_cast<MachineId>(i), j));
+  OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
+  for (std::size_t i = 0; i < num_machines_; ++i) {
+    best = std::min(best, processing_unchecked(static_cast<MachineId>(i), j));
   }
   return best;
 }
@@ -52,12 +68,10 @@ Work Instance::min_processing(JobId j) const {
 double Instance::processing_spread() const {
   double lo = std::numeric_limits<double>::infinity();
   double hi = 0.0;
-  for (const auto& row : processing_) {
-    for (Work p : row) {
-      if (p < kTimeInfinity) {
-        lo = std::min(lo, p);
-        hi = std::max(hi, p);
-      }
+  for (Work p : processing_) {
+    if (p < kTimeInfinity) {
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
     }
   }
   if (hi == 0.0) return 1.0;
@@ -72,7 +86,7 @@ Weight Instance::total_weight() const {
 
 std::string Instance::validate() const {
   std::ostringstream problems;
-  if (processing_.empty()) problems << "no machines; ";
+  if (num_machines_ == 0) problems << "no machines; ";
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     const Job& job = jobs_[j];
     if (job.release < 0.0) {
@@ -85,8 +99,9 @@ std::string Instance::validate() const {
       problems << "job " << j << " has deadline <= release; ";
     }
     bool any_eligible = false;
-    for (std::size_t i = 0; i < processing_.size(); ++i) {
-      const Work p = processing_[i][j];
+    for (std::size_t i = 0; i < num_machines_; ++i) {
+      const Work p = processing_unchecked(static_cast<MachineId>(i),
+                                          static_cast<JobId>(j));
       if (p < kTimeInfinity) {
         any_eligible = true;
         if (p <= 0.0) {
@@ -94,7 +109,7 @@ std::string Instance::validate() const {
         }
       }
     }
-    if (!processing_.empty() && !any_eligible) {
+    if (num_machines_ > 0 && !any_eligible) {
       problems << "job " << j << " has no eligible machine; ";
     }
   }

@@ -3,6 +3,13 @@
 // Stores the jobs (sorted by release time; ties by id) and the dense
 // p_ij matrix of per-machine processing requirements. A processing entry of
 // +infinity means "job j cannot run on machine i" (restricted assignment).
+//
+// Hot-path layout: the matrix is one flat job-major buffer (a job's p_ij
+// across machines is contiguous — the access pattern of the dispatch
+// scans), `processing_unchecked` skips the bounds CHECKs for loops whose
+// indices are validated once at entry, and each job carries a precomputed
+// eligible-machine adjacency list so restricted-assignment dispatch scans
+// only the machines that can actually run the job.
 #pragma once
 
 #include <string>
@@ -14,6 +21,19 @@
 
 namespace osched {
 
+/// Lightweight view over one job's eligible machines (ascending machine
+/// index, the same order the dispatch loops used to scan). Iterable:
+///   for (MachineId i : instance.eligible_machines(j)) ...
+struct EligibleMachines {
+  const MachineId* first = nullptr;
+  const MachineId* last = nullptr;
+
+  const MachineId* begin() const { return first; }
+  const MachineId* end() const { return last; }
+  std::size_t size() const { return static_cast<std::size_t>(last - first); }
+  bool empty() const { return first == last; }
+};
+
 class Instance {
  public:
   Instance() = default;
@@ -24,7 +44,7 @@ class Instance {
   Instance(std::vector<Job> jobs, std::vector<std::vector<Work>> processing);
 
   std::size_t num_jobs() const { return jobs_.size(); }
-  std::size_t num_machines() const { return processing_.size(); }
+  std::size_t num_machines() const { return num_machines_; }
 
   const Job& job(JobId j) const {
     OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
@@ -33,13 +53,30 @@ class Instance {
   const std::vector<Job>& jobs() const { return jobs_; }
 
   Work processing(MachineId i, JobId j) const {
-    OSCHED_CHECK(i >= 0 && static_cast<std::size_t>(i) < processing_.size());
+    OSCHED_CHECK(i >= 0 && static_cast<std::size_t>(i) < num_machines_);
     OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
-    return processing_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    return processing_unchecked(i, j);
+  }
+
+  /// p_ij without bounds CHECKs, for validated inner loops (the dispatch
+  /// scans, the duality checkers' constraint sweeps). Callers must have
+  /// established 0 <= i < num_machines() and 0 <= j < num_jobs().
+  Work processing_unchecked(MachineId i, JobId j) const {
+    return processing_[static_cast<std::size_t>(j) * num_machines_ +
+                       static_cast<std::size_t>(i)];
   }
 
   bool eligible(MachineId i, JobId j) const {
     return processing(i, j) < kTimeInfinity;
+  }
+
+  /// The machines that can run j (finite p_ij), ascending machine index.
+  EligibleMachines eligible_machines(JobId j) const {
+    OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
+    const auto idx = static_cast<std::size_t>(j);
+    const MachineId* base = eligible_flat_.data();
+    return EligibleMachines{base + eligible_offsets_[idx],
+                            base + eligible_offsets_[idx + 1]};
   }
 
   /// min_i p_ij — the fastest any machine can serve j. Used by lower bounds.
@@ -57,7 +94,15 @@ class Instance {
 
  private:
   std::vector<Job> jobs_;
-  std::vector<std::vector<Work>> processing_;  // [machine][job]
+  std::size_t num_machines_ = 0;
+  /// Flat p_ij buffer, job-major ([job * m + machine]): the hot dispatch
+  /// loops read p_{., j} for one job across machines, which this layout
+  /// serves from m/8 cache lines instead of m scattered ones.
+  std::vector<Work> processing_;
+  /// Eligible-machine ids grouped by job; eligible_offsets_[j]..[j+1) is
+  /// job j's slice of eligible_flat_.
+  std::vector<MachineId> eligible_flat_;
+  std::vector<std::size_t> eligible_offsets_;
 };
 
 }  // namespace osched

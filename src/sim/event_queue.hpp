@@ -2,15 +2,21 @@
 //
 // Schedulers register future events (job completions, timed wakeups) and may
 // cancel them (e.g. Rule 1 interrupts the running job, voiding its scheduled
-// completion). Cancellation is lazy: cancelled ids are skipped at pop time.
+// completion). Cancellation is lazy, but the liveness test is O(1) and
+// hash-free: every handle names a generation-stamped slot, a cancel bumps
+// the slot's generation, and a heap entry whose stamp no longer matches its
+// slot is skipped at pop time. Slots are recycled through a free list, so a
+// long run touches a bounded, dense slot array instead of growing a hash
+// set of cancelled ids.
+//
 // Ordering is (time, insertion sequence), so simultaneous events fire in the
-// order they were scheduled — deterministic across runs.
+// order they were scheduled — deterministic across runs and identical to the
+// previous hash-set implementation.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/check.hpp"
@@ -20,7 +26,7 @@ namespace osched {
 
 struct SimEvent {
   Time time = 0.0;
-  std::uint64_t id = 0;
+  std::uint64_t id = 0;  ///< insertion sequence (unique, monotone)
   MachineId machine = kInvalidMachine;
   JobId job = kInvalidJob;
 };
@@ -29,16 +35,28 @@ class EventQueue {
  public:
   /// Schedules an event and returns its cancellation handle.
   std::uint64_t schedule(Time time, MachineId machine, JobId job) {
-    const std::uint64_t id = next_id_++;
-    heap_.push(SimEvent{time, id, machine, job});
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<std::uint32_t>(generations_.size());
+      generations_.push_back(1);
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    heap_.push(Entry{time, next_seq_++, slot, generations_[slot], machine, job});
     ++live_;
-    return id;
+    return handle_of(slot, generations_[slot]);
   }
 
-  /// Cancels a previously scheduled event. Cancelling an id twice or after
-  /// it fired is a programming error.
-  void cancel(std::uint64_t id) {
-    OSCHED_CHECK(cancelled_.insert(id).second) << "event " << id << " cancelled twice";
+  /// Cancels a previously scheduled event. Cancelling a handle twice or
+  /// after it fired is a programming error.
+  void cancel(std::uint64_t handle) {
+    const auto slot = static_cast<std::uint32_t>(handle >> 32);
+    const auto generation = static_cast<std::uint32_t>(handle);
+    OSCHED_CHECK(slot < generations_.size() &&
+                 generations_[slot] == generation && generation != 0)
+        << "event handle " << handle << " is not live (double cancel?)";
+    retire(slot);
     OSCHED_CHECK_GT(live_, 0u);
     --live_;
   }
@@ -56,31 +74,54 @@ class EventQueue {
   SimEvent pop() {
     skip_cancelled();
     OSCHED_CHECK(!heap_.empty());
-    SimEvent event = heap_.top();
+    const Entry entry = heap_.top();
     heap_.pop();
+    retire(entry.slot);
     OSCHED_CHECK_GT(live_, 0u);
     --live_;
-    return event;
+    return SimEvent{entry.time, entry.seq, entry.machine, entry.job};
   }
 
  private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+    MachineId machine;
+    JobId job;
+  };
+
   struct Later {
-    bool operator()(const SimEvent& a, const SimEvent& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
+  static std::uint64_t handle_of(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(slot) << 32) | generation;
+  }
+
+  /// Invalidates the slot's outstanding handle and recycles it. The bumped
+  /// generation orphans the heap entry (if still queued) and any stale
+  /// handle. Generation 0 is never live, so a zero handle can't match.
+  void retire(std::uint32_t slot) {
+    if (++generations_[slot] == 0) ++generations_[slot];
+    free_slots_.push_back(slot);
+  }
+
   void skip_cancelled() {
-    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-      cancelled_.erase(heap_.top().id);
+    while (!heap_.empty() &&
+           generations_[heap_.top().slot] != heap_.top().generation) {
       heap_.pop();
     }
   }
 
-  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::uint64_t next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::uint32_t> generations_;  ///< current stamp per slot
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
 };
 

@@ -1,19 +1,35 @@
-// Order-statistic treap augmented with subtree weight sums.
+// Order-statistic treap augmented with subtree weight sums, stored in a
+// contiguous arena.
 //
 // The flow-time algorithm (Theorem 1) keeps each machine's pending jobs in
 // shortest-processing-time order and, per arrival, needs
 //   sum of p_il over pending jobs ordered before j, and
 //   the count of pending jobs ordered after j,
 // to evaluate the dispatch quantity lambda_ij on every machine. This treap
-// answers both in O(log n) via (count, weight) subtree augmentation, and
-// also serves the scheduling policy (pop smallest) and Rule 2 (find
-// largest). Priorities come from a deterministic SplitMix64 stream so runs
-// are exactly reproducible.
+// answers both in O(log n) via (count, weight) subtree augmentation, serves
+// the scheduling policy (pop smallest), Rule 2 (find largest) and the random
+// victim ablation (kth order statistic).
+//
+// Hot-path layout: nodes live in one std::vector<Node> addressed by uint32
+// indices, with a free list threaded through released slots — an insert
+// never calls the allocator once the arena has warmed up, an erase never
+// runs a recursive unique_ptr destructor chain, and descents walk memory
+// that stays dense in cache. All restructuring (split/merge/erase/pop) is
+// iterative.
+//
+// Priorities come from a deterministic SplitMix64 stream, one draw per
+// insert, so runs are exactly reproducible. A treap's shape is a canonical
+// function of its (key, priority) set, which makes every aggregate —
+// including the floating-point summation order inside stats_less — a pure
+// function of the insert/erase history, independent of the restructuring
+// algorithm. The arena rewrite is therefore bit-identical to the previous
+// pointer-based implementation.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -34,34 +50,83 @@ class AugmentedTreap {
                           std::uint64_t seed = 0x5eed5eedULL)
       : weight_fn_(std::move(weight_fn)), prio_state_(seed) {}
 
-  std::size_t size() const { return root_ ? root_->count : 0; }
-  bool empty() const { return !root_; }
-  double total_weight() const { return root_ ? root_->weight_sum : 0.0; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return root_ == kNull; }
+  double total_weight() const {
+    return root_ == kNull ? 0.0 : nodes_[root_].weight_sum;
+  }
+
+  /// Pre-sizes the arena (and the scratch path stacks) for n keys.
+  void reserve(std::size_t n) {
+    nodes_.reserve(n);
+    path_.reserve(64);
+    merge_path_.reserve(64);
+  }
+
+  /// Number of arena slots ever allocated (live + free-listed). Exposed so
+  /// tests can verify that churn reuses slots instead of growing the arena.
+  std::size_t arena_slots() const { return nodes_.size(); }
 
   /// Inserts a key; aborts on duplicates (keys must be unique).
   void insert(const Key& key) {
-    auto [less, geq] = split(std::move(root_), key);
-    OSCHED_CHECK(!min_of(geq) || key < *min_of(geq)) << "duplicate treap key";
-    auto node = std::make_unique<Node>(key, weight_fn_(key), next_priority());
-    root_ = merge(std::move(less), merge(std::move(node), std::move(geq)));
+    const std::uint32_t fresh = acquire(key);
+    // Descend while the existing nodes out-prioritize the new one (ties keep
+    // the incumbent on top, matching merge's strict comparison).
+    const std::uint64_t prio = nodes_[fresh].priority;
+    std::uint32_t* slot = &root_;
+    path_.clear();
+    while (*slot != kNull && nodes_[*slot].priority >= prio) {
+      Node& node = nodes_[*slot];
+      if (!(key < node.key)) {
+        OSCHED_CHECK(node.key < key) << "duplicate treap key";
+        path_.push_back(*slot);
+        slot = &node.right;
+      } else {
+        path_.push_back(*slot);
+        slot = &node.left;
+      }
+    }
+    // The new node takes this position; the displaced subtree splits around
+    // the key into its children.
+    split(*slot, key, &nodes_[fresh].left, &nodes_[fresh].right);
+    *slot = fresh;
+    pull(fresh);
+    pull_path();
+    ++size_;
   }
 
   /// Removes a key; returns false if absent.
   bool erase(const Key& key) {
-    auto [less, geq] = split(std::move(root_), key);
-    auto [equal, greater] = split_first(std::move(geq), key);
-    const bool found = equal != nullptr;
-    root_ = merge(std::move(less), std::move(greater));
-    return found;
+    std::uint32_t* slot = &root_;
+    path_.clear();
+    while (*slot != kNull) {
+      Node& node = nodes_[*slot];
+      if (key < node.key) {
+        path_.push_back(*slot);
+        slot = &node.left;
+      } else if (node.key < key) {
+        path_.push_back(*slot);
+        slot = &node.right;
+      } else {
+        break;
+      }
+    }
+    if (*slot == kNull) return false;
+    const std::uint32_t victim = *slot;
+    *slot = merge(nodes_[victim].left, nodes_[victim].right);
+    release(victim);
+    pull_path();
+    --size_;
+    return true;
   }
 
   bool contains(const Key& key) const {
-    const Node* node = root_.get();
-    while (node) {
-      if (key < node->key) {
-        node = node->left.get();
-      } else if (node->key < key) {
-        node = node->right.get();
+    std::uint32_t node = root_;
+    while (node != kNull) {
+      if (key < nodes_[node].key) {
+        node = nodes_[node].left;
+      } else if (nodes_[node].key < key) {
+        node = nodes_[node].right;
       } else {
         return true;
       }
@@ -72,140 +137,231 @@ class AugmentedTreap {
   /// Count and weight of keys strictly less than `key`.
   PrefixStats stats_less(const Key& key) const {
     PrefixStats stats;
-    const Node* node = root_.get();
-    while (node) {
-      if (node->key < key) {
-        stats.count += 1 + count_of(node->left);
-        stats.weight += weight_fn_(node->key) + weight_of(node->left);
-        node = node->right.get();
+    std::uint32_t node = root_;
+    while (node != kNull) {
+      const Node& nd = nodes_[node];
+      if (nd.key < key) {
+        stats.count += 1 + count_of(nd.left);
+        stats.weight += nd.self_weight + weight_of(nd.left);
+        node = nd.right;
       } else {
-        node = node->left.get();
+        node = nd.left;
       }
     }
     return stats;
   }
 
   std::optional<Key> min() const {
-    const Node* node = root_.get();
-    if (!node) return std::nullopt;
-    while (node->left) node = node->left.get();
-    return node->key;
+    if (root_ == kNull) return std::nullopt;
+    std::uint32_t node = root_;
+    while (nodes_[node].left != kNull) node = nodes_[node].left;
+    return nodes_[node].key;
   }
 
   std::optional<Key> max() const {
-    const Node* node = root_.get();
-    if (!node) return std::nullopt;
-    while (node->right) node = node->right.get();
-    return node->key;
+    if (root_ == kNull) return std::nullopt;
+    std::uint32_t node = root_;
+    while (nodes_[node].right != kNull) node = nodes_[node].right;
+    return nodes_[node].key;
+  }
+
+  /// The index-th smallest key (0-based order statistic) in O(log n).
+  /// Requires index < size().
+  const Key& kth(std::size_t index) const {
+    OSCHED_CHECK_LT(index, size_) << "kth out of range";
+    std::uint32_t node = root_;
+    for (;;) {
+      const Node& nd = nodes_[node];
+      const std::size_t left_count = count_of(nd.left);
+      if (index < left_count) {
+        node = nd.left;
+      } else if (index == left_count) {
+        return nd.key;
+      } else {
+        index -= left_count + 1;
+        node = nd.right;
+      }
+    }
   }
 
   /// Removes and returns the smallest key. Requires non-empty.
   Key pop_min() {
-    auto smallest = min();
-    OSCHED_CHECK(smallest.has_value()) << "pop_min on empty treap";
-    OSCHED_CHECK(erase(*smallest));
-    return *smallest;
+    OSCHED_CHECK(root_ != kNull) << "pop_min on empty treap";
+    std::uint32_t* slot = &root_;
+    path_.clear();
+    while (nodes_[*slot].left != kNull) {
+      path_.push_back(*slot);
+      slot = &nodes_[*slot].left;
+    }
+    const std::uint32_t victim = *slot;
+    const Key key = nodes_[victim].key;
+    *slot = nodes_[victim].right;  // the minimum has no left child
+    release(victim);
+    pull_path();
+    --size_;
+    return key;
   }
 
-  /// In-order traversal.
+  /// In-order traversal. Recursive (expected O(log n) depth under the
+  /// random priorities) so the read path allocates nothing — it runs per
+  /// Rule-1 rejection.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for_each_node(root_.get(), fn);
+    for_each_node(root_, fn);
   }
 
-  void clear() { root_.reset(); }
+  void clear() {
+    nodes_.clear();
+    root_ = kNull;
+    free_head_ = kNull;
+    size_ = 0;
+  }
 
  private:
-  struct Node {
-    Node(const Key& k, double w, std::uint64_t p)
-        : key(k), priority(p), self_weight(w), weight_sum(w) {}
+  static constexpr std::uint32_t kNull = 0xFFFFFFFFu;
+
+  struct NodeLayout {
     Key key;
     std::uint64_t priority;
     double self_weight;
-    std::size_t count = 1;
     double weight_sum;
-    std::unique_ptr<Node> left;
-    std::unique_ptr<Node> right;
+    std::uint32_t count;
+    std::uint32_t left;
+    std::uint32_t right;
   };
-  using NodePtr = std::unique_ptr<Node>;
+  // Cache-line aligned when a node fits in one line, so a descent touches
+  // exactly one line per node. Larger keys keep natural alignment: padding
+  // an over-64-byte node to 128 would burn arena memory without reducing
+  // the lines a descent touches.
+  static constexpr std::size_t kNodeAlignment =
+      sizeof(NodeLayout) <= 64 ? 64 : alignof(NodeLayout);
+  struct alignas(kNodeAlignment) Node : NodeLayout {};
 
-  static std::size_t count_of(const NodePtr& node) {
-    return node ? node->count : 0;
+  std::size_t count_of(std::uint32_t node) const {
+    return node == kNull ? 0 : nodes_[node].count;
   }
-  static double weight_of(const NodePtr& node) {
-    return node ? node->weight_sum : 0.0;
-  }
-  static void pull(Node* node) {
-    node->count = 1 + count_of(node->left) + count_of(node->right);
-    node->weight_sum =
-        node->self_weight + weight_of(node->left) + weight_of(node->right);
-  }
-
-  static const Key* min_of(const NodePtr& node) {
-    const Node* cur = node.get();
-    if (!cur) return nullptr;
-    while (cur->left) cur = cur->left.get();
-    return &cur->key;
+  double weight_of(std::uint32_t node) const {
+    return node == kNull ? 0.0 : nodes_[node].weight_sum;
   }
 
-  /// Splits into (< key, >= key).
-  static std::pair<NodePtr, NodePtr> split(NodePtr node, const Key& key) {
-    if (!node) return {nullptr, nullptr};
-    if (node->key < key) {
-      auto [mid, right] = split(std::move(node->right), key);
-      node->right = std::move(mid);
-      pull(node.get());
-      return {std::move(node), std::move(right)};
-    }
-    auto [left, mid] = split(std::move(node->left), key);
-    node->left = std::move(mid);
-    pull(node.get());
-    return {std::move(left), std::move(node)};
-  }
-
-  /// From a tree whose keys are all >= key, detaches the node equal to key
-  /// (if present). Returns (equal-node-with-children-detached, rest).
-  static std::pair<NodePtr, NodePtr> split_first(NodePtr node, const Key& key) {
-    if (!node) return {nullptr, nullptr};
-    if (!(key < node->key) && !(node->key < key)) {
-      NodePtr rest = merge(std::move(node->left), std::move(node->right));
-      node->left.reset();
-      node->right.reset();
-      pull(node.get());
-      return {std::move(node), std::move(rest)};
-    }
-    auto [equal, rest_left] = split_first(std::move(node->left), key);
-    node->left = std::move(rest_left);
-    pull(node.get());
-    return {std::move(equal), std::move(node)};
-  }
-
-  static NodePtr merge(NodePtr a, NodePtr b) {
-    if (!a) return b;
-    if (!b) return a;
-    if (a->priority > b->priority) {
-      a->right = merge(std::move(a->right), std::move(b));
-      pull(a.get());
-      return a;
-    }
-    b->left = merge(std::move(a), std::move(b->left));
-    pull(b.get());
-    return b;
+  void pull(std::uint32_t index) {
+    Node& node = nodes_[index];
+    node.count = static_cast<std::uint32_t>(1 + count_of(node.left) +
+                                            count_of(node.right));
+    node.weight_sum =
+        node.self_weight + weight_of(node.left) + weight_of(node.right);
   }
 
   template <typename Fn>
-  static void for_each_node(const Node* node, Fn& fn) {
-    if (!node) return;
-    for_each_node(node->left.get(), fn);
-    fn(node->key);
-    for_each_node(node->right.get(), fn);
+  void for_each_node(std::uint32_t node, Fn& fn) const {
+    if (node == kNull) return;
+    for_each_node(nodes_[node].left, fn);
+    fn(nodes_[node].key);
+    for_each_node(nodes_[node].right, fn);
+  }
+
+  /// Recomputes aggregates bottom-up along the descent recorded in path_.
+  void pull_path() {
+    for (auto it = path_.rbegin(); it != path_.rend(); ++it) pull(*it);
+  }
+
+  /// Splits `node` into (< key, >= key), writing the roots through the two
+  /// out-slots. Aborts on a key equal to `key` (only insert splits, and its
+  /// key must be absent). Does not touch path_; callers pull their own path.
+  void split(std::uint32_t node, const Key& key, std::uint32_t* less_slot,
+             std::uint32_t* geq_slot) {
+    merge_path_.clear();
+    while (node != kNull) {
+      Node& nd = nodes_[node];
+      merge_path_.push_back(node);
+      if (nd.key < key) {
+        *less_slot = node;
+        less_slot = &nd.right;
+        node = nd.right;
+      } else {
+        OSCHED_CHECK(key < nd.key) << "duplicate treap key";
+        *geq_slot = node;
+        geq_slot = &nd.left;
+        node = nd.left;
+      }
+    }
+    *less_slot = kNull;
+    *geq_slot = kNull;
+    for (auto it = merge_path_.rbegin(); it != merge_path_.rend(); ++it) {
+      pull(*it);
+    }
+  }
+
+  /// Merges two trees where every key of `a` precedes every key of `b`.
+  /// Does not touch path_ (erase interleaves merge with its own descent).
+  std::uint32_t merge(std::uint32_t a, std::uint32_t b) {
+    std::uint32_t result = kNull;
+    std::uint32_t* slot = &result;
+    merge_path_.clear();
+    while (a != kNull && b != kNull) {
+      if (nodes_[a].priority > nodes_[b].priority) {
+        *slot = a;
+        merge_path_.push_back(a);
+        slot = &nodes_[a].right;
+        a = nodes_[a].right;
+      } else {
+        *slot = b;
+        merge_path_.push_back(b);
+        slot = &nodes_[b].left;
+        b = nodes_[b].left;
+      }
+    }
+    *slot = (a != kNull) ? a : b;
+    for (auto it = merge_path_.rbegin(); it != merge_path_.rend(); ++it) {
+      pull(*it);
+    }
+    return result;
+  }
+
+  /// Takes a slot from the free list (or grows the arena) and initializes it
+  /// as a leaf. Must be called before any pointer into nodes_ is formed: the
+  /// vector may reallocate here.
+  std::uint32_t acquire(const Key& key) {
+    std::uint32_t index;
+    if (free_head_ != kNull) {
+      index = free_head_;
+      free_head_ = nodes_[index].left;
+    } else {
+      index = static_cast<std::uint32_t>(nodes_.size());
+      OSCHED_CHECK_LT(nodes_.size(), static_cast<std::size_t>(kNull))
+          << "treap arena exceeds uint32 addressing";
+      nodes_.emplace_back();
+    }
+    Node& node = nodes_[index];
+    node.key = key;
+    node.priority = next_priority();
+    node.self_weight = weight_fn_(key);
+    node.weight_sum = node.self_weight;
+    node.count = 1;
+    node.left = kNull;
+    node.right = kNull;
+    return index;
+  }
+
+  /// Returns a slot to the free list (threaded through the left link).
+  void release(std::uint32_t index) {
+    nodes_[index].left = free_head_;
+    free_head_ = index;
   }
 
   std::uint64_t next_priority() { return splitmix64(prio_state_); }
 
   WeightFn weight_fn_;
   std::uint64_t prio_state_;
-  NodePtr root_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = kNull;
+  std::uint32_t free_head_ = kNull;
+  std::size_t size_ = 0;
+  // Scratch descent stacks, reused across operations so the hot path never
+  // allocates. path_ records the outer descent (insert/erase/pop_min);
+  // merge_path_ belongs to the inner split/merge restructuring.
+  std::vector<std::uint32_t> path_;
+  std::vector<std::uint32_t> merge_path_;
 };
 
 }  // namespace osched::util

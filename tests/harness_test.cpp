@@ -137,13 +137,51 @@ TEST(ScenarioRegistry, FilterMatchesTagsAndNameSubstrings) {
 
 TEST(ScenarioRegistry, GlobalHoldsAllPortedBenchScenarios) {
   auto& registry = ScenarioRegistry::global();
-  EXPECT_GE(registry.size(), 15u);
+  EXPECT_GE(registry.size(), 16u);
   for (const char* name :
-       {"e1_flow_ratio", "e8_throughput", "e15_robustness",
+       {"e1_flow_ratio", "e8_throughput", "e15_robustness", "e16_hotpath",
         "smoke_rejection_budget"}) {
     ASSERT_NE(registry.find(name), nullptr) << name;
   }
   EXPECT_TRUE(registry.find("smoke_rejection_budget")->has_tag("smoke"));
+}
+
+TEST(ScenarioRegistry, SlowPerfTierStaysOutOfQuickSelections) {
+  // The large-n perf scenarios are tagged "slow" and must not ride into the
+  // smoke batches that CI and the default test tier run.
+  auto& registry = ScenarioRegistry::global();
+  const Scenario* hotpath = registry.find("e16_hotpath");
+  ASSERT_NE(hotpath, nullptr);
+  EXPECT_TRUE(hotpath->has_tag("slow"));
+  EXPECT_TRUE(hotpath->has_tag("perf"));
+  for (const Scenario* selected : registry.matching("smoke")) {
+    EXPECT_FALSE(selected->has_tag("slow")) << selected->name;
+  }
+  for (const Scenario* selected : registry.matching("-slow")) {
+    EXPECT_FALSE(selected->has_tag("slow")) << selected->name;
+  }
+}
+
+TEST(ScenarioRegistry, FilterExclusionTokens) {
+  ScenarioRegistry registry;
+  Scenario slow = synthetic_scenario("big_sweep", 1, 1);
+  slow.tags = {"perf", "slow"};
+  ASSERT_TRUE(registry.add(std::move(slow)));
+  Scenario quick = synthetic_scenario("quick_check", 1, 1);
+  quick.tags = {"perf"};
+  ASSERT_TRUE(registry.add(std::move(quick)));
+
+  // Pure exclusion starts from everything.
+  ASSERT_EQ(registry.matching("-slow").size(), 1u);
+  EXPECT_EQ(registry.matching("-slow")[0]->name, "quick_check");
+  // Positive + exclusion composes.
+  ASSERT_EQ(registry.matching("perf,-slow").size(), 1u);
+  EXPECT_EQ(registry.matching("perf,-slow")[0]->name, "quick_check");
+  // Exclusion also matches name substrings.
+  ASSERT_EQ(registry.matching("perf,-quick").size(), 1u);
+  EXPECT_EQ(registry.matching("perf,-quick")[0]->name, "big_sweep");
+  // Exclusion can empty the selection.
+  EXPECT_TRUE(registry.matching("perf,-perf").empty());
 }
 
 // ---------------------------------------------------------------- Runner

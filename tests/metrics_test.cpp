@@ -117,7 +117,10 @@ TEST(FlowDualAccounting, ResidenceAndBeta) {
 TEST(FlowDualAccounting, Rule1ExtendsEveryoneInU) {
   FlowDualAccounting dual(3, 0.5);
   // Rule 1 rejects job 0 with remaining 7; jobs 1, 2 pending.
-  dual.on_rule1_rejection(0, {1, 2}, 7.0);
+  dual.on_rule1_rejection(0, 7.0, [](auto&& extend) {
+    extend(1);
+    extend(2);
+  });
   dual.finalize(0, 0.0, 3.0);   // C~ = 10
   dual.finalize(1, 1.0, 5.0);   // C~ = 12
   dual.finalize(2, 2.0, 6.0);   // C~ = 13

@@ -46,6 +46,51 @@ TEST(EventQueue, CancelledEventsAreSkipped) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(EventQueue, GenerationReuseNoStaleFire) {
+  // Cancel, then re-schedule: the new event reuses the cancelled event's
+  // slot, and the stale heap entry (same slot, older generation) must not
+  // fire or shadow the replacement.
+  EventQueue queue;
+  const auto id1 = queue.schedule(1.0, 0, 1);
+  queue.cancel(id1);
+  const auto id2 = queue.schedule(2.0, 0, 2);  // reuses the slot
+  EXPECT_NE(id1, id2);
+  ASSERT_TRUE(queue.peek_time().has_value());
+  EXPECT_DOUBLE_EQ(*queue.peek_time(), 2.0);
+  EXPECT_EQ(queue.pop().job, 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, DeepSlotRecyclingStaysLive) {
+  // Many cancel/re-schedule rounds through the same slot: every generation
+  // must stay distinguishable from its predecessors.
+  EventQueue queue;
+  std::uint64_t handle = queue.schedule(1.0, 0, 0);
+  for (int round = 1; round <= 100; ++round) {
+    queue.cancel(handle);
+    handle = queue.schedule(1.0 + round, 0, round);
+  }
+  const SimEvent fired = queue.pop();
+  EXPECT_EQ(fired.job, 100);
+  EXPECT_DOUBLE_EQ(fired.time, 101.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, InterleavedCancelKeepsScheduleOrder) {
+  EventQueue queue;
+  const auto a = queue.schedule(5.0, 0, 1);
+  queue.schedule(5.0, 0, 2);
+  const auto c = queue.schedule(5.0, 0, 3);
+  queue.schedule(5.0, 0, 4);  // reuse era: no cancels yet
+  queue.cancel(a);
+  queue.cancel(c);
+  queue.schedule(5.0, 0, 5);  // reuses a slot; still fires last (newest seq)
+  EXPECT_EQ(queue.pop().job, 2);
+  EXPECT_EQ(queue.pop().job, 4);
+  EXPECT_EQ(queue.pop().job, 5);
+  EXPECT_TRUE(queue.empty());
+}
+
 TEST(EventQueue, PeekTimeSkipsCancelled) {
   EventQueue queue;
   const auto id1 = queue.schedule(1.0, 0, 1);

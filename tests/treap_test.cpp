@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 #include <vector>
 
@@ -149,6 +150,122 @@ TEST(TreapProperty, AgreesWithReferenceModel) {
       ASSERT_EQ(treap.max()->id, model.rbegin()->id);
     }
   }
+}
+
+TEST(Treap, KthMatchesInOrderPosition) {
+  Rng rng(777);
+  Treap treap;
+  std::vector<Key> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back({static_cast<double>(rng.uniform_int(0, 100)), i});
+  }
+  rng.shuffle(keys);
+  for (const Key& k : keys) treap.insert(k);
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(treap.kth(i).id, keys[i].id) << "position " << i;
+  }
+}
+
+// Differential test against a std::multiset + prefix-sum reference model:
+// every query (stats_less, kth, min, max, total_weight) is checked against
+// the ordered reference under a random insert/erase/pop workload.
+TEST(TreapProperty, DifferentialAgainstMultisetReference) {
+  Rng rng(424242);
+  Treap treap;
+  std::multiset<Key> model;  // keys are unique; multiset exercises the
+                             // reference's ordering semantics anyway
+  double weight_sum = 0.0;
+
+  for (int step = 0; step < 30000; ++step) {
+    const double op = rng.next_double();
+    if (op < 0.45 || model.empty()) {
+      Key k{static_cast<double>(rng.uniform_int(0, 400)), step};
+      treap.insert(k);
+      model.insert(k);
+      weight_sum += k.p;
+    } else if (op < 0.6) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.index(model.size())));
+      weight_sum -= it->p;
+      ASSERT_TRUE(treap.erase(*it));
+      model.erase(it);
+    } else if (op < 0.7) {
+      const Key popped = treap.pop_min();
+      ASSERT_EQ(popped.id, model.begin()->id);
+      weight_sum -= model.begin()->p;
+      model.erase(model.begin());
+    } else if (op < 0.85) {
+      Key probe{static_cast<double>(rng.uniform_int(0, 400)),
+                static_cast<int>(rng.uniform_int(0, 30000))};
+      const auto stats = treap.stats_less(probe);
+      std::size_t count = 0;
+      double weight = 0.0;
+      for (const Key& k : model) {
+        if (!(k < probe)) break;  // model iterates in order
+        ++count;
+        weight += k.p;
+      }
+      ASSERT_EQ(stats.count, count);
+      ASSERT_NEAR(stats.weight, weight, 1e-9);
+    } else {
+      const std::size_t target = rng.index(model.size());
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(target));
+      ASSERT_EQ(treap.kth(target).id, it->id);
+    }
+
+    ASSERT_EQ(treap.size(), model.size());
+    ASSERT_NEAR(treap.total_weight(), weight_sum, 1e-6);
+    if (!model.empty()) {
+      ASSERT_EQ(treap.min()->id, model.begin()->id);
+      ASSERT_EQ(treap.max()->id, model.rbegin()->id);
+    }
+  }
+}
+
+// Heavy churn must recycle arena slots through the free list instead of
+// growing the node vector: the arena never exceeds the peak live size.
+TEST(TreapProperty, FreeListReusesSlotsUnderChurn) {
+  Rng rng(555);
+  Treap treap;
+  constexpr std::size_t kPeak = 1000;
+  std::vector<Key> live;
+  int next_id = 0;
+
+  for (std::size_t i = 0; i < kPeak; ++i) {
+    Key k{rng.uniform(0.0, 100.0), next_id++};
+    treap.insert(k);
+    live.push_back(k);
+  }
+  EXPECT_EQ(treap.arena_slots(), kPeak);
+
+  // 20 waves: drain half, refill to the peak; the arena must not grow.
+  for (int wave = 0; wave < 20; ++wave) {
+    rng.shuffle(live);
+    for (std::size_t i = 0; i < kPeak / 2; ++i) {
+      ASSERT_TRUE(treap.erase(live.back()));
+      live.pop_back();
+    }
+    while (live.size() < kPeak) {
+      Key k{rng.uniform(0.0, 100.0), next_id++};
+      treap.insert(k);
+      live.push_back(k);
+    }
+    ASSERT_EQ(treap.size(), kPeak);
+    ASSERT_EQ(treap.arena_slots(), kPeak) << "arena grew on wave " << wave;
+  }
+
+  // Full drain + refill still reuses the same slots.
+  while (!live.empty()) {
+    ASSERT_TRUE(treap.erase(live.back()));
+    live.pop_back();
+  }
+  EXPECT_TRUE(treap.empty());
+  for (std::size_t i = 0; i < kPeak; ++i) {
+    treap.insert({rng.uniform(0.0, 100.0), next_id++});
+  }
+  EXPECT_EQ(treap.arena_slots(), kPeak);
 }
 
 TEST(TreapProperty, TotalWeightTracksSum) {
