@@ -17,7 +17,8 @@ Scenarios/cases/metrics present on only one side are reported as warnings
 (the suite grows over time); --fail-on-missing promotes them to errors.
 
 Exit codes: 0 OK, 1 perf regression beyond tolerance, 2 determinism
-mismatch or structural/schema error.
+mismatch or structural/schema error (including an unreadable or off-schema
+report — never conflated with the advisory exit 1).
 
 Usage:
   compare_bench.py baseline.json current.json [--tolerance 0.30]
@@ -47,14 +48,19 @@ def higher_is_better(name: str) -> bool:
 
 
 def load_report(path: str) -> dict:
+    # Structural failures exit 2 (the gating code), NOT 1: CI treats exit 1
+    # as advisory tolerance drift, and a missing/renamed/off-schema baseline
+    # must never pass as a perf warning.
     try:
         with open(path) as handle:
             report = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
-        sys.exit(f"compare_bench: cannot load {path}: {error}")
+        print(f"compare_bench: cannot load {path}: {error}", file=sys.stderr)
+        sys.exit(2)
     if report.get("schema") != EXPECTED_SCHEMA:
-        sys.exit(f"compare_bench: {path}: schema {report.get('schema')!r}, "
-                 f"want {EXPECTED_SCHEMA!r}")
+        print(f"compare_bench: {path}: schema {report.get('schema')!r}, "
+              f"want {EXPECTED_SCHEMA!r}", file=sys.stderr)
+        sys.exit(2)
     return report
 
 

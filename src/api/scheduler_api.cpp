@@ -1,5 +1,7 @@
 #include "api/scheduler_api.hpp"
 
+#include <cctype>
+
 #include "baselines/immediate_rejection.hpp"
 #include "baselines/list_scheduler.hpp"
 #include "core/energy_flow/energy_flow.hpp"
@@ -11,14 +13,34 @@
 
 namespace osched::api {
 
+namespace {
+
+/// Every algorithm, in the order algorithm_names() prints them. The parser
+/// and the name list are driven by this one table, so they cannot drift.
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kTheorem1,   Algorithm::kTheorem2, Algorithm::kTheorem3,
+    Algorithm::kWeightedExt, Algorithm::kGreedySpt, Algorithm::kFifo,
+    Algorithm::kImmediateReject,
+};
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
 std::optional<Algorithm> parse_algorithm(const std::string& name) {
-  if (name == "theorem1") return Algorithm::kTheorem1;
-  if (name == "theorem2") return Algorithm::kTheorem2;
-  if (name == "theorem3") return Algorithm::kTheorem3;
-  if (name == "weighted-ext") return Algorithm::kWeightedExt;
-  if (name == "greedy-spt") return Algorithm::kGreedySpt;
-  if (name == "fifo") return Algorithm::kFifo;
-  if (name == "immediate-reject") return Algorithm::kImmediateReject;
+  // Case-insensitive match against exactly the names to_string emits (and
+  // algorithm_names() prints): "Theorem1" and "GREEDY-SPT" parse, but
+  // aliases or abbreviations do not.
+  const std::string folded = to_lower(name);
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    if (folded == to_string(algorithm)) return algorithm;
+  }
   return std::nullopt;
 }
 
@@ -36,8 +58,12 @@ const char* to_string(Algorithm algorithm) {
 }
 
 std::vector<std::string> algorithm_names() {
-  return {"theorem1", "theorem2",   "theorem3",        "weighted-ext",
-          "greedy-spt", "fifo",     "immediate-reject"};
+  std::vector<std::string> names;
+  names.reserve(std::size(kAllAlgorithms));
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    names.emplace_back(to_string(algorithm));
+  }
+  return names;
 }
 
 RunSummary run(Algorithm algorithm, const Instance& instance,

@@ -12,6 +12,12 @@
 // The facade is intentionally a thin, allocation-light veneer: everything it
 // does is available directly from the per-algorithm headers for callers that
 // need the full result types.
+//
+// run() is the batch entry point: the whole Instance up front, one call to
+// quiescence. The same policies are available as incremental streaming
+// sessions — submit(job)/advance(t)/drain() over chunks, bit-identical
+// decisions — via service::SchedulerSession (service/scheduler_session.hpp),
+// whose drain() returns this header's RunSummary.
 #pragma once
 
 #include <optional>

@@ -1,130 +1,25 @@
 #include "baselines/immediate_rejection.hpp"
 
-#include <limits>
-#include <set>
-
+#include "baselines/immediate_rejection_policy.hpp"
 #include "sim/engine.hpp"
 
 namespace osched {
-
-namespace {
-
-struct SptKey {
-  Work p;
-  Time r;
-  JobId id;
-  bool operator<(const SptKey& other) const {
-    if (p != other.p) return p < other.p;
-    if (r != other.r) return r < other.r;
-    return id < other.id;
-  }
-};
-
-struct MachineState {
-  std::set<SptKey> pending;
-  Work pending_work = 0.0;
-  JobId running = kInvalidJob;
-  Time running_end = 0.0;
-};
-
-class ImmediateSimulation final : public SimulationHooks {
- public:
-  ImmediateSimulation(const Instance& instance,
-                      const ImmediateRejectionOptions& options)
-      : instance_(instance),
-        options_(options),
-        engine_(instance),
-        schedule_(instance.num_jobs()),
-        machines_(instance.num_machines()) {
-    OSCHED_CHECK_GT(options.eps, 0.0);
-    OSCHED_CHECK_LT(options.eps, 1.0);
-    OSCHED_CHECK_GE(options.patience, 0.0);
-  }
-
-  ImmediateRejectionResult run() {
-    engine_.run(*this);
-    ImmediateRejectionResult result;
-    result.schedule = std::move(schedule_);
-    result.rejections = rejections_;
-    return result;
-  }
-
-  void on_arrival(JobId j, Time now) override {
-    ++arrived_;
-    // Best machine by estimated wait (remaining + queued work ahead in SPT).
-    MachineId best = kInvalidMachine;
-    double best_wait = std::numeric_limits<double>::infinity();
-    for (const MachineId machine : instance_.eligible_machines(j)) {
-      const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
-      const Work p = instance_.processing_unchecked(machine, j);
-      double wait =
-          ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
-      for (const SptKey& key : ms.pending) {
-        if (key.p <= p) wait += key.p;
-      }
-      if (wait < best_wait) {
-        best_wait = wait;
-        best = machine;
-      }
-    }
-    OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
-
-    // The IMMEDIATE decision: this is the only moment the policy may reject.
-    const Work p_best = instance_.processing(best, j);
-    const bool budget_available =
-        static_cast<double>(rejections_ + 1) <=
-        options_.eps * static_cast<double>(arrived_);
-    if (budget_available && best_wait > options_.patience * p_best) {
-      schedule_.mark_rejected_pending(j, now);
-      ++rejections_;
-      return;
-    }
-
-    MachineState& ms = machines_[static_cast<std::size_t>(best)];
-    schedule_.mark_dispatched(j, best);
-    ms.pending.insert(SptKey{p_best, instance_.job(j).release, j});
-    ms.pending_work += p_best;
-    if (ms.running == kInvalidJob) start_next(best, now);
-  }
-
-  void on_event(const SimEvent& event, Time now) override {
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
-    schedule_.mark_completed(event.job, now);
-    ms.running = kInvalidJob;
-    start_next(event.machine, now);
-  }
-
- private:
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    if (ms.pending.empty()) return;
-    const SptKey key = *ms.pending.begin();
-    ms.pending.erase(ms.pending.begin());
-    ms.pending_work -= key.p;
-    ms.running = key.id;
-    ms.running_end = now + key.p;
-    schedule_.mark_started(key.id, now, 1.0);
-    engine_.events().schedule(ms.running_end, i, key.id);
-  }
-
-  const Instance& instance_;
-  ImmediateRejectionOptions options_;
-  SimEngine engine_;
-  Schedule schedule_;
-  std::vector<MachineState> machines_;
-  std::size_t arrived_ = 0;
-  std::size_t rejections_ = 0;
-};
-
-}  // namespace
 
 ImmediateRejectionResult run_immediate_rejection(
     const Instance& instance, const ImmediateRejectionOptions& options) {
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
-  ImmediateSimulation simulation(instance, options);
-  return simulation.run();
+
+  SimEngine engine(instance);
+  Schedule schedule(instance.num_jobs());
+  ImmediateRejectionPolicy<Instance, Schedule> policy(instance, schedule,
+                                                      engine.events(), options);
+  engine.run(policy);
+
+  ImmediateRejectionResult result;
+  result.schedule = std::move(schedule);
+  result.rejections = policy.rejections();
+  return result;
 }
 
 }  // namespace osched

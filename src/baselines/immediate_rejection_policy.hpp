@@ -1,0 +1,127 @@
+// Immediate-rejection policy as a resumable, store-generic state machine
+// (see immediate_rejection.hpp for the Lemma 1 context and the batch entry
+// point, and rejection_flow_policy.hpp for the Store/Rec contract).
+#pragma once
+
+#include <limits>
+#include <set>
+
+#include "baselines/immediate_rejection.hpp"
+#include "sim/engine.hpp"
+
+namespace osched {
+
+namespace immediate_rejection_detail {
+
+struct SptKey {
+  Work p;
+  Time r;
+  JobId id;
+  bool operator<(const SptKey& other) const {
+    if (p != other.p) return p < other.p;
+    if (r != other.r) return r < other.r;
+    return id < other.id;
+  }
+};
+
+struct MachineState {
+  std::set<SptKey> pending;
+  Work pending_work = 0.0;
+  JobId running = kInvalidJob;
+  Time running_end = 0.0;
+};
+
+}  // namespace immediate_rejection_detail
+
+template <class Store, class Rec>
+class ImmediateRejectionPolicy final : public SimulationHooks {
+  using SptKey = immediate_rejection_detail::SptKey;
+  using MachineState = immediate_rejection_detail::MachineState;
+
+ public:
+  ImmediateRejectionPolicy(const Store& store, Rec& rec, EventQueue& events,
+                           const ImmediateRejectionOptions& options)
+      : store_(store),
+        rec_(rec),
+        events_(events),
+        options_(options),
+        machines_(store.num_machines()) {
+    OSCHED_CHECK_GT(options.eps, 0.0);
+    OSCHED_CHECK_LT(options.eps, 1.0);
+    OSCHED_CHECK_GE(options.patience, 0.0);
+  }
+
+  void on_arrival(JobId j, Time now) override {
+    ++arrived_;
+    // Best machine by estimated wait (remaining + queued work ahead in SPT).
+    MachineId best = kInvalidMachine;
+    double best_wait = std::numeric_limits<double>::infinity();
+    for (const MachineId machine : store_.eligible_machines(j)) {
+      const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
+      const Work p = store_.processing_unchecked(machine, j);
+      double wait =
+          ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
+      for (const SptKey& key : ms.pending) {
+        if (key.p <= p) wait += key.p;
+      }
+      if (wait < best_wait) {
+        best_wait = wait;
+        best = machine;
+      }
+    }
+    OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
+
+    // The IMMEDIATE decision: this is the only moment the policy may reject.
+    const Work p_best = store_.processing(best, j);
+    const bool budget_available =
+        static_cast<double>(rejections_ + 1) <=
+        options_.eps * static_cast<double>(arrived_);
+    if (budget_available && best_wait > options_.patience * p_best) {
+      rec_.mark_rejected_pending(j, now);
+      ++rejections_;
+      return;
+    }
+
+    MachineState& ms = machines_[static_cast<std::size_t>(best)];
+    rec_.mark_dispatched(j, best);
+    ms.pending.insert(SptKey{p_best, store_.job(j).release, j});
+    ms.pending_work += p_best;
+    if (ms.running == kInvalidJob) start_next(best, now);
+  }
+
+  void on_event(const SimEvent& event, Time now) override {
+    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
+    OSCHED_CHECK_EQ(ms.running, event.job);
+    rec_.mark_completed(event.job, now);
+    ms.running = kInvalidJob;
+    start_next(event.machine, now);
+  }
+
+  /// The policy keeps no per-job state of its own — nothing to release.
+  void retire_below(JobId /*frontier*/) {}
+
+  std::size_t rejections() const { return rejections_; }
+
+ private:
+  void start_next(MachineId i, Time now) {
+    MachineState& ms = machines_[static_cast<std::size_t>(i)];
+    if (ms.pending.empty()) return;
+    const SptKey key = *ms.pending.begin();
+    ms.pending.erase(ms.pending.begin());
+    ms.pending_work -= key.p;
+    ms.running = key.id;
+    ms.running_end = now + key.p;
+    rec_.mark_started(key.id, now, 1.0);
+    events_.schedule(ms.running_end, i, key.id);
+  }
+
+  const Store& store_;
+  Rec& rec_;
+  EventQueue& events_;
+  ImmediateRejectionOptions options_;
+  std::vector<MachineState> machines_;
+  std::size_t arrived_ = 0;
+  std::size_t rejections_ = 0;
+};
+
+}  // namespace osched

@@ -1,8 +1,6 @@
 #include "baselines/list_scheduler.hpp"
 
-#include <limits>
-#include <set>
-
+#include "baselines/list_scheduler_policy.hpp"
 #include "sim/engine.hpp"
 
 namespace osched {
@@ -24,139 +22,17 @@ const char* to_string(QueueDiscipline discipline) {
   return "?";
 }
 
-namespace {
-
-struct QueueKey {
-  double primary;  ///< p_ij for SPT, release for FIFO
-  Time r;
-  JobId id;
-  Work p;
-
-  bool operator<(const QueueKey& other) const {
-    if (primary != other.primary) return primary < other.primary;
-    if (r != other.r) return r < other.r;
-    return id < other.id;
-  }
-};
-
-struct MachineState {
-  std::set<QueueKey> pending;
-  Work pending_work = 0.0;
-  JobId running = kInvalidJob;
-  Time running_end = 0.0;
-};
-
-class ListSimulation final : public SimulationHooks {
- public:
-  ListSimulation(const Instance& instance, const ListSchedulerOptions& options)
-      : instance_(instance),
-        options_(options),
-        engine_(instance),
-        schedule_(instance.num_jobs()),
-        machines_(instance.num_machines()) {}
-
-  Schedule run() {
-    engine_.run(*this);
-    return std::move(schedule_);
-  }
-
-  void on_arrival(JobId j, Time now) override {
-    const MachineId machine = pick_machine(j, now);
-    MachineState& ms = machines_[static_cast<std::size_t>(machine)];
-    schedule_.mark_dispatched(j, machine);
-    ms.pending.insert(make_key(machine, j));
-    ms.pending_work += instance_.processing(machine, j);
-    if (ms.running == kInvalidJob) start_next(machine, now);
-  }
-
-  void on_event(const SimEvent& event, Time now) override {
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
-    schedule_.mark_completed(event.job, now);
-    ms.running = kInvalidJob;
-    start_next(event.machine, now);
-  }
-
- private:
-  QueueKey make_key(MachineId i, JobId j) const {
-    const Work p = instance_.processing(i, j);
-    const Time r = instance_.job(j).release;
-    const double primary = options_.discipline == QueueDiscipline::kSpt
-                               ? p
-                               : static_cast<double>(r);
-    return QueueKey{primary, r, j, p};
-  }
-
-  MachineId pick_machine(JobId j, Time now) {
-    MachineId best = kInvalidMachine;
-    double best_score = std::numeric_limits<double>::infinity();
-    if (options_.dispatch == DispatchRule::kRoundRobin) {
-      const std::size_t m = machines_.size();
-      for (std::size_t step = 0; step < m; ++step) {
-        const auto candidate = static_cast<MachineId>((round_robin_ + step) % m);
-        if (instance_.eligible(candidate, j)) {
-          round_robin_ = (static_cast<std::size_t>(candidate) + 1) % m;
-          return candidate;
-        }
-      }
-      OSCHED_CHECK(false) << "job " << j << " has no eligible machine";
-    }
-    for (const MachineId machine : instance_.eligible_machines(j)) {
-      const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
-      const Work p = instance_.processing_unchecked(machine, j);
-      const double remaining =
-          ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
-      double score = 0.0;
-      if (options_.dispatch == DispatchRule::kMinBacklog) {
-        score = remaining + ms.pending_work;
-      } else {  // kMinCompletion: work served before j under the discipline
-        double ahead = 0.0;
-        if (options_.discipline == QueueDiscipline::kSpt) {
-          for (const QueueKey& key : ms.pending) {
-            if (key.p <= p) ahead += key.p;  // equal sizes precede the arrival
-          }
-        } else {
-          ahead = ms.pending_work;  // FIFO: everything queued is ahead
-        }
-        score = remaining + ahead + p;
-      }
-      if (score < best_score) {
-        best_score = score;
-        best = machine;
-      }
-    }
-    OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
-    return best;
-  }
-
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    if (ms.pending.empty()) return;
-    const QueueKey key = *ms.pending.begin();
-    ms.pending.erase(ms.pending.begin());
-    ms.pending_work -= key.p;
-    ms.running = key.id;
-    ms.running_end = now + key.p;
-    schedule_.mark_started(key.id, now, 1.0);
-    engine_.events().schedule(ms.running_end, i, key.id);
-  }
-
-  const Instance& instance_;
-  ListSchedulerOptions options_;
-  SimEngine engine_;
-  Schedule schedule_;
-  std::vector<MachineState> machines_;
-  std::size_t round_robin_ = 0;
-};
-
-}  // namespace
-
 Schedule run_list_scheduler(const Instance& instance,
                             const ListSchedulerOptions& options) {
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
-  ListSimulation simulation(instance, options);
-  return simulation.run();
+
+  SimEngine engine(instance);
+  Schedule schedule(instance.num_jobs());
+  ListSchedulerPolicy<Instance, Schedule> policy(instance, schedule,
+                                                 engine.events(), options);
+  engine.run(policy);
+  return schedule;
 }
 
 }  // namespace osched

@@ -1,12 +1,9 @@
 #include "core/energy_flow/energy_flow.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
-#include <set>
 
+#include "core/energy_flow/energy_flow_policy.hpp"
 #include "sim/engine.hpp"
-#include "util/rng.hpp"
 
 namespace osched {
 
@@ -31,251 +28,21 @@ double isolated_job_constant(double alpha) {
   return std::pow(a1, 1.0 / alpha) + std::pow(a1, (1.0 - alpha) / alpha);
 }
 
-namespace {
-
-/// Pending order: non-increasing density, ties earliest release then id.
-struct DensityKey {
-  double density = 0.0;
-  Time r = 0.0;
-  JobId id = kInvalidJob;
-  Weight weight = 0.0;
-  Work volume = 0.0;
-
-  bool operator<(const DensityKey& other) const {
-    if (density != other.density) return density > other.density;
-    if (r != other.r) return r < other.r;
-    return id < other.id;
-  }
-};
-
-struct MachineState {
-  std::set<DensityKey> pending;
-  Weight pending_weight = 0.0;
-
-  JobId running = kInvalidJob;
-  Speed running_speed = 0.0;
-  Time running_start = 0.0;
-  Time running_end = 0.0;
-  Work running_volume = 0.0;
-  double v_counter = 0.0;  ///< weight dispatched during the current execution
-  std::uint64_t completion_event = 0;
-};
-
-class EnergyFlowSimulation final : public SimulationHooks {
- public:
-  EnergyFlowSimulation(const Instance& instance, const EnergyFlowOptions& options)
-      : instance_(instance),
-        options_(options),
-        gamma_(options.gamma > 0.0 ? options.gamma
-                                   : theorem2_gamma(options.epsilon, options.alpha)),
-        engine_(instance),
-        schedule_(instance.num_jobs()),
-        extra_(instance.num_jobs(), 0.0),
-        lambda_(instance.num_jobs(), 0.0),
-        machines_(instance.num_machines()) {
-    OSCHED_CHECK_GT(options.epsilon, 0.0);
-    OSCHED_CHECK_LT(options.epsilon, 1.0);
-    OSCHED_CHECK_GT(options.alpha, 1.0);
-    OSCHED_CHECK_GT(gamma_, 0.0);
-  }
-
-  EnergyFlowResult run() {
-    engine_.run(*this);
-    return finalize();
-  }
-
-  void on_arrival(JobId j, Time now) override {
-    const Job& job = instance_.job(j);
-
-    double best_lambda = std::numeric_limits<double>::infinity();
-    MachineId best_machine = kInvalidMachine;
-    for (const MachineId machine : instance_.eligible_machines(j)) {
-      const double lambda = lambda_ij(machine, j);
-      if (lambda < best_lambda) {
-        best_lambda = lambda;
-        best_machine = machine;
-      }
-    }
-    OSCHED_CHECK(best_machine != kInvalidMachine)
-        << "job " << j << " has no eligible machine";
-    const double lambda_j =
-        options_.epsilon / (1.0 + options_.epsilon) * best_lambda;
-    sum_lambda_ += lambda_j;
-    lambda_[static_cast<std::size_t>(j)] = lambda_j;
-
-    MachineState& ms = machines_[static_cast<std::size_t>(best_machine)];
-    schedule_.mark_dispatched(j, best_machine);
-    ms.pending.insert(make_key(best_machine, j));
-    ms.pending_weight += job.weight;
-
-    if (options_.enable_rejection && ms.running != kInvalidJob) {
-      ms.v_counter += job.weight;
-      const Weight w_k = instance_.job(ms.running).weight;
-      if (ms.v_counter > w_k / options_.epsilon) {
-        reject_running(best_machine, now);
-      }
-    }
-
-    if (ms.running == kInvalidJob) start_next(best_machine, now);
-  }
-
-  void on_event(const SimEvent& event, Time now) override {
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
-    schedule_.mark_completed(event.job, now);
-    ms.running = kInvalidJob;
-    start_next(event.machine, now);
-  }
-
- private:
-  DensityKey make_key(MachineId i, JobId j) const {
-    const Job& job = instance_.job(j);
-    const Work p = instance_.processing_unchecked(i, j);
-    return DensityKey{job.weight / p, job.release, j, job.weight, p};
-  }
-
-  /// lambda_ij with j virtually inserted into machine i's pending order.
-  double lambda_ij(MachineId i, JobId j) const {
-    const MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const Job& job = instance_.job(j);
-    const Work p = instance_.processing_unchecked(i, j);
-    const double density = job.weight / p;
-
-    double prefix_weight = 0.0;
-    double sum_before = 0.0;  // sum_{l < j} p_il / (gamma W_l^{1/alpha})
-    Weight weight_after = 0.0;
-    for (const DensityKey& key : ms.pending) {
-      // Pending jobs were released earlier (or tie with smaller id), so
-      // equal densities order before the new arrival.
-      if (key.density >= density) {
-        prefix_weight += key.weight;
-        sum_before +=
-            key.volume / (gamma_ * std::pow(prefix_weight, 1.0 / options_.alpha));
-      } else {
-        weight_after += key.weight;
-      }
-    }
-    const double w_j_prefix = prefix_weight + job.weight;
-    const double denom_j = gamma_ * std::pow(w_j_prefix, 1.0 / options_.alpha);
-    sum_before += p / denom_j;  // the l = j term
-
-    return job.weight * (p / options_.epsilon + sum_before) +
-           weight_after * p / denom_j;
-  }
-
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    OSCHED_CHECK_EQ(ms.running, kInvalidJob);
-    if (ms.pending.empty()) return;
-    const DensityKey key = *ms.pending.begin();
-    ms.pending.erase(ms.pending.begin());
-
-    // Speed from the total pending weight INCLUDING the started job.
-    const Speed speed =
-        gamma_ * std::pow(ms.pending_weight, 1.0 / options_.alpha);
-    OSCHED_CHECK_GT(speed, 0.0);
-    ms.pending_weight -= key.weight;
-
-    ms.running = key.id;
-    ms.running_speed = speed;
-    ms.running_start = now;
-    ms.running_volume = key.volume;
-    ms.running_end = now + key.volume / speed;
-    ms.v_counter = 0.0;
-    schedule_.mark_started(key.id, now, speed);
-    ms.completion_event = engine_.events().schedule(ms.running_end, i, key.id);
-  }
-
-  void reject_running(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const JobId k = ms.running;
-    const Time remaining_time = std::max(0.0, ms.running_end - now);
-
-    engine_.events().cancel(ms.completion_event);
-    schedule_.mark_rejected_running(k, now);
-
-    // Definitive-finish extension: every job of U_i(now) (pending + k)
-    // lingers an extra q_ik(now)/s_k = remaining_time in the V/Q set.
-    extra_[static_cast<std::size_t>(k)] += remaining_time;
-    for (const DensityKey& key : ms.pending) {
-      extra_[static_cast<std::size_t>(key.id)] += remaining_time;
-    }
-
-    ms.running = kInvalidJob;
-    ++rejections_;
-  }
-
-  EnergyFlowResult finalize() {
-    EnergyFlowResult result;
-    result.rejections = rejections_;
-    result.gamma = gamma_;
-    result.sum_lambda = sum_lambda_;
-    result.definitive_finish.resize(instance_.num_jobs(), 0.0);
-
-    // Integral of the total fractional weight V(t) = sum_i V_i(t):
-    // each job contributes w over [r, S) (waiting at full remaining volume),
-    // the linear-decay integral over [S, C), and its frozen residue
-    // w*q_end/p over the definitive-finish extension [C, C~).
-    double v_integral = 0.0;
-    double iso_lb = 0.0;
-    const double c1 = isolated_job_constant(options_.alpha);
-    for (std::size_t idx = 0; idx < instance_.num_jobs(); ++idx) {
-      const auto j = static_cast<JobId>(idx);
-      const Job& job = instance_.job(j);
-      const JobRecord& rec = schedule_.record(j);
-      OSCHED_CHECK(rec.started) << "job " << j << " never started";
-      const Work p = instance_.processing(rec.machine, j);
-      const Work q_end = rec.completed()
-                             ? 0.0
-                             : std::max(0.0, p - rec.speed * (rec.end - rec.start));
-      v_integral += job.weight * (rec.start - job.release);
-      v_integral += job.weight * (p + q_end) / (2.0 * p) * (rec.end - rec.start);
-      v_integral += job.weight * q_end / p * extra_[idx];
-      result.definitive_finish[idx] = rec.end + extra_[idx];
-
-      iso_lb += c1 * std::pow(job.weight, (options_.alpha - 1.0) / options_.alpha) *
-                instance_.min_processing(j);
-    }
-    result.v_integral = v_integral;
-
-    const double alpha = options_.alpha;
-    const double u_pow_alpha_coeff = std::pow(
-        options_.epsilon / (gamma_ * (1.0 + options_.epsilon) * (alpha - 1.0)),
-        alpha / (alpha - 1.0));
-    result.dual_objective =
-        sum_lambda_ - (alpha - 1.0) * u_pow_alpha_coeff * v_integral;
-
-    const double primal_to_opt_factor =
-        2.0 + alpha / (gamma_ * (alpha - 1.0) * c1);
-    result.opt_lower_bound =
-        std::max(0.0, result.dual_objective) / primal_to_opt_factor;
-    result.iso_lower_bound = iso_lb;
-
-    result.lambda = std::move(lambda_);
-    result.schedule = std::move(schedule_);
-    return result;
-  }
-
-  const Instance& instance_;
-  EnergyFlowOptions options_;
-  double gamma_;
-  SimEngine engine_;
-  Schedule schedule_;
-  std::vector<double> extra_;
-  std::vector<double> lambda_;
-  std::vector<MachineState> machines_;
-  double sum_lambda_ = 0.0;
-  std::size_t rejections_ = 0;
-};
-
-}  // namespace
-
 EnergyFlowResult run_energy_flow(const Instance& instance,
                                  const EnergyFlowOptions& options) {
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
-  EnergyFlowSimulation simulation(instance, options);
-  return simulation.run();
+
+  SimEngine engine(instance);
+  Schedule schedule(instance.num_jobs());
+  EnergyFlowPolicy<Instance, Schedule> policy(instance, schedule,
+                                              engine.events(), options);
+  engine.run(policy);
+
+  EnergyFlowResult result;
+  policy.finalize_into(result);
+  result.schedule = std::move(schedule);
+  return result;
 }
 
 double reference_energy_lambda_ij(

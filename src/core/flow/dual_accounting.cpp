@@ -5,12 +5,10 @@
 namespace osched {
 
 FlowDualAccounting::FlowDualAccounting(std::size_t num_jobs, double epsilon)
-    : epsilon_(epsilon),
-      extra_(num_jobs, 0.0),
-      c_tilde_(num_jobs, 0.0),
-      finalized_(num_jobs, false) {
+    : epsilon_(epsilon) {
   OSCHED_CHECK_GT(epsilon, 0.0);
   OSCHED_CHECK_LT(epsilon, 1.0);
+  jobs_.extend_to(num_jobs);
 }
 
 void FlowDualAccounting::set_lambda(JobId /*j*/, double min_lambda_ij) {
@@ -21,20 +19,20 @@ void FlowDualAccounting::set_lambda(JobId /*j*/, double min_lambda_ij) {
 void FlowDualAccounting::on_rule2_rejection(JobId j, Time remaining_of_running,
                                             Work pending_sum_except_trigger_and_j,
                                             Work p_ij) {
-  OSCHED_CHECK(!finalized_[static_cast<std::size_t>(j)]);
+  OSCHED_CHECK(!jobs_.at(static_cast<std::size_t>(j)).finalized);
   OSCHED_CHECK_GE(remaining_of_running, 0.0);
   OSCHED_CHECK_GE(pending_sum_except_trigger_and_j, -kTimeEps);
-  extra_[static_cast<std::size_t>(j)] +=
+  jobs_[static_cast<std::size_t>(j)].extra +=
       remaining_of_running + std::max(0.0, pending_sum_except_trigger_and_j) + p_ij;
 }
 
 void FlowDualAccounting::finalize(JobId j, Time release, Time end) {
-  const auto idx = static_cast<std::size_t>(j);
-  OSCHED_CHECK(!finalized_[idx]) << "job " << j << " finalized twice";
-  finalized_[idx] = true;
-  c_tilde_[idx] = end + extra_[idx];
-  OSCHED_CHECK_GE(c_tilde_[idx], release - kTimeEps);
-  residence_ += c_tilde_[idx] - release;
+  JobDual& entry = jobs_.at(static_cast<std::size_t>(j));
+  OSCHED_CHECK(!entry.finalized) << "job " << j << " finalized twice";
+  entry.finalized = true;
+  entry.c_tilde = end + entry.extra;
+  OSCHED_CHECK_GE(entry.c_tilde, release - kTimeEps);
+  residence_ += entry.c_tilde - release;
 }
 
 double FlowDualAccounting::beta_integral() const {
@@ -47,9 +45,9 @@ double FlowDualAccounting::opt_lower_bound() const {
 }
 
 Time FlowDualAccounting::definitive_finish(JobId j) const {
-  const auto idx = static_cast<std::size_t>(j);
-  OSCHED_CHECK(finalized_[idx]) << "job " << j << " not finalized";
-  return c_tilde_[idx];
+  const JobDual& entry = jobs_.at(static_cast<std::size_t>(j));
+  OSCHED_CHECK(entry.finalized) << "job " << j << " not finalized";
+  return entry.c_tilde;
 }
 
 }  // namespace osched

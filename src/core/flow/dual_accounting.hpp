@@ -17,18 +17,37 @@
 // which by Lemma 4 (feasibility) and weak duality satisfies D <= LP* <=
 // 2*OPT, i.e. D/2 is a certified lower bound on the optimal non-preemptive
 // total flow time. The harnesses report measured ratio = ALG / (D/2).
+//
+// Per-job state lives in a sliding window so a streaming session can retire
+// finalized jobs (retire_below) and run in memory proportional to the live
+// jobs, while the aggregates (sum lambda, residence) stay exact. Batch runs
+// never retire, so definitive_finish(j) stays queryable for every job.
 #pragma once
 
-#include <vector>
-
 #include "util/check.hpp"
+#include "util/sliding_vector.hpp"
 #include "util/types.hpp"
 
 namespace osched {
 
 class FlowDualAccounting {
  public:
+  /// `num_jobs` pre-creates the window for batch runs (streaming callers
+  /// pass 0 and register jobs as they arrive).
   FlowDualAccounting(std::size_t num_jobs, double epsilon);
+
+  /// Extends the per-job window to cover j. Must be called (directly or via
+  /// the batch constructor's pre-sizing) before any other per-job call.
+  void register_job(JobId j) {
+    jobs_.extend_to(static_cast<std::size_t>(j) + 1);
+  }
+
+  /// Releases per-job state of jobs below `frontier` — every one of them
+  /// must already be finalized. definitive_finish() becomes unavailable for
+  /// retired jobs; the aggregate queries are unaffected.
+  void retire_below(JobId frontier) {
+    jobs_.retire_below(static_cast<std::size_t>(frontier));
+  }
 
   /// Records lambda_j = eps/(1+eps) * min_i lambda_ij at j's arrival.
   void set_lambda(JobId j, double min_lambda_ij);
@@ -43,11 +62,11 @@ class FlowDualAccounting {
   template <typename ForEachPending>
   void on_rule1_rejection(JobId k, Time q, ForEachPending&& for_each_pending) {
     OSCHED_CHECK_GE(q, 0.0);
-    OSCHED_CHECK(!finalized_[static_cast<std::size_t>(k)]);
-    extra_[static_cast<std::size_t>(k)] += q;
+    OSCHED_CHECK(!jobs_.at(static_cast<std::size_t>(k)).finalized);
+    jobs_[static_cast<std::size_t>(k)].extra += q;
     for_each_pending([this, q](JobId j) {
-      OSCHED_CHECK(!finalized_[static_cast<std::size_t>(j)]);
-      extra_[static_cast<std::size_t>(j)] += q;
+      OSCHED_CHECK(!jobs_.at(static_cast<std::size_t>(j)).finalized);
+      jobs_[static_cast<std::size_t>(j)].extra += q;
     });
   }
 
@@ -76,15 +95,20 @@ class FlowDualAccounting {
   /// Certified lower bound on OPT: max(D, 0) / 2 (LP value <= 2 OPT).
   double opt_lower_bound() const;
 
+  /// Requires j finalized and not retired.
   Time definitive_finish(JobId j) const;
 
  private:
+  struct JobDual {
+    double extra = 0.0;   ///< accumulated D_j + Rule-2 extension
+    Time c_tilde = 0.0;   ///< finalized definitive finish
+    bool finalized = false;
+  };
+
   double epsilon_;
   double sum_lambda_ = 0.0;
   double residence_ = 0.0;
-  std::vector<double> extra_;       ///< accumulated D_j + Rule-2 extension
-  std::vector<Time> c_tilde_;       ///< finalized definitive finish
-  std::vector<bool> finalized_;
+  util::SlidingVector<JobDual> jobs_;
 };
 
 }  // namespace osched

@@ -1,12 +1,7 @@
 #include "core/flow/rejection_flow.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
+#include "core/flow/rejection_flow_policy.hpp"
 #include "sim/engine.hpp"
-#include "util/augmented_treap.hpp"
-#include "util/rng.hpp"
 
 namespace osched {
 
@@ -20,290 +15,36 @@ const char* to_string(Rule2Victim victim) {
   return "?";
 }
 
-namespace {
-
-/// Pending-queue key: shortest processing time first, ties by earliest
-/// release then id (the paper's order, made total).
-struct PendingKey {
-  Work p = 0.0;
-  Time r = 0.0;
-  JobId id = kInvalidJob;
-
-  bool operator<(const PendingKey& other) const {
-    if (p != other.p) return p < other.p;
-    if (r != other.r) return r < other.r;
-    return id < other.id;
-  }
-};
-
-struct KeyProcessing {
-  double operator()(const PendingKey& key) const { return key.p; }
-};
-
-using PendingQueue = util::AugmentedTreap<PendingKey, KeyProcessing>;
-
-struct MachineState {
-  explicit MachineState(std::uint64_t seed)
-      : pending(KeyProcessing{}, seed) {}
-
-  PendingQueue pending;
-  JobId running = kInvalidJob;
-  Work running_p = 0.0;  ///< effective (speed-scaled) processing time
-  Time running_end = 0.0;
-  std::uint64_t completion_event = 0;
-  std::int64_t v_counter = 0;  ///< Rule 1: dispatches during current execution
-  std::int64_t c_counter = 0;  ///< Rule 2: dispatches since last reset
-};
-
-class FlowSimulation final : public SimulationHooks {
- public:
-  FlowSimulation(const Instance& instance, const RejectionFlowOptions& options)
-      : instance_(instance),
-        options_(options),
-        speed_is_one_(options.speed == 1.0),
-        engine_(instance),
-        schedule_(instance.num_jobs()),
-        dual_(instance.num_jobs(), options.epsilon),
-        lambda_(instance.num_jobs(), 0.0),
-        victim_rng_(options.victim_seed) {
-    OSCHED_CHECK_GT(options.epsilon, 0.0);
-    OSCHED_CHECK_LT(options.epsilon, 1.0);
-    OSCHED_CHECK_GT(options.speed, 0.0);
-    // "the first time when v_j = 1/eps" / "c_i = 1 + 1/eps": counters are
-    // integers. Rule 1 rounds UP (threshold >= 1/eps keeps the rejection
-    // count within eps*n). Rule 2 rounds DOWN: Corollary 1 needs
-    // c_i <= 1/eps between resets, so the trigger is floor(1 + 1/eps) —
-    // which both stays >= 1/eps (budget) and equals the paper's 1 + 1/eps
-    // whenever 1/eps is integral. The 1e-9 slack absorbs 1/eps float error
-    // for eps = 1/k.
-    rule1_threshold_ = static_cast<std::int64_t>(std::ceil(1.0 / options.epsilon - 1e-9));
-    rule2_threshold_ =
-        static_cast<std::int64_t>(std::floor(1.0 + 1.0 / options.epsilon + 1e-9));
-    machines_.reserve(instance.num_machines());
-    for (std::size_t i = 0; i < instance.num_machines(); ++i) {
-      machines_.emplace_back(util::derive_seed(0xF10BA5E5ULL, i));
-    }
-  }
-
-  RejectionFlowResult run() {
-    engine_.run(*this);
-    RejectionFlowResult result;
-    result.schedule = std::move(schedule_);
-    result.rule1_rejections = rule1_rejections_;
-    result.rule2_rejections = rule2_rejections_;
-    result.sum_lambda = dual_.sum_lambda();
-    result.beta_integral = dual_.beta_integral();
-    result.dual_objective = dual_.dual_objective();
-    result.opt_lower_bound = dual_.opt_lower_bound();
-    result.definitive_finish.reserve(instance_.num_jobs());
-    for (std::size_t j = 0; j < instance_.num_jobs(); ++j) {
-      result.definitive_finish.push_back(
-          dual_.definitive_finish(static_cast<JobId>(j)));
-    }
-    result.lambda = std::move(lambda_);
-    return result;
-  }
-
-  void on_arrival(JobId j, Time now) override {
-    // Dispatch to argmin_i lambda_ij over j's eligible machines; ties go to
-    // the lowest machine index, exactly as the former ascending full scan.
-    const Time release = instance_.job(j).release;
-    const EligibleMachines eligible = instance_.eligible_machines(j);
-    OSCHED_CHECK(!eligible.empty())
-        << "job " << j << " has no eligible machine";
-
-    // Seed the scan with the fastest machine: its lambda is usually near the
-    // minimum, which lets the p/eps + p lower bound prune most of the other
-    // treap descents before they start.
-    MachineId seed_machine = *eligible.begin();
-    Work seed_p = effective_processing(seed_machine, j);
-    for (const MachineId machine : eligible) {
-      const Work p = effective_processing(machine, j);
-      if (p < seed_p) {
-        seed_p = p;
-        seed_machine = machine;
-      }
-    }
-    double best_lambda = lambda_ij(seed_machine, j, seed_p, release);
-    MachineId best_machine = seed_machine;
-    for (const MachineId machine : eligible) {
-      if (machine == seed_machine) continue;
-      const Work p = effective_processing(machine, j);
-      // Exact pruning: p/eps + p is lambda_ij for an empty queue, and the
-      // pending contributions only add non-negative terms (floating-point
-      // addition of non-negatives is monotone), so it lower-bounds
-      // lambda_ij. A machine whose bound strictly exceeds the incumbent can
-      // never be the argmin.
-      if (p / options_.epsilon + p > best_lambda) continue;
-      const double lambda = lambda_ij(machine, j, p, release);
-      // Explicit tie rule: the seed may carry a higher index than an
-      // equal-lambda machine scanned here.
-      if (lambda < best_lambda ||
-          (lambda == best_lambda && machine < best_machine)) {
-        best_lambda = lambda;
-        best_machine = machine;
-      }
-    }
-    dual_.set_lambda(j, best_lambda);
-    lambda_[static_cast<std::size_t>(j)] =
-        options_.epsilon / (1.0 + options_.epsilon) * best_lambda;
-
-    MachineState& ms = machines_[static_cast<std::size_t>(best_machine)];
-    schedule_.mark_dispatched(j, best_machine);
-    ms.pending.insert(make_key(best_machine, j));
-
-    // Rule 1: the arrival was dispatched during the running job's execution.
-    if (options_.enable_rule1 && ms.running != kInvalidJob) {
-      ++ms.v_counter;
-      if (ms.v_counter >= rule1_threshold_) {
-        reject_running(best_machine, now);
-      }
-    }
-
-    // Rule 2: every dispatch to the machine counts.
-    if (options_.enable_rule2) {
-      ++ms.c_counter;
-      if (ms.c_counter >= rule2_threshold_) {
-        reject_largest_pending(best_machine, j, now);
-        ms.c_counter = 0;
-      }
-    }
-
-    if (ms.running == kInvalidJob) start_next(best_machine, now);
-  }
-
-  void on_event(const SimEvent& event, Time now) override {
-    // Only completions are scheduled.
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
-    schedule_.mark_completed(event.job, now);
-    dual_.finalize(event.job, instance_.job(event.job).release, now);
-    ms.running = kInvalidJob;
-    start_next(event.machine, now);
-  }
-
- private:
-  PendingKey make_key(MachineId i, JobId j) const {
-    return PendingKey{effective_processing(i, j), instance_.job(j).release, j};
-  }
-
-  Work effective_processing(MachineId i, JobId j) const {
-    // Indices are validated by construction: i comes from the instance's
-    // eligibility adjacency (or a machine that already holds j) and j from
-    // the arrival stream. speed == 1.0 skips the division (p/1.0 == p, so
-    // the fast path is bit-identical).
-    const Work p = instance_.processing_unchecked(i, j);
-    return speed_is_one_ ? p : p / options_.speed;
-  }
-
-  /// lambda_ij = p_ij/eps + sum_{l <= j} p_il + |{l > j}| * p_ij over the
-  /// pending order with j virtually inserted (running job excluded).
-  /// `p` must be effective_processing(i, j).
-  double lambda_ij(MachineId i, JobId j, Work p, Time release) const {
-    const MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const PendingKey key{p, release, j};
-    const auto prefix = ms.pending.stats_less(key);
-    const std::size_t after = ms.pending.size() - prefix.count;
-    return p / options_.epsilon + (prefix.weight + p) +
-           static_cast<double>(after) * p;
-  }
-
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    OSCHED_CHECK_EQ(ms.running, kInvalidJob);
-    if (ms.pending.empty()) return;
-    const PendingKey key = ms.pending.pop_min();
-    ms.running = key.id;
-    ms.running_p = key.p;
-    ms.running_end = now + key.p;
-    ms.v_counter = 0;
-    schedule_.mark_started(key.id, now, options_.speed);
-    ms.completion_event = engine_.events().schedule(ms.running_end, i, key.id);
-  }
-
-  void reject_running(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const JobId k = ms.running;
-    OSCHED_CHECK(k != kInvalidJob);
-    const Time remaining = ms.running_end - now;
-    OSCHED_CHECK_GE(remaining, -kTimeEps);
-    engine_.events().cancel(ms.completion_event);
-    schedule_.mark_rejected_running(k, now);
-
-    // Every job of U_i(now) — the pending jobs and k itself — has its
-    // definitive finish pushed back by the removed remaining time. The
-    // pending queue is walked in place; no per-rejection id vector.
-    dual_.on_rule1_rejection(k, std::max(0.0, remaining), [&](auto&& extend) {
-      ms.pending.for_each([&](const PendingKey& key) { extend(key.id); });
-    });
-    dual_.finalize(k, instance_.job(k).release, now);
-
-    ms.running = kInvalidJob;
-    ++rule1_rejections_;
-  }
-
-  PendingKey select_rule2_victim(MachineState& ms, MachineId i, JobId trigger) {
-    switch (options_.rule2_victim) {
-      case Rule2Victim::kLargest:
-        return *ms.pending.max();
-      case Rule2Victim::kSmallest:
-        return *ms.pending.min();
-      case Rule2Victim::kNewest:
-        return make_key(i, trigger);
-      case Rule2Victim::kRandom:
-        // Order-statistic select: O(log n) for the same in-order position
-        // (and the same RNG draw) the former O(n) for_each scan picked.
-        return ms.pending.kth(victim_rng_.index(ms.pending.size()));
-    }
-    OSCHED_CHECK(false) << "unreachable victim rule";
-    return PendingKey{};
-  }
-
-  void reject_largest_pending(MachineId i, JobId trigger, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    // The trigger was dispatched to this machine and has not started, so the
-    // pending queue is non-empty.
-    OSCHED_CHECK(!ms.pending.empty());
-    const PendingKey victim = select_rule2_victim(ms, i, trigger);
-
-    const Time remaining_of_running =
-        ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
-    // Pending total except the just-arrived trigger and the victim itself.
-    double sum_except = ms.pending.total_weight() - victim.p;
-    if (victim.id != trigger) {
-      sum_except -= effective_processing(i, trigger);
-    }
-    dual_.on_rule2_rejection(victim.id, remaining_of_running,
-                             std::max(0.0, sum_except), victim.p);
-    dual_.finalize(victim.id, instance_.job(victim.id).release, now);
-    schedule_.mark_rejected_pending(victim.id, now);
-    OSCHED_CHECK(ms.pending.erase(victim));
-    ++rule2_rejections_;
-  }
-
-  const Instance& instance_;
-  RejectionFlowOptions options_;
-  bool speed_is_one_ = true;
-  SimEngine engine_;
-  Schedule schedule_;
-  FlowDualAccounting dual_;
-  std::vector<double> lambda_;
-  util::Rng victim_rng_;
-  std::vector<MachineState> machines_;
-  std::int64_t rule1_threshold_ = 0;
-  std::int64_t rule2_threshold_ = 0;
-  std::size_t rule1_rejections_ = 0;
-  std::size_t rule2_rejections_ = 0;
-};
-
-}  // namespace
-
 RejectionFlowResult run_rejection_flow(const Instance& instance,
                                        const RejectionFlowOptions& options) {
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
-  FlowSimulation simulation(instance, options);
-  return simulation.run();
+
+  // Batch run = the resumable policy driven straight to quiescence. The
+  // policy is the single implementation; streaming sessions drive the same
+  // class one submit/advance at a time (see service/scheduler_session.hpp).
+  SimEngine engine(instance);
+  Schedule schedule(instance.num_jobs());
+  RejectionFlowPolicy<Instance, Schedule> policy(instance, schedule,
+                                                 engine.events(), options);
+  engine.run(policy);
+
+  RejectionFlowResult result;
+  result.schedule = std::move(schedule);
+  result.rule1_rejections = policy.rule1_rejections();
+  result.rule2_rejections = policy.rule2_rejections();
+  result.sum_lambda = policy.dual().sum_lambda();
+  result.beta_integral = policy.dual().beta_integral();
+  result.dual_objective = policy.dual().dual_objective();
+  result.opt_lower_bound = policy.dual().opt_lower_bound();
+  result.definitive_finish.reserve(instance.num_jobs());
+  result.lambda.reserve(instance.num_jobs());
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    result.definitive_finish.push_back(
+        policy.dual().definitive_finish(static_cast<JobId>(j)));
+    result.lambda.push_back(policy.lambda(static_cast<JobId>(j)));
+  }
+  return result;
 }
 
 double reference_lambda_ij(const std::vector<Work>& pending_sorted, Work p_ij,

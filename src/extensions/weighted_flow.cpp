@@ -1,192 +1,27 @@
 #include "extensions/weighted_flow.hpp"
 
-#include <limits>
-#include <set>
-
+#include "extensions/weighted_flow_policy.hpp"
 #include "sim/engine.hpp"
-#include "util/check.hpp"
 
 namespace osched {
-
-namespace {
-
-/// Highest density first: larger w/p precedes; ties by release then id.
-struct DensityKey {
-  double density = 0.0;
-  Time release = 0.0;
-  JobId id = kInvalidJob;
-  Work p = 0.0;     ///< processing time on the owning machine
-  Weight w = 0.0;
-
-  bool operator<(const DensityKey& other) const {
-    if (density != other.density) return density > other.density;
-    if (release != other.release) return release < other.release;
-    return id < other.id;
-  }
-};
-
-struct MachineState {
-  std::set<DensityKey> pending;
-  JobId running = kInvalidJob;
-  Weight running_weight = 0.0;
-  Time running_end = 0.0;
-  std::uint64_t completion_event = 0;
-  Weight v_counter = 0.0;  ///< Rule 1w: weight dispatched during execution
-  Weight c_counter = 0.0;  ///< Rule 2w: weight dispatched since last reset
-};
-
-class WeightedFlowSimulation final : public SimulationHooks {
- public:
-  WeightedFlowSimulation(const Instance& instance,
-                         const WeightedFlowOptions& options)
-      : instance_(instance),
-        options_(options),
-        engine_(instance),
-        schedule_(instance.num_jobs()),
-        machines_(instance.num_machines()) {
-    OSCHED_CHECK_GT(options.epsilon, 0.0);
-    OSCHED_CHECK_LT(options.epsilon, 1.0);
-  }
-
-  WeightedFlowResult run() {
-    engine_.run(*this);
-    WeightedFlowResult result;
-    result.rule1_rejections = rule1_rejections_;
-    result.rule2_rejections = rule2_rejections_;
-    result.rejected_weight = rejected_weight_;
-    result.schedule = std::move(schedule_);
-    return result;
-  }
-
-  void on_arrival(JobId j, Time now) override {
-    const Weight w = instance_.job(j).weight;
-
-    // Dispatch to argmin lambda_ij (ties to the lowest machine index; the
-    // eligibility adjacency scans machines in ascending index order).
-    double best_lambda = std::numeric_limits<double>::infinity();
-    MachineId best = kInvalidMachine;
-    for (const MachineId machine : instance_.eligible_machines(j)) {
-      const double lambda = lambda_ij(machine, j);
-      if (lambda < best_lambda) {
-        best_lambda = lambda;
-        best = machine;
-      }
-    }
-    OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
-
-    MachineState& ms = machines_[static_cast<std::size_t>(best)];
-    schedule_.mark_dispatched(j, best);
-    ms.pending.insert(make_key(best, j));
-
-    if (options_.enable_rule1 && ms.running != kInvalidJob) {
-      ms.v_counter += w;
-      if (ms.v_counter > ms.running_weight / options_.epsilon) {
-        reject_running(best, now);
-      }
-    }
-    if (options_.enable_rule2) {
-      ms.c_counter += w;
-      maybe_fire_rule2(best, now);
-    }
-    if (ms.running == kInvalidJob) start_next(best, now);
-  }
-
-  void on_event(const SimEvent& event, Time now) override {
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
-    schedule_.mark_completed(event.job, now);
-    ms.running = kInvalidJob;
-    start_next(event.machine, now);
-  }
-
- private:
-  DensityKey make_key(MachineId i, JobId j) const {
-    const Work p = instance_.processing_unchecked(i, j);
-    const Job& job = instance_.job(j);
-    return DensityKey{job.weight / p, job.release, j, p, job.weight};
-  }
-
-  /// lambda_ij = w_j p_ij / eps + w_j sum_{l <= j} p_il + p_ij sum_{l > j} w_l
-  /// over the density order with j virtually inserted, running job excluded.
-  double lambda_ij(MachineId i, JobId j) const {
-    const MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const DensityKey key = make_key(i, j);
-    double work_before = 0.0;
-    double weight_after = 0.0;
-    for (const DensityKey& other : ms.pending) {
-      if (other < key) {
-        work_before += other.p;
-      } else {
-        weight_after += other.w;
-      }
-    }
-    return key.w * key.p / options_.epsilon + key.w * (work_before + key.p) +
-           key.p * weight_after;
-  }
-
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    OSCHED_CHECK_EQ(ms.running, kInvalidJob);
-    if (ms.pending.empty()) return;
-    const DensityKey key = *ms.pending.begin();
-    ms.pending.erase(ms.pending.begin());
-    ms.running = key.id;
-    ms.running_weight = key.w;
-    ms.running_end = now + key.p;
-    ms.v_counter = 0.0;
-    schedule_.mark_started(key.id, now, 1.0);
-    ms.completion_event = engine_.events().schedule(ms.running_end, i, key.id);
-  }
-
-  void reject_running(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const JobId k = ms.running;
-    OSCHED_CHECK(k != kInvalidJob);
-    engine_.events().cancel(ms.completion_event);
-    schedule_.mark_rejected_running(k, now);
-    rejected_weight_ += ms.running_weight;
-    ms.running = kInvalidJob;
-    ++rule1_rejections_;
-  }
-
-  /// Rule 2w firing check: compare the accumulated weight against the
-  /// largest-processing pending job's weight threshold. At most one firing
-  /// per dispatch — the reset to zero cannot clear a second threshold.
-  void maybe_fire_rule2(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    if (ms.pending.empty()) return;
-    auto victim = ms.pending.begin();
-    for (auto it = ms.pending.begin(); it != ms.pending.end(); ++it) {
-      if (it->p > victim->p || (it->p == victim->p && it->id < victim->id)) {
-        victim = it;
-      }
-    }
-    if (ms.c_counter < victim->w / options_.epsilon) return;
-    schedule_.mark_rejected_pending(victim->id, now);
-    rejected_weight_ += victim->w;
-    ms.pending.erase(victim);
-    ms.c_counter = 0.0;
-    ++rule2_rejections_;
-  }
-
-  const Instance& instance_;
-  WeightedFlowOptions options_;
-  SimEngine engine_;
-  Schedule schedule_;
-  std::vector<MachineState> machines_;
-  std::size_t rule1_rejections_ = 0;
-  std::size_t rule2_rejections_ = 0;
-  Weight rejected_weight_ = 0.0;
-};
-
-}  // namespace
 
 WeightedFlowResult run_weighted_rejection_flow(
     const Instance& instance, const WeightedFlowOptions& options) {
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
-  WeightedFlowSimulation simulation(instance, options);
-  return simulation.run();
+
+  SimEngine engine(instance);
+  Schedule schedule(instance.num_jobs());
+  WeightedFlowPolicy<Instance, Schedule> policy(instance, schedule,
+                                                engine.events(), options);
+  engine.run(policy);
+
+  WeightedFlowResult result;
+  result.rule1_rejections = policy.rule1_rejections();
+  result.rule2_rejections = policy.rule2_rejections();
+  result.rejected_weight = policy.rejected_weight();
+  result.schedule = std::move(schedule);
+  return result;
 }
 
 }  // namespace osched

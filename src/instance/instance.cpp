@@ -1,6 +1,7 @@
 #include "instance/instance.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <sstream>
@@ -85,17 +86,25 @@ Weight Instance::total_weight() const {
 }
 
 std::string Instance::validate() const {
+  // KEEP IN SYNC with service::StreamingJobStore::check_job, the streaming
+  // counterpart of these per-job rules.
   std::ostringstream problems;
   if (num_machines_ == 0) problems << "no machines; ";
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     const Job& job = jobs_[j];
     if (job.release < 0.0) {
       problems << "job " << j << " has negative release; ";
+    } else if (!std::isfinite(job.release)) {
+      // NaN compares false against everything, so it needs its own branch
+      // or it would sail through all the ordering checks below.
+      problems << "job " << j << " has non-finite release; ";
     }
-    if (job.weight <= 0.0) {
+    if (!(job.weight > 0.0)) {  // catches NaN weights too
       problems << "job " << j << " has non-positive weight; ";
+    } else if (job.weight >= kTimeInfinity) {
+      problems << "job " << j << " has infinite weight; ";
     }
-    if (job.deadline <= job.release) {
+    if (!(job.deadline > job.release)) {  // catches NaN deadlines too
       problems << "job " << j << " has deadline <= release; ";
     }
     bool any_eligible = false;
@@ -107,6 +116,8 @@ std::string Instance::validate() const {
         if (p <= 0.0) {
           problems << "p[" << i << "][" << j << "] is non-positive; ";
         }
+      } else if (std::isnan(p)) {
+        problems << "p[" << i << "][" << j << "] is NaN; ";
       }
     }
     if (num_machines_ > 0 && !any_eligible) {

@@ -1,0 +1,54 @@
+// One job as submitted to a streaming consumer.
+//
+// A StreamJob is the row-at-a-time counterpart of an Instance row: the job
+// fields plus its per-machine processing requirements (kTimeInfinity marks
+// an ineligible machine, exactly as in the Instance matrix). It is the unit
+// of exchange between the chunked trace reader (workload/trace_io.hpp), the
+// streaming job store, and SchedulerSession::submit — none of which ever
+// need the whole instance in memory.
+#pragma once
+
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "util/types.hpp"
+
+namespace osched {
+
+struct StreamJob {
+  Time release = 0.0;
+  Weight weight = 1.0;
+  /// +infinity when the job has no deadline.
+  Time deadline = kTimeInfinity;
+  /// p_ij for every machine i (size = num_machines); kTimeInfinity where
+  /// the job cannot run.
+  std::vector<Work> processing;
+};
+
+/// Fills `out` from one Instance row, shifting the release by
+/// `release_offset` (chunked feeders splice independently generated chunks
+/// onto a monotone timeline with it). Reuses out->processing's storage, so
+/// feed loops pay no per-job allocation. This is THE conversion — every
+/// feeder (streamed_run, the trace writer, the benches) goes through it, so
+/// a new StreamJob field has exactly one place to be wired.
+inline void fill_stream_job(const Instance& instance, JobId j,
+                            Time release_offset, StreamJob* out) {
+  const Job& src = instance.job(j);
+  out->release = release_offset + src.release;
+  out->weight = src.weight;
+  out->deadline = src.deadline;
+  out->processing.resize(instance.num_machines());
+  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+    out->processing[i] =
+        instance.processing_unchecked(static_cast<MachineId>(i), j);
+  }
+}
+
+inline StreamJob make_stream_job(const Instance& instance, JobId j,
+                                 Time release_offset = 0.0) {
+  StreamJob out;
+  fill_stream_job(instance, j, release_offset, &out);
+  return out;
+}
+
+}  // namespace osched

@@ -1,0 +1,172 @@
+#include "service/job_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace osched::service {
+
+StreamingJobStore::StreamingJobStore(std::size_t num_machines,
+                                     std::size_t jobs_per_block)
+    : num_machines_(num_machines), jobs_per_block_(jobs_per_block) {
+  OSCHED_CHECK_GT(num_machines, 0u);
+  OSCHED_CHECK_GT(jobs_per_block, 0u);
+}
+
+bool StreamingJobStore::check_job(const StreamJob& job,
+                                  std::ostringstream* problems) const {
+  // Single implementation behind both validation surfaces: with a null
+  // sink (the append() hot path) the first violation returns false without
+  // touching a stream; with a sink every violation is described. The
+  // negated comparisons (!(x > y)) deliberately catch NaN operands.
+  //
+  // KEEP IN SYNC with Instance::validate (instance/instance.cpp): these are
+  // the same per-job rules plus the streaming-only ones (arity, release
+  // monotonicity). tests/streaming_test.cpp's differential wall turns any
+  // acceptance drift into a loud failure, but rule edits should land in
+  // both places.
+  bool ok = true;
+  const auto flag = [&ok, problems] {
+    ok = false;
+    return problems != nullptr;  // keep going only when collecting messages
+  };
+  if (job.processing.size() != num_machines_) {
+    if (!flag()) return false;
+    *problems << "processing row has " << job.processing.size()
+              << " entries, store has " << num_machines_ << " machines; ";
+  }
+  if (!(job.release >= 0.0)) {
+    if (!flag()) return false;
+    *problems << "release " << job.release << " is negative or NaN; ";
+  }
+  if (num_jobs_ > 0 && job.release < last_release_) {
+    if (!flag()) return false;
+    *problems << "release " << job.release
+              << " precedes the last submitted release " << last_release_
+              << " (streaming submissions must be in release order); ";
+  }
+  if (!(job.weight > 0.0) || job.weight >= kTimeInfinity) {
+    if (!flag()) return false;
+    *problems << "weight " << job.weight << " is not finite positive; ";
+  }
+  if (!(job.deadline > job.release)) {
+    if (!flag()) return false;
+    *problems << "deadline " << job.deadline << " not after release; ";
+  }
+  bool any_eligible = false;
+  for (std::size_t i = 0; i < job.processing.size(); ++i) {
+    const Work p = job.processing[i];
+    if (p < kTimeInfinity) {
+      any_eligible = true;
+      if (!(p > 0.0)) {
+        if (!flag()) return false;
+        *problems << "p[" << i << "] is non-positive or NaN; ";
+      }
+    } else if (std::isnan(p)) {
+      if (!flag()) return false;
+      *problems << "p[" << i << "] is NaN; ";
+    }
+  }
+  // Only meaningful when the arity matched (an arity mismatch was already
+  // flagged above, and num_machines_ > 0 by construction).
+  if (job.processing.size() == num_machines_ && !any_eligible) {
+    if (!flag()) return false;
+    *problems << "no eligible machine; ";
+  }
+  return ok;
+}
+
+std::string StreamingJobStore::validate_job(const StreamJob& job) const {
+  std::ostringstream problems;
+  if (check_job(job, &problems)) return std::string();
+  return problems.str();
+}
+
+JobId StreamingJobStore::append(const StreamJob& job) {
+  // job_ok is the allocation-free gate; the diagnostic message is only
+  // materialized on the failure path (OSCHED_CHECK streams lazily).
+  OSCHED_CHECK(job_ok(job))
+      << "invalid streamed job " << num_jobs_ << ": " << validate_job(job);
+
+  const std::size_t block_index = num_jobs_ / jobs_per_block_;
+  if (block_index == blocks_.size()) {
+    blocks_.push_back(std::make_unique<Block>());
+    Block& fresh = *blocks_.back();
+    fresh.jobs.reserve(jobs_per_block_);
+    fresh.processing.reserve(jobs_per_block_ * num_machines_);
+    fresh.eligible_offsets.reserve(jobs_per_block_ + 1);
+    fresh.eligible_offsets.push_back(0);
+  }
+  Block& block = *blocks_[block_index];
+
+  const auto id = static_cast<JobId>(num_jobs_);
+  Job stored;
+  stored.id = id;
+  stored.release = job.release;
+  stored.weight = job.weight;
+  stored.deadline = job.deadline;
+  block.jobs.push_back(stored);
+  block.processing.insert(block.processing.end(), job.processing.begin(),
+                          job.processing.end());
+  for (std::size_t i = 0; i < job.processing.size(); ++i) {
+    if (job.processing[i] < kTimeInfinity) {
+      block.eligible.push_back(static_cast<MachineId>(i));
+    }
+  }
+  block.eligible_offsets.push_back(
+      static_cast<std::uint32_t>(block.eligible.size()));
+
+  last_release_ = job.release;
+  ++num_jobs_;
+  return id;
+}
+
+void StreamingJobStore::retire_below(JobId frontier) {
+  if (frontier <= begin_id_) return;
+  begin_id_ = std::min(frontier, static_cast<JobId>(num_jobs_));
+  const std::size_t first_live_block =
+      static_cast<std::size_t>(begin_id_) / jobs_per_block_;
+  for (std::size_t b = 0; b < first_live_block && b < blocks_.size(); ++b) {
+    blocks_[b].reset();
+  }
+}
+
+Work StreamingJobStore::min_processing(JobId j) const {
+  Work best = kTimeInfinity;
+  for (std::size_t i = 0; i < num_machines_; ++i) {
+    best = std::min(best, processing_unchecked(static_cast<MachineId>(i), j));
+  }
+  return best;
+}
+
+Instance StreamingJobStore::take_instance() {
+  OSCHED_CHECK_EQ(begin_id_, 0)
+      << "cannot materialize an Instance after retirement";
+  std::vector<Job> jobs;
+  jobs.reserve(num_jobs_);
+  std::vector<std::vector<Work>> processing(num_machines_);
+  for (auto& row : processing) row.reserve(num_jobs_);
+  for (std::size_t idx = 0; idx < num_jobs_; ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    jobs.push_back(job(j));
+    for (std::size_t i = 0; i < num_machines_; ++i) {
+      processing[i].push_back(
+          processing_unchecked(static_cast<MachineId>(i), j));
+    }
+    // Hand back each fully-copied block immediately: copied-so-far plus
+    // blocks-still-held stays ~one instance worth of memory, instead of
+    // ending with two complete copies live at once.
+    if (offset_of(j) + 1 == jobs_per_block_) {
+      blocks_[idx / jobs_per_block_].reset();
+      begin_id_ = static_cast<JobId>(idx + 1);
+    }
+  }
+  begin_id_ = static_cast<JobId>(num_jobs_);
+  for (auto& block : blocks_) block.reset();
+  // Submissions were release-ordered with dense ids, so the Instance
+  // constructor's stable (release, id) sort is the identity permutation and
+  // streamed ids keep their meaning.
+  return Instance(std::move(jobs), std::move(processing));
+}
+
+}  // namespace osched::service

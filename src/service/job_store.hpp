@@ -1,0 +1,131 @@
+// Streaming job store: the growable, prefix-retirable counterpart of
+// Instance.
+//
+// A SchedulerSession ingests jobs one at a time, in release order, and the
+// policies read job data through exactly the accessor surface Instance
+// exposes (job / processing_unchecked / eligible_machines / ...). The store
+// keeps that data in fixed-size blocks so that once every job of a block is
+// decided and folded, the whole block's memory is handed back — the live
+// footprint tracks the in-flight window, not the full trace.
+//
+// Ids are dense and monotone: append() assigns 0, 1, 2, ... in submission
+// order, and submissions must be non-decreasing in release time (the online
+// model's arrival order; Instance sorts batch input the same way). Reading
+// a retired job aborts — schedulers only touch pending/running jobs, so a
+// read below the frontier is a bug, never a recoverable condition.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "instance/stream_job.hpp"
+#include "util/check.hpp"
+
+namespace osched::service {
+
+class StreamingJobStore {
+ public:
+  explicit StreamingJobStore(std::size_t num_machines,
+                             std::size_t jobs_per_block = 4096);
+
+  std::size_t num_machines() const { return num_machines_; }
+  /// Total jobs ever appended (retired jobs included) — the id space size.
+  std::size_t num_jobs() const { return num_jobs_; }
+  /// First id still stored.
+  JobId begin_id() const { return begin_id_; }
+
+  /// Allocation-free structural check of one submission (the hot-path
+  /// form): true iff append() would accept the job.
+  bool job_ok(const StreamJob& job) const { return check_job(job, nullptr); }
+
+  /// Diagnostic form of job_ok: empty string = acceptable, else a
+  /// description of every problem. Only builds its message machinery when
+  /// the job is actually invalid.
+  std::string validate_job(const StreamJob& job) const;
+
+  /// Appends the job and returns its id. Aborts on invalid input — callers
+  /// wanting recoverable rejection run job_ok/validate_job first.
+  JobId append(const StreamJob& job);
+
+  /// Frees every block that lies entirely below `frontier`.
+  void retire_below(JobId frontier);
+
+  // ---- Instance-compatible accessor surface (policies are templates over
+  // it; semantics match Instance exactly) ----
+
+  const Job& job(JobId j) const {
+    const Block& b = block_of(j);
+    return b.jobs[offset_of(j)];
+  }
+
+  Work processing_unchecked(MachineId i, JobId j) const {
+    const Block& b = block_of(j);
+    return b.processing[offset_of(j) * num_machines_ +
+                        static_cast<std::size_t>(i)];
+  }
+
+  Work processing(MachineId i, JobId j) const {
+    OSCHED_CHECK(i >= 0 && static_cast<std::size_t>(i) < num_machines_);
+    return processing_unchecked(i, j);
+  }
+
+  bool eligible(MachineId i, JobId j) const {
+    return processing(i, j) < kTimeInfinity;
+  }
+
+  EligibleMachines eligible_machines(JobId j) const {
+    const Block& b = block_of(j);
+    const std::size_t offset = offset_of(j);
+    const MachineId* base = b.eligible.data();
+    return EligibleMachines{base + b.eligible_offsets[offset],
+                            base + b.eligible_offsets[offset + 1]};
+  }
+
+  Work min_processing(JobId j) const;
+
+  /// Builds a batch Instance holding every appended job, RELEASING each
+  /// store block as soon as it is copied — peak memory stays ~one copy of
+  /// the data, but the store is empty afterwards (every read aborts). Only
+  /// legal while nothing has been retired; retention-mode sessions call it
+  /// at drain time, after the policy's last store read, to run the batch
+  /// validator and objective evaluation over the streamed run.
+  Instance take_instance();
+
+ private:
+  /// The one validation predicate behind job_ok/validate_job/append: null
+  /// sink = fast boolean short-circuit, non-null = collect every problem.
+  bool check_job(const StreamJob& job, std::ostringstream* problems) const;
+
+  struct Block {
+    std::vector<Job> jobs;
+    std::vector<Work> processing;  ///< jobs.size() * m, job-major
+    std::vector<MachineId> eligible;
+    std::vector<std::uint32_t> eligible_offsets;  ///< jobs.size() + 1
+  };
+
+  const Block& block_of(JobId j) const {
+    OSCHED_CHECK(j >= begin_id_ && static_cast<std::size_t>(j) < num_jobs_)
+        << "job " << j << " outside the live store window [" << begin_id_
+        << ", " << num_jobs_ << ")";
+    const Block* block =
+        blocks_[static_cast<std::size_t>(j) / jobs_per_block_].get();
+    return *block;
+  }
+
+  std::size_t offset_of(JobId j) const {
+    return static_cast<std::size_t>(j) % jobs_per_block_;
+  }
+
+  std::size_t num_machines_;
+  std::size_t jobs_per_block_;
+  std::size_t num_jobs_ = 0;
+  JobId begin_id_ = 0;
+  Time last_release_ = 0.0;
+  /// blocks_[b] covers ids [b*B, (b+1)*B); retired blocks are null.
+  std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+}  // namespace osched::service

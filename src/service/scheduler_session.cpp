@@ -1,0 +1,378 @@
+#include "service/scheduler_session.hpp"
+
+#include <algorithm>
+
+#include "baselines/immediate_rejection_policy.hpp"
+#include "baselines/list_scheduler_policy.hpp"
+#include "core/energy_flow/energy_flow_policy.hpp"
+#include "core/flow/rejection_flow_policy.hpp"
+#include "extensions/weighted_flow_policy.hpp"
+#include "instance/power.hpp"
+#include "metrics/metrics.hpp"
+#include "service/job_store.hpp"
+#include "service/session_schedule.hpp"
+#include "sim/validator.hpp"
+
+namespace osched::service {
+
+namespace {
+
+/// Type-erased owner of one policy instance. The session drives the policy
+/// through SimulationHooks; the algorithm-specific result fields are filled
+/// by finalize().
+class PolicyHost {
+ public:
+  virtual ~PolicyHost() = default;
+  virtual SimulationHooks& hooks() = 0;
+  virtual void retire_below(JobId frontier) = 0;
+  virtual void finalize(api::RunSummary& summary) = 0;
+};
+
+using T1Policy = RejectionFlowPolicy<StreamingJobStore, SessionSchedule>;
+using T2Policy = EnergyFlowPolicy<StreamingJobStore, SessionSchedule>;
+using WePolicy = WeightedFlowPolicy<StreamingJobStore, SessionSchedule>;
+using LsPolicy = ListSchedulerPolicy<StreamingJobStore, SessionSchedule>;
+using IrPolicy = ImmediateRejectionPolicy<StreamingJobStore, SessionSchedule>;
+
+template <class Policy, class Options>
+class HostBase : public PolicyHost {
+ public:
+  HostBase(const StreamingJobStore& store, SessionSchedule& rec,
+           EventQueue& events, const Options& options)
+      : policy_(store, rec, events, options) {}
+  SimulationHooks& hooks() override { return policy_; }
+  void retire_below(JobId frontier) override { policy_.retire_below(frontier); }
+
+ protected:
+  Policy policy_;
+};
+
+class Theorem1Host final : public HostBase<T1Policy, RejectionFlowOptions> {
+ public:
+  using HostBase::HostBase;
+  void finalize(api::RunSummary& summary) override {
+    summary.certified_lower_bound = policy_.dual().opt_lower_bound();
+    summary.rule1_rejections = policy_.rule1_rejections();
+    summary.rule2_rejections = policy_.rule2_rejections();
+  }
+};
+
+class Theorem2Host final : public HostBase<T2Policy, EnergyFlowOptions> {
+ public:
+  using HostBase::HostBase;
+  void finalize(api::RunSummary& summary) override {
+    summary.rule1_rejections = policy_.rejections();
+  }
+};
+
+class WeightedExtHost final : public HostBase<WePolicy, WeightedFlowOptions> {
+ public:
+  using HostBase::HostBase;
+  void finalize(api::RunSummary& summary) override {
+    summary.rule1_rejections = policy_.rule1_rejections();
+    summary.rule2_rejections = policy_.rule2_rejections();
+  }
+};
+
+class ListHost final : public HostBase<LsPolicy, ListSchedulerOptions> {
+ public:
+  using HostBase::HostBase;
+  void finalize(api::RunSummary& /*summary*/) override {}
+};
+
+class ImmediateHost final : public HostBase<IrPolicy, ImmediateRejectionOptions> {
+ public:
+  using HostBase::HostBase;
+  void finalize(api::RunSummary& summary) override {
+    summary.rule1_rejections = policy_.rejections();
+  }
+};
+
+std::unique_ptr<PolicyHost> make_host(api::Algorithm algorithm,
+                                      const StreamingJobStore& store,
+                                      SessionSchedule& rec, EventQueue& events,
+                                      const api::RunOptions& run) {
+  switch (algorithm) {
+    case api::Algorithm::kTheorem1:
+      return std::make_unique<Theorem1Host>(
+          store, rec, events, RejectionFlowOptions{.epsilon = run.epsilon});
+    case api::Algorithm::kTheorem2: {
+      EnergyFlowOptions ef;
+      ef.epsilon = run.epsilon;
+      ef.alpha = run.alpha;
+      return std::make_unique<Theorem2Host>(store, rec, events, ef);
+    }
+    case api::Algorithm::kWeightedExt:
+      return std::make_unique<WeightedExtHost>(
+          store, rec, events, WeightedFlowOptions{.epsilon = run.epsilon});
+    case api::Algorithm::kGreedySpt:
+      return std::make_unique<ListHost>(
+          store, rec, events,
+          ListSchedulerOptions{DispatchRule::kMinCompletion,
+                               QueueDiscipline::kSpt});
+    case api::Algorithm::kFifo:
+      return std::make_unique<ListHost>(
+          store, rec, events,
+          ListSchedulerOptions{DispatchRule::kMinBacklog,
+                               QueueDiscipline::kFifo});
+    case api::Algorithm::kImmediateReject:
+      return std::make_unique<ImmediateHost>(
+          store, rec, events, ImmediateRejectionOptions{.eps = run.epsilon});
+    case api::Algorithm::kTheorem3:
+      break;
+  }
+  OSCHED_CHECK(false) << "algorithm " << api::to_string(algorithm)
+                      << " has no streaming session (theorem3 is batch-only)";
+  return nullptr;
+}
+
+}  // namespace
+
+class SchedulerSession::Impl {
+ public:
+  Impl(api::Algorithm algorithm, std::size_t num_machines,
+       SessionOptions options)
+      : algorithm_(algorithm),
+        options_(options),
+        store_(num_machines),
+        host_(make_host(algorithm, store_, records_, events_, options.run)) {
+    OSCHED_CHECK(options.retain_records || !options.run.validate)
+        << "low-memory sessions keep no schedule to validate; set "
+           "run.validate = false (or retain records)";
+    OSCHED_CHECK(options.retain_records ||
+                 algorithm != api::Algorithm::kTheorem2)
+        << "theorem2's dual finalization reads every record; low-memory "
+           "sessions are unavailable for it";
+    OSCHED_CHECK_GT(options.retire_batch, 0u);
+  }
+
+  api::Algorithm algorithm() const { return algorithm_; }
+  std::size_t num_machines() const { return store_.num_machines(); }
+  Time now() const { return now_; }
+  std::size_t num_submitted() const { return store_.num_jobs(); }
+  std::size_t num_decided() const { return records_.num_decided(); }
+  std::size_t live_jobs() const { return num_submitted() - num_decided(); }
+  std::size_t max_live_jobs() const { return max_live_; }
+  bool drained() const { return drained_; }
+
+  std::string validate_job(const StreamJob& job) const {
+    if (drained_) return "session already drained; ";
+    std::string problems = store_.validate_job(job);
+    if (job.release < now_) {
+      problems += "release precedes the session clock (advance() already "
+                  "passed it); ";
+    }
+    return problems;
+  }
+
+  JobId submit(const StreamJob& job) {
+    OSCHED_CHECK(!drained_) << "submit() on a drained session";
+    OSCHED_CHECK_GE(job.release, now_)
+        << "job released at " << job.release
+        << " submitted after the clock reached " << now_;
+    const JobId j = store_.append(job);
+    total_weight_ += job.weight;
+    records_.ensure_size(static_cast<std::size_t>(j) + 1);
+    run_events_until(job.release);
+    now_ = std::max(now_, job.release);
+    host_->hooks().on_arrival(j, now_);
+    max_live_ = std::max(max_live_, live_jobs());
+    maybe_fold();
+    return j;
+  }
+
+  void advance(Time to) {
+    OSCHED_CHECK(!drained_) << "advance() on a drained session";
+    OSCHED_CHECK_GE(to, now_) << "advance() must not move the clock backwards";
+    run_events_until(to);
+    now_ = std::max(now_, to);
+    maybe_fold();
+  }
+
+  api::RunSummary drain() {
+    OSCHED_CHECK(!drained_) << "drain() called twice";
+    drained_ = true;
+    run_events_until(kTimeInfinity);
+
+    api::RunSummary summary;
+    summary.algorithm = algorithm_;
+    host_->finalize(summary);
+
+    if (options_.retain_records) {
+      Schedule schedule = records_.to_schedule();
+      // Destructive: the policy made its last store read before drain, and
+      // the session is finished after this call.
+      const Instance instance = store_.take_instance();
+      if (options_.run.validate) {
+        // Same validator invocation as api::run for these algorithms (none
+        // of the streamable policies uses parallel execution or deadlines).
+        check_schedule(schedule, instance, ValidationOptions{});
+      }
+      const PolynomialPower power(options_.run.alpha);
+      const PowerFunction* report_power =
+          algorithm_ == api::Algorithm::kTheorem2 ? &power : nullptr;
+      summary.report = evaluate(schedule, instance, report_power);
+      summary.schedule = std::move(schedule);
+    } else {
+      fold_to(records_.decided_frontier());
+      OSCHED_CHECK_EQ(static_cast<std::size_t>(records_.decided_frontier()),
+                      store_.num_jobs())
+          << "drained session left undecided jobs";
+      summary.report = aggregate_report();
+    }
+    return summary;
+  }
+
+ private:
+  void run_events_until(Time t) {
+    for (;;) {
+      const auto when = events_.peek_time();
+      if (!when.has_value() || *when > t) break;
+      const SimEvent event = events_.pop();
+      now_ = std::max(now_, event.time);
+      host_->hooks().on_event(event, now_);
+    }
+  }
+
+  void maybe_fold() {
+    if (options_.retain_records) return;
+    const JobId frontier = records_.decided_frontier();
+    if (static_cast<std::size_t>(frontier - folded_upto_) >=
+        options_.retire_batch) {
+      fold_to(frontier);
+    }
+  }
+
+  /// Folds decided records [folded_upto_, frontier) into the running
+  /// aggregates — in id order, the same order the batch report sums in, so
+  /// the totals are bit-identical — then releases their memory everywhere.
+  void fold_to(JobId frontier) {
+    for (JobId j = folded_upto_; j < frontier; ++j) {
+      const JobRecord& rec = records_.record(j);
+      const Job& job = store_.job(j);
+      const Time flow =
+          (rec.completed() ? rec.end : rec.rejection_time) - job.release;
+      if (rec.completed()) {
+        ++agg_.completed;
+        agg_.completed_flow += flow;
+      } else {
+        ++agg_.rejected;
+        agg_.rejected_weight += job.weight;
+      }
+      agg_.total_flow += flow;
+      agg_.weighted_flow += job.weight * flow;
+      agg_.max_flow = std::max(agg_.max_flow, flow);
+      if (rec.started) agg_.makespan = std::max(agg_.makespan, rec.end);
+    }
+    folded_upto_ = frontier;
+    records_.retire_below(frontier);
+    store_.retire_below(frontier);
+    host_->retire_below(frontier);
+  }
+
+  ObjectiveReport aggregate_report() const {
+    ObjectiveReport report;
+    report.num_jobs = store_.num_jobs();
+    report.num_completed = agg_.completed;
+    report.num_rejected = agg_.rejected;
+    if (report.num_jobs > 0) {
+      report.rejected_fraction = static_cast<double>(report.num_rejected) /
+                                 static_cast<double>(report.num_jobs);
+    }
+    if (total_weight_ > 0.0) {
+      report.rejected_weight_fraction = agg_.rejected_weight / total_weight_;
+    }
+    report.total_flow = agg_.total_flow;
+    report.completed_flow = agg_.completed_flow;
+    report.total_weighted_flow = agg_.weighted_flow;
+    report.max_flow = agg_.max_flow;
+    report.makespan = agg_.makespan;
+    return report;
+  }
+
+  struct Aggregates {
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    Weight rejected_weight = 0.0;
+    Time total_flow = 0.0;
+    Time completed_flow = 0.0;
+    Time weighted_flow = 0.0;
+    Time max_flow = 0.0;
+    Time makespan = 0.0;
+  };
+
+  api::Algorithm algorithm_;
+  SessionOptions options_;
+  StreamingJobStore store_;
+  SessionSchedule records_;
+  EventQueue events_;
+  Time now_ = 0.0;
+  bool drained_ = false;
+  Weight total_weight_ = 0.0;
+  std::size_t max_live_ = 0;
+  JobId folded_upto_ = 0;
+  Aggregates agg_;
+  std::unique_ptr<PolicyHost> host_;
+};
+
+SchedulerSession::SchedulerSession(api::Algorithm algorithm,
+                                   std::size_t num_machines,
+                                   SessionOptions options)
+    : impl_(std::make_unique<Impl>(algorithm, num_machines, options)) {}
+
+SchedulerSession::~SchedulerSession() = default;
+
+api::Algorithm SchedulerSession::algorithm() const { return impl_->algorithm(); }
+std::size_t SchedulerSession::num_machines() const {
+  return impl_->num_machines();
+}
+Time SchedulerSession::now() const { return impl_->now(); }
+std::size_t SchedulerSession::num_submitted() const {
+  return impl_->num_submitted();
+}
+std::size_t SchedulerSession::num_decided() const {
+  return impl_->num_decided();
+}
+std::size_t SchedulerSession::live_jobs() const { return impl_->live_jobs(); }
+std::size_t SchedulerSession::max_live_jobs() const {
+  return impl_->max_live_jobs();
+}
+std::string SchedulerSession::validate_job(const StreamJob& job) const {
+  return impl_->validate_job(job);
+}
+JobId SchedulerSession::submit(const StreamJob& job) {
+  return impl_->submit(job);
+}
+void SchedulerSession::advance(Time to) { impl_->advance(to); }
+api::RunSummary SchedulerSession::drain() { return impl_->drain(); }
+bool SchedulerSession::drained() const { return impl_->drained(); }
+
+api::RunSummary streamed_run(api::Algorithm algorithm, const Instance& instance,
+                             const api::RunOptions& options,
+                             std::size_t chunk_size) {
+  OSCHED_CHECK_GT(chunk_size, 0u);
+  SessionOptions session_options;
+  session_options.run = options;
+  SchedulerSession session(algorithm, instance.num_machines(), session_options);
+
+  StreamJob job;
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    fill_stream_job(instance, j, 0.0, &job);
+    session.submit(job);
+    // Chunk boundary: catch up to a clock strictly between this arrival
+    // and the next, firing any completions due in the gap — the driving
+    // pattern of a live feeder between chunk deliveries. (Advancing only to
+    // the last submitted release would be a no-op: submit already fired
+    // everything due by then.) Different chunk sizes thus produce genuinely
+    // different advance() interleavings, all required to be bit-identical.
+    if ((idx + 1) % chunk_size == 0 && idx + 1 < instance.num_jobs()) {
+      const Time here = instance.job(j).release;
+      const Time next = instance.job(static_cast<JobId>(idx + 1)).release;
+      session.advance(here + 0.5 * (next - here));
+    }
+  }
+  return session.drain();
+}
+
+}  // namespace osched::service

@@ -1,0 +1,116 @@
+// Streaming scheduler sessions: online policies as long-lived services.
+//
+// api::run() materializes a whole Instance and runs a policy to completion.
+// A SchedulerSession runs the SAME policy state machine incrementally:
+//
+//   service::SchedulerSession session(api::Algorithm::kTheorem1, m);
+//   for (const StreamJob& job : chunk) session.submit(job);   // arrivals
+//   session.advance(t);          // let completions fire up to time t
+//   api::RunSummary summary = session.drain();   // end of stream
+//
+// submit() delivers the arrival to the policy after firing every internal
+// event (completion) due at or before the job's release — the exact
+// interleaving SimEngine uses — so a streamed run makes bit-identical
+// decisions to the batch run of the same jobs, regardless of how the stream
+// is chunked. tests/streaming_test.cpp pins that down differentially.
+//
+// Memory modes:
+//  * retain_records = true (default): every record and job row is kept; at
+//    drain() the session validates the schedule and computes the objective
+//    report with the same code paths as api::run — the RunSummary is
+//    byte-identical to the batch one.
+//  * retain_records = false: once a job's fate is sealed and the decided
+//    frontier passes it, its record, job row and per-job policy state are
+//    folded into running aggregates and released — the footprint tracks
+//    the live window, not the trace (the ROADMAP's constant-memory n=1e6
+//    target; bench_e17_streaming measures it). The drained RunSummary
+//    carries an empty Schedule and an aggregate-only report; per-job folds
+//    happen in id order, so the deterministic totals (flow, counts,
+//    makespan) still match the batch run exactly. Requires
+//    run.validate = false (there is no retained schedule to validate) and
+//    is unavailable for kTheorem2, whose dual needs a full end pass.
+//
+// Sessions exist for every *online arrival-time* policy the facade names:
+// kTheorem1, kTheorem2, kWeightedExt, kGreedySpt, kFifo, kImmediateReject.
+// kTheorem3 (configuration primal-dual over a discretized horizon) is not
+// an arrival-driven state machine and stays batch-only.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/scheduler_api.hpp"
+#include "instance/stream_job.hpp"
+#include "sim/event_queue.hpp"
+
+namespace osched::service {
+
+struct SessionOptions {
+  /// Per-algorithm knobs, same meaning as api::run.
+  api::RunOptions run;
+  /// See the header comment: full retention (batch-identical drain) vs
+  /// sliding-window memory (aggregate-only drain).
+  bool retain_records = true;
+  /// Low-memory mode: fold-and-release runs every time this many newly
+  /// sealed jobs accumulate below the decided frontier.
+  std::size_t retire_batch = 8192;
+};
+
+class SchedulerSession {
+ public:
+  SchedulerSession(api::Algorithm algorithm, std::size_t num_machines,
+                   SessionOptions options = {});
+  ~SchedulerSession();
+
+  SchedulerSession(const SchedulerSession&) = delete;
+  SchedulerSession& operator=(const SchedulerSession&) = delete;
+
+  api::Algorithm algorithm() const;
+  std::size_t num_machines() const;
+  /// Session clock: the latest time submit()/advance()/internal events have
+  /// reached. Submissions must not be released before now().
+  Time now() const;
+
+  std::size_t num_submitted() const;
+  /// Jobs with a sealed fate (completed or rejected).
+  std::size_t num_decided() const;
+  /// Jobs submitted but not yet sealed.
+  std::size_t live_jobs() const;
+  /// High-water mark of live_jobs() — the working-set size the low-memory
+  /// mode's footprint is proportional to.
+  std::size_t max_live_jobs() const;
+
+  /// Recoverable pre-check of a submission (empty string = acceptable):
+  /// structural job validity plus release-order/clock monotonicity.
+  std::string validate_job(const StreamJob& job) const;
+
+  /// Ingests one arrival and runs the policy's reaction (which may start,
+  /// complete or reject jobs at times up to the job's release). Aborts on
+  /// invalid input — multi-tenant frontends run validate_job first.
+  JobId submit(const StreamJob& job);
+
+  /// Fires every internal event due at or before `to` and moves the clock
+  /// there. `to` must be >= now().
+  void advance(Time to);
+
+  /// Ends the stream: runs the policy to quiescence and returns the summary
+  /// (see the memory-mode notes above). The session is finished afterwards;
+  /// further submit/advance/drain calls abort.
+  api::RunSummary drain();
+  bool drained() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Drives `instance` through a streaming session in `chunk_size`-job chunks
+/// (submitting in release order, advancing the clock to the last submitted
+/// release between chunks) and drains. With default options the result is
+/// byte-identical to api::run(algorithm, instance, options) — the
+/// differential tests compare exactly these two calls.
+api::RunSummary streamed_run(api::Algorithm algorithm, const Instance& instance,
+                             const api::RunOptions& options = {},
+                             std::size_t chunk_size = 65536);
+
+}  // namespace osched::service

@@ -1,0 +1,85 @@
+// Windowed schedule record store for streaming sessions.
+//
+// Presents the same mark_* mutation surface as Schedule (the state
+// transitions are the shared record_* functions, so legality is enforced
+// identically) over a sliding window of JobRecords, and tracks the decided
+// frontier: the first job whose fate is still open. Everything below the
+// frontier is immutable history — a low-memory session folds it into its
+// running aggregates and retires it; a retention session keeps the window
+// whole and exports a batch Schedule at drain time.
+#pragma once
+
+#include "sim/schedule.hpp"
+#include "util/sliding_vector.hpp"
+
+namespace osched::service {
+
+class SessionSchedule {
+ public:
+  /// Extends the record window to cover job j (new records unscheduled).
+  void ensure_size(std::size_t n) { records_.extend_to(n); }
+
+  std::size_t num_jobs() const { return records_.end_index(); }
+
+  void mark_dispatched(JobId j, MachineId machine) {
+    record_dispatched(records_.at(static_cast<std::size_t>(j)), j, machine);
+  }
+  void mark_started(JobId j, Time start, Speed speed) {
+    record_started(records_.at(static_cast<std::size_t>(j)), j, start, speed);
+  }
+  void mark_completed(JobId j, Time end) {
+    record_completed(records_.at(static_cast<std::size_t>(j)), j, end);
+    on_decided();
+  }
+  void mark_rejected_running(JobId j, Time now) {
+    record_rejected_running(records_.at(static_cast<std::size_t>(j)), j, now);
+    on_decided();
+  }
+  void mark_rejected_pending(JobId j, Time now) {
+    record_rejected_pending(records_.at(static_cast<std::size_t>(j)), j, now);
+    on_decided();
+  }
+
+  const JobRecord& record(JobId j) const {
+    return records_.at(static_cast<std::size_t>(j));
+  }
+
+  /// First job whose record can still change; every record below it is
+  /// terminal. Advanced eagerly on each terminal mark.
+  JobId decided_frontier() const { return frontier_; }
+  /// Jobs with a terminal fate (not necessarily contiguous from 0).
+  std::size_t num_decided() const { return num_decided_; }
+
+  /// Releases records below `frontier` (must not exceed decided_frontier()).
+  void retire_below(JobId frontier) {
+    OSCHED_CHECK_LE(frontier, frontier_);
+    records_.retire_below(static_cast<std::size_t>(frontier));
+  }
+
+  /// Copies the full record window into a batch Schedule. Requires that
+  /// nothing was retired (retention-mode sessions only).
+  Schedule to_schedule() const {
+    OSCHED_CHECK_EQ(records_.begin_index(), 0u)
+        << "cannot export a Schedule after retirement";
+    Schedule schedule(records_.end_index());
+    for (std::size_t j = 0; j < records_.end_index(); ++j) {
+      schedule.record(static_cast<JobId>(j)) = records_[j];
+    }
+    return schedule;
+  }
+
+ private:
+  void on_decided() {
+    ++num_decided_;
+    while (static_cast<std::size_t>(frontier_) < records_.end_index() &&
+           records_[static_cast<std::size_t>(frontier_)].terminal()) {
+      ++frontier_;
+    }
+  }
+
+  util::SlidingVector<JobRecord> records_;
+  JobId frontier_ = 0;
+  std::size_t num_decided_ = 0;
+};
+
+}  // namespace osched::service

@@ -1,0 +1,78 @@
+#include "service/shard_driver.hpp"
+
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace osched::service {
+
+ShardDriver::ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
+                         std::size_t num_machines, ShardDriverOptions options)
+    : pool_(options.threads) {
+  OSCHED_CHECK_GT(num_shards, 0u);
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    Shard shard;
+    shard.session = std::make_unique<SchedulerSession>(algorithm, num_machines,
+                                                       options.session);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t ShardDriver::shard_for(std::uint64_t tenant_key) const {
+  return util::derive_seed(0x5AA5D000D15EA5EULL, tenant_key) % shards_.size();
+}
+
+SchedulerSession& ShardDriver::session(std::size_t shard) {
+  OSCHED_CHECK_LT(shard, shards_.size());
+  return *shards_[shard].session;
+}
+
+void ShardDriver::submit(std::size_t shard, StreamJob job) {
+  OSCHED_CHECK_LT(shard, shards_.size());
+  Op op;
+  op.job = std::move(job);
+  shards_[shard].backlog.push_back(std::move(op));
+}
+
+void ShardDriver::advance(std::size_t shard, Time to) {
+  OSCHED_CHECK_LT(shard, shards_.size());
+  Op op;
+  op.is_advance = true;
+  op.to = to;
+  shards_[shard].backlog.push_back(std::move(op));
+}
+
+void ShardDriver::pump() {
+  // One task per shard with a backlog: the shard's operations are applied
+  // sequentially in buffered order, so the session sees the same call
+  // sequence as a dedicated single-threaded feeder would.
+  for (Shard& shard : shards_) {
+    if (shard.backlog.empty()) continue;
+    pool_.submit([&shard] {
+      for (Op& op : shard.backlog) {
+        if (op.is_advance) {
+          shard.session->advance(op.to);
+        } else {
+          shard.session->submit(op.job);
+        }
+      }
+      shard.backlog.clear();
+    });
+  }
+  pool_.wait_idle();
+}
+
+std::vector<api::RunSummary> ShardDriver::drain_all() {
+  pump();
+  std::vector<api::RunSummary> results(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    pool_.submit([this, s, &results] {
+      results[s] = shards_[s].session->drain();
+    });
+  }
+  pool_.wait_idle();
+  return results;
+}
+
+}  // namespace osched::service

@@ -1,0 +1,79 @@
+// Sharded multi-tenant driver: S independent SchedulerSessions multiplexed
+// over the shared thread pool.
+//
+// Each shard is one tenant's session — its own job store, clock, event
+// queue and policy state. The driver buffers incoming operations per shard
+// (submit/advance, in arrival order) and pump() applies every shard's
+// backlog concurrently, one worker per shard at a time. Because a shard's
+// operations are always applied sequentially and in order by whichever
+// worker picks them up, every session's outcome is bit-identical for any
+// thread count — the same per-unit determinism contract the experiment
+// harness keeps, now for serving. tests/streaming_test.cpp pins
+// threads=1 vs threads=N down.
+//
+// The caller-facing thread model is single-producer: submit()/advance()/
+// pump()/drain_all() are called from one thread (a frontend's ingest loop);
+// parallelism happens inside pump().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/scheduler_session.hpp"
+#include "util/thread_pool.hpp"
+
+namespace osched::service {
+
+struct ShardDriverOptions {
+  /// Worker threads for pump(); 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Applied to every shard's session.
+  SessionOptions session;
+};
+
+class ShardDriver {
+ public:
+  ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
+              std::size_t num_machines, ShardDriverOptions options = {});
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Stable tenant-key -> shard routing (SplitMix64 of the key, mod S).
+  std::size_t shard_for(std::uint64_t tenant_key) const;
+
+  /// Direct access for inspection (clock, live-job counts). The session
+  /// must not be mutated between pump() calls except through the driver.
+  SchedulerSession& session(std::size_t shard);
+
+  /// Buffers one arrival for `shard`. Applied on the next pump().
+  void submit(std::size_t shard, StreamJob job);
+  /// Buffers a clock advance for `shard`, ordered after the submissions
+  /// buffered so far.
+  void advance(std::size_t shard, Time to);
+
+  /// Applies every buffered operation, shards in parallel, and blocks until
+  /// all are done.
+  void pump();
+
+  /// pump()s the remaining backlog, then drains every session in parallel.
+  /// Results are in shard order. The driver is finished afterwards.
+  std::vector<api::RunSummary> drain_all();
+
+ private:
+  struct Op {
+    bool is_advance = false;
+    Time to = 0.0;
+    StreamJob job;
+  };
+
+  struct Shard {
+    std::unique_ptr<SchedulerSession> session;
+    std::vector<Op> backlog;
+  };
+
+  std::vector<Shard> shards_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace osched::service

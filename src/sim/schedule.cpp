@@ -16,16 +16,14 @@ const char* to_string(JobFate fate) {
   return "?";
 }
 
-void Schedule::mark_dispatched(JobId j, MachineId machine) {
-  JobRecord& rec = record(j);
+void record_dispatched(JobRecord& rec, JobId j, MachineId machine) {
   OSCHED_CHECK(rec.fate == JobFate::kUnscheduled)
       << "job " << j << " dispatched twice";
   rec.fate = JobFate::kPending;
   rec.machine = machine;
 }
 
-void Schedule::mark_started(JobId j, Time start, Speed speed) {
-  JobRecord& rec = record(j);
+void record_started(JobRecord& rec, JobId j, Time start, Speed speed) {
   OSCHED_CHECK(rec.fate == JobFate::kPending) << "job " << j << " not pending";
   OSCHED_CHECK(!rec.started) << "job " << j << " started twice";
   OSCHED_CHECK_GT(speed, 0.0);
@@ -34,16 +32,14 @@ void Schedule::mark_started(JobId j, Time start, Speed speed) {
   rec.speed = speed;
 }
 
-void Schedule::mark_completed(JobId j, Time end) {
-  JobRecord& rec = record(j);
+void record_completed(JobRecord& rec, JobId j, Time end) {
   OSCHED_CHECK(rec.fate == JobFate::kPending && rec.started)
       << "job " << j << " cannot complete (fate=" << to_string(rec.fate) << ")";
   rec.fate = JobFate::kCompleted;
   rec.end = end;
 }
 
-void Schedule::mark_rejected_running(JobId j, Time now) {
-  JobRecord& rec = record(j);
+void record_rejected_running(JobRecord& rec, JobId j, Time now) {
   OSCHED_CHECK(rec.fate == JobFate::kPending && rec.started)
       << "job " << j << " is not running";
   rec.fate = JobFate::kRejectedRunning;
@@ -51,13 +47,32 @@ void Schedule::mark_rejected_running(JobId j, Time now) {
   rec.rejection_time = now;
 }
 
-void Schedule::mark_rejected_pending(JobId j, Time now) {
-  JobRecord& rec = record(j);
+void record_rejected_pending(JobRecord& rec, JobId j, Time now) {
   OSCHED_CHECK((rec.fate == JobFate::kPending && !rec.started) ||
                rec.fate == JobFate::kUnscheduled)
       << "job " << j << " cannot be queue-rejected";
   rec.fate = JobFate::kRejectedPending;
   rec.rejection_time = now;
+}
+
+void Schedule::mark_dispatched(JobId j, MachineId machine) {
+  record_dispatched(record(j), j, machine);
+}
+
+void Schedule::mark_started(JobId j, Time start, Speed speed) {
+  record_started(record(j), j, start, speed);
+}
+
+void Schedule::mark_completed(JobId j, Time end) {
+  record_completed(record(j), j, end);
+}
+
+void Schedule::mark_rejected_running(JobId j, Time now) {
+  record_rejected_running(record(j), j, now);
+}
+
+void Schedule::mark_rejected_pending(JobId j, Time now) {
+  record_rejected_pending(record(j), j, now);
 }
 
 Time Schedule::flow_time(JobId j, const Instance& instance) const {

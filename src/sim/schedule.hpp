@@ -46,7 +46,21 @@ struct JobRecord {
     return fate == JobFate::kRejectedRunning || fate == JobFate::kRejectedPending;
   }
   bool completed() const { return fate == JobFate::kCompleted; }
+  /// Terminal = the record can never change again (completed or rejected).
+  bool terminal() const { return completed() || rejected(); }
 };
+
+// ---- Record state transitions ----
+//
+// The legality of each fate transition is defined once, on the record
+// itself, so every record store (the batch Schedule below, the streaming
+// session's windowed store) enforces identical semantics. `j` is only used
+// in abort messages.
+void record_dispatched(JobRecord& rec, JobId j, MachineId machine);
+void record_started(JobRecord& rec, JobId j, Time start, Speed speed);
+void record_completed(JobRecord& rec, JobId j, Time end);
+void record_rejected_running(JobRecord& rec, JobId j, Time now);
+void record_rejected_pending(JobRecord& rec, JobId j, Time now);
 
 class Schedule {
  public:
@@ -54,6 +68,13 @@ class Schedule {
   explicit Schedule(std::size_t num_jobs) : records_(num_jobs) {}
 
   std::size_t num_jobs() const { return records_.size(); }
+
+  /// Grows the record table to at least n jobs (new records unscheduled).
+  /// Streaming drivers extend as jobs are submitted; batch schedulers size
+  /// once at construction and this is a no-op.
+  void ensure_size(std::size_t n) {
+    if (n > records_.size()) records_.resize(n);
+  }
 
   JobRecord& record(JobId j) {
     OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < records_.size());

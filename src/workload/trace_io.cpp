@@ -1,9 +1,11 @@
 #include "workload/trace_io.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "util/check.hpp"
 #include "util/csv.hpp"
 
 namespace osched::workload {
@@ -27,24 +29,116 @@ std::optional<double> parse_value(const std::string& s) {
 
 }  // namespace
 
-std::string instance_to_csv(const Instance& instance) {
-  std::ostringstream out;
-  util::CsvWriter writer(out);
+// ---------------------------------------------------------------- writer
+
+TraceStreamWriter::TraceStreamWriter(std::ostream& out,
+                                     std::size_t num_machines)
+    : out_(out), num_machines_(num_machines) {
+  util::CsvWriter writer(out_);
   std::vector<std::string> header{"release", "weight", "deadline"};
-  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
+  for (std::size_t i = 0; i < num_machines; ++i) {
     header.push_back("p_" + std::to_string(i));
   }
   writer.write_row(header);
-  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
-    const auto j = static_cast<JobId>(idx);
-    const Job& job = instance.job(j);
-    std::vector<std::string> row{format_value(job.release),
-                                 format_value(job.weight),
-                                 format_value(job.deadline)};
-    for (std::size_t i = 0; i < instance.num_machines(); ++i) {
-      row.push_back(format_value(instance.processing(static_cast<MachineId>(i), j)));
+}
+
+void TraceStreamWriter::write_job(const StreamJob& job) {
+  OSCHED_CHECK_EQ(job.processing.size(), num_machines_)
+      << "trace row arity mismatch";
+  util::CsvWriter writer(out_);
+  std::vector<std::string> row{format_value(job.release),
+                               format_value(job.weight),
+                               format_value(job.deadline)};
+  for (const Work p : job.processing) row.push_back(format_value(p));
+  writer.write_row(row);
+  ++rows_written_;
+}
+
+// ---------------------------------------------------------------- reader
+
+TraceStreamReader::TraceStreamReader(std::istream& in) : in_(in) {
+  std::vector<std::string> header;
+  line_number_ = static_cast<std::size_t>(-1);  // header becomes line 0
+  if (!next_row(header)) {
+    if (ok()) fail("empty trace");
+    return;
+  }
+  if (header.size() < 4 || header[0] != "release") {
+    fail("bad header (expected release,weight,deadline,p_0,...)");
+    return;
+  }
+  num_machines_ = header.size() - 3;
+}
+
+bool TraceStreamReader::fail(const std::string& message) {
+  if (error_.empty()) error_ = message;
+  return false;
+}
+
+bool TraceStreamReader::next_row(std::vector<std::string>& fields) {
+  if (!ok()) return false;
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank separator lines are tolerated
+    const auto rows = util::parse_csv(line);
+    if (!rows.has_value() || rows->size() != 1) return fail("malformed CSV");
+    fields = std::move((*rows)[0]);
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    return true;
+  }
+  return false;  // clean EOF
+}
+
+std::size_t TraceStreamReader::next_chunk(std::size_t max_jobs,
+                                          std::vector<StreamJob>& out) {
+  out.clear();
+  std::vector<std::string> row;
+  while (out.size() < max_jobs && next_row(row)) {
+    if (row.size() != num_machines_ + 3) {
+      fail("row " + std::to_string(line_number_) + " has wrong arity");
+      out.clear();
+      return 0;
     }
-    writer.write_row(row);
+    StreamJob job;
+    const auto release = parse_value(row[0]);
+    const auto weight = parse_value(row[1]);
+    const auto deadline = parse_value(row[2]);
+    if (!release || !weight || !deadline) {
+      fail("row " + std::to_string(line_number_) +
+           " has non-numeric job fields");
+      out.clear();
+      return 0;
+    }
+    job.release = *release;
+    job.weight = *weight;
+    job.deadline = *deadline;
+    job.processing.reserve(num_machines_);
+    for (std::size_t i = 0; i < num_machines_; ++i) {
+      const auto p = parse_value(row[3 + i]);
+      if (!p) {
+        fail("row " + std::to_string(line_number_) + " has non-numeric p_ij");
+        out.clear();
+        return 0;
+      }
+      job.processing.push_back(*p);
+    }
+    out.push_back(std::move(job));
+    ++rows_read_;
+  }
+  return out.size();
+}
+
+// ------------------------------------------------------ whole-file helpers
+
+std::string instance_to_csv(const Instance& instance) {
+  std::ostringstream out;
+  TraceStreamWriter writer(out, instance.num_machines());
+  StreamJob job;
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    fill_stream_job(instance, static_cast<JobId>(idx), 0.0, &job);
+    writer.write_job(job);
   }
   return out.str();
 }
@@ -55,41 +149,28 @@ std::optional<Instance> instance_from_csv(const std::string& text,
     if (error) *error = msg;
     return std::nullopt;
   };
-  const auto rows = util::parse_csv(text);
-  if (!rows.has_value()) return fail("malformed CSV");
-  if (rows->empty()) return fail("empty trace");
-  const auto& header = (*rows)[0];
-  if (header.size() < 4 || header[0] != "release") {
-    return fail("bad header (expected release,weight,deadline,p_0,...)");
-  }
-  const std::size_t machines = header.size() - 3;
+  std::istringstream in(text);
+  TraceStreamReader reader(in);
+  if (!reader.ok()) return fail(reader.error());
 
+  const std::size_t machines = reader.num_machines();
   std::vector<Job> jobs;
   std::vector<std::vector<Work>> processing(machines);
-  for (std::size_t r = 1; r < rows->size(); ++r) {
-    const auto& row = (*rows)[r];
-    if (row.empty() || (row.size() == 1 && row[0].empty())) continue;
-    if (row.size() != header.size()) {
-      return fail("row " + std::to_string(r) + " has wrong arity");
-    }
-    Job job;
-    job.id = static_cast<JobId>(jobs.size());
-    const auto release = parse_value(row[0]);
-    const auto weight = parse_value(row[1]);
-    const auto deadline = parse_value(row[2]);
-    if (!release || !weight || !deadline) {
-      return fail("row " + std::to_string(r) + " has non-numeric job fields");
-    }
-    job.release = *release;
-    job.weight = *weight;
-    job.deadline = *deadline;
-    jobs.push_back(job);
-    for (std::size_t i = 0; i < machines; ++i) {
-      const auto p = parse_value(row[3 + i]);
-      if (!p) return fail("row " + std::to_string(r) + " has non-numeric p_ij");
-      processing[i].push_back(*p);
+  std::vector<StreamJob> chunk;
+  while (reader.next_chunk(4096, chunk) > 0) {
+    for (const StreamJob& sj : chunk) {
+      Job job;
+      job.id = static_cast<JobId>(jobs.size());
+      job.release = sj.release;
+      job.weight = sj.weight;
+      job.deadline = sj.deadline;
+      jobs.push_back(job);
+      for (std::size_t i = 0; i < machines; ++i) {
+        processing[i].push_back(sj.processing[i]);
+      }
     }
   }
+  if (!reader.ok()) return fail(reader.error());
 
   Instance instance(std::move(jobs), std::move(processing));
   const std::string problems = instance.validate();

@@ -1,17 +1,74 @@
-// Instance (trace) serialization.
+// Instance (trace) serialization — whole-file and chunked-streaming forms.
 //
 // CSV layout, one job per row:
 //   release,weight,deadline,p_0,p_1,...,p_{m-1}
 // with a header row naming the columns; "inf" encodes ineligible machines
 // and absent deadlines. Round-trips exactly through %.17g formatting.
+//
+// The streaming pair is the production path: TraceStreamReader parses
+// rows straight off an std::istream into StreamJob chunks — release order
+// ready for SchedulerSession::submit — without ever holding the full CSV
+// text or the full instance; TraceStreamWriter appends rows as jobs are
+// produced. The whole-file helpers below are thin wrappers over them, so
+// there is exactly one parser/formatter for the trace dialect.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "instance/instance.hpp"
+#include "instance/stream_job.hpp"
 
 namespace osched::workload {
+
+/// Incremental, bounded-memory trace writer: emits the header on
+/// construction, then one row per write_job call.
+class TraceStreamWriter {
+ public:
+  TraceStreamWriter(std::ostream& out, std::size_t num_machines);
+
+  /// Appends one row. The job's processing arity must match num_machines.
+  void write_job(const StreamJob& job);
+
+  std::size_t num_machines() const { return num_machines_; }
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t num_machines_;
+  std::size_t rows_written_ = 0;
+};
+
+/// Incremental, bounded-memory trace reader: parses the header on
+/// construction, then hands out jobs in chunks of bounded size. A malformed
+/// trace sets error() (never aborts — traces are external input).
+class TraceStreamReader {
+ public:
+  explicit TraceStreamReader(std::istream& in);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  std::size_t num_machines() const { return num_machines_; }
+  /// Data rows successfully parsed so far.
+  std::size_t rows_read() const { return rows_read_; }
+
+  /// Reads up to max_jobs further jobs into `out` (cleared first). Returns
+  /// out.size(); 0 means end of trace or error — distinguish with ok().
+  std::size_t next_chunk(std::size_t max_jobs, std::vector<StreamJob>& out);
+
+ private:
+  bool fail(const std::string& message);
+  /// Reads the next non-blank data line; false at EOF/error.
+  bool next_row(std::vector<std::string>& fields);
+
+  std::istream& in_;
+  std::string error_;
+  std::size_t num_machines_ = 0;
+  std::size_t rows_read_ = 0;
+  std::size_t line_number_ = 0;  ///< physical line index (header = 0)
+};
 
 std::string instance_to_csv(const Instance& instance);
 

@@ -2,6 +2,8 @@
 // (certificates, counters, energy in the report), and the validator hookup.
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include "api/scheduler_api.hpp"
 #include "core/flow/rejection_flow.hpp"
 #include "instance/builders.hpp"
@@ -18,7 +20,43 @@ TEST(Api, AlgorithmNamesRoundTrip) {
   }
   EXPECT_FALSE(parse_algorithm("nope").has_value());
   EXPECT_FALSE(parse_algorithm("").has_value());
-  EXPECT_FALSE(parse_algorithm("Theorem1").has_value());  // case-sensitive
+}
+
+TEST(Api, ParseAlgorithmIsCaseInsensitiveOverTheFullTable) {
+  // Table-driven over every published name: the exact string, UPPER,
+  // Capitalized and mIxEd forms all parse to the same algorithm; near-miss
+  // spellings do not.
+  const struct {
+    const char* name;
+    Algorithm expected;
+  } table[] = {
+      {"theorem1", Algorithm::kTheorem1},
+      {"theorem2", Algorithm::kTheorem2},
+      {"theorem3", Algorithm::kTheorem3},
+      {"weighted-ext", Algorithm::kWeightedExt},
+      {"greedy-spt", Algorithm::kGreedySpt},
+      {"fifo", Algorithm::kFifo},
+      {"immediate-reject", Algorithm::kImmediateReject},
+  };
+  ASSERT_EQ(std::size(table), algorithm_names().size())
+      << "table out of sync with algorithm_names()";
+  for (const auto& entry : table) {
+    std::string upper = entry.name;
+    std::string mixed = entry.name;
+    for (std::size_t i = 0; i < upper.size(); ++i) {
+      upper[i] = static_cast<char>(std::toupper(upper[i]));
+      if (i % 2 == 0) mixed[i] = upper[i];
+    }
+    for (const std::string& variant : {std::string(entry.name), upper, mixed}) {
+      const auto parsed = parse_algorithm(variant);
+      ASSERT_TRUE(parsed.has_value()) << variant;
+      EXPECT_EQ(*parsed, entry.expected) << variant;
+    }
+  }
+  // Case folding is not fuzzy matching.
+  EXPECT_FALSE(parse_algorithm("theorem").has_value());
+  EXPECT_FALSE(parse_algorithm("THEOREM1 ").has_value());
+  EXPECT_FALSE(parse_algorithm("greedy_spt").has_value());
 }
 
 Instance flow_workload(std::uint64_t seed, std::size_t jobs = 150) {

@@ -1,0 +1,29 @@
+// Shared rotating-seed hook for the fuzz/differential test binaries.
+//
+// OSCHED_FUZZ_SEED (decimal env var) reseeds a whole test binary; CI
+// derives it from the workflow run id so every run explores fresh
+// workloads/mutations, and the value is echoed once per binary so any
+// failure reproduces locally with `OSCHED_FUZZ_SEED=<value> ./build/<test>`.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+namespace osched::testing {
+
+/// Returns OSCHED_FUZZ_SEED, or `fallback` when unset, logging the value
+/// once under `tag` (the test binary's name).
+inline std::uint64_t fuzz_base_seed(const char* tag, std::uint64_t fallback) {
+  static const std::uint64_t seed = [&] {
+    const char* env = std::getenv("OSCHED_FUZZ_SEED");
+    const std::uint64_t value =
+        env != nullptr ? std::strtoull(env, nullptr, 10) : fallback;
+    std::cout << "[" << tag << "] OSCHED_FUZZ_SEED=" << value
+              << " (export to reproduce)\n";
+    return value;
+  }();
+  return seed;
+}
+
+}  // namespace osched::testing

@@ -1,0 +1,277 @@
+// Differential wall for the streaming scheduler sessions.
+//
+// The contract under test: a SchedulerSession fed the same jobs as a batch
+// api::run() — in any chunking, with advance() calls interleaved — makes
+// BIT-IDENTICAL decisions: same Schedule (zero-tolerance diff), same
+// objective report (double-for-double), same certificate and rejection
+// counters. This is the in-process analogue of scripts/compare_bench.py's
+// exact-match philosophy, run for every streamable algorithm over several
+// seeds and workload families.
+//
+// The rotating-seed hook: OSCHED_FUZZ_SEED (decimal) offsets the workload
+// seeds so CI explores fresh instances every run while any failure is
+// reproducible from the logged value.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/scheduler_api.hpp"
+#include "fuzz_seed.hpp"
+#include "service/scheduler_session.hpp"
+#include "service/shard_driver.hpp"
+#include "sim/schedule_io.hpp"
+#include "workload/generators.hpp"
+
+namespace osched {
+namespace {
+
+std::uint64_t base_seed() {
+  return testing::fuzz_base_seed("streaming_test", 42);
+}
+
+enum class Family { kDense, kWeighted, kRestricted };
+
+Instance make_workload(Family family, std::uint64_t seed, std::size_t n,
+                       std::size_t m) {
+  workload::WorkloadConfig config;
+  config.num_jobs = n;
+  config.num_machines = m;
+  config.seed = seed;
+  config.load = 1.2;
+  config.sizes.dist = workload::SizeDistribution::kPareto;
+  switch (family) {
+    case Family::kDense:
+      break;
+    case Family::kWeighted:
+      config.weights = workload::WeightDistribution::kUniform;
+      break;
+    case Family::kRestricted:
+      config.machines.model = workload::MachineModel::kRestricted;
+      config.machines.eligibility = 0.5;
+      break;
+  }
+  return workload::generate_workload(config);
+}
+
+const api::Algorithm kStreamable[] = {
+    api::Algorithm::kTheorem1,    api::Algorithm::kTheorem2,
+    api::Algorithm::kWeightedExt, api::Algorithm::kGreedySpt,
+    api::Algorithm::kFifo,        api::Algorithm::kImmediateReject,
+};
+
+void expect_bit_identical(const api::RunSummary& batch,
+                          const api::RunSummary& streamed,
+                          const std::string& context) {
+  ScheduleDiffOptions strict;
+  strict.time_tolerance = 0.0;  // byte-identical, not tolerance-equal
+  const auto diffs = diff_schedules(batch.schedule, streamed.schedule, strict);
+  EXPECT_TRUE(diffs.empty()) << context << ": " << diffs.size()
+                             << " schedule diffs; first: " << diffs.front();
+
+  EXPECT_EQ(batch.report.num_jobs, streamed.report.num_jobs) << context;
+  EXPECT_EQ(batch.report.num_completed, streamed.report.num_completed) << context;
+  EXPECT_EQ(batch.report.num_rejected, streamed.report.num_rejected) << context;
+  EXPECT_EQ(batch.report.rejected_fraction, streamed.report.rejected_fraction)
+      << context;
+  EXPECT_EQ(batch.report.rejected_weight_fraction,
+            streamed.report.rejected_weight_fraction)
+      << context;
+  EXPECT_EQ(batch.report.total_flow, streamed.report.total_flow) << context;
+  EXPECT_EQ(batch.report.completed_flow, streamed.report.completed_flow)
+      << context;
+  EXPECT_EQ(batch.report.total_weighted_flow,
+            streamed.report.total_weighted_flow)
+      << context;
+  EXPECT_EQ(batch.report.max_flow, streamed.report.max_flow) << context;
+  EXPECT_EQ(batch.report.makespan, streamed.report.makespan) << context;
+  EXPECT_EQ(batch.report.energy, streamed.report.energy) << context;
+  EXPECT_EQ(batch.certified_lower_bound, streamed.certified_lower_bound)
+      << context;
+  EXPECT_EQ(batch.rule1_rejections, streamed.rule1_rejections) << context;
+  EXPECT_EQ(batch.rule2_rejections, streamed.rule2_rejections) << context;
+}
+
+TEST(StreamingDifferential, EveryAlgorithmEverySeedEveryChunking) {
+  const Family families[] = {Family::kDense, Family::kWeighted,
+                             Family::kRestricted};
+  const std::size_t chunk_sizes[] = {1, 97, 100000};
+  for (const Family family : families) {
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      const Instance instance =
+          make_workload(family, base_seed() + 17 * s, 400, 5);
+      for (const api::Algorithm algorithm : kStreamable) {
+        const api::RunSummary batch = api::run(algorithm, instance);
+        for (const std::size_t chunk : chunk_sizes) {
+          const api::RunSummary streamed =
+              service::streamed_run(algorithm, instance, {}, chunk);
+          expect_bit_identical(
+              batch, streamed,
+              std::string(api::to_string(algorithm)) + " family=" +
+                  std::to_string(static_cast<int>(family)) + " seed+" +
+                  std::to_string(17 * s) + " chunk=" + std::to_string(chunk));
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingDifferential, InterleavedAdvanceDoesNotChangeDecisions) {
+  // advance() between every pair of submissions, to times strictly between
+  // arrivals — the finest-grained driving pattern a live feeder can use.
+  const Instance instance = make_workload(Family::kDense, base_seed(), 300, 4);
+  const api::RunSummary batch = api::run(api::Algorithm::kTheorem1, instance);
+
+  service::SchedulerSession session(api::Algorithm::kTheorem1,
+                                    instance.num_machines());
+  StreamJob job;
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    fill_stream_job(instance, j, 0.0, &job);
+    session.submit(job);
+    if (idx + 1 < instance.num_jobs()) {
+      const Time here = instance.job(j).release;
+      const Time next = instance.job(static_cast<JobId>(idx + 1)).release;
+      session.advance(here + 0.5 * (next - here));
+    }
+  }
+  expect_bit_identical(batch, session.drain(), "interleaved advance");
+}
+
+TEST(StreamingSession, LowMemoryAggregatesMatchBatchExactly) {
+  const Instance instance = make_workload(Family::kDense, base_seed() + 5, 2000, 6);
+  const api::RunSummary batch = api::run(api::Algorithm::kTheorem1, instance);
+
+  service::SessionOptions options;
+  options.run.validate = false;  // no retained schedule to validate
+  options.retain_records = false;
+  options.retire_batch = 64;  // exercise many fold/release cycles
+  service::SchedulerSession session(api::Algorithm::kTheorem1,
+                                    instance.num_machines(), options);
+  StreamJob job;
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    fill_stream_job(instance, static_cast<JobId>(idx), 0.0, &job);
+    session.submit(job);
+  }
+  const std::size_t max_live = session.max_live_jobs();
+  const api::RunSummary streamed = session.drain();
+
+  // The schedule was folded away...
+  EXPECT_EQ(streamed.schedule.num_jobs(), 0u);
+  // ...but the aggregates are bit-identical (folds run in job-id order, the
+  // same order the batch report sums in).
+  EXPECT_EQ(batch.report.num_completed, streamed.report.num_completed);
+  EXPECT_EQ(batch.report.num_rejected, streamed.report.num_rejected);
+  EXPECT_EQ(batch.report.total_flow, streamed.report.total_flow);
+  EXPECT_EQ(batch.report.completed_flow, streamed.report.completed_flow);
+  EXPECT_EQ(batch.report.total_weighted_flow,
+            streamed.report.total_weighted_flow);
+  EXPECT_EQ(batch.report.max_flow, streamed.report.max_flow);
+  EXPECT_EQ(batch.report.makespan, streamed.report.makespan);
+  EXPECT_EQ(batch.certified_lower_bound, streamed.certified_lower_bound);
+  EXPECT_EQ(batch.rule1_rejections, streamed.rule1_rejections);
+  EXPECT_EQ(batch.rule2_rejections, streamed.rule2_rejections);
+
+  // The memory contract: the working set tracked the live window, which for
+  // this near-critically-loaded workload is far below the trace length.
+  EXPECT_LT(max_live, instance.num_jobs() / 2) << "live high-water " << max_live;
+}
+
+TEST(StreamingSession, ValidateJobReportsRecoverableProblems) {
+  service::SchedulerSession session(api::Algorithm::kTheorem1, 2);
+
+  StreamJob good;
+  good.release = 1.0;
+  good.processing = {1.0, kTimeInfinity};
+  EXPECT_EQ(session.validate_job(good), "");
+  session.submit(good);
+
+  StreamJob wrong_arity;
+  wrong_arity.release = 2.0;
+  wrong_arity.processing = {1.0};
+  EXPECT_NE(session.validate_job(wrong_arity).find("machines"), std::string::npos);
+
+  StreamJob out_of_order;
+  out_of_order.release = 0.5;  // before the last submitted release
+  out_of_order.processing = {1.0, 1.0};
+  EXPECT_NE(session.validate_job(out_of_order).find("release order"),
+            std::string::npos);
+
+  StreamJob ineligible;
+  ineligible.release = 2.0;
+  ineligible.processing = {kTimeInfinity, kTimeInfinity};
+  EXPECT_NE(session.validate_job(ineligible).find("no eligible machine"),
+            std::string::npos);
+
+  StreamJob negative;
+  negative.release = 2.0;
+  negative.processing = {-1.0, 1.0};
+  EXPECT_NE(session.validate_job(negative).find("non-positive"),
+            std::string::npos);
+
+  // The clock outruns a release after advance().
+  session.advance(5.0);
+  StreamJob late;
+  late.release = 3.0;
+  late.processing = {1.0, 1.0};
+  EXPECT_NE(session.validate_job(late).find("session clock"), std::string::npos);
+}
+
+TEST(ShardDriver, ThreadCountNeverChangesAnyTenantsOutcome) {
+  constexpr std::size_t kShards = 4;
+  std::vector<Instance> tenants;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    tenants.push_back(make_workload(
+        s % 2 == 0 ? Family::kDense : Family::kRestricted,
+        base_seed() + 100 + s, 250, 4));
+  }
+
+  auto run_driver = [&](std::size_t threads) {
+    service::ShardDriverOptions options;
+    options.threads = threads;
+    service::ShardDriver driver(api::Algorithm::kTheorem1, kShards, 4, options);
+    // Feed round-robin across tenants in small waves, pumping between
+    // waves, the way a frontend ingest loop would.
+    for (std::size_t wave = 0; wave < 25; ++wave) {
+      for (std::size_t s = 0; s < kShards; ++s) {
+        const Instance& instance = tenants[s];
+        for (std::size_t k = wave * 10; k < (wave + 1) * 10; ++k) {
+          if (k >= instance.num_jobs()) break;
+          driver.submit(s, make_stream_job(instance, static_cast<JobId>(k)));
+        }
+      }
+      driver.pump();
+    }
+    return driver.drain_all();
+  };
+
+  const std::vector<api::RunSummary> serial = run_driver(1);
+  const std::vector<api::RunSummary> parallel = run_driver(8);
+  ASSERT_EQ(serial.size(), kShards);
+  ASSERT_EQ(parallel.size(), kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    expect_bit_identical(serial[s], parallel[s],
+                         "shard " + std::to_string(s));
+    // And each tenant's outcome equals a dedicated single-tenant session's.
+    const api::RunSummary solo =
+        service::streamed_run(api::Algorithm::kTheorem1, tenants[s], {}, 10);
+    expect_bit_identical(solo, parallel[s], "shard vs solo " + std::to_string(s));
+  }
+}
+
+TEST(ShardDriver, RoutesKeysStablyAcrossAllShards) {
+  service::ShardDriver driver(api::Algorithm::kGreedySpt, 8, 2);
+  std::vector<bool> hit(8, false);
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    const std::size_t shard = driver.shard_for(key);
+    ASSERT_LT(shard, 8u);
+    EXPECT_EQ(shard, driver.shard_for(key));  // stable
+    hit[shard] = true;
+  }
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(hit[s]) << "shard " << s << " never targeted by 256 keys";
+  }
+}
+
+}  // namespace
+}  // namespace osched

@@ -11,6 +11,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+#include "util/sliding_vector.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -18,6 +19,57 @@
 
 namespace osched::util {
 namespace {
+
+// ------------------------------------------------------- SlidingVector
+
+TEST(SlidingVector, GrowsLikeAVectorWhenNeverRetired) {
+  SlidingVector<int> v;
+  EXPECT_TRUE(v.empty());
+  v.extend_to(5);
+  EXPECT_EQ(v.end_index(), 5u);
+  EXPECT_EQ(v.begin_index(), 0u);
+  EXPECT_EQ(v[3], 0);  // value-initialized
+  v[3] = 42;
+  v.extend_to(3);  // shrink request is a no-op
+  EXPECT_EQ(v.end_index(), 5u);
+  EXPECT_EQ(v.at(3), 42);
+}
+
+TEST(SlidingVector, RetirementMovesTheLiveWindow) {
+  SlidingVector<std::size_t> v;
+  v.extend_to(10);
+  for (std::size_t i = 0; i < 10; ++i) v[i] = i * i;
+  v.retire_below(4);
+  EXPECT_EQ(v.begin_index(), 4u);
+  EXPECT_EQ(v.live_size(), 6u);
+  EXPECT_FALSE(v.is_live(3));
+  EXPECT_TRUE(v.is_live(4));
+  for (std::size_t i = 4; i < 10; ++i) EXPECT_EQ(v.at(i), i * i);
+  v.retire_below(2);  // going backwards is a no-op
+  EXPECT_EQ(v.begin_index(), 4u);
+  v.retire_below(100);  // beyond the end clamps
+  EXPECT_EQ(v.begin_index(), 10u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SlidingVector, CompactionPreservesLiveContentsOverLongStreams) {
+  // Simulates the session pattern: ids stream through a bounded window.
+  // After many retire/extend cycles the storage must have been compacted
+  // (ids live far beyond the initial allocation) with contents intact.
+  SlidingVector<std::size_t> v;
+  const std::size_t window = 500;
+  for (std::size_t id = 0; id < 100000; ++id) {
+    v.extend_to(id + 1);
+    v[id] = id * 7;
+    if (id >= window) v.retire_below(id - window);
+    if (id % 997 == 0) {
+      for (std::size_t k = v.begin_index(); k < v.end_index(); ++k) {
+        ASSERT_EQ(v.at(k), k * 7) << "id " << id;
+      }
+    }
+  }
+  EXPECT_LE(v.live_size(), window + 1);
+}
 
 // ---------------------------------------------------------------- Rng
 
