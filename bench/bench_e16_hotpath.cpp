@@ -141,6 +141,13 @@ Scenario make_e16() {
       {"sparse n=200000 m=256", Family::kSparse, 200000, 256, 0.05},
       {"adversarial n=1000000 m=8", Family::kAdversarial, 1000000, 8, 1.0},
       {"adversarial n=200000 m=64", Family::kAdversarial, 200000, 64, 1.0},
+      // m-sweep at fixed n: the machine-selection index's scaling story —
+      // pre-index, jobs/s fell superlinearly with m on exactly this curve.
+      // Appended AFTER the original grid: unit seeds derive from the case
+      // index, so earlier cases keep their committed deterministic metrics.
+      {"msweep dense n=100000 m=64", Family::kDense, 100000, 64, 1.0},
+      {"msweep dense n=100000 m=256", Family::kDense, 100000, 256, 1.0},
+      {"msweep dense n=100000 m=512", Family::kDense, 100000, 512, 1.0},
   };
   for (const auto& cell : cells) {
     scenario.grid.push_back(CaseSpec(cell.label)

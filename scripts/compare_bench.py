@@ -13,8 +13,15 @@ Compares a baseline report against a current one, metric by metric:
   (mean, min and max). A mismatch means the two binaries scheduled
   differently, which is a correctness failure, not noise.
 
-Scenarios/cases/metrics present on only one side are reported as warnings
+Scenarios/cases/metrics present only in the CURRENT report are warnings
 (the suite grows over time); --fail-on-missing promotes them to errors.
+Anything the BASELINE has that the current report lost — a whole case, or
+one of the core deterministic metrics (rejected/completed/total_flow) — is
+a determinism error (exit 2) outright: losing those columns must never
+downgrade the correctness gate to a warning.
+
+For e17's sharded cases the script also prints shard-scaling efficiency
+(jobs/s per worker relative to the single-session case) for both reports.
 
 Exit codes: 0 OK, 1 perf regression beyond tolerance, 2 determinism
 mismatch or structural/schema error (including an unreadable or off-schema
@@ -30,9 +37,18 @@ import sys
 
 EXPECTED_SCHEMA = "osched.bench.report"
 
-PERF_EXACT = {"seconds", "compute_seconds", "wall_seconds"}
+# "workers" is the shard driver's resolved worker count — shaped by the
+# host's core count, not by scheduling decisions, so it belongs to the
+# wall-clock class (band-compared), not the deterministic one.
+PERF_EXACT = {"seconds", "compute_seconds", "wall_seconds", "workers"}
 PERF_PREFIXES = ("peak_rss",)
 PERF_SUFFIXES = ("_per_sec",)
+
+# Metrics that every scheduling case emits and whose absence (on either
+# side) is treated as a determinism failure, not a schema warning: a report
+# that silently lost its rejected/completed/total_flow columns must never
+# pass the cross-binary correctness gate.
+CORE_DETERMINISTIC = ("rejected", "completed", "total_flow")
 
 
 def is_perf_metric(name: str) -> bool:
@@ -72,6 +88,37 @@ def index_cases(report: dict) -> dict:
     return out
 
 
+def report_shard_efficiency(side: str, cases: dict) -> None:
+    """Prints shard-scaling efficiency for every e17 sharded case.
+
+    Efficiency = sharded jobs/s per worker, relative to the single-session
+    case of the same scenario: 1.0 means adding workers costs nothing,
+    below 1/workers means sharding is slower than not sharding at all.
+    """
+    for (scenario, label), metrics in sorted(cases.items()):
+        if "sharded" not in label:
+            continue
+        single = None
+        for (other_scenario, other_label), other in cases.items():
+            if other_scenario == scenario and "stream t1" in other_label:
+                single = other
+                break
+        if single is None:
+            continue
+        try:
+            sharded_jps = metrics["jobs_per_sec"]["mean"]
+            single_jps = single["jobs_per_sec"]["mean"]
+            workers = metrics.get("workers", {}).get("mean") or 1.0
+        except (KeyError, TypeError):
+            continue
+        if not single_jps or single_jps <= 0 or not workers:
+            continue
+        speedup = sharded_jps / single_jps
+        print(f"compare_bench: shard-scaling [{side}] {scenario}/{label}: "
+              f"{speedup:.2f}x vs single session over {workers:.0f} "
+              f"worker(s) = efficiency {speedup / workers:.2f}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -94,15 +141,27 @@ def main() -> None:
 
     for key in sorted(set(base) | set(cur)):
         scenario, label = key
-        if key not in base or key not in cur:
-            side = "baseline" if key not in cur else "current"
-            warnings.append(f"{scenario}/{label}: only in {side}")
+        if key not in cur:
+            # A case the BASELINE has but the current report lost takes its
+            # deterministic trio with it — that is a correctness failure,
+            # not suite growth.
+            determinism_errors.append(
+                f"{scenario}/{label}: present in baseline but missing from "
+                f"current report (its deterministic metrics are gone)")
+            continue
+        if key not in base:
+            warnings.append(f"{scenario}/{label}: only in current")
             continue
         metrics = sorted(set(base[key]) | set(cur[key]))
         for name in metrics:
             if name not in base[key] or name not in cur[key]:
                 side = "baseline" if name not in cur[key] else "current"
-                warnings.append(f"{scenario}/{label}/{name}: only in {side}")
+                if name in CORE_DETERMINISTIC:
+                    determinism_errors.append(
+                        f"{scenario}/{label}/{name}: deterministic metric "
+                        f"only in {side} report")
+                else:
+                    warnings.append(f"{scenario}/{label}/{name}: only in {side}")
                 continue
             b, c = base[key][name], cur[key][name]
             compared += 1
@@ -131,6 +190,9 @@ def main() -> None:
                             f"{c.get(stat)!r} (deterministic metric must "
                             f"match exactly)")
                         break
+
+    report_shard_efficiency("baseline", base)
+    report_shard_efficiency("current", cur)
 
     for message in warnings:
         print(f"compare_bench: WARN: {message}", file=sys.stderr)

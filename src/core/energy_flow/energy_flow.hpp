@@ -47,6 +47,10 @@ struct EnergyFlowOptions {
   /// keeping HDF order, dispatching and speed scaling — the "Theorem 2
   /// without its relaxation" policy the paper's lower bounds apply to.
   bool enable_rejection = true;
+  /// kIndexed (default) dispatches through the cached-lower-bound machine
+  /// index; kLinearScan is the reference full scan. Both are bit-identical
+  /// (tests/dispatch_index_test.cpp).
+  DispatchMode dispatch = DispatchMode::kIndexed;
 };
 
 /// The paper's gamma(eps, alpha) with the documented fallback.

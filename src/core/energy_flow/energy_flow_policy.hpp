@@ -6,6 +6,17 @@
 // over every job record (the V-integral decomposition), so a streaming
 // session must retain records and job rows to drain a Theorem 2 run — the
 // session enforces that; retire_below is deliberately a no-op.
+//
+// Machine state is structure-of-arrays, and the dispatch runs through the
+// same index shape as the other policies: the exact lambda here costs an
+// O(pending) walk WITH a pow() per element, so skipping dominated machines
+// matters even at modest m. The lower bound is the job-only term
+//   lb_i = margin * (w * (p/eps))
+// — every other lambda term is non-negative — which orders candidates by
+// p and prunes exactly (kDispatchBoundMargin absorbs the roundings).
+// DispatchMode::kLinearScan keeps the reference full scan; both modes
+// return the identical lexicographic (lambda, machine id) argmin
+// (tests/dispatch_index_test.cpp).
 #pragma once
 
 #include <algorithm>
@@ -15,6 +26,7 @@
 
 #include "core/energy_flow/energy_flow.hpp"
 #include "sim/engine.hpp"
+#include "util/dispatch_heap.hpp"
 #include "util/sliding_vector.hpp"
 
 namespace osched {
@@ -36,25 +48,11 @@ struct DensityKey {
   }
 };
 
-struct MachineState {
-  std::set<DensityKey> pending;
-  Weight pending_weight = 0.0;
-
-  JobId running = kInvalidJob;
-  Speed running_speed = 0.0;
-  Time running_start = 0.0;
-  Time running_end = 0.0;
-  Work running_volume = 0.0;
-  double v_counter = 0.0;  ///< weight dispatched during the current execution
-  std::uint64_t completion_event = 0;
-};
-
 }  // namespace energy_flow_detail
 
 template <class Store, class Rec>
 class EnergyFlowPolicy final : public SimulationHooks {
   using DensityKey = energy_flow_detail::DensityKey;
-  using MachineState = energy_flow_detail::MachineState;
 
  public:
   EnergyFlowPolicy(const Store& store, Rec& rec, EventQueue& events,
@@ -64,14 +62,25 @@ class EnergyFlowPolicy final : public SimulationHooks {
         events_(events),
         options_(options),
         gamma_(options.gamma > 0.0 ? options.gamma
-                                   : theorem2_gamma(options.epsilon, options.alpha)),
-        machines_(store.num_machines()) {
+                                   : theorem2_gamma(options.epsilon, options.alpha)) {
     OSCHED_CHECK_GT(options.epsilon, 0.0);
     OSCHED_CHECK_LT(options.epsilon, 1.0);
     OSCHED_CHECK_GT(options.alpha, 1.0);
     OSCHED_CHECK_GT(gamma_, 0.0);
     extra_.extend_to(store.num_jobs());
     lambda_.extend_to(store.num_jobs());
+    const std::size_t m = store.num_machines();
+    pending_.resize(m);
+    pending_weight_.assign(m, 0.0);
+    running_.assign(m, kInvalidJob);
+    running_speed_.assign(m, 0.0);
+    running_start_.assign(m, 0.0);
+    running_end_.assign(m, 0.0);
+    running_volume_.assign(m, 0.0);
+    v_counter_.assign(m, 0.0);
+    completion_event_.assign(m, 0);
+    lb_.assign(m, 0.0);
+    heap_.reserve(m);
   }
 
   void on_arrival(JobId j, Time now) override {
@@ -79,15 +88,11 @@ class EnergyFlowPolicy final : public SimulationHooks {
     lambda_.extend_to(static_cast<std::size_t>(j) + 1);
     const Job& job = store_.job(j);
 
-    double best_lambda = std::numeric_limits<double>::infinity();
-    MachineId best_machine = kInvalidMachine;
-    for (const MachineId machine : store_.eligible_machines(j)) {
-      const double lambda = lambda_ij(machine, j);
-      if (lambda < best_lambda) {
-        best_lambda = lambda;
-        best_machine = machine;
-      }
-    }
+    double best_lambda = 0.0;
+    const MachineId best_machine =
+        options_.dispatch == DispatchMode::kIndexed
+            ? dispatch_indexed(j, &best_lambda)
+            : dispatch_linear_scan(j, &best_lambda);
     OSCHED_CHECK(best_machine != kInvalidMachine)
         << "job " << j << " has no eligible machine";
     const double lambda_j =
@@ -95,27 +100,27 @@ class EnergyFlowPolicy final : public SimulationHooks {
     sum_lambda_ += lambda_j;
     lambda_[static_cast<std::size_t>(j)] = lambda_j;
 
-    MachineState& ms = machines_[static_cast<std::size_t>(best_machine)];
+    const auto b = static_cast<std::size_t>(best_machine);
     rec_.mark_dispatched(j, best_machine);
-    ms.pending.insert(make_key(best_machine, j));
-    ms.pending_weight += job.weight;
+    pending_[b].insert(make_key(best_machine, j));
+    pending_weight_[b] += job.weight;
 
-    if (options_.enable_rejection && ms.running != kInvalidJob) {
-      ms.v_counter += job.weight;
-      const Weight w_k = store_.job(ms.running).weight;
-      if (ms.v_counter > w_k / options_.epsilon) {
+    if (options_.enable_rejection && running_[b] != kInvalidJob) {
+      v_counter_[b] += job.weight;
+      const Weight w_k = store_.job(running_[b]).weight;
+      if (v_counter_[b] > w_k / options_.epsilon) {
         reject_running(best_machine, now);
       }
     }
 
-    if (ms.running == kInvalidJob) start_next(best_machine, now);
+    if (running_[b] == kInvalidJob) start_next(best_machine, now);
   }
 
   void on_event(const SimEvent& event, Time now) override {
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
+    const auto i = static_cast<std::size_t>(event.machine);
+    OSCHED_CHECK_EQ(running_[i], event.job);
     rec_.mark_completed(event.job, now);
-    ms.running = kInvalidJob;
+    running_[i] = kInvalidJob;
     start_next(event.machine, now);
   }
 
@@ -188,7 +193,7 @@ class EnergyFlowPolicy final : public SimulationHooks {
 
   /// lambda_ij with j virtually inserted into machine i's pending order.
   double lambda_ij(MachineId i, JobId j) const {
-    const MachineState& ms = machines_[static_cast<std::size_t>(i)];
+    const auto& pending = pending_[static_cast<std::size_t>(i)];
     const Job& job = store_.job(j);
     const Work p = store_.processing_unchecked(i, j);
     const double density = job.weight / p;
@@ -196,7 +201,7 @@ class EnergyFlowPolicy final : public SimulationHooks {
     double prefix_weight = 0.0;
     double sum_before = 0.0;  // sum_{l < j} p_il / (gamma W_l^{1/alpha})
     Weight weight_after = 0.0;
-    for (const DensityKey& key : ms.pending) {
+    for (const DensityKey& key : pending) {
       // Pending jobs were released earlier (or tie with smaller id), so
       // equal densities order before the new arrival.
       if (key.density >= density) {
@@ -215,45 +220,107 @@ class EnergyFlowPolicy final : public SimulationHooks {
            weight_after * p / denom_j;
   }
 
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    OSCHED_CHECK_EQ(ms.running, kInvalidJob);
-    if (ms.pending.empty()) return;
-    const DensityKey key = *ms.pending.begin();
-    ms.pending.erase(ms.pending.begin());
+  /// Reference dispatch: exact lambda for every eligible machine, ascending
+  /// machine id, strict-less keeps the first (= smallest id on ties).
+  MachineId dispatch_linear_scan(JobId j, double* best_lambda_out) const {
+    double best_lambda = std::numeric_limits<double>::infinity();
+    MachineId best_machine = kInvalidMachine;
+    for (const MachineId machine : store_.eligible_machines(j)) {
+      const double lambda = lambda_ij(machine, j);
+      if (lambda < best_lambda) {
+        best_lambda = lambda;
+        best_machine = machine;
+      }
+    }
+    *best_lambda_out = best_lambda;
+    return best_machine;
+  }
+
+  /// Indexed dispatch: job-only lower bounds (every queue-dependent lambda
+  /// term is non-negative), best-first exact evaluation until the next
+  /// bound exceeds the incumbent. Bit-identical to dispatch_linear_scan.
+  MachineId dispatch_indexed(JobId j, double* best_lambda_out) {
+    const auto eligible = store_.eligible_machines(j);
+    const std::size_t count = eligible.size();
+    OSCHED_CHECK(count > 0) << "job " << j << " has no eligible machine";
+    const Work* row = store_.processing_row(j);
+    const Weight w = store_.job(j).weight;
+    const double coeff = kDispatchBoundMargin * w / options_.epsilon;
+
+    std::size_t seed_k = 0;
+    double seed_lb = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto i = static_cast<std::size_t>(eligible.first[k]);
+      lb_[k] = coeff * row[i];
+      if (lb_[k] < seed_lb) {
+        seed_lb = lb_[k];
+        seed_k = k;
+      }
+    }
+
+    const MachineId seed_machine = eligible.first[seed_k];
+    double best_lambda = lambda_ij(seed_machine, j);
+    MachineId best_machine = seed_machine;
+
+    heap_.reset();
+    for (std::size_t k = 0; k < count; ++k) {
+      if (k == seed_k || lb_[k] > best_lambda) continue;
+      heap_.push(lb_[k], static_cast<std::uint32_t>(eligible.first[k]));
+    }
+    while (!heap_.empty()) {
+      const auto entry = heap_.pop_min();
+      if (entry.key > best_lambda) break;
+      const auto machine = static_cast<MachineId>(entry.id);
+      const double lambda = lambda_ij(machine, j);
+      if (lambda < best_lambda ||
+          (lambda == best_lambda && machine < best_machine)) {
+        best_lambda = lambda;
+        best_machine = machine;
+      }
+    }
+    *best_lambda_out = best_lambda;
+    return best_machine;
+  }
+
+  void start_next(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+    OSCHED_CHECK_EQ(running_[i], kInvalidJob);
+    if (pending_[i].empty()) return;
+    const DensityKey key = *pending_[i].begin();
+    pending_[i].erase(pending_[i].begin());
 
     // Speed from the total pending weight INCLUDING the started job.
     const Speed speed =
-        gamma_ * std::pow(ms.pending_weight, 1.0 / options_.alpha);
+        gamma_ * std::pow(pending_weight_[i], 1.0 / options_.alpha);
     OSCHED_CHECK_GT(speed, 0.0);
-    ms.pending_weight -= key.weight;
+    pending_weight_[i] -= key.weight;
 
-    ms.running = key.id;
-    ms.running_speed = speed;
-    ms.running_start = now;
-    ms.running_volume = key.volume;
-    ms.running_end = now + key.volume / speed;
-    ms.v_counter = 0.0;
+    running_[i] = key.id;
+    running_speed_[i] = speed;
+    running_start_[i] = now;
+    running_volume_[i] = key.volume;
+    running_end_[i] = now + key.volume / speed;
+    v_counter_[i] = 0.0;
     rec_.mark_started(key.id, now, speed);
-    ms.completion_event = events_.schedule(ms.running_end, i, key.id);
+    completion_event_[i] = events_.schedule(running_end_[i], machine, key.id);
   }
 
-  void reject_running(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const JobId k = ms.running;
-    const Time remaining_time = std::max(0.0, ms.running_end - now);
+  void reject_running(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+    const JobId k = running_[i];
+    const Time remaining_time = std::max(0.0, running_end_[i] - now);
 
-    events_.cancel(ms.completion_event);
+    events_.cancel(completion_event_[i]);
     rec_.mark_rejected_running(k, now);
 
     // Definitive-finish extension: every job of U_i(now) (pending + k)
     // lingers an extra q_ik(now)/s_k = remaining_time in the V/Q set.
     extra_[static_cast<std::size_t>(k)] += remaining_time;
-    for (const DensityKey& key : ms.pending) {
+    for (const DensityKey& key : pending_[i]) {
       extra_[static_cast<std::size_t>(key.id)] += remaining_time;
     }
 
-    ms.running = kInvalidJob;
+    running_[i] = kInvalidJob;
     ++rejections_;
   }
 
@@ -264,7 +331,22 @@ class EnergyFlowPolicy final : public SimulationHooks {
   double gamma_;
   util::SlidingVector<double> extra_;
   util::SlidingVector<double> lambda_;
-  std::vector<MachineState> machines_;
+
+  // ---- machine state, structure-of-arrays (indexed by machine id) ----
+  std::vector<std::set<DensityKey>> pending_;
+  std::vector<Weight> pending_weight_;
+  std::vector<JobId> running_;
+  std::vector<Speed> running_speed_;
+  std::vector<Time> running_start_;
+  std::vector<Time> running_end_;
+  std::vector<Work> running_volume_;
+  std::vector<double> v_counter_;  ///< weight dispatched during execution
+  std::vector<std::uint64_t> completion_event_;
+
+  // ---- dispatch scratch, reused across arrivals ----
+  std::vector<double> lb_;
+  util::DispatchHeap heap_;
+
   double sum_lambda_ = 0.0;
   std::size_t rejections_ = 0;
 };

@@ -11,11 +11,6 @@ FlowDualAccounting::FlowDualAccounting(std::size_t num_jobs, double epsilon)
   jobs_.extend_to(num_jobs);
 }
 
-void FlowDualAccounting::set_lambda(JobId /*j*/, double min_lambda_ij) {
-  OSCHED_CHECK_GE(min_lambda_ij, 0.0);
-  sum_lambda_ += epsilon_ / (1.0 + epsilon_) * min_lambda_ij;
-}
-
 void FlowDualAccounting::on_rule2_rejection(JobId j, Time remaining_of_running,
                                             Work pending_sum_except_trigger_and_j,
                                             Work p_ij) {
@@ -26,15 +21,6 @@ void FlowDualAccounting::on_rule2_rejection(JobId j, Time remaining_of_running,
       remaining_of_running + std::max(0.0, pending_sum_except_trigger_and_j) + p_ij;
 }
 
-void FlowDualAccounting::finalize(JobId j, Time release, Time end) {
-  JobDual& entry = jobs_.at(static_cast<std::size_t>(j));
-  OSCHED_CHECK(!entry.finalized) << "job " << j << " finalized twice";
-  entry.finalized = true;
-  entry.c_tilde = end + entry.extra;
-  OSCHED_CHECK_GE(entry.c_tilde, release - kTimeEps);
-  residence_ += entry.c_tilde - release;
-}
-
 double FlowDualAccounting::beta_integral() const {
   const double scale = epsilon_ / ((1.0 + epsilon_) * (1.0 + epsilon_));
   return scale * residence_;
@@ -42,12 +28,6 @@ double FlowDualAccounting::beta_integral() const {
 
 double FlowDualAccounting::opt_lower_bound() const {
   return std::max(0.0, dual_objective()) / 2.0;
-}
-
-Time FlowDualAccounting::definitive_finish(JobId j) const {
-  const JobDual& entry = jobs_.at(static_cast<std::size_t>(j));
-  OSCHED_CHECK(entry.finalized) << "job " << j << " not finalized";
-  return entry.c_tilde;
 }
 
 }  // namespace osched

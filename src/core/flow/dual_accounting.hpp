@@ -50,7 +50,11 @@ class FlowDualAccounting {
   }
 
   /// Records lambda_j = eps/(1+eps) * min_i lambda_ij at j's arrival.
-  void set_lambda(JobId j, double min_lambda_ij);
+  /// (Inline: called once per arrival on the hot path.)
+  void set_lambda(JobId /*j*/, double min_lambda_ij) {
+    OSCHED_CHECK_GE(min_lambda_ij, 0.0);
+    sum_lambda_ += epsilon_ / (1.0 + epsilon_) * min_lambda_ij;
+  }
 
   /// Rule 1 rejected the running job k at time t with remaining time q: every
   /// job in U_i(t) — the pending jobs plus k itself — has its definitive
@@ -78,8 +82,15 @@ class FlowDualAccounting {
                           Work pending_sum_except_trigger_and_j, Work p_ij);
 
   /// Finalizes C-tilde_j when j leaves the system at time `end` (completion
-  /// time or rejection time).
-  void finalize(JobId j, Time release, Time end);
+  /// time or rejection time). (Inline: called once per decided job.)
+  void finalize(JobId j, Time release, Time end) {
+    JobDual& entry = jobs_.at(static_cast<std::size_t>(j));
+    OSCHED_CHECK(!entry.finalized) << "job " << j << " finalized twice";
+    entry.finalized = true;
+    entry.c_tilde = end + entry.extra;
+    OSCHED_CHECK_GE(entry.c_tilde, release - kTimeEps);
+    residence_ += entry.c_tilde - release;
+  }
 
   double sum_lambda() const { return sum_lambda_; }
 
@@ -96,7 +107,11 @@ class FlowDualAccounting {
   double opt_lower_bound() const;
 
   /// Requires j finalized and not retired.
-  Time definitive_finish(JobId j) const;
+  Time definitive_finish(JobId j) const {
+    const JobDual& entry = jobs_.at(static_cast<std::size_t>(j));
+    OSCHED_CHECK(entry.finalized) << "job " << j << " not finalized";
+    return entry.c_tilde;
+  }
 
  private:
   struct JobDual {

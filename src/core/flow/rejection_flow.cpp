@@ -37,12 +37,12 @@ RejectionFlowResult run_rejection_flow(const Instance& instance,
   result.beta_integral = policy.dual().beta_integral();
   result.dual_objective = policy.dual().dual_objective();
   result.opt_lower_bound = policy.dual().opt_lower_bound();
-  result.definitive_finish.reserve(instance.num_jobs());
-  result.lambda.reserve(instance.num_jobs());
+  result.definitive_finish.resize(instance.num_jobs());
+  result.lambda.resize(instance.num_jobs());
   for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
-    result.definitive_finish.push_back(
-        policy.dual().definitive_finish(static_cast<JobId>(j)));
-    result.lambda.push_back(policy.lambda(static_cast<JobId>(j)));
+    result.definitive_finish[j] =
+        policy.dual().definitive_finish(static_cast<JobId>(j));
+    result.lambda[j] = policy.lambda(static_cast<JobId>(j));
   }
   return result;
 }

@@ -65,6 +65,10 @@ struct RejectionFlowOptions {
   /// speed-augmented baseline [5] reuses this scheduler with speed > 1
   /// (processing times shrink to p_ij/speed).
   double speed = 1.0;
+  /// kIndexed (default) dispatches through the cached-lower-bound machine
+  /// index; kLinearScan is the reference full scan. Both are bit-identical
+  /// (tests/dispatch_index_test.cpp).
+  DispatchMode dispatch = DispatchMode::kIndexed;
 };
 
 struct RejectionFlowResult {

@@ -5,8 +5,9 @@
 // template over
 //   Store — where job data comes from: the batch `Instance`, or the
 //           streaming session's `service::StreamingJobStore`. Must provide
-//           job(j), processing_unchecked(i, j), eligible_machines(j) and
-//           num_machines() with Instance's semantics.
+//           job(j), processing_unchecked(i, j), processing_row(j),
+//           eligible_machines(j) and num_machines() with Instance's
+//           semantics.
 //   Rec   — where decisions are recorded: the batch `Schedule`, or the
 //           session's windowed record store. Must provide the mark_*
 //           mutation surface of Schedule.
@@ -16,6 +17,22 @@
 // completions into the EventQueue it was handed. Identical call sequences
 // produce bit-identical decisions regardless of the driver, which is what
 // the streaming differential tests pin down.
+//
+// Machine state is laid out structure-of-arrays: the lambda inputs the
+// dispatch needs per machine (pending count, pending minimum processing
+// time) live in contiguous arrays next to the p_ij row, so the per-arrival
+// lower-bound sweep is a straight-line vectorizable loop. On top of that
+// sits the dispatch index: for each candidate machine a sound lower bound
+//   lb_i = margin * (p/eps + p + n_i * min(p, pmin_i))        (p = p_ij)
+// is computed from the cached aggregates (updated only when machine i's
+// pending queue is touched), candidates are visited best-first through a
+// min-heap, and the exact lambda — one O(log q) treap descent — is
+// evaluated only until the next bound exceeds the incumbent. Because the
+// bound never exceeds the rounded exact lambda (see kDispatchBoundMargin)
+// and the incumbent update keeps the lexicographic (lambda, machine id)
+// rule, the selected machine and its lambda are bit-identical to the
+// reference linear scan (DispatchMode::kLinearScan, kept for the
+// differential wall in tests/dispatch_index_test.cpp).
 //
 // See rejection_flow.hpp for the paper conventions and the batch entry
 // point; this header is the shared implementation.
@@ -28,6 +45,7 @@
 #include "core/flow/rejection_flow.hpp"
 #include "sim/engine.hpp"
 #include "util/augmented_treap.hpp"
+#include "util/dispatch_heap.hpp"
 #include "util/rng.hpp"
 #include "util/sliding_vector.hpp"
 
@@ -55,25 +73,12 @@ struct KeyProcessing {
 
 using PendingQueue = util::AugmentedTreap<PendingKey, KeyProcessing>;
 
-struct MachineState {
-  explicit MachineState(std::uint64_t seed)
-      : pending(KeyProcessing{}, seed) {}
-
-  PendingQueue pending;
-  JobId running = kInvalidJob;
-  Work running_p = 0.0;  ///< effective (speed-scaled) processing time
-  Time running_end = 0.0;
-  std::uint64_t completion_event = 0;
-  std::int64_t v_counter = 0;  ///< Rule 1: dispatches during current execution
-  std::int64_t c_counter = 0;  ///< Rule 2: dispatches since last reset
-};
-
 }  // namespace rejection_flow_detail
 
 template <class Store, class Rec>
 class RejectionFlowPolicy final : public SimulationHooks {
   using PendingKey = rejection_flow_detail::PendingKey;
-  using MachineState = rejection_flow_detail::MachineState;
+  using PendingQueue = rejection_flow_detail::PendingQueue;
 
  public:
   RejectionFlowPolicy(const Store& store, Rec& rec, EventQueue& events,
@@ -99,90 +104,84 @@ class RejectionFlowPolicy final : public SimulationHooks {
     rule2_threshold_ =
         static_cast<std::int64_t>(std::floor(1.0 + 1.0 / options.epsilon + 1e-9));
     lambda_.extend_to(store.num_jobs());
-    machines_.reserve(store.num_machines());
-    for (std::size_t i = 0; i < store.num_machines(); ++i) {
-      machines_.emplace_back(util::derive_seed(0xF10BA5E5ULL, i));
+    const std::size_t m = store.num_machines();
+    pending_.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      pending_.emplace_back(rejection_flow_detail::KeyProcessing{},
+                            util::derive_seed(0xF10BA5E5ULL, i));
     }
+    running_.assign(m, kInvalidJob);
+    running_end_.assign(m, 0.0);
+    completion_event_.assign(m, 0);
+    v_counter_.assign(m, 0);
+    c_counter_.assign(m, 0);
+    pend_n_.assign(m, 0);
+    pend_cnt_margin_.assign(m, 0.0f);
+    pend_min_p_.assign(m, std::numeric_limits<float>::max());
+    live_pos_.assign(m, 0);
+    live_list_.reserve(m);
+    lb_.assign(m, 0.0f);
+    block_min_.assign(m / 8 + 1, std::numeric_limits<float>::max());
+    heap_.reserve(m);
+    // margin * (1/eps + 1): the division-free per-unit-p coefficient of the
+    // lower bound (see lambda_lower_bound). The handful of float roundings
+    // here and in the sweep are dwarfed by the 2^-16 margin.
+    empty_coeff_margin_ = kDispatchBoundMarginF *
+                          (1.0f / static_cast<float>(options.epsilon) + 1.0f);
+    // UP-margined twin for the rival-screen threshold (an upper bound).
+    empty_coeff_up_ =
+        (1.0f / static_cast<float>(options.epsilon) + 1.0f) * 1.0001f;
+    // Rounded UP so the float quotient p_f / speed_up_ never exceeds the
+    // exact p / speed (speed != 1 only for the speed-augmented baseline).
+    speed_up_ = std::nextafterf(static_cast<float>(options.speed),
+                                std::numeric_limits<float>::infinity());
   }
 
   void on_arrival(JobId j, Time now) override {
     dual_.register_job(j);
     lambda_.extend_to(static_cast<std::size_t>(j) + 1);
 
-    // Dispatch to argmin_i lambda_ij over j's eligible machines; ties go to
-    // the lowest machine index, exactly as the former ascending full scan.
-    const Time release = store_.job(j).release;
-    const auto eligible = store_.eligible_machines(j);
-    OSCHED_CHECK(!eligible.empty())
-        << "job " << j << " has no eligible machine";
+    double best_lambda = 0.0;
+    const MachineId best_machine =
+        options_.dispatch == DispatchMode::kIndexed
+            ? dispatch_indexed(j, &best_lambda)
+            : dispatch_linear_scan(j, &best_lambda);
 
-    // Seed the scan with the fastest machine: its lambda is usually near the
-    // minimum, which lets the p/eps + p lower bound prune most of the other
-    // treap descents before they start.
-    MachineId seed_machine = *eligible.begin();
-    Work seed_p = effective_processing(seed_machine, j);
-    for (const MachineId machine : eligible) {
-      const Work p = effective_processing(machine, j);
-      if (p < seed_p) {
-        seed_p = p;
-        seed_machine = machine;
-      }
-    }
-    double best_lambda = lambda_ij(seed_machine, j, seed_p, release);
-    MachineId best_machine = seed_machine;
-    for (const MachineId machine : eligible) {
-      if (machine == seed_machine) continue;
-      const Work p = effective_processing(machine, j);
-      // Exact pruning: p/eps + p is lambda_ij for an empty queue, and the
-      // pending contributions only add non-negative terms (floating-point
-      // addition of non-negatives is monotone), so it lower-bounds
-      // lambda_ij. A machine whose bound strictly exceeds the incumbent can
-      // never be the argmin.
-      if (p / options_.epsilon + p > best_lambda) continue;
-      const double lambda = lambda_ij(machine, j, p, release);
-      // Explicit tie rule: the seed may carry a higher index than an
-      // equal-lambda machine scanned here.
-      if (lambda < best_lambda ||
-          (lambda == best_lambda && machine < best_machine)) {
-        best_lambda = lambda;
-        best_machine = machine;
-      }
-    }
     dual_.set_lambda(j, best_lambda);
     lambda_[static_cast<std::size_t>(j)] =
         options_.epsilon / (1.0 + options_.epsilon) * best_lambda;
 
-    MachineState& ms = machines_[static_cast<std::size_t>(best_machine)];
+    const auto b = static_cast<std::size_t>(best_machine);
     rec_.mark_dispatched(j, best_machine);
-    ms.pending.insert(make_key(best_machine, j));
+    pending_insert(b, make_key(best_machine, j));
 
     // Rule 1: the arrival was dispatched during the running job's execution.
-    if (options_.enable_rule1 && ms.running != kInvalidJob) {
-      ++ms.v_counter;
-      if (ms.v_counter >= rule1_threshold_) {
+    if (options_.enable_rule1 && running_[b] != kInvalidJob) {
+      ++v_counter_[b];
+      if (v_counter_[b] >= rule1_threshold_) {
         reject_running(best_machine, now);
       }
     }
 
     // Rule 2: every dispatch to the machine counts.
     if (options_.enable_rule2) {
-      ++ms.c_counter;
-      if (ms.c_counter >= rule2_threshold_) {
+      ++c_counter_[b];
+      if (c_counter_[b] >= rule2_threshold_) {
         reject_largest_pending(best_machine, j, now);
-        ms.c_counter = 0;
+        c_counter_[b] = 0;
       }
     }
 
-    if (ms.running == kInvalidJob) start_next(best_machine, now);
+    if (running_[b] == kInvalidJob) start_next(best_machine, now);
   }
 
   void on_event(const SimEvent& event, Time now) override {
     // Only completions are scheduled.
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
+    const auto i = static_cast<std::size_t>(event.machine);
+    OSCHED_CHECK_EQ(running_[i], event.job);
     rec_.mark_completed(event.job, now);
     dual_.finalize(event.job, store_.job(event.job).release, now);
-    ms.running = kInvalidJob;
+    running_[i] = kInvalidJob;
     start_next(event.machine, now);
   }
 
@@ -200,6 +199,12 @@ class RejectionFlowPolicy final : public SimulationHooks {
   double lambda(JobId j) const { return lambda_.at(static_cast<std::size_t>(j)); }
 
  private:
+  /// Above this many busy machines the per-contender exact evaluations of
+  /// the ordered path stop paying for themselves and dispatch falls back
+  /// to the vectorized bound sweep. Both paths return the identical
+  /// lexicographic argmin; the cutover is performance-only.
+  static constexpr std::size_t kOrderedPathMaxLive = 16;
+
   PendingKey make_key(MachineId i, JobId j) const {
     return PendingKey{effective_processing(i, j), store_.job(j).release, j};
   }
@@ -217,84 +222,501 @@ class RejectionFlowPolicy final : public SimulationHooks {
   /// pending order with j virtually inserted (running job excluded).
   /// `p` must be effective_processing(i, j).
   double lambda_ij(MachineId i, JobId j, Work p, Time release) const {
-    const MachineState& ms = machines_[static_cast<std::size_t>(i)];
+    const PendingQueue& pending = pending_[static_cast<std::size_t>(i)];
+    if (pending.empty()) {
+      // Bit-identical shortcut of the general expression below with
+      // prefix = {0, 0.0} and after = 0: for finite p > 0, 0.0 + p == p,
+      // 0 * p == +0.0 and x + 0.0 == x, exactly.
+      return p / options_.epsilon + p;
+    }
     const PendingKey key{p, release, j};
-    const auto prefix = ms.pending.stats_less(key);
-    const std::size_t after = ms.pending.size() - prefix.count;
+    const auto prefix = pending.stats_less(key);
+    const std::size_t after = pending.size() - prefix.count;
     return p / options_.epsilon + (prefix.weight + p) +
            static_cast<double>(after) * p;
   }
 
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    OSCHED_CHECK_EQ(ms.running, kInvalidJob);
-    if (ms.pending.empty()) return;
-    const PendingKey key = ms.pending.pop_min();
-    ms.running = key.id;
-    ms.running_p = key.p;
-    ms.running_end = now + key.p;
-    ms.v_counter = 0;
-    rec_.mark_started(key.id, now, options_.speed);
-    ms.completion_event = events_.schedule(ms.running_end, i, key.id);
+  /// Sound lower bound on lambda_ij from the cached per-machine aggregates:
+  /// lambda_ij = p/eps + p + sum_l min(p_l, p) over machine i's pending
+  /// jobs, and each of the n_i queue contributions is at least
+  /// min(p, pmin_i). Evaluated division- and branch-free in FLOAT32 as
+  ///   p_f * [margin*(1/eps + 1)]  +  [margin*n_i] * min(p_f, pmin_f_i)
+  /// over inputs rounded DOWN (float_lower), with kDispatchBoundMarginF
+  /// absorbing the float roundings — the bound never exceeds the rounded
+  /// exact lambda, so a candidate whose bound exceeds the incumbent can
+  /// never be the lexicographic argmin. Float halves the sweep's memory
+  /// traffic, which is what the dense dispatch is bound by.
+  float lambda_lower_bound(float p, std::size_t i) const {
+    return p * empty_coeff_margin_ +
+           pend_cnt_margin_[i] * std::min(p, pend_min_p_[i]);
   }
 
-  void reject_running(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const JobId k = ms.running;
+  /// Reference dispatch: exact lambda for every eligible machine, ascending
+  /// machine id, strict-less keeps the first (= smallest id on ties).
+  MachineId dispatch_linear_scan(JobId j, double* best_lambda_out) const {
+    const Time release = store_.job(j).release;
+    const auto eligible = store_.eligible_machines(j);
+    OSCHED_CHECK(!eligible.empty()) << "job " << j << " has no eligible machine";
+    double best_lambda = kTimeInfinity;
+    MachineId best_machine = kInvalidMachine;
+    for (const MachineId machine : eligible) {
+      const Work p = effective_processing(machine, j);
+      const double lambda = lambda_ij(machine, j, p, release);
+      if (lambda < best_lambda) {
+        best_lambda = lambda;
+        best_machine = machine;
+      }
+    }
+    *best_lambda_out = best_lambda;
+    return best_machine;
+  }
+
+  /// Indexed dispatch: one vectorizable sweep computes every candidate's
+  /// lower bound, the argmin-bound machine seeds the incumbent, and the
+  /// remaining candidates are visited best-first until the next bound
+  /// exceeds the incumbent lambda. Returns the same (lambda, machine) as
+  /// dispatch_linear_scan, bit for bit.
+  /// Ordered path of the dispatch index, used while few machines have
+  /// pending work (the common state under SPT draining): the best machine
+  /// with an EMPTY queue is the first idle entry of the job's precomputed
+  /// (p, id)-order — lambda = p/eps + p is monotone in p — and every other
+  /// contender has a non-empty queue, i.e. sits in the live list, whose
+  /// members are evaluated exactly. Cost is O(|live|), independent of m.
+  /// Returns the same lexicographic (lambda, id) argmin as the sweep.
+  MachineId dispatch_ordered(JobId j, Time release,
+                             const EligibleMachines& eligible,
+                             double* best_lambda_out) {
+    const std::size_t count = eligible.size();
+    const std::uint16_t* order = store_.p_order_row(j);
+    const Work* rowd = store_.processing_row(j);
+    const bool dense = count == store_.num_machines();
+
+    // Overlap the cold double-row loads: the head of the order (the likely
+    // idle hit) and every live contender's entry fetch in parallel. (The
+    // order table exists only for batch stores; streaming rows were just
+    // appended and are cache-hot without help.)
+    if (order != nullptr) __builtin_prefetch(rowd + order[0], 0, 0);
+    for (const std::uint32_t i : live_list_) {
+      __builtin_prefetch(rowd + i, 0, 0);
+    }
+
+    double best_lambda = kTimeInfinity;
+    MachineId best_machine = kInvalidMachine;
+
+    if (order != nullptr) {
+      // First idle machine in (p, id) order, then the id-tie walk: later
+      // idle machines tie only while their rounded lambda is bit-equal (p
+      // is non-decreasing along the order and fl is monotone, so the walk
+      // stops at the first strictly larger lambda).
+      std::size_t w = 0;
+      while (w < count && pend_n_[order[w]] != 0) ++w;
+      if (w < count) {
+        const auto i0 = static_cast<std::size_t>(order[w]);
+        const Work p0 = effective_processing(static_cast<MachineId>(i0), j);
+        best_lambda = p0 / options_.epsilon + p0;  // empty-queue lambda
+        best_machine = static_cast<MachineId>(i0);
+        for (std::size_t w2 = w + 1; w2 < count; ++w2) {
+          const auto i2 = static_cast<std::size_t>(order[w2]);
+          if (pend_n_[i2] != 0) continue;
+          const Work p2 = effective_processing(static_cast<MachineId>(i2), j);
+          const double lambda2 = p2 / options_.epsilon + p2;
+          if (lambda2 != best_lambda) break;
+          if (static_cast<MachineId>(i2) < best_machine) {
+            best_machine = static_cast<MachineId>(i2);
+          }
+        }
+      }
+    } else {
+      // No precomputed order (streaming store): derive the idle argmin
+      // from the float shadow row. float_lower is monotone, so the exact
+      // (p, id) argmin — and every machine whose rounded lambda could tie
+      // it — sits within one float ulp of the float minimum; those few
+      // candidates are re-compared with exact doubles.
+      const float* rowf = store_.bounds_row(j);
+      float fmin = std::numeric_limits<float>::max();
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto i = static_cast<std::size_t>(
+            dense ? static_cast<MachineId>(k) : eligible.first[k]);
+        if (pend_n_[i] == 0 && rowf[i] < fmin) fmin = rowf[i];
+      }
+      if (fmin < std::numeric_limits<float>::max()) {
+        const float cap = float_next_up(fmin);
+        for (std::size_t k = 0; k < count; ++k) {
+          const auto i = static_cast<std::size_t>(
+              dense ? static_cast<MachineId>(k) : eligible.first[k]);
+          if (pend_n_[i] != 0 || rowf[i] > cap) continue;
+          const Work p = effective_processing(static_cast<MachineId>(i), j);
+          const double lambda = p / options_.epsilon + p;  // empty-queue
+          if (lambda < best_lambda ||
+              (lambda == best_lambda &&
+               static_cast<MachineId>(i) < best_machine)) {
+            best_lambda = lambda;
+            best_machine = static_cast<MachineId>(i);
+          }
+        }
+      }
+    }
+
+    // Every non-idle contender: cheap cached bound first (same sound
+    // margins as the sweep — a machine whose bound exceeds the incumbent
+    // can never be the argmin), exact lambda only for the few that
+    // survive. The update rule is the lexicographic (lambda, id) argmin
+    // and skips are sound, so the live list's order never changes the
+    // outcome.
+    const float* rowf = store_.bounds_row(j);
+    for (const std::uint32_t i : live_list_) {
+      const auto machine = static_cast<MachineId>(i);
+      if (!dense && !(rowd[i] < kTimeInfinity)) continue;  // ineligible
+      const float plb = speed_is_one_ ? rowf[i] : rowf[i] / speed_up_;
+      if (static_cast<double>(lambda_lower_bound(plb, i)) > best_lambda) {
+        continue;
+      }
+      const Work p = effective_processing(machine, j);
+      const double lambda = lambda_ij(machine, j, p, release);
+#ifdef OSCHED_DISPATCH_STATS
+      ++stat_evals_;
+#endif
+      if (lambda < best_lambda ||
+          (lambda == best_lambda && machine < best_machine)) {
+        best_lambda = lambda;
+        best_machine = machine;
+      }
+    }
+    OSCHED_CHECK(best_machine != kInvalidMachine)
+        << "job " << j << " has no eligible machine";
+
+    // Lookahead for the NEXT arrival: its candidate entries in the double
+    // row are cold (the sweep path streams only the float shadow), and a
+    // prefetch issued here has a whole job's worth of work to complete —
+    // issued at dispatch time it would have none. Batch stores know the
+    // next job already; streaming stores don't (next == num_jobs), which
+    // just skips the hint. The prefetched lines are exactly the ones the
+    // next dispatch reads, so this adds no net memory traffic.
+    const auto next = static_cast<std::size_t>(j) + 1;
+    if (next < store_.num_jobs()) {
+      const auto nj = static_cast<JobId>(next);
+      const Work* nrow = store_.processing_row(nj);
+      const std::uint16_t* norder = store_.p_order_row(nj);
+      if (norder != nullptr) {
+        const std::size_t ncount = store_.eligible_machines(nj).size();
+        __builtin_prefetch(nrow + norder[0], 0, 0);
+        if (ncount > 1) __builtin_prefetch(nrow + norder[1], 0, 0);
+      }
+      for (const std::uint32_t i : live_list_) {
+        __builtin_prefetch(nrow + i, 0, 0);
+        __builtin_prefetch(pending_[i].root_address(), 0, 3);
+      }
+    }
+
+    *best_lambda_out = best_lambda;
+    return best_machine;
+  }
+
+  MachineId dispatch_indexed(JobId j, double* best_lambda_out) {
+    const Time release = store_.job(j).release;
+    const auto eligible = store_.eligible_machines(j);
+    const std::size_t count = eligible.size();
+    OSCHED_CHECK(count > 0) << "job " << j << " has no eligible machine";
+
+    // Few busy machines (the steady state): O(|live|) ordered path. The
+    // cutover scales with the candidate count — at small m the sweep is
+    // already a handful of cache lines and beats per-contender evaluation
+    // as soon as a burst backs up most machines.
+    if (live_list_.size() <= std::min(kOrderedPathMaxLive, count / 4 + 1)) {
+      return dispatch_ordered(j, release, eligible, best_lambda_out);
+    }
+
+    const float* row = store_.bounds_row(j);
+    const std::size_t m = store_.num_machines();
+
+    // Lower-bound sweep over the float32 shadow row (half the memory
+    // traffic of the double row — the resource the dense sweep is bound
+    // by). lb_[k] is the bound of the k-th eligible machine; the dense case
+    // (every machine eligible, k == machine id) is a branch-free contiguous
+    // loop over the SoA lambda inputs — the loop the layout exists for —
+    // followed by a two-level argmin; the first index attaining the minimum
+    // is the smallest machine id, which is the tie-break the heap uses too.
+    std::size_t seed_k = 0;
+    float seed_p = 0.0f;
+    const bool dense = count == m && speed_is_one_;
+    constexpr std::size_t kBlock = 8;
+    const std::size_t full = dense ? m / kBlock : 0;
+    if (dense) {
+      const float* __restrict pcm = pend_cnt_margin_.data();
+      const float* __restrict pmp = pend_min_p_.data();
+      float* __restrict lb = lb_.data();
+      for (std::size_t i = 0; i < m; ++i) {
+        const float p = row[i];
+        lb[i] = p * empty_coeff_margin_ + pcm[i] * std::min(p, pmp[i]);
+      }
+      // Two-level argmin: per-block minima first (fixed-width inner loops —
+      // min is exactly associative/commutative over finite floats, so any
+      // lane split gives the same value), then locate the first block and
+      // first lane attaining the minimum. This replaces a serial m-long
+      // min dependency chain plus an average m/2 scalar index scan with
+      // vectorizable block work and two short scans.
+      float* __restrict bmin = block_min_.data();
+      for (std::size_t b = 0; b < full; ++b) {
+        const float* chunk = lb + b * kBlock;
+        float v0 = std::min(chunk[0], chunk[1]);
+        float v1 = std::min(chunk[2], chunk[3]);
+        float v2 = std::min(chunk[4], chunk[5]);
+        float v3 = std::min(chunk[6], chunk[7]);
+        bmin[b] = std::min(std::min(v0, v1), std::min(v2, v3));
+      }
+      float seed_lb = std::numeric_limits<float>::max();
+      for (std::size_t i = full * kBlock; i < m; ++i) {
+        seed_lb = std::min(seed_lb, lb[i]);
+      }
+      for (std::size_t b = 0; b < full; ++b) {
+        seed_lb = std::min(seed_lb, bmin[b]);
+      }
+      std::size_t b0 = 0;
+      while (b0 < full && bmin[b0] != seed_lb) ++b0;
+      seed_k = b0 * kBlock;
+      while (lb[seed_k] != seed_lb) ++seed_k;
+      seed_p = row[seed_k];
+    } else {
+      float seed_lb = std::numeric_limits<float>::max();
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto i = static_cast<std::size_t>(eligible.first[k]);
+        // speed_up_ >= speed exactly, so the float quotient stays a lower
+        // bound on p/speed (speed != 1 only in the speed-augmented runs).
+        const float p = speed_is_one_ ? row[i] : row[i] / speed_up_;
+        lb_[k] = lambda_lower_bound(p, i);
+        if (lb_[k] < seed_lb) {
+          seed_lb = lb_[k];
+          seed_k = k;
+          seed_p = p;
+        }
+      }
+    }
+
+    const MachineId seed_machine = eligible.first[seed_k];
+    const auto seed_i = static_cast<std::size_t>(seed_machine);
+    // The exact lambda evaluation below is the dispatch's only read of the
+    // DOUBLE p row — a cold line (the sweep streams the float shadow). Kick
+    // the fetch off now and fill its latency shadow with the rival screen,
+    // which only needs float state.
+    __builtin_prefetch(store_.processing_row(j) + seed_i, 0, 0);
+
+    // Rival screen against a sound float UPPER bound of the seed lambda
+    // (lambda_seed = p/eps + p + sum min(p_l, p) <= (n_seed + 1 + 1/eps) *
+    // p_up in reals; the 1.0001 factors absorb every float rounding). The
+    // threshold over-approximates "bound <= exact seed lambda", so it can
+    // only flag extra rivals — the heap loop re-checks against the exact
+    // incumbent — never miss one. In the dense case the block minima from
+    // the argmin pass screen eight machines per compare, and almost always
+    // conclude "seed only" without touching the per-machine bounds again.
+    const float* __restrict lbs = lb_.data();
+    float threshold = std::numeric_limits<float>::max();
+    if (speed_is_one_) {
+      const float p_up = float_next_up(seed_p);
+      threshold = (p_up * empty_coeff_up_ +
+                   static_cast<float>(pend_n_[seed_i]) * p_up * 1.0001f) *
+                  1.0001f;
+    }
+    bool has_rivals = false;
+    if (dense) {
+      const std::size_t seed_block = seed_k / kBlock;
+      const float* __restrict bmin = block_min_.data();
+      for (std::size_t b = 0; b < full && !has_rivals; ++b) {
+        has_rivals = b != seed_block && bmin[b] <= threshold;
+      }
+      if (!has_rivals) {
+        // The seed's own block (or the tail, when the seed sits there)...
+        const std::size_t lo = seed_block * kBlock;
+        const std::size_t hi = std::min(m, lo + kBlock);
+        for (std::size_t i2 = lo; i2 < hi; ++i2) {
+          has_rivals |= i2 != seed_k && lbs[i2] <= threshold;
+        }
+        // ...and the tail block, which has no bmin entry.
+        if (seed_block != full) {
+          for (std::size_t i2 = full * kBlock; i2 < m; ++i2) {
+            has_rivals |= lbs[i2] <= threshold;
+          }
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < count; ++k) {
+        has_rivals |= k != seed_k && lbs[k] <= threshold;
+      }
+    }
+    heap_.reset();
+    if (has_rivals) {
+      for (std::size_t k = 0; k < count; ++k) {
+        if (k == seed_k || lbs[k] > threshold) continue;
+        heap_.push(lbs[k], static_cast<std::uint32_t>(eligible.first[k]));
+      }
+    }
+
+    // Exact incumbent (the prefetched line has had the screen to arrive),
+    // then best-first rival evaluation with the exact pruning rule.
+    double best_lambda = lambda_ij(seed_machine, j,
+                                   effective_processing(seed_machine, j),
+                                   release);
+    MachineId best_machine = seed_machine;
+    while (!heap_.empty()) {
+      const auto entry = heap_.pop_min();
+      if (entry.key > best_lambda) break;
+      const auto machine = static_cast<MachineId>(entry.id);
+      const Work p = effective_processing(machine, j);
+      const double lambda = lambda_ij(machine, j, p, release);
+#ifdef OSCHED_DISPATCH_STATS
+      ++stat_evals_;
+#endif
+      if (lambda < best_lambda ||
+          (lambda == best_lambda && machine < best_machine)) {
+        best_lambda = lambda;
+        best_machine = machine;
+      }
+    }
+#ifdef OSCHED_DISPATCH_STATS
+    ++stat_dispatches_;
+    stat_survivors_ += has_rivals ? 1 : 0;
+#endif
+    *best_lambda_out = best_lambda;
+    return best_machine;
+  }
+
+#ifdef OSCHED_DISPATCH_STATS
+ public:
+  /// Diagnostics for perf work (compile-gated; not part of the API):
+  /// dispatches, exact rival lambda evaluations, dispatches with rivals.
+  mutable std::size_t stat_dispatches_ = 0;
+  mutable std::size_t stat_evals_ = 0;
+  mutable std::size_t stat_survivors_ = 0;
+
+ private:
+#endif
+
+  // ---- pending-queue mutations keep the cached lambda inputs in sync
+  // (only the touched machine's entries are ever written) ----
+
+  void pending_insert(std::size_t i, const PendingKey& key) {
+    pending_[i].insert(key);
+    // The margin product is recomputed from the integer count (never
+    // accumulated), so it cannot drift above margin * n_i.
+    const std::uint32_t n = ++pend_n_[i];
+    pend_cnt_margin_[i] = kDispatchBoundMarginF * static_cast<float>(n);
+    if (n == 1) live_add(i);
+    const float low = float_lower(key.p);
+    if (low < pend_min_p_[i]) pend_min_p_[i] = low;
+  }
+
+  PendingKey pending_pop_min(std::size_t i) {
+    const PendingKey* next = nullptr;
+    const PendingKey key = pending_[i].pop_min_peek_next(&next);
+    const std::uint32_t n = --pend_n_[i];
+    pend_cnt_margin_[i] = kDispatchBoundMarginF * static_cast<float>(n);
+    if (n == 0) live_remove(i);
+    // The popped key was the order minimum, so the reported successor's p
+    // is the new pending minimum (p is the primary key component).
+    pend_min_p_[i] = next == nullptr ? std::numeric_limits<float>::max()
+                                     : float_lower(next->p);
+    return key;
+  }
+
+  void pending_erase(std::size_t i, const PendingKey& key) {
+    OSCHED_CHECK(pending_[i].erase(key));
+    const std::uint32_t n = --pend_n_[i];
+    pend_cnt_margin_[i] = kDispatchBoundMarginF * static_cast<float>(n);
+    if (n == 0) live_remove(i);
+    if (float_lower(key.p) <= pend_min_p_[i]) {
+      pend_min_p_[i] = pending_[i].empty()
+                           ? std::numeric_limits<float>::max()
+                           : float_lower(pending_[i].min()->p);
+    }
+  }
+
+  // ---- live-machine set: machines with a non-empty pending queue, kept
+  // as a swap-remove list with a position map. The dispatch's ordered path
+  // is O(|live|); outcomes never depend on the list's internal order
+  // (candidates are compared lexicographically by (lambda, id)). ----
+
+  void live_add(std::size_t i) {
+    live_pos_[i] = static_cast<std::uint32_t>(live_list_.size()) + 1;
+    live_list_.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  void live_remove(std::size_t i) {
+    const std::uint32_t pos = live_pos_[i] - 1;
+    const std::uint32_t last = live_list_.back();
+    live_list_[pos] = last;
+    live_pos_[last] = pos + 1;
+    live_list_.pop_back();
+    live_pos_[i] = 0;
+  }
+
+  void start_next(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+    OSCHED_CHECK_EQ(running_[i], kInvalidJob);
+    if (pending_[i].empty()) return;
+    const PendingKey key = pending_pop_min(i);
+    running_[i] = key.id;
+    running_end_[i] = now + key.p;
+    v_counter_[i] = 0;
+    rec_.mark_started(key.id, now, options_.speed);
+    completion_event_[i] = events_.schedule(running_end_[i], machine, key.id);
+  }
+
+  void reject_running(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+    const JobId k = running_[i];
     OSCHED_CHECK(k != kInvalidJob);
-    const Time remaining = ms.running_end - now;
+    const Time remaining = running_end_[i] - now;
     OSCHED_CHECK_GE(remaining, -kTimeEps);
-    events_.cancel(ms.completion_event);
+    events_.cancel(completion_event_[i]);
     rec_.mark_rejected_running(k, now);
 
     // Every job of U_i(now) — the pending jobs and k itself — has its
     // definitive finish pushed back by the removed remaining time. The
     // pending queue is walked in place; no per-rejection id vector.
     dual_.on_rule1_rejection(k, std::max(0.0, remaining), [&](auto&& extend) {
-      ms.pending.for_each([&](const PendingKey& key) { extend(key.id); });
+      pending_[i].for_each([&](const PendingKey& key) { extend(key.id); });
     });
     dual_.finalize(k, store_.job(k).release, now);
 
-    ms.running = kInvalidJob;
+    running_[i] = kInvalidJob;
     ++rule1_rejections_;
   }
 
-  PendingKey select_rule2_victim(MachineState& ms, MachineId i, JobId trigger) {
+  PendingKey select_rule2_victim(std::size_t i, MachineId machine, JobId trigger) {
     switch (options_.rule2_victim) {
       case Rule2Victim::kLargest:
-        return *ms.pending.max();
+        return *pending_[i].max();
       case Rule2Victim::kSmallest:
-        return *ms.pending.min();
+        return *pending_[i].min();
       case Rule2Victim::kNewest:
-        return make_key(i, trigger);
+        return make_key(machine, trigger);
       case Rule2Victim::kRandom:
         // Order-statistic select: O(log n) for the same in-order position
         // (and the same RNG draw) the former O(n) for_each scan picked.
-        return ms.pending.kth(victim_rng_.index(ms.pending.size()));
+        return pending_[i].kth(victim_rng_.index(pending_[i].size()));
     }
     OSCHED_CHECK(false) << "unreachable victim rule";
     return PendingKey{};
   }
 
-  void reject_largest_pending(MachineId i, JobId trigger, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
+  void reject_largest_pending(MachineId machine, JobId trigger, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
     // The trigger was dispatched to this machine and has not started, so the
     // pending queue is non-empty.
-    OSCHED_CHECK(!ms.pending.empty());
-    const PendingKey victim = select_rule2_victim(ms, i, trigger);
+    OSCHED_CHECK(!pending_[i].empty());
+    const PendingKey victim = select_rule2_victim(i, machine, trigger);
 
     const Time remaining_of_running =
-        ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
+        running_[i] != kInvalidJob ? std::max(0.0, running_end_[i] - now) : 0.0;
     // Pending total except the just-arrived trigger and the victim itself.
-    double sum_except = ms.pending.total_weight() - victim.p;
+    double sum_except = pending_[i].total_weight() - victim.p;
     if (victim.id != trigger) {
-      sum_except -= effective_processing(i, trigger);
+      sum_except -= effective_processing(machine, trigger);
     }
     dual_.on_rule2_rejection(victim.id, remaining_of_running,
                              std::max(0.0, sum_except), victim.p);
     dual_.finalize(victim.id, store_.job(victim.id).release, now);
     rec_.mark_rejected_pending(victim.id, now);
-    OSCHED_CHECK(ms.pending.erase(victim));
+    pending_erase(i, victim);
     ++rule2_rejections_;
   }
 
@@ -306,7 +728,30 @@ class RejectionFlowPolicy final : public SimulationHooks {
   FlowDualAccounting dual_;
   util::SlidingVector<double> lambda_;
   util::Rng victim_rng_;
-  std::vector<MachineState> machines_;
+
+  // ---- machine state, structure-of-arrays (indexed by machine id) ----
+  std::vector<PendingQueue> pending_;
+  std::vector<JobId> running_;
+  std::vector<Time> running_end_;
+  std::vector<std::uint64_t> completion_event_;
+  std::vector<std::int64_t> v_counter_;  ///< Rule 1 dispatch counters
+  std::vector<std::int64_t> c_counter_;  ///< Rule 2 dispatch counters
+  /// Cached lambda inputs (contiguous float32; written only for touched
+  /// machines, read as whole rows by the dispatch sweep).
+  std::vector<std::uint32_t> pend_n_;    ///< authoritative pending count
+  std::vector<float> pend_cnt_margin_;   ///< marginF * pend_n_ (derived)
+  std::vector<float> pend_min_p_;        ///< float_lower(min pending p)
+  std::vector<std::uint32_t> live_list_;  ///< machines with pend_n_ > 0
+  std::vector<std::uint32_t> live_pos_;   ///< position + 1 in live_list_
+
+  // ---- dispatch scratch, reused across arrivals ----
+  std::vector<float> lb_;
+  std::vector<float> block_min_;
+  util::DispatchHeap heap_;
+  float empty_coeff_margin_ = 0.0f;  ///< marginF * (1/eps + 1)
+  float empty_coeff_up_ = 0.0f;      ///< (1/eps + 1) * 1.0001 (upper twin)
+  float speed_up_ = 1.0f;            ///< float(speed) rounded up
+
   std::int64_t rule1_threshold_ = 0;
   std::int64_t rule2_threshold_ = 0;
   std::size_t rule1_rejections_ = 0;

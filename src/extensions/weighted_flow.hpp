@@ -47,6 +47,10 @@ struct WeightedFlowOptions {
   /// Ablation switches, mirroring the Theorem 1 scheduler's.
   bool enable_rule1 = true;
   bool enable_rule2 = true;
+  /// kIndexed (default) dispatches through the cached-lower-bound machine
+  /// index; kLinearScan is the reference full scan. Both are bit-identical
+  /// (tests/dispatch_index_test.cpp).
+  DispatchMode dispatch = DispatchMode::kIndexed;
 };
 
 struct WeightedFlowResult {

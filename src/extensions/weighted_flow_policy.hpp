@@ -1,14 +1,35 @@
 // Weighted-flow extension policy as a resumable, store-generic state
 // machine (see weighted_flow.hpp for the algorithm notes and the batch
 // entry point, and rejection_flow_policy.hpp for the Store/Rec contract).
+//
+// Machine state is structure-of-arrays: the lambda inputs the dispatch
+// needs per machine (pending count, pending minimum processing time and
+// weight) live in contiguous arrays, maintained only when the owning
+// machine's queue is touched. The dispatch index evaluates the exact
+// lambda — an O(pending) walk of the density-ordered set — only for
+// candidates whose cheap lower bound
+//   lb_i = margin * (w p/eps + w p + n_i * min(w * pmin_i, p * wmin_i))
+// survives best-first ordering through a min-heap; every pending job
+// contributes either w * p_l (ordered before j, p_l >= pmin_i) or
+// p * w_l (ordered after, w_l >= wmin_i) to the queue term, so the bound
+// never exceeds the rounded exact lambda (kDispatchBoundMargin). The
+// result is the same lexicographic (lambda, machine id) argmin as the
+// reference scan (DispatchMode::kLinearScan), bit for bit — the
+// differential wall in tests/dispatch_index_test.cpp pins that down.
 #pragma once
 
+#include <algorithm>
 #include <limits>
 #include <set>
+
+#ifdef OSCHED_DISPATCH_VERIFY
+#include <cstdio>
+#endif
 
 #include "extensions/weighted_flow.hpp"
 #include "sim/engine.hpp"
 #include "util/check.hpp"
+#include "util/dispatch_heap.hpp"
 
 namespace osched {
 
@@ -29,73 +50,65 @@ struct DensityKey {
   }
 };
 
-struct MachineState {
-  std::set<DensityKey> pending;
-  JobId running = kInvalidJob;
-  Weight running_weight = 0.0;
-  Time running_end = 0.0;
-  std::uint64_t completion_event = 0;
-  Weight v_counter = 0.0;  ///< Rule 1w: weight dispatched during execution
-  Weight c_counter = 0.0;  ///< Rule 2w: weight dispatched since last reset
-};
-
 }  // namespace weighted_flow_detail
 
 template <class Store, class Rec>
 class WeightedFlowPolicy final : public SimulationHooks {
   using DensityKey = weighted_flow_detail::DensityKey;
-  using MachineState = weighted_flow_detail::MachineState;
 
  public:
   WeightedFlowPolicy(const Store& store, Rec& rec, EventQueue& events,
                      const WeightedFlowOptions& options)
-      : store_(store),
-        rec_(rec),
-        events_(events),
-        options_(options),
-        machines_(store.num_machines()) {
+      : store_(store), rec_(rec), events_(events), options_(options) {
     OSCHED_CHECK_GT(options.epsilon, 0.0);
     OSCHED_CHECK_LT(options.epsilon, 1.0);
+    const std::size_t m = store.num_machines();
+    pending_.resize(m);
+    running_.assign(m, kInvalidJob);
+    running_weight_.assign(m, 0.0);
+    running_end_.assign(m, 0.0);
+    completion_event_.assign(m, 0);
+    v_counter_.assign(m, 0.0);
+    c_counter_.assign(m, 0.0);
+    pend_n_.assign(m, 0.0);
+    pend_min_p_.assign(m, 0.0);  // 0 = empty-queue sentinel (see
+    pend_min_w_.assign(m, 0.0);  // pending_insert/pending_removed)
+    lb_.assign(m, 0.0);
+    heap_.reserve(m);
   }
 
   void on_arrival(JobId j, Time now) override {
     const Weight w = store_.job(j).weight;
 
-    // Dispatch to argmin lambda_ij (ties to the lowest machine index; the
-    // eligibility adjacency scans machines in ascending index order).
-    double best_lambda = std::numeric_limits<double>::infinity();
-    MachineId best = kInvalidMachine;
-    for (const MachineId machine : store_.eligible_machines(j)) {
-      const double lambda = lambda_ij(machine, j);
-      if (lambda < best_lambda) {
-        best_lambda = lambda;
-        best = machine;
-      }
-    }
+    double best_lambda = 0.0;
+    const MachineId best =
+        options_.dispatch == DispatchMode::kIndexed
+            ? dispatch_indexed(j, &best_lambda)
+            : dispatch_linear_scan(j, &best_lambda);
     OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
 
-    MachineState& ms = machines_[static_cast<std::size_t>(best)];
+    const auto b = static_cast<std::size_t>(best);
     rec_.mark_dispatched(j, best);
-    ms.pending.insert(make_key(best, j));
+    pending_insert(b, make_key(best, j));
 
-    if (options_.enable_rule1 && ms.running != kInvalidJob) {
-      ms.v_counter += w;
-      if (ms.v_counter > ms.running_weight / options_.epsilon) {
+    if (options_.enable_rule1 && running_[b] != kInvalidJob) {
+      v_counter_[b] += w;
+      if (v_counter_[b] > running_weight_[b] / options_.epsilon) {
         reject_running(best, now);
       }
     }
     if (options_.enable_rule2) {
-      ms.c_counter += w;
+      c_counter_[b] += w;
       maybe_fire_rule2(best, now);
     }
-    if (ms.running == kInvalidJob) start_next(best, now);
+    if (running_[b] == kInvalidJob) start_next(best, now);
   }
 
   void on_event(const SimEvent& event, Time now) override {
-    MachineState& ms = machines_[static_cast<std::size_t>(event.machine)];
-    OSCHED_CHECK_EQ(ms.running, event.job);
+    const auto i = static_cast<std::size_t>(event.machine);
+    OSCHED_CHECK_EQ(running_[i], event.job);
     rec_.mark_completed(event.job, now);
-    ms.running = kInvalidJob;
+    running_[i] = kInvalidJob;
     start_next(event.machine, now);
   }
 
@@ -116,11 +129,11 @@ class WeightedFlowPolicy final : public SimulationHooks {
   /// lambda_ij = w_j p_ij / eps + w_j sum_{l <= j} p_il + p_ij sum_{l > j} w_l
   /// over the density order with j virtually inserted, running job excluded.
   double lambda_ij(MachineId i, JobId j) const {
-    const MachineState& ms = machines_[static_cast<std::size_t>(i)];
+    const auto& pending = pending_[static_cast<std::size_t>(i)];
     const DensityKey key = make_key(i, j);
     double work_before = 0.0;
     double weight_after = 0.0;
-    for (const DensityKey& other : ms.pending) {
+    for (const DensityKey& other : pending) {
       if (other < key) {
         work_before += other.p;
       } else {
@@ -131,48 +144,172 @@ class WeightedFlowPolicy final : public SimulationHooks {
            key.p * weight_after;
   }
 
-  void start_next(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    OSCHED_CHECK_EQ(ms.running, kInvalidJob);
-    if (ms.pending.empty()) return;
-    const DensityKey key = *ms.pending.begin();
-    ms.pending.erase(ms.pending.begin());
-    ms.running = key.id;
-    ms.running_weight = key.w;
-    ms.running_end = now + key.p;
-    ms.v_counter = 0.0;
-    rec_.mark_started(key.id, now, 1.0);
-    ms.completion_event = events_.schedule(ms.running_end, i, key.id);
+  /// Reference dispatch: exact lambda for every eligible machine, ascending
+  /// machine id, strict-less keeps the first (= smallest id on ties).
+  MachineId dispatch_linear_scan(JobId j, double* best_lambda_out) const {
+    double best_lambda = std::numeric_limits<double>::infinity();
+    MachineId best = kInvalidMachine;
+    for (const MachineId machine : store_.eligible_machines(j)) {
+      const double lambda = lambda_ij(machine, j);
+      if (lambda < best_lambda) {
+        best_lambda = lambda;
+        best = machine;
+      }
+    }
+    *best_lambda_out = best_lambda;
+    return best;
   }
 
-  void reject_running(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    const JobId k = ms.running;
+  /// Sound lower bound on lambda_ij from the cached per-machine aggregates
+  /// (see the header comment for the derivation).
+  double lambda_lower_bound(Work p, Weight w, std::size_t i) const {
+    const double queue_term =
+        pend_n_[i] * std::min(w * pend_min_p_[i], p * pend_min_w_[i]);
+    return kDispatchBoundMargin *
+           (w * p / options_.epsilon + w * p + queue_term);
+  }
+
+  /// Indexed dispatch: bounds for every eligible machine, best-first exact
+  /// evaluation until the next bound exceeds the incumbent. Returns the
+  /// same (lambda, machine) as dispatch_linear_scan, bit for bit.
+  MachineId dispatch_indexed(JobId j, double* best_lambda_out) {
+    const auto eligible = store_.eligible_machines(j);
+    const std::size_t count = eligible.size();
+    OSCHED_CHECK(count > 0) << "job " << j << " has no eligible machine";
+    const Work* row = store_.processing_row(j);
+    const Weight w = store_.job(j).weight;
+
+    std::size_t seed_k = 0;
+    double seed_lb = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto i = static_cast<std::size_t>(eligible.first[k]);
+      lb_[k] = lambda_lower_bound(row[i], w, i);
+      if (lb_[k] < seed_lb) {
+        seed_lb = lb_[k];
+        seed_k = k;
+      }
+    }
+
+    const MachineId seed_machine = eligible.first[seed_k];
+    double best_lambda = lambda_ij(seed_machine, j);
+    MachineId best_machine = seed_machine;
+
+    heap_.reset();
+    for (std::size_t k = 0; k < count; ++k) {
+      if (k == seed_k || lb_[k] > best_lambda) continue;
+      heap_.push(lb_[k], static_cast<std::uint32_t>(eligible.first[k]));
+    }
+    while (!heap_.empty()) {
+      const auto entry = heap_.pop_min();
+      if (entry.key > best_lambda) break;
+      const auto machine = static_cast<MachineId>(entry.id);
+      const double lambda = lambda_ij(machine, j);
+      if (lambda < best_lambda ||
+          (lambda == best_lambda && machine < best_machine)) {
+        best_lambda = lambda;
+        best_machine = machine;
+      }
+    }
+#ifdef OSCHED_DISPATCH_VERIFY
+    {
+      double ref_lambda = 0.0;
+      const MachineId ref = dispatch_linear_scan(j, &ref_lambda);
+      if (ref != best_machine || ref_lambda != best_lambda) {
+        std::fprintf(stderr,
+                     "VERIFY FAIL job %d: indexed (m=%d, l=%.17g) ref (m=%d, "
+                     "l=%.17g)\n",
+                     j, best_machine, best_lambda, ref, ref_lambda);
+        for (const MachineId mm : {best_machine, ref}) {
+          const auto ii = static_cast<std::size_t>(mm);
+          std::fprintf(stderr,
+                       "  machine %d: lambda=%.17g lb=%.17g n=%g pmin_p=%.17g "
+                       "pmin_w=%.17g p=%.17g w=%.17g pend=%zu\n",
+                       mm, lambda_ij(mm, j),
+                       lambda_lower_bound(store_.processing_unchecked(mm, j), w, ii),
+                       pend_n_[ii], pend_min_p_[ii], pend_min_w_[ii],
+                       store_.processing_unchecked(mm, j), w,
+                       pending_[ii].size());
+        }
+      }
+    }
+#endif
+    *best_lambda_out = best_lambda;
+    return best_machine;
+  }
+
+  // ---- pending mutations keep the cached lambda inputs in sync. The min
+  // caches are monotone lower bounds: they tighten on insert and reset only
+  // when the queue empties (a removal can leave them stale-but-sound, which
+  // keeps every mutation O(log) without a rescan). ----
+
+  void pending_insert(std::size_t i, const DensityKey& key) {
+    pending_[i].insert(key);
+    pend_n_[i] += 1.0;
+    if (pending_[i].size() == 1) {
+      // First entry RESETS the caches. The empty-queue sentinel is 0 (so
+      // the bound's n * min(...) term is exactly 0, never 0 * inf = NaN),
+      // which must not survive into a min-update.
+      pend_min_p_[i] = key.p;
+      pend_min_w_[i] = key.w;
+      return;
+    }
+    if (key.p < pend_min_p_[i]) pend_min_p_[i] = key.p;
+    if (key.w < pend_min_w_[i]) pend_min_w_[i] = key.w;
+  }
+
+  void pending_removed(std::size_t i) {
+    pend_n_[i] -= 1.0;
+    if (pending_[i].empty()) {
+      pend_min_p_[i] = 0.0;
+      pend_min_w_[i] = 0.0;
+    }
+  }
+
+  void start_next(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+    OSCHED_CHECK_EQ(running_[i], kInvalidJob);
+    if (pending_[i].empty()) return;
+    const DensityKey key = *pending_[i].begin();
+    pending_[i].erase(pending_[i].begin());
+    pending_removed(i);
+    running_[i] = key.id;
+    running_weight_[i] = key.w;
+    running_end_[i] = now + key.p;
+    v_counter_[i] = 0.0;
+    rec_.mark_started(key.id, now, 1.0);
+    completion_event_[i] = events_.schedule(running_end_[i], machine, key.id);
+  }
+
+  void reject_running(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+    const JobId k = running_[i];
     OSCHED_CHECK(k != kInvalidJob);
-    events_.cancel(ms.completion_event);
+    events_.cancel(completion_event_[i]);
     rec_.mark_rejected_running(k, now);
-    rejected_weight_ += ms.running_weight;
-    ms.running = kInvalidJob;
+    rejected_weight_ += running_weight_[i];
+    running_[i] = kInvalidJob;
     ++rule1_rejections_;
   }
 
   /// Rule 2w firing check: compare the accumulated weight against the
   /// largest-processing pending job's weight threshold. At most one firing
   /// per dispatch — the reset to zero cannot clear a second threshold.
-  void maybe_fire_rule2(MachineId i, Time now) {
-    MachineState& ms = machines_[static_cast<std::size_t>(i)];
-    if (ms.pending.empty()) return;
-    auto victim = ms.pending.begin();
-    for (auto it = ms.pending.begin(); it != ms.pending.end(); ++it) {
+  void maybe_fire_rule2(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+    const auto& pending = pending_[i];
+    if (pending.empty()) return;
+    auto victim = pending.begin();
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
       if (it->p > victim->p || (it->p == victim->p && it->id < victim->id)) {
         victim = it;
       }
     }
-    if (ms.c_counter < victim->w / options_.epsilon) return;
+    if (c_counter_[i] < victim->w / options_.epsilon) return;
     rec_.mark_rejected_pending(victim->id, now);
     rejected_weight_ += victim->w;
-    ms.pending.erase(victim);
-    ms.c_counter = 0.0;
+    pending_[i].erase(victim);
+    pending_removed(i);
+    c_counter_[i] = 0.0;
     ++rule2_rejections_;
   }
 
@@ -180,7 +317,24 @@ class WeightedFlowPolicy final : public SimulationHooks {
   Rec& rec_;
   EventQueue& events_;
   WeightedFlowOptions options_;
-  std::vector<MachineState> machines_;
+
+  // ---- machine state, structure-of-arrays (indexed by machine id) ----
+  std::vector<std::set<DensityKey>> pending_;
+  std::vector<JobId> running_;
+  std::vector<Weight> running_weight_;
+  std::vector<Time> running_end_;
+  std::vector<std::uint64_t> completion_event_;
+  std::vector<Weight> v_counter_;  ///< Rule 1w weight counters
+  std::vector<Weight> c_counter_;  ///< Rule 2w weight counters
+  /// Cached lambda inputs (written only for touched machines).
+  std::vector<double> pend_n_;
+  std::vector<double> pend_min_p_;
+  std::vector<double> pend_min_w_;
+
+  // ---- dispatch scratch, reused across arrivals ----
+  std::vector<double> lb_;
+  util::DispatchHeap heap_;
+
   std::size_t rule1_rejections_ = 0;
   std::size_t rule2_rejections_ = 0;
   Weight rejected_weight_ = 0.0;

@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
       .flag("jobs", "0", "worker threads (0 = hardware concurrency)")
       .flag("seed", "1", "root seed; every unit seed derives from it")
       .flag("scale", "1", "instance-size multiplier (0.25 = quarter size)")
+      .flag("repeat", "1",
+            "timing repetitions per unit (same seed; wall-clock metrics get "
+            "real stddev, deterministic metrics are unchanged)")
       .flag("out", "", "write the JSON report here")
       .flag("csv", "", "write the long-form CSV here")
       .flag("timing", "true", "include timing fields in the JSON report")
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
 
   const std::int64_t jobs = cli.integer("jobs");
   const double scale = cli.num("scale");
+  const std::int64_t repeat = cli.integer("repeat");
   if (jobs < 0) {
     std::cerr << "error: --jobs must be >= 0 (got " << jobs << ")\n";
     return 1;
@@ -69,11 +73,16 @@ int main(int argc, char** argv) {
     std::cerr << "error: --scale must be > 0 (got " << scale << ")\n";
     return 1;
   }
+  if (repeat < 1) {
+    std::cerr << "error: --repeat must be >= 1 (got " << repeat << ")\n";
+    return 1;
+  }
 
   harness::RunnerOptions options;
   options.jobs = static_cast<std::size_t>(jobs);
   options.seed = static_cast<std::uint64_t>(cli.integer("seed"));
   options.scale = scale;
+  options.repeat = static_cast<std::size_t>(repeat);
   options.log = &std::cerr;
 
   std::cerr << "running " << selection.size() << " scenario(s), seed "

@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
 #include <future>
 #include <utility>
 
@@ -60,6 +61,7 @@ BatchReport run_batch(const std::vector<const Scenario*>& selection,
     std::uint64_t seed;
     std::uint64_t scenario_root;
   };
+  const std::size_t repeat = std::max<std::size_t>(1, options.repeat);
   std::vector<Unit> units;
   for (std::size_t s = 0; s < selection.size(); ++s) {
     const Scenario* scenario = selection[s];
@@ -69,7 +71,11 @@ BatchReport run_batch(const std::vector<const Scenario*>& selection,
       for (std::size_t rep = 0; rep < scenario->repetitions; ++rep) {
         const std::uint64_t seed = util::derive_seed(
             util::derive_seed(root, c), static_cast<std::uint64_t>(rep));
-        units.push_back({s, c, rep, seed, root});
+        // --repeat: the SAME unit (same seed, same context) run `repeat`
+        // times — timing samples, not new instances (see RunnerOptions).
+        for (std::size_t t = 0; t < repeat; ++t) {
+          units.push_back({s, c, rep, seed, root});
+        }
       }
     }
   }

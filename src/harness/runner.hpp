@@ -29,6 +29,12 @@ struct RunnerOptions {
   std::uint64_t seed = 1;
   /// Instance-size multiplier passed to every UnitContext.
   double scale = 1.0;
+  /// Timing repetitions: every (case, repetition) unit runs this many
+  /// times WITH THE SAME SEED and context. Deterministic metrics are
+  /// unchanged (mean == min == max, stddev 0 — the exact-match contract of
+  /// compare_bench.py holds for any repeat), while wall-clock metrics pick
+  /// up a real sample count and stddev instead of count=1 single shots.
+  std::size_t repeat = 1;
   /// When set, one line per finished scenario is written here.
   std::ostream* log = nullptr;
 };

@@ -35,25 +35,89 @@ Instance::Instance(std::vector<Job> jobs,
 
   const std::size_t n = jobs_.size();
   processing_.resize(num_machines_ * n);
+  bounds_.resize(num_machines_ * n);
   for (std::size_t pos = 0; pos < n; ++pos) {
     Work* job_slice = processing_.data() + pos * num_machines_;
+    float* bounds_slice = bounds_.data() + pos * num_machines_;
     const std::size_t original = perm[pos];
     for (std::size_t i = 0; i < num_machines_; ++i) {
       job_slice[i] = processing[i][original];
+      bounds_slice[i] = float_lower(job_slice[i]);
     }
   }
 
-  // Per-job eligible-machine adjacency, ascending machine index.
+  // Per-job eligible-machine adjacency, ascending machine index. The same
+  // full-matrix pass performs validation (KEEP the checks in sync with
+  // service::StreamingJobStore::check_job): an Instance is immutable, so
+  // the verdict is computed once here and validate() just returns it —
+  // run_* entry points used to re-scan the whole matrix per run, which
+  // showed up as ~15% of the measured scheduling time in the perf tier.
+  std::ostringstream problems;
+  if (num_machines_ == 0) problems << "no machines; ";
   eligible_offsets_.assign(n + 1, 0);
   eligible_flat_.reserve(num_machines_ > 0 ? n : 0);
   for (std::size_t j = 0; j < n; ++j) {
+    const Job& job = jobs_[j];
+    if (job.release < 0.0) {
+      problems << "job " << j << " has negative release; ";
+    } else if (!std::isfinite(job.release)) {
+      // NaN compares false against everything, so it needs its own branch
+      // or it would sail through all the ordering checks below.
+      problems << "job " << j << " has non-finite release; ";
+    }
+    if (!(job.weight > 0.0)) {  // catches NaN weights too
+      problems << "job " << j << " has non-positive weight; ";
+    } else if (job.weight >= kTimeInfinity) {
+      problems << "job " << j << " has infinite weight; ";
+    }
+    if (!(job.deadline > job.release)) {  // catches NaN deadlines too
+      problems << "job " << j << " has deadline <= release; ";
+    }
     const Work* job_slice = processing_.data() + j * num_machines_;
+    bool any_eligible = false;
     for (std::size_t i = 0; i < num_machines_; ++i) {
-      if (job_slice[i] < kTimeInfinity) {
+      const Work p = job_slice[i];
+      if (p < kTimeInfinity) {
+        any_eligible = true;
+        if (p <= 0.0) {
+          problems << "p[" << i << "][" << j << "] is non-positive; ";
+        }
         eligible_flat_.push_back(static_cast<MachineId>(i));
+      } else if (std::isnan(p)) {
+        problems << "p[" << i << "][" << j << "] is NaN; ";
       }
     }
+    if (num_machines_ > 0 && !any_eligible) {
+      problems << "job " << j << " has no eligible machine; ";
+    }
     eligible_offsets_[j + 1] = eligible_flat_.size();
+  }
+  validation_problems_ = problems.str();
+
+  // Per-job (p, id)-sorted eligible machines for the dispatch index's
+  // idle-machine walk. uint16 ids keep the table at 2 bytes per matrix
+  // entry; a store wider than the id type simply skips the table —
+  // p_order_row() then returns nullptr and dispatch falls back to the
+  // order-less idle scan, so huge machine counts degrade instead of abort.
+  // Sorting runs over PACKED (p bit pattern, id) keys: the bit patterns of
+  // non-negative IEEE doubles order exactly like the values, and value
+  // compares beat a comparator that chases back into the matrix per call.
+  if (num_machines_ >= 65536u) return;
+  p_order_.resize(eligible_flat_.size());
+  std::vector<detail::POrderKey> keys;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t begin = eligible_offsets_[j];
+    const std::size_t end = eligible_offsets_[j + 1];
+    const Work* job_slice = processing_.data() + j * num_machines_;
+    keys.clear();
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto id = static_cast<std::uint16_t>(eligible_flat_[k]);
+      keys.push_back(detail::POrderKey::make(job_slice[id], id));
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::size_t k = begin; k < end; ++k) {
+      p_order_[k] = keys[k - begin].id;
+    }
   }
 }
 
@@ -86,45 +150,11 @@ Weight Instance::total_weight() const {
 }
 
 std::string Instance::validate() const {
-  // KEEP IN SYNC with service::StreamingJobStore::check_job, the streaming
-  // counterpart of these per-job rules.
-  std::ostringstream problems;
-  if (num_machines_ == 0) problems << "no machines; ";
-  for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    const Job& job = jobs_[j];
-    if (job.release < 0.0) {
-      problems << "job " << j << " has negative release; ";
-    } else if (!std::isfinite(job.release)) {
-      // NaN compares false against everything, so it needs its own branch
-      // or it would sail through all the ordering checks below.
-      problems << "job " << j << " has non-finite release; ";
-    }
-    if (!(job.weight > 0.0)) {  // catches NaN weights too
-      problems << "job " << j << " has non-positive weight; ";
-    } else if (job.weight >= kTimeInfinity) {
-      problems << "job " << j << " has infinite weight; ";
-    }
-    if (!(job.deadline > job.release)) {  // catches NaN deadlines too
-      problems << "job " << j << " has deadline <= release; ";
-    }
-    bool any_eligible = false;
-    for (std::size_t i = 0; i < num_machines_; ++i) {
-      const Work p = processing_unchecked(static_cast<MachineId>(i),
-                                          static_cast<JobId>(j));
-      if (p < kTimeInfinity) {
-        any_eligible = true;
-        if (p <= 0.0) {
-          problems << "p[" << i << "][" << j << "] is non-positive; ";
-        }
-      } else if (std::isnan(p)) {
-        problems << "p[" << i << "][" << j << "] is NaN; ";
-      }
-    }
-    if (num_machines_ > 0 && !any_eligible) {
-      problems << "job " << j << " has no eligible machine; ";
-    }
-  }
-  return problems.str();
+  // Computed once in the matrix constructor (same pass that builds the
+  // eligibility adjacency); an Instance is immutable afterwards. The
+  // default-constructed empty Instance reports its machine-less state here.
+  if (num_machines_ == 0 && jobs_.empty()) return "no machines; ";
+  return validation_problems_;
 }
 
 }  // namespace osched

@@ -66,6 +66,33 @@ class Instance {
                        static_cast<std::size_t>(i)];
   }
 
+  /// Job j's contiguous p_{., j} row (num_machines() entries, indexed by
+  /// machine). The dispatch index's vectorized lower-bound sweep reads it
+  /// directly instead of calling processing_unchecked per machine.
+  const Work* processing_row(JobId j) const {
+    return processing_.data() + static_cast<std::size_t>(j) * num_machines_;
+  }
+
+  /// Float32 shadow of processing_row: each entry rounded DOWN
+  /// (float_lower), so a bound computed from it never exceeds one computed
+  /// from the double row. The dispatch sweep reads this row — half the
+  /// memory traffic of the double row, which is what the sweep is bound by.
+  const float* bounds_row(JobId j) const {
+    return bounds_.data() + static_cast<std::size_t>(j) * num_machines_;
+  }
+
+  /// Job j's eligible machines sorted by (p_ij, machine id) ascending —
+  /// precomputed at construction. Aligned with eligible_machines(j): the
+  /// slice has eligible_machines(j).size() entries. The dispatch index
+  /// walks this prefix to find the best idle machine in O(live machines)
+  /// instead of sweeping all m. nullptr when the table does not exist
+  /// (65536+ machines exceed the uint16 ids) — dispatch then derives the
+  /// idle argmin from the shadow row instead.
+  const std::uint16_t* p_order_row(JobId j) const {
+    if (p_order_.empty()) return nullptr;
+    return p_order_.data() + eligible_offsets_[static_cast<std::size_t>(j)];
+  }
+
   bool eligible(MachineId i, JobId j) const {
     return processing(i, j) < kTimeInfinity;
   }
@@ -90,6 +117,8 @@ class Instance {
   /// Structural sanity: n >= 0, every job has at least one eligible machine,
   /// finite entries positive, releases non-negative, deadlines after release.
   /// Returns an empty string when valid, else a description of the problem.
+  /// O(1): the verdict is computed once, during construction, in the same
+  /// full-matrix pass that builds the eligibility adjacency.
   std::string validate() const;
 
  private:
@@ -99,10 +128,17 @@ class Instance {
   /// loops read p_{., j} for one job across machines, which this layout
   /// serves from m/8 cache lines instead of m scattered ones.
   std::vector<Work> processing_;
+  /// Rounded-down float32 shadow of processing_, same layout (bounds_row).
+  std::vector<float> bounds_;
+  /// Per-job eligible machines sorted by (p_ij, id); eligible_offsets_
+  /// slicing, machine ids as uint16 (construction checks m < 65536).
+  std::vector<std::uint16_t> p_order_;
   /// Eligible-machine ids grouped by job; eligible_offsets_[j]..[j+1) is
   /// job j's slice of eligible_flat_.
   std::vector<MachineId> eligible_flat_;
   std::vector<std::size_t> eligible_offsets_;
+  /// validate()'s cached verdict, filled by the matrix constructor.
+  std::string validation_problems_;
 };
 
 }  // namespace osched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace osched::service {
@@ -94,6 +95,7 @@ JobId StreamingJobStore::append(const StreamJob& job) {
     Block& fresh = *blocks_.back();
     fresh.jobs.reserve(jobs_per_block_);
     fresh.processing.reserve(jobs_per_block_ * num_machines_);
+    fresh.bounds.reserve(jobs_per_block_ * num_machines_);
     fresh.eligible_offsets.reserve(jobs_per_block_ + 1);
     fresh.eligible_offsets.push_back(0);
   }
@@ -108,8 +110,17 @@ JobId StreamingJobStore::append(const StreamJob& job) {
   block.jobs.push_back(stored);
   block.processing.insert(block.processing.end(), job.processing.begin(),
                           job.processing.end());
+  // Shadow-bounds fill, leaned for the ingest clock: direct writes after
+  // one resize; float_lower is the same branchless rounded-down conversion
+  // Instance::bounds_ uses (inf -> FLT_MAX), so both stores' shadow rows
+  // obey one contract.
+  const std::size_t bounds_base = block.bounds.size();
+  block.bounds.resize(bounds_base + job.processing.size());
+  float* bounds_out = block.bounds.data() + bounds_base;
   for (std::size_t i = 0; i < job.processing.size(); ++i) {
-    if (job.processing[i] < kTimeInfinity) {
+    const double p = job.processing[i];
+    bounds_out[i] = float_lower(p);
+    if (p < kTimeInfinity) {
       block.eligible.push_back(static_cast<MachineId>(i));
     }
   }

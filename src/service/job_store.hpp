@@ -67,6 +67,26 @@ class StreamingJobStore {
                         static_cast<std::size_t>(i)];
   }
 
+  /// Job j's contiguous p_{., j} row, same contract as
+  /// Instance::processing_row (rows never straddle a block boundary).
+  const Work* processing_row(JobId j) const {
+    const Block& b = block_of(j);
+    return b.processing.data() + offset_of(j) * num_machines_;
+  }
+
+  /// Rounded-down float32 shadow row, same contract as
+  /// Instance::bounds_row.
+  const float* bounds_row(JobId j) const {
+    const Block& b = block_of(j);
+    return b.bounds.data() + offset_of(j) * num_machines_;
+  }
+
+  /// Streaming stores have no precomputed (p, id) order: sorting every
+  /// append would sit on the ingest clock, and a just-appended row is
+  /// cache-hot anyway, so the dispatch's ordered path derives the idle
+  /// argmin from the shadow row instead (nullptr selects that sub-path).
+  const std::uint16_t* p_order_row(JobId /*j*/) const { return nullptr; }
+
   Work processing(MachineId i, JobId j) const {
     OSCHED_CHECK(i >= 0 && static_cast<std::size_t>(i) < num_machines_);
     return processing_unchecked(i, j);
@@ -102,6 +122,7 @@ class StreamingJobStore {
   struct Block {
     std::vector<Job> jobs;
     std::vector<Work> processing;  ///< jobs.size() * m, job-major
+    std::vector<float> bounds;     ///< float_lower shadow of processing
     std::vector<MachineId> eligible;
     std::vector<std::uint32_t> eligible_offsets;  ///< jobs.size() + 1
   };

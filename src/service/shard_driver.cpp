@@ -1,5 +1,6 @@
 #include "service/shard_driver.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/rng.hpp"
@@ -7,16 +8,48 @@
 namespace osched::service {
 
 ShardDriver::ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
-                         std::size_t num_machines, ShardDriverOptions options)
-    : pool_(options.threads) {
+                         std::size_t num_machines, ShardDriverOptions options) {
   OSCHED_CHECK_GT(num_shards, 0u);
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    Shard shard;
-    shard.session = std::make_unique<SchedulerSession>(algorithm, num_machines,
-                                                       options.session);
+    auto shard = std::make_unique<Shard>();
+    shard->session = std::make_unique<SchedulerSession>(algorithm, num_machines,
+                                                        options.session);
     shards_.push_back(std::move(shard));
   }
+
+  std::size_t workers = options.threads != 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, num_shards);
+  // One worker buys no parallelism — inline application on the caller's
+  // thread drops the staging copies, the hand-off and the context
+  // switches, which on a single-core host is the whole cost.
+  if (workers <= 1) return;
+
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    workers_[s % workers]->shards.push_back(s);
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, worker = worker.get()] {
+      worker_loop(*worker);
+    });
+  }
+}
+
+ShardDriver::~ShardDriver() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->stop = true;
+    }
+    worker->cv.notify_one();
+  }
+  for (auto& worker : workers_) worker->thread.join();
 }
 
 std::size_t ShardDriver::shard_for(std::uint64_t tenant_key) const {
@@ -25,54 +58,146 @@ std::size_t ShardDriver::shard_for(std::uint64_t tenant_key) const {
 
 SchedulerSession& ShardDriver::session(std::size_t shard) {
   OSCHED_CHECK_LT(shard, shards_.size());
-  return *shards_[shard].session;
+  return *shards_[shard]->session;
 }
 
-void ShardDriver::submit(std::size_t shard, StreamJob job) {
+void ShardDriver::submit(std::size_t shard, const StreamJob& job) {
   OSCHED_CHECK_LT(shard, shards_.size());
+  Shard& s = *shards_[shard];
+  if (inline_mode()) {
+    s.session->submit(job);
+    return;
+  }
   Op op;
-  op.job = std::move(job);
-  shards_[shard].backlog.push_back(std::move(op));
+  op.kind = Op::Kind::kSubmit;
+  op.job = job;
+  s.staging.push_back(std::move(op));
 }
 
 void ShardDriver::advance(std::size_t shard, Time to) {
   OSCHED_CHECK_LT(shard, shards_.size());
+  Shard& s = *shards_[shard];
+  if (inline_mode()) {
+    s.session->advance(to);
+    return;
+  }
   Op op;
-  op.is_advance = true;
+  op.kind = Op::Kind::kAdvance;
   op.to = to;
-  shards_[shard].backlog.push_back(std::move(op));
+  s.staging.push_back(std::move(op));
+}
+
+void ShardDriver::flush() {
+  if (inline_mode()) return;
+  const std::size_t workers = workers_.size();
+  // Hand off every non-empty staged batch, then wake each involved worker
+  // once (not once per shard).
+  std::vector<bool> wake_worker(workers, false);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (shard.staging.empty()) continue;
+    shard.inbox.push(std::move(shard.staging));
+    shard.staging.clear();
+    shard.batches_submitted.fetch_add(1, std::memory_order_release);
+    wake_worker[s % workers] = true;
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (wake_worker[w]) wake(*workers_[w]);
+  }
+}
+
+void ShardDriver::sync() {
+  if (inline_mode()) return;
+  const auto all_done = [this] {
+    for (const auto& shard : shards_) {
+      if (shard->batches_done.load(std::memory_order_acquire) !=
+          shard->batches_submitted.load(std::memory_order_acquire)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  sync_cv_.wait(lock, all_done);
 }
 
 void ShardDriver::pump() {
-  // One task per shard with a backlog: the shard's operations are applied
-  // sequentially in buffered order, so the session sees the same call
-  // sequence as a dedicated single-threaded feeder would.
-  for (Shard& shard : shards_) {
-    if (shard.backlog.empty()) continue;
-    pool_.submit([&shard] {
-      for (Op& op : shard.backlog) {
-        if (op.is_advance) {
-          shard.session->advance(op.to);
-        } else {
-          shard.session->submit(op.job);
-        }
-      }
-      shard.backlog.clear();
-    });
-  }
-  pool_.wait_idle();
+  flush();
+  sync();
 }
 
 std::vector<api::RunSummary> ShardDriver::drain_all() {
   pump();
   std::vector<api::RunSummary> results(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    pool_.submit([this, s, &results] {
-      results[s] = shards_[s].session->drain();
-    });
+  if (inline_mode()) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      results[s] = shards_[s]->session->drain();
+    }
+    return results;
   }
-  pool_.wait_idle();
+  // Drain as one more per-shard op, so the heavy run-to-quiescence work
+  // happens on the workers, in parallel.
+  for (auto& shard : shards_) {
+    Op op;
+    op.kind = Op::Kind::kDrain;
+    shard->staging.push_back(std::move(op));
+  }
+  pump();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    OSCHED_CHECK(shards_[s]->drained) << "shard " << s << " did not drain";
+    results[s] = std::move(shards_[s]->drain_result);
+  }
   return results;
+}
+
+void ShardDriver::apply(Shard& shard, Op& op) const {
+  switch (op.kind) {
+    case Op::Kind::kSubmit:
+      shard.session->submit(op.job);
+      break;
+    case Op::Kind::kAdvance:
+      shard.session->advance(op.to);
+      break;
+    case Op::Kind::kDrain:
+      shard.drain_result = shard.session->drain();
+      shard.drained = true;
+      break;
+  }
+}
+
+void ShardDriver::wake(Worker& worker) {
+  {
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    worker.signal = true;
+  }
+  worker.cv.notify_one();
+}
+
+void ShardDriver::worker_loop(Worker& worker) {
+  std::vector<std::vector<Op>> batches;
+  for (;;) {
+    bool did_work = false;
+    for (const std::size_t s : worker.shards) {
+      Shard& shard = *shards_[s];
+      batches.clear();
+      if (shard.inbox.drain(batches) == 0) continue;
+      did_work = true;
+      for (auto& ops : batches) {
+        for (Op& op : ops) apply(shard, op);
+        shard.batches_done.fetch_add(1, std::memory_order_release);
+        // Empty critical section: pairs with sync()'s predicate re-check,
+        // so a syncer between its check and its wait cannot miss this.
+        { std::lock_guard<std::mutex> lock(sync_mutex_); }
+        sync_cv_.notify_all();
+      }
+    }
+    if (did_work) continue;
+    std::unique_lock<std::mutex> lock(worker.mutex);
+    if (worker.stop) return;
+    worker.cv.wait(lock, [&worker] { return worker.signal || worker.stop; });
+    if (worker.stop) return;
+    worker.signal = false;
+  }
 }
 
 }  // namespace osched::service

@@ -1,32 +1,52 @@
-// Sharded multi-tenant driver: S independent SchedulerSessions multiplexed
-// over the shared thread pool.
+// Sharded multi-tenant driver: S independent SchedulerSessions served by
+// per-shard persistent workers.
 //
 // Each shard is one tenant's session — its own job store, clock, event
-// queue and policy state. The driver buffers incoming operations per shard
-// (submit/advance, in arrival order) and pump() applies every shard's
-// backlog concurrently, one worker per shard at a time. Because a shard's
-// operations are always applied sequentially and in order by whichever
-// worker picks them up, every session's outcome is bit-identical for any
-// thread count — the same per-unit determinism contract the experiment
-// harness keeps, now for serving. tests/streaming_test.cpp pins
-// threads=1 vs threads=N down.
+// queue and policy state. The caller stages operations per shard
+// (submit/advance, in arrival order); flush() hands each shard's staged
+// batch to its owning worker through a lock-free MPSC queue (one heap node
+// per BATCH, never per operation), and sync() blocks until every handed-off
+// batch has been applied. pump() = flush() + sync(), the original blocking
+// contract. Because a shard's operations are applied sequentially, in
+// staging order, by exactly one owner, every session's outcome is
+// bit-identical for any worker count — the same per-unit determinism
+// contract the experiment harness keeps, now for serving.
+// tests/streaming_test.cpp pins worker-count invariance down.
+//
+// Worker model: `threads` persistent workers (capped at the shard count)
+// each own a fixed subset of shards (shard s belongs to worker s % W) and
+// sleep on their own condition variable when their inboxes are empty — no
+// shared task queue, no per-chunk std::function allocation, no global
+// mutex on the submission path. Shard state is cache-line-aligned so two
+// workers never false-share a shard.
+//
+// When one worker (or fewer) would remain — notably on single-core hosts —
+// the driver runs INLINE: operations apply directly on the calling thread
+// at submit()/advance() time, flush()/sync() are no-ops, and the only
+// overhead over a bare SchedulerSession is the shard lookup. Outcomes are
+// identical either way.
 //
 // The caller-facing thread model is single-producer: submit()/advance()/
-// pump()/drain_all() are called from one thread (a frontend's ingest loop);
-// parallelism happens inside pump().
+// flush()/sync()/pump()/drain_all() are called from one thread (a
+// frontend's ingest loop); parallelism happens inside the workers.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "service/scheduler_session.hpp"
-#include "util/thread_pool.hpp"
+#include "util/mpsc_queue.hpp"
 
 namespace osched::service {
 
 struct ShardDriverOptions {
-  /// Worker threads for pump(); 0 = hardware concurrency.
+  /// Persistent workers; 0 = hardware concurrency. Capped at the shard
+  /// count; a resolved count of <= 1 selects the inline (worker-less) mode.
   std::size_t threads = 0;
   /// Applied to every shard's session.
   SessionOptions session;
@@ -36,44 +56,85 @@ class ShardDriver {
  public:
   ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
               std::size_t num_machines, ShardDriverOptions options = {});
+  ~ShardDriver();
+
+  ShardDriver(const ShardDriver&) = delete;
+  ShardDriver& operator=(const ShardDriver&) = delete;
 
   std::size_t num_shards() const { return shards_.size(); }
+
+  /// Persistent workers serving the shards; 0 means inline mode (operations
+  /// run on the calling thread).
+  std::size_t worker_count() const { return workers_.size(); }
 
   /// Stable tenant-key -> shard routing (SplitMix64 of the key, mod S).
   std::size_t shard_for(std::uint64_t tenant_key) const;
 
-  /// Direct access for inspection (clock, live-job counts). The session
-  /// must not be mutated between pump() calls except through the driver.
+  /// Direct access for inspection (clock, live-job counts). Call sync()
+  /// first; the session must not be mutated between pumps except through
+  /// the driver.
   SchedulerSession& session(std::size_t shard);
 
-  /// Buffers one arrival for `shard`. Applied on the next pump().
-  void submit(std::size_t shard, StreamJob job);
-  /// Buffers a clock advance for `shard`, ordered after the submissions
-  /// buffered so far.
+  /// Stages one arrival for `shard` (inline mode: applies it immediately).
+  void submit(std::size_t shard, const StreamJob& job);
+  /// Stages a clock advance for `shard`, ordered after the submissions
+  /// staged so far (inline mode: applies it immediately).
   void advance(std::size_t shard, Time to);
 
-  /// Applies every buffered operation, shards in parallel, and blocks until
-  /// all are done.
+  /// Hands every staged batch to the owning workers. Non-blocking: the
+  /// caller can keep staging the next wave while workers chew this one.
+  void flush();
+
+  /// Blocks until every flushed batch has been applied.
+  void sync();
+
+  /// flush() + sync(): applies every buffered operation and blocks until
+  /// all are done — the original blocking contract.
   void pump();
 
-  /// pump()s the remaining backlog, then drains every session in parallel.
-  /// Results are in shard order. The driver is finished afterwards.
+  /// pump()s the remaining backlog, then drains every session (on the
+  /// workers, in parallel). Results are in shard order. The driver is
+  /// finished afterwards.
   std::vector<api::RunSummary> drain_all();
 
  private:
   struct Op {
-    bool is_advance = false;
+    enum class Kind : std::uint8_t { kSubmit, kAdvance, kDrain };
+    Kind kind = Kind::kSubmit;
     Time to = 0.0;
     StreamJob job;
   };
 
-  struct Shard {
+  /// Cache-line-aligned so two workers (and the producer) never false-share
+  /// neighbouring shards' state.
+  struct alignas(64) Shard {
     std::unique_ptr<SchedulerSession> session;
-    std::vector<Op> backlog;
+    std::vector<Op> staging;              ///< producer-side wave buffer
+    util::MpscQueue<std::vector<Op>> inbox;
+    std::atomic<std::uint64_t> batches_submitted{0};
+    std::atomic<std::uint64_t> batches_done{0};
+    api::RunSummary drain_result;         ///< written by the drain op
+    bool drained = false;
   };
 
-  std::vector<Shard> shards_;
-  util::ThreadPool pool_;
+  struct Worker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool signal = false;
+    bool stop = false;
+    std::vector<std::size_t> shards;  ///< owned shard indices
+  };
+
+  bool inline_mode() const { return workers_.empty(); }
+  void apply(Shard& shard, Op& op) const;
+  void worker_loop(Worker& worker);
+  void wake(Worker& worker);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex sync_mutex_;
+  std::condition_variable sync_cv_;
 };
 
 }  // namespace osched::service

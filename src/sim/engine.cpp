@@ -1,31 +1,5 @@
 #include "sim/engine.hpp"
 
-namespace osched {
-
-void SimEngine::run(SimulationHooks& hooks) {
-  std::size_t next_arrival = 0;
-  const std::size_t n = instance_.num_jobs();
-
-  for (;;) {
-    const Time arrival_time = next_arrival < n
-                                  ? instance_.job(static_cast<JobId>(next_arrival)).release
-                                  : kTimeInfinity;
-    const auto event_time = events_.peek_time();
-
-    if (next_arrival >= n && !event_time.has_value()) break;
-
-    if (event_time.has_value() && *event_time <= arrival_time) {
-      const SimEvent event = events_.pop();
-      OSCHED_CHECK_GE(event.time, now_ - kTimeEps) << "event in the past";
-      now_ = std::max(now_, event.time);
-      hooks.on_event(event, now_);
-    } else {
-      OSCHED_CHECK_GE(arrival_time, now_ - kTimeEps) << "arrival in the past";
-      now_ = std::max(now_, arrival_time);
-      hooks.on_arrival(static_cast<JobId>(next_arrival), now_);
-      ++next_arrival;
-    }
-  }
-}
-
-}  // namespace osched
+// SimEngine::run is a header template now (the batch entry points inline
+// their policy into the event loop); this translation unit stays for the
+// build graph.

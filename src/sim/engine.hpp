@@ -32,7 +32,38 @@ class SimEngine {
   Time now() const { return now_; }
 
   /// Runs to quiescence: all arrivals delivered and the event queue drained.
-  void run(SimulationHooks& hooks);
+  /// Statically typed so the policy's handlers inline into the loop (the
+  /// batch entry points call this with the concrete policy type); the
+  /// virtual-dispatch form below serves type-erased callers.
+  template <class Hooks>
+  void run(Hooks& hooks) {
+    std::size_t next_arrival = 0;
+    const std::size_t n = instance_.num_jobs();
+
+    for (;;) {
+      const Time arrival_time =
+          next_arrival < n
+              ? instance_.job(static_cast<JobId>(next_arrival)).release
+              : kTimeInfinity;
+      const auto event_time = events_.peek_time();
+
+      if (next_arrival >= n && !event_time.has_value()) break;
+
+      if (event_time.has_value() && *event_time <= arrival_time) {
+        const SimEvent event = events_.pop();
+        OSCHED_CHECK_GE(event.time, now_ - kTimeEps) << "event in the past";
+        now_ = std::max(now_, event.time);
+        hooks.on_event(event, now_);
+      } else {
+        OSCHED_CHECK_GE(arrival_time, now_ - kTimeEps) << "arrival in the past";
+        now_ = std::max(now_, arrival_time);
+        hooks.on_arrival(static_cast<JobId>(next_arrival), now_);
+        ++next_arrival;
+      }
+    }
+  }
+
+  void run(SimulationHooks& hooks) { run<SimulationHooks>(hooks); }
 
  private:
   const Instance& instance_;

@@ -67,6 +67,12 @@ class AugmentedTreap {
   /// tests can verify that churn reuses slots instead of growing the arena.
   std::size_t arena_slots() const { return nodes_.size(); }
 
+  /// Address of the root node (nullptr when empty) — a prefetch target for
+  /// callers that know a descent is imminent. Valid until the next mutation.
+  const void* root_address() const {
+    return root_ == kNull ? nullptr : &nodes_[root_];
+  }
+
   /// Inserts a key; aborts on duplicates (keys must be unique).
   void insert(const Key& key) {
     const std::uint32_t fresh = acquire(key);
@@ -186,6 +192,15 @@ class AugmentedTreap {
 
   /// Removes and returns the smallest key. Requires non-empty.
   Key pop_min() {
+    const Key* next = nullptr;
+    return pop_min_peek_next(&next);
+  }
+
+  /// pop_min() that also reports the NEW minimum through `next` (nullptr
+  /// when the treap became empty) — the successor is adjacent to the pop
+  /// path, so this saves the caller a fresh root descent. The pointer is
+  /// valid until the next mutation.
+  Key pop_min_peek_next(const Key** next) {
     OSCHED_CHECK(root_ != kNull) << "pop_min on empty treap";
     std::uint32_t* slot = &root_;
     path_.clear();
@@ -199,6 +214,17 @@ class AugmentedTreap {
     release(victim);
     pull_path();
     --size_;
+    // New minimum: leftmost of the promoted right subtree, else the pop
+    // path's last node (the victim's parent).
+    std::uint32_t succ = *slot;
+    if (succ != kNull) {
+      while (nodes_[succ].left != kNull) succ = nodes_[succ].left;
+      *next = &nodes_[succ].key;
+    } else if (!path_.empty()) {
+      *next = &nodes_[path_.back()].key;
+    } else {
+      *next = nullptr;
+    }
     return key;
   }
 

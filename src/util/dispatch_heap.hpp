@@ -1,0 +1,82 @@
+// Min-heap over (lower bound, machine id) used by the dispatch index.
+//
+// The argmin-lambda dispatch of every policy evaluates candidate machines
+// in ascending order of a cheap per-machine lambda lower bound and stops as
+// soon as the next bound exceeds the best exact lambda found — a classic
+// best-first tournament. The heap is the ordering structure: keys compare
+// lexicographically by (bound, machine id), so the pop order — and with it
+// every tie-break — is a pure function of the bounds, independent of the
+// insertion order and of the platform.
+//
+// The backing storage is owned by the caller and reused across arrivals;
+// the hot path never allocates once the first arrival has sized it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace osched::util {
+
+/// Binary min-heap of (key, id) with deterministic (key, id) ordering.
+/// Not a container: reset() + push() rebuild it per dispatch.
+class DispatchHeap {
+ public:
+  struct Entry {
+    double key = 0.0;
+    std::uint32_t id = 0;
+
+    bool operator<(const Entry& other) const {
+      if (key != other.key) return key < other.key;
+      return id < other.id;
+    }
+  };
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+  void reset() { entries_.clear(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  void push(double key, std::uint32_t id) {
+    entries_.push_back(Entry{key, id});
+    std::size_t child = entries_.size() - 1;
+    while (child > 0) {
+      const std::size_t parent = (child - 1) / 2;
+      if (!(entries_[child] < entries_[parent])) break;
+      std::swap(entries_[child], entries_[parent]);
+      child = parent;
+    }
+  }
+
+  const Entry& min() const {
+    OSCHED_CHECK(!entries_.empty()) << "min() on empty DispatchHeap";
+    return entries_.front();
+  }
+
+  Entry pop_min() {
+    OSCHED_CHECK(!entries_.empty()) << "pop_min() on empty DispatchHeap";
+    const Entry top = entries_.front();
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    std::size_t parent = 0;
+    const std::size_t n = entries_.size();
+    for (;;) {
+      const std::size_t left = 2 * parent + 1;
+      if (left >= n) break;
+      std::size_t best = left;
+      const std::size_t right = left + 1;
+      if (right < n && entries_[right] < entries_[left]) best = right;
+      if (!(entries_[best] < entries_[parent])) break;
+      std::swap(entries_[parent], entries_[best]);
+      parent = best;
+    }
+    return top;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace osched::util

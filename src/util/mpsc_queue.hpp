@@ -1,0 +1,86 @@
+// Lock-free multi-producer single-consumer queue of batches.
+//
+// The shard driver's submission path: producers push whole batches (one
+// heap node per batch, never per item) onto a Treiber stack with a single
+// CAS; the consumer takes the entire stack with one exchange and reverses
+// it, which restores FIFO order per producer. With one producer — the
+// driver's documented threading model — the consumer therefore sees
+// batches in exactly the order they were pushed, which is what keeps
+// sharded outcomes invariant to the worker count.
+//
+// Parking is the caller's business: the queue itself never blocks, so the
+// consumer can poll several queues round-robin and sleep on its own
+// condition variable when all of them are empty.
+#pragma once
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+namespace osched::util {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  ~MpscQueue() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Pushes one value. Lock-free; safe from any number of producer threads.
+  void push(T value) {
+    Node* node = new Node{nullptr, std::move(value)};
+    node->next = head_.load(std::memory_order_relaxed);
+    while (!head_.compare_exchange_weak(node->next, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// True when nothing is queued (racy by nature; producers may push at any
+  /// moment — callers use it only as a parking heuristic).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Single consumer only: appends every queued value to `out` in push
+  /// order (per producer) and returns how many were taken.
+  std::size_t drain(std::vector<T>& out) {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    // The stack is newest-first; reverse to recover push order.
+    Node* reversed = nullptr;
+    while (node != nullptr) {
+      Node* next = node->next;
+      node->next = reversed;
+      reversed = node;
+      node = next;
+    }
+    std::size_t taken = 0;
+    while (reversed != nullptr) {
+      out.push_back(std::move(reversed->value));
+      Node* next = reversed->next;
+      delete reversed;
+      reversed = next;
+      ++taken;
+    }
+    return taken;
+  }
+
+ private:
+  struct Node {
+    Node* next;
+    T value;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+};
+
+}  // namespace osched::util

@@ -33,6 +33,24 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::submit_bulk(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const bool broadcast = tasks.size() > 1;
+  {
+    std::unique_lock lock(mutex_);
+    OSCHED_CHECK(!stop_) << "submit after shutdown";
+    for (auto& task : tasks) {
+      queue_.push(std::move(task));
+    }
+    in_flight_ += tasks.size();
+  }
+  if (broadcast) {
+    work_available_.notify_all();
+  } else {
+    work_available_.notify_one();
+  }
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
@@ -61,15 +79,19 @@ void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   // Chunking: a few chunks per worker balances load without flooding the
-  // queue for very large n.
+  // queue for very large n. The whole chunk set is enqueued with one
+  // submit_bulk — one lock, one broadcast.
   const std::size_t target_chunks = pool.thread_count() * 4;
   const std::size_t chunk = std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve((n + chunk - 1) / chunk);
   for (std::size_t begin = 0; begin < n; begin += chunk) {
     const std::size_t end = std::min(begin + chunk, n);
-    pool.submit([&body, begin, end] {
+    tasks.push_back([&body, begin, end] {
       for (std::size_t i = begin; i < end; ++i) body(i);
     });
   }
+  pool.submit_bulk(std::move(tasks));
   pool.wait_idle();
 }
 

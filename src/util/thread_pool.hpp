@@ -36,6 +36,11 @@ class ThreadPool {
   /// through return values and OSCHED_CHECK).
   void submit(std::function<void()> task);
 
+  /// Enqueues a batch of tasks under ONE lock acquisition and a single
+  /// broadcast — parallel_for used to take the queue mutex once per chunk,
+  /// which serializes producers exactly when the pool is busiest.
+  void submit_bulk(std::vector<std::function<void()>> tasks);
+
   /// Enqueues a value-returning task and hands back its future. The futures
   /// form of submit(): callers collect results in submission order, which
   /// keeps parallel experiment output deterministic regardless of which

@@ -207,6 +207,47 @@ TEST(Runner, AggregatesEveryUnitOnce) {
   EXPECT_TRUE(report.verdict.pass);  // no evaluate() = pass
 }
 
+TEST(Runner, RepeatAddsTimingSamplesWithoutChangingDeterministicValues) {
+  // Multi-repetition scenario: --repeat multiplies the sample count and
+  // reruns every unit with its SAME seed (min/max envelopes unchanged).
+  const Scenario reps3 = synthetic_scenario("repeat3", 2, 3);
+  RunnerOptions once;
+  once.jobs = 2;
+  once.seed = 11;
+  RunnerOptions repeated = once;
+  repeated.repeat = 4;
+
+  const ScenarioReport single3 = run_scenario(reps3, once);
+  const ScenarioReport multi3 = run_scenario(reps3, repeated);
+  ASSERT_EQ(single3.cases.size(), multi3.cases.size());
+  for (std::size_t c = 0; c < single3.cases.size(); ++c) {
+    EXPECT_EQ(single3.cases[c].metric("value").count(), 3u);
+    EXPECT_EQ(multi3.cases[c].metric("value").count(), 12u);
+    EXPECT_EQ(multi3.cases[c].metric("value").min(),
+              single3.cases[c].metric("value").min());
+    EXPECT_EQ(multi3.cases[c].metric("value").max(),
+              single3.cases[c].metric("value").max());
+  }
+
+  // Single-repetition scenario (the perf tiers' shape): every repeat
+  // reruns the one unit, so a deterministic metric's mean/min/max are
+  // bit-identical to the repeat=1 run and spread-free — exactly the
+  // property that lets compare_bench.py diff reports recorded with
+  // different --repeat values.
+  const Scenario reps1 = synthetic_scenario("repeat1", 2, 1);
+  const ScenarioReport single1 = run_scenario(reps1, once);
+  const ScenarioReport multi1 = run_scenario(reps1, repeated);
+  for (std::size_t c = 0; c < single1.cases.size(); ++c) {
+    const CaseResult& one = single1.cases[c];
+    const CaseResult& rep = multi1.cases[c];
+    EXPECT_EQ(rep.metric("value").count(), 4u);
+    EXPECT_EQ(rep.metric("value").mean(), one.metric("value").mean());
+    EXPECT_EQ(rep.metric("value").min(), one.metric("value").min());
+    EXPECT_EQ(rep.metric("value").max(), one.metric("value").max());
+    EXPECT_EQ(rep.metric("value").stddev(), 0.0);
+  }
+}
+
 TEST(Runner, ReportIdenticalForAnyJobCount) {
   const Scenario a = synthetic_scenario("jobs-a", 4, 6);
   const Scenario b = synthetic_scenario("jobs-b", 2, 3);

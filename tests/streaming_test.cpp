@@ -259,6 +259,49 @@ TEST(ShardDriver, ThreadCountNeverChangesAnyTenantsOutcome) {
   }
 }
 
+TEST(ShardDriver, FlushWithoutSyncOverlapsAndStaysDeterministic) {
+  // The non-blocking path: flush() hands waves to the persistent workers
+  // while the producer immediately stages the next wave; sync() only at
+  // the end. Outcomes must equal the pump()-per-wave driving and the
+  // dedicated single-tenant session.
+  constexpr std::size_t kShards = 3;
+  std::vector<Instance> tenants;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    tenants.push_back(make_workload(Family::kDense, base_seed() + 500 + s, 300, 4));
+  }
+
+  service::ShardDriverOptions options;
+  options.threads = 3;
+  service::ShardDriver driver(api::Algorithm::kTheorem1, kShards, 4, options);
+  EXPECT_GT(driver.worker_count(), 0u) << "threads=3 should run real workers";
+  for (std::size_t wave = 0; wave < 30; ++wave) {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const Instance& instance = tenants[s];
+      for (std::size_t k = wave * 10; k < (wave + 1) * 10; ++k) {
+        if (k >= instance.num_jobs()) break;
+        driver.submit(s, make_stream_job(instance, static_cast<JobId>(k)));
+      }
+    }
+    driver.flush();  // no sync: workers chew while we stage the next wave
+  }
+  driver.sync();
+  const std::vector<api::RunSummary> results = driver.drain_all();
+  ASSERT_EQ(results.size(), kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const api::RunSummary solo =
+        service::streamed_run(api::Algorithm::kTheorem1, tenants[s], {}, 10);
+    expect_bit_identical(solo, results[s], "flushed shard " + std::to_string(s));
+  }
+}
+
+TEST(ShardDriver, SingleWorkerResolvesToInlineMode) {
+  service::ShardDriverOptions options;
+  options.threads = 1;
+  service::ShardDriver driver(api::Algorithm::kGreedySpt, 4, 2, options);
+  EXPECT_EQ(driver.worker_count(), 0u)
+      << "one worker buys no parallelism; the driver must run inline";
+}
+
 TEST(ShardDriver, RoutesKeysStablyAcrossAllShards) {
   service::ShardDriver driver(api::Algorithm::kGreedySpt, 8, 2);
   std::vector<bool> hit(8, false);
