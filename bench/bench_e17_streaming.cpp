@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <span>
 
 #include "api/scheduler_api.hpp"
 #include "harness/registry.hpp"
@@ -104,14 +105,24 @@ MetricRow run_stream_case(const UnitContext& ctx, std::size_t n) {
   double feed_seconds = 0.0;
   Time release_base = 0.0;
   std::size_t produced = 0;
-  StreamJob job;  // reused: the feed loop pays no per-job allocation
+  // Bounded sub-batches over one reused buffer: the chunk feeds through the
+  // batch submit (amortized validation/bookkeeping) without materializing
+  // 64k StreamJobs at once — the buffer stays ~1 MiB, so the case's peak
+  // RSS keeps reflecting the session's live window, which is the metric
+  // this scenario exists to showcase.
+  constexpr std::size_t kSubBatch = 4096;
+  std::vector<StreamJob> batch(kSubBatch);
   for (std::uint64_t c = 0; produced < n; ++c) {
     const std::size_t take = std::min(kChunk, n - produced);
     const Instance chunk = stream_chunk(ctx.scenario_seed, c, take);
     util::Timer timer;
-    for (std::size_t idx = 0; idx < chunk.num_jobs(); ++idx) {
-      fill_stream_job(chunk, static_cast<JobId>(idx), release_base, &job);
-      session.submit(job);
+    for (std::size_t at = 0; at < take; at += kSubBatch) {
+      const std::size_t span = std::min(kSubBatch, take - at);
+      for (std::size_t k = 0; k < span; ++k) {
+        fill_stream_job(chunk, static_cast<JobId>(at + k), release_base,
+                        &batch[k]);
+      }
+      session.submit(std::span<const StreamJob>(batch.data(), span));
     }
     session.advance(session.now());
     feed_seconds += timer.elapsed_seconds();
@@ -246,7 +257,8 @@ MetricRow run_trace_fed_case(const UnitContext& ctx, std::size_t n) {
   OSCHED_CHECK(reader.ok()) << reader.error();
   std::vector<StreamJob> chunk;
   while (reader.next_chunk(kChunk, chunk) > 0) {
-    for (const StreamJob& job : chunk) session.submit(job);
+    // The parsed chunk feeds the session in one batch submit.
+    session.submit(std::span<const StreamJob>(chunk));
   }
   OSCHED_CHECK(reader.ok()) << reader.error();
   const std::size_t max_live = session.max_live_jobs();

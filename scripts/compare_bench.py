@@ -41,8 +41,20 @@ EXPECTED_SCHEMA = "osched.bench.report"
 # host's core count, not by scheduling decisions, so it belongs to the
 # wall-clock class (band-compared), not the deterministic one.
 PERF_EXACT = {"seconds", "compute_seconds", "wall_seconds", "workers"}
-PERF_PREFIXES = ("peak_rss",)
+# Memory metrics are wall-clock-class (banded, never exact-matched) AND get
+# their own band (--rss-tolerance): RSS is an OS-level reading (allocator
+# retention, page granularity) whose noise profile is unrelated to
+# wall-clock jitter, so e.g. CI can band time loosely while gating memory
+# tightly — the e18 storage-backend gate. Note store_bytes is deliberately
+# NOT here: an instance's exact backend footprint is deterministic and must
+# match exactly.
+RSS_PREFIXES = ("peak_rss", "rss_")
+PERF_PREFIXES = RSS_PREFIXES
 PERF_SUFFIXES = ("_per_sec",)
+
+
+def is_rss_metric(name: str) -> bool:
+    return name.startswith(RSS_PREFIXES)
 
 # Metrics that every scheduling case emits and whose absence (on either
 # side) is treated as a determinism failure, not a schema warning: a report
@@ -126,6 +138,9 @@ def main() -> None:
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="relative band for wall-clock metrics "
                              "(default 0.30 = 30%%)")
+    parser.add_argument("--rss-tolerance", type=float, default=None,
+                        help="relative band for memory metrics (peak_rss_*, "
+                             "rss_*); defaults to --tolerance")
     parser.add_argument("--fail-on-missing", action="store_true",
                         help="treat one-sided scenarios/cases/metrics as "
                              "errors instead of warnings")
@@ -170,18 +185,21 @@ def main() -> None:
                 b_mean, c_mean = b.get("mean"), c.get("mean")
                 if not b_mean or b_mean <= 0 or c_mean is None:
                     continue  # degenerate timing (zero/null): nothing to band
+                tolerance = args.tolerance
+                if is_rss_metric(name) and args.rss_tolerance is not None:
+                    tolerance = args.rss_tolerance
                 ratio = c_mean / b_mean
                 if higher_is_better(name):
-                    ok = ratio >= 1.0 - args.tolerance
+                    ok = ratio >= 1.0 - tolerance
                     direction = "dropped to"
                 else:
-                    ok = ratio <= 1.0 + args.tolerance
+                    ok = ratio <= 1.0 + tolerance
                     direction = "grew to"
                 if not ok:
                     perf_regressions.append(
                         f"{where}: {direction} {ratio:.2f}x of baseline "
                         f"({b_mean:.6g} -> {c_mean:.6g}, tolerance "
-                        f"{args.tolerance:.0%})")
+                        f"{tolerance:.0%})")
             else:
                 for stat in ("mean", "min", "max"):
                     if b.get(stat) != c.get(stat):

@@ -1,6 +1,7 @@
 #include "baselines/immediate_rejection.hpp"
 
 #include "baselines/immediate_rejection_policy.hpp"
+#include "instance/processing_store.hpp"
 #include "sim/engine.hpp"
 
 namespace osched {
@@ -10,16 +11,20 @@ ImmediateRejectionResult run_immediate_rejection(
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
 
-  SimEngine engine(instance);
-  Schedule schedule(instance.num_jobs());
-  ImmediateRejectionPolicy<Instance, Schedule> policy(instance, schedule,
-                                                      engine.events(), options);
-  engine.run(policy);
+  // One full instantiation per storage backend (see processing_store.hpp).
+  return with_store_view(instance, [&](const auto& view) {
+    using Store = std::decay_t<decltype(view)>;
+    SimEngineFor<Store> engine(view);
+    Schedule schedule(view.num_jobs());
+    ImmediateRejectionPolicy<Store, Schedule> policy(view, schedule,
+                                                     engine.events(), options);
+    engine.run(policy);
 
-  ImmediateRejectionResult result;
-  result.schedule = std::move(schedule);
-  result.rejections = policy.rejections();
-  return result;
+    ImmediateRejectionResult result;
+    result.schedule = std::move(schedule);
+    result.rejections = policy.rejections();
+    return result;
+  });
 }
 
 }  // namespace osched

@@ -1,6 +1,7 @@
 #include "baselines/list_scheduler.hpp"
 
 #include "baselines/list_scheduler_policy.hpp"
+#include "instance/processing_store.hpp"
 #include "sim/engine.hpp"
 
 namespace osched {
@@ -27,12 +28,16 @@ Schedule run_list_scheduler(const Instance& instance,
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
 
-  SimEngine engine(instance);
-  Schedule schedule(instance.num_jobs());
-  ListSchedulerPolicy<Instance, Schedule> policy(instance, schedule,
-                                                 engine.events(), options);
-  engine.run(policy);
-  return schedule;
+  // One full instantiation per storage backend (see processing_store.hpp).
+  return with_store_view(instance, [&](const auto& view) {
+    using Store = std::decay_t<decltype(view)>;
+    SimEngineFor<Store> engine(view);
+    Schedule schedule(view.num_jobs());
+    ListSchedulerPolicy<Store, Schedule> policy(view, schedule, engine.events(),
+                                                options);
+    engine.run(policy);
+    return schedule;
+  });
 }
 
 }  // namespace osched

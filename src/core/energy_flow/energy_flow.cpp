@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/energy_flow/energy_flow_policy.hpp"
+#include "instance/processing_store.hpp"
 #include "sim/engine.hpp"
 
 namespace osched {
@@ -33,16 +34,20 @@ EnergyFlowResult run_energy_flow(const Instance& instance,
   const std::string problems = instance.validate();
   OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
 
-  SimEngine engine(instance);
-  Schedule schedule(instance.num_jobs());
-  EnergyFlowPolicy<Instance, Schedule> policy(instance, schedule,
-                                              engine.events(), options);
-  engine.run(policy);
+  // One full instantiation per storage backend (see processing_store.hpp).
+  return with_store_view(instance, [&](const auto& view) {
+    using Store = std::decay_t<decltype(view)>;
+    SimEngineFor<Store> engine(view);
+    Schedule schedule(view.num_jobs());
+    EnergyFlowPolicy<Store, Schedule> policy(view, schedule, engine.events(),
+                                             options);
+    engine.run(policy);
 
-  EnergyFlowResult result;
-  policy.finalize_into(result);
-  result.schedule = std::move(schedule);
-  return result;
+    EnergyFlowResult result;
+    policy.finalize_into(result);
+    result.schedule = std::move(schedule);
+    return result;
+  });
 }
 
 double reference_energy_lambda_ij(

@@ -1,6 +1,7 @@
 #include "core/flow/rejection_flow.hpp"
 
 #include "core/flow/rejection_flow_policy.hpp"
+#include "instance/processing_store.hpp"
 #include "sim/engine.hpp"
 
 namespace osched {
@@ -15,18 +16,21 @@ const char* to_string(Rule2Victim victim) {
   return "?";
 }
 
-RejectionFlowResult run_rejection_flow(const Instance& instance,
-                                       const RejectionFlowOptions& options) {
-  const std::string problems = instance.validate();
-  OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
+namespace {
 
-  // Batch run = the resumable policy driven straight to quiescence. The
-  // policy is the single implementation; streaming sessions drive the same
-  // class one submit/advance at a time (see service/scheduler_session.hpp).
-  SimEngine engine(instance);
-  Schedule schedule(instance.num_jobs());
-  RejectionFlowPolicy<Instance, Schedule> policy(instance, schedule,
-                                                 engine.events(), options);
+/// Batch run = the resumable policy driven straight to quiescence, one full
+/// template instantiation per storage backend (the dense one is the
+/// pre-refactor hot path — DenseStoreView serves the exact loads Instance
+/// used to). Streaming sessions drive the same policy class one
+/// submit/advance at a time (see service/scheduler_session.hpp).
+template <class Store>
+RejectionFlowResult run_on_store(const Store& store,
+                                 const RejectionFlowOptions& options) {
+  const std::size_t n = store.num_jobs();
+  SimEngineFor<Store> engine(store);
+  Schedule schedule(n);
+  RejectionFlowPolicy<Store, Schedule> policy(store, schedule, engine.events(),
+                                              options);
   engine.run(policy);
 
   RejectionFlowResult result;
@@ -37,14 +41,25 @@ RejectionFlowResult run_rejection_flow(const Instance& instance,
   result.beta_integral = policy.dual().beta_integral();
   result.dual_objective = policy.dual().dual_objective();
   result.opt_lower_bound = policy.dual().opt_lower_bound();
-  result.definitive_finish.resize(instance.num_jobs());
-  result.lambda.resize(instance.num_jobs());
-  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+  result.definitive_finish.resize(n);
+  result.lambda.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
     result.definitive_finish[j] =
         policy.dual().definitive_finish(static_cast<JobId>(j));
     result.lambda[j] = policy.lambda(static_cast<JobId>(j));
   }
   return result;
+}
+
+}  // namespace
+
+RejectionFlowResult run_rejection_flow(const Instance& instance,
+                                       const RejectionFlowOptions& options) {
+  const std::string problems = instance.validate();
+  OSCHED_CHECK(problems.empty()) << "invalid instance: " << problems;
+  return with_store_view(instance, [&](const auto& view) {
+    return run_on_store(view, options);
+  });
 }
 
 double reference_lambda_ij(const std::vector<Work>& pending_sorted, Work p_ij,

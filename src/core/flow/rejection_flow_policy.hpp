@@ -327,32 +327,25 @@ class RejectionFlowPolicy final : public SimulationHooks {
         }
       }
     } else {
-      // No precomputed order (streaming store): derive the idle argmin
-      // from the float shadow row. float_lower is monotone, so the exact
-      // (p, id) argmin — and every machine whose rounded lambda could tie
-      // it — sits within one float ulp of the float minimum; those few
-      // candidates are re-compared with exact doubles.
-      const float* rowf = store_.bounds_row(j);
-      float fmin = std::numeric_limits<float>::max();
+      // No precomputed order (streaming store, generator tile): derive the
+      // idle argmin from the DOUBLE row directly. Rows without an order
+      // table are the just-appended / just-synthesized ones — already
+      // cache-hot — so the float shadow's halved memory traffic buys
+      // nothing here, and skipping it keeps the lazily-filled shadow
+      // (service::StreamingJobStore) untouched on this path entirely. The
+      // exact scan returns the same lexicographic (lambda, id) argmin the
+      // former float screen located.
       for (std::size_t k = 0; k < count; ++k) {
         const auto i = static_cast<std::size_t>(
             dense ? static_cast<MachineId>(k) : eligible.first[k]);
-        if (pend_n_[i] == 0 && rowf[i] < fmin) fmin = rowf[i];
-      }
-      if (fmin < std::numeric_limits<float>::max()) {
-        const float cap = float_next_up(fmin);
-        for (std::size_t k = 0; k < count; ++k) {
-          const auto i = static_cast<std::size_t>(
-              dense ? static_cast<MachineId>(k) : eligible.first[k]);
-          if (pend_n_[i] != 0 || rowf[i] > cap) continue;
-          const Work p = effective_processing(static_cast<MachineId>(i), j);
-          const double lambda = p / options_.epsilon + p;  // empty-queue
-          if (lambda < best_lambda ||
-              (lambda == best_lambda &&
-               static_cast<MachineId>(i) < best_machine)) {
-            best_lambda = lambda;
-            best_machine = static_cast<MachineId>(i);
-          }
+        if (pend_n_[i] != 0) continue;
+        const Work p = effective_processing(static_cast<MachineId>(i), j);
+        const double lambda = p / options_.epsilon + p;  // empty-queue
+        if (lambda < best_lambda ||
+            (lambda == best_lambda &&
+             static_cast<MachineId>(i) < best_machine)) {
+          best_lambda = lambda;
+          best_machine = static_cast<MachineId>(i);
         }
       }
     }
@@ -362,12 +355,16 @@ class RejectionFlowPolicy final : public SimulationHooks {
     // can never be the argmin), exact lambda only for the few that
     // survive. The update rule is the lexicographic (lambda, id) argmin
     // and skips are sound, so the live list's order never changes the
-    // outcome.
-    const float* rowf = store_.bounds_row(j);
+    // outcome. With an order table the bound's p comes from the float
+    // shadow (cold batch rows: half the traffic); without one the hot
+    // double row converts in-register — float_lower(rowd[i]) IS the shadow
+    // entry bit for bit, so the bound, pruning and result are identical.
+    const float* rowf = order != nullptr ? store_.bounds_row(j) : nullptr;
     for (const std::uint32_t i : live_list_) {
       const auto machine = static_cast<MachineId>(i);
       if (!dense && !(rowd[i] < kTimeInfinity)) continue;  // ineligible
-      const float plb = speed_is_one_ ? rowf[i] : rowf[i] / speed_up_;
+      const float pf = rowf != nullptr ? rowf[i] : float_lower(rowd[i]);
+      const float plb = speed_is_one_ ? pf : pf / speed_up_;
       if (static_cast<double>(lambda_lower_bound(plb, i)) > best_lambda) {
         continue;
       }

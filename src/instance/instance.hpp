@@ -1,17 +1,34 @@
-// Unrelated-machines problem instance.
+// Unrelated-machines problem instance — a thin façade over a pluggable
+// processing-time store.
 //
-// Stores the jobs (sorted by release time; ties by id) and the dense
-// p_ij matrix of per-machine processing requirements. A processing entry of
-// +infinity means "job j cannot run on machine i" (restricted assignment).
+// The paper states the model over an n×m matrix of per-machine processing
+// requirements p_ij (+infinity marks "job j cannot run on machine i",
+// restricted assignment). How that matrix is *stored* is a backend choice:
 //
-// Hot-path layout: the matrix is one flat job-major buffer (a job's p_ij
-// across machines is contiguous — the access pattern of the dispatch
-// scans), `processing_unchecked` skips the bounds CHECKs for loops whose
-// indices are validated once at entry, and each job carries a precomputed
-// eligible-machine adjacency list so restricted-assignment dispatch scans
-// only the machines that can actually run the job.
+//  * kDense     — one flat job-major buffer (a job's p_ij across machines is
+//                 contiguous, the access pattern of the dispatch scans) plus
+//                 a rounded-down float32 shadow and a per-job (p, id) machine
+//                 order. Today's hot-path layout, unchanged.
+//  * kSparseCsr — eligible entries only: p, float shadow and (p, id) order
+//                 are stored per job over the eligibility adjacency, so a
+//                 restricted-assignment family at eligibility q costs ~q of
+//                 the dense bytes instead of all of them.
+//  * kGenerator — no matrix at all: p_ij is synthesized on demand from a
+//                 workload family's closed form (RowGenerator). Fully
+//                 eligible by contract; huge-m sweeps never materialize n×m.
+//
+// Every backend answers the same façade accessors (processing, eligibility,
+// min_processing, ...) with identical values, and the schedulers make
+// bit-identical decisions over all three — tests/storage_backend_test.cpp
+// pins that down differentially. The *hot* accessor surface the policies
+// are templated over (processing_row / bounds_row / p_order_row /
+// processing_unchecked without branches) lives in the per-backend view
+// classes of instance/processing_store.hpp; the dense view compiles to the
+// exact loads Instance used to serve itself.
 #pragma once
 
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,14 +51,89 @@ struct EligibleMachines {
   bool empty() const { return first == last; }
 };
 
+/// Which representation an Instance keeps its p_ij matrix in. The choice
+/// never changes any scheduling outcome — only memory footprint and the
+/// constant factors of the accessors.
+enum class StorageBackend {
+  kDense,      ///< flat job-major n×m buffer (+ shadow + order tables)
+  kSparseCsr,  ///< eligible entries only, CSR over the adjacency
+  kGenerator,  ///< p_ij synthesized on demand from a closed form
+};
+
+const char* to_string(StorageBackend backend);
+
+/// One eligible entry of a sparse job row: machine index + finite p_ij.
+struct SparseEntry {
+  MachineId machine = kInvalidMachine;
+  Work p = 0.0;
+};
+
+/// Closed-form p_ij source for generator-backed instances.
+///
+/// Contract: entry(j, i) is a PURE function of (j, i) — no internal state —
+/// returning a finite positive processing time for every machine (generator
+/// instances are fully eligible; restricted families belong to the sparse
+/// backend, whose adjacency is explicit). `j` is the final, release-sorted
+/// job id. Purity is what makes the backend exchangeable: materializing the
+/// same generator into a dense or sparse instance reproduces every double
+/// bit for bit, which the storage differential wall asserts.
+class RowGenerator {
+ public:
+  virtual ~RowGenerator() = default;
+
+  virtual Work entry(JobId j, MachineId i) const = 0;
+
+  /// Fills one whole row (m entries). Override when the family can batch
+  /// per-row work (e.g. hoisting the job-dependent factors out of the
+  /// machine loop); the default just loops entry().
+  virtual void fill_row(JobId j, std::size_t num_machines, Work* out) const {
+    for (std::size_t i = 0; i < num_machines; ++i) {
+      out[i] = entry(j, static_cast<MachineId>(i));
+    }
+  }
+};
+
 class Instance {
  public:
   Instance() = default;
 
-  /// `processing[i][j]` is p_ij; every row must have `jobs.size()` entries.
-  /// Jobs are re-sorted by (release, id) and re-numbered 0..n-1; the matrix
-  /// columns are permuted accordingly, so callers can build in any order.
+  /// Dense backend. `processing[i][j]` is p_ij; every row must have
+  /// `jobs.size()` entries. Jobs are re-sorted by (release, id) and
+  /// re-numbered 0..n-1; the matrix columns are permuted accordingly, so
+  /// callers can build in any order.
   Instance(std::vector<Job> jobs, std::vector<std::vector<Work>> processing);
+
+  /// Sparse-CSR backend. `rows[k]` lists job k's eligible machines with
+  /// their finite p entries, strictly ascending by machine index. Jobs are
+  /// re-sorted/re-numbered exactly like the dense constructor (rows are
+  /// permuted along). The n×m matrix is never materialized: memory is
+  /// O(total eligible entries).
+  static Instance from_sparse_rows(std::vector<Job> jobs,
+                                   std::size_t num_machines,
+                                   std::vector<std::vector<SparseEntry>> rows);
+
+  /// Generator backend. `jobs` must already be sorted by (release, id) —
+  /// the generator is indexed by final job id, so there is no permutation
+  /// to hide behind; ids are renumbered 0..n-1 in place. Entry validity
+  /// (finite, positive, fully eligible) is the generator's contract and is
+  /// NOT scanned here: scanning would materialize exactly the n×m work this
+  /// backend exists to avoid. validate() covers the job fields only.
+  static Instance from_generator(std::vector<Job> jobs,
+                                 std::size_t num_machines,
+                                 std::shared_ptr<const RowGenerator> generator);
+
+  /// Rebuilds this instance under another backend, preserving every p_ij
+  /// bit for bit (the conversion behind the differential wall). Conversions
+  /// TO kGenerator are only legal when this instance already is one (there
+  /// is no closed form to recover from a matrix).
+  Instance with_backend(StorageBackend target) const;
+
+  StorageBackend backend() const { return backend_; }
+
+  /// Exact byte footprint of the stored representation (matrix payload,
+  /// shadow/order tables, adjacency, job records). Deterministic for a
+  /// given instance — bench reports treat it as an exact-match metric.
+  std::size_t store_bytes() const;
 
   std::size_t num_jobs() const { return jobs_.size(); }
   std::size_t num_machines() const { return num_machines_; }
@@ -58,36 +150,47 @@ class Instance {
     return processing_unchecked(i, j);
   }
 
-  /// p_ij without bounds CHECKs, for validated inner loops (the dispatch
-  /// scans, the duality checkers' constraint sweeps). Callers must have
-  /// established 0 <= i < num_machines() and 0 <= j < num_jobs().
+  /// p_ij without bounds CHECKs, for validated loops (the duality checkers'
+  /// constraint sweeps, metrics evaluation). Callers must have established
+  /// 0 <= i < num_machines() and 0 <= j < num_jobs(). Dense: one load.
+  /// Sparse: binary search of the job's adjacency slice (kTimeInfinity on a
+  /// miss). Generator: one closed-form evaluation. Scheduling hot paths do
+  /// NOT come through here — they run on the branch-free views of
+  /// processing_store.hpp.
   Work processing_unchecked(MachineId i, JobId j) const {
-    return processing_[static_cast<std::size_t>(j) * num_machines_ +
-                       static_cast<std::size_t>(i)];
+    switch (backend_) {
+      case StorageBackend::kDense:
+        return processing_[static_cast<std::size_t>(j) * num_machines_ +
+                           static_cast<std::size_t>(i)];
+      case StorageBackend::kSparseCsr:
+        return sparse_lookup(i, j);
+      case StorageBackend::kGenerator:
+        return generator_->entry(j, i);
+    }
+    return kTimeInfinity;  // unreachable
   }
 
-  /// Job j's contiguous p_{., j} row (num_machines() entries, indexed by
-  /// machine). The dispatch index's vectorized lower-bound sweep reads it
-  /// directly instead of calling processing_unchecked per machine.
+  /// Job j's contiguous p_{., j} row. DENSE BACKEND ONLY (the other
+  /// backends have no materialized row to point into — hot-path row access
+  /// goes through the views in processing_store.hpp).
   const Work* processing_row(JobId j) const {
+    OSCHED_CHECK(backend_ == StorageBackend::kDense);
     return processing_.data() + static_cast<std::size_t>(j) * num_machines_;
   }
 
-  /// Float32 shadow of processing_row: each entry rounded DOWN
-  /// (float_lower), so a bound computed from it never exceeds one computed
-  /// from the double row. The dispatch sweep reads this row — half the
-  /// memory traffic of the double row, which is what the sweep is bound by.
+  /// Float32 shadow of processing_row, each entry rounded DOWN
+  /// (float_lower). DENSE BACKEND ONLY, like processing_row.
   const float* bounds_row(JobId j) const {
+    OSCHED_CHECK(backend_ == StorageBackend::kDense);
     return bounds_.data() + static_cast<std::size_t>(j) * num_machines_;
   }
 
   /// Job j's eligible machines sorted by (p_ij, machine id) ascending —
-  /// precomputed at construction. Aligned with eligible_machines(j): the
-  /// slice has eligible_machines(j).size() entries. The dispatch index
-  /// walks this prefix to find the best idle machine in O(live machines)
-  /// instead of sweeping all m. nullptr when the table does not exist
-  /// (65536+ machines exceed the uint16 ids) — dispatch then derives the
-  /// idle argmin from the shadow row instead.
+  /// precomputed at construction for the dense and sparse backends (the
+  /// table is CSR-shaped either way). nullptr when the table does not
+  /// exist: generator backend (sorting would materialize the row work the
+  /// backend avoids) or 65536+ machines (ids exceed uint16) — dispatch then
+  /// derives the idle argmin from the shadow row instead.
   const std::uint16_t* p_order_row(JobId j) const {
     if (p_order_.empty()) return nullptr;
     return p_order_.data() + eligible_offsets_[static_cast<std::size_t>(j)];
@@ -98,8 +201,14 @@ class Instance {
   }
 
   /// The machines that can run j (finite p_ij), ascending machine index.
+  /// Dense/sparse: the precomputed adjacency. Generator: a shared
+  /// 0..m-1 identity row (fully eligible by contract).
   EligibleMachines eligible_machines(JobId j) const {
     OSCHED_CHECK(j >= 0 && static_cast<std::size_t>(j) < jobs_.size());
+    if (backend_ == StorageBackend::kGenerator) {
+      const MachineId* base = identity_machines_.data();
+      return EligibleMachines{base, base + num_machines_};
+    }
     const auto idx = static_cast<std::size_t>(j);
     const MachineId* base = eligible_flat_.data();
     return EligibleMachines{base + eligible_offsets_[idx],
@@ -110,26 +219,69 @@ class Instance {
   Work min_processing(JobId j) const;
 
   /// max p_ij / min p_ij over all finite entries (the paper's Delta).
+  /// Generator backend: evaluates the closed form over the full n×m grid —
+  /// an analysis-only accessor, not a scheduling path.
   double processing_spread() const;
 
   Weight total_weight() const;
 
+  /// The closed-form source of a generator-backed instance.
+  const RowGenerator& generator() const {
+    OSCHED_CHECK(backend_ == StorageBackend::kGenerator);
+    return *generator_;
+  }
+
   /// Structural sanity: n >= 0, every job has at least one eligible machine,
   /// finite entries positive, releases non-negative, deadlines after release.
   /// Returns an empty string when valid, else a description of the problem.
-  /// O(1): the verdict is computed once, during construction, in the same
-  /// full-matrix pass that builds the eligibility adjacency.
+  /// O(1): the verdict is computed once, during construction (generator
+  /// instances check job fields only — see from_generator).
   std::string validate() const;
 
  private:
+  friend class DenseStoreView;
+  friend class SparseStoreView;
+  friend class GeneratorStoreView;
+
+  /// Shared per-job field validation (release/weight/deadline), identical
+  /// across backends. KEEP IN SYNC with service::StreamingJobStore's
+  /// check_job.
+  static void check_job_fields(const Job& job, std::size_t j,
+                               std::ostream& problems);
+
+  /// Build the per-job (p, id)-sorted machine order over the adjacency
+  /// (CSR-shaped for every backend that has one; entry_p reads one entry's
+  /// p value). Skipped at 65536+ machines (uint16 ids).
+  template <class EntryP>
+  void build_p_order(EntryP&& entry_p);
+  void build_p_order_dense();
+  void build_p_order_csr();
+
+  Work sparse_lookup(MachineId i, JobId j) const;
+
   std::vector<Job> jobs_;
   std::size_t num_machines_ = 0;
+  StorageBackend backend_ = StorageBackend::kDense;
+
+  // ---- dense backend ----
   /// Flat p_ij buffer, job-major ([job * m + machine]): the hot dispatch
   /// loops read p_{., j} for one job across machines, which this layout
   /// serves from m/8 cache lines instead of m scattered ones.
   std::vector<Work> processing_;
   /// Rounded-down float32 shadow of processing_, same layout (bounds_row).
   std::vector<float> bounds_;
+
+  // ---- sparse-CSR backend (aligned with eligible_flat_ slices) ----
+  std::vector<Work> csr_p_;
+  std::vector<float> csr_bounds_;
+
+  // ---- generator backend ----
+  std::shared_ptr<const RowGenerator> generator_;
+  /// 0..m-1, the shared eligible_machines row of the fully-eligible
+  /// generator backend.
+  std::vector<MachineId> identity_machines_;
+
+  // ---- shared tables (dense + sparse) ----
   /// Per-job eligible machines sorted by (p_ij, id); eligible_offsets_
   /// slicing, machine ids as uint16 (construction checks m < 65536).
   std::vector<std::uint16_t> p_order_;
@@ -137,7 +289,7 @@ class Instance {
   /// job j's slice of eligible_flat_.
   std::vector<MachineId> eligible_flat_;
   std::vector<std::size_t> eligible_offsets_;
-  /// validate()'s cached verdict, filled by the matrix constructor.
+  /// validate()'s cached verdict, filled at construction.
   std::string validation_problems_;
 };
 

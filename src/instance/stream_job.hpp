@@ -37,10 +37,19 @@ inline void fill_stream_job(const Instance& instance, JobId j,
   out->release = release_offset + src.release;
   out->weight = src.weight;
   out->deadline = src.deadline;
-  out->processing.resize(instance.num_machines());
-  for (std::size_t i = 0; i < instance.num_machines(); ++i) {
-    out->processing[i] =
-        instance.processing_unchecked(static_cast<MachineId>(i), j);
+  if (instance.backend() == StorageBackend::kDense) {
+    // Dense fast path (the feed loops' case): one contiguous row copy.
+    const Work* row = instance.processing_row(j);
+    out->processing.assign(row, row + instance.num_machines());
+    return;
+  }
+  // Backend-agnostic row assembly: ineligible machines read as infinity in
+  // every backend, so fill + scatter over the adjacency reproduces the
+  // dense row exactly (and never asks a sparse store for an absent entry).
+  out->processing.assign(instance.num_machines(), kTimeInfinity);
+  for (const MachineId i : instance.eligible_machines(j)) {
+    out->processing[static_cast<std::size_t>(i)] =
+        instance.processing_unchecked(i, j);
   }
 }
 

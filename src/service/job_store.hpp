@@ -17,6 +17,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,23 @@ class StreamingJobStore {
   /// wanting recoverable rejection run job_ok/validate_job first.
   JobId append(const StreamJob& job);
 
+  /// One validation pass over a whole batch (each job checked against its
+  /// in-batch predecessor for release order, the first against the store's
+  /// high-water mark). Aborts on the first invalid job, naming its batch
+  /// position; the store is not mutated. The amortization behind
+  /// SchedulerSession's batch submit: validate once, then append_trusted
+  /// per job with no per-job gate.
+  void validate_batch(std::span<const StreamJob> jobs) const;
+
+  /// Appends WITHOUT the validity gate — legal only for jobs a
+  /// validate_batch pass (or an explicit job_ok) already accepted.
+  JobId append_trusted(const StreamJob& job) { return append_unchecked(job); }
+
+  /// validate_batch + append_trusted over the whole span: appends the batch
+  /// in one call and returns the FIRST assigned id (kInvalidJob for an
+  /// empty batch).
+  JobId append_batch(std::span<const StreamJob> jobs);
+
   /// Frees every block that lies entirely below `frontier`.
   void retire_below(JobId frontier);
 
@@ -75,10 +93,18 @@ class StreamingJobStore {
   }
 
   /// Rounded-down float32 shadow row, same contract as
-  /// Instance::bounds_row.
+  /// Instance::bounds_row. Filled LAZILY: append() never touches the shadow
+  /// (the fill used to be ~40% of its cost); the first bounds_row() on a
+  /// block allocates the block's shadow and fills every row up to j in one
+  /// contiguous branch-free conversion loop (vectorizable — the rows since
+  /// the last touch convert in a single batch rather than one append at a
+  /// time). Runs that never read bounds (linear-scan dispatch) never pay
+  /// for — or allocate — the shadow at all.
   const float* bounds_row(JobId j) const {
     const Block& b = block_of(j);
-    return b.bounds.data() + offset_of(j) * num_machines_;
+    const std::size_t offset = offset_of(j);
+    if (offset >= b.bounds_rows_filled) fill_bounds(b, offset);
+    return b.bounds.data() + offset * num_machines_;
   }
 
   /// Streaming stores have no precomputed (p, id) order: sorting every
@@ -117,15 +143,30 @@ class StreamingJobStore {
  private:
   /// The one validation predicate behind job_ok/validate_job/append: null
   /// sink = fast boolean short-circuit, non-null = collect every problem.
-  bool check_job(const StreamJob& job, std::ostringstream* problems) const;
+  /// `last_release` is the release the job must not precede (the store's
+  /// high-water mark, or the preceding job of a batch); `have_last` is
+  /// false for the very first submission.
+  bool check_job_after(const StreamJob& job, Time last_release, bool have_last,
+                       std::ostringstream* problems) const;
+  bool check_job(const StreamJob& job, std::ostringstream* problems) const {
+    return check_job_after(job, last_release_, num_jobs_ > 0, problems);
+  }
+
+  /// Appends one pre-validated job (the shared tail of append/append_batch).
+  JobId append_unchecked(const StreamJob& job);
 
   struct Block {
     std::vector<Job> jobs;
     std::vector<Work> processing;  ///< jobs.size() * m, job-major
-    std::vector<float> bounds;     ///< float_lower shadow of processing
+    /// float_lower shadow of processing, lazily materialized (bounds_row).
+    mutable std::vector<float> bounds;
+    mutable std::size_t bounds_rows_filled = 0;
     std::vector<MachineId> eligible;
     std::vector<std::uint32_t> eligible_offsets;  ///< jobs.size() + 1
   };
+
+  /// Extends the block's shadow through row `offset` (see bounds_row).
+  void fill_bounds(const Block& block, std::size_t offset) const;
 
   const Block& block_of(JobId j) const {
     OSCHED_CHECK(j >= begin_id_ && static_cast<std::size_t>(j) < num_jobs_)

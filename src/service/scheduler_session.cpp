@@ -181,6 +181,35 @@ class SchedulerSession::Impl {
     return j;
   }
 
+  JobId submit(std::span<const StreamJob> jobs) {
+    OSCHED_CHECK(!drained_) << "submit() on a drained session";
+    if (jobs.empty()) return kInvalidJob;
+    // One clock check covers the batch: the validation pass guarantees the
+    // remaining releases are non-decreasing, and delivering arrival k only
+    // fires events due at or before r_k, so the clock can never overtake a
+    // later release.
+    OSCHED_CHECK_GE(jobs.front().release, now_)
+        << "job released at " << jobs.front().release
+        << " submitted after the clock reached " << now_;
+    store_.validate_batch(jobs);
+    const auto first = static_cast<JobId>(store_.num_jobs());
+    records_.ensure_size(static_cast<std::size_t>(first) + jobs.size());
+    // Append and deliver per job, exactly like the one-job submit minus its
+    // per-job gate/bookkeeping: the just-appended row is dispatched while
+    // cache-hot, the live window (and max_live_jobs) is identical to the
+    // per-job feed, and the event interleaving never changes.
+    for (const StreamJob& job : jobs) {
+      const JobId j = store_.append_trusted(job);
+      total_weight_ += job.weight;
+      run_events_until(job.release);
+      now_ = std::max(now_, job.release);
+      host_->hooks().on_arrival(j, now_);
+      max_live_ = std::max(max_live_, live_jobs());
+    }
+    maybe_fold();
+    return first;
+  }
+
   void advance(Time to) {
     OSCHED_CHECK(!drained_) << "advance() on a drained session";
     OSCHED_CHECK_GE(to, now_) << "advance() must not move the clock backwards";
@@ -342,6 +371,9 @@ std::string SchedulerSession::validate_job(const StreamJob& job) const {
 }
 JobId SchedulerSession::submit(const StreamJob& job) {
   return impl_->submit(job);
+}
+JobId SchedulerSession::submit(std::span<const StreamJob> jobs) {
+  return impl_->submit(jobs);
 }
 void SchedulerSession::advance(Time to) { impl_->advance(to); }
 api::RunSummary SchedulerSession::drain() { return impl_->drain(); }

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "api/scheduler_api.hpp"
@@ -88,6 +89,15 @@ class SchedulerSession {
   /// complete or reject jobs at times up to the job's release). Aborts on
   /// invalid input — multi-tenant frontends run validate_job first.
   JobId submit(const StreamJob& job);
+
+  /// Batch ingest: appends the whole span to the store in one
+  /// validation/block-bookkeeping pass, then delivers the arrivals in order
+  /// (internal events still fire between them, exactly as the one-job
+  /// overload interleaves) — decisions are bit-identical to submitting the
+  /// jobs one at a time, which tests/streaming_test.cpp pins down. Returns
+  /// the FIRST assigned id (kInvalidJob for an empty span). Fold-and-release
+  /// bookkeeping runs once per batch instead of once per job.
+  JobId submit(std::span<const StreamJob> jobs);
 
   /// Fires every internal event due at or before `to` and moves the clock
   /// there. `to` must be >= now().

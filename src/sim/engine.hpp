@@ -6,6 +6,12 @@
 // the running job completes sees an idle machine, which matches the paper's
 // convention that a job counts as "dispatched during the execution of k"
 // only at times strictly inside k's execution window.
+//
+// The engine is a template over the Store it reads arrivals from — the
+// batch Instance façade, or one of the per-backend views of
+// instance/processing_store.hpp (only job(j).release and num_jobs() are
+// touched, so any Store the policies accept works here too). SimEngine is
+// the Instance-typed alias the generic callers use.
 #pragma once
 
 #include "instance/instance.hpp"
@@ -24,9 +30,10 @@ class SimulationHooks {
   virtual void on_event(const SimEvent& event, Time now) = 0;
 };
 
-class SimEngine {
+template <class Store>
+class SimEngineFor {
  public:
-  explicit SimEngine(const Instance& instance) : instance_(instance) {}
+  explicit SimEngineFor(const Store& store) : store_(store) {}
 
   EventQueue& events() { return events_; }
   Time now() const { return now_; }
@@ -38,12 +45,12 @@ class SimEngine {
   template <class Hooks>
   void run(Hooks& hooks) {
     std::size_t next_arrival = 0;
-    const std::size_t n = instance_.num_jobs();
+    const std::size_t n = store_.num_jobs();
 
     for (;;) {
       const Time arrival_time =
           next_arrival < n
-              ? instance_.job(static_cast<JobId>(next_arrival)).release
+              ? store_.job(static_cast<JobId>(next_arrival)).release
               : kTimeInfinity;
       const auto event_time = events_.peek_time();
 
@@ -66,9 +73,11 @@ class SimEngine {
   void run(SimulationHooks& hooks) { run<SimulationHooks>(hooks); }
 
  private:
-  const Instance& instance_;
+  const Store& store_;
   EventQueue events_;
   Time now_ = 0.0;
 };
+
+using SimEngine = SimEngineFor<Instance>;
 
 }  // namespace osched

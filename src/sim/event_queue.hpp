@@ -2,16 +2,13 @@
 //
 // Schedulers register future events (job completions, timed wakeups) and may
 // cancel them (e.g. Rule 1 interrupts the running job, voiding its scheduled
-// completion). Cancellation is lazy, but the liveness test is O(1) and
-// hash-free: every handle names a generation-stamped slot, a cancel bumps
-// the slot's generation, and a heap entry whose stamp no longer matches its
-// slot is skipped at pop time. Slots are recycled through a free list, so a
-// long run touches a bounded, dense slot array instead of growing a hash
-// set of cancelled ids.
-//
-// Ordering is (time, insertion sequence), so simultaneous events fire in the
-// order they were scheduled — deterministic across runs and identical to the
-// previous hash-set implementation.
+// completion). The production implementation is the machine-indexed
+// tournament tree of util/event_queue.hpp (O(1) peek, eager cancellation,
+// O(log m) updates); EventQueue below aliases it. HeapEventQueue keeps the
+// previous lazy-cancel binary heap as the reference implementation: both
+// order events by (time, insertion sequence) and expose identical
+// generation-stamped handles, and tests/event_queue_diff_test.cpp drives
+// them in lockstep to pin the event order down bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -20,18 +17,19 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/event_queue.hpp"
 #include "util/types.hpp"
 
 namespace osched {
 
-struct SimEvent {
-  Time time = 0.0;
-  std::uint64_t id = 0;  ///< insertion sequence (unique, monotone)
-  MachineId machine = kInvalidMachine;
-  JobId job = kInvalidJob;
-};
+/// Production event queue: the tournament tree over machines.
+using EventQueue = util::TournamentEventQueue;
 
-class EventQueue {
+/// Reference implementation: lazy-cancel binary heap over all live events.
+/// Every handle names a generation-stamped slot, a cancel bumps the slot's
+/// generation, and a heap entry whose stamp no longer matches its slot is
+/// skipped at pop time. Slots are recycled through a free list.
+class HeapEventQueue {
  public:
   /// Schedules an event and returns its cancellation handle.
   std::uint64_t schedule(Time time, MachineId machine, JobId job) {

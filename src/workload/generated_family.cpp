@@ -1,0 +1,172 @@
+#include "workload/generated_family.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace osched::workload {
+
+namespace {
+
+/// SplitMix64 finalizer as a stateless hash: the per-(seed, j, i) source of
+/// every closed-form quantity. Distinct salts give independent streams for
+/// base size, machine factor and eligibility mask.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1) with 53-bit resolution, same conversion Rng uses.
+double u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kSaltBase = 0xBA5EBA5EBA5EBA5EULL;
+constexpr std::uint64_t kSaltSpeed = 0x5EEDFACE5EEDFACEULL;
+constexpr std::uint64_t kSaltMask = 0xE1161B1E0F00D000ULL;
+constexpr std::uint64_t kSaltFallback = 0xFA11BACCFA11BACCULL;
+
+std::uint64_t key(std::uint64_t seed, std::uint64_t salt, std::uint64_t j,
+                  std::uint64_t i) {
+  // Decorrelate the coordinates before the final mix: multiplying by large
+  // odd constants keeps (j, i) and (i, j) collisions out of the lattice.
+  return mix(seed ^ salt ^ (j * 0x9e3779b97f4a7c15ULL) ^
+             (i * 0xc2b2ae3d27d4eb4fULL));
+}
+
+/// Pareto(min_size, shape) base size of job j — inverse-CDF of one hash.
+double base_size(const ClosedFormConfig& config, std::uint64_t j) {
+  const double u = u01(key(config.seed, kSaltBase, j, 0));
+  return config.min_size * std::pow(1.0 - u, -1.0 / config.pareto_shape);
+}
+
+/// The machine that is eligible for j regardless of the mask draws.
+MachineId fallback_machine(const ClosedFormConfig& config, std::uint64_t j) {
+  return static_cast<MachineId>(key(config.seed, kSaltFallback, j, 0) %
+                                config.num_machines);
+}
+
+bool mask_eligible(const ClosedFormConfig& config, std::uint64_t j,
+                   std::uint64_t i) {
+  if (config.eligibility >= 1.0) return true;
+  if (static_cast<MachineId>(i) == fallback_machine(config, j)) return true;
+  return u01(key(config.seed, kSaltMask, j, i)) < config.eligibility;
+}
+
+/// Finite p_ij (no mask): base_j times a log-uniform unrelated factor.
+Work finite_entry(const ClosedFormConfig& config, std::uint64_t j,
+                  std::uint64_t i) {
+  const double ln_spread = std::log(config.speed_spread);
+  const double u = u01(key(config.seed, kSaltSpeed, j, i));
+  return base_size(config, j) * std::exp(ln_spread * (2.0 * u - 1.0));
+}
+
+class ClosedFormGenerator final : public RowGenerator {
+ public:
+  explicit ClosedFormGenerator(const ClosedFormConfig& config)
+      : config_(config) {}
+
+  Work entry(JobId j, MachineId i) const override {
+    return closed_form_entry(config_, j, i);
+  }
+
+  void fill_row(JobId j, std::size_t num_machines, Work* out) const override {
+    // Hoist the job-only factors out of the machine loop — the whole point
+    // of the override (entry() would recompute the Pareto inverse per
+    // machine). base * exp(x) is evaluated in exactly the same operation
+    // order as finite_entry, so the doubles match entry() bit for bit.
+    const double base = base_size(config_, static_cast<std::uint64_t>(j));
+    const double ln_spread = std::log(config_.speed_spread);
+    const auto jj = static_cast<std::uint64_t>(j);
+    for (std::size_t i = 0; i < num_machines; ++i) {
+      const double u = u01(key(config_.seed, kSaltSpeed, jj, i));
+      out[i] = base * std::exp(ln_spread * (2.0 * u - 1.0));
+    }
+  }
+
+ private:
+  ClosedFormConfig config_;
+};
+
+/// Release-sorted jobs of the family: a cumulative exponential arrival
+/// process at rate load * m / E[size] (E of Pareto = scale*shape/(shape-1)).
+std::vector<Job> make_jobs(const ClosedFormConfig& config) {
+  const double mean_size = config.pareto_shape > 1.0
+                               ? config.min_size * config.pareto_shape /
+                                     (config.pareto_shape - 1.0)
+                               : 10.0 * config.min_size;
+  const double rate =
+      config.load * static_cast<double>(config.num_machines) / mean_size;
+  util::Rng rng(config.seed);
+  std::vector<Job> jobs(config.num_jobs);
+  Time t = 0.0;
+  for (std::size_t j = 0; j < config.num_jobs; ++j) {
+    t += rng.exponential(rate);
+    jobs[j].id = static_cast<JobId>(j);
+    jobs[j].release = t;
+    jobs[j].weight = 1.0;
+    jobs[j].deadline = kTimeInfinity;
+  }
+  return jobs;
+}
+
+}  // namespace
+
+Work closed_form_entry(const ClosedFormConfig& config, JobId j, MachineId i) {
+  const auto jj = static_cast<std::uint64_t>(j);
+  const auto ii = static_cast<std::uint64_t>(i);
+  if (!mask_eligible(config, jj, ii)) return kTimeInfinity;
+  return finite_entry(config, jj, ii);
+}
+
+Instance make_closed_form_instance(const ClosedFormConfig& config,
+                                   StorageBackend backend) {
+  OSCHED_CHECK_GT(config.num_machines, 0u);
+  OSCHED_CHECK_GT(config.num_jobs, 0u);
+  OSCHED_CHECK_GT(config.pareto_shape, 0.0);
+  OSCHED_CHECK_GE(config.speed_spread, 1.0);
+  std::vector<Job> jobs = make_jobs(config);
+  const std::size_t n = config.num_jobs;
+  const std::size_t m = config.num_machines;
+
+  switch (backend) {
+    case StorageBackend::kGenerator:
+      OSCHED_CHECK_GE(config.eligibility, 1.0)
+          << "generator-backed instances are fully eligible by contract; "
+             "restricted families use the sparse backend";
+      return Instance::from_generator(
+          std::move(jobs), m, std::make_shared<ClosedFormGenerator>(config));
+    case StorageBackend::kSparseCsr: {
+      // Eligible entries only — the n×m matrix never exists.
+      std::vector<std::vector<SparseEntry>> rows(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < m; ++i) {
+          const Work p = closed_form_entry(config, static_cast<JobId>(j),
+                                           static_cast<MachineId>(i));
+          if (p < kTimeInfinity) {
+            rows[j].push_back(SparseEntry{static_cast<MachineId>(i), p});
+          }
+        }
+      }
+      return Instance::from_sparse_rows(std::move(jobs), m, std::move(rows));
+    }
+    case StorageBackend::kDense: {
+      std::vector<std::vector<Work>> processing(m, std::vector<Work>(n));
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < m; ++i) {
+          processing[i][j] = closed_form_entry(config, static_cast<JobId>(j),
+                                               static_cast<MachineId>(i));
+        }
+      }
+      return Instance(std::move(jobs), std::move(processing));
+    }
+  }
+  OSCHED_CHECK(false) << "unreachable backend";
+  return Instance{};
+}
+
+}  // namespace osched::workload
