@@ -1,18 +1,29 @@
-// Trace workbench: generate synthetic traces to CSV, inspect them, and run
-// any of the library's schedulers on a trace file. Glue for experiment
-// pipelines that want to keep workloads as artifacts.
+// Trace workbench: generate synthetic traces to CSV, inspect them, run any
+// of the library's schedulers on a trace file, or stream a trace through a
+// live SchedulerSession with fault injection and checkpoint/restore. Glue
+// for experiment pipelines that want to keep workloads as artifacts; the
+// operator-facing usage is documented in docs/OPERATIONS.md.
 //
 //   ./trace_workbench --mode=generate --out=/tmp/trace.csv --jobs=500
 //       --machines=4 --load=1.1 --sizes=pareto --seed=7
 //   ./trace_workbench --mode=inspect --in=/tmp/trace.csv
 //   ./trace_workbench --mode=run --in=/tmp/trace.csv --algo=theorem1 --eps=0.2
+//   ./trace_workbench --mode=stream --in=/tmp/trace.csv --algo=theorem1
+//       --fail=4.0:0 --join=9.0:0 --budget=8
+//       --checkpoint-at=6.0 --checkpoint-out=/tmp/session.ckpt
+//   ./trace_workbench --mode=restore --from=/tmp/session.ckpt
+//       --in=/tmp/trace.csv
 #include <iostream>
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "api/scheduler_api.hpp"
 #include "baselines/flow_lower_bounds.hpp"
+#include "instance/stream_job.hpp"
 #include "metrics/metrics.hpp"
+#include "service/scheduler_session.hpp"
 #include "sim/schedule_io.hpp"
 #include "sim/validator.hpp"
 #include "util/cli.hpp"
@@ -109,12 +120,181 @@ int run(const util::Cli& cli, const Instance& instance) {
   return 0;
 }
 
+/// Parses a "time:machine,time:machine,..." fleet-event flag.
+bool parse_fleet_events(const std::string& spec, FleetEventKind kind,
+                        std::vector<FleetEvent>* out) {
+  std::stringstream items(spec);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "bad fleet event '" << item << "' (want time:machine)\n";
+      return false;
+    }
+    FleetEvent event;
+    event.kind = kind;
+    try {
+      event.time = std::stod(item.substr(0, colon));
+      event.machine = static_cast<MachineId>(std::stol(item.substr(colon + 1)));
+    } catch (const std::exception&) {
+      std::cerr << "bad fleet event '" << item << "' (want time:machine)\n";
+      return false;
+    }
+    out->push_back(event);
+  }
+  return true;
+}
+
+/// Builds the FleetPlan from --fail/--drain/--join/--down/--budget. Returns
+/// false (with a message) on malformed flags or an invalid plan.
+bool build_fleet_plan(const util::Cli& cli, std::size_t num_machines,
+                      FleetPlan* plan) {
+  if (!parse_fleet_events(cli.str("fail"), FleetEventKind::kFail,
+                          &plan->events) ||
+      !parse_fleet_events(cli.str("drain"), FleetEventKind::kDrain,
+                          &plan->events) ||
+      !parse_fleet_events(cli.str("join"), FleetEventKind::kJoin,
+                          &plan->events)) {
+    return false;
+  }
+  std::stable_sort(plan->events.begin(), plan->events.end(),
+                   [](const FleetEvent& a, const FleetEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::stringstream down(cli.str("down"));
+  std::string item;
+  while (std::getline(down, item, ',')) {
+    try {
+      plan->initially_down.push_back(static_cast<MachineId>(std::stol(item)));
+    } catch (const std::exception&) {
+      std::cerr << "bad --down machine '" << item << "'\n";
+      return false;
+    }
+  }
+  plan->rejection_budget = static_cast<std::size_t>(cli.integer("budget"));
+  if (const std::string problems = plan->validate(num_machines);
+      !problems.empty()) {
+    std::cerr << "invalid fleet plan: " << problems << "\n";
+    return false;
+  }
+  return true;
+}
+
+void print_session_summary(const api::RunSummary& summary) {
+  std::cout << to_string(summary.report) << "\n";
+  const FleetStats& fleet = summary.fleet;
+  if (fleet.joins + fleet.drains + fleet.fails > 0) {
+    util::Table table({"fleet counter", "value"});
+    table.row("joins", static_cast<int>(fleet.joins));
+    table.row("drains", static_cast<int>(fleet.drains));
+    table.row("fails", static_cast<int>(fleet.fails));
+    table.row("redispatched", static_cast<int>(fleet.redispatched));
+    table.row("fault rejections", static_cast<int>(fleet.fault_rejections));
+    table.row("forced rejections", static_cast<int>(fleet.forced_rejections));
+    table.row("budget spent", static_cast<int>(fleet.budget_spent));
+    table.print(std::cout);
+  }
+}
+
+/// --mode=stream: feed the trace through a live session, optionally under a
+/// fault plan, optionally cutting a checkpoint at --checkpoint-at.
+int stream(const util::Cli& cli, const Instance& instance) {
+  const auto algorithm = api::parse_algorithm(cli.str("algo"));
+  if (!algorithm) {
+    std::cerr << "unknown --algo '" << cli.str("algo") << "'\n";
+    return 1;
+  }
+  if (*algorithm == api::Algorithm::kTheorem3) {
+    std::cerr << "theorem3 is batch-only (offline LP); pick a streamable "
+                 "algorithm\n";
+    return 1;
+  }
+  service::SessionOptions options;
+  options.run.epsilon = cli.num("eps");
+  options.run.alpha = cli.num("alpha");
+  if (!build_fleet_plan(cli, instance.num_machines(), &options.run.fleet)) {
+    return 1;
+  }
+
+  service::SchedulerSession session(*algorithm, instance.num_machines(),
+                                    options);
+  const double checkpoint_at = cli.num("checkpoint-at");
+  const std::string checkpoint_out = cli.str("checkpoint-out");
+  bool checkpointed = checkpoint_out.empty();  // nothing to cut
+  StreamJob job;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    fill_stream_job(instance, static_cast<JobId>(j), 0.0, &job);
+    if (!checkpointed && job.release > checkpoint_at) {
+      if (checkpoint_at > session.now()) session.advance(checkpoint_at);
+      const std::string blob = session.checkpoint();
+      std::ofstream out(checkpoint_out, std::ios::binary);
+      if (!out.write(blob.data(), static_cast<std::streamsize>(blob.size()))) {
+        std::cerr << "cannot write " << checkpoint_out << "\n";
+        return 1;
+      }
+      std::cout << "checkpoint: " << blob.size() << " bytes ("
+                << session.num_submitted() << " jobs, clock "
+                << session.now() << ") -> " << checkpoint_out << "\n";
+      checkpointed = true;
+    }
+    session.submit(job);
+  }
+  if (!checkpointed) {
+    std::cerr << "warning: --checkpoint-at=" << checkpoint_at
+              << " is past the last arrival; no checkpoint written\n";
+  }
+  print_session_summary(session.drain());
+  return 0;
+}
+
+/// --mode=restore: rebuild a session from --from, then (when the trace is
+/// supplied) feed the not-yet-submitted tail and drain.
+int restore(const util::Cli& cli, const Instance& instance) {
+  const std::string path = cli.str("from");
+  if (path.empty()) {
+    std::cerr << "--mode=restore needs --from=<checkpoint file>\n";
+    return 1;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string blob = buffer.str();
+
+  std::string error;
+  auto session = service::SchedulerSession::restore(blob, &error);
+  if (session == nullptr) {
+    std::cerr << "restore failed: " << error << "\n";
+    return 1;
+  }
+  std::cout << "restored " << api::to_string(session->algorithm()) << ": "
+            << session->num_submitted() << " jobs replayed, clock "
+            << session->now() << "\n";
+  if (session->num_machines() != instance.num_machines()) {
+    std::cerr << "trace has " << instance.num_machines()
+              << " machines, checkpoint has " << session->num_machines()
+              << "\n";
+    return 1;
+  }
+  StreamJob job;
+  for (std::size_t j = session->num_submitted(); j < instance.num_jobs();
+       ++j) {
+    fill_stream_job(instance, static_cast<JobId>(j), 0.0, &job);
+    session->submit(job);
+  }
+  print_session_summary(session->drain());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli;
-  cli.flag("mode", "inspect", "generate | inspect | run");
-  cli.flag("in", "", "input trace (inspect/run)");
+  cli.flag("mode", "inspect", "generate | inspect | run | stream | restore");
+  cli.flag("in", "", "input trace (inspect/run/stream/restore)");
   cli.flag("out", "/tmp/osched_trace.csv", "output trace (generate)");
   cli.flag("jobs", "500", "generate: number of jobs");
   cli.flag("machines", "4", "generate: number of machines");
@@ -128,6 +308,14 @@ int main(int argc, char** argv) {
   cli.flag("eps", "0.2", "run: rejection parameter");
   cli.flag("alpha", "2.0", "run: power exponent (theorem2)");
   cli.flag("dump", "", "run: write the schedule record to this CSV file");
+  cli.flag("fail", "", "stream: kill schedule, time:machine[,time:machine]");
+  cli.flag("drain", "", "stream: drain schedule, time:machine[,...]");
+  cli.flag("join", "", "stream: join schedule, time:machine[,...]");
+  cli.flag("down", "", "stream: machines outside the fleet at t=0, id[,id]");
+  cli.flag("budget", "0", "stream: fault rejection budget");
+  cli.flag("checkpoint-at", "0", "stream: cut a checkpoint at this time");
+  cli.flag("checkpoint-out", "", "stream: write the checkpoint blob here");
+  cli.flag("from", "", "restore: checkpoint blob to resume from");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   const std::string mode = cli.str("mode");
@@ -155,6 +343,8 @@ int main(int argc, char** argv) {
   }
   if (mode == "inspect") return inspect(instance);
   if (mode == "run") return run(cli, instance);
+  if (mode == "stream") return stream(cli, instance);
+  if (mode == "restore") return restore(cli, instance);
   std::cerr << "unknown --mode '" << mode << "'\n";
   return 1;
 }

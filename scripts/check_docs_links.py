@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docs lint: every relative markdown link must resolve to a real file.
+
+Scans the repo's markdown (README.md, docs/, per-directory READMEs, the
+planning files) for inline links and fails if a relative target does not
+exist on disk. External links (http/https/mailto) and pure anchors are
+skipped — this is a dead-file check, not a crawler. CI runs it as the
+docs-lint job:
+
+    python3 scripts/check_docs_links.py
+
+Exit codes: 0 = all links resolve, 1 = at least one broken link (each is
+printed as file:line: target), 2 = usage/IO error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline markdown links [text](target). Reference-style links and autolinks
+# are rare in this repo; inline covers the committed docs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+# Directories that hold generated or third-party trees, never doc targets.
+SKIP_DIRS = {"build", ".git"}
+
+
+def iter_markdown(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path):
+    broken = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"check_docs_links: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            # Drop any #anchor suffix; the file is what must exist.
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            if target_path.startswith("/"):
+                resolved = root / target_path.lstrip("/")
+            else:
+                resolved = path.parent / target_path
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=".",
+        help="repository root to scan (default: current directory)",
+    )
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"check_docs_links: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    files = 0
+    for path in iter_markdown(root):
+        files += 1
+        for lineno, target in check_file(path, root):
+            print(f"{path.relative_to(root)}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"check_docs_links: {failures} broken link(s) in {files} files")
+        return 1
+    print(f"check_docs_links: OK: {files} markdown files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,25 +79,32 @@ RunSummary run(Algorithm algorithm, const Instance& instance,
 
   switch (algorithm) {
     case Algorithm::kTheorem1: {
-      const auto result =
-          run_rejection_flow(instance, {.epsilon = options.epsilon});
+      const auto result = run_rejection_flow(
+          instance, {.epsilon = options.epsilon, .fleet = options.fleet});
       summary.schedule = result.schedule;
       summary.certified_lower_bound = result.opt_lower_bound;
       summary.rule1_rejections = result.rule1_rejections;
       summary.rule2_rejections = result.rule2_rejections;
+      summary.fleet = result.fleet;
       break;
     }
     case Algorithm::kTheorem2: {
       EnergyFlowOptions ef;
       ef.epsilon = options.epsilon;
       ef.alpha = options.alpha;
+      ef.fleet = options.fleet;
       const auto result = run_energy_flow(instance, ef);
       summary.schedule = result.schedule;
       summary.rule1_rejections = result.rejections;
+      summary.fleet = result.fleet;
       report_power = &power;
       break;
     }
     case Algorithm::kTheorem3: {
+      // The configuration primal-dual solves an offline LP over a fixed
+      // machine set — dynamic fleet membership has no meaning there.
+      OSCHED_CHECK(options.fleet.empty())
+          << "theorem3 does not support fleet plans";
       ConfigPDOptions pd;
       pd.alpha = options.alpha;
       pd.speed_levels = options.speed_levels;
@@ -111,24 +118,32 @@ RunSummary run(Algorithm algorithm, const Instance& instance,
       break;
     }
     case Algorithm::kWeightedExt: {
-      const auto result =
-          run_weighted_rejection_flow(instance, {.epsilon = options.epsilon});
+      const auto result = run_weighted_rejection_flow(
+          instance, {.epsilon = options.epsilon, .fleet = options.fleet});
       summary.schedule = result.schedule;
       summary.rule1_rejections = result.rule1_rejections;
       summary.rule2_rejections = result.rule2_rejections;
+      summary.fleet = result.fleet;
       break;
     }
-    case Algorithm::kGreedySpt:
-      summary.schedule = run_greedy_spt(instance);
+    case Algorithm::kGreedySpt: {
+      ListSchedulerOptions ls{DispatchRule::kMinCompletion,
+                              QueueDiscipline::kSpt, options.fleet};
+      summary.schedule = run_list_scheduler(instance, ls, &summary.fleet);
       break;
-    case Algorithm::kFifo:
-      summary.schedule = run_fifo(instance);
+    }
+    case Algorithm::kFifo: {
+      ListSchedulerOptions ls{DispatchRule::kMinBacklog,
+                              QueueDiscipline::kFifo, options.fleet};
+      summary.schedule = run_list_scheduler(instance, ls, &summary.fleet);
       break;
+    }
     case Algorithm::kImmediateReject: {
-      const auto result =
-          run_immediate_rejection(instance, {.eps = options.epsilon});
+      const auto result = run_immediate_rejection(
+          instance, {.eps = options.epsilon, .fleet = options.fleet});
       summary.schedule = result.schedule;
       summary.rule1_rejections = result.rejections;
+      summary.fleet = result.fleet;
       break;
     }
   }

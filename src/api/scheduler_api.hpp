@@ -26,6 +26,7 @@
 
 #include "instance/instance.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/fleet.hpp"
 #include "sim/schedule.hpp"
 
 namespace osched::api {
@@ -62,6 +63,11 @@ struct RunOptions {
   /// violation — a scheduler bug, never an input property). Deadline
   /// enforcement and the parallel-execution model are chosen per algorithm.
   bool validate = true;
+  /// Dynamic fleet membership (join/drain/fail events + fault rejection
+  /// budget; see sim/fleet.hpp). Supported by every online policy except
+  /// kTheorem3 (offline-configured deadline LP — run() aborts if a plan is
+  /// given). With a non-empty plan certified_lower_bound is diagnostic only.
+  FleetPlan fleet = {};
 };
 
 struct RunSummary {
@@ -78,6 +84,8 @@ struct RunSummary {
   /// Rejection-rule counters where applicable.
   std::size_t rule1_rejections = 0;
   std::size_t rule2_rejections = 0;
+  /// Fleet-membership counters (all zero for an empty RunOptions::fleet).
+  FleetStats fleet;
 };
 
 /// Runs `algorithm` on `instance`. Aborts (OSCHED_CHECK) on structurally

@@ -14,7 +14,7 @@ ImmediateRejectionResult run_immediate_rejection(
   // One full instantiation per storage backend (see processing_store.hpp).
   return with_store_view(instance, [&](const auto& view) {
     using Store = std::decay_t<decltype(view)>;
-    SimEngineFor<Store> engine(view);
+    SimEngineFor<Store> engine(view, &options.fleet);
     Schedule schedule(view.num_jobs());
     ImmediateRejectionPolicy<Store, Schedule> policy(view, schedule,
                                                      engine.events(), options);
@@ -23,6 +23,7 @@ ImmediateRejectionResult run_immediate_rejection(
     ImmediateRejectionResult result;
     result.schedule = std::move(schedule);
     result.rejections = policy.rejections();
+    result.fleet = policy.fleet_stats();
     return result;
   });
 }

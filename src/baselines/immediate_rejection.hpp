@@ -15,6 +15,7 @@
 #pragma once
 
 #include "instance/instance.hpp"
+#include "sim/fleet.hpp"
 #include "sim/schedule.hpp"
 
 namespace osched {
@@ -22,11 +23,18 @@ namespace osched {
 struct ImmediateRejectionOptions {
   double eps = 0.2;       ///< rejection budget as a fraction of arrivals
   double patience = 3.0;  ///< reject when estimated wait > patience * p_ij
+  /// Dynamic fleet membership; empty = static fleet (see sim/fleet.hpp).
+  /// Fault rejections live OUTSIDE the eps budget: the immediate decision
+  /// happened at arrival; a machine failure afterwards is not this policy's
+  /// admission call.
+  FleetPlan fleet = {};
 };
 
 struct ImmediateRejectionResult {
   Schedule schedule;
   std::size_t rejections = 0;
+  /// Fleet-membership counters (all zero for an empty plan).
+  FleetStats fleet;
 };
 
 ImmediateRejectionResult run_immediate_rejection(

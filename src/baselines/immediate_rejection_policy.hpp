@@ -29,6 +29,7 @@ struct MachineState {
   Work pending_work = 0.0;
   JobId running = kInvalidJob;
   Time running_end = 0.0;
+  std::uint64_t completion_event = 0;
 };
 
 }  // namespace immediate_rejection_detail
@@ -49,27 +50,22 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     OSCHED_CHECK_GT(options.eps, 0.0);
     OSCHED_CHECK_LT(options.eps, 1.0);
     OSCHED_CHECK_GE(options.patience, 0.0);
+    fleet_.init(store.num_machines(), options.fleet);
   }
 
   void on_arrival(JobId j, Time now) override {
     ++arrived_;
-    // Best machine by estimated wait (remaining + queued work ahead in SPT).
-    MachineId best = kInvalidMachine;
     double best_wait = std::numeric_limits<double>::infinity();
-    for (const MachineId machine : store_.eligible_machines(j)) {
-      const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
-      const Work p = store_.processing_unchecked(machine, j);
-      double wait =
-          ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
-      for (const SptKey& key : ms.pending) {
-        if (key.p <= p) wait += key.p;
-      }
-      if (wait < best_wait) {
-        best_wait = wait;
-        best = machine;
-      }
+    const MachineId best = pick_machine(j, now, &best_wait);
+    if (best == kInvalidMachine) {
+      // Fleet mode: no active eligible machine. This shed is forced by the
+      // fleet, not an admission call — it stays OUT of the eps budget.
+      OSCHED_CHECK(fleet_.enabled())
+          << "job " << j << " has no eligible machine";
+      rec_.mark_rejected_pending(j, now);
+      fleet_.note_forced_rejection();
+      return;
     }
-    OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
 
     // The IMMEDIATE decision: this is the only moment the policy may reject.
     const Work p_best = store_.processing(best, j);
@@ -97,12 +93,51 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     start_next(event.machine, now);
   }
 
+  void on_fleet(const FleetEvent& event, Time now) override {
+    switch (event.kind) {
+      case FleetEventKind::kJoin:
+        fleet_.on_join(event.machine);
+        break;
+      case FleetEventKind::kDrain:
+        fleet_.on_drain(event.machine);
+        break;
+      case FleetEventKind::kFail:
+        fleet_.on_fail(event.machine);
+        handle_fail(event.machine, now);
+        break;
+    }
+  }
+
   /// The policy keeps no per-job state of its own — nothing to release.
   void retire_below(JobId /*frontier*/) {}
 
   std::size_t rejections() const { return rejections_; }
+  const FleetStats& fleet_stats() const { return fleet_.stats; }
 
  private:
+  /// Best ACTIVE eligible machine by estimated wait (remaining + queued
+  /// work ahead in SPT); kInvalidMachine when the fleet mask leaves none.
+  MachineId pick_machine(JobId j, Time now, double* best_wait_out) const {
+    MachineId best = kInvalidMachine;
+    double best_wait = std::numeric_limits<double>::infinity();
+    for (const MachineId machine : store_.eligible_machines(j)) {
+      if (!fleet_.active(static_cast<std::size_t>(machine))) continue;
+      const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
+      const Work p = store_.processing_unchecked(machine, j);
+      double wait =
+          ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
+      for (const SptKey& key : ms.pending) {
+        if (key.p <= p) wait += key.p;
+      }
+      if (wait < best_wait) {
+        best_wait = wait;
+        best = machine;
+      }
+    }
+    *best_wait_out = best_wait;
+    return best;
+  }
+
   void start_next(MachineId i, Time now) {
     MachineState& ms = machines_[static_cast<std::size_t>(i)];
     if (ms.pending.empty()) return;
@@ -112,7 +147,58 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     ms.running = key.id;
     ms.running_end = now + key.p;
     rec_.mark_started(key.id, now, 1.0);
-    events_.schedule(ms.running_end, i, key.id);
+    ms.completion_event = events_.schedule(ms.running_end, i, key.id);
+  }
+
+  // ---- fleet failure handling (fault sheds stay OUT of rejections_: that
+  // total is the policy's eps-of-arrivals admission budget) ----
+
+  void handle_fail(MachineId machine, Time now) {
+    MachineState& ms = machines_[static_cast<std::size_t>(machine)];
+
+    orphans_.assign(ms.pending.begin(), ms.pending.end());  // SPT order
+    ms.pending.clear();
+    ms.pending_work = 0.0;
+
+    const JobId killed = ms.running;
+    if (killed != kInvalidJob) {
+      events_.cancel(ms.completion_event);
+      ms.running = kInvalidJob;
+      if (fleet_.shed_killed_running() && fleet_.try_spend_budget()) {
+        rec_.mark_rejected_running(killed, now);
+        ++fleet_.stats.fault_rejections;
+      } else {
+        redecide(killed, now, /*was_running=*/true);
+      }
+    }
+
+    for (const SptKey& key : orphans_) {
+      redecide(key.id, now, /*was_running=*/false);
+    }
+  }
+
+  /// Re-places one orphan. The patience test does NOT re-apply: the
+  /// immediate accept decision was made at arrival and this class of
+  /// policies never revisits it — only the fleet can force a shed here.
+  void redecide(JobId j, Time now, bool was_running) {
+    double wait = 0.0;
+    const MachineId target = pick_machine(j, now, &wait);
+    if (target == kInvalidMachine) {
+      if (was_running) {
+        rec_.mark_rejected_running(j, now);
+      } else {
+        rec_.mark_rejected_pending(j, now);
+      }
+      fleet_.note_forced_rejection();
+      return;
+    }
+    rec_.mark_requeued(j, target);  // resets `started` for a killed runner
+    MachineState& ms = machines_[static_cast<std::size_t>(target)];
+    const Work p = store_.processing(target, j);
+    ms.pending.insert(SptKey{p, store_.job(j).release, j});
+    ms.pending_work += p;
+    ++fleet_.stats.redispatched;
+    if (ms.running == kInvalidJob) start_next(target, now);
   }
 
   const Store& store_;
@@ -120,6 +206,8 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
   EventQueue& events_;
   ImmediateRejectionOptions options_;
   std::vector<MachineState> machines_;
+  FleetState fleet_;
+  std::vector<SptKey> orphans_;  ///< handle_fail scratch
   std::size_t arrived_ = 0;
   std::size_t rejections_ = 0;
 };

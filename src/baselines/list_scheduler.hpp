@@ -9,6 +9,7 @@
 #pragma once
 
 #include "instance/instance.hpp"
+#include "sim/fleet.hpp"
 #include "sim/schedule.hpp"
 
 namespace osched {
@@ -30,19 +31,26 @@ const char* to_string(QueueDiscipline discipline);
 struct ListSchedulerOptions {
   DispatchRule dispatch = DispatchRule::kMinCompletion;
   QueueDiscipline discipline = QueueDiscipline::kSpt;
+  /// Dynamic fleet membership; empty = static fleet (see sim/fleet.hpp).
+  /// A "no-rejection" baseline under a fleet plan still force-rejects jobs
+  /// that no active machine can serve — the alternative is a deadlock.
+  FleetPlan fleet = {};
 };
 
+/// `fleet_stats`, when non-null, receives the fleet-membership counters
+/// (all zero for an empty options.fleet).
 Schedule run_list_scheduler(const Instance& instance,
-                            const ListSchedulerOptions& options = {});
+                            const ListSchedulerOptions& options = {},
+                            FleetStats* fleet_stats = nullptr);
 
 /// Convenience wrappers used throughout the benches.
 inline Schedule run_greedy_spt(const Instance& instance) {
   return run_list_scheduler(
-      instance, {DispatchRule::kMinCompletion, QueueDiscipline::kSpt});
+      instance, {DispatchRule::kMinCompletion, QueueDiscipline::kSpt, {}});
 }
 inline Schedule run_fifo(const Instance& instance) {
   return run_list_scheduler(
-      instance, {DispatchRule::kMinBacklog, QueueDiscipline::kFifo});
+      instance, {DispatchRule::kMinBacklog, QueueDiscipline::kFifo, {}});
 }
 
 }  // namespace osched

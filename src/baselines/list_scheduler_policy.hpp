@@ -31,6 +31,7 @@ struct MachineState {
   Work pending_work = 0.0;
   JobId running = kInvalidJob;
   Time running_end = 0.0;
+  std::uint64_t completion_event = 0;
 };
 
 }  // namespace list_scheduler_detail
@@ -47,10 +48,19 @@ class ListSchedulerPolicy final : public SimulationHooks {
         rec_(rec),
         events_(events),
         options_(options),
-        machines_(store.num_machines()) {}
+        machines_(store.num_machines()) {
+    fleet_.init(store.num_machines(), options.fleet);
+  }
 
   void on_arrival(JobId j, Time now) override {
     const MachineId machine = pick_machine(j, now);
+    if (machine == kInvalidMachine) {
+      // Fleet mode: no active eligible machine. Even a "no-rejection"
+      // baseline must shed the job — the alternative is a deadlock.
+      rec_.mark_rejected_pending(j, now);
+      fleet_.note_forced_rejection();
+      return;
+    }
     MachineState& ms = machines_[static_cast<std::size_t>(machine)];
     rec_.mark_dispatched(j, machine);
     ms.pending.insert(make_key(machine, j));
@@ -66,8 +76,25 @@ class ListSchedulerPolicy final : public SimulationHooks {
     start_next(event.machine, now);
   }
 
+  void on_fleet(const FleetEvent& event, Time now) override {
+    switch (event.kind) {
+      case FleetEventKind::kJoin:
+        fleet_.on_join(event.machine);
+        break;
+      case FleetEventKind::kDrain:
+        fleet_.on_drain(event.machine);
+        break;
+      case FleetEventKind::kFail:
+        fleet_.on_fail(event.machine);
+        handle_fail(event.machine, now);
+        break;
+    }
+  }
+
   /// The policy keeps no per-job state of its own — nothing to release.
   void retire_below(JobId /*frontier*/) {}
+
+  const FleetStats& fleet_stats() const { return fleet_.stats; }
 
  private:
   QueueKey make_key(MachineId i, JobId j) const {
@@ -86,14 +113,17 @@ class ListSchedulerPolicy final : public SimulationHooks {
       const std::size_t m = machines_.size();
       for (std::size_t step = 0; step < m; ++step) {
         const auto candidate = static_cast<MachineId>((round_robin_ + step) % m);
-        if (store_.eligible(candidate, j)) {
+        if (store_.eligible(candidate, j) &&
+            fleet_.active(static_cast<std::size_t>(candidate))) {
           round_robin_ = (static_cast<std::size_t>(candidate) + 1) % m;
           return candidate;
         }
       }
-      OSCHED_CHECK(false) << "job " << j << " has no eligible machine";
+      OSCHED_CHECK(fleet_.enabled()) << "job " << j << " has no eligible machine";
+      return kInvalidMachine;
     }
     for (const MachineId machine : store_.eligible_machines(j)) {
+      if (!fleet_.active(static_cast<std::size_t>(machine))) continue;
       const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
       const Work p = store_.processing_unchecked(machine, j);
       const double remaining =
@@ -117,7 +147,8 @@ class ListSchedulerPolicy final : public SimulationHooks {
         best = machine;
       }
     }
-    OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
+    OSCHED_CHECK(best != kInvalidMachine || fleet_.enabled())
+        << "job " << j << " has no eligible machine";
     return best;
   }
 
@@ -130,7 +161,52 @@ class ListSchedulerPolicy final : public SimulationHooks {
     ms.running = key.id;
     ms.running_end = now + key.p;
     rec_.mark_started(key.id, now, 1.0);
-    events_.schedule(ms.running_end, i, key.id);
+    ms.completion_event = events_.schedule(ms.running_end, i, key.id);
+  }
+
+  // ---- fleet failure handling ----
+
+  void handle_fail(MachineId machine, Time now) {
+    MachineState& ms = machines_[static_cast<std::size_t>(machine)];
+
+    orphans_.assign(ms.pending.begin(), ms.pending.end());  // queue order
+    ms.pending.clear();
+    ms.pending_work = 0.0;
+
+    const JobId killed = ms.running;
+    if (killed != kInvalidJob) {
+      events_.cancel(ms.completion_event);
+      ms.running = kInvalidJob;
+      if (fleet_.shed_killed_running() && fleet_.try_spend_budget()) {
+        rec_.mark_rejected_running(killed, now);
+        ++fleet_.stats.fault_rejections;
+      } else {
+        redecide(killed, now, /*was_running=*/true);
+      }
+    }
+
+    for (const QueueKey& key : orphans_) {
+      redecide(key.id, now, /*was_running=*/false);
+    }
+  }
+
+  void redecide(JobId j, Time now, bool was_running) {
+    const MachineId target = pick_machine(j, now);
+    if (target == kInvalidMachine) {
+      if (was_running) {
+        rec_.mark_rejected_running(j, now);
+      } else {
+        rec_.mark_rejected_pending(j, now);
+      }
+      fleet_.note_forced_rejection();
+      return;
+    }
+    rec_.mark_requeued(j, target);  // resets `started` for a killed runner
+    MachineState& ms = machines_[static_cast<std::size_t>(target)];
+    ms.pending.insert(make_key(target, j));
+    ms.pending_work += store_.processing(target, j);
+    ++fleet_.stats.redispatched;
+    if (ms.running == kInvalidJob) start_next(target, now);
   }
 
   const Store& store_;
@@ -138,6 +214,8 @@ class ListSchedulerPolicy final : public SimulationHooks {
   EventQueue& events_;
   ListSchedulerOptions options_;
   std::vector<MachineState> machines_;
+  FleetState fleet_;
+  std::vector<QueueKey> orphans_;  ///< handle_fail scratch
   std::size_t round_robin_ = 0;
 };
 

@@ -37,7 +37,7 @@ EnergyFlowResult run_energy_flow(const Instance& instance,
   // One full instantiation per storage backend (see processing_store.hpp).
   return with_store_view(instance, [&](const auto& view) {
     using Store = std::decay_t<decltype(view)>;
-    SimEngineFor<Store> engine(view);
+    SimEngineFor<Store> engine(view, &options.fleet);
     Schedule schedule(view.num_jobs());
     EnergyFlowPolicy<Store, Schedule> policy(view, schedule, engine.events(),
                                              options);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "instance/instance.hpp"
+#include "sim/fleet.hpp"
 #include "sim/schedule.hpp"
 
 namespace osched {
@@ -51,6 +52,9 @@ struct EnergyFlowOptions {
   /// index; kLinearScan is the reference full scan. Both are bit-identical
   /// (tests/dispatch_index_test.cpp).
   DispatchMode dispatch = DispatchMode::kIndexed;
+  /// Dynamic fleet membership; empty = static fleet. With a non-empty plan
+  /// the dual certificate is diagnostic only — see sim/fleet.hpp.
+  FleetPlan fleet = {};
 };
 
 /// The paper's gamma(eps, alpha) with the documented fallback.
@@ -60,6 +64,8 @@ struct EnergyFlowResult {
   Schedule schedule;
   std::size_t rejections = 0;
   double gamma = 0.0;  ///< the gamma actually used
+  /// Fleet-membership counters (all zero for an empty plan).
+  FleetStats fleet;
 
   // ---- dual bookkeeping (Lemma 6 machinery) ----
   /// sum_j lambda_j with lambda_j = eps/(1+eps) * min_i lambda_ij.

@@ -70,6 +70,7 @@ class EnergyFlowPolicy final : public SimulationHooks {
     extra_.extend_to(store.num_jobs());
     lambda_.extend_to(store.num_jobs());
     const std::size_t m = store.num_machines();
+    fleet_.init(m, options.fleet);
     pending_.resize(m);
     pending_weight_.assign(m, 0.0);
     running_.assign(m, kInvalidJob);
@@ -93,8 +94,17 @@ class EnergyFlowPolicy final : public SimulationHooks {
         options_.dispatch == DispatchMode::kIndexed
             ? dispatch_indexed(j, &best_lambda)
             : dispatch_linear_scan(j, &best_lambda);
-    OSCHED_CHECK(best_machine != kInvalidMachine)
-        << "job " << j << " has no eligible machine";
+    if (best_machine == kInvalidMachine) {
+      // Fleet mode: no active eligible machine — forced rejection at
+      // arrival, outside the weight-counter rule and with zero dual
+      // contribution (the certificate is diagnostic under a fleet plan).
+      OSCHED_CHECK(fleet_.enabled())
+          << "job " << j << " has no eligible machine";
+      lambda_[static_cast<std::size_t>(j)] = 0.0;
+      rec_.mark_rejected_pending(j, now);
+      fleet_.note_forced_rejection();
+      return;
+    }
     const double lambda_j =
         options_.epsilon / (1.0 + options_.epsilon) * best_lambda;
     sum_lambda_ += lambda_j;
@@ -124,17 +134,34 @@ class EnergyFlowPolicy final : public SimulationHooks {
     start_next(event.machine, now);
   }
 
+  void on_fleet(const FleetEvent& event, Time now) override {
+    switch (event.kind) {
+      case FleetEventKind::kJoin:
+        fleet_.on_join(event.machine);
+        break;
+      case FleetEventKind::kDrain:
+        fleet_.on_drain(event.machine);
+        break;
+      case FleetEventKind::kFail:
+        fleet_.on_fail(event.machine);
+        handle_fail(event.machine, now);
+        break;
+    }
+  }
+
   /// No-op: the V-integral finalization reads every record, so Theorem 2
   /// runs cannot retire per-job state (sessions enforce retention).
   void retire_below(JobId /*frontier*/) {}
 
   /// Fills every EnergyFlowResult field except the schedule (the driver
-  /// owns the record store). Requires all submitted jobs to have started
-  /// (i.e. the run was driven to quiescence).
+  /// owns the record store). Requires the run to have been driven to
+  /// quiescence: every job started, except fault rejections under a fleet
+  /// plan (which contribute waiting-only fractional weight).
   void finalize_into(EnergyFlowResult& result) const {
     result.rejections = rejections_;
     result.gamma = gamma_;
     result.sum_lambda = sum_lambda_;
+    result.fleet = fleet_.stats;
     result.definitive_finish.resize(store_.num_jobs(), 0.0);
 
     // Integral of the total fractional weight V(t) = sum_i V_i(t):
@@ -148,7 +175,18 @@ class EnergyFlowPolicy final : public SimulationHooks {
       const auto j = static_cast<JobId>(idx);
       const Job& job = store_.job(j);
       const JobRecord& rec = rec_.record(j);
-      OSCHED_CHECK(rec.started) << "job " << j << " never started";
+      if (!rec.started) {
+        // Fleet-mode fault rejection before the job ever ran: it waited at
+        // full weight from release to rejection and leaves no residue.
+        OSCHED_CHECK(fleet_.enabled() && rec.fate == JobFate::kRejectedPending)
+            << "job " << j << " never started";
+        v_integral += job.weight * (rec.rejection_time - job.release);
+        result.definitive_finish[idx] = rec.rejection_time + extra_[idx];
+        iso_lb += c1 *
+                  std::pow(job.weight, (options_.alpha - 1.0) / options_.alpha) *
+                  store_.min_processing(j);
+        continue;
+      }
       const Work p = store_.processing(rec.machine, j);
       const Work q_end = rec.completed()
                              ? 0.0
@@ -183,6 +221,7 @@ class EnergyFlowPolicy final : public SimulationHooks {
   }
 
   std::size_t rejections() const { return rejections_; }
+  const FleetStats& fleet_stats() const { return fleet_.stats; }
 
  private:
   DensityKey make_key(MachineId i, JobId j) const {
@@ -226,6 +265,7 @@ class EnergyFlowPolicy final : public SimulationHooks {
     double best_lambda = std::numeric_limits<double>::infinity();
     MachineId best_machine = kInvalidMachine;
     for (const MachineId machine : store_.eligible_machines(j)) {
+      if (!fleet_.active(static_cast<std::size_t>(machine))) continue;
       const double lambda = lambda_ij(machine, j);
       if (lambda < best_lambda) {
         best_lambda = lambda;
@@ -251,6 +291,10 @@ class EnergyFlowPolicy final : public SimulationHooks {
     double seed_lb = std::numeric_limits<double>::infinity();
     for (std::size_t k = 0; k < count; ++k) {
       const auto i = static_cast<std::size_t>(eligible.first[k]);
+      if (!fleet_.active(i)) {
+        lb_[k] = std::numeric_limits<double>::infinity();
+        continue;
+      }
       lb_[k] = coeff * row[i];
       if (lb_[k] < seed_lb) {
         seed_lb = lb_[k];
@@ -259,6 +303,11 @@ class EnergyFlowPolicy final : public SimulationHooks {
     }
 
     const MachineId seed_machine = eligible.first[seed_k];
+    if (!fleet_.active(static_cast<std::size_t>(seed_machine))) {
+      // Every eligible machine is masked: the reference scan settles it
+      // (returns kInvalidMachine, the caller force-rejects).
+      return dispatch_linear_scan(j, best_lambda_out);
+    }
     double best_lambda = lambda_ij(seed_machine, j);
     MachineId best_machine = seed_machine;
 
@@ -324,6 +373,62 @@ class EnergyFlowPolicy final : public SimulationHooks {
     ++rejections_;
   }
 
+  // ---- fleet failure handling ----
+
+  /// The machine just went down (fleet_ already reflects it): orphan the
+  /// queue, decide the killed running job (budget shed or restart from
+  /// scratch — its frozen-speed execution is lost), re-decide every orphan.
+  void handle_fail(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+
+    orphans_.assign(pending_[i].begin(), pending_[i].end());  // density order
+    pending_[i].clear();
+    pending_weight_[i] = 0.0;
+
+    const JobId killed = running_[i];
+    if (killed != kInvalidJob) {
+      events_.cancel(completion_event_[i]);
+      running_[i] = kInvalidJob;
+      if (fleet_.shed_killed_running() && fleet_.try_spend_budget()) {
+        rec_.mark_rejected_running(killed, now);
+        ++fleet_.stats.fault_rejections;
+      } else {
+        redecide(killed, now, /*was_running=*/true);
+      }
+    }
+    v_counter_[i] = 0.0;
+
+    for (const DensityKey& key : orphans_) {
+      redecide(key.id, now, /*was_running=*/false);
+    }
+  }
+
+  /// Re-decides one orphan: normal dispatch restricted to active machines,
+  /// or a forced rejection. Skips the weight counter and the dual lambda
+  /// (set at arrival).
+  void redecide(JobId j, Time now, bool was_running) {
+    double lambda = 0.0;
+    const MachineId target =
+        options_.dispatch == DispatchMode::kIndexed
+            ? dispatch_indexed(j, &lambda)
+            : dispatch_linear_scan(j, &lambda);
+    if (target == kInvalidMachine) {
+      if (was_running) {
+        rec_.mark_rejected_running(j, now);
+      } else {
+        rec_.mark_rejected_pending(j, now);
+      }
+      fleet_.note_forced_rejection();
+      return;
+    }
+    rec_.mark_requeued(j, target);  // resets `started` for a killed runner
+    const auto b = static_cast<std::size_t>(target);
+    pending_[b].insert(make_key(target, j));
+    pending_weight_[b] += store_.job(j).weight;
+    ++fleet_.stats.redispatched;
+    if (running_[b] == kInvalidJob) start_next(target, now);
+  }
+
   const Store& store_;
   Rec& rec_;
   EventQueue& events_;
@@ -331,6 +436,8 @@ class EnergyFlowPolicy final : public SimulationHooks {
   double gamma_;
   util::SlidingVector<double> extra_;
   util::SlidingVector<double> lambda_;
+  FleetState fleet_;
+  std::vector<DensityKey> orphans_;  ///< handle_fail scratch
 
   // ---- machine state, structure-of-arrays (indexed by machine id) ----
   std::vector<std::set<DensityKey>> pending_;

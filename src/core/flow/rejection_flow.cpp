@@ -27,7 +27,7 @@ template <class Store>
 RejectionFlowResult run_on_store(const Store& store,
                                  const RejectionFlowOptions& options) {
   const std::size_t n = store.num_jobs();
-  SimEngineFor<Store> engine(store);
+  SimEngineFor<Store> engine(store, &options.fleet);
   Schedule schedule(n);
   RejectionFlowPolicy<Store, Schedule> policy(store, schedule, engine.events(),
                                               options);
@@ -37,6 +37,7 @@ RejectionFlowResult run_on_store(const Store& store,
   result.schedule = std::move(schedule);
   result.rule1_rejections = policy.rule1_rejections();
   result.rule2_rejections = policy.rule2_rejections();
+  result.fleet = policy.fleet_stats();
   result.sum_lambda = policy.dual().sum_lambda();
   result.beta_integral = policy.dual().beta_integral();
   result.dual_objective = policy.dual().dual_objective();

@@ -32,6 +32,7 @@
 
 #include "core/flow/dual_accounting.hpp"
 #include "instance/instance.hpp"
+#include "sim/fleet.hpp"
 #include "sim/schedule.hpp"
 
 namespace osched {
@@ -69,12 +70,18 @@ struct RejectionFlowOptions {
   /// index; kLinearScan is the reference full scan. Both are bit-identical
   /// (tests/dispatch_index_test.cpp).
   DispatchMode dispatch = DispatchMode::kIndexed;
+  /// Dynamic fleet membership (join/drain/fail events, fault rejection
+  /// budget); empty = the paper's static fleet. With a non-empty plan the
+  /// dual certificate is diagnostic only — see sim/fleet.hpp.
+  FleetPlan fleet = {};
 };
 
 struct RejectionFlowResult {
   Schedule schedule;
   std::size_t rule1_rejections = 0;
   std::size_t rule2_rejections = 0;
+  /// Fleet-membership counters (all zero for an empty plan).
+  FleetStats fleet;
 
   /// Dual-fitting summary (valid as an OPT lower bound only at speed=1).
   double sum_lambda = 0.0;

@@ -110,6 +110,7 @@ class RejectionFlowPolicy final : public SimulationHooks {
       pending_.emplace_back(rejection_flow_detail::KeyProcessing{},
                             util::derive_seed(0xF10BA5E5ULL, i));
     }
+    fleet_.init(m, options.fleet);
     running_.assign(m, kInvalidJob);
     running_end_.assign(m, 0.0);
     completion_event_.assign(m, 0);
@@ -146,6 +147,19 @@ class RejectionFlowPolicy final : public SimulationHooks {
         options_.dispatch == DispatchMode::kIndexed
             ? dispatch_indexed(j, &best_lambda)
             : dispatch_linear_scan(j, &best_lambda);
+
+    // No active eligible machine (fleet mode only): the job cannot run
+    // anywhere — forced rejection at arrival, outside the rule counters and
+    // with a zero dual contribution (the certificate is diagnostic under a
+    // fleet plan anyway).
+    if (best_machine == kInvalidMachine) {
+      dual_.set_lambda(j, 0.0);
+      lambda_[static_cast<std::size_t>(j)] = 0.0;
+      rec_.mark_rejected_pending(j, now);
+      dual_.finalize(j, store_.job(j).release, now);
+      fleet_.note_forced_rejection();
+      return;
+    }
 
     dual_.set_lambda(j, best_lambda);
     lambda_[static_cast<std::size_t>(j)] =
@@ -185,6 +199,23 @@ class RejectionFlowPolicy final : public SimulationHooks {
     start_next(event.machine, now);
   }
 
+  void on_fleet(const FleetEvent& event, Time now) override {
+    switch (event.kind) {
+      case FleetEventKind::kJoin:
+        fleet_.on_join(event.machine);
+        break;
+      case FleetEventKind::kDrain:
+        // Masked out of dispatch from now on; the running job and queue
+        // complete normally through start_next.
+        fleet_.on_drain(event.machine);
+        break;
+      case FleetEventKind::kFail:
+        fleet_.on_fail(event.machine);
+        handle_fail(event.machine, now);
+        break;
+    }
+  }
+
   /// Releases per-job dual/lambda state below the decided frontier
   /// (streaming sessions only; batch runs keep everything for export).
   void retire_below(JobId frontier) {
@@ -194,6 +225,7 @@ class RejectionFlowPolicy final : public SimulationHooks {
 
   std::size_t rule1_rejections() const { return rule1_rejections_; }
   std::size_t rule2_rejections() const { return rule2_rejections_; }
+  const FleetStats& fleet_stats() const { return fleet_.stats; }
   const FlowDualAccounting& dual() const { return dual_; }
   /// lambda_j = eps/(1+eps) * min_i lambda_ij; j must not be retired.
   double lambda(JobId j) const { return lambda_.at(static_cast<std::size_t>(j)); }
@@ -251,8 +283,11 @@ class RejectionFlowPolicy final : public SimulationHooks {
            pend_cnt_margin_[i] * std::min(p, pend_min_p_[i]);
   }
 
-  /// Reference dispatch: exact lambda for every eligible machine, ascending
-  /// machine id, strict-less keeps the first (= smallest id on ties).
+  /// Reference dispatch: exact lambda for every ACTIVE eligible machine,
+  /// ascending machine id, strict-less keeps the first (= smallest id on
+  /// ties). Returns kInvalidMachine when the fleet mask leaves no candidate
+  /// (impossible with an empty fleet plan — active() is then constant
+  /// true and eligibility is non-empty by validation).
   MachineId dispatch_linear_scan(JobId j, double* best_lambda_out) const {
     const Time release = store_.job(j).release;
     const auto eligible = store_.eligible_machines(j);
@@ -260,6 +295,7 @@ class RejectionFlowPolicy final : public SimulationHooks {
     double best_lambda = kTimeInfinity;
     MachineId best_machine = kInvalidMachine;
     for (const MachineId machine : eligible) {
+      if (!fleet_.active(static_cast<std::size_t>(machine))) continue;
       const Work p = effective_processing(machine, j);
       const double lambda = lambda_ij(machine, j, p, release);
       if (lambda < best_lambda) {
@@ -304,12 +340,14 @@ class RejectionFlowPolicy final : public SimulationHooks {
     MachineId best_machine = kInvalidMachine;
 
     if (order != nullptr) {
-      // First idle machine in (p, id) order, then the id-tie walk: later
-      // idle machines tie only while their rounded lambda is bit-equal (p
-      // is non-decreasing along the order and fl is monotone, so the walk
-      // stops at the first strictly larger lambda).
+      // First ACTIVE idle machine in (p, id) order, then the id-tie walk:
+      // later idle machines tie only while their rounded lambda is bit-equal
+      // (p is non-decreasing along the order and fl is monotone, so the walk
+      // stops at the first strictly larger lambda). Down/draining machines
+      // have pend_n_ == 0 and would otherwise masquerade as idle.
       std::size_t w = 0;
-      while (w < count && pend_n_[order[w]] != 0) ++w;
+      while (w < count && (pend_n_[order[w]] != 0 || !fleet_.active(order[w])))
+        ++w;
       if (w < count) {
         const auto i0 = static_cast<std::size_t>(order[w]);
         const Work p0 = effective_processing(static_cast<MachineId>(i0), j);
@@ -317,7 +355,7 @@ class RejectionFlowPolicy final : public SimulationHooks {
         best_machine = static_cast<MachineId>(i0);
         for (std::size_t w2 = w + 1; w2 < count; ++w2) {
           const auto i2 = static_cast<std::size_t>(order[w2]);
-          if (pend_n_[i2] != 0) continue;
+          if (pend_n_[i2] != 0 || !fleet_.active(i2)) continue;
           const Work p2 = effective_processing(static_cast<MachineId>(i2), j);
           const double lambda2 = p2 / options_.epsilon + p2;
           if (lambda2 != best_lambda) break;
@@ -338,7 +376,7 @@ class RejectionFlowPolicy final : public SimulationHooks {
       for (std::size_t k = 0; k < count; ++k) {
         const auto i = static_cast<std::size_t>(
             dense ? static_cast<MachineId>(k) : eligible.first[k]);
-        if (pend_n_[i] != 0) continue;
+        if (pend_n_[i] != 0 || !fleet_.active(i)) continue;
         const Work p = effective_processing(static_cast<MachineId>(i), j);
         const double lambda = p / options_.epsilon + p;  // empty-queue
         if (lambda < best_lambda ||
@@ -362,6 +400,7 @@ class RejectionFlowPolicy final : public SimulationHooks {
     const float* rowf = order != nullptr ? store_.bounds_row(j) : nullptr;
     for (const std::uint32_t i : live_list_) {
       const auto machine = static_cast<MachineId>(i);
+      if (!fleet_.active(i)) continue;  // draining machines stay live
       if (!dense && !(rowd[i] < kTimeInfinity)) continue;  // ineligible
       const float pf = rowf != nullptr ? rowf[i] : float_lower(rowd[i]);
       const float plb = speed_is_one_ ? pf : pf / speed_up_;
@@ -379,8 +418,12 @@ class RejectionFlowPolicy final : public SimulationHooks {
         best_machine = machine;
       }
     }
-    OSCHED_CHECK(best_machine != kInvalidMachine)
-        << "job " << j << " has no eligible machine";
+    if (best_machine == kInvalidMachine) {
+      OSCHED_CHECK(fleet_.enabled())
+          << "job " << j << " has no eligible machine";
+      *best_lambda_out = kTimeInfinity;
+      return kInvalidMachine;
+    }
 
     // Lookahead for the NEXT arrival: its candidate entries in the double
     // row are cold (the sweep path streams only the float shadow), and a
@@ -415,6 +458,13 @@ class RejectionFlowPolicy final : public SimulationHooks {
     const std::size_t count = eligible.size();
     OSCHED_CHECK(count > 0) << "job " << j << " has no eligible machine";
 
+    // Whole fleet down: nothing can take the job (also keeps the dense
+    // argmin below safe — an all-infinity lb row has no locatable seed).
+    if (fleet_.enabled() && fleet_.num_active() == 0) {
+      *best_lambda_out = kTimeInfinity;
+      return kInvalidMachine;
+    }
+
     // Few busy machines (the steady state): O(|live|) ordered path. The
     // cutover scales with the candidate count — at small m the sweep is
     // already a handful of cache lines and beats per-contender evaluation
@@ -445,6 +495,12 @@ class RejectionFlowPolicy final : public SimulationHooks {
       for (std::size_t i = 0; i < m; ++i) {
         const float p = row[i];
         lb[i] = p * empty_coeff_margin_ + pcm[i] * std::min(p, pmp[i]);
+      }
+      // Fleet mask: O(#inactive) overwrites keep the sweep itself
+      // branch-free — masked machines can never seed and never screen in
+      // as rivals. A no-op while the fleet is whole.
+      for (const std::uint32_t down : fleet_.inactive_list()) {
+        lb[down] = std::numeric_limits<float>::infinity();
       }
       // Two-level argmin: per-block minima first (fixed-width inner loops —
       // min is exactly associative/commutative over finite floats, so any
@@ -477,6 +533,10 @@ class RejectionFlowPolicy final : public SimulationHooks {
       float seed_lb = std::numeric_limits<float>::max();
       for (std::size_t k = 0; k < count; ++k) {
         const auto i = static_cast<std::size_t>(eligible.first[k]);
+        if (!fleet_.active(i)) {
+          lb_[k] = std::numeric_limits<float>::infinity();
+          continue;
+        }
         // speed_up_ >= speed exactly, so the float quotient stays a lower
         // bound on p/speed (speed != 1 only in the speed-augmented runs).
         const float p = speed_is_one_ ? row[i] : row[i] / speed_up_;
@@ -491,6 +551,12 @@ class RejectionFlowPolicy final : public SimulationHooks {
 
     const MachineId seed_machine = eligible.first[seed_k];
     const auto seed_i = static_cast<std::size_t>(seed_machine);
+    if (!fleet_.active(seed_i)) {
+      // Every eligible machine is masked (sparse eligibility under a fleet
+      // plan) or every active bound saturated: the exact reference scan —
+      // itself active-filtered — settles it, including kInvalidMachine.
+      return dispatch_linear_scan(j, best_lambda_out);
+    }
     // The exact lambda evaluation below is the dispatch's only read of the
     // DOUBLE p row — a cold line (the sweep streams the float shadow). Kick
     // the fetch off now and fill its latency shadow with the rival screen,
@@ -717,6 +783,67 @@ class RejectionFlowPolicy final : public SimulationHooks {
     ++rule2_rejections_;
   }
 
+  // ---- fleet failure handling ----
+
+  /// The machine just went down (fleet_ already reflects it). Orphans the
+  /// queue, decides the killed running job (budget shed or restart), and
+  /// re-decides every orphan against the surviving fleet.
+  void handle_fail(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+
+    // Pop the whole queue through pending_pop_min so the cached lambda
+    // inputs and the live list stay in sync; orphans come out in SPT order,
+    // which fixes the (deterministic) re-decision order.
+    orphans_.clear();
+    while (pend_n_[i] != 0) orphans_.push_back(pending_pop_min(i));
+
+    const JobId killed = running_[i];
+    if (killed != kInvalidJob) {
+      events_.cancel(completion_event_[i]);
+      running_[i] = kInvalidJob;
+      if (fleet_.shed_killed_running() && fleet_.try_spend_budget()) {
+        rec_.mark_rejected_running(killed, now);
+        dual_.finalize(killed, store_.job(killed).release, now);
+        ++fleet_.stats.fault_rejections;
+      } else {
+        redecide(killed, now, /*was_running=*/true);
+      }
+    }
+    v_counter_[i] = 0;
+    c_counter_[i] = 0;
+
+    for (const PendingKey& key : orphans_) {
+      redecide(key.id, now, /*was_running=*/false);
+    }
+  }
+
+  /// Re-decides one orphan: normal dispatch rule restricted to active
+  /// machines, or a forced rejection when nothing can take it. Skips the
+  /// rule counters and the dual lambda (set at arrival).
+  void redecide(JobId j, Time now, bool was_running) {
+    double lambda = 0.0;
+    const MachineId target =
+        options_.dispatch == DispatchMode::kIndexed
+            ? dispatch_indexed(j, &lambda)
+            : dispatch_linear_scan(j, &lambda);
+    if (target == kInvalidMachine) {
+      if (was_running) {
+        rec_.mark_rejected_running(j, now);
+      } else {
+        rec_.mark_rejected_pending(j, now);
+      }
+      dual_.finalize(j, store_.job(j).release, now);
+      fleet_.note_forced_rejection();
+      return;
+    }
+    rec_.mark_requeued(j, target);  // resets `started` for a killed runner
+    pending_insert(static_cast<std::size_t>(target), make_key(target, j));
+    ++fleet_.stats.redispatched;
+    if (running_[static_cast<std::size_t>(target)] == kInvalidJob) {
+      start_next(target, now);
+    }
+  }
+
   const Store& store_;
   Rec& rec_;
   EventQueue& events_;
@@ -725,6 +852,8 @@ class RejectionFlowPolicy final : public SimulationHooks {
   FlowDualAccounting dual_;
   util::SlidingVector<double> lambda_;
   util::Rng victim_rng_;
+  FleetState fleet_;
+  std::vector<PendingKey> orphans_;  ///< handle_fail scratch
 
   // ---- machine state, structure-of-arrays (indexed by machine id) ----
   std::vector<PendingQueue> pending_;

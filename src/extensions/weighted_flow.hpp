@@ -37,6 +37,7 @@
 #include <cstdint>
 
 #include "instance/instance.hpp"
+#include "sim/fleet.hpp"
 #include "sim/schedule.hpp"
 
 namespace osched {
@@ -51,6 +52,8 @@ struct WeightedFlowOptions {
   /// index; kLinearScan is the reference full scan. Both are bit-identical
   /// (tests/dispatch_index_test.cpp).
   DispatchMode dispatch = DispatchMode::kIndexed;
+  /// Dynamic fleet membership; empty = static fleet (see sim/fleet.hpp).
+  FleetPlan fleet = {};
 };
 
 struct WeightedFlowResult {
@@ -58,6 +61,8 @@ struct WeightedFlowResult {
   std::size_t rule1_rejections = 0;
   std::size_t rule2_rejections = 0;
   Weight rejected_weight = 0.0;
+  /// Fleet-membership counters (all zero for an empty plan).
+  FleetStats fleet;
 };
 
 WeightedFlowResult run_weighted_rejection_flow(

@@ -63,6 +63,7 @@ class WeightedFlowPolicy final : public SimulationHooks {
     OSCHED_CHECK_GT(options.epsilon, 0.0);
     OSCHED_CHECK_LT(options.epsilon, 1.0);
     const std::size_t m = store.num_machines();
+    fleet_.init(m, options.fleet);
     pending_.resize(m);
     running_.assign(m, kInvalidJob);
     running_weight_.assign(m, 0.0);
@@ -85,7 +86,15 @@ class WeightedFlowPolicy final : public SimulationHooks {
         options_.dispatch == DispatchMode::kIndexed
             ? dispatch_indexed(j, &best_lambda)
             : dispatch_linear_scan(j, &best_lambda);
-    OSCHED_CHECK(best != kInvalidMachine) << "job " << j << " has no eligible machine";
+    if (best == kInvalidMachine) {
+      // Fleet mode: no active eligible machine — forced rejection at
+      // arrival, outside the weight counters and budget accounting.
+      OSCHED_CHECK(fleet_.enabled())
+          << "job " << j << " has no eligible machine";
+      rec_.mark_rejected_pending(j, now);
+      fleet_.note_forced_rejection();
+      return;
+    }
 
     const auto b = static_cast<std::size_t>(best);
     rec_.mark_dispatched(j, best);
@@ -112,12 +121,28 @@ class WeightedFlowPolicy final : public SimulationHooks {
     start_next(event.machine, now);
   }
 
+  void on_fleet(const FleetEvent& event, Time now) override {
+    switch (event.kind) {
+      case FleetEventKind::kJoin:
+        fleet_.on_join(event.machine);
+        break;
+      case FleetEventKind::kDrain:
+        fleet_.on_drain(event.machine);
+        break;
+      case FleetEventKind::kFail:
+        fleet_.on_fail(event.machine);
+        handle_fail(event.machine, now);
+        break;
+    }
+  }
+
   /// The policy keeps no per-job state of its own — nothing to release.
   void retire_below(JobId /*frontier*/) {}
 
   std::size_t rule1_rejections() const { return rule1_rejections_; }
   std::size_t rule2_rejections() const { return rule2_rejections_; }
   Weight rejected_weight() const { return rejected_weight_; }
+  const FleetStats& fleet_stats() const { return fleet_.stats; }
 
  private:
   DensityKey make_key(MachineId i, JobId j) const {
@@ -150,6 +175,7 @@ class WeightedFlowPolicy final : public SimulationHooks {
     double best_lambda = std::numeric_limits<double>::infinity();
     MachineId best = kInvalidMachine;
     for (const MachineId machine : store_.eligible_machines(j)) {
+      if (!fleet_.active(static_cast<std::size_t>(machine))) continue;
       const double lambda = lambda_ij(machine, j);
       if (lambda < best_lambda) {
         best_lambda = lambda;
@@ -183,6 +209,10 @@ class WeightedFlowPolicy final : public SimulationHooks {
     double seed_lb = std::numeric_limits<double>::infinity();
     for (std::size_t k = 0; k < count; ++k) {
       const auto i = static_cast<std::size_t>(eligible.first[k]);
+      if (!fleet_.active(i)) {
+        lb_[k] = std::numeric_limits<double>::infinity();
+        continue;
+      }
       lb_[k] = lambda_lower_bound(row[i], w, i);
       if (lb_[k] < seed_lb) {
         seed_lb = lb_[k];
@@ -191,6 +221,11 @@ class WeightedFlowPolicy final : public SimulationHooks {
     }
 
     const MachineId seed_machine = eligible.first[seed_k];
+    if (!fleet_.active(static_cast<std::size_t>(seed_machine))) {
+      // Every eligible machine is masked: the reference scan settles it
+      // (returns kInvalidMachine, the caller force-rejects).
+      return dispatch_linear_scan(j, best_lambda_out);
+    }
     double best_lambda = lambda_ij(seed_machine, j);
     MachineId best_machine = seed_machine;
 
@@ -313,6 +348,62 @@ class WeightedFlowPolicy final : public SimulationHooks {
     ++rule2_rejections_;
   }
 
+  // ---- fleet failure handling (fault sheds stay OUT of rejected_weight_:
+  // that total is the policy's 2*eps*W budget accounting; FleetStats holds
+  // the fault counts) ----
+
+  void handle_fail(MachineId machine, Time now) {
+    const auto i = static_cast<std::size_t>(machine);
+
+    orphans_.assign(pending_[i].begin(), pending_[i].end());  // density order
+    pending_[i].clear();
+    pend_n_[i] = 0.0;
+    pend_min_p_[i] = 0.0;  // empty-queue sentinel
+    pend_min_w_[i] = 0.0;
+
+    const JobId killed = running_[i];
+    if (killed != kInvalidJob) {
+      events_.cancel(completion_event_[i]);
+      running_[i] = kInvalidJob;
+      if (fleet_.shed_killed_running() && fleet_.try_spend_budget()) {
+        rec_.mark_rejected_running(killed, now);
+        ++fleet_.stats.fault_rejections;
+      } else {
+        redecide(killed, now, /*was_running=*/true);
+      }
+    }
+    v_counter_[i] = 0.0;
+    c_counter_[i] = 0.0;
+
+    for (const DensityKey& key : orphans_) {
+      redecide(key.id, now, /*was_running=*/false);
+    }
+  }
+
+  /// Re-decides one orphan: normal dispatch restricted to active machines,
+  /// or a forced rejection. Skips the weight counters.
+  void redecide(JobId j, Time now, bool was_running) {
+    double lambda = 0.0;
+    const MachineId target =
+        options_.dispatch == DispatchMode::kIndexed
+            ? dispatch_indexed(j, &lambda)
+            : dispatch_linear_scan(j, &lambda);
+    if (target == kInvalidMachine) {
+      if (was_running) {
+        rec_.mark_rejected_running(j, now);
+      } else {
+        rec_.mark_rejected_pending(j, now);
+      }
+      fleet_.note_forced_rejection();
+      return;
+    }
+    rec_.mark_requeued(j, target);  // resets `started` for a killed runner
+    const auto b = static_cast<std::size_t>(target);
+    pending_insert(b, make_key(target, j));
+    ++fleet_.stats.redispatched;
+    if (running_[b] == kInvalidJob) start_next(target, now);
+  }
+
   const Store& store_;
   Rec& rec_;
   EventQueue& events_;
@@ -334,6 +425,8 @@ class WeightedFlowPolicy final : public SimulationHooks {
   // ---- dispatch scratch, reused across arrivals ----
   std::vector<double> lb_;
   util::DispatchHeap heap_;
+  FleetState fleet_;
+  std::vector<DensityKey> orphans_;  ///< handle_fail scratch
 
   std::size_t rule1_rejections_ = 0;
   std::size_t rule2_rejections_ = 0;

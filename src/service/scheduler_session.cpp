@@ -9,6 +9,7 @@
 #include "extensions/weighted_flow_policy.hpp"
 #include "instance/power.hpp"
 #include "metrics/metrics.hpp"
+#include "service/checkpoint.hpp"
 #include "service/job_store.hpp"
 #include "service/session_schedule.hpp"
 #include "sim/validator.hpp"
@@ -54,6 +55,7 @@ class Theorem1Host final : public HostBase<T1Policy, RejectionFlowOptions> {
     summary.certified_lower_bound = policy_.dual().opt_lower_bound();
     summary.rule1_rejections = policy_.rule1_rejections();
     summary.rule2_rejections = policy_.rule2_rejections();
+    summary.fleet = policy_.fleet_stats();
   }
 };
 
@@ -62,6 +64,7 @@ class Theorem2Host final : public HostBase<T2Policy, EnergyFlowOptions> {
   using HostBase::HostBase;
   void finalize(api::RunSummary& summary) override {
     summary.rule1_rejections = policy_.rejections();
+    summary.fleet = policy_.fleet_stats();
   }
 };
 
@@ -71,13 +74,16 @@ class WeightedExtHost final : public HostBase<WePolicy, WeightedFlowOptions> {
   void finalize(api::RunSummary& summary) override {
     summary.rule1_rejections = policy_.rule1_rejections();
     summary.rule2_rejections = policy_.rule2_rejections();
+    summary.fleet = policy_.fleet_stats();
   }
 };
 
 class ListHost final : public HostBase<LsPolicy, ListSchedulerOptions> {
  public:
   using HostBase::HostBase;
-  void finalize(api::RunSummary& /*summary*/) override {}
+  void finalize(api::RunSummary& summary) override {
+    summary.fleet = policy_.fleet_stats();
+  }
 };
 
 class ImmediateHost final : public HostBase<IrPolicy, ImmediateRejectionOptions> {
@@ -85,6 +91,7 @@ class ImmediateHost final : public HostBase<IrPolicy, ImmediateRejectionOptions>
   using HostBase::HostBase;
   void finalize(api::RunSummary& summary) override {
     summary.rule1_rejections = policy_.rejections();
+    summary.fleet = policy_.fleet_stats();
   }
 };
 
@@ -95,29 +102,33 @@ std::unique_ptr<PolicyHost> make_host(api::Algorithm algorithm,
   switch (algorithm) {
     case api::Algorithm::kTheorem1:
       return std::make_unique<Theorem1Host>(
-          store, rec, events, RejectionFlowOptions{.epsilon = run.epsilon});
+          store, rec, events,
+          RejectionFlowOptions{.epsilon = run.epsilon, .fleet = run.fleet});
     case api::Algorithm::kTheorem2: {
       EnergyFlowOptions ef;
       ef.epsilon = run.epsilon;
       ef.alpha = run.alpha;
+      ef.fleet = run.fleet;
       return std::make_unique<Theorem2Host>(store, rec, events, ef);
     }
     case api::Algorithm::kWeightedExt:
       return std::make_unique<WeightedExtHost>(
-          store, rec, events, WeightedFlowOptions{.epsilon = run.epsilon});
+          store, rec, events,
+          WeightedFlowOptions{.epsilon = run.epsilon, .fleet = run.fleet});
     case api::Algorithm::kGreedySpt:
       return std::make_unique<ListHost>(
           store, rec, events,
           ListSchedulerOptions{DispatchRule::kMinCompletion,
-                               QueueDiscipline::kSpt});
+                               QueueDiscipline::kSpt, run.fleet});
     case api::Algorithm::kFifo:
       return std::make_unique<ListHost>(
           store, rec, events,
           ListSchedulerOptions{DispatchRule::kMinBacklog,
-                               QueueDiscipline::kFifo});
+                               QueueDiscipline::kFifo, run.fleet});
     case api::Algorithm::kImmediateReject:
       return std::make_unique<ImmediateHost>(
-          store, rec, events, ImmediateRejectionOptions{.eps = run.epsilon});
+          store, rec, events,
+          ImmediateRejectionOptions{.eps = run.epsilon, .fleet = run.fleet});
     case api::Algorithm::kTheorem3:
       break;
   }
@@ -252,14 +263,80 @@ class SchedulerSession::Impl {
     return summary;
   }
 
+  std::string checkpoint() const {
+    OSCHED_CHECK(!drained_) << "checkpoint() on a drained session";
+    OSCHED_CHECK(options_.retain_records)
+        << "checkpoint() requires retain_records: a low-memory session has "
+           "already released the replay journal";
+    CheckpointWriter w;
+    w.bytes(kSessionCheckpointMagic, sizeof(kSessionCheckpointMagic));
+    w.u32(kCheckpointVersion);
+    w.u32(static_cast<std::uint32_t>(algorithm_));
+    w.u64(store_.num_machines());
+    const api::RunOptions& run = options_.run;
+    w.f64(run.epsilon);
+    w.f64(run.alpha);
+    w.u64(run.speed_levels);
+    w.f64(run.start_grid);
+    w.u8(run.validate ? 1 : 0);
+    const FleetPlan& plan = run.fleet;
+    w.u64(plan.events.size());
+    for (const FleetEvent& event : plan.events) {
+      w.f64(event.time);
+      w.u32(static_cast<std::uint32_t>(event.machine));
+      w.u8(static_cast<std::uint8_t>(event.kind));
+    }
+    w.u64(plan.initially_down.size());
+    for (const MachineId machine : plan.initially_down) {
+      w.u32(static_cast<std::uint32_t>(machine));
+    }
+    w.u64(plan.rejection_budget);
+    w.u8(plan.shed_killed_running ? 1 : 0);
+    w.u64(options_.retire_batch);
+    w.f64(now_);
+    // The journal proper: every submitted job, in id order. Restore replays
+    // these through submit() — policy state is never serialized.
+    w.u64(store_.num_jobs());
+    const std::size_t m = store_.num_machines();
+    for (std::size_t idx = 0; idx < store_.num_jobs(); ++idx) {
+      const auto j = static_cast<JobId>(idx);
+      const Job& job = store_.job(j);
+      w.f64(job.release);
+      w.f64(job.weight);
+      w.f64(job.deadline);
+      const Work* row = store_.processing_row(j);
+      for (std::size_t i = 0; i < m; ++i) w.f64(row[i]);
+    }
+    return w.finish();
+  }
+
  private:
+  /// Fires scheduler events AND fleet-plan events due at or before t, in the
+  /// batch engine's exact tie order: scheduler events before fleet events at
+  /// the same instant, and both before any arrival at that instant (submit
+  /// calls this with t = the arrival's release, so a machine failing the
+  /// moment a job arrives is applied first — the job is decided against the
+  /// post-fail fleet, exactly as SimEngine does it).
   void run_events_until(Time t) {
+    const auto& fleet = options_.run.fleet.events;
     for (;;) {
       const auto when = events_.peek_time();
-      if (!when.has_value() || *when > t) break;
-      const SimEvent event = events_.pop();
-      now_ = std::max(now_, event.time);
-      host_->hooks().on_event(event, now_);
+      const bool fleet_due =
+          next_fleet_ < fleet.size() && fleet[next_fleet_].time <= t;
+      const bool event_due = when.has_value() && *when <= t;
+      if (event_due &&
+          (!fleet_due || *when <= fleet[next_fleet_].time)) {
+        const SimEvent event = events_.pop();
+        now_ = std::max(now_, event.time);
+        host_->hooks().on_event(event, now_);
+      } else if (fleet_due) {
+        const FleetEvent& event = fleet[next_fleet_];
+        now_ = std::max(now_, event.time);
+        host_->hooks().on_fleet(event, now_);
+        ++next_fleet_;
+      } else {
+        break;
+      }
     }
   }
 
@@ -336,6 +413,7 @@ class SchedulerSession::Impl {
   SessionSchedule records_;
   EventQueue events_;
   Time now_ = 0.0;
+  std::size_t next_fleet_ = 0;  ///< cursor into options_.run.fleet.events
   bool drained_ = false;
   Weight total_weight_ = 0.0;
   std::size_t max_live_ = 0;
@@ -378,6 +456,124 @@ JobId SchedulerSession::submit(std::span<const StreamJob> jobs) {
 void SchedulerSession::advance(Time to) { impl_->advance(to); }
 api::RunSummary SchedulerSession::drain() { return impl_->drain(); }
 bool SchedulerSession::drained() const { return impl_->drained(); }
+std::string SchedulerSession::checkpoint() const { return impl_->checkpoint(); }
+
+std::unique_ptr<SchedulerSession> SchedulerSession::restore(
+    std::string_view blob, std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return nullptr;
+  };
+
+  CheckpointReader r(blob);
+  r.open(kSessionCheckpointMagic, "session");
+  if (!r.ok()) return fail(r.error());
+  const std::uint32_t version = r.u32();
+  if (r.ok() && version != kCheckpointVersion) {
+    return fail("unsupported checkpoint version " + std::to_string(version) +
+                " (this build reads version " +
+                std::to_string(kCheckpointVersion) + ")");
+  }
+
+  const std::uint32_t algorithm_raw = r.u32();
+  const std::uint64_t num_machines = r.u64();
+  SessionOptions options;
+  options.run.epsilon = r.f64();
+  options.run.alpha = r.f64();
+  options.run.speed_levels = static_cast<std::size_t>(r.u64());
+  options.run.start_grid = r.f64();
+  options.run.validate = r.u8() != 0;
+  FleetPlan& plan = options.run.fleet;
+  const std::uint64_t num_fleet_events = r.u64();
+  // Size sanity before any allocation: the count must fit in the bytes that
+  // are actually present (each event is 13 bytes on the wire).
+  if (r.ok() && num_fleet_events > r.remaining() / 13) {
+    return fail("checkpoint corrupted: fleet event count exceeds blob size");
+  }
+  plan.events.reserve(static_cast<std::size_t>(num_fleet_events));
+  for (std::uint64_t e = 0; r.ok() && e < num_fleet_events; ++e) {
+    FleetEvent event;
+    event.time = r.f64();
+    event.machine = static_cast<MachineId>(r.u32());
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(FleetEventKind::kFail)) {
+      return fail("checkpoint corrupted: unknown fleet event kind " +
+                  std::to_string(kind));
+    }
+    event.kind = static_cast<FleetEventKind>(kind);
+    plan.events.push_back(event);
+  }
+  const std::uint64_t num_down = r.u64();
+  if (r.ok() && num_down > r.remaining() / 4) {
+    return fail("checkpoint corrupted: initially-down count exceeds blob size");
+  }
+  plan.initially_down.reserve(static_cast<std::size_t>(num_down));
+  for (std::uint64_t i = 0; r.ok() && i < num_down; ++i) {
+    plan.initially_down.push_back(static_cast<MachineId>(r.u32()));
+  }
+  plan.rejection_budget = static_cast<std::size_t>(r.u64());
+  plan.shed_killed_running = r.u8() != 0;
+  options.retire_batch = static_cast<std::size_t>(r.u64());
+  const Time clock = r.f64();
+  const std::uint64_t num_jobs = r.u64();
+  if (!r.ok()) return fail(r.error());
+
+  // Recoverable validation of everything a replay would otherwise abort on.
+  if (algorithm_raw > static_cast<std::uint32_t>(api::Algorithm::kImmediateReject)) {
+    return fail("checkpoint corrupted: unknown algorithm id " +
+                std::to_string(algorithm_raw));
+  }
+  const auto algorithm = static_cast<api::Algorithm>(algorithm_raw);
+  if (algorithm == api::Algorithm::kTheorem3) {
+    return fail("checkpoint names theorem3, which has no streaming session");
+  }
+  if (num_machines == 0 || num_machines > (1u << 20)) {
+    return fail("checkpoint corrupted: implausible machine count " +
+                std::to_string(num_machines));
+  }
+  const std::string plan_problems =
+      plan.validate(static_cast<std::size_t>(num_machines));
+  if (!plan_problems.empty()) {
+    return fail("checkpoint corrupted: invalid fleet plan: " + plan_problems);
+  }
+  if (options.retire_batch == 0) {
+    return fail("checkpoint corrupted: retire_batch is zero");
+  }
+  // Exact-size check: the remaining bytes must hold precisely the declared
+  // job journal — this rejects a forged count before the reserve below.
+  const std::size_t job_bytes =
+      static_cast<std::size_t>(3 + num_machines) * sizeof(double);
+  if (r.remaining() != num_jobs * job_bytes) {
+    return fail("checkpoint corrupted: job journal size mismatch (" +
+                std::to_string(r.remaining()) + " bytes for " +
+                std::to_string(num_jobs) + " declared jobs)");
+  }
+
+  auto session = std::make_unique<SchedulerSession>(
+      algorithm, static_cast<std::size_t>(num_machines), options);
+  StreamJob job;
+  job.processing.resize(static_cast<std::size_t>(num_machines));
+  for (std::uint64_t idx = 0; idx < num_jobs; ++idx) {
+    job.release = r.f64();
+    job.weight = r.f64();
+    job.deadline = r.f64();
+    for (std::size_t i = 0; i < num_machines; ++i) job.processing[i] = r.f64();
+    OSCHED_CHECK(r.ok()) << r.error();  // sizes were verified above
+    const std::string problems = session->validate_job(job);
+    if (!problems.empty()) {
+      return fail("checkpoint job " + std::to_string(idx) +
+                  " fails replay validation: " + problems);
+    }
+    session->submit(job);
+  }
+  if (!(clock >= session->now())) {
+    return fail("checkpoint corrupted: clock " + std::to_string(clock) +
+                " precedes the replayed journal's clock");
+  }
+  session->advance(clock);
+  if (error != nullptr) error->clear();
+  return session;
+}
 
 api::RunSummary streamed_run(api::Algorithm algorithm, const Instance& instance,
                              const api::RunOptions& options,

@@ -39,6 +39,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "api/scheduler_api.hpp"
 #include "instance/stream_job.hpp"
@@ -108,6 +109,21 @@ class SchedulerSession {
   /// further submit/advance/drain calls abort.
   api::RunSummary drain();
   bool drained() const;
+
+  /// Serializes the session into a versioned, checksummed replay journal
+  /// (format: service/checkpoint.hpp; field-by-field spec:
+  /// docs/ARCHITECTURE.md). Requires retain_records (a low-memory session
+  /// has released the journal) and an undrained session. The session is
+  /// untouched and remains usable.
+  std::string checkpoint() const;
+
+  /// Rebuilds a session from a checkpoint() blob by replaying its journal —
+  /// the result is bit-identical to the original at its checkpoint clock
+  /// (same records, same queues, same future decisions). Damaged input
+  /// (truncated, corrupted, wrong version/magic) returns nullptr with a
+  /// diagnostic in *error; it never aborts and never reads out of bounds.
+  static std::unique_ptr<SchedulerSession> restore(std::string_view blob,
+                                                   std::string* error);
 
  private:
   class Impl;

@@ -39,6 +39,9 @@ class SessionSchedule {
     record_rejected_pending(records_.at(static_cast<std::size_t>(j)), j, now);
     on_decided();
   }
+  void mark_requeued(JobId j, MachineId machine) {
+    record_requeued(records_.at(static_cast<std::size_t>(j)), j, machine);
+  }
 
   const JobRecord& record(JobId j) const {
     return records_.at(static_cast<std::size_t>(j));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "service/checkpoint.hpp"
 #include "util/rng.hpp"
 
 namespace osched::service {
@@ -17,9 +18,13 @@ ShardDriver::ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
                                                         options.session);
     shards_.push_back(std::move(shard));
   }
+  start_workers(options.threads);
+}
 
-  std::size_t workers = options.threads != 0
-                            ? options.threads
+void ShardDriver::start_workers(std::size_t threads) {
+  const std::size_t num_shards = shards_.size();
+  std::size_t workers = threads != 0
+                            ? threads
                             : std::max(1u, std::thread::hardware_concurrency());
   workers = std::min(workers, num_shards);
   // One worker buys no parallelism — inline application on the caller's
@@ -148,6 +153,81 @@ std::vector<api::RunSummary> ShardDriver::drain_all() {
     results[s] = std::move(shards_[s]->drain_result);
   }
   return results;
+}
+
+std::string ShardDriver::checkpoint() {
+  pump();  // every staged/handed-off op is applied; sessions are quiescent
+  CheckpointWriter w;
+  w.bytes(kDriverCheckpointMagic, sizeof(kDriverCheckpointMagic));
+  w.u32(kCheckpointVersion);
+  w.u64(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    OSCHED_CHECK(!shards_[s]->drained)
+        << "checkpoint() after shard " << s << " drained";
+    const std::string blob = shards_[s]->session->checkpoint();
+    w.u64(blob.size());
+    w.bytes(blob.data(), blob.size());
+  }
+  return w.finish();
+}
+
+std::unique_ptr<ShardDriver> ShardDriver::restore(std::string_view blob,
+                                                  std::size_t threads,
+                                                  std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return nullptr;
+  };
+
+  CheckpointReader r(blob);
+  r.open(kDriverCheckpointMagic, "shard-driver");
+  if (!r.ok()) return fail(r.error());
+  const std::uint32_t version = r.u32();
+  if (r.ok() && version != kCheckpointVersion) {
+    return fail("unsupported checkpoint version " + std::to_string(version) +
+                " (this build reads version " +
+                std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint64_t num_shards = r.u64();
+  if (!r.ok()) return fail(r.error());
+  if (num_shards == 0) {
+    return fail("checkpoint corrupted: zero shards");
+  }
+  // Each shard costs at least its 8-byte length prefix: a forged count
+  // larger than the blob can carry is rejected before the reserve below.
+  if (num_shards > r.remaining() / 8) {
+    return fail("checkpoint corrupted: shard count exceeds blob size");
+  }
+
+  // Private default ctor: make_unique cannot reach it.
+  std::unique_ptr<ShardDriver> driver(new ShardDriver());
+  driver->shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (std::uint64_t s = 0; s < num_shards; ++s) {
+    const std::uint64_t size = r.u64();
+    if (!r.ok()) return fail(r.error());
+    if (size > r.remaining()) {
+      return fail("checkpoint truncated: shard " + std::to_string(s) +
+                  " blob extends past the checkpoint");
+    }
+    std::string session_blob(static_cast<std::size_t>(size), '\0');
+    r.bytes(session_blob.data(), session_blob.size());
+    OSCHED_CHECK(r.ok()) << r.error();  // size was just checked
+    std::string session_error;
+    auto session = SchedulerSession::restore(session_blob, &session_error);
+    if (session == nullptr) {
+      return fail("shard " + std::to_string(s) + ": " + session_error);
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->session = std::move(session);
+    driver->shards_.push_back(std::move(shard));
+  }
+  if (r.remaining() != 0) {
+    return fail("checkpoint corrupted: " + std::to_string(r.remaining()) +
+                " trailing bytes after the last shard");
+  }
+  driver->start_workers(threads);
+  if (error != nullptr) error->clear();
+  return driver;
 }
 
 void ShardDriver::apply(Shard& shard, Op& op) const {

@@ -36,6 +36,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -97,6 +99,21 @@ class ShardDriver {
   /// finished afterwards.
   std::vector<api::RunSummary> drain_all();
 
+  /// pump()s the backlog, then serializes every shard's session into one
+  /// versioned, checksummed blob (format: service/checkpoint.hpp; spec:
+  /// docs/ARCHITECTURE.md). Requires undrained, retain_records sessions.
+  /// The driver is untouched and remains usable.
+  std::string checkpoint();
+
+  /// Rebuilds a driver (and every tenant session, bit-identically — see
+  /// SchedulerSession::restore) from a checkpoint() blob. `threads` is a
+  /// runtime concern, not session state, so it is chosen fresh (same
+  /// meaning as ShardDriverOptions::threads). Damaged input returns nullptr
+  /// with a diagnostic in *error.
+  static std::unique_ptr<ShardDriver> restore(std::string_view blob,
+                                              std::size_t threads,
+                                              std::string* error);
+
  private:
   struct Op {
     enum class Kind : std::uint8_t { kSubmit, kAdvance, kDrain };
@@ -125,6 +142,13 @@ class ShardDriver {
     bool stop = false;
     std::vector<std::size_t> shards;  ///< owned shard indices
   };
+
+  /// Restore path: shards_ is filled from the checkpoint before
+  /// start_workers runs.
+  ShardDriver() = default;
+  /// Spins up the worker pool (or selects inline mode) over the already
+  /// populated shards_ — the shared tail of both construction paths.
+  void start_workers(std::size_t threads);
 
   bool inline_mode() const { return workers_.empty(); }
   void apply(Shard& shard, Op& op) const;

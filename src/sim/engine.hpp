@@ -16,6 +16,7 @@
 
 #include "instance/instance.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fleet.hpp"
 
 namespace osched {
 
@@ -28,39 +29,73 @@ class SimulationHooks {
 
   /// A scheduler-scheduled event (typically a completion) fires.
   virtual void on_event(const SimEvent& event, Time now) = 0;
+
+  /// A fleet-membership change fires (see sim/fleet.hpp). The default
+  /// aborts: hooks only receive these when driven with a non-empty
+  /// FleetPlan, and every shipped policy overrides this. A kFail may
+  /// re-dispatch or reject orphaned jobs synchronously.
+  virtual void on_fleet(const FleetEvent& event, Time now) {
+    (void)now;
+    OSCHED_CHECK(false) << "policy does not handle fleet event "
+                        << to_string(event.kind) << " for machine "
+                        << event.machine;
+  }
 };
 
 template <class Store>
 class SimEngineFor {
  public:
-  explicit SimEngineFor(const Store& store) : store_(store) {}
+  /// `plan` (optional, not owned, must outlive the engine) adds fleet
+  /// membership events to the merge. A null/empty plan compiles down to the
+  /// original two-way merge.
+  explicit SimEngineFor(const Store& store, const FleetPlan* plan = nullptr)
+      : store_(store), plan_(plan) {}
 
   EventQueue& events() { return events_; }
   Time now() const { return now_; }
 
-  /// Runs to quiescence: all arrivals delivered and the event queue drained.
-  /// Statically typed so the policy's handlers inline into the loop (the
-  /// batch entry points call this with the concrete policy type); the
-  /// virtual-dispatch form below serves type-erased callers.
+  /// Runs to quiescence: all arrivals delivered, fleet plan exhausted, and
+  /// the event queue drained. Statically typed so the policy's handlers
+  /// inline into the loop (the batch entry points call this with the
+  /// concrete policy type); the virtual-dispatch form below serves
+  /// type-erased callers.
+  ///
+  /// Tie order at equal timestamps: scheduler events, then fleet events,
+  /// then arrivals. Events-before-arrivals matches the paper's convention
+  /// (see the header comment); fleet-before-arrivals means a job arriving
+  /// the instant a machine fails is decided against the post-fail fleet,
+  /// which is the only order under which "never dispatch to a down
+  /// machine" can hold.
   template <class Hooks>
   void run(Hooks& hooks) {
     std::size_t next_arrival = 0;
+    std::size_t next_fleet = 0;
     const std::size_t n = store_.num_jobs();
+    const std::size_t nf = plan_ ? plan_->events.size() : 0;
 
     for (;;) {
       const Time arrival_time =
           next_arrival < n
               ? store_.job(static_cast<JobId>(next_arrival)).release
               : kTimeInfinity;
+      const Time fleet_time =
+          next_fleet < nf ? plan_->events[next_fleet].time : kTimeInfinity;
       const auto event_time = events_.peek_time();
 
-      if (next_arrival >= n && !event_time.has_value()) break;
+      if (next_arrival >= n && next_fleet >= nf && !event_time.has_value())
+        break;
 
-      if (event_time.has_value() && *event_time <= arrival_time) {
+      if (event_time.has_value() && *event_time <= fleet_time &&
+          *event_time <= arrival_time) {
         const SimEvent event = events_.pop();
         OSCHED_CHECK_GE(event.time, now_ - kTimeEps) << "event in the past";
         now_ = std::max(now_, event.time);
         hooks.on_event(event, now_);
+      } else if (next_fleet < nf && fleet_time <= arrival_time) {
+        const FleetEvent& event = plan_->events[next_fleet];
+        now_ = std::max(now_, event.time);
+        hooks.on_fleet(event, now_);
+        ++next_fleet;
       } else {
         OSCHED_CHECK_GE(arrival_time, now_ - kTimeEps) << "arrival in the past";
         now_ = std::max(now_, arrival_time);
@@ -74,6 +109,7 @@ class SimEngineFor {
 
  private:
   const Store& store_;
+  const FleetPlan* plan_ = nullptr;
   EventQueue events_;
   Time now_ = 0.0;
 };

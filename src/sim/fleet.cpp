@@ -1,0 +1,83 @@
+#include "sim/fleet.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace osched {
+
+const char* to_string(FleetEventKind kind) {
+  switch (kind) {
+    case FleetEventKind::kJoin: return "join";
+    case FleetEventKind::kDrain: return "drain";
+    case FleetEventKind::kFail: return "fail";
+  }
+  return "?";
+}
+
+std::string FleetPlan::validate(std::size_t num_machines) const {
+  std::ostringstream out;
+  auto complain = [&out]() -> std::ostringstream& {
+    if (out.tellp() > 0) out << "; ";
+    return out;
+  };
+
+  // 0 = active, 1 = draining, 2 = down — replay of the plan's transitions.
+  std::vector<int> state(num_machines, 0);
+  for (std::size_t k = 0; k < initially_down.size(); ++k) {
+    const MachineId i = initially_down[k];
+    if (i < 0 || static_cast<std::size_t>(i) >= num_machines) {
+      complain() << "initially_down[" << k << "]=" << i << " out of range";
+      continue;
+    }
+    if (state[static_cast<std::size_t>(i)] == 2) {
+      complain() << "machine " << i << " listed twice in initially_down";
+      continue;
+    }
+    state[static_cast<std::size_t>(i)] = 2;
+  }
+
+  Time prev = 0.0;
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const FleetEvent& e = events[k];
+    if (!std::isfinite(e.time) || e.time < 0.0) {
+      complain() << "event[" << k << "] time " << e.time << " invalid";
+      continue;
+    }
+    if (e.time < prev) {
+      complain() << "event[" << k << "] time " << e.time
+                 << " before predecessor " << prev;
+      continue;
+    }
+    prev = e.time;
+    if (e.machine < 0 || static_cast<std::size_t>(e.machine) >= num_machines) {
+      complain() << "event[" << k << "] machine " << e.machine
+                 << " out of range";
+      continue;
+    }
+    int& s = state[static_cast<std::size_t>(e.machine)];
+    switch (e.kind) {
+      case FleetEventKind::kJoin:
+        if (s == 0) {
+          complain() << "event[" << k << "] joins active machine " << e.machine;
+        }
+        s = 0;
+        break;
+      case FleetEventKind::kDrain:
+        if (s != 0) {
+          complain() << "event[" << k << "] drains non-active machine "
+                     << e.machine;
+        }
+        s = 1;
+        break;
+      case FleetEventKind::kFail:
+        if (s == 2) {
+          complain() << "event[" << k << "] fails down machine " << e.machine;
+        }
+        s = 2;
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace osched

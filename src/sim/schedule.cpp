@@ -47,6 +47,13 @@ void record_rejected_running(JobRecord& rec, JobId j, Time now) {
   rec.rejection_time = now;
 }
 
+void record_requeued(JobRecord& rec, JobId j, MachineId machine) {
+  OSCHED_CHECK(rec.fate == JobFate::kPending)
+      << "job " << j << " requeued while " << to_string(rec.fate);
+  rec.machine = machine;
+  rec.started = false;
+}
+
 void record_rejected_pending(JobRecord& rec, JobId j, Time now) {
   OSCHED_CHECK((rec.fate == JobFate::kPending && !rec.started) ||
                rec.fate == JobFate::kUnscheduled)
@@ -73,6 +80,10 @@ void Schedule::mark_rejected_running(JobId j, Time now) {
 
 void Schedule::mark_rejected_pending(JobId j, Time now) {
   record_rejected_pending(record(j), j, now);
+}
+
+void Schedule::mark_requeued(JobId j, MachineId machine) {
+  record_requeued(record(j), j, machine);
 }
 
 Time Schedule::flow_time(JobId j, const Instance& instance) const {

@@ -61,6 +61,11 @@ void record_started(JobRecord& rec, JobId j, Time start, Speed speed);
 void record_completed(JobRecord& rec, JobId j, Time end);
 void record_rejected_running(JobRecord& rec, JobId j, Time now);
 void record_rejected_pending(JobRecord& rec, JobId j, Time now);
+/// Moves a pending job to another machine after its machine failed. Resets
+/// `started` — a killed running job that is restarted (rather than shed)
+/// runs from scratch elsewhere: the non-preemptive model has no partial
+/// progress to carry over.
+void record_requeued(JobRecord& rec, JobId j, MachineId machine);
 
 class Schedule {
  public:
@@ -94,6 +99,8 @@ class Schedule {
   void mark_rejected_running(JobId j, Time now);
   /// Rejection of a job that never started (queue or at-arrival rejection).
   void mark_rejected_pending(JobId j, Time now);
+  /// Re-dispatch of a pending job after a machine failure (fleet mode).
+  void mark_requeued(JobId j, MachineId machine);
 
   // ---- Objective queries (require the paired instance) ----
 

@@ -1,0 +1,346 @@
+// Checkpoint/restore wall for streaming sessions and the shard driver.
+//
+// The contract (service/checkpoint.hpp): a checkpoint is a replay journal,
+// and restoring it yields a session BIT-IDENTICAL to the original — cutting
+// a stream at any point, checkpointing, restoring, and feeding the rest
+// must reproduce the uninterrupted run double-for-double (the streaming
+// differential wall supplies the underlying chunking-invariance). Damaged
+// blobs — truncated at every length, corrupted at every byte, wrong magic
+// or version — must come back as diagnostic errors, never aborts or
+// out-of-bounds reads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/scheduler_api.hpp"
+#include "fuzz_seed.hpp"
+#include "service/checkpoint.hpp"
+#include "service/scheduler_session.hpp"
+#include "service/shard_driver.hpp"
+#include "sim/schedule_io.hpp"
+#include "workload/generated_family.hpp"
+
+namespace osched {
+namespace {
+
+std::uint64_t base_seed() {
+  return testing::fuzz_base_seed("checkpoint_test", 11);
+}
+
+const api::Algorithm kStreamable[] = {
+    api::Algorithm::kTheorem1,    api::Algorithm::kTheorem2,
+    api::Algorithm::kWeightedExt, api::Algorithm::kGreedySpt,
+    api::Algorithm::kFifo,        api::Algorithm::kImmediateReject,
+};
+
+Instance make_workload(std::uint64_t seed, std::size_t n, std::size_t m) {
+  workload::ClosedFormConfig config;
+  config.num_jobs = n;
+  config.num_machines = m;
+  config.seed = seed;
+  config.load = 1.25;
+  return workload::make_closed_form_instance(config, StorageBackend::kDense);
+}
+
+void feed(service::SchedulerSession& session, const Instance& instance,
+          std::size_t from, std::size_t to) {
+  StreamJob job;
+  for (std::size_t idx = from; idx < to; ++idx) {
+    fill_stream_job(instance, static_cast<JobId>(idx), 0.0, &job);
+    session.submit(job);
+  }
+}
+
+void expect_identical(const api::RunSummary& expected,
+                      const api::RunSummary& actual,
+                      const std::string& context) {
+  ScheduleDiffOptions strict;
+  strict.time_tolerance = 0.0;
+  const auto diffs =
+      diff_schedules(expected.schedule, actual.schedule, strict);
+  EXPECT_TRUE(diffs.empty()) << context << ": " << diffs.size()
+                             << " schedule diffs; first: " << diffs.front();
+  EXPECT_EQ(expected.report.num_completed, actual.report.num_completed)
+      << context;
+  EXPECT_EQ(expected.report.num_rejected, actual.report.num_rejected)
+      << context;
+  EXPECT_EQ(expected.report.total_flow, actual.report.total_flow) << context;
+  EXPECT_EQ(expected.report.total_weighted_flow,
+            actual.report.total_weighted_flow)
+      << context;
+  EXPECT_EQ(expected.report.makespan, actual.report.makespan) << context;
+  EXPECT_EQ(expected.certified_lower_bound, actual.certified_lower_bound)
+      << context;
+  EXPECT_EQ(expected.rule1_rejections, actual.rule1_rejections) << context;
+  EXPECT_EQ(expected.rule2_rejections, actual.rule2_rejections) << context;
+  EXPECT_EQ(expected.fleet.redispatched, actual.fleet.redispatched) << context;
+  EXPECT_EQ(expected.fleet.fault_rejections, actual.fleet.fault_rejections)
+      << context;
+}
+
+TEST(Checkpoint, MidStreamRoundTripEveryAlgorithm) {
+  const Instance instance = make_workload(base_seed(), 300, 5);
+  for (const api::Algorithm algorithm : kStreamable) {
+    const std::string name = api::to_string(algorithm);
+
+    service::SchedulerSession uninterrupted(algorithm,
+                                            instance.num_machines());
+    feed(uninterrupted, instance, 0, instance.num_jobs());
+    const api::RunSummary reference = uninterrupted.drain();
+
+    service::SchedulerSession original(algorithm, instance.num_machines());
+    feed(original, instance, 0, instance.num_jobs() / 2);
+    const std::string blob = original.checkpoint();
+
+    std::string error;
+    auto restored = service::SchedulerSession::restore(blob, &error);
+    ASSERT_NE(restored, nullptr) << name << ": " << error;
+    EXPECT_EQ(restored->algorithm(), algorithm);
+    EXPECT_EQ(restored->num_machines(), instance.num_machines());
+    EXPECT_EQ(restored->now(), original.now()) << name;
+    EXPECT_EQ(restored->num_submitted(), original.num_submitted()) << name;
+    EXPECT_EQ(restored->num_decided(), original.num_decided()) << name;
+
+    // The restored session continues the stream...
+    feed(*restored, instance, instance.num_jobs() / 2, instance.num_jobs());
+    expect_identical(reference, restored->drain(), name + " restored");
+
+    // ...and checkpointing was non-destructive: the original continues too.
+    feed(original, instance, instance.num_jobs() / 2, instance.num_jobs());
+    expect_identical(reference, original.drain(), name + " original");
+  }
+}
+
+TEST(Checkpoint, RestoreAtEveryCutMatchesUninterrupted) {
+  // Cut the stream at every 7th submission (plus the empty and full cuts),
+  // checkpoint, restore, feed the remainder: the drained summary must equal
+  // the uninterrupted run's at every cut point. advance() past the cut
+  // release before checkpointing proves the clock itself round-trips.
+  const Instance instance = make_workload(base_seed() + 1, 120, 4);
+  service::SchedulerSession uninterrupted(api::Algorithm::kTheorem1,
+                                          instance.num_machines());
+  feed(uninterrupted, instance, 0, instance.num_jobs());
+  const api::RunSummary reference = uninterrupted.drain();
+
+  for (std::size_t cut = 0; cut <= instance.num_jobs(); cut += 7) {
+    service::SchedulerSession session(api::Algorithm::kTheorem1,
+                                      instance.num_machines());
+    feed(session, instance, 0, cut);
+    if (cut > 0 && cut < instance.num_jobs()) {
+      const Time here = instance.job(static_cast<JobId>(cut - 1)).release;
+      const Time next = instance.job(static_cast<JobId>(cut)).release;
+      session.advance(here + 0.5 * (next - here));
+    }
+    std::string error;
+    auto restored =
+        service::SchedulerSession::restore(session.checkpoint(), &error);
+    ASSERT_NE(restored, nullptr) << "cut=" << cut << ": " << error;
+    feed(*restored, instance, cut, instance.num_jobs());
+    expect_identical(reference, restored->drain(),
+                     "cut=" + std::to_string(cut));
+  }
+}
+
+TEST(Checkpoint, CarriesTheFleetPlanAndItsCursor) {
+  // Checkpoint in the middle of a fleet plan — after a fail already fired,
+  // before a join — and restore: the remaining fleet events must fire in
+  // the restored session exactly as in the uninterrupted run.
+  const Instance instance = make_workload(base_seed() + 2, 200, 5);
+  api::RunOptions run;
+  const Time t25 = instance.job(static_cast<JobId>(49)).release;
+  const Time t75 = instance.job(static_cast<JobId>(149)).release;
+  run.fleet.events = {{t25, 0, FleetEventKind::kFail},
+                      {t75, 0, FleetEventKind::kJoin}};
+  run.fleet.rejection_budget = 2;
+  service::SessionOptions options;
+  options.run = run;
+
+  service::SchedulerSession uninterrupted(api::Algorithm::kTheorem1,
+                                          instance.num_machines(), options);
+  feed(uninterrupted, instance, 0, instance.num_jobs());
+  const api::RunSummary reference = uninterrupted.drain();
+  EXPECT_EQ(reference.fleet.fails, 1u);
+  EXPECT_EQ(reference.fleet.joins, 1u);
+
+  service::SchedulerSession session(api::Algorithm::kTheorem1,
+                                    instance.num_machines(), options);
+  feed(session, instance, 0, 100);  // the fail fired; the join is pending
+  std::string error;
+  auto restored =
+      service::SchedulerSession::restore(session.checkpoint(), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  feed(*restored, instance, 100, instance.num_jobs());
+  const api::RunSummary resumed = restored->drain();
+  expect_identical(reference, resumed, "fleet checkpoint");
+  EXPECT_EQ(resumed.fleet.fails, 1u);
+  EXPECT_EQ(resumed.fleet.joins, 1u);
+}
+
+TEST(Checkpoint, TruncationAtEveryLengthIsDiagnosedNotUB) {
+  const Instance instance = make_workload(base_seed() + 3, 20, 3);
+  service::SchedulerSession session(api::Algorithm::kTheorem1,
+                                    instance.num_machines());
+  feed(session, instance, 0, instance.num_jobs());
+  const std::string blob = session.checkpoint();
+
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    std::string error;
+    const auto restored = service::SchedulerSession::restore(
+        std::string_view(blob.data(), len), &error);
+    EXPECT_EQ(restored, nullptr) << "prefix of " << len << " bytes restored";
+    EXPECT_FALSE(error.empty()) << "no diagnostic for a " << len
+                                << "-byte prefix";
+  }
+}
+
+TEST(Checkpoint, CorruptionAtEveryByteIsDiagnosedNotUB) {
+  const Instance instance = make_workload(base_seed() + 4, 20, 3);
+  service::SchedulerSession session(api::Algorithm::kTheorem1,
+                                    instance.num_machines());
+  feed(session, instance, 0, instance.num_jobs());
+  const std::string blob = session.checkpoint();
+
+  std::string damaged = blob;
+  for (std::size_t at = 0; at < blob.size(); ++at) {
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x5a);
+    std::string error;
+    const auto restored = service::SchedulerSession::restore(damaged, &error);
+    EXPECT_EQ(restored, nullptr) << "byte " << at << " flipped, restored anyway";
+    EXPECT_FALSE(error.empty()) << "no diagnostic for a flip at byte " << at;
+    damaged[at] = blob[at];
+  }
+}
+
+TEST(Checkpoint, WrongMagicVersionAndForgedFieldsAreDiagnosed) {
+  using service::CheckpointReader;
+  using service::CheckpointWriter;
+
+  std::string error;
+  EXPECT_EQ(service::SchedulerSession::restore("", &error), nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  // A validly checksummed blob with someone else's magic. (The u64 pad
+  // keeps these above open()'s minimum-header size, so the magic/version
+  // checks — not the truncation check — are what fires.)
+  {
+    CheckpointWriter w;
+    w.bytes("NOTACKPT", 8);
+    w.u32(service::kCheckpointVersion);
+    w.u64(0);
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  }
+
+  // Right magic, future version: must name both versions.
+  {
+    CheckpointWriter w;
+    w.bytes(service::kSessionCheckpointMagic, 8);
+    w.u32(99);
+    w.u64(0);
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+  }
+
+  // Structurally valid header whose machine count is an allocation bomb.
+  {
+    CheckpointWriter w;
+    w.bytes(service::kSessionCheckpointMagic, 8);
+    w.u32(service::kCheckpointVersion);
+    w.u32(0);                        // algorithm: theorem1
+    w.u64(0xffffffffffffULL);        // num_machines: absurd
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Checkpoint, LowMemoryAndDrainedSessionsRefuse) {
+  service::SessionOptions low_memory;
+  low_memory.run.validate = false;
+  low_memory.retain_records = false;
+  service::SchedulerSession session(api::Algorithm::kTheorem1, 2, low_memory);
+  EXPECT_DEATH(session.checkpoint(), "retain_records");
+
+  service::SchedulerSession done(api::Algorithm::kTheorem1, 2);
+  done.drain();
+  EXPECT_DEATH(done.checkpoint(), "drained");
+}
+
+TEST(ShardDriverCheckpoint, RoundTripAcrossThreadCounts) {
+  // Checkpoint a 4-tenant driver mid-stream; restore twice (inline mode and
+  // a real worker pool) and continue all three drivers identically: every
+  // tenant's drained summary must match, and match the uninterrupted run.
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kMachines = 4;
+  std::vector<Instance> tenants;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    tenants.push_back(make_workload(base_seed() + 50 + s, 200, kMachines));
+  }
+  const auto feed_driver = [&](service::ShardDriver& driver, std::size_t from,
+                               std::size_t to) {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (std::size_t k = from; k < to && k < tenants[s].num_jobs(); ++k) {
+        driver.submit(s, make_stream_job(tenants[s], static_cast<JobId>(k)));
+      }
+    }
+    driver.pump();
+  };
+
+  service::ShardDriverOptions options;
+  options.threads = 2;
+  service::ShardDriver original(api::Algorithm::kTheorem1, kShards, kMachines,
+                                options);
+  feed_driver(original, 0, 100);
+  const std::string blob = original.checkpoint();
+
+  std::string error;
+  auto inline_restore = service::ShardDriver::restore(blob, 1, &error);
+  ASSERT_NE(inline_restore, nullptr) << error;
+  EXPECT_EQ(inline_restore->worker_count(), 0u) << "threads=1 must run inline";
+  auto pooled_restore = service::ShardDriver::restore(blob, 4, &error);
+  ASSERT_NE(pooled_restore, nullptr) << error;
+
+  feed_driver(original, 100, 200);
+  feed_driver(*inline_restore, 100, 200);
+  feed_driver(*pooled_restore, 100, 200);
+  const auto a = original.drain_all();
+  const auto b = inline_restore->drain_all();
+  const auto c = pooled_restore->drain_all();
+  ASSERT_EQ(a.size(), kShards);
+  ASSERT_EQ(b.size(), kShards);
+  ASSERT_EQ(c.size(), kShards);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    service::SchedulerSession solo(api::Algorithm::kTheorem1, kMachines);
+    feed(solo, tenants[s], 0, tenants[s].num_jobs());
+    const api::RunSummary reference = solo.drain();
+    expect_identical(reference, a[s], "original shard " + std::to_string(s));
+    expect_identical(reference, b[s], "inline shard " + std::to_string(s));
+    expect_identical(reference, c[s], "pooled shard " + std::to_string(s));
+  }
+}
+
+TEST(ShardDriverCheckpoint, DamagedContainerIsDiagnosed) {
+  service::ShardDriver driver(api::Algorithm::kGreedySpt, 2, 2);
+  const std::string blob = driver.checkpoint();
+
+  std::string error;
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{7}, blob.size() / 2, blob.size() - 1}) {
+    EXPECT_EQ(service::ShardDriver::restore(
+                  std::string_view(blob.data(), len), 1, &error),
+              nullptr)
+        << len;
+    EXPECT_FALSE(error.empty());
+  }
+
+  // A session blob is not a driver blob (and vice versa).
+  service::SchedulerSession session(api::Algorithm::kGreedySpt, 2);
+  EXPECT_EQ(service::ShardDriver::restore(session.checkpoint(), 1, &error),
+            nullptr);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  EXPECT_EQ(service::SchedulerSession::restore(blob, &error), nullptr);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace osched

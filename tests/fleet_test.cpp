@@ -1,0 +1,381 @@
+// Fault-injection wall for dynamic fleet membership (sim/fleet.hpp).
+//
+// Three layers of guarantees:
+//  * semantics — hand-built instances pin down exactly what join/drain/fail
+//    do: a killed running job restarts elsewhere (or is shed under budget),
+//    queued work survives a drain, a join cancels a drain, initially-down
+//    machines are invisible until they join;
+//  * degradation — a fleet plan can starve or kill machines, but no policy
+//    may ever crash, deadlock, or leave a job undecided: every job completes
+//    or is rejected, across every algorithm x storage backend x plan shape,
+//    with the independent validator on;
+//  * equivalence — the indexed dispatch path and the linear-scan reference
+//    stay bit-identical under fleet masking, and a streamed session fed the
+//    same plan makes bit-identical decisions to the batch engine (fleet
+//    events share the completions' delivery discipline, so the streaming
+//    differential contract extends to them).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "api/scheduler_api.hpp"
+#include "baselines/list_scheduler.hpp"
+#include "core/energy_flow/energy_flow.hpp"
+#include "core/flow/rejection_flow.hpp"
+#include "extensions/weighted_flow.hpp"
+#include "fuzz_seed.hpp"
+#include "service/scheduler_session.hpp"
+#include "sim/schedule_io.hpp"
+#include "workload/generated_family.hpp"
+
+namespace osched {
+namespace {
+
+std::uint64_t base_seed() { return testing::fuzz_base_seed("fleet_test", 7); }
+
+const api::Algorithm kFleetCapable[] = {
+    api::Algorithm::kTheorem1,    api::Algorithm::kTheorem2,
+    api::Algorithm::kWeightedExt, api::Algorithm::kGreedySpt,
+    api::Algorithm::kFifo,        api::Algorithm::kImmediateReject,
+};
+
+/// Dense two-machine instance from explicit (release, p_m0, p_m1) rows.
+Instance two_machine_instance(
+    const std::vector<std::array<double, 3>>& rows) {
+  std::vector<Job> jobs(rows.size());
+  std::vector<std::vector<Work>> processing(2,
+                                            std::vector<Work>(rows.size()));
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    jobs[k].id = static_cast<JobId>(k);
+    jobs[k].release = rows[k][0];
+    processing[0][k] = rows[k][1];
+    processing[1][k] = rows[k][2];
+  }
+  return Instance(std::move(jobs), std::move(processing));
+}
+
+/// `f`-quantile of the instance's (sorted) release times — fleet plans built
+/// from these land exactly on arrival instants, exercising the
+/// events<=fleet<=arrivals tie order.
+Time release_quantile(const Instance& instance, double f) {
+  const auto last = static_cast<double>(instance.num_jobs() - 1);
+  const auto idx = static_cast<JobId>(f * last);
+  return instance.job(idx).release;
+}
+
+/// Kill/recover churn: fail machine 0 early, bring it back, fail machine 1
+/// late, with a small shed budget.
+FleetPlan churn_plan(const Instance& instance) {
+  FleetPlan plan;
+  plan.events = {
+      {release_quantile(instance, 0.25), 0, FleetEventKind::kFail},
+      {release_quantile(instance, 0.50), 0, FleetEventKind::kJoin},
+      {release_quantile(instance, 0.75), 1, FleetEventKind::kFail},
+  };
+  plan.rejection_budget = 3;
+  return plan;
+}
+
+/// Capacity churn without sheds: a machine that starts outside the fleet,
+/// a drain later cancelled by a join, and a no-budget fail whose killed job
+/// must be restarted (shed_killed_running off).
+FleetPlan drain_plan(const Instance& instance) {
+  FleetPlan plan;
+  plan.initially_down = {2};
+  plan.events = {
+      {release_quantile(instance, 0.25), 3, FleetEventKind::kDrain},
+      {release_quantile(instance, 0.40), 2, FleetEventKind::kJoin},
+      {release_quantile(instance, 0.60), 4, FleetEventKind::kFail},
+      {release_quantile(instance, 0.80), 3, FleetEventKind::kJoin},
+  };
+  plan.rejection_budget = 0;
+  plan.shed_killed_running = false;
+  return plan;
+}
+
+TEST(FleetPlan, ValidateCatchesStructuralProblems) {
+  const auto problems_of = [](const FleetPlan& plan, std::size_t m) {
+    return plan.validate(m);
+  };
+
+  FleetPlan ok;
+  ok.events = {{1.0, 0, FleetEventKind::kFail},
+               {2.0, 0, FleetEventKind::kJoin}};
+  EXPECT_EQ(problems_of(ok, 2), "");
+
+  FleetPlan out_of_range;
+  out_of_range.events = {{1.0, 5, FleetEventKind::kFail}};
+  EXPECT_NE(problems_of(out_of_range, 2), "");
+
+  FleetPlan unsorted;
+  unsorted.events = {{2.0, 0, FleetEventKind::kFail},
+                     {1.0, 1, FleetEventKind::kFail}};
+  EXPECT_NE(problems_of(unsorted, 2), "");
+
+  FleetPlan join_of_active;
+  join_of_active.events = {{1.0, 0, FleetEventKind::kJoin}};
+  EXPECT_NE(problems_of(join_of_active, 2), "");
+
+  FleetPlan drain_of_down;
+  drain_of_down.events = {{1.0, 0, FleetEventKind::kFail},
+                          {2.0, 0, FleetEventKind::kDrain}};
+  EXPECT_NE(problems_of(drain_of_down, 2), "");
+
+  FleetPlan fail_of_down;
+  fail_of_down.events = {{1.0, 0, FleetEventKind::kFail},
+                         {2.0, 0, FleetEventKind::kFail}};
+  EXPECT_NE(problems_of(fail_of_down, 2), "");
+
+  FleetPlan dup_down;
+  dup_down.initially_down = {1, 1};
+  EXPECT_NE(problems_of(dup_down, 2), "");
+
+  FleetPlan negative_time;
+  negative_time.events = {{-1.0, 0, FleetEventKind::kFail}};
+  EXPECT_NE(problems_of(negative_time, 2), "");
+}
+
+TEST(FleetSemantics, FailRestartsTheKilledRunningJobElsewhere) {
+  // One job, running on the faster machine when it fails mid-execution.
+  // Non-preemptive: the 5 time units of progress are lost; with no shed
+  // budget the job must restart from scratch on the survivor.
+  const Instance instance = two_machine_instance({{0.0, 10.0, 20.0}});
+  ListSchedulerOptions options;  // greedy-spt: picks machine 0 (10 < 20)
+  options.fleet.events = {{5.0, 0, FleetEventKind::kFail}};
+  FleetStats stats;
+  const Schedule schedule = run_list_scheduler(instance, options, &stats);
+
+  const JobRecord& rec = schedule.record(0);
+  EXPECT_TRUE(rec.completed());
+  EXPECT_EQ(rec.machine, 1);
+  EXPECT_EQ(rec.start, 5.0);   // restarted the instant the fail hit
+  EXPECT_EQ(rec.end, 25.0);    // full p_1j = 20 from scratch
+  EXPECT_EQ(stats.fails, 1u);
+  EXPECT_EQ(stats.redispatched, 1u);
+  EXPECT_EQ(stats.fault_rejections, 0u);
+}
+
+TEST(FleetSemantics, BudgetShedsTheKilledRunningJobInstead) {
+  const Instance instance = two_machine_instance({{0.0, 10.0, 20.0}});
+  ListSchedulerOptions options;
+  options.fleet.events = {{5.0, 0, FleetEventKind::kFail}};
+  options.fleet.rejection_budget = 1;  // shed_killed_running defaults on
+  FleetStats stats;
+  const Schedule schedule = run_list_scheduler(instance, options, &stats);
+
+  const JobRecord& rec = schedule.record(0);
+  EXPECT_EQ(rec.fate, JobFate::kRejectedRunning);
+  EXPECT_EQ(rec.rejection_time, 5.0);
+  EXPECT_EQ(stats.fault_rejections, 1u);
+  EXPECT_EQ(stats.budget_spent, 1u);
+  EXPECT_EQ(stats.redispatched, 0u);
+}
+
+TEST(FleetSemantics, TotalFleetLossForceRejectsButNeverDeadlocks) {
+  // Machine 0 dies holding a running job; the only other machine is never
+  // in the fleet. The killed job and the post-fail arrival both have no
+  // active eligible machine: forced rejections, past the zero budget — the
+  // run completes and validates rather than wedging.
+  std::vector<Job> jobs(2);
+  jobs[0].id = 0;
+  jobs[0].release = 0.0;
+  jobs[1].id = 1;
+  jobs[1].release = 6.0;
+  Instance instance(std::move(jobs), {{10.0, 5.0}});
+
+  for (const api::Algorithm algorithm : kFleetCapable) {
+    api::RunOptions options;
+    options.fleet.events = {{5.0, 0, FleetEventKind::kFail}};
+    const api::RunSummary summary = api::run(algorithm, instance, options);
+    EXPECT_EQ(summary.report.num_rejected, 2u) << api::to_string(algorithm);
+    EXPECT_EQ(summary.report.num_completed, 0u) << api::to_string(algorithm);
+    EXPECT_EQ(summary.fleet.forced_rejections, 2u) << api::to_string(algorithm);
+    EXPECT_EQ(summary.fleet.fault_rejections, 2u) << api::to_string(algorithm);
+  }
+}
+
+TEST(FleetSemantics, DrainFinishesQueuedWorkAndJoinCancelsIt) {
+  const Instance instance = two_machine_instance({
+      {0.0, 4.0, 4.5},    // -> m0, runs [0, 4)
+      {0.0, 4.0, 4.5},    // -> m1 (m0 busy), runs [0, 4.5)
+      {1.0, 1.0, 1.0},    // -> m0's queue; must survive the drain
+      {3.0, 1.0, 3.0},    // arrives while m0 drains -> m1
+      {7.0, 1.0, 100.0},  // arrives after m0 rejoined -> m0
+  });
+  ListSchedulerOptions options;
+  options.fleet.events = {{2.0, 0, FleetEventKind::kDrain},
+                          {6.0, 0, FleetEventKind::kJoin}};
+  FleetStats stats;
+  const Schedule schedule = run_list_scheduler(instance, options, &stats);
+
+  EXPECT_EQ(schedule.record(2).machine, 0);  // queued before the drain: stays
+  EXPECT_TRUE(schedule.record(2).completed());
+  EXPECT_EQ(schedule.record(3).machine, 1);  // drain masks m0 for new work
+  EXPECT_EQ(schedule.record(4).machine, 0);  // join cancelled the drain
+  EXPECT_EQ(stats.drains, 1u);
+  EXPECT_EQ(stats.joins, 1u);
+  EXPECT_EQ(stats.fails, 0u);
+}
+
+TEST(FleetSemantics, InitiallyDownMachineIsInvisibleUntilItJoins) {
+  const Instance instance = two_machine_instance({
+      {0.0, 5.0, 0.5},  // m1 would win, but it is not in the fleet yet
+      {2.0, 5.0, 0.5},  // after the join m1 wins on merit
+  });
+  ListSchedulerOptions options;
+  options.fleet.initially_down = {1};
+  options.fleet.events = {{1.0, 1, FleetEventKind::kJoin}};
+  FleetStats stats;
+  const Schedule schedule = run_list_scheduler(instance, options, &stats);
+
+  EXPECT_EQ(schedule.record(0).machine, 0);
+  EXPECT_EQ(schedule.record(1).machine, 1);
+  EXPECT_EQ(stats.joins, 1u);
+}
+
+TEST(FleetWall, NoPolicyCrashesOrLeaksJobsOnAnyBackend) {
+  // The degradation wall: every algorithm x every storage backend x both
+  // plan shapes, with the independent validator on. Machines die holding
+  // running and queued jobs; every job must still end terminal.
+  const StorageBackend backends[] = {StorageBackend::kDense,
+                                     StorageBackend::kSparseCsr,
+                                     StorageBackend::kGenerator};
+  for (std::uint64_t s = 0; s < 2; ++s) {
+    workload::ClosedFormConfig config;
+    config.num_jobs = 250;
+    config.num_machines = 6;
+    config.seed = base_seed() + 31 * s;
+    config.load = 1.3;
+    for (const StorageBackend backend : backends) {
+      const Instance instance =
+          workload::make_closed_form_instance(config, backend);
+      const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance)};
+      for (std::size_t p = 0; p < 2; ++p) {
+        for (const api::Algorithm algorithm : kFleetCapable) {
+          api::RunOptions options;
+          options.fleet = plans[p];
+          const api::RunSummary summary =
+              api::run(algorithm, instance, options);
+          const std::string context = std::string(api::to_string(algorithm)) +
+                                      " backend=" + to_string(backend) +
+                                      " plan=" + std::to_string(p) +
+                                      " seed+=" + std::to_string(31 * s);
+          EXPECT_EQ(summary.report.num_completed + summary.report.num_rejected,
+                    config.num_jobs)
+              << context << ": a job was left undecided";
+          const FleetStats& fleet = summary.fleet;
+          const std::size_t expected_fails = p == 0 ? 2u : 1u;
+          EXPECT_EQ(fleet.fails, expected_fails) << context;
+          EXPECT_LE(fleet.budget_spent, plans[p].rejection_budget) << context;
+          EXPECT_LE(fleet.forced_rejections, fleet.fault_rejections) << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(FleetWall, IndexedDispatchMatchesLinearScanUnderFleetMasking) {
+  // The PR-4 dispatch index masks inactive machines out of its float-shadow
+  // sweep; the linear-scan reference simply skips them. Both must remain
+  // bit-identical with machines failing, draining, and joining mid-run.
+  workload::ClosedFormConfig config;
+  config.num_jobs = 300;
+  config.num_machines = 6;
+  config.seed = base_seed() + 101;
+  config.load = 1.2;
+  const Instance instance =
+      workload::make_closed_form_instance(config, StorageBackend::kDense);
+  const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance)};
+
+  ScheduleDiffOptions strict;
+  strict.time_tolerance = 0.0;
+  for (const FleetPlan& plan : plans) {
+    {
+      RejectionFlowOptions a{.fleet = plan};
+      RejectionFlowOptions b{.dispatch = DispatchMode::kLinearScan,
+                             .fleet = plan};
+      const auto indexed = run_rejection_flow(instance, a);
+      const auto linear = run_rejection_flow(instance, b);
+      const auto diffs =
+          diff_schedules(indexed.schedule, linear.schedule, strict);
+      EXPECT_TRUE(diffs.empty()) << "theorem1: " << diffs.size() << " diffs";
+      EXPECT_EQ(indexed.fleet.redispatched, linear.fleet.redispatched);
+    }
+    {
+      EnergyFlowOptions a;
+      a.fleet = plan;
+      EnergyFlowOptions b = a;
+      b.dispatch = DispatchMode::kLinearScan;
+      const auto indexed = run_energy_flow(instance, a);
+      const auto linear = run_energy_flow(instance, b);
+      const auto diffs =
+          diff_schedules(indexed.schedule, linear.schedule, strict);
+      EXPECT_TRUE(diffs.empty()) << "theorem2: " << diffs.size() << " diffs";
+      EXPECT_EQ(indexed.fleet.redispatched, linear.fleet.redispatched);
+    }
+    {
+      WeightedFlowOptions a{.fleet = plan};
+      WeightedFlowOptions b{.dispatch = DispatchMode::kLinearScan,
+                            .fleet = plan};
+      const auto indexed = run_weighted_rejection_flow(instance, a);
+      const auto linear = run_weighted_rejection_flow(instance, b);
+      const auto diffs =
+          diff_schedules(indexed.schedule, linear.schedule, strict);
+      EXPECT_TRUE(diffs.empty()) << "weighted: " << diffs.size() << " diffs";
+      EXPECT_EQ(indexed.fleet.redispatched, linear.fleet.redispatched);
+    }
+  }
+}
+
+TEST(FleetWall, StreamedFleetRunIsBitIdenticalToBatch) {
+  // The streaming differential contract extended to fleet plans: fleet
+  // events are delivered with the completions' discipline, so any chunking
+  // (including chunk=1, with advance() calls landing between fleet events)
+  // reproduces the batch run exactly — schedule, report, and counters.
+  workload::ClosedFormConfig config;
+  config.num_jobs = 250;
+  config.num_machines = 6;
+  config.seed = base_seed() + 202;
+  config.load = 1.25;
+  const Instance instance =
+      workload::make_closed_form_instance(config, StorageBackend::kDense);
+
+  ScheduleDiffOptions strict;
+  strict.time_tolerance = 0.0;
+  const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance)};
+  for (const FleetPlan& plan : plans) {
+    api::RunOptions options;
+    options.fleet = plan;
+    for (const api::Algorithm algorithm : kFleetCapable) {
+      const api::RunSummary batch = api::run(algorithm, instance, options);
+      for (const std::size_t chunk : {std::size_t{1}, std::size_t{64}}) {
+        const api::RunSummary streamed =
+            service::streamed_run(algorithm, instance, options, chunk);
+        const std::string context = std::string(api::to_string(algorithm)) +
+                                    " chunk=" + std::to_string(chunk);
+        const auto diffs =
+            diff_schedules(batch.schedule, streamed.schedule, strict);
+        EXPECT_TRUE(diffs.empty())
+            << context << ": " << diffs.size() << " schedule diffs";
+        EXPECT_EQ(batch.report.total_flow, streamed.report.total_flow)
+            << context;
+        EXPECT_EQ(batch.report.num_rejected, streamed.report.num_rejected)
+            << context;
+        EXPECT_EQ(batch.fleet.redispatched, streamed.fleet.redispatched)
+            << context;
+        EXPECT_EQ(batch.fleet.fault_rejections, streamed.fleet.fault_rejections)
+            << context;
+        EXPECT_EQ(batch.fleet.forced_rejections, streamed.fleet.forced_rejections)
+            << context;
+        EXPECT_EQ(batch.fleet.budget_spent, streamed.fleet.budget_spent)
+            << context;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osched
