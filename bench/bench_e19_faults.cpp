@@ -1,7 +1,8 @@
 // E19 — dynamic-fleet fault injection (registered scenario "e19_faults").
 //
 // The tier behind the fleet-membership subsystem (sim/fleet.hpp): one
-// closed-form workload is driven through kill / drain / join schedules
+// closed-form workload is driven through kill / drain / join schedules —
+// plus a throttle/recovery speed-change pair riding along on machine 3 —
 // across every streamable policy and every storage backend, and each cell
 // ALSO cuts the same run in half through a checkpoint/restore cycle
 // (service/checkpoint.hpp). The verdict asserts the subsystem's contracts
@@ -43,7 +44,9 @@ using harness::UnitContext;
 using harness::Verdict;
 
 /// Kill / drain / join schedule pinned to release-time quantiles: machine 0
-/// fails early, machine 1 drains, both come back, machine 2 fails late.
+/// fails early, machine 1 drains, both come back, machine 2 fails late —
+/// plus a throttle/recovery pair on machine 3, so every cell also carries a
+/// mid-run speed change through the churn (and through the checkpoint cut).
 FleetPlan make_churn_plan(const Instance& instance, std::uint64_t budget) {
   const auto at = [&](double fraction) {
     const auto idx = static_cast<JobId>(
@@ -52,9 +55,11 @@ FleetPlan make_churn_plan(const Instance& instance, std::uint64_t budget) {
   };
   FleetPlan plan;
   plan.events = {{at(0.20), 0, FleetEventKind::kFail},
+                 {at(0.30), 3, FleetEventKind::kSpeedChange, 0.5},
                  {at(0.35), 1, FleetEventKind::kDrain},
                  {at(0.55), 0, FleetEventKind::kJoin},
                  {at(0.70), 2, FleetEventKind::kFail},
+                 {at(0.80), 3, FleetEventKind::kSpeedChange, 1.0},
                  {at(0.85), 1, FleetEventKind::kJoin}};
   plan.rejection_budget = budget;
   return plan;
@@ -130,6 +135,10 @@ MetricRow run_e19_unit(const UnitContext& ctx) {
   row.set("fault_rejections",
           static_cast<double>(summary.fleet.fault_rejections));
   row.set("budget_spent", static_cast<double>(summary.fleet.budget_spent));
+  row.set("speed_changes", static_cast<double>(summary.fleet.speed_changes));
+  row.set("throttles", static_cast<double>(summary.fleet.throttles));
+  row.set("recoveries", static_cast<double>(summary.fleet.recoveries));
+  row.set("min_speed", summary.fleet.min_speed_multiplier);
   row.set("ckpt_match", ckpt_match);
   return row;
 }
@@ -192,6 +201,13 @@ Scenario make_e19() {
           result.metric("fleet_joins").mean() != 2.0) {
         return Verdict{false, result.spec.label + ": fleet schedule not fully "
                                              "observed"};
+      }
+      if (result.metric("speed_changes").mean() != 2.0 ||
+          result.metric("throttles").mean() != 1.0 ||
+          result.metric("recoveries").mean() != 1.0 ||
+          result.metric("min_speed").mean() != 0.5) {
+        return Verdict{false, result.spec.label +
+                                  ": speed schedule not fully observed"};
       }
       if (n <= 0.0) {
         return Verdict{false, result.spec.label + ": no jobs accounted for"};

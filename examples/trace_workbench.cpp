@@ -9,7 +9,8 @@
 //   ./trace_workbench --mode=inspect --in=/tmp/trace.csv
 //   ./trace_workbench --mode=run --in=/tmp/trace.csv --algo=theorem1 --eps=0.2
 //   ./trace_workbench --mode=stream --in=/tmp/trace.csv --algo=theorem1
-//       --fail=4.0:0 --join=9.0:0 --budget=8
+//       --fail=4.0:0 --join=9.0:0 --budget=8 --speed=2.0:1:0.5,8.0:1:1.0
+//       --window-cap=64 --shed-budget=16
 //       --checkpoint-at=6.0 --checkpoint-out=/tmp/session.ckpt
 //   ./trace_workbench --mode=restore --from=/tmp/session.ckpt
 //       --in=/tmp/trace.csv
@@ -145,8 +146,41 @@ bool parse_fleet_events(const std::string& spec, FleetEventKind kind,
   return true;
 }
 
-/// Builds the FleetPlan from --fail/--drain/--join/--down/--budget. Returns
-/// false (with a message) on malformed flags or an invalid plan.
+/// Parses the "time:machine:multiplier,..." --speed flag into kSpeedChange
+/// events (multiplier > 1 is a recovery/boost, < 1 a throttle; it applies
+/// to jobs STARTED at or after the event — in-flight work is never
+/// rescaled).
+bool parse_speed_events(const std::string& spec, std::vector<FleetEvent>* out) {
+  std::stringstream items(spec);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    const auto first = item.find(':');
+    const auto second =
+        first == std::string::npos ? first : item.find(':', first + 1);
+    if (second == std::string::npos) {
+      std::cerr << "bad speed event '" << item
+                << "' (want time:machine:multiplier)\n";
+      return false;
+    }
+    FleetEvent event;
+    event.kind = FleetEventKind::kSpeedChange;
+    try {
+      event.time = std::stod(item.substr(0, first));
+      event.machine = static_cast<MachineId>(
+          std::stol(item.substr(first + 1, second - first - 1)));
+      event.speed = std::stod(item.substr(second + 1));
+    } catch (const std::exception&) {
+      std::cerr << "bad speed event '" << item
+                << "' (want time:machine:multiplier)\n";
+      return false;
+    }
+    out->push_back(event);
+  }
+  return true;
+}
+
+/// Builds the FleetPlan from --fail/--drain/--join/--speed/--down/--budget.
+/// Returns false (with a message) on malformed flags or an invalid plan.
 bool build_fleet_plan(const util::Cli& cli, std::size_t num_machines,
                       FleetPlan* plan) {
   if (!parse_fleet_events(cli.str("fail"), FleetEventKind::kFail,
@@ -154,7 +188,8 @@ bool build_fleet_plan(const util::Cli& cli, std::size_t num_machines,
       !parse_fleet_events(cli.str("drain"), FleetEventKind::kDrain,
                           &plan->events) ||
       !parse_fleet_events(cli.str("join"), FleetEventKind::kJoin,
-                          &plan->events)) {
+                          &plan->events) ||
+      !parse_speed_events(cli.str("speed"), &plan->events)) {
     return false;
   }
   std::stable_sort(plan->events.begin(), plan->events.end(),
@@ -180,7 +215,8 @@ bool build_fleet_plan(const util::Cli& cli, std::size_t num_machines,
   return true;
 }
 
-void print_session_summary(const api::RunSummary& summary) {
+void print_session_summary(const service::SchedulerSession& session,
+                           const api::RunSummary& summary) {
   std::cout << to_string(summary.report) << "\n";
   const FleetStats& fleet = summary.fleet;
   if (fleet.joins + fleet.drains + fleet.fails > 0) {
@@ -192,6 +228,21 @@ void print_session_summary(const api::RunSummary& summary) {
     table.row("fault rejections", static_cast<int>(fleet.fault_rejections));
     table.row("forced rejections", static_cast<int>(fleet.forced_rejections));
     table.row("budget spent", static_cast<int>(fleet.budget_spent));
+    table.print(std::cout);
+  }
+  if (fleet.speed_changes > 0) {
+    util::Table table({"speed counter", "value"});
+    table.row("speed changes", static_cast<int>(fleet.speed_changes));
+    table.row("throttles", static_cast<int>(fleet.throttles));
+    table.row("recoveries", static_cast<int>(fleet.recoveries));
+    table.row("min multiplier", fleet.min_speed_multiplier);
+    table.print(std::cout);
+  }
+  if (session.num_shed() + session.num_backpressured() > 0) {
+    util::Table table({"overload counter", "value"});
+    table.row("sheds", static_cast<int>(session.num_shed()));
+    table.row("backpressured", static_cast<int>(session.num_backpressured()));
+    table.row("max live jobs", static_cast<int>(session.max_live_jobs()));
     table.print(std::cout);
   }
 }
@@ -212,12 +263,33 @@ int stream(const util::Cli& cli, const Instance& instance) {
   service::SessionOptions options;
   options.run.epsilon = cli.num("eps");
   options.run.alpha = cli.num("alpha");
+  options.live_window_cap = static_cast<std::size_t>(cli.integer("window-cap"));
+  options.shed_budget = static_cast<std::size_t>(cli.integer("shed-budget"));
   if (!build_fleet_plan(cli, instance.num_machines(), &options.run.fleet)) {
     return 1;
   }
 
   service::SchedulerSession session(*algorithm, instance.num_machines(),
                                     options);
+  // Under a window cap a saturated submit is refused, not fatal: the
+  // operator contract (docs/OPERATIONS.md) is to re-offer the arrival with
+  // its release pushed back one backoff step, letting the events due by the
+  // new release fire and free slots.
+  const Time backoff =
+      instance.num_jobs() > 0
+          ? std::max(instance.job(static_cast<JobId>(instance.num_jobs() - 1))
+                             .release /
+                         static_cast<double>(instance.num_jobs()) * 4.0,
+                     1e-3)
+          : 1.0;
+  const auto submit_with_backoff = [&](service::SchedulerSession& target,
+                                       StreamJob& pending) {
+    pending.release = std::max(pending.release, target.now());
+    while (target.try_submit(pending) ==
+           service::SubmitOutcome::kBackpressure) {
+      pending.release += backoff;
+    }
+  };
   const double checkpoint_at = cli.num("checkpoint-at");
   const std::string checkpoint_out = cli.str("checkpoint-out");
   bool checkpointed = checkpoint_out.empty();  // nothing to cut
@@ -237,13 +309,14 @@ int stream(const util::Cli& cli, const Instance& instance) {
                 << session.now() << ") -> " << checkpoint_out << "\n";
       checkpointed = true;
     }
-    session.submit(job);
+    submit_with_backoff(session, job);
   }
   if (!checkpointed) {
     std::cerr << "warning: --checkpoint-at=" << checkpoint_at
               << " is past the last arrival; no checkpoint written\n";
   }
-  print_session_summary(session.drain());
+  const api::RunSummary summary = session.drain();
+  print_session_summary(session, summary);
   return 0;
 }
 
@@ -279,13 +352,28 @@ int restore(const util::Cli& cli, const Instance& instance) {
               << "\n";
     return 1;
   }
+  // The restored session carries its window cap and shed budget in the
+  // blob, so the tail feed honours the same backpressure contract as
+  // --mode=stream.
+  const Time backoff =
+      instance.num_jobs() > 0
+          ? std::max(instance.job(static_cast<JobId>(instance.num_jobs() - 1))
+                             .release /
+                         static_cast<double>(instance.num_jobs()) * 4.0,
+                     1e-3)
+          : 1.0;
   StreamJob job;
   for (std::size_t j = session->num_submitted(); j < instance.num_jobs();
        ++j) {
     fill_stream_job(instance, static_cast<JobId>(j), 0.0, &job);
-    session->submit(job);
+    job.release = std::max(job.release, session->now());
+    while (session->try_submit(job) ==
+           service::SubmitOutcome::kBackpressure) {
+      job.release += backoff;
+    }
   }
-  print_session_summary(session->drain());
+  const api::RunSummary summary = session->drain();
+  print_session_summary(*session, summary);
   return 0;
 }
 
@@ -312,7 +400,14 @@ int main(int argc, char** argv) {
   cli.flag("drain", "", "stream: drain schedule, time:machine[,...]");
   cli.flag("join", "", "stream: join schedule, time:machine[,...]");
   cli.flag("down", "", "stream: machines outside the fleet at t=0, id[,id]");
+  cli.flag("speed", "",
+           "stream: speed schedule, time:machine:multiplier[,...]");
   cli.flag("budget", "0", "stream: fault rejection budget");
+  cli.flag("window-cap", "0",
+           "stream: live-window cap (0 = uncapped); refused arrivals are "
+           "re-offered with a release backoff");
+  cli.flag("shed-budget", "0",
+           "stream: overload sheds allowed before backpressure");
   cli.flag("checkpoint-at", "0", "stream: cut a checkpoint at this time");
   cli.flag("checkpoint-out", "", "stream: write the checkpoint blob here");
   cli.flag("from", "", "restore: checkpoint blob to resume from");

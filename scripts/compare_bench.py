@@ -8,6 +8,13 @@ Compares a baseline report against a current one, metric by metric:
   drop by up to that fraction, seconds/RSS may grow by up to that fraction,
   before the diff counts as a perf regression. Direction matters — getting
   faster or smaller is never a regression.
+* Metrics prefixed "seeded_" are deterministic ONLY per seed (e20's chaos
+  schedule moves with --seed): they are compared exactly, like the
+  deterministic class below, but only when both reports carry the same
+  top-level root_seed and scale; otherwise they are skipped with an
+  informational note (never promoted to an error by --fail-on-missing —
+  a rotating-seed CI report is expected to disagree with the committed
+  baseline on them).
 * Every other metric is treated as a deterministic output of (seed, scale)
   — rejected counts, flow times, dual objectives — and must match exactly
   (mean, min and max). A mismatch means the two binaries scheduled
@@ -61,6 +68,16 @@ def is_rss_metric(name: str) -> bool:
 # that silently lost its rejected/completed/total_flow columns must never
 # pass the cross-binary correctness gate.
 CORE_DETERMINISTIC = ("rejected", "completed", "total_flow")
+
+# Deterministic per seed, not per binary: the value is an exact function of
+# (root_seed, scale) — e20's chaos schedules are drawn from the root seed —
+# so exact comparison is only meaningful between same-seed, same-scale
+# reports. Everywhere else these are skipped, not warned about.
+SEEDED_PREFIX = "seeded_"
+
+
+def is_seeded_metric(name: str) -> bool:
+    return name.startswith(SEEDED_PREFIX)
 
 
 def is_perf_metric(name: str) -> bool:
@@ -146,13 +163,24 @@ def main() -> None:
                              "errors instead of warnings")
     args = parser.parse_args()
 
-    base = index_cases(load_report(args.baseline))
-    cur = index_cases(load_report(args.current))
+    base_report = load_report(args.baseline)
+    cur_report = load_report(args.current)
+    base = index_cases(base_report)
+    cur = index_cases(cur_report)
+
+    # seeded_* metrics are only comparable between reports generated from
+    # the same root seed at the same scale (see module docstring).
+    seeds_comparable = (
+        base_report.get("root_seed") is not None
+        and base_report.get("root_seed") == cur_report.get("root_seed")
+        and base_report.get("scale") == cur_report.get("scale")
+    )
 
     perf_regressions = []
     determinism_errors = []
     warnings = []
     compared = 0
+    seeded_skipped = 0
 
     for key in sorted(set(base) | set(cur)):
         scenario, label = key
@@ -179,8 +207,21 @@ def main() -> None:
                     warnings.append(f"{scenario}/{label}/{name}: only in {side}")
                 continue
             b, c = base[key][name], cur[key][name]
-            compared += 1
             where = f"{scenario}/{label}/{name}"
+            if is_seeded_metric(name):
+                if not seeds_comparable:
+                    seeded_skipped += 1
+                    continue
+                compared += 1
+                for stat in ("mean", "min", "max"):
+                    if b.get(stat) != c.get(stat):
+                        determinism_errors.append(
+                            f"{where}.{stat}: {b.get(stat)!r} != "
+                            f"{c.get(stat)!r} (seeded metric must match "
+                            f"exactly between same-seed reports)")
+                        break
+                continue
+            compared += 1
             if is_perf_metric(name):
                 b_mean, c_mean = b.get("mean"), c.get("mean")
                 if not b_mean or b_mean <= 0 or c_mean is None:
@@ -220,6 +261,10 @@ def main() -> None:
         print(f"compare_bench: DETERMINISM MISMATCH: {message}",
               file=sys.stderr)
 
+    if seeded_skipped:
+        print(f"compare_bench: note: skipped {seeded_skipped} seeded_* "
+              f"metric(s) — reports differ in root_seed or scale, so "
+              f"seed-dependent outputs are not comparable")
     print(f"compare_bench: compared {compared} metrics: "
           f"{len(perf_regressions)} perf regression(s), "
           f"{len(determinism_errors)} determinism mismatch(es), "

@@ -51,6 +51,7 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     OSCHED_CHECK_LT(options.eps, 1.0);
     OSCHED_CHECK_GE(options.patience, 0.0);
     fleet_.init(store.num_machines(), options.fleet);
+    fleet_speed_ = fleet_.has_speed_events();
   }
 
   void on_arrival(JobId j, Time now) override {
@@ -68,7 +69,10 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     }
 
     // The IMMEDIATE decision: this is the only moment the policy may reject.
-    const Work p_best = store_.processing(best, j);
+    // Under kSpeedChange plans the wait estimate and p_best are both in
+    // wall-clock terms at the CURRENT multiplier, so the patience ratio
+    // compares like with like on a throttled machine.
+    const Work p_best = effective_processing(best, j);
     const bool budget_available =
         static_cast<double>(rejections_ + 1) <=
         options_.eps * static_cast<double>(arrived_);
@@ -105,7 +109,43 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
         fleet_.on_fail(event.machine);
         handle_fail(event.machine, now);
         break;
+      case FleetEventKind::kSpeedChange:
+        // Future wait estimates and starts see the new multiplier; the
+        // running job keeps its frozen start-time speed, and pending keys
+        // keep their dispatch-time effective p.
+        fleet_.on_speed_change(event.machine, event.speed);
+        break;
     }
+  }
+
+  /// Overload shed (see SimulationHooks): rejects the lowest-value pending
+  /// job — smallest weight, ties to largest queued p, then largest id —
+  /// across every machine. Outside the eps-of-arrivals budget (rejections_
+  /// counts only admission calls); the caller accounts the shed.
+  JobId on_shed(Time now) override {
+    std::size_t victim_machine = 0;
+    const SptKey* victim = nullptr;
+    Weight victim_weight = 0.0;
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+      for (const SptKey& key : machines_[i].pending) {
+        const Weight w = store_.job(key.id).weight;
+        if (victim == nullptr || w < victim_weight ||
+            (w == victim_weight &&
+             (key.p > victim->p ||
+              (key.p == victim->p && key.id > victim->id)))) {
+          victim = &key;
+          victim_weight = w;
+          victim_machine = i;
+        }
+      }
+    }
+    if (victim == nullptr) return kInvalidJob;
+    const SptKey key = *victim;
+    MachineState& ms = machines_[victim_machine];
+    ms.pending.erase(key);
+    ms.pending_work -= key.p;
+    rec_.mark_rejected_pending(key.id, now);
+    return key.id;
   }
 
   /// The policy keeps no per-job state of its own — nothing to release.
@@ -115,6 +155,15 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
   const FleetStats& fleet_stats() const { return fleet_.stats; }
 
  private:
+  /// Processing time in wall-clock terms under the machine's CURRENT
+  /// multiplier. Exactly p when no plan scripts speed events.
+  Work effective_processing(MachineId i, JobId j) const {
+    const Work p = store_.processing_unchecked(i, j);
+    if (!fleet_speed_) return p;
+    const double s = fleet_.speed_multiplier(static_cast<std::size_t>(i));
+    return s == 1.0 ? p : p / s;
+  }
+
   /// Best ACTIVE eligible machine by estimated wait (remaining + queued
   /// work ahead in SPT); kInvalidMachine when the fleet mask leaves none.
   MachineId pick_machine(JobId j, Time now, double* best_wait_out) const {
@@ -123,7 +172,7 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     for (const MachineId machine : store_.eligible_machines(j)) {
       if (!fleet_.active(static_cast<std::size_t>(machine))) continue;
       const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
-      const Work p = store_.processing_unchecked(machine, j);
+      const Work p = effective_processing(machine, j);
       double wait =
           ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
       for (const SptKey& key : ms.pending) {
@@ -145,8 +194,17 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     ms.pending.erase(ms.pending.begin());
     ms.pending_work -= key.p;
     ms.running = key.id;
-    ms.running_end = now + key.p;
-    rec_.mark_started(key.id, now, 1.0);
+    if (!fleet_speed_) {
+      ms.running_end = now + key.p;
+      rec_.mark_started(key.id, now, 1.0);
+    } else {
+      // Duration resolves at START from the current multiplier (the key's
+      // p is the dispatch-time estimate, possibly from another epoch).
+      const double s = fleet_.speed_multiplier(static_cast<std::size_t>(i));
+      const Work p = store_.processing_unchecked(i, key.id);
+      ms.running_end = now + (s == 1.0 ? p : p / s);
+      rec_.mark_started(key.id, now, s);
+    }
     ms.completion_event = events_.schedule(ms.running_end, i, key.id);
   }
 
@@ -194,7 +252,7 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     }
     rec_.mark_requeued(j, target);  // resets `started` for a killed runner
     MachineState& ms = machines_[static_cast<std::size_t>(target)];
-    const Work p = store_.processing(target, j);
+    const Work p = effective_processing(target, j);
     ms.pending.insert(SptKey{p, store_.job(j).release, j});
     ms.pending_work += p;
     ++fleet_.stats.redispatched;
@@ -207,6 +265,7 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
   ImmediateRejectionOptions options_;
   std::vector<MachineState> machines_;
   FleetState fleet_;
+  bool fleet_speed_ = false;  ///< plan scripts kSpeedChange events
   std::vector<SptKey> orphans_;  ///< handle_fail scratch
   std::size_t arrived_ = 0;
   std::size_t rejections_ = 0;

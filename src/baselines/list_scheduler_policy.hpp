@@ -50,6 +50,7 @@ class ListSchedulerPolicy final : public SimulationHooks {
         options_(options),
         machines_(store.num_machines()) {
     fleet_.init(store.num_machines(), options.fleet);
+    fleet_speed_ = fleet_.has_speed_events();
   }
 
   void on_arrival(JobId j, Time now) override {
@@ -63,8 +64,9 @@ class ListSchedulerPolicy final : public SimulationHooks {
     }
     MachineState& ms = machines_[static_cast<std::size_t>(machine)];
     rec_.mark_dispatched(j, machine);
-    ms.pending.insert(make_key(machine, j));
-    ms.pending_work += store_.processing(machine, j);
+    const QueueKey key = make_key(machine, j);
+    ms.pending.insert(key);
+    ms.pending_work += key.p;
     if (ms.running == kInvalidJob) start_next(machine, now);
   }
 
@@ -88,7 +90,43 @@ class ListSchedulerPolicy final : public SimulationHooks {
         fleet_.on_fail(event.machine);
         handle_fail(event.machine, now);
         break;
+      case FleetEventKind::kSpeedChange:
+        // Future dispatch estimates and starts see the new multiplier;
+        // the running job keeps its frozen start-time speed, and pending
+        // keys keep their dispatch-time effective p (queue order is a
+        // property of the decision, not of later throttles).
+        fleet_.on_speed_change(event.machine, event.speed);
+        break;
     }
+  }
+
+  /// Overload shed (see SimulationHooks): rejects the lowest-value pending
+  /// job — smallest weight, ties to largest queued p, then largest id —
+  /// across every machine; the caller accounts the shed.
+  JobId on_shed(Time now) override {
+    std::size_t victim_machine = 0;
+    const QueueKey* victim = nullptr;
+    Weight victim_weight = 0.0;
+    for (std::size_t i = 0; i < machines_.size(); ++i) {
+      for (const QueueKey& key : machines_[i].pending) {
+        const Weight w = store_.job(key.id).weight;
+        if (victim == nullptr || w < victim_weight ||
+            (w == victim_weight &&
+             (key.p > victim->p ||
+              (key.p == victim->p && key.id > victim->id)))) {
+          victim = &key;
+          victim_weight = w;
+          victim_machine = i;
+        }
+      }
+    }
+    if (victim == nullptr) return kInvalidJob;
+    const QueueKey key = *victim;
+    MachineState& ms = machines_[victim_machine];
+    ms.pending.erase(key);
+    ms.pending_work -= key.p;
+    rec_.mark_rejected_pending(key.id, now);
+    return key.id;
   }
 
   /// The policy keeps no per-job state of its own — nothing to release.
@@ -97,8 +135,17 @@ class ListSchedulerPolicy final : public SimulationHooks {
   const FleetStats& fleet_stats() const { return fleet_.stats; }
 
  private:
+  /// Processing time in wall-clock terms under the machine's CURRENT
+  /// multiplier. Exactly p when no plan scripts speed events.
+  Work effective_processing(MachineId i, JobId j) const {
+    const Work p = store_.processing_unchecked(i, j);
+    if (!fleet_speed_) return p;
+    const double s = fleet_.speed_multiplier(static_cast<std::size_t>(i));
+    return s == 1.0 ? p : p / s;
+  }
+
   QueueKey make_key(MachineId i, JobId j) const {
-    const Work p = store_.processing(i, j);
+    const Work p = effective_processing(i, j);
     const Time r = store_.job(j).release;
     const double primary = options_.discipline == QueueDiscipline::kSpt
                                ? p
@@ -125,7 +172,7 @@ class ListSchedulerPolicy final : public SimulationHooks {
     for (const MachineId machine : store_.eligible_machines(j)) {
       if (!fleet_.active(static_cast<std::size_t>(machine))) continue;
       const MachineState& ms = machines_[static_cast<std::size_t>(machine)];
-      const Work p = store_.processing_unchecked(machine, j);
+      const Work p = effective_processing(machine, j);
       const double remaining =
           ms.running != kInvalidJob ? std::max(0.0, ms.running_end - now) : 0.0;
       double score = 0.0;
@@ -159,8 +206,17 @@ class ListSchedulerPolicy final : public SimulationHooks {
     ms.pending.erase(ms.pending.begin());
     ms.pending_work -= key.p;
     ms.running = key.id;
-    ms.running_end = now + key.p;
-    rec_.mark_started(key.id, now, 1.0);
+    if (!fleet_speed_) {
+      ms.running_end = now + key.p;
+      rec_.mark_started(key.id, now, 1.0);
+    } else {
+      // Duration resolves at START from the current multiplier (the key's
+      // p is the dispatch-time estimate, possibly from another epoch).
+      const double s = fleet_.speed_multiplier(static_cast<std::size_t>(i));
+      const Work p = store_.processing_unchecked(i, key.id);
+      ms.running_end = now + (s == 1.0 ? p : p / s);
+      rec_.mark_started(key.id, now, s);
+    }
     ms.completion_event = events_.schedule(ms.running_end, i, key.id);
   }
 
@@ -203,8 +259,9 @@ class ListSchedulerPolicy final : public SimulationHooks {
     }
     rec_.mark_requeued(j, target);  // resets `started` for a killed runner
     MachineState& ms = machines_[static_cast<std::size_t>(target)];
-    ms.pending.insert(make_key(target, j));
-    ms.pending_work += store_.processing(target, j);
+    const QueueKey key = make_key(target, j);
+    ms.pending.insert(key);
+    ms.pending_work += key.p;
     ++fleet_.stats.redispatched;
     if (ms.running == kInvalidJob) start_next(target, now);
   }
@@ -215,6 +272,7 @@ class ListSchedulerPolicy final : public SimulationHooks {
   ListSchedulerOptions options_;
   std::vector<MachineState> machines_;
   FleetState fleet_;
+  bool fleet_speed_ = false;  ///< plan scripts kSpeedChange events
   std::vector<QueueKey> orphans_;  ///< handle_fail scratch
   std::size_t round_robin_ = 0;
 };

@@ -146,7 +146,43 @@ class EnergyFlowPolicy final : public SimulationHooks {
         fleet_.on_fail(event.machine);
         handle_fail(event.machine, now);
         break;
+      case FleetEventKind::kSpeedChange:
+        // The multiplier scales the EXECUTION speed chosen at start_next;
+        // a job already running keeps its frozen start-time speed. The
+        // dispatch lambda stays volume-based on purpose — it estimates
+        // marginal cost in the nominal speed-scaling model, and scaling it
+        // per-machine would double-count the throttle the execution speed
+        // already pays for.
+        fleet_.on_speed_change(event.machine, event.speed);
+        break;
     }
+  }
+
+  /// Overload shed (see SimulationHooks): rejects the lowest-value pending
+  /// job — smallest weight, ties to largest queued volume, then largest
+  /// id — across every machine. Outside the v-counters and the rejection
+  /// count (that total is the eps-budget accounting); the caller accounts
+  /// the shed.
+  JobId on_shed(Time now) override {
+    std::size_t victim_machine = 0;
+    const DensityKey* victim = nullptr;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      for (const DensityKey& key : pending_[i]) {
+        if (victim == nullptr || key.weight < victim->weight ||
+            (key.weight == victim->weight &&
+             (key.volume > victim->volume ||
+              (key.volume == victim->volume && key.id > victim->id)))) {
+          victim = &key;
+          victim_machine = i;
+        }
+      }
+    }
+    if (victim == nullptr) return kInvalidJob;
+    const DensityKey key = *victim;
+    pending_[victim_machine].erase(key);
+    pending_weight_[victim_machine] -= key.weight;
+    rec_.mark_rejected_pending(key.id, now);
+    return key.id;
   }
 
   /// No-op: the V-integral finalization reads every record, so Theorem 2
@@ -338,9 +374,11 @@ class EnergyFlowPolicy final : public SimulationHooks {
     const DensityKey key = *pending_[i].begin();
     pending_[i].erase(pending_[i].begin());
 
-    // Speed from the total pending weight INCLUDING the started job.
-    const Speed speed =
-        gamma_ * std::pow(pending_weight_[i], 1.0 / options_.alpha);
+    // Speed from the total pending weight INCLUDING the started job, scaled
+    // by the machine's current kSpeedChange multiplier (exactly 1.0 while
+    // nominal, so multiplying keeps speed-free plans bit-identical).
+    const Speed speed = fleet_.speed_multiplier(i) * gamma_ *
+                        std::pow(pending_weight_[i], 1.0 / options_.alpha);
     OSCHED_CHECK_GT(speed, 0.0);
     pending_weight_[i] -= key.weight;
 

@@ -136,6 +136,14 @@ class RejectionFlowPolicy final : public SimulationHooks {
     // exact p / speed (speed != 1 only for the speed-augmented baseline).
     speed_up_ = std::nextafterf(static_cast<float>(options.speed),
                                 std::numeric_limits<float>::infinity());
+    // kSpeedChange plans: per-machine UP-rounded float divisors so the
+    // bound sweeps stay sound under scaling. Exactly 1.0f while the
+    // combined divisor is exactly 1 — float division by 1.0f is exact, so
+    // the pre-first-event bounds match the speed-free path bit for bit.
+    fleet_speed_ = fleet_.has_speed_events();
+    if (fleet_speed_) {
+      speed_div_up_.assign(m, speed_is_one_ ? 1.0f : speed_up_);
+    }
   }
 
   void on_arrival(JobId j, Time now) override {
@@ -213,7 +221,48 @@ class RejectionFlowPolicy final : public SimulationHooks {
         fleet_.on_fail(event.machine);
         handle_fail(event.machine, now);
         break;
+      case FleetEventKind::kSpeedChange: {
+        // Applies to jobs STARTED from now on (start_next reads the current
+        // multiplier); the running job finishes at its start-time speed, so
+        // no event is rescheduled. Pending keys keep their dispatch-time
+        // effective p — re-keying would reorder queues mid-run and break
+        // the batch==streamed equivalence the tie order guarantees.
+        fleet_.on_speed_change(event.machine, event.speed);
+        const auto i = static_cast<std::size_t>(event.machine);
+        const double s = options_.speed * fleet_.speed_multiplier(i);
+        speed_div_up_[i] = s == 1.0 ? 1.0f : float_next_up(static_cast<float>(s));
+        break;
+      }
     }
+  }
+
+  /// Overload shed (see SimulationHooks): rejects the lowest-value pending
+  /// job — smallest weight, ties to largest queued p, then largest id —
+  /// across every machine. Outside the Rule 1/2 counters and the dual
+  /// (like fault sheds, the dual lower bound is diagnostic under forced
+  /// rejections); the caller accounts the shed.
+  JobId on_shed(Time now) override {
+    std::size_t victim_machine = 0;
+    PendingKey victim{};
+    Weight victim_weight = 0.0;
+    bool found = false;
+    for (const std::uint32_t i : live_list_) {
+      pending_[i].for_each([&](const PendingKey& key) {
+        const Weight w = store_.job(key.id).weight;
+        if (!found || w < victim_weight ||
+            (w == victim_weight &&
+             (key.p > victim.p || (key.p == victim.p && key.id > victim.id)))) {
+          found = true;
+          victim = key;
+          victim_weight = w;
+          victim_machine = i;
+        }
+      });
+    }
+    if (!found) return kInvalidJob;
+    pending_erase(victim_machine, victim);
+    rec_.mark_rejected_pending(victim.id, now);
+    return victim.id;
   }
 
   /// Releases per-job dual/lambda state below the decided frontier
@@ -247,7 +296,13 @@ class RejectionFlowPolicy final : public SimulationHooks {
     // the arrival stream. speed == 1.0 skips the division (p/1.0 == p, so
     // the fast path is bit-identical).
     const Work p = store_.processing_unchecked(i, j);
-    return speed_is_one_ ? p : p / options_.speed;
+    if (!fleet_speed_) return speed_is_one_ ? p : p / options_.speed;
+    // kSpeedChange plans: the machine's CURRENT multiplier scales dispatch
+    // scoring and pending keys; the combined divisor folds the global
+    // speed option in. s == 1.0 keeps p untouched bit for bit.
+    const double s =
+        options_.speed * fleet_.speed_multiplier(static_cast<std::size_t>(i));
+    return s == 1.0 ? p : p / s;
   }
 
   /// lambda_ij = p_ij/eps + sum_{l <= j} p_il + |{l > j}| * p_ij over the
@@ -339,7 +394,17 @@ class RejectionFlowPolicy final : public SimulationHooks {
     double best_lambda = kTimeInfinity;
     MachineId best_machine = kInvalidMachine;
 
-    if (order != nullptr) {
+    // While a kSpeedChange multiplier is in force somewhere, the raw-p
+    // order table no longer sorts machines by EFFECTIVE p, so the
+    // first-idle-in-order shortcut (and its id-tie walk) would pick the
+    // wrong idle machine. Fall through to the exact idle scan below — its
+    // lexicographic (lambda, id) argmin is the linear scan's by
+    // construction. Restored multipliers (all back to 1) re-enable the
+    // order-table walk automatically.
+    const bool order_walk_sound =
+        order != nullptr && !(fleet_speed_ && fleet_.any_speed_scaled());
+
+    if (order_walk_sound) {
       // First ACTIVE idle machine in (p, id) order, then the id-tie walk:
       // later idle machines tie only while their rounded lambda is bit-equal
       // (p is non-decreasing along the order and fl is monotone, so the walk
@@ -365,11 +430,12 @@ class RejectionFlowPolicy final : public SimulationHooks {
         }
       }
     } else {
-      // No precomputed order (streaming store, generator tile): derive the
-      // idle argmin from the DOUBLE row directly. Rows without an order
-      // table are the just-appended / just-synthesized ones — already
-      // cache-hot — so the float shadow's halved memory traffic buys
-      // nothing here, and skipping it keeps the lazily-filled shadow
+      // No precomputed order (streaming store, generator tile), or the
+      // table is unsound under active speed multipliers: derive the idle
+      // argmin from the DOUBLE row directly. Rows without an order table
+      // are the just-appended / just-synthesized ones — already cache-hot —
+      // so the float shadow's halved memory traffic buys nothing here, and
+      // skipping it keeps the lazily-filled shadow
       // (service::StreamingJobStore) untouched on this path entirely. The
       // exact scan returns the same lexicographic (lambda, id) argmin the
       // former float screen located.
@@ -403,7 +469,9 @@ class RejectionFlowPolicy final : public SimulationHooks {
       if (!fleet_.active(i)) continue;  // draining machines stay live
       if (!dense && !(rowd[i] < kTimeInfinity)) continue;  // ineligible
       const float pf = rowf != nullptr ? rowf[i] : float_lower(rowd[i]);
-      const float plb = speed_is_one_ ? pf : pf / speed_up_;
+      const float plb = fleet_speed_
+                            ? pf / speed_div_up_[i]
+                            : (speed_is_one_ ? pf : pf / speed_up_);
       if (static_cast<double>(lambda_lower_bound(plb, i)) > best_lambda) {
         continue;
       }
@@ -496,9 +564,20 @@ class RejectionFlowPolicy final : public SimulationHooks {
         const float p = row[i];
         lb[i] = p * empty_coeff_margin_ + pcm[i] * std::min(p, pmp[i]);
       }
+      // Speed mask: the bulk fill used the RAW shadow row, which is not a
+      // lower bound on a sped-UP machine's effective lambda. O(#scaled)
+      // overwrites recompute those entries from the UP-rounded divisor —
+      // the same masked-fixup shape as the fleet mask below, and a no-op
+      // while every multiplier is 1.
+      if (fleet_speed_) {
+        for (const std::uint32_t s : fleet_.scaled_list()) {
+          lb[s] = lambda_lower_bound(row[s] / speed_div_up_[s], s);
+        }
+      }
       // Fleet mask: O(#inactive) overwrites keep the sweep itself
       // branch-free — masked machines can never seed and never screen in
-      // as rivals. A no-op while the fleet is whole.
+      // as rivals. A no-op while the fleet is whole. (After the speed
+      // fixup: a machine can be both scaled and down, and down wins.)
       for (const std::uint32_t down : fleet_.inactive_list()) {
         lb[down] = std::numeric_limits<float>::infinity();
       }
@@ -538,8 +617,12 @@ class RejectionFlowPolicy final : public SimulationHooks {
           continue;
         }
         // speed_up_ >= speed exactly, so the float quotient stays a lower
-        // bound on p/speed (speed != 1 only in the speed-augmented runs).
-        const float p = speed_is_one_ ? row[i] : row[i] / speed_up_;
+        // bound on p/speed (speed != 1 only in the speed-augmented runs);
+        // under a kSpeedChange plan the per-machine UP-rounded divisor
+        // plays the same role (1.0f — exact — while unscaled).
+        const float p = fleet_speed_
+                            ? row[i] / speed_div_up_[i]
+                            : (speed_is_one_ ? row[i] : row[i] / speed_up_);
         lb_[k] = lambda_lower_bound(p, i);
         if (lb_[k] < seed_lb) {
           seed_lb = lb_[k];
@@ -573,7 +656,12 @@ class RejectionFlowPolicy final : public SimulationHooks {
     // conclude "seed only" without touching the per-machine bounds again.
     const float* __restrict lbs = lb_.data();
     float threshold = std::numeric_limits<float>::max();
-    if (speed_is_one_) {
+    // The screen needs a sound UPPER bound on the seed's effective p; while
+    // any speed multiplier is in force, seed_p came through a rounded
+    // division and next-up no longer covers the exact value — leave the
+    // threshold saturated so every bounded candidate reaches the heap's
+    // exact re-check (outcome unchanged, just less pruning).
+    if (speed_is_one_ && !(fleet_speed_ && fleet_.any_speed_scaled())) {
       const float p_up = float_next_up(seed_p);
       threshold = (p_up * empty_coeff_up_ +
                    static_cast<float>(pend_n_[seed_i]) * p_up * 1.0001f) *
@@ -717,9 +805,21 @@ class RejectionFlowPolicy final : public SimulationHooks {
     if (pending_[i].empty()) return;
     const PendingKey key = pending_pop_min(i);
     running_[i] = key.id;
-    running_end_[i] = now + key.p;
+    if (!fleet_speed_) {
+      running_end_[i] = now + key.p;
+      rec_.mark_started(key.id, now, options_.speed);
+    } else {
+      // The key froze the DISPATCH-time effective p (queue-order
+      // stability); the run itself executes at the START-time speed — a
+      // speed change between dispatch and start re-resolves the duration
+      // here, and the recorded speed keeps the validator's p/speed
+      // occupancy check exact.
+      const double s = options_.speed * fleet_.speed_multiplier(i);
+      const Work p = store_.processing_unchecked(machine, key.id);
+      running_end_[i] = now + (s == 1.0 ? p : p / s);
+      rec_.mark_started(key.id, now, s);
+    }
     v_counter_[i] = 0;
-    rec_.mark_started(key.id, now, options_.speed);
     completion_event_[i] = events_.schedule(running_end_[i], machine, key.id);
   }
 
@@ -877,6 +977,11 @@ class RejectionFlowPolicy final : public SimulationHooks {
   float empty_coeff_margin_ = 0.0f;  ///< marginF * (1/eps + 1)
   float empty_coeff_up_ = 0.0f;      ///< (1/eps + 1) * 1.0001 (upper twin)
   float speed_up_ = 1.0f;            ///< float(speed) rounded up
+  /// kSpeedChange plans only: per-machine combined divisor
+  /// (options.speed * multiplier) rounded up as a float, exactly 1.0f when
+  /// the combination is exactly 1 (division by 1.0f is exact).
+  bool fleet_speed_ = false;
+  std::vector<float> speed_div_up_;
 
   std::int64_t rule1_threshold_ = 0;
   std::int64_t rule2_threshold_ = 0;

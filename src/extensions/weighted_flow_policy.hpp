@@ -64,6 +64,7 @@ class WeightedFlowPolicy final : public SimulationHooks {
     OSCHED_CHECK_LT(options.epsilon, 1.0);
     const std::size_t m = store.num_machines();
     fleet_.init(m, options.fleet);
+    fleet_speed_ = fleet_.has_speed_events();
     pending_.resize(m);
     running_.assign(m, kInvalidJob);
     running_weight_.assign(m, 0.0);
@@ -133,7 +134,40 @@ class WeightedFlowPolicy final : public SimulationHooks {
         fleet_.on_fail(event.machine);
         handle_fail(event.machine, now);
         break;
+      case FleetEventKind::kSpeedChange:
+        // Scales jobs STARTED from now on (start_next re-resolves the
+        // duration); pending keys keep their dispatch-time effective p so
+        // queue order never shifts under a live queue.
+        fleet_.on_speed_change(event.machine, event.speed);
+        break;
     }
+  }
+
+  /// Overload shed (see SimulationHooks): rejects the lowest-value pending
+  /// job — smallest weight, ties to largest queued p, then largest id —
+  /// across every machine. Outside the weight counters and
+  /// rejected_weight_ (that total is the 2*eps*W budget accounting); the
+  /// caller accounts the shed.
+  JobId on_shed(Time now) override {
+    std::size_t victim_machine = 0;
+    const DensityKey* victim = nullptr;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      for (const DensityKey& key : pending_[i]) {
+        if (victim == nullptr || key.w < victim->w ||
+            (key.w == victim->w &&
+             (key.p > victim->p ||
+              (key.p == victim->p && key.id > victim->id)))) {
+          victim = &key;
+          victim_machine = i;
+        }
+      }
+    }
+    if (victim == nullptr) return kInvalidJob;
+    const DensityKey key = *victim;
+    pending_[victim_machine].erase(key);
+    pending_removed(victim_machine);
+    rec_.mark_rejected_pending(key.id, now);
+    return key.id;
   }
 
   /// The policy keeps no per-job state of its own — nothing to release.
@@ -145,8 +179,17 @@ class WeightedFlowPolicy final : public SimulationHooks {
   const FleetStats& fleet_stats() const { return fleet_.stats; }
 
  private:
-  DensityKey make_key(MachineId i, JobId j) const {
+  /// p_ij scaled by the machine's CURRENT speed multiplier (kSpeedChange
+  /// plans); the speed-free path returns the raw value untouched.
+  Work effective_processing(MachineId i, JobId j) const {
     const Work p = store_.processing_unchecked(i, j);
+    if (!fleet_speed_) return p;
+    const double s = fleet_.speed_multiplier(static_cast<std::size_t>(i));
+    return s == 1.0 ? p : p / s;
+  }
+
+  DensityKey make_key(MachineId i, JobId j) const {
+    const Work p = effective_processing(i, j);
     const Job& job = store_.job(j);
     return DensityKey{job.weight / p, job.release, j, p, job.weight};
   }
@@ -213,7 +256,11 @@ class WeightedFlowPolicy final : public SimulationHooks {
         lb_[k] = std::numeric_limits<double>::infinity();
         continue;
       }
-      lb_[k] = lambda_lower_bound(row[i], w, i);
+      // Under a speed multiplier the bound's candidate p must be the SAME
+      // effective value the exact lambda uses (make_key performs the
+      // identical division), so no extra rounding slack is needed.
+      const double s = fleet_speed_ ? fleet_.speed_multiplier(i) : 1.0;
+      lb_[k] = lambda_lower_bound(s == 1.0 ? row[i] : row[i] / s, w, i);
       if (lb_[k] < seed_lb) {
         seed_lb = lb_[k];
         seed_k = k;
@@ -309,9 +356,18 @@ class WeightedFlowPolicy final : public SimulationHooks {
     pending_removed(i);
     running_[i] = key.id;
     running_weight_[i] = key.w;
-    running_end_[i] = now + key.p;
+    if (!fleet_speed_) {
+      running_end_[i] = now + key.p;
+      rec_.mark_started(key.id, now, 1.0);
+    } else {
+      // Start-time speed governs the run; the key's dispatch-time p only
+      // fixed the queue position (see on_fleet).
+      const double s = fleet_.speed_multiplier(i);
+      const Work p = store_.processing_unchecked(machine, key.id);
+      running_end_[i] = now + (s == 1.0 ? p : p / s);
+      rec_.mark_started(key.id, now, s);
+    }
     v_counter_[i] = 0.0;
-    rec_.mark_started(key.id, now, 1.0);
     completion_event_[i] = events_.schedule(running_end_[i], machine, key.id);
   }
 
@@ -426,6 +482,7 @@ class WeightedFlowPolicy final : public SimulationHooks {
   std::vector<double> lb_;
   util::DispatchHeap heap_;
   FleetState fleet_;
+  bool fleet_speed_ = false;  ///< the plan scripts kSpeedChange events
   std::vector<DensityKey> orphans_;  ///< handle_fail scratch
 
   std::size_t rule1_rejections_ = 0;

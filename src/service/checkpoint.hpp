@@ -42,7 +42,16 @@ inline constexpr char kSessionCheckpointMagic[8] = {'O', 'S', 'C', 'K',
                                                     'P', 'T', '0', '1'};
 inline constexpr char kDriverCheckpointMagic[8] = {'O', 'S', 'C', 'K',
                                                    'P', 'D', '0', '1'};
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Current write version. Version history (readers accept every version in
+/// [kCheckpointVersionMin, kCheckpointVersion]; the field-by-field deltas
+/// are specified in docs/ARCHITECTURE.md):
+///   1  original session/driver journal format
+///   2  adds a per-fleet-event f64 speed multiplier (kSpeedChange events)
+///      and the session overload-control fields (live_window_cap,
+///      shed_budget); version-1 blobs restore with speed = 1.0 and an
+///      uncapped window
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersionMin = 1;
 
 /// FNV-1a 64-bit over a byte range — the checkpoint trailer's checksum.
 inline std::uint64_t fnv1a64(const void* data, std::size_t size) {

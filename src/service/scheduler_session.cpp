@@ -164,6 +164,8 @@ class SchedulerSession::Impl {
   std::size_t num_decided() const { return records_.num_decided(); }
   std::size_t live_jobs() const { return num_submitted() - num_decided(); }
   std::size_t max_live_jobs() const { return max_live_; }
+  std::size_t num_shed() const { return sheds_spent_; }
+  std::size_t num_backpressured() const { return backpressured_; }
   bool drained() const { return drained_; }
 
   std::string validate_job(const StreamJob& job) const {
@@ -177,19 +179,40 @@ class SchedulerSession::Impl {
   }
 
   JobId submit(const StreamJob& job) {
+    JobId id = kInvalidJob;
+    const SubmitOutcome outcome = try_submit(job, &id);
+    OSCHED_CHECK(outcome == SubmitOutcome::kAccepted)
+        << "live window saturated (cap " << options_.live_window_cap
+        << ", live " << live_jobs()
+        << "); bounded-ingest callers use try_submit()";
+    return id;
+  }
+
+  SubmitOutcome try_submit(const StreamJob& job, JobId* id_out) {
     OSCHED_CHECK(!drained_) << "submit() on a drained session";
     OSCHED_CHECK_GE(job.release, now_)
         << "job released at " << job.release
         << " submitted after the clock reached " << now_;
+    // Events first: completions due by the release seal fates and can free
+    // window slots, so they fire whether or not the job is admitted (and
+    // the admission decision must see the post-event window, or a full
+    // window of already-finished jobs would refuse a perfectly good
+    // arrival). run_events_until never moves the clock past the release,
+    // so a refused job can be resubmitted as-is.
+    run_events_until(job.release);
+    if (!make_room(job.release)) {
+      ++backpressured_;
+      return SubmitOutcome::kBackpressure;
+    }
     const JobId j = store_.append(job);
     total_weight_ += job.weight;
     records_.ensure_size(static_cast<std::size_t>(j) + 1);
-    run_events_until(job.release);
     now_ = std::max(now_, job.release);
     host_->hooks().on_arrival(j, now_);
     max_live_ = std::max(max_live_, live_jobs());
     maybe_fold();
-    return j;
+    if (id_out != nullptr) *id_out = j;
+    return SubmitOutcome::kAccepted;
   }
 
   JobId submit(std::span<const StreamJob> jobs) {
@@ -208,11 +231,18 @@ class SchedulerSession::Impl {
     // Append and deliver per job, exactly like the one-job submit minus its
     // per-job gate/bookkeeping: the just-appended row is dispatched while
     // cache-hot, the live window (and max_live_jobs) is identical to the
-    // per-job feed, and the event interleaving never changes.
+    // per-job feed, and the event interleaving never changes. Window
+    // admission runs BEFORE the append (as try_submit does), so shed
+    // decisions are identical however the feed is chunked; mid-batch
+    // saturation aborts — backpressure-aware callers feed one at a time.
     for (const StreamJob& job : jobs) {
+      run_events_until(job.release);
+      OSCHED_CHECK(make_room(job.release))
+          << "live window saturated mid-batch (cap "
+          << options_.live_window_cap << ", live " << live_jobs()
+          << "); bounded-ingest callers use try_submit()";
       const JobId j = store_.append_trusted(job);
       total_weight_ += job.weight;
-      run_events_until(job.release);
       now_ = std::max(now_, job.release);
       host_->hooks().on_arrival(j, now_);
       max_live_ = std::max(max_live_, live_jobs());
@@ -285,6 +315,7 @@ class SchedulerSession::Impl {
       w.f64(event.time);
       w.u32(static_cast<std::uint32_t>(event.machine));
       w.u8(static_cast<std::uint8_t>(event.kind));
+      w.f64(event.speed);  // v2: multiplier (1.0 for membership kinds)
     }
     w.u64(plan.initially_down.size());
     for (const MachineId machine : plan.initially_down) {
@@ -293,6 +324,8 @@ class SchedulerSession::Impl {
     w.u64(plan.rejection_budget);
     w.u8(plan.shed_killed_running ? 1 : 0);
     w.u64(options_.retire_batch);
+    w.u64(options_.live_window_cap);  // v2: overload control
+    w.u64(options_.shed_budget);      // v2
     w.f64(now_);
     // The journal proper: every submitted job, in id order. Restore replays
     // these through submit() — policy state is never serialized.
@@ -338,6 +371,29 @@ class SchedulerSession::Impl {
         break;
       }
     }
+  }
+
+  /// Window admission for an arrival at time `at` (== its release; the
+  /// clock has already caught up with every event due by then). Returns
+  /// true when the arrival may be ingested, shedding the policy's
+  /// lowest-value pending jobs first when the remaining budget covers the
+  /// FULL deficit. All-or-nothing on purpose: a refused submit must leave
+  /// no trace, or replaying the accepted-jobs journal could not reproduce
+  /// the shed sequence.
+  bool make_room(Time at) {
+    const std::size_t cap = options_.live_window_cap;
+    if (cap == 0 || live_jobs() < cap) return true;
+    const std::size_t deficit = live_jobs() - cap + 1;
+    if (deficit > options_.shed_budget - sheds_spent_) return false;
+    for (std::size_t k = 0; k < deficit; ++k) {
+      // kInvalidJob: every live job is already RUNNING (no pending queue
+      // anywhere holds a victim). Admit the overshoot — it is bounded by
+      // the machine count, and refusing here would mean a shed-then-refuse
+      // submit, which the determinism contract above forbids.
+      if (host_->hooks().on_shed(at) == kInvalidJob) break;
+      ++sheds_spent_;
+    }
+    return true;
   }
 
   void maybe_fold() {
@@ -417,6 +473,8 @@ class SchedulerSession::Impl {
   bool drained_ = false;
   Weight total_weight_ = 0.0;
   std::size_t max_live_ = 0;
+  std::size_t sheds_spent_ = 0;    ///< overload sheds (<= shed_budget)
+  std::size_t backpressured_ = 0;  ///< refused try_submit calls
   JobId folded_upto_ = 0;
   Aggregates agg_;
   std::unique_ptr<PolicyHost> host_;
@@ -450,6 +508,13 @@ std::string SchedulerSession::validate_job(const StreamJob& job) const {
 JobId SchedulerSession::submit(const StreamJob& job) {
   return impl_->submit(job);
 }
+SubmitOutcome SchedulerSession::try_submit(const StreamJob& job, JobId* id) {
+  return impl_->try_submit(job, id);
+}
+std::size_t SchedulerSession::num_shed() const { return impl_->num_shed(); }
+std::size_t SchedulerSession::num_backpressured() const {
+  return impl_->num_backpressured();
+}
 JobId SchedulerSession::submit(std::span<const StreamJob> jobs) {
   return impl_->submit(jobs);
 }
@@ -469,9 +534,11 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
   r.open(kSessionCheckpointMagic, "session");
   if (!r.ok()) return fail(r.error());
   const std::uint32_t version = r.u32();
-  if (r.ok() && version != kCheckpointVersion) {
+  if (r.ok() &&
+      (version < kCheckpointVersionMin || version > kCheckpointVersion)) {
     return fail("unsupported checkpoint version " + std::to_string(version) +
-                " (this build reads version " +
+                " (this build reads versions " +
+                std::to_string(kCheckpointVersionMin) + " through " +
                 std::to_string(kCheckpointVersion) + ")");
   }
 
@@ -486,21 +553,28 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
   FleetPlan& plan = options.run.fleet;
   const std::uint64_t num_fleet_events = r.u64();
   // Size sanity before any allocation: the count must fit in the bytes that
-  // are actually present (each event is 13 bytes on the wire).
-  if (r.ok() && num_fleet_events > r.remaining() / 13) {
+  // are actually present (13 bytes per event in v1; v2 appends the f64
+  // speed multiplier for 21).
+  const std::size_t event_bytes = version >= 2 ? 21 : 13;
+  if (r.ok() && num_fleet_events > r.remaining() / event_bytes) {
     return fail("checkpoint corrupted: fleet event count exceeds blob size");
   }
+  // kSpeedChange entered the format in v2; a v1 blob carrying kind 3 is
+  // damage, not history.
+  const auto max_kind = static_cast<std::uint8_t>(
+      version >= 2 ? FleetEventKind::kSpeedChange : FleetEventKind::kFail);
   plan.events.reserve(static_cast<std::size_t>(num_fleet_events));
   for (std::uint64_t e = 0; r.ok() && e < num_fleet_events; ++e) {
     FleetEvent event;
     event.time = r.f64();
     event.machine = static_cast<MachineId>(r.u32());
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(FleetEventKind::kFail)) {
+    if (kind > max_kind) {
       return fail("checkpoint corrupted: unknown fleet event kind " +
                   std::to_string(kind));
     }
     event.kind = static_cast<FleetEventKind>(kind);
+    if (version >= 2) event.speed = r.f64();
     plan.events.push_back(event);
   }
   const std::uint64_t num_down = r.u64();
@@ -514,6 +588,10 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
   plan.rejection_budget = static_cast<std::size_t>(r.u64());
   plan.shed_killed_running = r.u8() != 0;
   options.retire_batch = static_cast<std::size_t>(r.u64());
+  if (version >= 2) {
+    options.live_window_cap = static_cast<std::size_t>(r.u64());
+    options.shed_budget = static_cast<std::size_t>(r.u64());
+  }
   const Time clock = r.f64();
   const std::uint64_t num_jobs = r.u64();
   if (!r.ok()) return fail(r.error());
@@ -564,7 +642,15 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
       return fail("checkpoint job " + std::to_string(idx) +
                   " fails replay validation: " + problems);
     }
-    session->submit(job);
+    // Every journaled job was accepted by the original session, and the
+    // shed sequence is a deterministic function of the accepted arrivals —
+    // so a faithful blob cannot backpressure here. A refusal means the
+    // window fields are inconsistent with the journal (forged or damaged).
+    if (session->try_submit(job) == SubmitOutcome::kBackpressure) {
+      return fail("checkpoint corrupted: replayed job " + std::to_string(idx) +
+                  " hit backpressure (overload fields inconsistent with the "
+                  "journal)");
+    }
   }
   if (!(clock >= session->now())) {
     return fail("checkpoint corrupted: clock " + std::to_string(clock) +

@@ -56,6 +56,29 @@ struct SessionOptions {
   /// Low-memory mode: fold-and-release runs every time this many newly
   /// sealed jobs accumulate below the decided frontier.
   std::size_t retire_batch = 8192;
+  /// Overload control: cap on live_jobs() (submitted, fate not yet sealed).
+  /// 0 = uncapped (the default; the hot path is untouched). At the cap,
+  /// try_submit() refuses new arrivals with kBackpressure instead of
+  /// growing the window; plain submit() aborts, since its callers opted
+  /// into unbounded ingest.
+  std::size_t live_window_cap = 0;
+  /// Budgeted load-shed: total overload sheds the session may perform over
+  /// its lifetime (0 = none). A saturated window first force-rejects the
+  /// policy's lowest-value pending jobs (SimulationHooks::on_shed) to make
+  /// room for the arrival; once the budget is spent, saturation returns
+  /// kBackpressure. Sheds fire only when they make the triggering arrival
+  /// admissible — a refused submit never sheds — so the shed sequence is a
+  /// deterministic function of the accepted arrivals alone, which is what
+  /// lets checkpoint replay (which carries accepted jobs only) reproduce
+  /// every shed decision bit for bit.
+  std::size_t shed_budget = 0;
+};
+
+/// Result of a bounded ingest attempt (try_submit).
+enum class SubmitOutcome {
+  kAccepted,      ///< delivered to the policy (possibly after sheds)
+  kBackpressure,  ///< live window saturated beyond the shed budget; the job
+                  ///< was NOT ingested — retry after decisions free slots
 };
 
 class SchedulerSession {
@@ -88,8 +111,24 @@ class SchedulerSession {
 
   /// Ingests one arrival and runs the policy's reaction (which may start,
   /// complete or reject jobs at times up to the job's release). Aborts on
-  /// invalid input — multi-tenant frontends run validate_job first.
+  /// invalid input — multi-tenant frontends run validate_job first — and
+  /// on a saturated live window (see SessionOptions::live_window_cap);
+  /// callers expecting saturation use try_submit.
   JobId submit(const StreamJob& job);
+
+  /// Bounded ingest: like submit(), but a live window saturated beyond the
+  /// shed budget returns kBackpressure instead of aborting. A refused job
+  /// is NOT ingested and the session is unchanged except for internal
+  /// events due at or before job.release, which fire either way (they can
+  /// only seal fates, freeing window slots) — so retrying the same job
+  /// after advance() or later decisions is always legal. On kAccepted,
+  /// *id (when non-null) receives the assigned JobId.
+  SubmitOutcome try_submit(const StreamJob& job, JobId* id = nullptr);
+
+  /// Overload sheds performed (lifetime; bounded by shed_budget).
+  std::size_t num_shed() const;
+  /// try_submit calls refused with kBackpressure (lifetime).
+  std::size_t num_backpressured() const;
 
   /// Batch ingest: appends the whole span to the store in one
   /// validation/block-bookkeeping pass, then delivers the arrivals in order

@@ -11,6 +11,7 @@ namespace osched::service {
 ShardDriver::ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
                          std::size_t num_machines, ShardDriverOptions options) {
   OSCHED_CHECK_GT(num_shards, 0u);
+  max_inflight_ = options.max_inflight_batches;
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -90,6 +91,52 @@ void ShardDriver::advance(std::size_t shard, Time to) {
   op.kind = Op::Kind::kAdvance;
   op.to = to;
   s.staging.push_back(std::move(op));
+}
+
+bool ShardDriver::try_submit(std::size_t shard, const StreamJob& job) {
+  OSCHED_CHECK_LT(shard, shards_.size());
+  Shard& s = *shards_[shard];
+  if (inline_mode()) {
+    return s.session->try_submit(job) == SubmitOutcome::kAccepted;
+  }
+  if (at_inflight_cap(s)) return false;
+  Op op;
+  op.kind = Op::Kind::kSubmit;
+  op.job = job;
+  s.staging.push_back(std::move(op));
+  return true;
+}
+
+bool ShardDriver::try_advance(std::size_t shard, Time to) {
+  OSCHED_CHECK_LT(shard, shards_.size());
+  Shard& s = *shards_[shard];
+  if (inline_mode()) {
+    s.session->advance(to);
+    return true;
+  }
+  if (at_inflight_cap(s)) return false;
+  Op op;
+  op.kind = Op::Kind::kAdvance;
+  op.to = to;
+  s.staging.push_back(std::move(op));
+  return true;
+}
+
+std::size_t ShardDriver::inflight_batches(std::size_t shard) const {
+  OSCHED_CHECK_LT(shard, shards_.size());
+  const Shard& s = *shards_[shard];
+  // done <= submitted always (submitted is written by this thread only —
+  // the single-producer contract), so the difference cannot wrap.
+  return static_cast<std::size_t>(
+      s.batches_submitted.load(std::memory_order_acquire) -
+      s.batches_done.load(std::memory_order_acquire));
+}
+
+bool ShardDriver::at_inflight_cap(const Shard& s) const {
+  if (max_inflight_ == 0) return false;
+  return s.batches_submitted.load(std::memory_order_acquire) -
+             s.batches_done.load(std::memory_order_acquire) >=
+         max_inflight_;
 }
 
 void ShardDriver::flush() {
@@ -183,9 +230,11 @@ std::unique_ptr<ShardDriver> ShardDriver::restore(std::string_view blob,
   r.open(kDriverCheckpointMagic, "shard-driver");
   if (!r.ok()) return fail(r.error());
   const std::uint32_t version = r.u32();
-  if (r.ok() && version != kCheckpointVersion) {
+  if (r.ok() &&
+      (version < kCheckpointVersionMin || version > kCheckpointVersion)) {
     return fail("unsupported checkpoint version " + std::to_string(version) +
-                " (this build reads version " +
+                " (this build reads versions " +
+                std::to_string(kCheckpointVersionMin) + " through " +
                 std::to_string(kCheckpointVersion) + ")");
   }
   const std::uint64_t num_shards = r.u64();

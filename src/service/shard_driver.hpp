@@ -52,6 +52,13 @@ struct ShardDriverOptions {
   std::size_t threads = 0;
   /// Applied to every shard's session.
   SessionOptions session;
+  /// Bound on a shard's handed-off-but-unapplied batches (flush() units) —
+  /// the MPSC queue depth. 0 = unbounded. At the bound, try_submit()/
+  /// try_advance() refuse further staging for that shard; the caller backs
+  /// off (sync(), or serve other shards) and retries. Plain submit()/
+  /// advance() ignore the bound (their callers opted into unbounded
+  /// buffering). A runtime concern like `threads`: not checkpointed.
+  std::size_t max_inflight_batches = 0;
 };
 
 class ShardDriver {
@@ -82,6 +89,22 @@ class ShardDriver {
   /// Stages a clock advance for `shard`, ordered after the submissions
   /// staged so far (inline mode: applies it immediately).
   void advance(std::size_t shard, Time to);
+
+  /// Bounded staging: returns false (and stages nothing) when the shard is
+  /// at max_inflight_batches — the retry/backoff contract for overloaded
+  /// ingest loops. Inline mode forwards to SchedulerSession::try_submit,
+  /// so a session-level window cap surfaces through the same bool. Worker
+  /// mode cannot deliver per-job backpressure (ops apply asynchronously);
+  /// sessions driven through workers should use shed_budget (absorbing)
+  /// rather than a bare window cap, which would abort inside the worker.
+  bool try_submit(std::size_t shard, const StreamJob& job);
+  /// Bounded counterpart of advance(), same refusal rule (worker mode; in
+  /// inline mode advances always apply and it returns true).
+  bool try_advance(std::size_t shard, Time to);
+
+  /// Handed-off-but-unapplied batches for `shard` right now (worker mode;
+  /// 0 in inline mode).
+  std::size_t inflight_batches(std::size_t shard) const;
 
   /// Hands every staged batch to the owning workers. Non-blocking: the
   /// caller can keep staging the next wave while workers chew this one.
@@ -151,12 +174,14 @@ class ShardDriver {
   void start_workers(std::size_t threads);
 
   bool inline_mode() const { return workers_.empty(); }
+  bool at_inflight_cap(const Shard& s) const;
   void apply(Shard& shard, Op& op) const;
   void worker_loop(Worker& worker);
   void wake(Worker& worker);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t max_inflight_ = 0;  ///< ShardDriverOptions::max_inflight_batches
   std::mutex sync_mutex_;
   std::condition_variable sync_cv_;
 };

@@ -40,6 +40,20 @@ class SimulationHooks {
                         << to_string(event.kind) << " for machine "
                         << event.machine;
   }
+
+  /// Load-shed request from an overloaded driver (the saturated-window case
+  /// of service::SessionOptions — see scheduler_session.hpp): reject the
+  /// lowest-value PENDING (dispatched, not yet started) job and return its
+  /// id, or kInvalidJob when nothing is pending. Value order is uniform
+  /// across policies so shedding stays a deterministic function of the
+  /// accepted sequence: smallest weight first, ties to the largest
+  /// remaining processing time, then the largest id. The default aborts:
+  /// only drivers configured with a live-window cap ever call this.
+  virtual JobId on_shed(Time now) {
+    (void)now;
+    OSCHED_CHECK(false) << "policy does not support load shedding";
+    return kInvalidJob;
+  }
 };
 
 template <class Store>

@@ -10,6 +10,7 @@ const char* to_string(FleetEventKind kind) {
     case FleetEventKind::kJoin: return "join";
     case FleetEventKind::kDrain: return "drain";
     case FleetEventKind::kFail: return "fail";
+    case FleetEventKind::kSpeedChange: return "speed";
   }
   return "?";
 }
@@ -54,6 +55,21 @@ std::string FleetPlan::validate(std::size_t num_machines) const {
                  << " out of range";
       continue;
     }
+    // Two events on one machine at one timestamp have no defined order
+    // (delivery is by vector position, which a serializer may not preserve)
+    // — reject the ambiguity outright. Events are time-sorted, so only the
+    // equal-time window behind k needs scanning.
+    bool duplicate = false;
+    for (std::size_t b = k; b-- > 0;) {
+      if (events[b].time != e.time) break;
+      if (events[b].machine == e.machine) {
+        complain() << "event[" << k << "] duplicates event[" << b
+                   << "] (machine " << e.machine << " at t=" << e.time << ")";
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
     int& s = state[static_cast<std::size_t>(e.machine)];
     switch (e.kind) {
       case FleetEventKind::kJoin:
@@ -74,6 +90,14 @@ std::string FleetPlan::validate(std::size_t num_machines) const {
           complain() << "event[" << k << "] fails down machine " << e.machine;
         }
         s = 2;
+        break;
+      case FleetEventKind::kSpeedChange:
+        // Legal in any membership state (a down machine's multiplier takes
+        // effect when it rejoins); only the multiplier itself can be bad.
+        if (!std::isfinite(e.speed) || e.speed <= 0.0) {
+          complain() << "event[" << k << "] speed multiplier " << e.speed
+                     << " invalid (want finite > 0)";
+        }
         break;
     }
   }

@@ -17,6 +17,13 @@
 //    queued job is orphaned. The policy must re-decide each orphan NOW:
 //    re-dispatch it through its normal dispatch rule restricted to active
 //    machines, or reject it. See the budget rules below.
+//  * kSpeedChange: the machine's speed multiplier becomes `speed` (finite,
+//    > 0; 1.0 restores nominal speed). The multiplier applies to jobs
+//    STARTED at or after the event — a non-preemptive job in flight
+//    finishes at its start-time speed, so delivery order alone (the same
+//    completions -> fleet -> arrivals tie order) keeps batch and streamed
+//    runs bit-identical. Legal in any membership state: a down machine's
+//    multiplier can change and takes effect when it rejoins.
 //
 // Rejection budget (the constrained-rejection framing of Davies–Guruswami–
 // Ren, arXiv 2511.00184, turned into an operator knob): rejection_budget is
@@ -45,7 +52,12 @@
 
 namespace osched {
 
-enum class FleetEventKind : std::uint8_t { kJoin = 0, kDrain = 1, kFail = 2 };
+enum class FleetEventKind : std::uint8_t {
+  kJoin = 0,
+  kDrain = 1,
+  kFail = 2,
+  kSpeedChange = 3,
+};
 
 const char* to_string(FleetEventKind kind);
 
@@ -53,6 +65,9 @@ struct FleetEvent {
   Time time = 0.0;
   MachineId machine = kInvalidMachine;
   FleetEventKind kind = FleetEventKind::kJoin;
+  /// kSpeedChange only: the machine's new speed multiplier (finite, > 0).
+  /// Ignored by the membership kinds.
+  double speed = 1.0;
 };
 
 struct FleetPlan {
@@ -92,6 +107,14 @@ struct FleetStats {
   std::size_t forced_rejections = 0;
   /// Budget units consumed (never exceeds the plan's rejection_budget).
   std::size_t budget_spent = 0;
+  /// kSpeedChange events applied (throttles + recoveries).
+  std::size_t speed_changes = 0;
+  /// Speed changes that set a multiplier < 1 (the machine slowed down).
+  std::size_t throttles = 0;
+  /// Speed changes that set a multiplier >= 1 (back to or above nominal).
+  std::size_t recoveries = 0;
+  /// Smallest multiplier ever applied; 1.0 when no speed event fired.
+  double min_speed_multiplier = 1.0;
 };
 
 enum class MachineAvail : std::uint8_t { kActive = 0, kDraining = 1, kDown = 2 };
@@ -118,6 +141,18 @@ class FleetState {
       avail_[static_cast<std::size_t>(i)] = MachineAvail::kDown;
       inactive_add(static_cast<std::size_t>(i));
     }
+    // Speed tracking is allocated only when the plan scripts speed changes,
+    // so membership-only plans keep multiplier queries constant-foldable.
+    for (const FleetEvent& event : plan.events) {
+      if (event.kind == FleetEventKind::kSpeedChange) {
+        speed_enabled_ = true;
+        break;
+      }
+    }
+    if (speed_enabled_) {
+      mult_.assign(num_machines, 1.0);
+      scaled_pos_.assign(num_machines, 0);
+    }
   }
 
   bool enabled() const { return enabled_; }
@@ -131,6 +166,45 @@ class FleetState {
   /// Machines currently kDraining or kDown (the dispatch mask).
   const std::vector<std::uint32_t>& inactive_list() const {
     return inactive_list_;
+  }
+
+  /// True when the plan scripts any kSpeedChange event — policies branch on
+  /// this once so speed-free plans keep their exact old dispatch paths.
+  bool has_speed_events() const { return speed_enabled_; }
+  /// The machine's current speed multiplier (1.0 without speed events).
+  double speed_multiplier(std::size_t i) const {
+    return !speed_enabled_ ? 1.0 : mult_[i];
+  }
+  bool any_speed_scaled() const {
+    return speed_enabled_ && !scaled_list_.empty();
+  }
+  /// Machines whose multiplier currently differs from 1 — the O(#scaled)
+  /// fixup list for the dispatch index's shadow sweep.
+  const std::vector<std::uint32_t>& scaled_list() const {
+    return scaled_list_;
+  }
+
+  void on_speed_change(MachineId machine, double multiplier) {
+    const auto i = checked(machine);
+    OSCHED_CHECK(speed_enabled_) << "speed change without a speed plan";
+    OSCHED_CHECK(multiplier > 0.0 &&
+                 multiplier <= std::numeric_limits<double>::max())
+        << "machine " << machine << " speed multiplier " << multiplier
+        << " invalid";
+    const bool was_scaled = mult_[i] != 1.0;
+    mult_[i] = multiplier;
+    const bool is_scaled = multiplier != 1.0;
+    if (is_scaled && !was_scaled) scaled_add(i);
+    if (!is_scaled && was_scaled) scaled_remove(i);
+    ++stats.speed_changes;
+    if (multiplier < 1.0) {
+      ++stats.throttles;
+    } else {
+      ++stats.recoveries;
+    }
+    if (multiplier < stats.min_speed_multiplier) {
+      stats.min_speed_multiplier = multiplier;
+    }
   }
 
   void on_join(MachineId machine) {
@@ -203,13 +277,31 @@ class FleetState {
     inactive_list_.pop_back();
     inactive_pos_[i] = 0;
   }
+  void scaled_add(std::size_t i) {
+    scaled_pos_[i] = static_cast<std::uint32_t>(scaled_list_.size()) + 1;
+    scaled_list_.push_back(static_cast<std::uint32_t>(i));
+  }
+  void scaled_remove(std::size_t i) {
+    const std::uint32_t pos = scaled_pos_[i] - 1;
+    const std::uint32_t last = scaled_list_.back();
+    scaled_list_[pos] = last;
+    scaled_pos_[last] = pos + 1;
+    scaled_list_.pop_back();
+    scaled_pos_[i] = 0;
+  }
 
   bool enabled_ = false;
+  bool speed_enabled_ = false;
   bool shed_killed_running_ = true;
   std::size_t budget_left_ = 0;
   std::vector<MachineAvail> avail_;
   std::vector<std::uint32_t> inactive_list_;
   std::vector<std::uint32_t> inactive_pos_;
+  // Exact speed multipliers plus the swap-remove scaled-machine list (same
+  // shape as the inactive list; order never affects outcomes).
+  std::vector<double> mult_;
+  std::vector<std::uint32_t> scaled_list_;
+  std::vector<std::uint32_t> scaled_pos_;
 };
 
 }  // namespace osched

@@ -143,15 +143,20 @@ TEST(Checkpoint, RestoreAtEveryCutMatchesUninterrupted) {
 }
 
 TEST(Checkpoint, CarriesTheFleetPlanAndItsCursor) {
-  // Checkpoint in the middle of a fleet plan — after a fail already fired,
-  // before a join — and restore: the remaining fleet events must fire in
-  // the restored session exactly as in the uninterrupted run.
+  // Checkpoint in the middle of a fleet plan — after a fail and a throttle
+  // already fired, before a join and a recovery — and restore: the remaining
+  // fleet events must fire in the restored session exactly as in the
+  // uninterrupted run, and the v2 speed multipliers must round-trip.
   const Instance instance = make_workload(base_seed() + 2, 200, 5);
   api::RunOptions run;
   const Time t25 = instance.job(static_cast<JobId>(49)).release;
+  const Time t40 = instance.job(static_cast<JobId>(79)).release;
   const Time t75 = instance.job(static_cast<JobId>(149)).release;
+  const Time t90 = instance.job(static_cast<JobId>(179)).release;
   run.fleet.events = {{t25, 0, FleetEventKind::kFail},
-                      {t75, 0, FleetEventKind::kJoin}};
+                      {t40, 1, FleetEventKind::kSpeedChange, 0.5},
+                      {t75, 0, FleetEventKind::kJoin},
+                      {t90, 1, FleetEventKind::kSpeedChange, 2.0}};
   run.fleet.rejection_budget = 2;
   service::SessionOptions options;
   options.run = run;
@@ -165,7 +170,7 @@ TEST(Checkpoint, CarriesTheFleetPlanAndItsCursor) {
 
   service::SchedulerSession session(api::Algorithm::kTheorem1,
                                     instance.num_machines(), options);
-  feed(session, instance, 0, 100);  // the fail fired; the join is pending
+  feed(session, instance, 0, 100);  // fail+throttle fired; join+recovery pend
   std::string error;
   auto restored =
       service::SchedulerSession::restore(session.checkpoint(), &error);
@@ -175,6 +180,167 @@ TEST(Checkpoint, CarriesTheFleetPlanAndItsCursor) {
   expect_identical(reference, resumed, "fleet checkpoint");
   EXPECT_EQ(resumed.fleet.fails, 1u);
   EXPECT_EQ(resumed.fleet.joins, 1u);
+  EXPECT_EQ(resumed.fleet.speed_changes, reference.fleet.speed_changes);
+  EXPECT_EQ(resumed.fleet.throttles, reference.fleet.throttles);
+  EXPECT_EQ(resumed.fleet.recoveries, reference.fleet.recoveries);
+  EXPECT_EQ(resumed.fleet.min_speed_multiplier,
+            reference.fleet.min_speed_multiplier);
+}
+
+TEST(Checkpoint, RestoresVersion1BlobsWithNeutralDefaults) {
+  // PR 7 bumped the wire version to 2 (per-event speed multipliers plus the
+  // overload fields). A version-1 blob — hand-written here exactly as the
+  // PR-6 writer emitted it — must still restore: membership events parse at
+  // their 13-byte v1 size, every multiplier defaults to 1.0, and the live
+  // window stays uncapped.
+  const Instance instance = make_workload(base_seed() + 5, 40, 3);
+  api::RunOptions run;
+  const Time t25 = instance.job(static_cast<JobId>(9)).release;
+  const Time t50 = instance.job(static_cast<JobId>(19)).release;
+  run.fleet.events = {{t25, 0, FleetEventKind::kFail},
+                      {t50, 0, FleetEventKind::kJoin}};
+  run.fleet.rejection_budget = 1;
+  service::SessionOptions options;
+  options.run = run;
+
+  const std::size_t cut = 20;
+  service::CheckpointWriter w;
+  w.bytes(service::kSessionCheckpointMagic, 8);
+  w.u32(1);  // version 1
+  w.u32(static_cast<std::uint32_t>(api::Algorithm::kGreedySpt));
+  w.u64(instance.num_machines());
+  w.f64(run.epsilon);
+  w.f64(run.alpha);
+  w.u64(run.speed_levels);
+  w.f64(run.start_grid);
+  w.u8(run.validate ? 1 : 0);
+  w.u64(run.fleet.events.size());
+  for (const FleetEvent& event : run.fleet.events) {
+    w.f64(event.time);
+    w.u32(static_cast<std::uint32_t>(event.machine));
+    w.u8(static_cast<std::uint8_t>(event.kind));  // no speed field in v1
+  }
+  w.u64(0);  // initially_down
+  w.u64(run.fleet.rejection_budget);
+  w.u8(1);  // shed_killed_running
+  w.u64(service::SessionOptions{}.retire_batch);
+  // No live_window_cap / shed_budget in v1.
+  w.f64(instance.job(static_cast<JobId>(cut - 1)).release);  // clock
+  w.u64(cut);
+  StreamJob job;
+  for (std::size_t idx = 0; idx < cut; ++idx) {
+    fill_stream_job(instance, static_cast<JobId>(idx), 0.0, &job);
+    w.f64(job.release);
+    w.f64(job.weight);
+    w.f64(job.deadline);
+    for (const Work p : job.processing) w.f64(p);
+  }
+
+  std::string error;
+  auto restored = service::SchedulerSession::restore(w.finish(), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->num_submitted(), cut);
+  feed(*restored, instance, cut, instance.num_jobs());
+
+  service::SchedulerSession uninterrupted(api::Algorithm::kGreedySpt,
+                                          instance.num_machines(), options);
+  feed(uninterrupted, instance, 0, instance.num_jobs());
+  expect_identical(uninterrupted.drain(), restored->drain(), "v1 blob");
+}
+
+TEST(Checkpoint, ForgedSpeedAndVersionSkewAreDiagnosed) {
+  using service::CheckpointWriter;
+  // Shared tail after the fleet events: down-list, budget, shed flag,
+  // retire batch, (v2: overload fields,) clock, empty job journal.
+  const auto finish_body = [](CheckpointWriter& w, bool v2) {
+    w.u64(0);     // initially_down
+    w.u64(0);     // rejection_budget
+    w.u8(1);      // shed_killed_running
+    w.u64(8192);  // retire_batch
+    if (v2) {
+      w.u64(0);  // live_window_cap
+      w.u64(0);  // shed_budget
+    }
+    w.f64(0.0);  // clock
+    w.u64(0);    // no jobs
+  };
+
+  std::string error;
+  {
+    // A v2 blob whose speed multiplier is invalid: recoverable, and the
+    // diagnostic comes from the fleet-plan validator.
+    CheckpointWriter w;
+    w.bytes(service::kSessionCheckpointMagic, 8);
+    w.u32(2);
+    w.u32(static_cast<std::uint32_t>(api::Algorithm::kGreedySpt));
+    w.u64(2);    // machines
+    w.f64(0.2);  // epsilon
+    w.f64(2.0);  // alpha
+    w.u64(8);    // speed_levels
+    w.f64(0.5);  // start_grid
+    w.u8(0);     // validate off
+    w.u64(1);
+    w.f64(1.0);  // event time
+    w.u32(0);    // machine
+    w.u8(3);     // kSpeedChange
+    w.f64(-1.0);  // forged multiplier
+    finish_body(w, /*v2=*/true);
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("invalid fleet plan"), std::string::npos) << error;
+  }
+  {
+    // kSpeedChange entered the format in v2 — kind 3 inside a version-1
+    // blob is damage, not history.
+    CheckpointWriter w;
+    w.bytes(service::kSessionCheckpointMagic, 8);
+    w.u32(1);
+    w.u32(static_cast<std::uint32_t>(api::Algorithm::kGreedySpt));
+    w.u64(2);
+    w.f64(0.2);
+    w.f64(2.0);
+    w.u64(8);
+    w.f64(0.5);
+    w.u8(0);
+    w.u64(1);
+    w.f64(1.0);
+    w.u32(0);
+    w.u8(3);  // v1 events have no speed byte tail — and no kind 3
+    finish_body(w, /*v2=*/false);
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("fleet event kind 3"), std::string::npos) << error;
+  }
+  {
+    // Overload fields inconsistent with the journal: cap 1 with no shed
+    // budget cannot have accepted a second live job, so the replay's
+    // backpressure is reported as corruption, not an abort.
+    CheckpointWriter w;
+    w.bytes(service::kSessionCheckpointMagic, 8);
+    w.u32(2);
+    w.u32(static_cast<std::uint32_t>(api::Algorithm::kGreedySpt));
+    w.u64(1);    // one machine
+    w.f64(0.2);
+    w.f64(2.0);
+    w.u64(8);
+    w.f64(0.5);
+    w.u8(0);
+    w.u64(0);    // no fleet events
+    w.u64(0);    // initially_down
+    w.u64(0);    // rejection_budget
+    w.u8(1);     // shed_killed_running
+    w.u64(8192); // retire_batch
+    w.u64(1);    // live_window_cap: one live job
+    w.u64(0);    // shed_budget: none
+    w.f64(1.0);  // clock
+    w.u64(2);    // two journaled jobs, both live at the cut — impossible
+    for (const double release : {0.0, 1.0}) {
+      w.f64(release);
+      w.f64(1.0);            // weight
+      w.f64(kTimeInfinity);  // no deadline
+      w.f64(100.0);          // processing: still running when job 1 arrives
+    }
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("backpressure"), std::string::npos) << error;
+  }
 }
 
 TEST(Checkpoint, TruncationAtEveryLengthIsDiagnosedNotUB) {

@@ -4,7 +4,8 @@
 //  * semantics — hand-built instances pin down exactly what join/drain/fail
 //    do: a killed running job restarts elsewhere (or is shed under budget),
 //    queued work survives a drain, a join cancels a drain, initially-down
-//    machines are invisible until they join;
+//    machines are invisible until they join, and a speed change scales only
+//    jobs STARTED at or after it (in-flight work keeps its start-time speed);
 //  * degradation — a fleet plan can starve or kill machines, but no policy
 //    may ever crash, deadlock, or leave a job undecided: every job completes
 //    or is rejected, across every algorithm x storage backend x plan shape,
@@ -18,6 +19,8 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -96,6 +99,24 @@ FleetPlan drain_plan(const Instance& instance) {
   return plan;
 }
 
+/// Mid-run speed degradation interleaved with membership churn: throttles
+/// and recoveries, including a multiplier applied while its machine is down
+/// (it must take effect when the machine rejoins), so scaled x down masking
+/// and the scaled-dispatch fixups are both exercised.
+FleetPlan speed_plan(const Instance& instance) {
+  FleetPlan plan;
+  plan.events = {
+      {release_quantile(instance, 0.15), 1, FleetEventKind::kSpeedChange, 0.5},
+      {release_quantile(instance, 0.30), 0, FleetEventKind::kFail},
+      {release_quantile(instance, 0.45), 0, FleetEventKind::kSpeedChange, 0.25},
+      {release_quantile(instance, 0.60), 0, FleetEventKind::kJoin},
+      {release_quantile(instance, 0.75), 2, FleetEventKind::kSpeedChange, 2.0},
+      {release_quantile(instance, 0.90), 1, FleetEventKind::kSpeedChange, 1.0},
+  };
+  plan.rejection_budget = 2;
+  return plan;
+}
+
 TEST(FleetPlan, ValidateCatchesStructuralProblems) {
   const auto problems_of = [](const FleetPlan& plan, std::size_t m) {
     return plan.validate(m);
@@ -136,6 +157,75 @@ TEST(FleetPlan, ValidateCatchesStructuralProblems) {
   FleetPlan negative_time;
   negative_time.events = {{-1.0, 0, FleetEventKind::kFail}};
   EXPECT_NE(problems_of(negative_time, 2), "");
+}
+
+TEST(FleetPlan, ValidateCatchesBadSpeedEvents) {
+  FleetPlan ok;  // same instant on DIFFERENT machines stays legal
+  ok.events = {{1.0, 0, FleetEventKind::kSpeedChange, 0.5},
+               {1.0, 1, FleetEventKind::kSpeedChange, 2.0},
+               {2.0, 0, FleetEventKind::kSpeedChange, 1.0}};
+  EXPECT_EQ(ok.validate(2), "");
+
+  FleetPlan on_down;  // legal in any membership state
+  on_down.initially_down = {0};
+  on_down.events = {{1.0, 0, FleetEventKind::kSpeedChange, 0.5}};
+  EXPECT_EQ(on_down.validate(2), "");
+
+  for (const double bad : {0.0, -0.5, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    FleetPlan plan;
+    plan.events = {{1.0, 0, FleetEventKind::kSpeedChange, bad}};
+    EXPECT_NE(plan.validate(2), "") << "multiplier " << bad;
+  }
+
+  FleetPlan speed_out_of_range;
+  speed_out_of_range.events = {{1.0, 7, FleetEventKind::kSpeedChange, 0.5}};
+  EXPECT_NE(speed_out_of_range.validate(2), "");
+
+  // Two events on one machine at one instant have no defined order: rejected
+  // outright, for speed pairs and across kinds alike.
+  FleetPlan dup_speed;
+  dup_speed.events = {{1.0, 0, FleetEventKind::kSpeedChange, 0.5},
+                      {1.0, 0, FleetEventKind::kSpeedChange, 2.0}};
+  EXPECT_NE(dup_speed.validate(2), "");
+
+  FleetPlan dup_mixed;
+  dup_mixed.events = {{1.0, 0, FleetEventKind::kFail},
+                      {1.0, 0, FleetEventKind::kJoin}};
+  EXPECT_NE(dup_mixed.validate(2), "");
+}
+
+TEST(FleetPlan, ValidateAcceptsRandomSpeedPlansAndCatchesMutations) {
+  // Property check: any time-sorted, duplicate-free speed plan with finite
+  // positive multipliers validates clean, and one injected corruption —
+  // whichever kind — always turns the verdict non-empty.
+  std::mt19937_64 rng(base_seed() + 909);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 2 + rng() % 5;
+    FleetPlan plan;
+    Time t = 0.0;
+    const std::size_t n = 1 + rng() % 8;
+    for (std::size_t k = 0; k < n; ++k) {
+      t += 0.25 + static_cast<double>(rng() % 8) * 0.25;  // strictly increasing
+      plan.events.push_back({t, static_cast<MachineId>(rng() % m),
+                             FleetEventKind::kSpeedChange,
+                             0.25 + static_cast<double>(rng() % 16) * 0.25});
+    }
+    ASSERT_EQ(plan.validate(m), "") << "trial " << trial;
+
+    FleetPlan bad = plan;
+    const std::size_t victim = rng() % bad.events.size();
+    switch (rng() % 5) {
+      case 0: bad.events[victim].speed = 0.0; break;
+      case 1: bad.events[victim].speed = -1.0; break;
+      case 2:
+        bad.events[victim].speed = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 3: bad.events[victim].machine = static_cast<MachineId>(m); break;
+      case 4: bad.events.push_back(bad.events.back()); break;  // duplicate
+    }
+    EXPECT_NE(bad.validate(m), "") << "trial " << trial;
+  }
 }
 
 TEST(FleetSemantics, FailRestartsTheKilledRunningJobElsewhere) {
@@ -220,6 +310,88 @@ TEST(FleetSemantics, DrainFinishesQueuedWorkAndJoinCancelsIt) {
   EXPECT_EQ(stats.fails, 0u);
 }
 
+TEST(FleetSemantics, SpeedChangeScalesStartsNotInFlightWork) {
+  // Job 0 is running on m0 when the t=5 throttle lands: non-preemptive work
+  // keeps its start-time speed, so it still ends at 10. Job 1 is DISPATCHED
+  // under the throttle (effective p = 4/0.5 = 8 beats m1's 100) and STARTS
+  // at 10, after the throttle, so it runs 8 wall-clock units. Job 2 starts
+  // after the t=12 recovery to 2x and runs 6/2 = 3 units.
+  const Instance instance = two_machine_instance({
+      {0.0, 10.0, 100.0},
+      {6.0, 4.0, 100.0},
+      {13.0, 6.0, 100.0},
+  });
+  ListSchedulerOptions options;
+  options.fleet.events = {{5.0, 0, FleetEventKind::kSpeedChange, 0.5},
+                          {12.0, 0, FleetEventKind::kSpeedChange, 2.0}};
+  FleetStats stats;
+  const Schedule schedule = run_list_scheduler(instance, options, &stats);
+
+  EXPECT_EQ(schedule.record(0).machine, 0);
+  EXPECT_EQ(schedule.record(0).end, 10.0);  // in-flight: throttle-proof
+  EXPECT_EQ(schedule.record(1).machine, 0);
+  EXPECT_EQ(schedule.record(1).start, 10.0);
+  EXPECT_EQ(schedule.record(1).end, 18.0);  // 4 / 0.5
+  EXPECT_EQ(schedule.record(2).machine, 0);
+  EXPECT_EQ(schedule.record(2).start, 18.0);
+  EXPECT_EQ(schedule.record(2).end, 21.0);  // 6 / 2.0
+  EXPECT_EQ(stats.speed_changes, 2u);
+  EXPECT_EQ(stats.throttles, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.min_speed_multiplier, 0.5);
+}
+
+TEST(FleetSemantics, ThrottleRedirectsDispatchOnMerit) {
+  // Before the throttle m0 wins (4 < 5). Job 1 arrives after m0 dropped to
+  // quarter speed: its effective p there is 16, so min-completion now sends
+  // it to the idle m1 even with m0 finishing soon.
+  const Instance instance = two_machine_instance({
+      {0.0, 4.0, 5.0},
+      {2.0, 4.0, 5.0},
+  });
+  ListSchedulerOptions options;
+  options.fleet.events = {{1.0, 0, FleetEventKind::kSpeedChange, 0.25}};
+  FleetStats stats;
+  const Schedule schedule = run_list_scheduler(instance, options, &stats);
+
+  EXPECT_EQ(schedule.record(0).machine, 0);
+  EXPECT_EQ(schedule.record(0).end, 4.0);
+  EXPECT_EQ(schedule.record(1).machine, 1);
+  EXPECT_EQ(schedule.record(1).start, 2.0);
+  EXPECT_EQ(schedule.record(1).end, 7.0);
+  EXPECT_EQ(stats.throttles, 1u);
+  EXPECT_EQ(stats.min_speed_multiplier, 0.25);
+}
+
+TEST(FleetSemantics, SpeedChangeOnDownMachineTakesEffectAtRejoin) {
+  // m0 fails while idle, is throttled while DOWN, and rejoins: the stored
+  // multiplier must survive the membership round-trip. Job 1 then avoids the
+  // half-speed m0 (effective p 20 vs 11); job 2 takes it at half speed.
+  const Instance instance = two_machine_instance({
+      {0.0, 2.0, 50.0},
+      {4.0, 10.0, 11.0},
+      {4.0, 3.0, 50.0},
+  });
+  ListSchedulerOptions options;
+  options.fleet.events = {{2.5, 0, FleetEventKind::kFail},
+                          {3.0, 0, FleetEventKind::kSpeedChange, 0.5},
+                          {3.5, 0, FleetEventKind::kJoin}};
+  FleetStats stats;
+  const Schedule schedule = run_list_scheduler(instance, options, &stats);
+
+  EXPECT_EQ(schedule.record(0).machine, 0);
+  EXPECT_EQ(schedule.record(0).end, 2.0);
+  EXPECT_EQ(schedule.record(1).machine, 1);
+  EXPECT_EQ(schedule.record(1).end, 15.0);
+  EXPECT_EQ(schedule.record(2).machine, 0);
+  EXPECT_EQ(schedule.record(2).start, 4.0);
+  EXPECT_EQ(schedule.record(2).end, 10.0);  // 3 / 0.5
+  EXPECT_EQ(stats.fails, 1u);
+  EXPECT_EQ(stats.joins, 1u);
+  EXPECT_EQ(stats.speed_changes, 1u);
+  EXPECT_EQ(stats.throttles, 1u);
+}
+
 TEST(FleetSemantics, InitiallyDownMachineIsInvisibleUntilItJoins) {
   const Instance instance = two_machine_instance({
       {0.0, 5.0, 0.5},  // m1 would win, but it is not in the fleet yet
@@ -252,8 +424,9 @@ TEST(FleetWall, NoPolicyCrashesOrLeaksJobsOnAnyBackend) {
     for (const StorageBackend backend : backends) {
       const Instance instance =
           workload::make_closed_form_instance(config, backend);
-      const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance)};
-      for (std::size_t p = 0; p < 2; ++p) {
+      const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance),
+                                 speed_plan(instance)};
+      for (std::size_t p = 0; p < 3; ++p) {
         for (const api::Algorithm algorithm : kFleetCapable) {
           api::RunOptions options;
           options.fleet = plans[p];
@@ -267,10 +440,16 @@ TEST(FleetWall, NoPolicyCrashesOrLeaksJobsOnAnyBackend) {
                     config.num_jobs)
               << context << ": a job was left undecided";
           const FleetStats& fleet = summary.fleet;
-          const std::size_t expected_fails = p == 0 ? 2u : 1u;
-          EXPECT_EQ(fleet.fails, expected_fails) << context;
+          const std::size_t expected_fails[] = {2u, 1u, 1u};
+          EXPECT_EQ(fleet.fails, expected_fails[p]) << context;
           EXPECT_LE(fleet.budget_spent, plans[p].rejection_budget) << context;
           EXPECT_LE(fleet.forced_rejections, fleet.fault_rejections) << context;
+          if (p == 2) {
+            EXPECT_EQ(fleet.speed_changes, 4u) << context;
+            EXPECT_EQ(fleet.throttles, 2u) << context;
+            EXPECT_EQ(fleet.recoveries, 2u) << context;
+            EXPECT_EQ(fleet.min_speed_multiplier, 0.25) << context;
+          }
         }
       }
     }
@@ -280,7 +459,8 @@ TEST(FleetWall, NoPolicyCrashesOrLeaksJobsOnAnyBackend) {
 TEST(FleetWall, IndexedDispatchMatchesLinearScanUnderFleetMasking) {
   // The PR-4 dispatch index masks inactive machines out of its float-shadow
   // sweep; the linear-scan reference simply skips them. Both must remain
-  // bit-identical with machines failing, draining, and joining mid-run.
+  // bit-identical with machines failing, draining, joining, and changing
+  // speed mid-run (speed rewrites the masked shadow rows in place).
   workload::ClosedFormConfig config;
   config.num_jobs = 300;
   config.num_machines = 6;
@@ -288,7 +468,8 @@ TEST(FleetWall, IndexedDispatchMatchesLinearScanUnderFleetMasking) {
   config.load = 1.2;
   const Instance instance =
       workload::make_closed_form_instance(config, StorageBackend::kDense);
-  const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance)};
+  const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance),
+                             speed_plan(instance)};
 
   ScheduleDiffOptions strict;
   strict.time_tolerance = 0.0;
@@ -345,7 +526,8 @@ TEST(FleetWall, StreamedFleetRunIsBitIdenticalToBatch) {
 
   ScheduleDiffOptions strict;
   strict.time_tolerance = 0.0;
-  const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance)};
+  const FleetPlan plans[] = {churn_plan(instance), drain_plan(instance),
+                             speed_plan(instance)};
   for (const FleetPlan& plan : plans) {
     api::RunOptions options;
     options.fleet = plan;
@@ -371,6 +553,13 @@ TEST(FleetWall, StreamedFleetRunIsBitIdenticalToBatch) {
         EXPECT_EQ(batch.fleet.forced_rejections, streamed.fleet.forced_rejections)
             << context;
         EXPECT_EQ(batch.fleet.budget_spent, streamed.fleet.budget_spent)
+            << context;
+        EXPECT_EQ(batch.fleet.speed_changes, streamed.fleet.speed_changes)
+            << context;
+        EXPECT_EQ(batch.fleet.throttles, streamed.fleet.throttles) << context;
+        EXPECT_EQ(batch.fleet.recoveries, streamed.fleet.recoveries) << context;
+        EXPECT_EQ(batch.fleet.min_speed_multiplier,
+                  streamed.fleet.min_speed_multiplier)
             << context;
       }
     }
