@@ -70,6 +70,7 @@ RunSummary run(Algorithm algorithm, const Instance& instance,
                const RunOptions& options) {
   RunSummary summary;
   summary.algorithm = algorithm;
+  summary.dispatch_index_active = instance.dispatch_index_active();
 
   // Per-algorithm validation/report knobs.
   bool parallel_execution = false;

@@ -86,6 +86,14 @@ struct RunSummary {
   std::size_t rule2_rejections = 0;
   /// Fleet-membership counters (all zero for an empty RunOptions::fleet).
   FleetStats fleet;
+  /// Whether the instance carried the (p, id) dispatch order table, i.e.
+  /// dispatch ran the indexed idle-machine walk. False means the O(m)
+  /// shadow-row fallback was in effect — by design for generator instances
+  /// and for m >= 65536 (uint16 id ceiling), and always for streamed
+  /// sessions, whose store keeps no order table (drain() leaves the
+  /// default). Here so a dispatch perf cliff is attributable from a result
+  /// file alone.
+  bool dispatch_index_active = false;
 };
 
 /// Runs `algorithm` on `instance`. Aborts (OSCHED_CHECK) on structurally

@@ -1,7 +1,9 @@
 #include "instance/instance.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <ostream>
@@ -265,7 +267,21 @@ void Instance::build_p_order(EntryP&& entry_p) {
   // compares beat a comparator that chases back into the matrix per call.
   // `entry_p(j, k, id)` is the backend's way to read the adjacency entry's
   // p value — one builder, so the dense and CSR order tables can't drift.
-  if (num_machines_ >= 65536u) return;
+  if (num_machines_ >= 65536u) {
+    // Attributable degradation, not silence: the fallback sweep is O(m) per
+    // dispatch where the table walk stops at the first idle machine, and an
+    // operator staring at a perf cliff deserves the pointer. Once per
+    // process — fleets of huge-m instances would otherwise spam.
+    static std::atomic<bool> noted{false};
+    if (!noted.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "osched note: dispatch order table skipped at %zu machines "
+                   "(uint16 id ceiling is 65535); dispatch falls back to the "
+                   "shadow-row scan — see RunSummary::dispatch_index_active\n",
+                   num_machines_);
+    }
+    return;
+  }
   const std::size_t n = jobs_.size();
   p_order_.resize(eligible_flat_.size());
   std::vector<detail::POrderKey> keys;

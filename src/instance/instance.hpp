@@ -196,6 +196,14 @@ class Instance {
     return p_order_.data() + eligible_offsets_[static_cast<std::size_t>(j)];
   }
 
+  /// Whether the (p, id) order table above exists, i.e. whether dispatch
+  /// runs the indexed idle-machine walk rather than the O(m) shadow-row
+  /// fallback. False for generator instances, for m >= 65536 (the uint16 id
+  /// ceiling — construction prints a one-time note), and for empty
+  /// instances. Surfaced through api::RunSummary::dispatch_index_active so
+  /// the perf cliff is attributable from results alone.
+  bool dispatch_index_active() const { return !p_order_.empty(); }
+
   bool eligible(MachineId i, JobId j) const {
     return processing(i, j) < kTimeInfinity;
   }
@@ -229,6 +237,14 @@ class Instance {
   const RowGenerator& generator() const {
     OSCHED_CHECK(backend_ == StorageBackend::kGenerator);
     return *generator_;
+  }
+
+  /// The same closed form as a shareable handle — the value to hand to
+  /// SessionOptions::generator / SchedulerSession::restore when streaming
+  /// this instance's jobs into a generator-backed session.
+  const std::shared_ptr<const RowGenerator>& shared_generator() const {
+    OSCHED_CHECK(backend_ == StorageBackend::kGenerator);
+    return generator_;
   }
 
   /// Structural sanity: n >= 0, every job has at least one eligible machine,

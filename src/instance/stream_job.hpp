@@ -1,11 +1,24 @@
 // One job as submitted to a streaming consumer.
 //
 // A StreamJob is the row-at-a-time counterpart of an Instance row: the job
-// fields plus its per-machine processing requirements (kTimeInfinity marks
-// an ineligible machine, exactly as in the Instance matrix). It is the unit
-// of exchange between the chunked trace reader (workload/trace_io.hpp), the
-// streaming job store, and SchedulerSession::submit — none of which ever
-// need the whole instance in memory.
+// fields plus its processing requirements in one of three payload forms.
+// It is the unit of exchange between the chunked trace reader
+// (workload/trace_io.hpp), the streaming job store, and
+// SchedulerSession::submit — none of which ever need the whole instance in
+// memory.
+//
+// Payload forms (exactly one of the two vectors may be non-empty):
+//  * DENSE:    `processing` holds p_ij for every machine (size = m);
+//              kTimeInfinity marks an ineligible machine, exactly as in the
+//              Instance matrix. The compatibility form — every consumer
+//              accepts it.
+//  * SPARSE:   `entries` holds the eligible (machine, p) pairs only, in
+//              strictly ascending machine order — the CSR backend's shape.
+//              A restricted-assignment job eligible on 2 of 4096 machines
+//              costs 2 entries, not 4096 doubles.
+//  * METADATA: both vectors empty. Legal only toward a generator-backed
+//              store, whose closed form already knows every p_ij — the
+//              submission carries just release/weight/deadline.
 #pragma once
 
 #include <vector>
@@ -20,37 +33,73 @@ struct StreamJob {
   Weight weight = 1.0;
   /// +infinity when the job has no deadline.
   Time deadline = kTimeInfinity;
-  /// p_ij for every machine i (size = num_machines); kTimeInfinity where
-  /// the job cannot run.
+  /// Dense form: p_ij for every machine i (size = num_machines);
+  /// kTimeInfinity where the job cannot run. Empty when the sparse or
+  /// metadata form is used.
   std::vector<Work> processing;
+  /// Sparse form: eligible (machine, p) entries only, strictly ascending by
+  /// machine id. Empty when the dense or metadata form is used.
+  std::vector<SparseEntry> entries;
 };
 
 /// Fills `out` from one Instance row, shifting the release by
 /// `release_offset` (chunked feeders splice independently generated chunks
-/// onto a monotone timeline with it). Reuses out->processing's storage, so
-/// feed loops pay no per-job allocation. This is THE conversion — every
+/// onto a monotone timeline with it). Reuses the payload vectors' storage,
+/// so feed loops pay no per-job allocation. This is THE conversion — every
 /// feeder (streamed_run, the trace writer, the benches) goes through it, so
 /// a new StreamJob field has exactly one place to be wired.
+///
+/// The payload form follows the instance's backend: a sparse-CSR instance
+/// emits the SPARSE form straight off its adjacency — O(eligible), never
+/// O(m) — while dense and generator instances emit the dense row (a
+/// generator row is fully eligible, so dense IS its compact form). Feeders
+/// that share a closed form with a generator-backed session should submit
+/// metadata-only jobs instead (fill_stream_job_meta below).
 inline void fill_stream_job(const Instance& instance, JobId j,
                             Time release_offset, StreamJob* out) {
   const Job& src = instance.job(j);
   out->release = release_offset + src.release;
   out->weight = src.weight;
   out->deadline = src.deadline;
+  if (instance.backend() == StorageBackend::kSparseCsr) {
+    // Eligible entries only, already ascending in the adjacency. The
+    // per-entry lookup is the CSR binary search, but over a single row the
+    // branch history makes it effectively a pointer walk; crucially no
+    // m-wide vector is ever touched.
+    out->processing.clear();
+    out->entries.clear();
+    const EligibleMachines eligible = instance.eligible_machines(j);
+    out->entries.reserve(eligible.size());
+    for (const MachineId i : eligible) {
+      out->entries.push_back(SparseEntry{i, instance.processing_unchecked(i, j)});
+    }
+    return;
+  }
+  out->entries.clear();
   if (instance.backend() == StorageBackend::kDense) {
     // Dense fast path (the feed loops' case): one contiguous row copy.
     const Work* row = instance.processing_row(j);
     out->processing.assign(row, row + instance.num_machines());
     return;
   }
-  // Backend-agnostic row assembly: ineligible machines read as infinity in
-  // every backend, so fill + scatter over the adjacency reproduces the
-  // dense row exactly (and never asks a sparse store for an absent entry).
-  out->processing.assign(instance.num_machines(), kTimeInfinity);
-  for (const MachineId i : instance.eligible_machines(j)) {
-    out->processing[static_cast<std::size_t>(i)] =
-        instance.processing_unchecked(i, j);
-  }
+  // Generator rows are fully eligible by contract: synthesize the dense row
+  // through the closed form (O(m) is inherent in materializing it at all).
+  out->processing.resize(instance.num_machines());
+  instance.generator().fill_row(j, instance.num_machines(),
+                                out->processing.data());
+}
+
+/// Metadata-only fill: job fields, no payload. The submission form for
+/// generator-backed sessions (SessionOptions::generator), whose store
+/// synthesizes every row from the shared closed form — the feeder never
+/// materializes O(m) anything.
+inline void fill_stream_job_meta(const Job& src, Time release_offset,
+                                 StreamJob* out) {
+  out->release = release_offset + src.release;
+  out->weight = src.weight;
+  out->deadline = src.deadline;
+  out->processing.clear();
+  out->entries.clear();
 }
 
 inline StreamJob make_stream_job(const Instance& instance, JobId j,

@@ -50,7 +50,12 @@ inline constexpr char kDriverCheckpointMagic[8] = {'O', 'S', 'C', 'K',
 ///      and the session overload-control fields (live_window_cap,
 ///      shed_budget); version-1 blobs restore with speed = 1.0 and an
 ///      uncapped window
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+///   3  adds the session storage backend (u8 after shed_budget) and makes
+///      the job journal's payload follow it: dense rows unchanged, sparse
+///      jobs carry a u32 entry count plus (u32 machine, f64 p) pairs,
+///      generator jobs carry metadata only (restore() is handed the closed
+///      form); version-1/2 blobs restore as dense sessions
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 inline constexpr std::uint32_t kCheckpointVersionMin = 1;
 
 /// FNV-1a 64-bit over a byte range — the checkpoint trailer's checksum.

@@ -1,17 +1,33 @@
 #include "service/job_store.hpp"
 
 #include <algorithm>
+#include <cfloat>
 #include <cmath>
 #include <cstring>
+#include <numeric>
 #include <sstream>
 
 namespace osched::service {
 
-StreamingJobStore::StreamingJobStore(std::size_t num_machines,
-                                     std::size_t jobs_per_block)
-    : num_machines_(num_machines), jobs_per_block_(jobs_per_block) {
+StreamingJobStore::StreamingJobStore(
+    std::size_t num_machines, std::size_t jobs_per_block,
+    StorageBackend backend, std::shared_ptr<const RowGenerator> generator)
+    : num_machines_(num_machines),
+      jobs_per_block_(jobs_per_block),
+      backend_(backend),
+      generator_(std::move(generator)) {
   OSCHED_CHECK_GT(num_machines, 0u);
   OSCHED_CHECK_GT(jobs_per_block, 0u);
+  if (backend_ == StorageBackend::kGenerator) {
+    OSCHED_CHECK(generator_ != nullptr)
+        << "a generator-backed store needs the closed form";
+    identity_machines_.resize(num_machines_);
+    std::iota(identity_machines_.begin(), identity_machines_.end(),
+              MachineId{0});
+  } else {
+    OSCHED_CHECK(generator_ == nullptr)
+        << "only the kGenerator backend takes a row generator";
+  }
 }
 
 bool StreamingJobStore::check_job_after(const StreamJob& job,
@@ -22,20 +38,34 @@ bool StreamingJobStore::check_job_after(const StreamJob& job,
   // touching a stream; with a sink every violation is described. The
   // negated comparisons (!(x > y)) deliberately catch NaN operands.
   //
-  // KEEP IN SYNC with Instance::validate (instance/instance.cpp): these are
-  // the same per-job rules plus the streaming-only ones (arity, release
-  // monotonicity). tests/streaming_test.cpp's differential wall turns any
-  // acceptance drift into a loud failure, but rule edits should land in
-  // both places.
+  // KEEP IN SYNC with Instance::validate / Instance::from_sparse_rows
+  // (instance/instance.cpp): these are the same per-job rules plus the
+  // streaming-only ones (arity, release monotonicity, the per-backend
+  // payload-form contract). tests/streaming_test.cpp's differential wall
+  // turns any acceptance drift into a loud failure, but rule edits should
+  // land in both places.
   bool ok = true;
   const auto flag = [&ok, problems] {
     ok = false;
     return problems != nullptr;  // keep going only when collecting messages
   };
-  if (job.processing.size() != num_machines_) {
+  const bool has_dense = !job.processing.empty();
+  const bool has_sparse = !job.entries.empty();
+  if (has_dense && has_sparse) {
     if (!flag()) return false;
-    *problems << "processing row has " << job.processing.size()
-              << " entries, store has " << num_machines_ << " machines; ";
+    *problems << "both the dense row and sparse entries are set (a "
+                 "submission carries exactly one payload form); ";
+  }
+  if (backend_ == StorageBackend::kGenerator && (has_dense || has_sparse)) {
+    if (!flag()) return false;
+    *problems << "generator-backed stores take metadata-only submissions "
+                 "(the shared closed form supplies every p_ij); ";
+  }
+  if (backend_ != StorageBackend::kGenerator && !has_dense && !has_sparse) {
+    if (!flag()) return false;
+    *problems << "empty payload: this store has " << num_machines_
+              << " machines and needs a dense processing row or sparse "
+                 "(machine, p) entries; ";
   }
   if (!(job.release >= 0.0)) {
     if (!flag()) return false;
@@ -55,25 +85,69 @@ bool StreamingJobStore::check_job_after(const StreamJob& job,
     if (!flag()) return false;
     *problems << "deadline " << job.deadline << " not after release; ";
   }
-  bool any_eligible = false;
-  for (std::size_t i = 0; i < job.processing.size(); ++i) {
-    const Work p = job.processing[i];
-    if (p < kTimeInfinity) {
-      any_eligible = true;
-      if (!(p > 0.0)) {
-        if (!flag()) return false;
-        *problems << "p[" << i << "] is non-positive or NaN; ";
-      }
-    } else if (std::isnan(p)) {
+  if (has_dense && !has_sparse) {
+    if (job.processing.size() != num_machines_) {
       if (!flag()) return false;
-      *problems << "p[" << i << "] is NaN; ";
+      *problems << "processing row has " << job.processing.size()
+                << " entries, store has " << num_machines_ << " machines; ";
+    }
+    bool any_eligible = false;
+    for (std::size_t i = 0; i < job.processing.size(); ++i) {
+      const Work p = job.processing[i];
+      if (p < kTimeInfinity) {
+        any_eligible = true;
+        if (!(p > 0.0)) {
+          if (!flag()) return false;
+          *problems << "p[" << i << "] is non-positive or NaN; ";
+        }
+      } else if (std::isnan(p)) {
+        if (!flag()) return false;
+        *problems << "p[" << i << "] is NaN; ";
+      }
+    }
+    // Only meaningful when the arity matched (an arity mismatch was already
+    // flagged above, and num_machines_ > 0 by construction).
+    if (job.processing.size() == num_machines_ && !any_eligible) {
+      if (!flag()) return false;
+      *problems << "no eligible machine; ";
     }
   }
-  // Only meaningful when the arity matched (an arity mismatch was already
-  // flagged above, and num_machines_ > 0 by construction).
-  if (job.processing.size() == num_machines_ && !any_eligible) {
-    if (!flag()) return false;
-    *problems << "no eligible machine; ";
+  if (has_sparse && !has_dense) {
+    // Mirrors Instance::from_sparse_rows: strictly ascending in-range
+    // machine ids (duplicates and disorder diagnosed separately), finite
+    // positive p — an ineligible machine is expressed by OMITTING it.
+    MachineId prev = -1;
+    for (std::size_t k = 0; k < job.entries.size(); ++k) {
+      const SparseEntry& entry = job.entries[k];
+      if (entry.machine < 0 ||
+          static_cast<std::size_t>(entry.machine) >= num_machines_) {
+        if (!flag()) return false;
+        *problems << "entries[" << k << "] machine " << entry.machine
+                  << " out of range (store has " << num_machines_
+                  << " machines); ";
+      } else if (k > 0 && entry.machine == prev) {
+        if (!flag()) return false;
+        *problems << "entries[" << k << "] duplicates machine "
+                  << entry.machine << "; ";
+      } else if (k > 0 && entry.machine < prev) {
+        if (!flag()) return false;
+        *problems << "entries[" << k << "] machine " << entry.machine
+                  << " out of order (entries are sorted ascending by "
+                     "machine); ";
+      }
+      prev = entry.machine;
+      if (!(entry.p > 0.0)) {
+        if (!flag()) return false;
+        *problems << "entries[" << k << "] p is non-positive or NaN; ";
+      } else if (entry.p >= kTimeInfinity) {
+        if (!flag()) return false;
+        *problems << "entries[" << k
+                  << "] p is not finite (omit ineligible machines); ";
+      }
+    }
+    // A non-empty valid entry list implies an eligible machine, so there is
+    // no sparse "no eligible machine" case: the empty list is the empty-
+    // payload diagnostic above.
   }
   return ok;
 }
@@ -124,9 +198,13 @@ JobId StreamingJobStore::append_unchecked(const StreamJob& job) {
     blocks_.push_back(std::make_unique<Block>());
     Block& fresh = *blocks_.back();
     fresh.jobs.reserve(jobs_per_block_);
-    fresh.processing.reserve(jobs_per_block_ * num_machines_);
-    fresh.eligible_offsets.reserve(jobs_per_block_ + 1);
-    fresh.eligible_offsets.push_back(0);
+    if (backend_ == StorageBackend::kDense) {
+      fresh.processing.reserve(jobs_per_block_ * num_machines_);
+    }
+    if (backend_ != StorageBackend::kGenerator) {
+      fresh.eligible_offsets.reserve(jobs_per_block_ + 1);
+      fresh.eligible_offsets.push_back(0);
+    }
   }
   Block& block = *blocks_[block_index];
 
@@ -137,22 +215,100 @@ JobId StreamingJobStore::append_unchecked(const StreamJob& job) {
   stored.weight = job.weight;
   stored.deadline = job.deadline;
   block.jobs.push_back(stored);
-  block.processing.insert(block.processing.end(), job.processing.begin(),
-                          job.processing.end());
-  // The float shadow is NOT written here: it fills lazily on the first
-  // bounds_row() touch (see the header), which moved the former ~40% of
-  // append's cost off the ingest clock.
-  for (std::size_t i = 0; i < job.processing.size(); ++i) {
-    if (job.processing[i] < kTimeInfinity) {
-      block.eligible.push_back(static_cast<MachineId>(i));
-    }
+
+  switch (backend_) {
+    case StorageBackend::kDense:
+      if (!job.entries.empty()) {
+        // Sparse submission into a dense store: scatter over an
+        // infinity-filled row (the one conversion that still pays O(m) —
+        // it is the dense store's own cost, not the feeder's).
+        const std::size_t base = block.processing.size();
+        block.processing.resize(base + num_machines_, kTimeInfinity);
+        for (const SparseEntry& entry : job.entries) {
+          block.processing[base + static_cast<std::size_t>(entry.machine)] =
+              entry.p;
+          block.eligible.push_back(entry.machine);
+        }
+      } else {
+        block.processing.insert(block.processing.end(),
+                                job.processing.begin(), job.processing.end());
+        // The float shadow is NOT written here: it fills lazily on the
+        // first bounds_row() touch (see the header), which moved the former
+        // ~40% of append's cost off the ingest clock.
+        for (std::size_t i = 0; i < job.processing.size(); ++i) {
+          if (job.processing[i] < kTimeInfinity) {
+            block.eligible.push_back(static_cast<MachineId>(i));
+          }
+        }
+      }
+      block.eligible_offsets.push_back(
+          static_cast<std::uint32_t>(block.eligible.size()));
+      bump_matrix_bytes(num_machines_ * sizeof(Work));
+      break;
+    case StorageBackend::kSparseCsr:
+      if (!job.entries.empty()) {
+        // The backend's native form: O(eligible) append, nothing m-wide.
+        for (const SparseEntry& entry : job.entries) {
+          block.eligible.push_back(entry.machine);
+          block.csr_p.push_back(entry.p);
+        }
+      } else {
+        for (std::size_t i = 0; i < job.processing.size(); ++i) {
+          if (job.processing[i] < kTimeInfinity) {
+            block.eligible.push_back(static_cast<MachineId>(i));
+            block.csr_p.push_back(job.processing[i]);
+          }
+        }
+      }
+      block.eligible_offsets.push_back(
+          static_cast<std::uint32_t>(block.eligible.size()));
+      bump_matrix_bytes((block.eligible_offsets.back() -
+                         block.eligible_offsets[block.jobs.size() - 1]) *
+                        sizeof(Work));
+      break;
+    case StorageBackend::kGenerator:
+      // Metadata only: the closed form holds every p_ij, adjacency is the
+      // shared identity row. Nothing else to store.
+      break;
   }
-  block.eligible_offsets.push_back(
-      static_cast<std::uint32_t>(block.eligible.size()));
 
   last_release_ = job.release;
   ++num_jobs_;
   return id;
+}
+
+const StreamingJobStore::RowTile& StreamingJobStore::tile(JobId j) const {
+  RowTile& slot = tiles_[static_cast<std::size_t>(j) % kTileSlots];
+  // The fast path must still honor the retirement abort: a slot can hold a
+  // row whose block was retired since, and serving it would hide the
+  // use-after-retire the dense path traps.
+  if (slot.id == j && j >= begin_id_) return slot;
+  const Block& b = block_of(j);
+  if (slot.p.size() != num_machines_) {
+    slot.p.resize(num_machines_);
+    slot.bounds.resize(num_machines_);
+  }
+  if (backend_ == StorageBackend::kGenerator) {
+    generator_->fill_row(j, num_machines_, slot.p.data());
+    for (std::size_t i = 0; i < num_machines_; ++i) {
+      slot.bounds[i] = float_lower(slot.p[i]);
+    }
+  } else {
+    // CSR: infinity everywhere, then scatter the stored entries. FLT_MAX is
+    // float_lower(kTimeInfinity) — the same encoding the dense shadow uses.
+    std::fill(slot.p.begin(), slot.p.end(), kTimeInfinity);
+    std::fill(slot.bounds.begin(), slot.bounds.end(), FLT_MAX);
+    const std::size_t offset = offset_of(j);
+    const MachineId* cols = b.eligible.data();
+    for (std::uint32_t e = b.eligible_offsets[offset];
+         e < b.eligible_offsets[offset + 1]; ++e) {
+      const auto i = static_cast<std::size_t>(cols[e]);
+      slot.p[i] = b.csr_p[e];
+      slot.bounds[i] = float_lower(b.csr_p[e]);
+    }
+  }
+  slot.id = j;
+  return slot;
 }
 
 void StreamingJobStore::fill_bounds(const Block& block,
@@ -163,6 +319,7 @@ void StreamingJobStore::fill_bounds(const Block& block,
   // (inf -> FLT_MAX), so both stores' shadow rows obey one contract.
   if (block.bounds.empty()) {
     block.bounds.resize(jobs_per_block_ * num_machines_);
+    bump_matrix_bytes(block.bounds.size() * sizeof(float));
   }
   const std::size_t begin = block.bounds_rows_filled * num_machines_;
   const std::size_t end = (offset + 1) * num_machines_;
@@ -180,14 +337,37 @@ void StreamingJobStore::retire_below(JobId frontier) {
   const std::size_t first_live_block =
       static_cast<std::size_t>(begin_id_) / jobs_per_block_;
   for (std::size_t b = 0; b < first_live_block && b < blocks_.size(); ++b) {
-    blocks_[b].reset();
+    release_block(blocks_[b]);
   }
 }
 
 Work StreamingJobStore::min_processing(JobId j) const {
   Work best = kTimeInfinity;
-  for (std::size_t i = 0; i < num_machines_; ++i) {
-    best = std::min(best, processing_unchecked(static_cast<MachineId>(i), j));
+  switch (backend_) {
+    case StorageBackend::kDense: {
+      const Work* row = processing_row(j);
+      for (std::size_t i = 0; i < num_machines_; ++i) {
+        best = std::min(best, row[i]);
+      }
+      break;
+    }
+    case StorageBackend::kSparseCsr: {
+      const Block& b = block_of(j);
+      const std::size_t offset = offset_of(j);
+      for (std::uint32_t e = b.eligible_offsets[offset];
+           e < b.eligible_offsets[offset + 1]; ++e) {
+        best = std::min(best, b.csr_p[e]);
+      }
+      break;
+    }
+    case StorageBackend::kGenerator:
+      // Deliberately tile-free (like every point read): the caller may hold
+      // row pointers into the tiles.
+      for (std::size_t i = 0; i < num_machines_; ++i) {
+        best = std::min(
+            best, generator_->entry(j, static_cast<MachineId>(i)));
+      }
+      break;
   }
   return best;
 }
@@ -197,6 +377,41 @@ Instance StreamingJobStore::take_instance() {
       << "cannot materialize an Instance after retirement";
   std::vector<Job> jobs;
   jobs.reserve(num_jobs_);
+  // Submissions were release-ordered with dense ids, so every Instance
+  // constructor's stable (release, id) sort is the identity permutation and
+  // streamed ids keep their meaning. The materialized instance keeps the
+  // store's backend: a compact session's drain never builds the n×m matrix.
+  if (backend_ == StorageBackend::kGenerator) {
+    for (std::size_t idx = 0; idx < num_jobs_; ++idx) {
+      jobs.push_back(job(static_cast<JobId>(idx)));
+    }
+    std::shared_ptr<const RowGenerator> generator = generator_;
+    begin_id_ = static_cast<JobId>(num_jobs_);
+    for (auto& block : blocks_) release_block(block);
+    return Instance::from_generator(std::move(jobs), num_machines_,
+                                    std::move(generator));
+  }
+  if (backend_ == StorageBackend::kSparseCsr) {
+    std::vector<std::vector<SparseEntry>> rows(num_jobs_);
+    for (std::size_t idx = 0; idx < num_jobs_; ++idx) {
+      const auto j = static_cast<JobId>(idx);
+      jobs.push_back(job(j));
+      const EligibleMachines eligible = eligible_machines(j);
+      const Work* values = csr_values(j);
+      rows[idx].reserve(eligible.size());
+      for (std::size_t e = 0; e < eligible.size(); ++e) {
+        rows[idx].push_back(SparseEntry{eligible.begin()[e], values[e]});
+      }
+      if (offset_of(j) + 1 == jobs_per_block_) {
+        release_block(blocks_[idx / jobs_per_block_]);
+        begin_id_ = static_cast<JobId>(idx + 1);
+      }
+    }
+    begin_id_ = static_cast<JobId>(num_jobs_);
+    for (auto& block : blocks_) release_block(block);
+    return Instance::from_sparse_rows(std::move(jobs), num_machines_,
+                                      std::move(rows));
+  }
   std::vector<std::vector<Work>> processing(num_machines_);
   for (auto& row : processing) row.reserve(num_jobs_);
   for (std::size_t idx = 0; idx < num_jobs_; ++idx) {
@@ -210,15 +425,12 @@ Instance StreamingJobStore::take_instance() {
     // blocks-still-held stays ~one instance worth of memory, instead of
     // ending with two complete copies live at once.
     if (offset_of(j) + 1 == jobs_per_block_) {
-      blocks_[idx / jobs_per_block_].reset();
+      release_block(blocks_[idx / jobs_per_block_]);
       begin_id_ = static_cast<JobId>(idx + 1);
     }
   }
   begin_id_ = static_cast<JobId>(num_jobs_);
-  for (auto& block : blocks_) block.reset();
-  // Submissions were release-ordered with dense ids, so the Instance
-  // constructor's stable (release, id) sort is the identity permutation and
-  // streamed ids keep their meaning.
+  for (auto& block : blocks_) release_block(block);
   return Instance(std::move(jobs), std::move(processing));
 }
 

@@ -145,7 +145,8 @@ class SchedulerSession::Impl {
        SessionOptions options)
       : algorithm_(algorithm),
         options_(options),
-        store_(num_machines),
+        store_(num_machines, /*jobs_per_block=*/4096, options.storage,
+               options.generator),
         host_(make_host(algorithm, store_, records_, events_, options.run)) {
     OSCHED_CHECK(options.retain_records || !options.run.validate)
         << "low-memory sessions keep no schedule to validate; set "
@@ -166,6 +167,8 @@ class SchedulerSession::Impl {
   std::size_t max_live_jobs() const { return max_live_; }
   std::size_t num_shed() const { return sheds_spent_; }
   std::size_t num_backpressured() const { return backpressured_; }
+  std::size_t matrix_bytes() const { return store_.matrix_bytes(); }
+  std::size_t matrix_peak_bytes() const { return store_.matrix_peak_bytes(); }
   bool drained() const { return drained_; }
 
   std::string validate_job(const StreamJob& job) const {
@@ -326,9 +329,15 @@ class SchedulerSession::Impl {
     w.u64(options_.retire_batch);
     w.u64(options_.live_window_cap);  // v2: overload control
     w.u64(options_.shed_budget);      // v2
+    const StorageBackend backend = store_.backend();
+    w.u8(static_cast<std::uint8_t>(backend));  // v3: storage backend
     w.f64(now_);
     // The journal proper: every submitted job, in id order. Restore replays
-    // these through submit() — policy state is never serialized.
+    // these through submit() — policy state is never serialized. The payload
+    // form per job follows the backend (v3): dense writes the m-wide row
+    // exactly as v2 did; sparse writes an entry count plus the eligible
+    // (machine, p) pairs; generator writes the job fields only, since the
+    // closed form is code the restoring caller must supply.
     w.u64(store_.num_jobs());
     const std::size_t m = store_.num_machines();
     for (std::size_t idx = 0; idx < store_.num_jobs(); ++idx) {
@@ -337,8 +346,25 @@ class SchedulerSession::Impl {
       w.f64(job.release);
       w.f64(job.weight);
       w.f64(job.deadline);
-      const Work* row = store_.processing_row(j);
-      for (std::size_t i = 0; i < m; ++i) w.f64(row[i]);
+      switch (backend) {
+        case StorageBackend::kDense: {
+          const Work* row = store_.processing_row(j);
+          for (std::size_t i = 0; i < m; ++i) w.f64(row[i]);
+          break;
+        }
+        case StorageBackend::kSparseCsr: {
+          const EligibleMachines eligible = store_.eligible_machines(j);
+          const Work* values = store_.csr_values(j);
+          w.u32(static_cast<std::uint32_t>(eligible.size()));
+          for (std::size_t k = 0; k < eligible.size(); ++k) {
+            w.u32(static_cast<std::uint32_t>(eligible.begin()[k]));
+            w.f64(values[k]);
+          }
+          break;
+        }
+        case StorageBackend::kGenerator:
+          break;  // metadata only
+      }
     }
     return w.finish();
   }
@@ -515,6 +541,12 @@ std::size_t SchedulerSession::num_shed() const { return impl_->num_shed(); }
 std::size_t SchedulerSession::num_backpressured() const {
   return impl_->num_backpressured();
 }
+std::size_t SchedulerSession::matrix_bytes() const {
+  return impl_->matrix_bytes();
+}
+std::size_t SchedulerSession::matrix_peak_bytes() const {
+  return impl_->matrix_peak_bytes();
+}
 JobId SchedulerSession::submit(std::span<const StreamJob> jobs) {
   return impl_->submit(jobs);
 }
@@ -524,7 +556,8 @@ bool SchedulerSession::drained() const { return impl_->drained(); }
 std::string SchedulerSession::checkpoint() const { return impl_->checkpoint(); }
 
 std::unique_ptr<SchedulerSession> SchedulerSession::restore(
-    std::string_view blob, std::string* error) {
+    std::string_view blob, std::string* error,
+    std::shared_ptr<const RowGenerator> generator) {
   const auto fail = [error](std::string message) {
     if (error != nullptr) *error = std::move(message);
     return nullptr;
@@ -592,6 +625,10 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
     options.live_window_cap = static_cast<std::size_t>(r.u64());
     options.shed_budget = static_cast<std::size_t>(r.u64());
   }
+  // Storage backend entered the format in v3; older blobs are dense by
+  // construction (their journal rows ARE the dense matrix).
+  std::uint8_t backend_raw = static_cast<std::uint8_t>(StorageBackend::kDense);
+  if (version >= 3) backend_raw = r.u8();
   const Time clock = r.f64();
   const std::uint64_t num_jobs = r.u64();
   if (!r.ok()) return fail(r.error());
@@ -617,11 +654,37 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
   if (options.retire_batch == 0) {
     return fail("checkpoint corrupted: retire_batch is zero");
   }
-  // Exact-size check: the remaining bytes must hold precisely the declared
-  // job journal — this rejects a forged count before the reserve below.
+  if (backend_raw > static_cast<std::uint8_t>(StorageBackend::kGenerator)) {
+    return fail("checkpoint corrupted: unknown storage backend id " +
+                std::to_string(backend_raw));
+  }
+  const auto backend = static_cast<StorageBackend>(backend_raw);
+  options.storage = backend;
+  if (backend == StorageBackend::kGenerator) {
+    if (generator == nullptr) {
+      return fail(
+          "checkpoint names a generator-backed session, whose journal "
+          "carries job metadata only; pass the session's closed form to "
+          "restore() (the generator is code, not checkpoint data)");
+    }
+    options.generator = std::move(generator);
+  }
+  // Size check before any count-driven allocation. Dense and generator
+  // journals are fixed-stride, so the remaining bytes must hold PRECISELY
+  // the declared jobs; a sparse journal is variable-stride, so the check is
+  // a per-job minimum (3 f64 + u32 count) here and exact at the end — every
+  // per-entry read below is bounds-checked on top.
   const std::size_t job_bytes =
-      static_cast<std::size_t>(3 + num_machines) * sizeof(double);
-  if (r.remaining() != num_jobs * job_bytes) {
+      backend == StorageBackend::kDense
+          ? static_cast<std::size_t>(3 + num_machines) * sizeof(double)
+          : (backend == StorageBackend::kSparseCsr
+                 ? 3 * sizeof(double) + sizeof(std::uint32_t)
+                 : 3 * sizeof(double));
+  const bool journal_size_bad =
+      backend == StorageBackend::kSparseCsr
+          ? num_jobs > r.remaining() / job_bytes
+          : r.remaining() != num_jobs * job_bytes;
+  if (journal_size_bad) {
     return fail("checkpoint corrupted: job journal size mismatch (" +
                 std::to_string(r.remaining()) + " bytes for " +
                 std::to_string(num_jobs) + " declared jobs)");
@@ -630,13 +693,40 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
   auto session = std::make_unique<SchedulerSession>(
       algorithm, static_cast<std::size_t>(num_machines), options);
   StreamJob job;
-  job.processing.resize(static_cast<std::size_t>(num_machines));
+  if (backend == StorageBackend::kDense) {
+    job.processing.resize(static_cast<std::size_t>(num_machines));
+  }
   for (std::uint64_t idx = 0; idx < num_jobs; ++idx) {
     job.release = r.f64();
     job.weight = r.f64();
     job.deadline = r.f64();
-    for (std::size_t i = 0; i < num_machines; ++i) job.processing[i] = r.f64();
-    OSCHED_CHECK(r.ok()) << r.error();  // sizes were verified above
+    switch (backend) {
+      case StorageBackend::kDense:
+        for (std::size_t i = 0; i < num_machines; ++i) {
+          job.processing[i] = r.f64();
+        }
+        break;
+      case StorageBackend::kSparseCsr: {
+        const std::uint32_t count = r.u32();
+        if (r.ok() && count > r.remaining() / (sizeof(std::uint32_t) +
+                                               sizeof(double))) {
+          return fail("checkpoint corrupted: job " + std::to_string(idx) +
+                      " declares more sparse entries than the blob holds");
+        }
+        job.entries.clear();
+        job.entries.reserve(count);
+        for (std::uint32_t k = 0; r.ok() && k < count; ++k) {
+          SparseEntry entry;
+          entry.machine = static_cast<MachineId>(r.u32());
+          entry.p = r.f64();
+          job.entries.push_back(entry);
+        }
+        break;
+      }
+      case StorageBackend::kGenerator:
+        break;  // metadata only; the store synthesizes the row
+    }
+    if (!r.ok()) return fail(r.error());
     const std::string problems = session->validate_job(job);
     if (!problems.empty()) {
       return fail("checkpoint job " + std::to_string(idx) +
@@ -652,6 +742,13 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
                   "journal)");
     }
   }
+  // The variable-stride sparse journal gets its exact-size check here: after
+  // the declared jobs, the body must be fully consumed (fixed-stride
+  // backends already guaranteed this above).
+  if (r.remaining() != 0) {
+    return fail("checkpoint corrupted: " + std::to_string(r.remaining()) +
+                " trailing bytes after the declared job journal");
+  }
   if (!(clock >= session->now())) {
     return fail("checkpoint corrupted: clock " + std::to_string(clock) +
                 " precedes the replayed journal's clock");
@@ -664,15 +761,28 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
 api::RunSummary streamed_run(api::Algorithm algorithm, const Instance& instance,
                              const api::RunOptions& options,
                              std::size_t chunk_size) {
-  OSCHED_CHECK_GT(chunk_size, 0u);
   SessionOptions session_options;
   session_options.run = options;
+  return streamed_session_run(algorithm, instance, session_options, chunk_size);
+}
+
+api::RunSummary streamed_session_run(api::Algorithm algorithm,
+                                     const Instance& instance,
+                                     const SessionOptions& session_options,
+                                     std::size_t chunk_size) {
+  OSCHED_CHECK_GT(chunk_size, 0u);
   SchedulerSession session(algorithm, instance.num_machines(), session_options);
 
+  const bool meta_only =
+      session_options.storage == StorageBackend::kGenerator;
   StreamJob job;
   for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
     const auto j = static_cast<JobId>(idx);
-    fill_stream_job(instance, j, 0.0, &job);
+    if (meta_only) {
+      fill_stream_job_meta(instance.job(j), 0.0, &job);
+    } else {
+      fill_stream_job(instance, j, 0.0, &job);
+    }
     session.submit(job);
     // Chunk boundary: catch up to a clock strictly between this arrival
     // and the next, firing any completions due in the gap — the driving

@@ -72,6 +72,20 @@ struct SessionOptions {
   /// lets checkpoint replay (which carries accepted jobs only) reproduce
   /// every shed decision bit for bit.
   std::size_t shed_budget = 0;
+  /// Processing-time storage for the session's job store (the streaming
+  /// counterpart of Instance's backend trio). kDense keeps the m-wide row
+  /// per job (the default; the hot path is untouched). kSparseCsr stores
+  /// eligible (machine, p) entries only — a restricted-assignment tenant's
+  /// matrix cost tracks its eligibility, not m. kGenerator stores NO matrix
+  /// at all: every p_ij is synthesized from `generator`, and submissions are
+  /// metadata-only (fill_stream_job_meta). Scheduling decisions are
+  /// byte-identical across backends (tests/streaming_test.cpp pins the trio
+  /// differentially); only memory and the accepted submission forms differ.
+  StorageBackend storage = StorageBackend::kDense;
+  /// The shared closed form for kGenerator sessions (required there,
+  /// rejected elsewhere). Shared: a thousand tenants of one closed-form
+  /// family hold a thousand copies of this pointer, not of any matrix.
+  std::shared_ptr<const RowGenerator> generator;
 };
 
 /// Result of a bounded ingest attempt (try_submit).
@@ -130,6 +144,13 @@ class SchedulerSession {
   /// try_submit calls refused with kBackpressure (lifetime).
   std::size_t num_backpressured() const;
 
+  /// The session store's current / lifetime-peak p_ij payload bytes
+  /// (StreamingJobStore::matrix_bytes): the per-tenant memory metric that
+  /// collapses for sparse sessions and is zero forever for generator ones.
+  /// bench_e21_multitenant tracks the peak across a whole fleet.
+  std::size_t matrix_bytes() const;
+  std::size_t matrix_peak_bytes() const;
+
   /// Batch ingest: appends the whole span to the store in one
   /// validation/block-bookkeeping pass, then delivers the arrivals in order
   /// (internal events still fire between them, exactly as the one-job
@@ -161,8 +182,15 @@ class SchedulerSession {
   /// (same records, same queues, same future decisions). Damaged input
   /// (truncated, corrupted, wrong version/magic) returns nullptr with a
   /// diagnostic in *error; it never aborts and never reads out of bounds.
-  static std::unique_ptr<SchedulerSession> restore(std::string_view blob,
-                                                   std::string* error);
+  /// A generator-backed blob (wire v3) journals job metadata only — the
+  /// closed form itself is code, not data — so the caller must supply the
+  /// same `generator` the original session ran with; omitting it is a
+  /// diagnosed failure, and supplying a DIFFERENT closed form silently
+  /// yields a different (internally consistent) session, exactly like
+  /// feeding a different trace. Dense and sparse blobs ignore `generator`.
+  static std::unique_ptr<SchedulerSession> restore(
+      std::string_view blob, std::string* error,
+      std::shared_ptr<const RowGenerator> generator = nullptr);
 
  private:
   class Impl;
@@ -177,5 +205,18 @@ class SchedulerSession {
 api::RunSummary streamed_run(api::Algorithm algorithm, const Instance& instance,
                              const api::RunOptions& options = {},
                              std::size_t chunk_size = 65536);
+
+/// Same drive loop with full SessionOptions — the handle for running the
+/// feed against a sparse- or generator-backed session. The submission form
+/// follows the session: a kGenerator session is fed metadata-only jobs
+/// (its closed form must be the instance's own generator for the results
+/// to be comparable); otherwise fill_stream_job emits the instance
+/// backend's natural form, which any matrix-backed session accepts. The
+/// differential wall compares these runs byte-for-byte across backends.
+/// (Named distinctly — an overload would make `{}` ambiguous at call sites.)
+api::RunSummary streamed_session_run(api::Algorithm algorithm,
+                                     const Instance& instance,
+                                     const SessionOptions& session_options,
+                                     std::size_t chunk_size = 65536);
 
 }  // namespace osched::service

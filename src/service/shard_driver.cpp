@@ -218,9 +218,9 @@ std::string ShardDriver::checkpoint() {
   return w.finish();
 }
 
-std::unique_ptr<ShardDriver> ShardDriver::restore(std::string_view blob,
-                                                  std::size_t threads,
-                                                  std::string* error) {
+std::unique_ptr<ShardDriver> ShardDriver::restore(
+    std::string_view blob, std::size_t threads, std::string* error,
+    std::shared_ptr<const RowGenerator> generator) {
   const auto fail = [error](std::string message) {
     if (error != nullptr) *error = std::move(message);
     return nullptr;
@@ -262,7 +262,8 @@ std::unique_ptr<ShardDriver> ShardDriver::restore(std::string_view blob,
     r.bytes(session_blob.data(), session_blob.size());
     OSCHED_CHECK(r.ok()) << r.error();  // size was just checked
     std::string session_error;
-    auto session = SchedulerSession::restore(session_blob, &session_error);
+    auto session =
+        SchedulerSession::restore(session_blob, &session_error, generator);
     if (session == nullptr) {
       return fail("shard " + std::to_string(s) + ": " + session_error);
     }

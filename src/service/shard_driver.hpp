@@ -131,11 +131,14 @@ class ShardDriver {
   /// Rebuilds a driver (and every tenant session, bit-identically — see
   /// SchedulerSession::restore) from a checkpoint() blob. `threads` is a
   /// runtime concern, not session state, so it is chosen fresh (same
-  /// meaning as ShardDriverOptions::threads). Damaged input returns nullptr
-  /// with a diagnostic in *error.
-  static std::unique_ptr<ShardDriver> restore(std::string_view blob,
-                                              std::size_t threads,
-                                              std::string* error);
+  /// meaning as ShardDriverOptions::threads). When any shard is
+  /// generator-backed (wire v3), `generator` supplies the shared closed
+  /// form, exactly as for SchedulerSession::restore — one form for the
+  /// whole fleet, matching how SessionOptions applies to every shard.
+  /// Damaged input returns nullptr with a diagnostic in *error.
+  static std::unique_ptr<ShardDriver> restore(
+      std::string_view blob, std::size_t threads, std::string* error,
+      std::shared_ptr<const RowGenerator> generator = nullptr);
 
  private:
   struct Op {

@@ -123,6 +123,14 @@ Work closed_form_entry(const ClosedFormConfig& config, JobId j, MachineId i) {
   return finite_entry(config, jj, ii);
 }
 
+std::shared_ptr<const RowGenerator> make_closed_form_generator(
+    const ClosedFormConfig& config) {
+  OSCHED_CHECK_GE(config.eligibility, 1.0)
+      << "generator-backed sessions are fully eligible by contract; "
+         "restricted families use the sparse backend";
+  return std::make_shared<ClosedFormGenerator>(config);
+}
+
 Instance make_closed_form_instance(const ClosedFormConfig& config,
                                    StorageBackend backend) {
   OSCHED_CHECK_GT(config.num_machines, 0u);

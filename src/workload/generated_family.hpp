@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "instance/instance.hpp"
 
@@ -53,5 +54,14 @@ Work closed_form_entry(const ClosedFormConfig& config, JobId j, MachineId i);
 ///  * kGenerator — materializes nothing; requires eligibility == 1.0.
 Instance make_closed_form_instance(const ClosedFormConfig& config,
                                    StorageBackend backend);
+
+/// The family's closed form as a standalone shared RowGenerator — the value
+/// for SessionOptions::generator (and SchedulerSession::restore) when
+/// streaming this family into generator-backed sessions. Requires
+/// eligibility == 1.0, the generator contract. Equal configs produce
+/// bit-identical generators, so a restored session does not need the
+/// original pointer, just the config.
+std::shared_ptr<const RowGenerator> make_closed_form_generator(
+    const ClosedFormConfig& config);
 
 }  // namespace osched::workload

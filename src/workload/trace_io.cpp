@@ -32,24 +32,73 @@ std::optional<double> parse_value(const std::string& s) {
 // ---------------------------------------------------------------- writer
 
 TraceStreamWriter::TraceStreamWriter(std::ostream& out,
-                                     std::size_t num_machines)
-    : out_(out), num_machines_(num_machines) {
+                                     std::size_t num_machines,
+                                     TraceFormat format)
+    : out_(out), num_machines_(num_machines), format_(format) {
   util::CsvWriter writer(out_);
   std::vector<std::string> header{"release", "weight", "deadline"};
-  for (std::size_t i = 0; i < num_machines; ++i) {
-    header.push_back("p_" + std::to_string(i));
+  if (format_ == TraceFormat::kSparse) {
+    // No row spells the machine count out in the sparse dialect, so the
+    // header carries it. "eligible:" cannot collide with a dense header,
+    // whose fourth column is always "p_0".
+    header.push_back("eligible:" + std::to_string(num_machines));
+  } else {
+    for (std::size_t i = 0; i < num_machines; ++i) {
+      header.push_back("p_" + std::to_string(i));
+    }
   }
   writer.write_row(header);
 }
 
 void TraceStreamWriter::write_job(const StreamJob& job) {
-  OSCHED_CHECK_EQ(job.processing.size(), num_machines_)
-      << "trace row arity mismatch";
+  const bool has_dense = !job.processing.empty();
+  OSCHED_CHECK(has_dense || !job.entries.empty())
+      << "metadata-only jobs carry no payload to serialize";
+  if (has_dense) {
+    OSCHED_CHECK_EQ(job.processing.size(), num_machines_)
+        << "trace row arity mismatch";
+  }
   util::CsvWriter writer(out_);
   std::vector<std::string> row{format_value(job.release),
                                format_value(job.weight),
                                format_value(job.deadline)};
-  for (const Work p : job.processing) row.push_back(format_value(p));
+  if (format_ == TraceFormat::kSparse) {
+    // Eligible entries only, `i:p` pairs — converting a dense payload just
+    // drops its infinities.
+    std::string field;
+    auto append = [&field](MachineId i, Work p) {
+      if (!field.empty()) field += ' ';
+      field += std::to_string(i);
+      field += ':';
+      field += format_value(p);
+    };
+    if (has_dense) {
+      for (std::size_t i = 0; i < job.processing.size(); ++i) {
+        if (job.processing[i] < kTimeInfinity) {
+          append(static_cast<MachineId>(i), job.processing[i]);
+        }
+      }
+    } else {
+      for (const SparseEntry& entry : job.entries) {
+        OSCHED_CHECK(static_cast<std::size_t>(entry.machine) < num_machines_)
+            << "trace row machine id out of range";
+        append(entry.machine, entry.p);
+      }
+    }
+    row.push_back(std::move(field));
+  } else if (has_dense) {
+    for (const Work p : job.processing) row.push_back(format_value(p));
+  } else {
+    // Sparse payload into the dense dialect: scatter over an all-"inf" row.
+    std::vector<std::string> dense(num_machines_, "inf");
+    for (const SparseEntry& entry : job.entries) {
+      OSCHED_CHECK(static_cast<std::size_t>(entry.machine) < num_machines_)
+          << "trace row machine id out of range";
+      dense[static_cast<std::size_t>(entry.machine)] = format_value(entry.p);
+    }
+    row.insert(row.end(), std::make_move_iterator(dense.begin()),
+               std::make_move_iterator(dense.end()));
+  }
   writer.write_row(row);
   ++rows_written_;
 }
@@ -63,8 +112,23 @@ TraceStreamReader::TraceStreamReader(std::istream& in) : in_(in) {
     if (ok()) fail("empty trace");
     return;
   }
+  if (header.size() == 4 && header[3].rfind("eligible:", 0) == 0 &&
+      header[0] == "release") {
+    // Sparse dialect: the machine count rides in the header field.
+    const std::string count = header[3].substr(9);
+    char* end = nullptr;
+    const unsigned long long m = std::strtoull(count.c_str(), &end, 10);
+    if (count.empty() || end == count.c_str() || *end != '\0' || m == 0) {
+      fail("bad header (malformed machine count in eligible:<m>)");
+      return;
+    }
+    num_machines_ = static_cast<std::size_t>(m);
+    format_ = TraceFormat::kSparse;
+    return;
+  }
   if (header.size() < 4 || header[0] != "release") {
-    fail("bad header (expected release,weight,deadline,p_0,...)");
+    fail("bad header (expected release,weight,deadline,p_0,... or "
+         "release,weight,deadline,eligible:<m>)");
     return;
   }
   num_machines_ = header.size() - 3;
@@ -95,8 +159,10 @@ std::size_t TraceStreamReader::next_chunk(std::size_t max_jobs,
                                           std::vector<StreamJob>& out) {
   out.clear();
   std::vector<std::string> row;
+  const std::size_t arity =
+      format_ == TraceFormat::kSparse ? 4 : num_machines_ + 3;
   while (out.size() < max_jobs && next_row(row)) {
-    if (row.size() != num_machines_ + 3) {
+    if (row.size() != arity) {
       fail("row " + std::to_string(line_number_) + " has wrong arity");
       out.clear();
       return 0;
@@ -114,15 +180,66 @@ std::size_t TraceStreamReader::next_chunk(std::size_t max_jobs,
     job.release = *release;
     job.weight = *weight;
     job.deadline = *deadline;
-    job.processing.reserve(num_machines_);
-    for (std::size_t i = 0; i < num_machines_; ++i) {
-      const auto p = parse_value(row[3 + i]);
-      if (!p) {
-        fail("row " + std::to_string(line_number_) + " has non-numeric p_ij");
-        out.clear();
-        return 0;
+    if (format_ == TraceFormat::kSparse) {
+      // Space-separated `i:p` pairs. Traces are external input, so the
+      // structural demands from_sparse_rows/validate_job would make —
+      // in-range, strictly ascending machine ids — are diagnosed here with
+      // the row number rather than trusted downstream.
+      const std::string& field = row[3];
+      MachineId previous = kInvalidMachine;
+      std::size_t pos = 0;
+      while (pos < field.size()) {
+        const std::size_t space = field.find(' ', pos);
+        const std::size_t token_end =
+            space == std::string::npos ? field.size() : space;
+        const std::string token = field.substr(pos, token_end - pos);
+        pos = token_end + 1;
+        if (token.empty()) continue;  // tolerate doubled separators
+        const std::size_t colon = token.find(':');
+        if (colon == 0 || colon == std::string::npos) {
+          fail("row " + std::to_string(line_number_) +
+               " has a malformed i:p entry '" + token + "'");
+          out.clear();
+          return 0;
+        }
+        const std::string id_text = token.substr(0, colon);
+        char* end = nullptr;
+        const unsigned long long id = std::strtoull(id_text.c_str(), &end, 10);
+        const auto p = parse_value(token.substr(colon + 1));
+        if (end != id_text.c_str() + id_text.size() || !p) {
+          fail("row " + std::to_string(line_number_) +
+               " has a malformed i:p entry '" + token + "'");
+          out.clear();
+          return 0;
+        }
+        if (id >= num_machines_) {
+          fail("row " + std::to_string(line_number_) + " names machine " +
+               std::to_string(id) + " but the trace has " +
+               std::to_string(num_machines_) + " machines");
+          out.clear();
+          return 0;
+        }
+        const auto machine = static_cast<MachineId>(id);
+        if (previous != kInvalidMachine && machine <= previous) {
+          fail("row " + std::to_string(line_number_) +
+               " entries are not strictly ascending by machine");
+          out.clear();
+          return 0;
+        }
+        previous = machine;
+        job.entries.push_back(SparseEntry{machine, *p});
       }
-      job.processing.push_back(*p);
+    } else {
+      job.processing.reserve(num_machines_);
+      for (std::size_t i = 0; i < num_machines_; ++i) {
+        const auto p = parse_value(row[3 + i]);
+        if (!p) {
+          fail("row " + std::to_string(line_number_) + " has non-numeric p_ij");
+          out.clear();
+          return 0;
+        }
+        job.processing.push_back(*p);
+      }
     }
     out.push_back(std::move(job));
     ++rows_read_;
@@ -134,7 +251,10 @@ std::size_t TraceStreamReader::next_chunk(std::size_t max_jobs,
 
 std::string instance_to_csv(const Instance& instance) {
   std::ostringstream out;
-  TraceStreamWriter writer(out, instance.num_machines());
+  const TraceFormat format = instance.backend() == StorageBackend::kSparseCsr
+                                 ? TraceFormat::kSparse
+                                 : TraceFormat::kDense;
+  TraceStreamWriter writer(out, instance.num_machines(), format);
   StreamJob job;
   for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
     fill_stream_job(instance, static_cast<JobId>(idx), 0.0, &job);
@@ -154,25 +274,38 @@ std::optional<Instance> instance_from_csv(const std::string& text,
   if (!reader.ok()) return fail(reader.error());
 
   const std::size_t machines = reader.num_machines();
+  const bool sparse = reader.format() == TraceFormat::kSparse;
   std::vector<Job> jobs;
-  std::vector<std::vector<Work>> processing(machines);
+  std::vector<std::vector<Work>> processing(sparse ? 0 : machines);
+  std::vector<std::vector<SparseEntry>> rows;
   std::vector<StreamJob> chunk;
   while (reader.next_chunk(4096, chunk) > 0) {
-    for (const StreamJob& sj : chunk) {
+    for (StreamJob& sj : chunk) {
       Job job;
       job.id = static_cast<JobId>(jobs.size());
       job.release = sj.release;
       job.weight = sj.weight;
       job.deadline = sj.deadline;
       jobs.push_back(job);
-      for (std::size_t i = 0; i < machines; ++i) {
-        processing[i].push_back(sj.processing[i]);
+      if (sparse) {
+        rows.push_back(std::move(sj.entries));
+      } else {
+        for (std::size_t i = 0; i < machines; ++i) {
+          processing[i].push_back(sj.processing[i]);
+        }
       }
     }
   }
   if (!reader.ok()) return fail(reader.error());
 
-  Instance instance(std::move(jobs), std::move(processing));
+  // The reader already vetted the sparse structural demands (in-range,
+  // strictly ascending ids), so from_sparse_rows' aborts are unreachable
+  // from trace input; value problems (non-positive, non-finite, empty rows)
+  // surface through validate() exactly as for dense traces.
+  Instance instance =
+      sparse ? Instance::from_sparse_rows(std::move(jobs), machines,
+                                          std::move(rows))
+             : Instance(std::move(jobs), std::move(processing));
   const std::string problems = instance.validate();
   if (!problems.empty()) return fail("invalid instance: " + problems);
   return instance;

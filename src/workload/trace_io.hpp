@@ -1,9 +1,22 @@
 // Instance (trace) serialization — whole-file and chunked-streaming forms.
 //
-// CSV layout, one job per row:
-//   release,weight,deadline,p_0,p_1,...,p_{m-1}
-// with a header row naming the columns; "inf" encodes ineligible machines
-// and absent deadlines. Round-trips exactly through %.17g formatting.
+// Two CSV dialects, one job per row, auto-detected by the reader off the
+// header:
+//
+//   DENSE   release,weight,deadline,p_0,p_1,...,p_{m-1}
+//           "inf" encodes ineligible machines and absent deadlines.
+//   SPARSE  release,weight,deadline,eligible:<m>
+//           the fourth column holds the job's ELIGIBLE entries only, as
+//           space-separated `i:p` pairs in strictly ascending machine
+//           order (e.g. "3:1.5 17:0.25"); the machine count lives in the
+//           header since no row spells it out. A restricted-assignment
+//           trace at m = 4096 is a few pairs per row instead of >99%
+//           literal "inf" tokens.
+//
+// Both dialects round-trip every double exactly through %.17g formatting.
+// The dense form is the compatibility dialect — every pre-existing trace
+// parses unchanged; the writer picks the sparse form for sparse-CSR
+// instances (and on request).
 //
 // The streaming pair is the production path: TraceStreamReader parses
 // rows straight off an std::istream into StreamJob chunks — release order
@@ -23,21 +36,34 @@
 
 namespace osched::workload {
 
+/// The two trace dialects (header comment above). The reader detects the
+/// dialect; the writer is told it at construction.
+enum class TraceFormat {
+  kDense,
+  kSparse,
+};
+
 /// Incremental, bounded-memory trace writer: emits the header on
 /// construction, then one row per write_job call.
 class TraceStreamWriter {
  public:
-  TraceStreamWriter(std::ostream& out, std::size_t num_machines);
+  TraceStreamWriter(std::ostream& out, std::size_t num_machines,
+                    TraceFormat format = TraceFormat::kDense);
 
-  /// Appends one row. The job's processing arity must match num_machines.
+  /// Appends one row. Accepts either StreamJob payload form (dense row of
+  /// num_machines entries, or sparse entries with in-range ascending
+  /// machine ids) and converts to the writer's dialect as needed —
+  /// metadata-only jobs carry nothing to serialize and abort.
   void write_job(const StreamJob& job);
 
   std::size_t num_machines() const { return num_machines_; }
+  TraceFormat format() const { return format_; }
   std::size_t rows_written() const { return rows_written_; }
 
  private:
   std::ostream& out_;
   std::size_t num_machines_;
+  TraceFormat format_;
   std::size_t rows_written_ = 0;
 };
 
@@ -51,6 +77,10 @@ class TraceStreamReader {
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
   std::size_t num_machines() const { return num_machines_; }
+  /// The dialect the header announced. Jobs from a sparse trace come back
+  /// in the sparse StreamJob payload form (entries), dense traces in the
+  /// dense form (processing) — both are accepted by every submission path.
+  TraceFormat format() const { return format_; }
   /// Data rows successfully parsed so far.
   std::size_t rows_read() const { return rows_read_; }
 
@@ -66,10 +96,13 @@ class TraceStreamReader {
   std::istream& in_;
   std::string error_;
   std::size_t num_machines_ = 0;
+  TraceFormat format_ = TraceFormat::kDense;
   std::size_t rows_read_ = 0;
   std::size_t line_number_ = 0;  ///< physical line index (header = 0)
 };
 
+/// Serializes in the instance's natural dialect: sparse-CSR instances emit
+/// the sparse form, dense and generator instances the dense form.
 std::string instance_to_csv(const Instance& instance);
 
 /// Returns nullopt (with a message in *error if given) on malformed input.

@@ -432,6 +432,237 @@ TEST(Checkpoint, LowMemoryAndDrainedSessionsRefuse) {
   EXPECT_DEATH(done.checkpoint(), "drained");
 }
 
+// -------------------------------------------- storage backends (wire v3)
+
+Instance make_backend_workload(std::uint64_t seed, std::size_t n,
+                               std::size_t m, StorageBackend backend,
+                               double eligibility = 1.0) {
+  workload::ClosedFormConfig config;
+  config.num_jobs = n;
+  config.num_machines = m;
+  config.seed = seed;
+  config.load = 1.25;
+  config.eligibility = eligibility;
+  return workload::make_closed_form_instance(config, backend);
+}
+
+void feed_backend(service::SchedulerSession& session, const Instance& instance,
+                  std::size_t from, std::size_t to, bool meta_only) {
+  StreamJob job;
+  for (std::size_t idx = from; idx < to; ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    if (meta_only) {
+      fill_stream_job_meta(instance.job(j), 0.0, &job);
+    } else {
+      fill_stream_job(instance, j, 0.0, &job);
+    }
+    session.submit(job);
+  }
+}
+
+TEST(Checkpoint, SparseSessionsRoundTripTheirVariableStrideJournal) {
+  // A restricted-assignment sparse session journals (count, entries) rows of
+  // varying length — the one wire-v3 layout whose stride is data-dependent.
+  // Mid-stream cut, restore, continue: byte-identical to uninterrupted.
+  const Instance instance = make_backend_workload(
+      base_seed() + 60, 200, 8, StorageBackend::kSparseCsr,
+      /*eligibility=*/0.4);
+  service::SessionOptions options;
+  options.storage = StorageBackend::kSparseCsr;
+
+  service::SchedulerSession uninterrupted(api::Algorithm::kTheorem1,
+                                          instance.num_machines(), options);
+  feed_backend(uninterrupted, instance, 0, instance.num_jobs(), false);
+  const api::RunSummary reference = uninterrupted.drain();
+
+  service::SchedulerSession original(api::Algorithm::kTheorem1,
+                                     instance.num_machines(), options);
+  feed_backend(original, instance, 0, 100, false);
+  std::string error;
+  auto restored =
+      service::SchedulerSession::restore(original.checkpoint(), &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->num_submitted(), original.num_submitted());
+  feed_backend(*restored, instance, 100, instance.num_jobs(), false);
+  expect_identical(reference, restored->drain(), "sparse restored");
+  // The restored store is sparse, not a dense rehydration: continuing the
+  // ORIGINAL proves checkpointing was non-destructive either way.
+  feed_backend(original, instance, 100, instance.num_jobs(), false);
+  expect_identical(reference, original.drain(), "sparse original");
+}
+
+TEST(Checkpoint, GeneratorSessionsRoundTripGivenTheirClosedForm) {
+  // A generator session's journal is metadata-only; restore() is handed the
+  // closed form. A FRESH generator built from an equal config must do —
+  // equal configs produce bit-identical forms, so checkpoints survive
+  // process restarts where the original pointer is gone.
+  workload::ClosedFormConfig config;
+  config.num_jobs = 200;
+  config.num_machines = 6;
+  config.seed = base_seed() + 61;
+  config.load = 1.25;
+  const Instance instance =
+      workload::make_closed_form_instance(config, StorageBackend::kGenerator);
+  service::SessionOptions options;
+  options.storage = StorageBackend::kGenerator;
+  options.generator = workload::make_closed_form_generator(config);
+
+  service::SchedulerSession uninterrupted(api::Algorithm::kTheorem1,
+                                          instance.num_machines(), options);
+  feed_backend(uninterrupted, instance, 0, instance.num_jobs(), true);
+  const api::RunSummary reference = uninterrupted.drain();
+
+  service::SchedulerSession original(api::Algorithm::kTheorem1,
+                                     instance.num_machines(), options);
+  feed_backend(original, instance, 0, 100, true);
+  const std::string blob = original.checkpoint();
+
+  // Without the closed form the blob is undecodable — diagnosed, not UB.
+  std::string error;
+  EXPECT_EQ(service::SchedulerSession::restore(blob, &error), nullptr);
+  EXPECT_NE(error.find("generator-backed session"), std::string::npos)
+      << error;
+
+  auto restored = service::SchedulerSession::restore(
+      blob, &error, workload::make_closed_form_generator(config));
+  ASSERT_NE(restored, nullptr) << error;
+  feed_backend(*restored, instance, 100, instance.num_jobs(), true);
+  expect_identical(reference, restored->drain(), "generator restored");
+}
+
+TEST(Checkpoint, CompactBackendBlobTruncationIsDiagnosedNotUB) {
+  // The dense truncation wall has a fixed journal stride; the sparse and
+  // generator layouts have their own parse paths, so they get their own
+  // every-length truncation sweep.
+  workload::ClosedFormConfig config;
+  config.num_jobs = 12;
+  config.num_machines = 3;
+  config.seed = base_seed() + 62;
+  const auto generator = workload::make_closed_form_generator(config);
+
+  std::vector<std::string> blobs;
+  {
+    const Instance sparse = make_backend_workload(
+        base_seed() + 63, 12, 3, StorageBackend::kSparseCsr, 0.6);
+    service::SessionOptions options;
+    options.storage = StorageBackend::kSparseCsr;
+    service::SchedulerSession session(api::Algorithm::kTheorem1, 3, options);
+    feed_backend(session, sparse, 0, sparse.num_jobs(), false);
+    blobs.push_back(session.checkpoint());
+  }
+  {
+    const Instance generated =
+        workload::make_closed_form_instance(config, StorageBackend::kGenerator);
+    service::SessionOptions options;
+    options.storage = StorageBackend::kGenerator;
+    options.generator = generator;
+    service::SchedulerSession session(api::Algorithm::kTheorem1, 3, options);
+    feed_backend(session, generated, 0, generated.num_jobs(), true);
+    blobs.push_back(session.checkpoint());
+  }
+  for (const std::string& blob : blobs) {
+    for (std::size_t len = 0; len < blob.size(); ++len) {
+      std::string error;
+      const auto restored = service::SchedulerSession::restore(
+          std::string_view(blob.data(), len), &error, generator);
+      EXPECT_EQ(restored, nullptr) << "prefix of " << len << " bytes restored";
+      EXPECT_FALSE(error.empty()) << "no diagnostic at " << len << " bytes";
+    }
+  }
+}
+
+TEST(Checkpoint, ForgedBackendFieldsAreDiagnosed) {
+  using service::CheckpointWriter;
+  // The v3 header through the overload fields, for a 1-machine kGreedySpt
+  // session — each case below appends a differently damaged tail.
+  const auto begin_v3 = [](CheckpointWriter& w) {
+    w.bytes(service::kSessionCheckpointMagic, 8);
+    w.u32(3);
+    w.u32(static_cast<std::uint32_t>(api::Algorithm::kGreedySpt));
+    w.u64(1);     // machines
+    w.f64(0.2);   // epsilon
+    w.f64(2.0);   // alpha
+    w.u64(8);     // speed_levels
+    w.f64(0.5);   // start_grid
+    w.u8(0);      // validate off
+    w.u64(0);     // no fleet events
+    w.u64(0);     // initially_down
+    w.u64(0);     // rejection_budget
+    w.u8(1);      // shed_killed_running
+    w.u64(8192);  // retire_batch
+    w.u64(0);     // live_window_cap
+    w.u64(0);     // shed_budget
+  };
+
+  std::string error;
+  {
+    // A backend id the trio does not name.
+    CheckpointWriter w;
+    begin_v3(w);
+    w.u8(7);     // forged backend
+    w.f64(0.0);  // clock
+    w.u64(0);    // no jobs
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("unknown storage backend id 7"), std::string::npos)
+        << error;
+  }
+  {
+    // A sparse job declaring more entries than the blob holds: the count is
+    // bounds-checked before any allocation or read.
+    CheckpointWriter w;
+    begin_v3(w);
+    w.u8(static_cast<std::uint8_t>(StorageBackend::kSparseCsr));
+    w.f64(0.0);  // clock
+    w.u64(1);    // one journaled job
+    w.f64(0.0);            // release
+    w.f64(1.0);            // weight
+    w.f64(kTimeInfinity);  // deadline
+    w.u32(0x00ffffff);     // entry count: a lie
+    w.u32(0);              // one real entry's machine...
+    w.f64(1.0);            // ...and value
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("more sparse entries than the blob holds"),
+              std::string::npos)
+        << error;
+  }
+  {
+    // A dense journal is fixed-stride, so surplus bytes are caught by the
+    // up-front size check.
+    CheckpointWriter w;
+    begin_v3(w);
+    w.u8(static_cast<std::uint8_t>(StorageBackend::kDense));
+    w.f64(0.0);  // clock
+    w.u64(1);    // one journaled job
+    w.f64(0.0);            // release
+    w.f64(1.0);            // weight
+    w.f64(kTimeInfinity);  // deadline
+    w.f64(1.0);            // the 1-machine processing row
+    w.f64(42.0);           // surplus
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("job journal size mismatch"), std::string::npos)
+        << error;
+  }
+  {
+    // The sparse journal's stride is data-dependent, so its surplus check
+    // runs after replay: bytes left over are damage, not padding.
+    CheckpointWriter w;
+    begin_v3(w);
+    w.u8(static_cast<std::uint8_t>(StorageBackend::kSparseCsr));
+    w.f64(0.0);  // clock
+    w.u64(1);    // one journaled job
+    w.f64(0.0);            // release
+    w.f64(1.0);            // weight
+    w.f64(kTimeInfinity);  // deadline
+    w.u32(1);              // one entry
+    w.u32(0);              // machine 0
+    w.f64(1.0);            // p
+    w.u32(0);              // trailing garbage...
+    w.f64(42.0);           // ...the declared journal never claims
+    EXPECT_EQ(service::SchedulerSession::restore(w.finish(), &error), nullptr);
+    EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+  }
+}
+
 TEST(ShardDriverCheckpoint, RoundTripAcrossThreadCounts) {
   // Checkpoint a 4-tenant driver mid-stream; restore twice (inline mode and
   // a real worker pool) and continue all three drivers identically: every
@@ -506,6 +737,67 @@ TEST(ShardDriverCheckpoint, DamagedContainerIsDiagnosed) {
   EXPECT_NE(error.find("magic"), std::string::npos) << error;
   EXPECT_EQ(service::SchedulerSession::restore(blob, &error), nullptr);
   EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(ShardDriverCheckpoint, GeneratorFleetRestoresWithOneSharedForm) {
+  // A whole fleet of generator-backed tenants checkpoints metadata-only
+  // journals and restores against ONE closed form passed to
+  // ShardDriver::restore — the multi-tenant shape bench_e21 soaks at scale.
+  constexpr std::size_t kShards = 3;
+  workload::ClosedFormConfig config;
+  config.num_jobs = 150;
+  config.num_machines = 4;
+  config.seed = base_seed() + 70;
+  config.load = 1.25;
+  const Instance instance =
+      workload::make_closed_form_instance(config, StorageBackend::kGenerator);
+  const auto generator = workload::make_closed_form_generator(config);
+
+  service::ShardDriverOptions options;
+  options.threads = 2;
+  options.session.storage = StorageBackend::kGenerator;
+  options.session.generator = generator;
+  service::ShardDriver original(api::Algorithm::kTheorem1, kShards, 4,
+                                options);
+  const auto feed_driver = [&](service::ShardDriver& driver, std::size_t from,
+                               std::size_t to) {
+    StreamJob job;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (std::size_t k = from; k < to; ++k) {
+        fill_stream_job_meta(instance.job(static_cast<JobId>(k)), 0.0, &job);
+        driver.submit(s, job);
+      }
+    }
+    driver.pump();
+  };
+  feed_driver(original, 0, 75);
+  const std::string blob = original.checkpoint();
+
+  std::string error;
+  EXPECT_EQ(service::ShardDriver::restore(blob, 1, &error), nullptr)
+      << "a generator fleet must not restore without its closed form";
+  EXPECT_NE(error.find("generator-backed session"), std::string::npos)
+      << error;
+
+  auto restored = service::ShardDriver::restore(blob, 2, &error, generator);
+  ASSERT_NE(restored, nullptr) << error;
+  feed_driver(original, 75, config.num_jobs);
+  feed_driver(*restored, 75, config.num_jobs);
+  const auto a = original.drain_all();
+  const auto b = restored->drain_all();
+  ASSERT_EQ(a.size(), kShards);
+  ASSERT_EQ(b.size(), kShards);
+
+  service::SessionOptions solo_options;
+  solo_options.storage = StorageBackend::kGenerator;
+  solo_options.generator = generator;
+  service::SchedulerSession solo(api::Algorithm::kTheorem1, 4, solo_options);
+  feed_backend(solo, instance, 0, instance.num_jobs(), true);
+  const api::RunSummary reference = solo.drain();
+  for (std::size_t s = 0; s < kShards; ++s) {
+    expect_identical(reference, a[s], "original shard " + std::to_string(s));
+    expect_identical(reference, b[s], "restored shard " + std::to_string(s));
+  }
 }
 
 }  // namespace

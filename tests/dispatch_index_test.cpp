@@ -12,8 +12,11 @@
 // explore fresh instances every run, reproducibly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
+#include "api/scheduler_api.hpp"
 #include "core/energy_flow/energy_flow.hpp"
 #include "core/flow/rejection_flow.hpp"
 #include "extensions/weighted_flow.hpp"
@@ -192,6 +195,54 @@ TEST(DispatchIndex, Theorem2IndexedEqualsLinearScan) {
         }
       }
     }
+  }
+}
+
+// The order table stores machine ids as uint16, so construction skips it at
+// m >= 65536 and dispatch degrades to the shadow-row scan. The skip used to
+// be silent; it is now attributable three ways — Instance::
+// dispatch_index_active(), RunSummary::dispatch_index_active, and a
+// one-time stderr note — and this pins the exact boundary. Sparse rows keep
+// the 65536-machine instance tiny (memory is O(eligible entries), not n×m).
+TEST(DispatchIndex, OrderTableStopsAtTheUint16IdCeiling) {
+  for (const std::size_t m : {std::size_t{65535}, std::size_t{65536}}) {
+    std::vector<Job> jobs;
+    std::vector<std::vector<SparseEntry>> rows;
+    for (std::size_t k = 0; k < 12; ++k) {
+      Job job;
+      job.id = static_cast<JobId>(k);
+      job.release = static_cast<Time>(k) * 0.25;
+      jobs.push_back(job);
+      // Eligible on a handful of machines spread across the full id range —
+      // including m-1, the id that only fits when m <= 65536.
+      rows.push_back({{static_cast<MachineId>(k % 7), 2.0 + 0.125 * k},
+                      {static_cast<MachineId>(m / 2 + k), 1.0 + 0.25 * k},
+                      {static_cast<MachineId>(m - 1 - k), 3.0 + 0.5 * k}});
+      std::sort(rows.back().begin(), rows.back().end(),
+                [](const SparseEntry& a, const SparseEntry& b) {
+                  return a.machine < b.machine;
+                });
+    }
+    const Instance instance =
+        Instance::from_sparse_rows(std::move(jobs), m, std::move(rows));
+    const bool expect_active = m < 65536;
+    EXPECT_EQ(instance.dispatch_index_active(), expect_active) << "m=" << m;
+    EXPECT_EQ(instance.p_order_row(0) != nullptr, expect_active) << "m=" << m;
+
+    // Either side of the boundary, indexed dispatch (with or without the
+    // table) stays bit-identical to the exhaustive scan.
+    RejectionFlowOptions indexed;
+    indexed.epsilon = 0.5;
+    RejectionFlowOptions linear = indexed;
+    linear.dispatch = DispatchMode::kLinearScan;
+    const RejectionFlowResult a = run_rejection_flow(instance, indexed);
+    const RejectionFlowResult b = run_rejection_flow(instance, linear);
+    expect_same_schedule(a.schedule, b.schedule, "m=" + std::to_string(m));
+
+    // And the facade surfaces the flag.
+    const api::RunSummary summary =
+        api::run(api::Algorithm::kTheorem1, instance);
+    EXPECT_EQ(summary.dispatch_index_active, expect_active) << "m=" << m;
   }
 }
 

@@ -331,6 +331,35 @@ TEST(StorageBackend, FacadeAccessorsAgree) {
   }
 }
 
+TEST(StorageBackend, DispatchIndexFlagTracksTheOrderTable) {
+  // RunSummary::dispatch_index_active surfaces whether the (p, id) order
+  // table backed the run — true for the matrix backends (below the uint16
+  // ceiling; dispatch_index_test covers the boundary), false for the
+  // generator backend, which never builds one.
+  workload::ClosedFormConfig config;
+  config.num_jobs = 60;
+  config.num_machines = 6;
+  config.seed = base_seed() + 53;
+  const Instance dense =
+      workload::make_closed_form_instance(config, StorageBackend::kDense);
+  const Instance sparse =
+      workload::make_closed_form_instance(config, StorageBackend::kSparseCsr);
+  const Instance gen =
+      workload::make_closed_form_instance(config, StorageBackend::kGenerator);
+  EXPECT_TRUE(dense.dispatch_index_active());
+  EXPECT_TRUE(sparse.dispatch_index_active());
+  EXPECT_FALSE(gen.dispatch_index_active());
+  EXPECT_TRUE(
+      api::run(api::Algorithm::kGreedySpt, dense).dispatch_index_active);
+  EXPECT_FALSE(
+      api::run(api::Algorithm::kGreedySpt, gen).dispatch_index_active);
+
+  // The shared closed form is reachable for streaming handoff (and only
+  // from the backend that has one).
+  EXPECT_NE(gen.shared_generator(), nullptr);
+  EXPECT_DEATH(dense.shared_generator(), "");
+}
+
 TEST(StorageBackend, StoreBytesCollapseForSparseFamilies) {
   workload::ClosedFormConfig config;
   config.num_jobs = 2000;

@@ -24,6 +24,7 @@
 #include "service/scheduler_session.hpp"
 #include "service/shard_driver.hpp"
 #include "sim/schedule_io.hpp"
+#include "workload/generated_family.hpp"
 #include "workload/generators.hpp"
 
 namespace osched {
@@ -297,6 +298,361 @@ TEST(StreamingSession, ValidateJobReportsRecoverableProblems) {
   late.release = 3.0;
   late.processing = {1.0, 1.0};
   EXPECT_NE(session.validate_job(late).find("session clock"), std::string::npos);
+}
+
+// ------------------------------------------------ storage-backend sessions
+//
+// The streaming counterpart of tests/storage_backend_test.cpp: a session's
+// storage backend (dense / sparse CSR / generator) must be invisible to
+// scheduling. Dense, sparse and generator sessions fed the same closed-form
+// workload drain byte-identical RunSummaries — including under overload
+// control and across mid-stream checkpoint cuts (checkpoint_test.cpp covers
+// the cut legs; the overload legs live here).
+
+workload::ClosedFormConfig trio_config(std::uint64_t seed, std::size_t n,
+                                       std::size_t m,
+                                       double eligibility = 1.0) {
+  workload::ClosedFormConfig config;
+  config.num_jobs = n;
+  config.num_machines = m;
+  config.seed = seed;
+  config.load = 1.25;
+  config.eligibility = eligibility;
+  return config;
+}
+
+service::SessionOptions backend_options(
+    StorageBackend storage,
+    std::shared_ptr<const RowGenerator> generator = nullptr) {
+  service::SessionOptions options;
+  options.storage = storage;
+  options.generator = std::move(generator);
+  return options;
+}
+
+TEST(StreamingDifferential, StorageBackendTrioMatchesTheDenseBatchExactly) {
+  const workload::ClosedFormConfig config =
+      trio_config(base_seed() + 71, 300, 8);
+  const Instance dense =
+      workload::make_closed_form_instance(config, StorageBackend::kDense);
+  const Instance sparse =
+      workload::make_closed_form_instance(config, StorageBackend::kSparseCsr);
+  const Instance generated =
+      workload::make_closed_form_instance(config, StorageBackend::kGenerator);
+  const auto generator = workload::make_closed_form_generator(config);
+
+  const std::size_t chunk_sizes[] = {1, 97, 100000};
+  for (const api::Algorithm algorithm : kStreamable) {
+    const api::RunSummary batch = api::run(algorithm, dense);
+    for (const std::size_t chunk : chunk_sizes) {
+      const std::string context = std::string(api::to_string(algorithm)) +
+                                  " chunk=" + std::to_string(chunk);
+      expect_bit_identical(
+          batch,
+          service::streamed_session_run(algorithm, dense, {}, chunk),
+          context + " dense session");
+      expect_bit_identical(
+          batch,
+          service::streamed_session_run(
+              algorithm, sparse,
+              backend_options(StorageBackend::kSparseCsr), chunk),
+          context + " sparse session");
+      expect_bit_identical(
+          batch,
+          service::streamed_session_run(
+              algorithm, generated,
+              backend_options(StorageBackend::kGenerator, generator), chunk),
+          context + " generator session");
+    }
+  }
+}
+
+TEST(StreamingDifferential, RestrictedSparseSessionsMatchTheDenseBatch) {
+  // Restricted assignment is what the sparse backend exists for: eligible
+  // rows are short, so the CSR session stores a fraction of the dense
+  // matrix — and must still decide identically. Both submission forms are
+  // crossed with both matrix backends: fill_stream_job emits the instance
+  // backend's natural form, and each store accepts either.
+  const workload::ClosedFormConfig config =
+      trio_config(base_seed() + 73, 300, 8, /*eligibility=*/0.35);
+  const Instance dense =
+      workload::make_closed_form_instance(config, StorageBackend::kDense);
+  const Instance sparse =
+      workload::make_closed_form_instance(config, StorageBackend::kSparseCsr);
+
+  for (const api::Algorithm algorithm : kStreamable) {
+    const api::RunSummary batch = api::run(algorithm, dense);
+    const std::string name = api::to_string(algorithm);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{97}}) {
+      expect_bit_identical(
+          batch,
+          service::streamed_session_run(
+              algorithm, sparse,
+              backend_options(StorageBackend::kSparseCsr), chunk),
+          name + " sparse->sparse chunk=" + std::to_string(chunk));
+    }
+    // Cross-form legs: sparse submissions into a dense store, dense
+    // submissions into a sparse store.
+    expect_bit_identical(
+        batch, service::streamed_session_run(algorithm, sparse, {}, 97),
+        name + " sparse->dense");
+    expect_bit_identical(
+        batch,
+        service::streamed_session_run(
+            algorithm, dense, backend_options(StorageBackend::kSparseCsr), 97),
+        name + " dense->sparse");
+  }
+}
+
+struct CappedRun {
+  std::vector<service::SubmitOutcome> outcomes;
+  std::size_t shed = 0;
+  std::size_t backpressured = 0;
+  api::RunSummary summary;
+};
+
+CappedRun run_capped(const Instance& instance,
+                     service::SessionOptions options) {
+  service::SchedulerSession session(api::Algorithm::kTheorem1,
+                                    instance.num_machines(), options);
+  const bool meta_only = options.storage == StorageBackend::kGenerator;
+  CappedRun result;
+  StreamJob job;
+  for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    if (meta_only) {
+      fill_stream_job_meta(instance.job(j), 0.0, &job);
+    } else {
+      fill_stream_job(instance, j, 0.0, &job);
+    }
+    // A refused job is dropped, not retried — keeps the accepted arrival
+    // sequence a pure function of the outcomes being compared.
+    result.outcomes.push_back(session.try_submit(job));
+  }
+  result.shed = session.num_shed();
+  result.backpressured = session.num_backpressured();
+  result.summary = session.drain();
+  return result;
+}
+
+TEST(StreamingSession, OverloadShedsAreByteIdenticalAcrossTheTrio) {
+  // Saturation handling must be a function of the arrival sequence alone,
+  // never of how p_ij is stored. With a shed budget covering every
+  // saturation, all arrivals are accepted (ids stay aligned with the
+  // stream), so all THREE backends — generator included — must pick the
+  // same shed victims and drain byte-identical.
+  workload::ClosedFormConfig config = trio_config(base_seed() + 79, 400, 6);
+  config.load = 4.0;  // deep overload: the window must actually saturate
+  const auto generator = workload::make_closed_form_generator(config);
+  // cap > m guarantees a pending (shed-able) victim at every saturation.
+  service::SessionOptions options;
+  options.live_window_cap = 8;
+  options.shed_budget = 100000;
+
+  const CappedRun dense = run_capped(
+      workload::make_closed_form_instance(config, StorageBackend::kDense),
+      options);
+  options.storage = StorageBackend::kSparseCsr;
+  const CappedRun sparse = run_capped(
+      workload::make_closed_form_instance(config, StorageBackend::kSparseCsr),
+      options);
+  options.storage = StorageBackend::kGenerator;
+  options.generator = generator;
+  const CappedRun generated = run_capped(
+      workload::make_closed_form_instance(config, StorageBackend::kGenerator),
+      options);
+
+  EXPECT_GT(dense.shed, 0u) << "shed budget never drawn on";
+  EXPECT_EQ(dense.backpressured, 0u) << "budget must cover every saturation";
+  EXPECT_EQ(dense.outcomes, sparse.outcomes);
+  EXPECT_EQ(dense.outcomes, generated.outcomes);
+  EXPECT_EQ(dense.shed, sparse.shed);
+  EXPECT_EQ(dense.shed, generated.shed);
+  EXPECT_EQ(dense.backpressured, sparse.backpressured);
+  EXPECT_EQ(dense.backpressured, generated.backpressured);
+  expect_bit_identical(dense.summary, sparse.summary, "shed sparse");
+  expect_bit_identical(dense.summary, generated.summary, "shed generator");
+}
+
+TEST(StreamingSession, BackpressureDropsAreByteIdenticalAcrossMatrixBackends) {
+  // Once the shed budget is spent, refusals drop jobs from the stream. The
+  // payload-carrying backends must still agree on every outcome and drain
+  // byte-identical. The generator backend is out of scope here BY DESIGN: a
+  // generator tenant's p_ij is a function of the store-assigned id, and a
+  // dropped submission shifts that id space, so no matrix twin of the
+  // post-drop stream exists — its overload behaviour is pinned by the
+  // all-accepted shed leg above.
+  workload::ClosedFormConfig config = trio_config(base_seed() + 79, 400, 6);
+  config.load = 4.0;
+  service::SessionOptions options;
+  options.live_window_cap = 8;
+  options.shed_budget = 5;
+
+  const CappedRun dense = run_capped(
+      workload::make_closed_form_instance(config, StorageBackend::kDense),
+      options);
+  options.storage = StorageBackend::kSparseCsr;
+  const CappedRun sparse = run_capped(
+      workload::make_closed_form_instance(config, StorageBackend::kSparseCsr),
+      options);
+
+  EXPECT_GT(dense.backpressured, 0u) << "live_window_cap never saturated";
+  EXPECT_GT(dense.shed, 0u) << "shed budget never drawn on";
+  EXPECT_EQ(dense.outcomes, sparse.outcomes);
+  EXPECT_EQ(dense.shed, sparse.shed);
+  EXPECT_EQ(dense.backpressured, sparse.backpressured);
+  expect_bit_identical(dense.summary, sparse.summary, "capped sparse");
+}
+
+TEST(StreamingSession, ValidateJobDiagnosesMalformedSparseSubmissions) {
+  // The sparse submission contract's recoverable diagnostics, mirrored from
+  // the store's validator: every structural demand names the offending
+  // entry instead of aborting, so multi-tenant frontends can refuse one bad
+  // tenant row without dying.
+  service::SchedulerSession session(
+      api::Algorithm::kTheorem1, 3,
+      backend_options(StorageBackend::kSparseCsr));
+
+  StreamJob good;
+  good.release = 1.0;
+  good.entries = {SparseEntry{0, 1.0}, SparseEntry{2, 2.0}};
+  EXPECT_EQ(session.validate_job(good), "");
+
+  StreamJob both_forms = good;
+  both_forms.processing = {1.0, 2.0, 3.0};
+  EXPECT_NE(session.validate_job(both_forms).find("exactly one payload form"),
+            std::string::npos);
+
+  StreamJob empty;
+  empty.release = 1.0;
+  EXPECT_NE(session.validate_job(empty).find("empty payload"),
+            std::string::npos);
+
+  StreamJob out_of_range = good;
+  out_of_range.entries = {SparseEntry{0, 1.0}, SparseEntry{5, 1.0}};
+  const std::string range_problem = session.validate_job(out_of_range);
+  EXPECT_NE(range_problem.find("out of range (store has 3"),
+            std::string::npos)
+      << range_problem;
+
+  StreamJob duplicate = good;
+  duplicate.entries = {SparseEntry{1, 1.0}, SparseEntry{1, 2.0}};
+  EXPECT_NE(session.validate_job(duplicate).find("duplicates machine 1"),
+            std::string::npos);
+
+  StreamJob descending = good;
+  descending.entries = {SparseEntry{2, 1.0}, SparseEntry{1, 2.0}};
+  EXPECT_NE(session.validate_job(descending).find("out of order"),
+            std::string::npos);
+
+  StreamJob non_positive = good;
+  non_positive.entries = {SparseEntry{0, -1.0}};
+  EXPECT_NE(session.validate_job(non_positive).find("non-positive or NaN"),
+            std::string::npos);
+
+  StreamJob infinite = good;
+  infinite.entries = {SparseEntry{0, kTimeInfinity}};
+  EXPECT_NE(session.validate_job(infinite).find(
+                "not finite (omit ineligible machines)"),
+            std::string::npos);
+
+  // Payload-form vs backend mismatches are recoverable too.
+  workload::ClosedFormConfig config = trio_config(1, 4, 3);
+  service::SchedulerSession generated(
+      api::Algorithm::kTheorem1, 3,
+      backend_options(StorageBackend::kGenerator,
+                      workload::make_closed_form_generator(config)));
+  EXPECT_NE(generated.validate_job(good).find("metadata-only submissions"),
+            std::string::npos);
+  EXPECT_EQ(generated.validate_job(empty), "");
+}
+
+TEST(StreamingSession, StoreBackendsServeIdenticalDataAndCollapseBytes) {
+  // Store-level equivalence beneath the session wall: the three backends
+  // hand every accessor the same doubles, and the compact backends' matrix
+  // footprint collapses (generator to zero, restricted CSR to the adjacency
+  // fraction). Small blocks force multi-block coverage and retirement.
+  const workload::ClosedFormConfig config =
+      trio_config(base_seed() + 83, 64, 8);
+  const Instance dense_instance =
+      workload::make_closed_form_instance(config, StorageBackend::kDense);
+  const auto generator = workload::make_closed_form_generator(config);
+
+  service::StreamingJobStore dense(8, /*jobs_per_block=*/16);
+  service::StreamingJobStore sparse(8, 16, StorageBackend::kSparseCsr);
+  service::StreamingJobStore generated(8, 16, StorageBackend::kGenerator,
+                                       generator);
+  StreamJob job;
+  for (std::size_t idx = 0; idx < dense_instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    fill_stream_job(dense_instance, j, 0.0, &job);
+    dense.append(job);
+    sparse.append(job);
+    fill_stream_job_meta(dense_instance.job(j), 0.0, &job);
+    generated.append(job);
+  }
+
+  for (std::size_t idx = 0; idx < dense_instance.num_jobs(); ++idx) {
+    const auto j = static_cast<JobId>(idx);
+    EXPECT_EQ(dense.job(j).release, sparse.job(j).release);
+    EXPECT_EQ(dense.job(j).release, generated.job(j).release);
+    ASSERT_EQ(sparse.eligible_machines(j).size(), 8u);
+    ASSERT_EQ(generated.eligible_machines(j).size(), 8u);
+    const Work* sparse_values = sparse.csr_values(j);
+    const Work* dense_row = dense.processing_row(j);
+    const Work* sparse_row = sparse.processing_row(j);
+    const float* dense_bounds = dense.bounds_row(j);
+    const float* sparse_bounds = sparse.bounds_row(j);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const auto machine = static_cast<MachineId>(i);
+      const Work p = dense.processing_unchecked(machine, j);
+      EXPECT_EQ(p, sparse.processing_unchecked(machine, j));
+      EXPECT_EQ(p, generated.processing_unchecked(machine, j));
+      EXPECT_EQ(p, sparse_values[i]);  // fully eligible: CSR row is dense
+      EXPECT_EQ(dense_row[i], sparse_row[i]);
+      EXPECT_EQ(dense_bounds[i], sparse_bounds[i]);
+    }
+    const Work* generated_row = generated.processing_row(j);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(dense.processing_unchecked(static_cast<MachineId>(i), j),
+                generated_row[i]);
+    }
+    EXPECT_EQ(dense.min_processing(j), sparse.min_processing(j));
+    EXPECT_EQ(dense.min_processing(j), generated.min_processing(j));
+  }
+
+  // The memory story: a generator store never holds matrix bytes; the tile
+  // scratch is excluded by contract.
+  EXPECT_EQ(generated.matrix_bytes(), 0u);
+  EXPECT_EQ(generated.matrix_peak_bytes(), 0u);
+  EXPECT_GT(dense.matrix_bytes(), 0u);
+  EXPECT_GT(sparse.matrix_bytes(), 0u);
+
+  // Retiring whole blocks hands their payload back and the peak stands.
+  const std::size_t dense_before = dense.matrix_bytes();
+  dense.retire_below(32);
+  sparse.retire_below(32);
+  EXPECT_LT(dense.matrix_bytes(), dense_before);
+  EXPECT_GE(dense.matrix_peak_bytes(), dense_before);
+
+  // A restricted family's CSR store holds ~the eligibility fraction of its
+  // dense twin's bytes (eligibility 0.25 here, bound generously at 1/2).
+  const workload::ClosedFormConfig restricted =
+      trio_config(base_seed() + 89, 64, 32, /*eligibility=*/0.25);
+  const Instance restricted_sparse = workload::make_closed_form_instance(
+      restricted, StorageBackend::kSparseCsr);
+  service::StreamingJobStore wide_dense(32);
+  service::StreamingJobStore wide_sparse(32, 4096,
+                                         StorageBackend::kSparseCsr);
+  for (std::size_t idx = 0; idx < restricted_sparse.num_jobs(); ++idx) {
+    fill_stream_job(restricted_sparse, static_cast<JobId>(idx), 0.0, &job);
+    wide_dense.append(job);
+    wide_sparse.append(job);
+  }
+  EXPECT_LT(wide_sparse.matrix_peak_bytes(),
+            wide_dense.matrix_peak_bytes() / 2)
+      << "sparse " << wide_sparse.matrix_peak_bytes() << " vs dense "
+      << wide_dense.matrix_peak_bytes();
 }
 
 TEST(ShardDriver, ThreadCountNeverChangesAnyTenantsOutcome) {

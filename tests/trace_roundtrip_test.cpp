@@ -214,5 +214,198 @@ TEST(TraceRoundTrip, MalformedInputComesBackAsMessages) {
   EXPECT_NE(error.find("NaN"), std::string::npos);
 }
 
+// ------------------------------------------------------- sparse dialect
+
+TEST(TraceRoundTrip, SparseInstancesRoundTripInTheSparseDialect) {
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    WorkloadConfig config;
+    config.num_jobs = 150;
+    config.num_machines = 8;
+    config.seed = base_seed() + 300 + s;
+    config.machines.model = MachineModel::kRestricted;
+    config.machines.eligibility = 0.3;
+    config.weights = WeightDistribution::kUniform;
+    config.with_deadlines = s % 2 == 1;
+    const Instance original =
+        generate_workload(config).with_backend(StorageBackend::kSparseCsr);
+
+    const std::string text = instance_to_csv(original);
+    // The sparse header, not m "p_i" columns — and no ineligible-machine
+    // "inf" entries anywhere (absent deadlines still serialize as "inf").
+    EXPECT_NE(text.find("eligible:8"), std::string::npos);
+    EXPECT_EQ(text.find(":inf"), std::string::npos);
+
+    std::string error;
+    const auto reloaded = instance_from_csv(text, &error);
+    ASSERT_TRUE(reloaded.has_value()) << error;
+    EXPECT_EQ(reloaded->backend(), StorageBackend::kSparseCsr);
+    expect_bit_identical(original, *reloaded);
+    // Closed loop, same as the dense dialect.
+    EXPECT_EQ(instance_to_csv(*reloaded), text) << "seed " << s;
+  }
+}
+
+TEST(TraceRoundTrip, SparseDialectSurvivesExtremeMagnitudes) {
+  const double tiny = 5e-324;
+  const double next = std::nextafter(1.0, 2.0);
+  std::vector<Job> jobs(3);
+  jobs[0] = Job{0, 0.0, 1.0 / 3.0, kTimeInfinity};
+  jobs[1] = Job{1, 1e-17, next, 1e-17 + 1e300};
+  jobs[2] = Job{2, 1.0e300, 1e-300, kTimeInfinity};
+  std::vector<std::vector<SparseEntry>> rows = {
+      {{0, tiny}, {1, 1e300}},
+      {{1, next}},
+      {{0, 0.1}, {1, 1e-300}},
+  };
+  const Instance original =
+      Instance::from_sparse_rows(jobs, 2, std::move(rows));
+  ASSERT_EQ(original.validate(), "");
+
+  const std::string text = instance_to_csv(original);
+  std::string error;
+  const auto reloaded = instance_from_csv(text, &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  expect_bit_identical(original, *reloaded);
+  EXPECT_EQ(instance_to_csv(*reloaded), text);
+}
+
+TEST(TraceRoundTrip, ChunkedReaderHandsOutSparseJobsInTheSparseForm) {
+  WorkloadConfig config;
+  config.num_jobs = 200;
+  config.num_machines = 6;
+  config.seed = base_seed() + 400;
+  config.machines.model = MachineModel::kRestricted;
+  config.machines.eligibility = 0.4;
+  const Instance original =
+      generate_workload(config).with_backend(StorageBackend::kSparseCsr);
+  const std::string text = instance_to_csv(original);
+
+  for (const std::size_t chunk_size : {1ul, 7ul, 100000ul}) {
+    std::istringstream in(text);
+    TraceStreamReader reader(in);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.format(), TraceFormat::kSparse);
+    EXPECT_EQ(reader.num_machines(), original.num_machines());
+
+    std::size_t at = 0;
+    std::vector<StreamJob> chunk;
+    while (reader.next_chunk(chunk_size, chunk) > 0) {
+      for (const StreamJob& job : chunk) {
+        ASSERT_LT(at, original.num_jobs());
+        const auto j = static_cast<JobId>(at);
+        EXPECT_EQ(job.release, original.job(j).release);
+        EXPECT_TRUE(job.processing.empty());
+        const EligibleMachines eligible = original.eligible_machines(j);
+        ASSERT_EQ(job.entries.size(), eligible.size());
+        for (std::size_t k = 0; k < job.entries.size(); ++k) {
+          EXPECT_EQ(job.entries[k].machine, eligible.begin()[k]);
+          EXPECT_EQ(job.entries[k].p,
+                    original.processing_unchecked(eligible.begin()[k], j));
+        }
+        ++at;
+      }
+    }
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(at, original.num_jobs());
+  }
+}
+
+TEST(TraceRoundTrip, MalformedSparseInputComesBackAsMessages) {
+  std::string error;
+  // Broken machine count in the header.
+  EXPECT_FALSE(
+      instance_from_csv("release,weight,deadline,eligible:zap\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("bad header"), std::string::npos);
+  EXPECT_FALSE(instance_from_csv("release,weight,deadline,eligible:0\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("bad header"), std::string::npos);
+
+  // Rows must have exactly 4 fields.
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,0:2,1:3\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("wrong arity"), std::string::npos);
+
+  // Token shapes: missing colon, non-numeric halves.
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,0:2 1\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("malformed i:p entry"), std::string::npos);
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,a:2\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("malformed i:p entry"), std::string::npos);
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,0:zap\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("malformed i:p entry"), std::string::npos);
+
+  // Structural demands are diagnosed with the row number, never an abort:
+  // out-of-range ids, duplicates, descending order.
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,3:2\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("names machine 3"), std::string::npos);
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,1:2 1:3\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("strictly ascending"), std::string::npos);
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,2:2 1:3\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("strictly ascending"), std::string::npos);
+
+  // Value problems surface through validate(), like the dense dialect.
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,0:-2\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("invalid instance"), std::string::npos);
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,0:inf\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("invalid instance"), std::string::npos);
+  // An empty pair list parses to a job with no eligible machine — invalid
+  // instance, not a parse abort.
+  EXPECT_FALSE(instance_from_csv(
+                   "release,weight,deadline,eligible:3\n1,1,inf,\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("no eligible machine"), std::string::npos);
+}
+
+TEST(TraceRoundTrip, WriterConvertsBetweenPayloadFormsAndDialects) {
+  // One job, submitted in both payload forms, serialized in both dialects:
+  // all four (form, dialect) combinations must produce the same bytes as
+  // the canonical same-dialect pairing.
+  StreamJob dense_form;
+  dense_form.release = 1.5;
+  dense_form.weight = 2.0;
+  dense_form.deadline = kTimeInfinity;
+  dense_form.processing = {kTimeInfinity, 0.75, kTimeInfinity, 3.25};
+  StreamJob sparse_form;
+  sparse_form.release = 1.5;
+  sparse_form.weight = 2.0;
+  sparse_form.deadline = kTimeInfinity;
+  sparse_form.entries = {{1, 0.75}, {3, 3.25}};
+
+  const auto serialize = [](const StreamJob& job, TraceFormat format) {
+    std::ostringstream out;
+    TraceStreamWriter writer(out, 4, format);
+    writer.write_job(job);
+    return out.str();
+  };
+  EXPECT_EQ(serialize(dense_form, TraceFormat::kDense),
+            serialize(sparse_form, TraceFormat::kDense));
+  EXPECT_EQ(serialize(dense_form, TraceFormat::kSparse),
+            serialize(sparse_form, TraceFormat::kSparse));
+}
+
 }  // namespace
 }  // namespace osched::workload
