@@ -12,11 +12,15 @@
 //       --fail=4.0:0 --join=9.0:0 --budget=8 --speed=2.0:1:0.5,8.0:1:1.0
 //       --window-cap=64 --shed-budget=16
 //       --checkpoint-at=6.0 --checkpoint-out=/tmp/session.ckpt
+//   ./trace_workbench --mode=stream --in=/tmp/trace.csv --algo=theorem1
+//       --window-cap=16 --shed-policy=epsilon
+//       --adaptive-cap=8:32:4.0:2.0:1 --fairness=4:8
 //   ./trace_workbench --mode=restore --from=/tmp/session.ckpt
 //       --in=/tmp/trace.csv
 #include <iostream>
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -24,7 +28,9 @@
 #include "baselines/flow_lower_bounds.hpp"
 #include "instance/stream_job.hpp"
 #include "metrics/metrics.hpp"
+#include "service/checkpoint.hpp"
 #include "service/scheduler_session.hpp"
+#include "service/shard_driver.hpp"
 #include "sim/schedule_io.hpp"
 #include "sim/validator.hpp"
 #include "util/cli.hpp"
@@ -219,6 +225,82 @@ bool build_fleet_plan(const util::Cli& cli, std::size_t num_machines,
   return true;
 }
 
+/// Parses the --shed-policy flag ("fixed" keeps PR 7's fixed-budget rule,
+/// "epsilon" selects the paper-derived ε-charged rule).
+bool parse_shed_policy(const std::string& name, service::ShedPolicy* out) {
+  if (name.empty() || name == "fixed") {
+    *out = service::ShedPolicy::kFixedBudget;
+    return true;
+  }
+  if (name == "epsilon" || name == "eps-charged") {
+    *out = service::ShedPolicy::kEpsilonCharged;
+    return true;
+  }
+  std::cerr << "unknown --shed-policy '" << name << "' (fixed | epsilon)\n";
+  return false;
+}
+
+/// Parses the --adaptive-cap "min:max:window:delay[:hysteresis]" flag.
+/// Empty spec leaves tuning disabled (the PR 7 pinned cap).
+bool parse_adaptive_cap(const std::string& spec,
+                        service::AdaptiveCapOptions* out) {
+  if (spec.empty()) return true;
+  std::stringstream fields(spec);
+  std::string field;
+  std::vector<std::string> parts;
+  while (std::getline(fields, field, ':')) parts.push_back(field);
+  if (parts.size() != 4 && parts.size() != 5) {
+    std::cerr << "bad --adaptive-cap '" << spec
+              << "' (want min:max:window:delay[:hysteresis])\n";
+    return false;
+  }
+  try {
+    out->enabled = true;
+    out->min_cap = static_cast<std::size_t>(std::stoul(parts[0]));
+    out->max_cap = static_cast<std::size_t>(std::stoul(parts[1]));
+    out->window = std::stod(parts[2]);
+    out->target_delay = std::stod(parts[3]);
+    out->hysteresis =
+        parts.size() == 5 ? static_cast<std::size_t>(std::stoul(parts[4])) : 0;
+  } catch (const std::exception&) {
+    std::cerr << "bad --adaptive-cap '" << spec
+              << "' (want min:max:window:delay[:hysteresis])\n";
+    return false;
+  }
+  if (out->min_cap < 1 || out->max_cap < out->min_cap || out->window <= 0.0 ||
+      out->target_delay <= 0.0) {
+    std::cerr << "bad --adaptive-cap '" << spec
+              << "' (need 1 <= min <= max, window > 0, delay > 0)\n";
+    return false;
+  }
+  return true;
+}
+
+/// Parses the --fairness "shards:quantum" flag. Empty spec leaves both at 0
+/// (single-session stream, no DRR).
+bool parse_fairness(const std::string& spec, std::size_t* shards,
+                    std::size_t* quantum) {
+  if (spec.empty()) return true;
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    std::cerr << "bad --fairness '" << spec << "' (want shards:quantum)\n";
+    return false;
+  }
+  try {
+    *shards = static_cast<std::size_t>(std::stoul(spec.substr(0, colon)));
+    *quantum = static_cast<std::size_t>(std::stoul(spec.substr(colon + 1)));
+  } catch (const std::exception&) {
+    std::cerr << "bad --fairness '" << spec << "' (want shards:quantum)\n";
+    return false;
+  }
+  if (*shards == 0 || *quantum == 0) {
+    std::cerr << "bad --fairness '" << spec
+              << "' (both shards and quantum must be >= 1)\n";
+    return false;
+  }
+  return true;
+}
+
 void print_session_summary(const service::SchedulerSession& session,
                            const api::RunSummary& summary) {
   std::cout << to_string(summary.report) << "\n";
@@ -247,8 +329,101 @@ void print_session_summary(const service::SchedulerSession& session,
     table.row("sheds", static_cast<int>(session.num_shed()));
     table.row("backpressured", static_cast<int>(session.num_backpressured()));
     table.row("max live jobs", static_cast<int>(session.max_live_jobs()));
+    table.row("window cap (final)",
+              static_cast<int>(session.current_window_cap()));
+    table.row("shed allowance left",
+              static_cast<int>(session.shed_allowance()));
     table.print(std::cout);
   }
+}
+
+/// Per-shard report + overload/fairness counters for the --fairness path.
+/// Counters are sampled before drain_all() finishes the driver.
+void print_driver_summary(const std::vector<api::RunSummary>& results,
+                          const std::vector<service::ShardCounters>& counters) {
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    std::cout << "shard " << s << ": " << to_string(results[s].report) << "\n";
+  }
+  util::Table table(
+      {"shard", "sheds", "backpressured", "deferred", "staged ops"});
+  for (std::size_t s = 0; s < counters.size(); ++s) {
+    table.row(static_cast<int>(s), static_cast<int>(counters[s].sheds),
+              static_cast<int>(counters[s].backpressured),
+              static_cast<int>(counters[s].deferred),
+              static_cast<unsigned long long>(counters[s].staged_ops));
+  }
+  table.print(std::cout);
+}
+
+/// --fairness stream leg: route the trace through a ShardDriver (stable
+/// tenant routing via shard_for, DRR admission via fair_quantum). The
+/// workbench drives the driver inline (threads=1) so every per-job
+/// backpressure outcome stays visible to the backoff loop — a worker-mode
+/// hand-off applies ops asynchronously and cannot deliver one (see
+/// ShardDriver::try_submit).
+int stream_sharded(const util::Cli& cli, const Instance& instance,
+                   api::Algorithm algorithm,
+                   const service::SessionOptions& options,
+                   std::size_t num_shards, std::size_t quantum) {
+  service::ShardDriverOptions driver_options;
+  driver_options.threads = 1;
+  driver_options.session = options;
+  driver_options.fair_quantum = quantum;
+  service::ShardDriver driver(algorithm, num_shards, instance.num_machines(),
+                              driver_options);
+  const Time backoff =
+      instance.num_jobs() > 0
+          ? std::max(instance.job(static_cast<JobId>(instance.num_jobs() - 1))
+                             .release /
+                         static_cast<double>(instance.num_jobs()) * 4.0,
+                     1e-3)
+          : 1.0;
+  const double checkpoint_at = cli.num("checkpoint-at");
+  const std::string checkpoint_out = cli.str("checkpoint-out");
+  bool checkpointed = checkpoint_out.empty();
+  StreamJob job;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    fill_stream_job(instance, static_cast<JobId>(j), 0.0, &job);
+    if (!checkpointed && job.release > checkpoint_at) {
+      for (std::size_t s = 0; s < driver.num_shards(); ++s) {
+        if (checkpoint_at > driver.session(s).now()) {
+          driver.advance(s, checkpoint_at);
+        }
+      }
+      const std::string blob = driver.checkpoint();
+      std::ofstream out(checkpoint_out, std::ios::binary);
+      if (!out.write(blob.data(), static_cast<std::streamsize>(blob.size()))) {
+        std::cerr << "cannot write " << checkpoint_out << "\n";
+        return 1;
+      }
+      std::cout << "checkpoint: " << blob.size() << " bytes ("
+                << driver.num_shards() << " shards, clock " << checkpoint_at
+                << ") -> " << checkpoint_out << "\n";
+      checkpointed = true;
+    }
+    const std::size_t shard = driver.shard_for(j);
+    job.release = std::max(job.release, driver.session(shard).now());
+    for (;;) {
+      const service::StageOutcome outcome = driver.try_submit(shard, job);
+      if (service::stage_ok(outcome)) break;
+      if (outcome == service::StageOutcome::kDeferred) {
+        driver.flush();  // round boundary: replenishes every shard's credit
+        continue;
+      }
+      job.release += backoff;  // kBackpressure: re-offer the arrival later
+    }
+  }
+  if (!checkpointed) {
+    std::cerr << "warning: --checkpoint-at=" << checkpoint_at
+              << " is past the last arrival; no checkpoint written\n";
+  }
+  std::vector<service::ShardCounters> counters;
+  counters.reserve(driver.num_shards());
+  for (std::size_t s = 0; s < driver.num_shards(); ++s) {
+    counters.push_back(driver.shard_counters(s));
+  }
+  print_driver_summary(driver.drain_all(), counters);
+  return 0;
 }
 
 /// --mode=stream: feed the trace through a live session, optionally under a
@@ -269,8 +444,21 @@ int stream(const util::Cli& cli, const Instance& instance) {
   options.run.alpha = cli.num("alpha");
   options.live_window_cap = static_cast<std::size_t>(cli.integer("window-cap"));
   options.shed_budget = static_cast<std::size_t>(cli.integer("shed-budget"));
+  if (!parse_shed_policy(cli.str("shed-policy"), &options.shed_policy) ||
+      !parse_adaptive_cap(cli.str("adaptive-cap"), &options.adaptive_cap)) {
+    return 1;
+  }
   if (!build_fleet_plan(cli, instance.num_machines(), &options.run.fleet)) {
     return 1;
+  }
+  std::size_t fair_shards = 0;
+  std::size_t fair_quantum = 0;
+  if (!parse_fairness(cli.str("fairness"), &fair_shards, &fair_quantum)) {
+    return 1;
+  }
+  if (fair_shards > 0) {
+    return stream_sharded(cli, instance, *algorithm, options, fair_shards,
+                          fair_quantum);
   }
 
   service::SchedulerSession session(*algorithm, instance.num_machines(),
@@ -324,6 +512,83 @@ int stream(const util::Cli& cli, const Instance& instance) {
   return 0;
 }
 
+/// Driver-blob restore leg ("OSCKPD01" magic): rebuild every tenant
+/// session, re-arm fairness (checkpoints deliberately carry no runtime
+/// knobs — set_fair_quantum is the contract), then replay the routing to
+/// find each shard's not-yet-submitted tail and feed it.
+int restore_driver(const util::Cli& cli, const Instance& instance,
+                   const std::string& blob) {
+  std::string error;
+  auto driver = service::ShardDriver::restore(blob, /*threads=*/1, &error);
+  if (driver == nullptr) {
+    std::cerr << "restore failed: " << error << "\n";
+    return 1;
+  }
+  std::size_t fair_shards = 0;
+  std::size_t fair_quantum = 0;
+  if (!parse_fairness(cli.str("fairness"), &fair_shards, &fair_quantum)) {
+    return 1;
+  }
+  if (fair_shards > 0 && fair_shards != driver->num_shards()) {
+    std::cerr << "--fairness names " << fair_shards
+              << " shards but the checkpoint has " << driver->num_shards()
+              << " (routing is fixed at stream time; only the quantum can "
+                 "change)\n";
+    return 1;
+  }
+  if (fair_quantum > 0) driver->set_fair_quantum(fair_quantum);
+  std::size_t replayed = 0;
+  std::vector<std::size_t> remaining(driver->num_shards(), 0);
+  for (std::size_t s = 0; s < driver->num_shards(); ++s) {
+    remaining[s] = driver->session(s).num_submitted();
+    replayed += remaining[s];
+  }
+  std::cout << "restored " << driver->num_shards() << "-shard "
+            << api::to_string(driver->session(0).algorithm()) << ": "
+            << replayed << " jobs replayed\n";
+  if (driver->session(0).num_machines() != instance.num_machines()) {
+    std::cerr << "trace has " << instance.num_machines()
+              << " machines, checkpoint has "
+              << driver->session(0).num_machines() << "\n";
+    return 1;
+  }
+  const Time backoff =
+      instance.num_jobs() > 0
+          ? std::max(instance.job(static_cast<JobId>(instance.num_jobs() - 1))
+                             .release /
+                         static_cast<double>(instance.num_jobs()) * 4.0,
+                     1e-3)
+          : 1.0;
+  StreamJob job;
+  for (std::size_t j = 0; j < instance.num_jobs(); ++j) {
+    const std::size_t shard = driver->shard_for(j);
+    // shard_for is stable, so the first remaining[shard] jobs routed to a
+    // shard are exactly the ones its session already replayed.
+    if (remaining[shard] > 0) {
+      --remaining[shard];
+      continue;
+    }
+    fill_stream_job(instance, static_cast<JobId>(j), 0.0, &job);
+    job.release = std::max(job.release, driver->session(shard).now());
+    for (;;) {
+      const service::StageOutcome outcome = driver->try_submit(shard, job);
+      if (service::stage_ok(outcome)) break;
+      if (outcome == service::StageOutcome::kDeferred) {
+        driver->flush();
+        continue;
+      }
+      job.release += backoff;
+    }
+  }
+  std::vector<service::ShardCounters> counters;
+  counters.reserve(driver->num_shards());
+  for (std::size_t s = 0; s < driver->num_shards(); ++s) {
+    counters.push_back(driver->shard_counters(s));
+  }
+  print_driver_summary(driver->drain_all(), counters);
+  return 0;
+}
+
 /// --mode=restore: rebuild a session from --from, then (when the trace is
 /// supplied) feed the not-yet-submitted tail and drain.
 int restore(const util::Cli& cli, const Instance& instance) {
@@ -340,6 +605,11 @@ int restore(const util::Cli& cli, const Instance& instance) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   const std::string blob = buffer.str();
+  if (blob.size() >= sizeof(service::kDriverCheckpointMagic) &&
+      std::memcmp(blob.data(), service::kDriverCheckpointMagic,
+                  sizeof(service::kDriverCheckpointMagic)) == 0) {
+    return restore_driver(cli, instance, blob);
+  }
 
   std::string error;
   auto session = service::SchedulerSession::restore(blob, &error);
@@ -412,6 +682,15 @@ int main(int argc, char** argv) {
            "re-offered with a release backoff");
   cli.flag("shed-budget", "0",
            "stream: overload sheds allowed before backpressure");
+  cli.flag("shed-policy", "fixed",
+           "stream: shed victim/budget rule, fixed | epsilon (epsilon "
+           "derives the budget from the algorithm's rejection allowance)");
+  cli.flag("adaptive-cap", "",
+           "stream: auto-tune the window cap, min:max:window:delay"
+           "[:hysteresis] over submitted virtual time");
+  cli.flag("fairness", "",
+           "stream/restore: shards:quantum — route through a sharded "
+           "driver with deficit-round-robin admission");
   cli.flag("checkpoint-at", "0", "stream: cut a checkpoint at this time");
   cli.flag("checkpoint-out", "", "stream: write the checkpoint blob here");
   cli.flag("from", "", "restore: checkpoint blob to resume from");

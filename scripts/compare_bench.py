@@ -9,9 +9,11 @@ Compares a baseline report against a current one, metric by metric:
   before the diff counts as a perf regression. Direction matters — getting
   faster or smaller is never a regression.
 * Metrics prefixed "seeded_" are deterministic ONLY per seed (e20's chaos
-  schedule moves with --seed): they are compared exactly, like the
-  deterministic class below, but only when both reports carry the same
-  top-level root_seed and scale; otherwise they are skipped with an
+  schedule and e22's burst-warped workload move with --seed, and e22's
+  per-shard overload counters — seeded_hot_deferred, seeded_total_sheds,
+  seeded_shard_shed_spread — derive from them): they are compared exactly,
+  like the deterministic class below, but only when both reports carry the
+  same top-level root_seed and scale; otherwise they are skipped with an
   informational note (never promoted to an error by --fail-on-missing —
   a rotating-seed CI report is expected to disagree with the committed
   baseline on them).
@@ -28,7 +30,9 @@ a determinism error (exit 2) outright: losing those columns must never
 downgrade the correctness gate to a warning.
 
 For e17's sharded cases the script also prints shard-scaling efficiency
-(jobs/s per worker relative to the single-session case) for both reports.
+(jobs/s per worker relative to the single-session case) for both reports,
+and for e22's multi-tenant cases an informational fairness line (hot-tenant
+deferrals and the per-shard shed spread).
 
 Exit codes: 0 OK, 1 perf regression beyond tolerance, 2 determinism
 mismatch or structural/schema error (including an unreadable or off-schema
@@ -148,6 +152,28 @@ def report_shard_efficiency(side: str, cases: dict) -> None:
               f"worker(s) = efficiency {speedup / workers:.2f}")
 
 
+def report_fairness_spread(side: str, cases: dict) -> None:
+    """Prints the multi-tenant fairness picture for every e22 DRR case.
+
+    Informational only (the gating comparison of these seeded_* columns
+    happens in the main loop when seeds match): how often the hot tenant
+    was deferred back to its quantum, and how unevenly the overload sheds
+    landed across the shards (0 = perfectly even).
+    """
+    for (scenario, label), metrics in sorted(cases.items()):
+        if "drr" not in label:
+            continue
+        try:
+            deferred = metrics["seeded_hot_deferred"]["mean"]
+            spread = metrics["seeded_shard_shed_spread"]["mean"]
+            sheds = metrics["seeded_total_sheds"]["mean"]
+        except (KeyError, TypeError):
+            continue
+        print(f"compare_bench: fairness [{side}] {scenario}/{label}: "
+              f"hot tenant deferred {deferred:.0f}x; {sheds:.0f} shed(s) "
+              f"across shards, spread {spread:.0f}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -252,6 +278,8 @@ def main() -> None:
 
     report_shard_efficiency("baseline", base)
     report_shard_efficiency("current", cur)
+    report_fairness_spread("baseline", base)
+    report_fairness_spread("current", cur)
 
     for message in warnings:
         print(f"compare_bench: WARN: {message}", file=sys.stderr)

@@ -148,6 +148,11 @@ class ImmediateRejectionPolicy final : public SimulationHooks {
     return key.id;
   }
 
+  /// The immediate-rejection baseline charges its ε-fraction arrival
+  /// rejections; ε-charged sheds fall back to the fixed victim rule and
+  /// the session books them against the same derived budget.
+  std::size_t charged_rejections() const override { return rejections_; }
+
   /// The policy keeps no per-job state of its own — nothing to release.
   void retire_below(JobId /*frontier*/) {}
 

@@ -185,6 +185,11 @@ class EnergyFlowPolicy final : public SimulationHooks {
     return key.id;
   }
 
+  /// Theorem 2 charges its ε-budgeted arrival rejections; ε-charged sheds
+  /// fall back to the fixed victim rule (no Rule-2 ledger to extend) but
+  /// the session still books them against the same derived budget.
+  std::size_t charged_rejections() const override { return rejections_; }
+
   /// No-op: the V-integral finalization reads every record, so Theorem 2
   /// runs cannot retire per-job state (sessions enforce retention).
   void retire_below(JobId /*frontier*/) {}

@@ -265,6 +265,53 @@ class RejectionFlowPolicy final : public SimulationHooks {
     return victim.id;
   }
 
+  /// ε-charged shed (see SimulationHooks): the victim is the job Rule 2
+  /// would pick, generalized across machines — the globally LARGEST queued
+  /// effective processing time, ties to the largest id — and the eviction
+  /// is booked into the dual exactly like a Rule 2 rejection (definitive-
+  /// finish extension by the victim's estimated completion, then finalize),
+  /// so sum lambda / beta stay a valid certificate with the shed counted as
+  /// a paper rejection. Unlike reject_largest_pending this fires outside
+  /// the c-counters (the budget lives in the session, which charges it
+  /// against floor(2εn) alongside rule1_rejections + rule2_rejections).
+  JobId on_shed_charged(Time now) override {
+    std::size_t victim_machine = 0;
+    PendingKey victim{};
+    bool found = false;
+    for (const std::uint32_t i : live_list_) {
+      pending_[i].for_each([&](const PendingKey& key) {
+        if (!found || key.p > victim.p ||
+            (key.p == victim.p && key.id > victim.id)) {
+          found = true;
+          victim = key;
+          victim_machine = i;
+        }
+      });
+    }
+    if (!found) return kInvalidJob;
+    const Time remaining_of_running =
+        running_[victim_machine] != kInvalidJob
+            ? std::max(0.0, running_end_[victim_machine] - now)
+            : 0.0;
+    // Estimated completion had the victim stayed: the running remainder
+    // plus everything queued with it (it is its machine's largest, so the
+    // whole queue is "ahead") plus its own processing time. No arriving
+    // trigger to exclude — the shed fires before the triggering arrival is
+    // dispatched anywhere.
+    const double sum_except =
+        pending_[victim_machine].total_weight() - victim.p;
+    dual_.on_rule2_rejection(victim.id, remaining_of_running,
+                             std::max(0.0, sum_except), victim.p);
+    dual_.finalize(victim.id, store_.job(victim.id).release, now);
+    rec_.mark_rejected_pending(victim.id, now);
+    pending_erase(victim_machine, victim);
+    return victim.id;
+  }
+
+  std::size_t charged_rejections() const override {
+    return rule1_rejections_ + rule2_rejections_;
+  }
+
   /// Releases per-job dual/lambda state below the decided frontier
   /// (streaming sessions only; batch runs keep everything for export).
   void retire_below(JobId frontier) {

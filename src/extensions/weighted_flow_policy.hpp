@@ -170,6 +170,35 @@ class WeightedFlowPolicy final : public SimulationHooks {
     return key.id;
   }
 
+  /// ε-charged shed (see SimulationHooks): the Rule-2-style victim — the
+  /// globally largest queued effective processing time, ties to the largest
+  /// id — matching Theorem 1's charged rule. The weighted extension keeps
+  /// no dual ledger, so there is nothing further to book; the session
+  /// charges the shed against the derived budget next to the rule counters.
+  JobId on_shed_charged(Time now) override {
+    std::size_t victim_machine = 0;
+    const DensityKey* victim = nullptr;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      for (const DensityKey& key : pending_[i]) {
+        if (victim == nullptr || key.p > victim->p ||
+            (key.p == victim->p && key.id > victim->id)) {
+          victim = &key;
+          victim_machine = i;
+        }
+      }
+    }
+    if (victim == nullptr) return kInvalidJob;
+    const DensityKey key = *victim;
+    pending_[victim_machine].erase(key);
+    pending_removed(victim_machine);
+    rec_.mark_rejected_pending(key.id, now);
+    return key.id;
+  }
+
+  std::size_t charged_rejections() const override {
+    return rule1_rejections_ + rule2_rejections_;
+  }
+
   /// The policy keeps no per-job state of its own — nothing to release.
   void retire_below(JobId /*frontier*/) {}
 

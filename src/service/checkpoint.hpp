@@ -55,7 +55,13 @@ inline constexpr char kDriverCheckpointMagic[8] = {'O', 'S', 'C', 'K',
 ///      jobs carry a u32 entry count plus (u32 machine, f64 p) pairs,
 ///      generator jobs carry metadata only (restore() is handed the closed
 ///      form); version-1/2 blobs restore as dense sessions
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+///   4  adds the adaptive overload policy after the backend byte: the shed
+///      policy (u8), then the adaptive-cap configuration (enabled u8,
+///      min_cap u64, max_cap u64, window f64, target_delay f64,
+///      hysteresis u64). Configuration only — estimator contents and the
+///      effective cap are replay-derived. Version-1/2/3 blobs restore
+///      under the neutral defaults (fixed shed rule, tuning disabled)
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 inline constexpr std::uint32_t kCheckpointVersionMin = 1;
 
 /// FNV-1a 64-bit over a byte range — the checkpoint trailer's checksum.

@@ -1,6 +1,8 @@
 #include "service/scheduler_session.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
 
 #include "baselines/immediate_rejection_policy.hpp"
 #include "baselines/list_scheduler_policy.hpp"
@@ -156,6 +158,20 @@ class SchedulerSession::Impl {
         << "theorem2's dual finalization reads every record; low-memory "
            "sessions are unavailable for it";
     OSCHED_CHECK_GT(options.retire_batch, 0u);
+    const AdaptiveCapOptions& tune = options_.adaptive_cap;
+    if (tune.enabled) {
+      OSCHED_CHECK_GE(tune.min_cap, 1u)
+          << "adaptive cap: min_cap must be >= 1";
+      OSCHED_CHECK_GE(tune.max_cap, tune.min_cap)
+          << "adaptive cap: max_cap must be >= min_cap";
+      OSCHED_CHECK_GT(tune.window, 0.0)
+          << "adaptive cap: the rate-estimate window must be positive";
+      OSCHED_CHECK_GT(tune.target_delay, 0.0)
+          << "adaptive cap: target_delay must be positive";
+      cap_ = std::clamp(options_.live_window_cap, tune.min_cap, tune.max_cap);
+    } else {
+      cap_ = options_.live_window_cap;
+    }
   }
 
   api::Algorithm algorithm() const { return algorithm_; }
@@ -212,6 +228,7 @@ class SchedulerSession::Impl {
     records_.ensure_size(static_cast<std::size_t>(j) + 1);
     now_ = std::max(now_, job.release);
     host_->hooks().on_arrival(j, now_);
+    note_arrival(job.release);
     max_live_ = std::max(max_live_, live_jobs());
     maybe_fold();
     if (id_out != nullptr) *id_out = j;
@@ -248,6 +265,7 @@ class SchedulerSession::Impl {
       total_weight_ += job.weight;
       now_ = std::max(now_, job.release);
       host_->hooks().on_arrival(j, now_);
+      note_arrival(job.release);
       max_live_ = std::max(max_live_, live_jobs());
     }
     maybe_fold();
@@ -331,6 +349,18 @@ class SchedulerSession::Impl {
     w.u64(options_.shed_budget);      // v2
     const StorageBackend backend = store_.backend();
     w.u8(static_cast<std::uint8_t>(backend));  // v3: storage backend
+    // v4: adaptive overload policy. Configuration only — the estimator
+    // contents and the effective cap are pure functions of the accepted
+    // journal below, so replay re-derives them (the same reason no shed or
+    // rule state is serialized).
+    w.u8(static_cast<std::uint8_t>(options_.shed_policy));
+    const AdaptiveCapOptions& tune = options_.adaptive_cap;
+    w.u8(tune.enabled ? 1 : 0);
+    w.u64(tune.min_cap);
+    w.u64(tune.max_cap);
+    w.f64(tune.window);
+    w.f64(tune.target_delay);
+    w.u64(tune.hysteresis);
     w.f64(now_);
     // The journal proper: every submitted job, in id order. Restore replays
     // these through submit() — policy state is never serialized. The payload
@@ -399,27 +429,90 @@ class SchedulerSession::Impl {
     }
   }
 
+ public:
+  /// Sheds still available under the active ShedPolicy. Fixed mode: the
+  /// unspent part of the configured lifetime budget — guarded, not bare
+  /// unsigned subtraction: sheds_spent_ <= shed_budget is an invariant
+  /// (make_room only spends what this function reports), and the CHECK
+  /// turns any future violation into a diagnostic instead of a wrapped
+  /// near-2^64 allowance that would let every subsequent shed through.
+  /// ε-charged mode: the unspent part of the paper's rejection allowance,
+  /// floor(2·ε·n) with n counting the triggering arrival (every quantity
+  /// is a pure function of the accepted prefix, so replay re-derives the
+  /// same allowance at every step).
+  std::size_t shed_allowance() const {
+    if (options_.shed_policy == ShedPolicy::kFixedBudget) {
+      OSCHED_CHECK_LE(sheds_spent_, options_.shed_budget)
+          << "shed accounting corrupted: spent exceeds the fixed budget";
+      return options_.shed_budget - sheds_spent_;
+    }
+    const double eps = options_.run.epsilon;
+    const auto budget = static_cast<std::size_t>(
+        2.0 * eps * static_cast<double>(num_submitted() + 1));
+    const std::size_t charged =
+        host_->hooks().charged_rejections() + sheds_spent_;
+    return charged >= budget ? 0 : budget - charged;
+  }
+
+  std::size_t current_window_cap() const { return cap_; }
+
+ private:
   /// Window admission for an arrival at time `at` (== its release; the
   /// clock has already caught up with every event due by then). Returns
-  /// true when the arrival may be ingested, shedding the policy's
-  /// lowest-value pending jobs first when the remaining budget covers the
-  /// FULL deficit. All-or-nothing on purpose: a refused submit must leave
-  /// no trace, or replaying the accepted-jobs journal could not reproduce
-  /// the shed sequence.
+  /// true when the arrival may be ingested, shedding first — the policy's
+  /// lowest-value pending jobs (kFixedBudget) or the Rule-2-style largest
+  /// pending jobs booked into the rejection accounting (kEpsilonCharged) —
+  /// when the remaining allowance covers the FULL deficit (which exceeds 1
+  /// only after an adaptive cap drop strands extra live jobs above the new
+  /// cap). All-or-nothing on purpose: a refused submit must leave no
+  /// trace, or replaying the accepted-jobs journal could not reproduce the
+  /// shed sequence.
   bool make_room(Time at) {
-    const std::size_t cap = options_.live_window_cap;
+    const std::size_t cap = cap_;
     if (cap == 0 || live_jobs() < cap) return true;
     const std::size_t deficit = live_jobs() - cap + 1;
-    if (deficit > options_.shed_budget - sheds_spent_) return false;
+    if (deficit > shed_allowance()) return false;
+    const bool charged =
+        options_.shed_policy == ShedPolicy::kEpsilonCharged;
     for (std::size_t k = 0; k < deficit; ++k) {
       // kInvalidJob: every live job is already RUNNING (no pending queue
       // anywhere holds a victim). Admit the overshoot — it is bounded by
       // the machine count, and refusing here would mean a shed-then-refuse
       // submit, which the determinism contract above forbids.
-      if (host_->hooks().on_shed(at) == kInvalidJob) break;
+      const JobId victim = charged ? host_->hooks().on_shed_charged(at)
+                                   : host_->hooks().on_shed(at);
+      if (victim == kInvalidJob) break;
       ++sheds_spent_;
     }
     return true;
+  }
+
+  /// Feeds the arrival-rate estimator and re-tunes the cap (adaptive mode
+  /// only). Called once per ACCEPTED arrival with its release — the
+  /// estimator state is a pure function of the accepted release sequence,
+  /// which is exactly what the checkpoint journal carries, so replay (and
+  /// any chunking of the same feed) reproduces every cap move. advance()
+  /// never touches it: an idle gap lowers the cap only when the next
+  /// arrival's window looks back across the gap, keeping batch == streamed.
+  void note_arrival(Time release) {
+    const AdaptiveCapOptions& tune = options_.adaptive_cap;
+    if (!tune.enabled) return;
+    recent_.push_back(release);
+    const Time floor_time = release - tune.window;
+    while (recent_.front() <= floor_time) recent_.pop_front();
+    const double rate =
+        static_cast<double>(recent_.size()) / tune.window;
+    const auto desired = std::clamp(
+        static_cast<std::size_t>(std::ceil(rate * tune.target_delay)),
+        tune.min_cap, tune.max_cap);
+    // Hysteresis dead-band: hold the cap until the sizing target has moved
+    // decisively. Raises and lowers use the same threshold, so the cap
+    // trajectory is a deterministic function of the release sequence.
+    if (desired > cap_ && desired - cap_ > tune.hysteresis) {
+      cap_ = desired;
+    } else if (desired < cap_ && cap_ - desired > tune.hysteresis) {
+      cap_ = desired;
+    }
   }
 
   void maybe_fold() {
@@ -499,8 +592,12 @@ class SchedulerSession::Impl {
   bool drained_ = false;
   Weight total_weight_ = 0.0;
   std::size_t max_live_ = 0;
-  std::size_t sheds_spent_ = 0;    ///< overload sheds (<= shed_budget)
+  std::size_t sheds_spent_ = 0;    ///< overload sheds (<= the allowance)
   std::size_t backpressured_ = 0;  ///< refused try_submit calls
+  std::size_t cap_ = 0;            ///< effective live-window cap (tunable)
+  /// Adaptive mode: releases of accepted arrivals inside the trailing
+  /// estimator window (pruned as the newest release advances).
+  std::deque<Time> recent_;
   JobId folded_upto_ = 0;
   Aggregates agg_;
   std::unique_ptr<PolicyHost> host_;
@@ -540,6 +637,12 @@ SubmitOutcome SchedulerSession::try_submit(const StreamJob& job, JobId* id) {
 std::size_t SchedulerSession::num_shed() const { return impl_->num_shed(); }
 std::size_t SchedulerSession::num_backpressured() const {
   return impl_->num_backpressured();
+}
+std::size_t SchedulerSession::current_window_cap() const {
+  return impl_->current_window_cap();
+}
+std::size_t SchedulerSession::shed_allowance() const {
+  return impl_->shed_allowance();
 }
 std::size_t SchedulerSession::matrix_bytes() const {
   return impl_->matrix_bytes();
@@ -629,6 +732,20 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
   // construction (their journal rows ARE the dense matrix).
   std::uint8_t backend_raw = static_cast<std::uint8_t>(StorageBackend::kDense);
   if (version >= 3) backend_raw = r.u8();
+  // Adaptive overload policy entered the format in v4; older blobs restore
+  // under the neutral defaults (fixed shed rule, cap tuning disabled).
+  std::uint8_t shed_policy_raw =
+      static_cast<std::uint8_t>(ShedPolicy::kFixedBudget);
+  if (version >= 4) {
+    shed_policy_raw = r.u8();
+    AdaptiveCapOptions& tune = options.adaptive_cap;
+    tune.enabled = r.u8() != 0;
+    tune.min_cap = static_cast<std::size_t>(r.u64());
+    tune.max_cap = static_cast<std::size_t>(r.u64());
+    tune.window = r.f64();
+    tune.target_delay = r.f64();
+    tune.hysteresis = static_cast<std::size_t>(r.u64());
+  }
   const Time clock = r.f64();
   const std::uint64_t num_jobs = r.u64();
   if (!r.ok()) return fail(r.error());
@@ -657,6 +774,24 @@ std::unique_ptr<SchedulerSession> SchedulerSession::restore(
   if (backend_raw > static_cast<std::uint8_t>(StorageBackend::kGenerator)) {
     return fail("checkpoint corrupted: unknown storage backend id " +
                 std::to_string(backend_raw));
+  }
+  if (shed_policy_raw > static_cast<std::uint8_t>(ShedPolicy::kEpsilonCharged)) {
+    return fail("checkpoint corrupted: unknown shed policy id " +
+                std::to_string(shed_policy_raw));
+  }
+  options.shed_policy = static_cast<ShedPolicy>(shed_policy_raw);
+  // Recoverable twins of the constructor's adaptive-cap CHECKs: a forged
+  // or damaged v4 blob must come back as a diagnostic, not an abort.
+  if (options.adaptive_cap.enabled) {
+    const AdaptiveCapOptions& tune = options.adaptive_cap;
+    if (tune.min_cap == 0 || tune.max_cap < tune.min_cap ||
+        !(tune.window > 0.0) || !(tune.target_delay > 0.0)) {
+      return fail("checkpoint corrupted: invalid adaptive-cap fields "
+                  "(min_cap " + std::to_string(tune.min_cap) + ", max_cap " +
+                  std::to_string(tune.max_cap) + ", window " +
+                  std::to_string(tune.window) + ", target_delay " +
+                  std::to_string(tune.target_delay) + ")");
+    }
   }
   const auto backend = static_cast<StorageBackend>(backend_raw);
   options.storage = backend;

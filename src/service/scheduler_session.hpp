@@ -47,6 +47,57 @@
 
 namespace osched::service {
 
+/// How a saturated live window picks and budgets its overload sheds.
+enum class ShedPolicy : std::uint8_t {
+  /// PR 7 rule, bit-identical (the oracle the adaptive mode is checked
+  /// against): a fixed lifetime budget (SessionOptions::shed_budget) and
+  /// the lowest-value victim order (smallest weight, ties to largest
+  /// queued p, then largest id).
+  kFixedBudget = 0,
+  /// Paper-derived rule: the budget is the unspent part of Theorem 1's
+  /// rejection allowance — sheds may fire while
+  ///   charged_rejections() + sheds_spent < floor(2·ε·n)
+  /// (n counts the triggering arrival; ε is run.epsilon;
+  /// charged_rejections() is the policy's own Rule 1 + Rule 2 / ε-budget
+  /// count) — and the victim rule is Rule 2's, generalized across
+  /// machines: the globally largest queued effective processing time.
+  /// Theorem 1 books each shed into its FlowDualAccounting exactly like a
+  /// Rule 2 rejection (definitive-finish extension + finalize), so the
+  /// degradation cost stays inside the paper's charging argument and the
+  /// dual certificate remains valid. SessionOptions::shed_budget is
+  /// ignored in this mode. Like the fixed rule, sheds stay a pure
+  /// function of the accepted arrivals, so checkpoint replay reproduces
+  /// them bit for bit.
+  kEpsilonCharged = 1,
+};
+
+/// Deterministic live-window-cap auto-tuning from the observed arrival
+/// rate. The estimator is windowed over SUBMITTED VIRTUAL TIME (accepted
+/// arrivals' release timestamps), never over wall clock or chunk
+/// boundaries — so a batch feed, any streamed chunking, and a checkpoint
+/// replay of the accepted journal all reproduce every cap decision
+/// bit for bit (the same invariant the shed sequence keeps).
+struct AdaptiveCapOptions {
+  /// Off by default: the cap stays pinned at live_window_cap (PR 7).
+  bool enabled = false;
+  /// Hysteresis bounds: the effective cap never leaves [min_cap, max_cap].
+  /// min_cap must be >= 1 and max_cap >= min_cap when enabled.
+  std::size_t min_cap = 0;
+  std::size_t max_cap = 0;
+  /// Trailing virtual-time width of the rate estimate (> 0): an accepted
+  /// arrival at release r counts while r > latest_release - window.
+  double window = 0.0;
+  /// Sizing target: desired cap = ceil(observed_rate * target_delay),
+  /// clamped to the bounds — the window the session would need for a job
+  /// admitted at the observed rate to wait ~target_delay before its slot
+  /// frees (> 0).
+  double target_delay = 0.0;
+  /// Dead-band: the cap moves only when |desired - current| exceeds this
+  /// many slots, so a rate hovering at a sizing boundary cannot flap the
+  /// cap (and with it the shed pattern) on every arrival.
+  std::size_t hysteresis = 0;
+};
+
 struct SessionOptions {
   /// Per-algorithm knobs, same meaning as api::run.
   api::RunOptions run;
@@ -72,6 +123,16 @@ struct SessionOptions {
   /// lets checkpoint replay (which carries accepted jobs only) reproduce
   /// every shed decision bit for bit.
   std::size_t shed_budget = 0;
+  /// Victim rule + budget source for those sheds (see ShedPolicy). The
+  /// default keeps PR 7's fixed rule bit-identical; kEpsilonCharged
+  /// derives both from the paper's ε instead and ignores shed_budget.
+  ShedPolicy shed_policy = ShedPolicy::kFixedBudget;
+  /// Live-window-cap auto-tuning (see AdaptiveCapOptions). When enabled,
+  /// live_window_cap seeds the initial cap (clamped into
+  /// [min_cap, max_cap]; 0 seeds at min_cap) and the effective cap then
+  /// tracks the observed arrival rate between the bounds. Checkpointed as
+  /// wire v4; v1–v3 blobs restore with tuning disabled.
+  AdaptiveCapOptions adaptive_cap;
   /// Processing-time storage for the session's job store (the streaming
   /// counterpart of Instance's backend trio). kDense keeps the m-wide row
   /// per job (the default; the hot path is untouched). kSparseCsr stores
@@ -139,10 +200,21 @@ class SchedulerSession {
   /// *id (when non-null) receives the assigned JobId.
   SubmitOutcome try_submit(const StreamJob& job, JobId* id = nullptr);
 
-  /// Overload sheds performed (lifetime; bounded by shed_budget).
+  /// Overload sheds performed (lifetime; bounded by shed_budget under
+  /// ShedPolicy::kFixedBudget, by the derived floor(2εn) allowance under
+  /// kEpsilonCharged).
   std::size_t num_shed() const;
   /// try_submit calls refused with kBackpressure (lifetime).
   std::size_t num_backpressured() const;
+  /// The effective live-window cap right now: live_window_cap under a
+  /// fixed configuration, the auto-tuned value (always within
+  /// [AdaptiveCapOptions::min_cap, max_cap]) when adaptive tuning is on.
+  std::size_t current_window_cap() const;
+  /// Sheds still available before the active policy's budget refuses the
+  /// next one (fixed: shed_budget - num_shed(); ε-charged: the unspent
+  /// part of floor(2·ε·(num_submitted()+1)) after the policy's own charged
+  /// rejections and the sheds so far).
+  std::size_t shed_allowance() const;
 
   /// The session store's current / lifetime-peak p_ij payload bytes
   /// (StreamingJobStore::matrix_bytes): the per-tenant memory metric that

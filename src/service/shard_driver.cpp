@@ -12,14 +12,43 @@ ShardDriver::ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
                          std::size_t num_machines, ShardDriverOptions options) {
   OSCHED_CHECK_GT(num_shards, 0u);
   max_inflight_ = options.max_inflight_batches;
+  fair_quantum_ = options.fair_quantum;
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->session = std::make_unique<SchedulerSession>(algorithm, num_machines,
                                                         options.session);
+    shard->credit = fair_quantum_;
     shards_.push_back(std::move(shard));
   }
   start_workers(options.threads);
+}
+
+void ShardDriver::set_fair_quantum(std::size_t quantum) {
+  fair_quantum_ = quantum;
+  for (auto& shard : shards_) shard->credit = quantum;
+}
+
+ShardCounters ShardDriver::shard_counters(std::size_t shard) const {
+  OSCHED_CHECK_LT(shard, shards_.size());
+  const Shard& s = *shards_[shard];
+  ShardCounters counters;
+  counters.sheds = s.session->num_shed();
+  counters.backpressured = s.session->num_backpressured();
+  counters.deferred = s.deferred;
+  counters.inflight_refused = s.inflight_refused;
+  counters.staged_ops = s.staged_ops;
+  counters.max_batch_ops = s.max_batch_ops;
+  return counters;
+}
+
+bool ShardDriver::fairness_refuses(Shard& s) {
+  if (fair_quantum_ == 0) return false;
+  if (s.credit == 0) {
+    ++s.deferred;
+    return true;
+  }
+  return false;
 }
 
 void ShardDriver::start_workers(std::size_t threads) {
@@ -93,33 +122,55 @@ void ShardDriver::advance(std::size_t shard, Time to) {
   s.staging.push_back(std::move(op));
 }
 
-bool ShardDriver::try_submit(std::size_t shard, const StreamJob& job) {
+StageOutcome ShardDriver::try_submit(std::size_t shard, const StreamJob& job) {
   OSCHED_CHECK_LT(shard, shards_.size());
   Shard& s = *shards_[shard];
+  // Fairness gates before the inflight bound: a deferred shard must not
+  // burn its siblings' chance at a refusal diagnosis that will still hold
+  // next round, and the counters stay disjoint (one refusal, one reason).
+  if (fairness_refuses(s)) return StageOutcome::kDeferred;
   if (inline_mode()) {
-    return s.session->try_submit(job) == SubmitOutcome::kAccepted;
+    if (s.session->try_submit(job) != SubmitOutcome::kAccepted) {
+      return StageOutcome::kBackpressure;
+    }
+    if (fair_quantum_ != 0) --s.credit;
+    ++s.staged_ops;
+    return StageOutcome::kAccepted;
   }
-  if (at_inflight_cap(s)) return false;
+  if (at_inflight_cap(s)) {
+    ++s.inflight_refused;
+    return StageOutcome::kInflightFull;
+  }
   Op op;
   op.kind = Op::Kind::kSubmit;
   op.job = job;
   s.staging.push_back(std::move(op));
-  return true;
+  if (fair_quantum_ != 0) --s.credit;
+  ++s.staged_ops;
+  return StageOutcome::kStaged;
 }
 
-bool ShardDriver::try_advance(std::size_t shard, Time to) {
+StageOutcome ShardDriver::try_advance(std::size_t shard, Time to) {
   OSCHED_CHECK_LT(shard, shards_.size());
   Shard& s = *shards_[shard];
+  if (fairness_refuses(s)) return StageOutcome::kDeferred;
   if (inline_mode()) {
     s.session->advance(to);
-    return true;
+    if (fair_quantum_ != 0) --s.credit;
+    ++s.staged_ops;
+    return StageOutcome::kAccepted;
   }
-  if (at_inflight_cap(s)) return false;
+  if (at_inflight_cap(s)) {
+    ++s.inflight_refused;
+    return StageOutcome::kInflightFull;
+  }
   Op op;
   op.kind = Op::Kind::kAdvance;
   op.to = to;
   s.staging.push_back(std::move(op));
-  return true;
+  if (fair_quantum_ != 0) --s.credit;
+  ++s.staged_ops;
+  return StageOutcome::kStaged;
 }
 
 std::size_t ShardDriver::inflight_batches(std::size_t shard) const {
@@ -140,6 +191,16 @@ bool ShardDriver::at_inflight_cap(const Shard& s) const {
 }
 
 void ShardDriver::flush() {
+  // A flush is a DRR round boundary in both modes: every shard's credit is
+  // replenished by the quantum, with unused credit carrying over up to one
+  // extra quantum (the deficit). This runs before the inline early-return
+  // so inline-mode callers pace rounds with the same flush()/pump() calls.
+  if (fair_quantum_ != 0) {
+    for (auto& shard : shards_) {
+      shard->credit = std::min(shard->credit + fair_quantum_,
+                               2 * fair_quantum_);
+    }
+  }
   if (inline_mode()) return;
   const std::size_t workers = workers_.size();
   // Hand off every non-empty staged batch, then wake each involved worker
@@ -148,6 +209,7 @@ void ShardDriver::flush() {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     if (shard.staging.empty()) continue;
+    shard.max_batch_ops = std::max(shard.max_batch_ops, shard.staging.size());
     shard.inbox.push(std::move(shard.staging));
     shard.staging.clear();
     shard.batches_submitted.fetch_add(1, std::memory_order_release);

@@ -59,6 +59,54 @@ struct ShardDriverOptions {
   /// advance() ignore the bound (their callers opted into unbounded
   /// buffering). A runtime concern like `threads`: not checkpointed.
   std::size_t max_inflight_batches = 0;
+  /// Fair multi-tenant backpressure: deficit-round-robin admission over
+  /// staged operations. 0 = disabled (PR 7 behavior). When set, every
+  /// shard holds a credit of ops it may stage this round; try_submit()/
+  /// try_advance() return kDeferred for a shard whose credit is exhausted,
+  /// and flush() starts the next round by replenishing every shard's
+  /// credit by the quantum (unused credit carries over, capped at one
+  /// extra quantum — the "deficit" part, so a bursty tenant is not
+  /// punished for an idle round). A hot tenant is thus bounded to at most
+  /// 2×quantum ops per flush round while its siblings always have at
+  /// least a full quantum available — it can saturate neither the
+  /// inflight-batch slots nor its worker's time. Plain submit()/advance()
+  /// bypass fairness, like they bypass the inflight bound. A runtime
+  /// concern like `threads`: not checkpointed (see set_fair_quantum for
+  /// restored drivers).
+  std::size_t fair_quantum = 0;
+};
+
+/// Outcome of a bounded staging attempt (try_submit / try_advance) —
+/// the driver-level unification of the session's SubmitOutcome with the
+/// worker-mode staging refusals, so callers can tell WHY an op did not go
+/// through (and thus whether to retry, back off, or drop) in both modes.
+enum class StageOutcome : std::uint8_t {
+  kAccepted,      ///< inline mode: applied, the session accepted it
+  kStaged,        ///< worker mode: buffered for the owning worker
+  kBackpressure,  ///< inline mode: the session's live window refused the
+                  ///< job (SubmitOutcome::kBackpressure) — retry after
+                  ///< decisions free slots
+  kInflightFull,  ///< worker mode: shard at max_inflight_batches — back
+                  ///< off (sync() or serve other shards) and retry
+  kDeferred,      ///< fairness: the shard exhausted its DRR credit this
+                  ///< round — flush() (a new round) re-admits it
+};
+
+/// True when the operation reached the session or its staging buffer.
+inline bool stage_ok(StageOutcome outcome) {
+  return outcome == StageOutcome::kAccepted ||
+         outcome == StageOutcome::kStaged;
+}
+
+/// Per-shard overload/fairness counters surfaced by the driver (see
+/// ShardDriver::shard_counters).
+struct ShardCounters {
+  std::size_t sheds = 0;            ///< session->num_shed()
+  std::size_t backpressured = 0;    ///< session->num_backpressured()
+  std::size_t deferred = 0;         ///< kDeferred staging refusals
+  std::size_t inflight_refused = 0; ///< kInflightFull staging refusals
+  std::uint64_t staged_ops = 0;     ///< ops admitted into the shard (lifetime)
+  std::size_t max_batch_ops = 0;    ///< largest single handed-off batch
 };
 
 class ShardDriver {
@@ -90,21 +138,37 @@ class ShardDriver {
   /// staged so far (inline mode: applies it immediately).
   void advance(std::size_t shard, Time to);
 
-  /// Bounded staging: returns false (and stages nothing) when the shard is
-  /// at max_inflight_batches — the retry/backoff contract for overloaded
-  /// ingest loops. Inline mode forwards to SchedulerSession::try_submit,
-  /// so a session-level window cap surfaces through the same bool. Worker
-  /// mode cannot deliver per-job backpressure (ops apply asynchronously);
+  /// Bounded staging: refuses (staging nothing) when fairness credit is
+  /// exhausted (kDeferred) or the shard is at max_inflight_batches
+  /// (kInflightFull) — the retry/backoff contract for overloaded ingest
+  /// loops. Inline mode forwards the session's SubmitOutcome (kAccepted /
+  /// kBackpressure), so callers distinguish a session-window refusal from
+  /// a staging refusal in both modes through one return type. Worker mode
+  /// cannot deliver per-job backpressure (ops apply asynchronously);
   /// sessions driven through workers should use shed_budget (absorbing)
   /// rather than a bare window cap, which would abort inside the worker.
-  bool try_submit(std::size_t shard, const StreamJob& job);
-  /// Bounded counterpart of advance(), same refusal rule (worker mode; in
-  /// inline mode advances always apply and it returns true).
-  bool try_advance(std::size_t shard, Time to);
+  StageOutcome try_submit(std::size_t shard, const StreamJob& job);
+  /// Bounded counterpart of advance(), same refusal rules (in inline mode
+  /// an advance with credit always applies and returns kAccepted).
+  StageOutcome try_advance(std::size_t shard, Time to);
 
   /// Handed-off-but-unapplied batches for `shard` right now (worker mode;
   /// 0 in inline mode).
   std::size_t inflight_batches(std::size_t shard) const;
+
+  /// Overload/fairness counters for one shard. The session-side fields
+  /// read the shard's session, so in worker mode call sync() first (same
+  /// rule as session()); the staging-side fields are producer-owned and
+  /// always current.
+  ShardCounters shard_counters(std::size_t shard) const;
+
+  /// Adjusts the DRR quantum at runtime (same meaning as
+  /// ShardDriverOptions::fair_quantum; 0 disables fairness). The knob for
+  /// restored drivers, whose checkpoints deliberately carry no runtime
+  /// concerns. Takes effect from the next staging attempt; per-shard
+  /// credits are reset to one fresh quantum. Producer-thread only.
+  void set_fair_quantum(std::size_t quantum);
+  std::size_t fair_quantum() const { return fair_quantum_; }
 
   /// Hands every staged batch to the owning workers. Non-blocking: the
   /// caller can keep staging the next wave while workers chew this one.
@@ -158,6 +222,13 @@ class ShardDriver {
     std::atomic<std::uint64_t> batches_done{0};
     api::RunSummary drain_result;         ///< written by the drain op
     bool drained = false;
+    // Producer-owned fairness/telemetry state (single-producer contract:
+    // only the staging thread reads or writes these).
+    std::size_t credit = 0;               ///< DRR ops left this round
+    std::size_t deferred = 0;             ///< kDeferred refusals (lifetime)
+    std::size_t inflight_refused = 0;     ///< kInflightFull refusals
+    std::uint64_t staged_ops = 0;         ///< admitted ops (lifetime)
+    std::size_t max_batch_ops = 0;        ///< largest handed-off batch
   };
 
   struct Worker {
@@ -182,9 +253,14 @@ class ShardDriver {
   void worker_loop(Worker& worker);
   void wake(Worker& worker);
 
+  /// Fairness gate shared by try_submit/try_advance: refuses (kDeferred,
+  /// counting it) when DRR is on and the shard's round credit is spent.
+  bool fairness_refuses(Shard& s);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t max_inflight_ = 0;  ///< ShardDriverOptions::max_inflight_batches
+  std::size_t fair_quantum_ = 0;  ///< ShardDriverOptions::fair_quantum
   std::mutex sync_mutex_;
   std::condition_variable sync_cv_;
 };

@@ -54,6 +54,28 @@ class SimulationHooks {
     OSCHED_CHECK(false) << "policy does not support load shedding";
     return kInvalidJob;
   }
+
+  /// ε-charged load shed (service::ShedPolicy::kEpsilonCharged): reject one
+  /// pending job AND book it into the policy's own rejection accounting as
+  /// if the paper's Rule 2 had fired — so the eviction is covered by the
+  /// same charging argument as an algorithmic rejection rather than sitting
+  /// outside the analysis. Theorem 1 overrides this with the Rule-2-style
+  /// victim (globally largest queued effective processing time, ties to
+  /// the largest id) and extends its dual accounting; policies without a
+  /// rejection analysis inherit this fallback to the fixed on_shed rule
+  /// (the derived budget still applies — see SchedulerSession::make_room).
+  /// Same contract as on_shed otherwise: returns the victim id, or
+  /// kInvalidJob when nothing is pending anywhere.
+  virtual JobId on_shed_charged(Time now) { return on_shed(now); }
+
+  /// Rejections the policy has already charged against the paper's 2εn
+  /// rejection budget (Rule 1 + Rule 2 for Theorem 1 and the weighted
+  /// extension, the ε-budgeted arrivals for Theorem 2 and the immediate-
+  /// rejection baseline). Forced fleet rejections and overload sheds are
+  /// NOT included — the session accounts sheds itself and fault rejections
+  /// sit outside the guarantee. Baselines without rejection machinery
+  /// report 0, making the whole derived budget available to sheds.
+  virtual std::size_t charged_rejections() const { return 0; }
 };
 
 template <class Store>

@@ -256,12 +256,15 @@ TEST(Overload, ShardDriverInlineModeForwardsBackpressure) {
   service::ShardDriver driver(api::Algorithm::kGreedySpt, 1, 1, options);
   ASSERT_EQ(driver.worker_count(), 0u);
 
-  EXPECT_TRUE(driver.try_submit(0, stream_job(0.0, 1.0, {10.0})));
-  EXPECT_FALSE(driver.try_submit(0, stream_job(1.0, 1.0, {10.0})));
+  EXPECT_EQ(driver.try_submit(0, stream_job(0.0, 1.0, {10.0})),
+            service::StageOutcome::kAccepted);
+  EXPECT_EQ(driver.try_submit(0, stream_job(1.0, 1.0, {10.0})),
+            service::StageOutcome::kBackpressure);
   EXPECT_EQ(driver.inflight_batches(0), 0u);  // inline mode: nothing queued
   EXPECT_EQ(driver.session(0).num_backpressured(), 1u);
   // The first job completes at t=10; a later release is admitted.
-  EXPECT_TRUE(driver.try_submit(0, stream_job(10.0, 1.0, {10.0})));
+  EXPECT_EQ(driver.try_submit(0, stream_job(10.0, 1.0, {10.0})),
+            service::StageOutcome::kAccepted);
   const auto results = driver.drain_all();
   EXPECT_EQ(results[0].report.num_completed, 2u);
 }
@@ -283,11 +286,11 @@ TEST(Overload, ShardDriverWorkerModeBoundsInflightBatches) {
   for (std::size_t idx = 0; idx < instance.num_jobs(); ++idx) {
     fill_stream_job(instance, static_cast<JobId>(idx), 0.0, &job);
     const std::size_t shard = idx % 2;
-    while (!driver.try_submit(shard, job)) {
+    while (!service::stage_ok(driver.try_submit(shard, job))) {
       ++refusals;
       EXPECT_LE(driver.inflight_batches(shard), 1u);
       driver.sync();  // the backlog drains; the retry must now stage
-      ASSERT_TRUE(driver.try_submit(shard, job));
+      ASSERT_TRUE(service::stage_ok(driver.try_submit(shard, job)));
       break;
     }
     driver.flush();
