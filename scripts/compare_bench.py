@@ -8,6 +8,12 @@ Compares a baseline report against a current one, metric by metric:
   drop by up to that fraction, seconds/RSS may grow by up to that fraction,
   before the diff counts as a perf regression. Direction matters — getting
   faster or smaller is never a regression.
+* Metrics prefixed "tier_" describe WHICH code path produced the numbers
+  (e23's dispatch tiers: tier_simd 0/1/2 = scalar/avx2/avx512,
+  tier_order_width 0/16/32) — hardware- and env-shaped (cpuid,
+  OSCHED_SIMD), not scheduling outputs, and bit-identical across tiers by
+  the simd_argmin contract. Differences are reported as informational
+  notes, never as regressions or mismatches.
 * Metrics prefixed "seeded_" are deterministic ONLY per seed (e20's chaos
   schedule and e22's burst-warped workload move with --seed, and e22's
   per-shard overload counters — seeded_hot_deferred, seeded_total_sheds,
@@ -48,10 +54,12 @@ import sys
 
 EXPECTED_SCHEMA = "osched.bench.report"
 
-# "workers" is the shard driver's resolved worker count — shaped by the
-# host's core count, not by scheduling decisions, so it belongs to the
-# wall-clock class (band-compared), not the deterministic one.
-PERF_EXACT = {"seconds", "compute_seconds", "wall_seconds", "workers"}
+# "workers" is the shard driver's resolved worker count and
+# "pinned_workers" how many of them landed on their NUMA node — both shaped
+# by the host's core count/topology, not by scheduling decisions, so they
+# belong to the wall-clock class (band-compared), not the deterministic one.
+PERF_EXACT = {"seconds", "compute_seconds", "wall_seconds", "workers",
+              "pinned_workers"}
 # Memory metrics are wall-clock-class (banded, never exact-matched) AND get
 # their own band (--rss-tolerance): RSS is an OS-level reading (allocator
 # retention, page granularity) whose noise profile is unrelated to
@@ -79,9 +87,19 @@ CORE_DETERMINISTIC = ("rejected", "completed", "total_flow")
 # reports. Everywhere else these are skipped, not warned about.
 SEEDED_PREFIX = "seeded_"
 
+# Code-path attribution, not output: which SIMD tier / order-table width
+# served the case (cpuid- and OSCHED_SIMD-shaped). All tiers are
+# bit-identical by contract, so a tier change can explain a perf delta but
+# can never itself be a regression or a determinism error.
+TIER_PREFIX = "tier_"
+
 
 def is_seeded_metric(name: str) -> bool:
     return name.startswith(SEEDED_PREFIX)
+
+
+def is_tier_metric(name: str) -> bool:
+    return name.startswith(TIER_PREFIX)
 
 
 def is_perf_metric(name: str) -> bool:
@@ -205,6 +223,7 @@ def main() -> None:
     perf_regressions = []
     determinism_errors = []
     warnings = []
+    tier_notes = []
     compared = 0
     seeded_skipped = 0
 
@@ -234,6 +253,13 @@ def main() -> None:
                 continue
             b, c = base[key][name], cur[key][name]
             where = f"{scenario}/{label}/{name}"
+            if is_tier_metric(name):
+                if b.get("mean") != c.get("mean"):
+                    tier_notes.append(
+                        f"{where}: {b.get('mean')!r} -> {c.get('mean')!r} "
+                        f"(code-path attribution only; outputs are "
+                        f"bit-identical across tiers)")
+                continue
             if is_seeded_metric(name):
                 if not seeds_comparable:
                     seeded_skipped += 1
@@ -281,6 +307,8 @@ def main() -> None:
     report_fairness_spread("baseline", base)
     report_fairness_spread("current", cur)
 
+    for message in tier_notes:
+        print(f"compare_bench: note: dispatch tier changed: {message}")
     for message in warnings:
         print(f"compare_bench: WARN: {message}", file=sys.stderr)
     for message in perf_regressions:

@@ -28,6 +28,7 @@
 #include "metrics/metrics.hpp"
 #include "sim/fleet.hpp"
 #include "sim/schedule.hpp"
+#include "util/simd_argmin.hpp"
 
 namespace osched::api {
 
@@ -88,12 +89,21 @@ struct RunSummary {
   FleetStats fleet;
   /// Whether the instance carried the (p, id) dispatch order table, i.e.
   /// dispatch ran the indexed idle-machine walk. False means the O(m)
-  /// shadow-row fallback was in effect — by design for generator instances
-  /// and for m >= 65536 (uint16 id ceiling), and always for streamed
-  /// sessions, whose store keeps no order table (drain() leaves the
-  /// default). Here so a dispatch perf cliff is attributable from a result
-  /// file alone.
+  /// shadow-row scan was in effect — by design for generator instances and
+  /// for streamed sessions, whose stores keep no order table. Here so a
+  /// dispatch perf cliff is attributable from a result file alone.
   bool dispatch_index_active = false;
+  /// Machine-id width of the order table in bits: 16 (m < 65536), 32
+  /// (m >= 65536, the huge-m tier), 0 when no table exists (generator
+  /// instances, streamed sessions). The "order16"/"order32" half of the
+  /// dispatch tier; perf baselines record it so a number produced by one
+  /// code path is never compared against another path unknowingly.
+  int dispatch_order_width = 0;
+  /// SIMD tier the dispatch kernels ran at (util::active_simd_tier():
+  /// scalar / avx2 / avx512 — cpuid-dispatched, cappable via OSCHED_SIMD).
+  /// All tiers are bit-identical by contract; the field is informational
+  /// attribution, not a determinism input.
+  util::SimdTier dispatch_simd_tier = util::SimdTier::kScalar;
 };
 
 /// Runs `algorithm` on `instance`. Aborts (OSCHED_CHECK) on structurally

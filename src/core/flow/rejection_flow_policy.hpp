@@ -47,6 +47,7 @@
 #include "util/augmented_treap.hpp"
 #include "util/dispatch_heap.hpp"
 #include "util/rng.hpp"
+#include "util/simd_argmin.hpp"
 #include "util/sliding_vector.hpp"
 
 namespace osched {
@@ -425,7 +426,9 @@ class RejectionFlowPolicy final : public SimulationHooks {
                              const EligibleMachines& eligible,
                              double* best_lambda_out) {
     const std::size_t count = eligible.size();
-    const std::uint16_t* order = store_.p_order_row(j);
+    // uint16 or uint32 machine ids depending on the store's order width
+    // (m >= 65536 selects the wide table) — the walk is width-agnostic.
+    const auto* order = store_.p_order_row(j);
     const Work* rowd = store_.processing_row(j);
     const bool dense = count == store_.num_machines();
 
@@ -475,6 +478,20 @@ class RejectionFlowPolicy final : public SimulationHooks {
             best_machine = static_cast<MachineId>(i2);
           }
         }
+      }
+    } else if (dense && speed_is_one_ && !fleet_speed_ && !fleet_.enabled()) {
+      // No precomputed order, no fleet mask, no speed scaling (the huge-m
+      // generator/streaming steady state — the O(m) loop e23 sizes): the
+      // effective p IS the double row entry and every machine is a
+      // candidate when idle, so the exact idle argmin vectorizes — per
+      // lane the scalar division-then-add, min-reduce plus first-index
+      // semantics, bit-identical to the scalar loop below (which stays the
+      // reference for the masked/scaled cases).
+      const util::simd::IdleArgmin idle = util::simd::idle_lambda_argmin(
+          rowd, pend_n_.data(), count, options_.epsilon);
+      if (idle.index < count) {
+        best_lambda = idle.lambda;
+        best_machine = static_cast<MachineId>(idle.index);
       }
     } else {
       // No precomputed order (streaming store, generator tile), or the
@@ -551,7 +568,7 @@ class RejectionFlowPolicy final : public SimulationHooks {
     if (next < store_.num_jobs()) {
       const auto nj = static_cast<JobId>(next);
       const Work* nrow = store_.processing_row(nj);
-      const std::uint16_t* norder = store_.p_order_row(nj);
+      const auto* norder = store_.p_order_row(nj);
       if (norder != nullptr) {
         const std::size_t ncount = store_.eligible_machines(nj).size();
         __builtin_prefetch(nrow + norder[0], 0, 0);
@@ -607,10 +624,10 @@ class RejectionFlowPolicy final : public SimulationHooks {
       const float* __restrict pcm = pend_cnt_margin_.data();
       const float* __restrict pmp = pend_min_p_.data();
       float* __restrict lb = lb_.data();
-      for (std::size_t i = 0; i < m; ++i) {
-        const float p = row[i];
-        lb[i] = p * empty_coeff_margin_ + pcm[i] * std::min(p, pmp[i]);
-      }
+      // Explicit SIMD fill (AVX2/AVX-512 behind runtime dispatch, scalar
+      // reference as fallback) — per-lane identical to the former inline
+      // loop; see util/simd_argmin.hpp for the bit-identity contract.
+      util::simd::lb_fill(row, pcm, pmp, empty_coeff_margin_, lb, m);
       // Speed mask: the bulk fill used the RAW shadow row, which is not a
       // lower bound on a sped-UP machine's effective lambda. O(#scaled)
       // overwrites recompute those entries from the UP-rounded divisor —
@@ -628,32 +645,16 @@ class RejectionFlowPolicy final : public SimulationHooks {
       for (const std::uint32_t down : fleet_.inactive_list()) {
         lb[down] = std::numeric_limits<float>::infinity();
       }
-      // Two-level argmin: per-block minima first (fixed-width inner loops —
-      // min is exactly associative/commutative over finite floats, so any
-      // lane split gives the same value), then locate the first block and
-      // first lane attaining the minimum. This replaces a serial m-long
-      // min dependency chain plus an average m/2 scalar index scan with
-      // vectorizable block work and two short scans.
-      float* __restrict bmin = block_min_.data();
-      for (std::size_t b = 0; b < full; ++b) {
-        const float* chunk = lb + b * kBlock;
-        float v0 = std::min(chunk[0], chunk[1]);
-        float v1 = std::min(chunk[2], chunk[3]);
-        float v2 = std::min(chunk[4], chunk[5]);
-        float v3 = std::min(chunk[6], chunk[7]);
-        bmin[b] = std::min(std::min(v0, v1), std::min(v2, v3));
-      }
-      float seed_lb = std::numeric_limits<float>::max();
-      for (std::size_t i = full * kBlock; i < m; ++i) {
-        seed_lb = std::min(seed_lb, lb[i]);
-      }
-      for (std::size_t b = 0; b < full; ++b) {
-        seed_lb = std::min(seed_lb, bmin[b]);
-      }
-      std::size_t b0 = 0;
-      while (b0 < full && bmin[b0] != seed_lb) ++b0;
-      seed_k = b0 * kBlock;
-      while (lb[seed_k] != seed_lb) ++seed_k;
+      // Two-level argmin: per-block minima first (min is exactly
+      // associative/commutative over the NaN-free, -0.0-free lb values, so
+      // any lane split gives the same value), then the first block and
+      // first lane attaining the minimum — the explicit SIMD kernel keeps
+      // those exact semantics across tiers, and also returns the block
+      // minima the rival screen reads below.
+      const util::simd::ArgminResult seed =
+          util::simd::block_minima_argmin(lb, m, block_min_.data());
+      OSCHED_CHECK_LT(seed.index, m) << "no finite dispatch bound";
+      seed_k = seed.index;
       seed_p = row[seed_k];
     } else {
       float seed_lb = std::numeric_limits<float>::max();

@@ -1,9 +1,7 @@
 #include "instance/instance.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <ostream>
@@ -252,63 +250,61 @@ std::size_t Instance::store_bytes() const {
   auto bytes = [](const auto& v) { return v.size() * sizeof(v[0]); };
   return bytes(jobs_) + bytes(processing_) + bytes(bounds_) + bytes(csr_p_) +
          bytes(csr_bounds_) + bytes(identity_machines_) + bytes(p_order_) +
-         bytes(eligible_flat_) + bytes(eligible_offsets_);
+         bytes(p_order32_) + bytes(eligible_flat_) + bytes(eligible_offsets_);
 }
 
-template <class EntryP>
-void Instance::build_p_order(EntryP&& entry_p) {
+template <class IdT, class EntryP>
+void Instance::build_p_order_into(std::vector<IdT>& table, EntryP&& entry_p) {
   // Per-job (p, id)-sorted eligible machines for the dispatch index's
-  // idle-machine walk. uint16 ids keep the table at 2 bytes per matrix
-  // entry; a store wider than the id type simply skips the table —
-  // p_order_row() then returns nullptr and dispatch falls back to the
-  // order-less idle scan, so huge machine counts degrade instead of abort.
-  // Sorting runs over PACKED (p bit pattern, id) keys: the bit patterns of
-  // non-negative IEEE doubles order exactly like the values, and value
-  // compares beat a comparator that chases back into the matrix per call.
-  // `entry_p(j, k, id)` is the backend's way to read the adjacency entry's
-  // p value — one builder, so the dense and CSR order tables can't drift.
-  if (num_machines_ >= 65536u) {
-    // Attributable degradation, not silence: the fallback sweep is O(m) per
-    // dispatch where the table walk stops at the first idle machine, and an
-    // operator staring at a perf cliff deserves the pointer. Once per
-    // process — fleets of huge-m instances would otherwise spam.
-    static std::atomic<bool> noted{false};
-    if (!noted.exchange(true, std::memory_order_relaxed)) {
-      std::fprintf(stderr,
-                   "osched note: dispatch order table skipped at %zu machines "
-                   "(uint16 id ceiling is 65535); dispatch falls back to the "
-                   "shadow-row scan — see RunSummary::dispatch_index_active\n",
-                   num_machines_);
-    }
-    return;
-  }
+  // idle-machine walk. Sorting runs over PACKED (p bit pattern, id) keys:
+  // the bit patterns of non-negative IEEE doubles order exactly like the
+  // values, and value compares beat a comparator that chases back into the
+  // matrix per call. `entry_p(j, k, id)` is the backend's way to read the
+  // adjacency entry's p value — one builder, so the dense and CSR order
+  // tables can't drift. Construction is batched per job: the sort scratch
+  // is one row's keys (capacity = the widest adjacency row, reused across
+  // jobs), so huge-m builds never hold more than the finished table plus
+  // one row of keys.
   const std::size_t n = jobs_.size();
-  p_order_.resize(eligible_flat_.size());
-  std::vector<detail::POrderKey> keys;
+  table.resize(eligible_flat_.size());
+  std::vector<detail::POrderKeyT<IdT>> keys;
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t begin = eligible_offsets_[j];
     const std::size_t end = eligible_offsets_[j + 1];
     keys.clear();
     for (std::size_t k = begin; k < end; ++k) {
-      const auto id = static_cast<std::uint16_t>(eligible_flat_[k]);
-      keys.push_back(detail::POrderKey::make(entry_p(j, k, id), id));
+      const auto id = static_cast<IdT>(eligible_flat_[k]);
+      keys.push_back(detail::POrderKeyT<IdT>::make(entry_p(j, k, id), id));
     }
     std::sort(keys.begin(), keys.end());
     for (std::size_t k = begin; k < end; ++k) {
-      p_order_[k] = keys[k - begin].id;
+      table[k] = keys[k - begin].id;
     }
   }
 }
 
+template <class EntryP>
+void Instance::build_p_order(EntryP&& entry_p) {
+  // Narrowest id width that fits the machine count: uint16 keeps the table
+  // at 2 bytes per adjacency entry for the common fleet sizes; uint32 is
+  // the huge-m tier — the indexed idle-machine walk stays active instead of
+  // degrading to the O(m) shadow sweep (the pre-uint32 behavior, retired).
+  if (num_machines_ >= 65536u) {
+    build_p_order_into(p_order32_, entry_p);
+  } else {
+    build_p_order_into(p_order_, entry_p);
+  }
+}
+
 void Instance::build_p_order_dense() {
-  build_p_order([this](std::size_t j, std::size_t /*k*/, std::uint16_t id) {
+  build_p_order([this](std::size_t j, std::size_t /*k*/, std::size_t id) {
     return processing_[j * num_machines_ + id];
   });
 }
 
 void Instance::build_p_order_csr() {
   // The CSR values are adjacency-aligned already: slice entry k IS p.
-  build_p_order([this](std::size_t /*j*/, std::size_t k, std::uint16_t /*id*/) {
+  build_p_order([this](std::size_t /*j*/, std::size_t k, std::size_t /*id*/) {
     return csr_p_[k];
   });
 }

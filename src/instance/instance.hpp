@@ -187,22 +187,45 @@ class Instance {
 
   /// Job j's eligible machines sorted by (p_ij, machine id) ascending —
   /// precomputed at construction for the dense and sparse backends (the
-  /// table is CSR-shaped either way). nullptr when the table does not
-  /// exist: generator backend (sorting would materialize the row work the
-  /// backend avoids) or 65536+ machines (ids exceed uint16) — dispatch then
-  /// derives the idle argmin from the shadow row instead.
+  /// table is CSR-shaped either way). Ids are stored at the narrowest width
+  /// that fits the machine count: uint16 below 65536 machines (this
+  /// accessor), uint32 at and above (p_order32_row). nullptr when THIS
+  /// width's table does not exist — generator backend (sorting would
+  /// materialize the row work the backend avoids), empty instances, or the
+  /// other width being selected.
   const std::uint16_t* p_order_row(JobId j) const {
     if (p_order_.empty()) return nullptr;
     return p_order_.data() + eligible_offsets_[static_cast<std::size_t>(j)];
   }
 
-  /// Whether the (p, id) order table above exists, i.e. whether dispatch
-  /// runs the indexed idle-machine walk rather than the O(m) shadow-row
-  /// fallback. False for generator instances, for m >= 65536 (the uint16 id
-  /// ceiling — construction prints a one-time note), and for empty
+  /// The wide (uint32-id) twin of p_order_row, selected automatically at
+  /// m >= 65536 — machine ids there exceed uint16, and the huge-m tier
+  /// keeps the indexed idle-machine walk instead of degrading to the O(m)
+  /// shadow sweep.
+  const std::uint32_t* p_order32_row(JobId j) const {
+    if (p_order32_.empty()) return nullptr;
+    return p_order32_.data() + eligible_offsets_[static_cast<std::size_t>(j)];
+  }
+
+  /// Machine-id width of the order table in bits: 16 (m < 65536), 32
+  /// (m >= 65536), or 0 when no table exists (generator backend, empty
+  /// instances). Surfaced through api::RunSummary::dispatch_order_width so
+  /// perf baselines are attributable to the code path that produced them.
+  int dispatch_order_width() const {
+    if (!p_order_.empty()) return 16;
+    if (!p_order32_.empty()) return 32;
+    return 0;
+  }
+
+  /// Whether a (p, id) order table exists at either width, i.e. whether
+  /// dispatch runs the indexed idle-machine walk rather than the O(m)
+  /// shadow-row scan. False only for generator instances (the streaming /
+  /// on-demand stores take the order-less sub-path by design) and empty
   /// instances. Surfaced through api::RunSummary::dispatch_index_active so
-  /// the perf cliff is attributable from results alone.
-  bool dispatch_index_active() const { return !p_order_.empty(); }
+  /// the chosen path is attributable from results alone.
+  bool dispatch_index_active() const {
+    return !p_order_.empty() || !p_order32_.empty();
+  }
 
   bool eligible(MachineId i, JobId j) const {
     return processing(i, j) < kTimeInfinity;
@@ -255,8 +278,10 @@ class Instance {
   std::string validate() const;
 
  private:
-  friend class DenseStoreView;
-  friend class SparseStoreView;
+  template <class OrderT>
+  friend class DenseStoreViewT;
+  template <class OrderT>
+  friend class SparseStoreViewT;
   friend class GeneratorStoreView;
 
   /// Shared per-job field validation (release/weight/deadline), identical
@@ -267,7 +292,11 @@ class Instance {
 
   /// Build the per-job (p, id)-sorted machine order over the adjacency
   /// (CSR-shaped for every backend that has one; entry_p reads one entry's
-  /// p value). Skipped at 65536+ machines (uint16 ids).
+  /// p value) into `table`, at whichever id width IdT names. The width is
+  /// selected by build_p_order: uint16 below 65536 machines, uint32 at and
+  /// above.
+  template <class IdT, class EntryP>
+  void build_p_order_into(std::vector<IdT>& table, EntryP&& entry_p);
   template <class EntryP>
   void build_p_order(EntryP&& entry_p);
   void build_p_order_dense();
@@ -299,8 +328,11 @@ class Instance {
 
   // ---- shared tables (dense + sparse) ----
   /// Per-job eligible machines sorted by (p_ij, id); eligible_offsets_
-  /// slicing, machine ids as uint16 (construction checks m < 65536).
+  /// slicing. Exactly one of the two widths is populated: uint16 ids below
+  /// 65536 machines (2 bytes per adjacency entry, the compact default),
+  /// uint32 ids at and above (the huge-m tier).
   std::vector<std::uint16_t> p_order_;
+  std::vector<std::uint32_t> p_order32_;
   /// Eligible-machine ids grouped by job; eligible_offsets_[j]..[j+1) is
   /// job j's slice of eligible_flat_.
   std::vector<MachineId> eligible_flat_;

@@ -40,13 +40,39 @@
 
 namespace osched {
 
-class DenseStoreView {
+namespace store_detail {
+
+/// The Instance order table matching OrderT's width (uint16 below 65536
+/// machines, uint32 at and above — exactly one is populated); nullptr when
+/// that width's table is absent. Called from the friended view templates,
+/// so the uint16/uint32 instantiations differ only in the pointer type.
+template <class OrderT>
+const OrderT* order_table(const std::vector<std::uint16_t>& narrow,
+                          const std::vector<std::uint32_t>& wide) {
+  if constexpr (std::is_same_v<OrderT, std::uint16_t>) {
+    return narrow.empty() ? nullptr : narrow.data();
+  } else {
+    static_assert(std::is_same_v<OrderT, std::uint32_t>,
+                  "order tables come in uint16 and uint32 widths only");
+    return wide.empty() ? nullptr : wide.data();
+  }
+}
+
+}  // namespace store_detail
+
+/// OrderT is the (p, id) order table's machine-id type: std::uint16_t for
+/// m < 65536 (the compact default, alias DenseStoreView), std::uint32_t at
+/// and above (alias DenseStoreView32 — the huge-m tier). with_store_view
+/// instantiates whichever width the instance built.
+template <class OrderT>
+class DenseStoreViewT {
  public:
-  explicit DenseStoreView(const Instance& instance)
+  explicit DenseStoreViewT(const Instance& instance)
       : instance_(&instance),
         p_(instance.processing_.data()),
         bounds_(instance.bounds_.data()),
-        order_(instance.p_order_.empty() ? nullptr : instance.p_order_.data()),
+        order_(store_detail::order_table<OrderT>(instance.p_order_,
+                                                 instance.p_order32_)),
         eligible_(instance.eligible_flat_.data()),
         offsets_(instance.eligible_offsets_.data()),
         m_(instance.num_machines()) {
@@ -71,7 +97,7 @@ class DenseStoreView {
   const float* bounds_row(JobId j) const {
     return bounds_ + static_cast<std::size_t>(j) * m_;
   }
-  const std::uint16_t* p_order_row(JobId j) const {
+  const OrderT* p_order_row(JobId j) const {
     if (order_ == nullptr) return nullptr;
     return order_ + offsets_[static_cast<std::size_t>(j)];
   }
@@ -89,11 +115,14 @@ class DenseStoreView {
   const Instance* instance_;
   const Work* p_;
   const float* bounds_;
-  const std::uint16_t* order_;
+  const OrderT* order_;
   const MachineId* eligible_;
   const std::size_t* offsets_;
   std::size_t m_;
 };
+
+using DenseStoreView = DenseStoreViewT<std::uint16_t>;
+using DenseStoreView32 = DenseStoreViewT<std::uint32_t>;
 
 namespace store_detail {
 
@@ -111,12 +140,16 @@ inline constexpr std::size_t kTileSlots = 4;
 
 }  // namespace store_detail
 
-class SparseStoreView {
+/// Same OrderT convention as DenseStoreViewT (aliases SparseStoreView /
+/// SparseStoreView32).
+template <class OrderT>
+class SparseStoreViewT {
  public:
-  explicit SparseStoreView(const Instance& instance)
+  explicit SparseStoreViewT(const Instance& instance)
       : instance_(&instance),
         csr_p_(instance.csr_p_.data()),
-        order_(instance.p_order_.empty() ? nullptr : instance.p_order_.data()),
+        order_(store_detail::order_table<OrderT>(instance.p_order_,
+                                                 instance.p_order32_)),
         eligible_(instance.eligible_flat_.data()),
         offsets_(instance.eligible_offsets_.data()),
         m_(instance.num_machines()) {
@@ -137,7 +170,7 @@ class SparseStoreView {
   }
   const Work* processing_row(JobId j) const { return tile(j).p.data(); }
   const float* bounds_row(JobId j) const { return tile(j).bounds.data(); }
-  const std::uint16_t* p_order_row(JobId j) const {
+  const OrderT* p_order_row(JobId j) const {
     if (order_ == nullptr) return nullptr;
     return order_ + offsets_[static_cast<std::size_t>(j)];
   }
@@ -179,12 +212,15 @@ class SparseStoreView {
 
   const Instance* instance_;
   const Work* csr_p_;
-  const std::uint16_t* order_;
+  const OrderT* order_;
   const MachineId* eligible_;
   const std::size_t* offsets_;
   std::size_t m_;
   mutable std::array<store_detail::RowTile, store_detail::kTileSlots> tiles_;
 };
+
+using SparseStoreView = SparseStoreViewT<std::uint16_t>;
+using SparseStoreView32 = SparseStoreViewT<std::uint32_t>;
 
 class GeneratorStoreView {
  public:
@@ -249,18 +285,31 @@ class GeneratorStoreView {
   mutable std::array<store_detail::RowTile, store_detail::kTileSlots> tiles_;
 };
 
-/// Runs `fn` with the view matching `instance.backend()`. The batch entry
-/// points route through this so each backend gets its own full template
-/// instantiation of the policy + engine (the dense one being the
-/// pre-refactor hot path, unchanged).
+/// Runs `fn` with the view matching `instance.backend()` AND the order
+/// table's id width (uint16 below 65536 machines, uint32 at and above).
+/// The batch entry points route through this so each (backend, width)
+/// combination gets its own full template instantiation of the policy +
+/// engine — the dense uint16 one being the pre-refactor hot path,
+/// unchanged. An instance with no order table at all (only the generator
+/// backend, whose view ignores the width) takes the uint16 branch, whose
+/// view then serves nullptr rows exactly as before.
 template <class Fn>
 decltype(auto) with_store_view(const Instance& instance, Fn&& fn) {
+  const bool wide = instance.dispatch_order_width() == 32;
   switch (instance.backend()) {
     case StorageBackend::kDense: {
+      if (wide) {
+        const DenseStoreView32 view(instance);
+        return fn(view);
+      }
       const DenseStoreView view(instance);
       return fn(view);
     }
     case StorageBackend::kSparseCsr: {
+      if (wide) {
+        const SparseStoreView32 view(instance);
+        return fn(view);
+      }
       const SparseStoreView view(instance);
       return fn(view);
     }

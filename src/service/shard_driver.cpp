@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "service/checkpoint.hpp"
+#include "util/numa.hpp"
 #include "util/rng.hpp"
 
 namespace osched::service {
@@ -21,7 +22,7 @@ ShardDriver::ShardDriver(api::Algorithm algorithm, std::size_t num_shards,
     shard->credit = fair_quantum_;
     shards_.push_back(std::move(shard));
   }
-  start_workers(options.threads);
+  start_workers(options.threads, options.numa_policy);
 }
 
 void ShardDriver::set_fair_quantum(std::size_t quantum) {
@@ -51,7 +52,7 @@ bool ShardDriver::fairness_refuses(Shard& s) {
   return false;
 }
 
-void ShardDriver::start_workers(std::size_t threads) {
+void ShardDriver::start_workers(std::size_t threads, NumaPolicy numa_policy) {
   const std::size_t num_shards = shards_.size();
   std::size_t workers = threads != 0
                             ? threads
@@ -68,6 +69,17 @@ void ShardDriver::start_workers(std::size_t threads) {
   }
   for (std::size_t s = 0; s < num_shards; ++s) {
     workers_[s % workers]->shards.push_back(s);
+  }
+  if (numa_policy == NumaPolicy::kInterleave &&
+      util::numa_topology().multi_node()) {
+    // Round-robin workers across nodes. Each worker pins ITSELF as the
+    // first thing its loop does, so every allocation it first-touches —
+    // batch buffers and, dominating by far, the lazily grown session state
+    // of the shards it owns — lands on its node and stays there.
+    const std::size_t nodes = util::numa_topology().num_nodes();
+    for (std::size_t w = 0; w < workers; ++w) {
+      workers_[w]->numa_node = static_cast<int>(w % nodes);
+    }
   }
   for (auto& worker : workers_) {
     worker->thread = std::thread([this, worker = worker.get()] {
@@ -282,7 +294,7 @@ std::string ShardDriver::checkpoint() {
 
 std::unique_ptr<ShardDriver> ShardDriver::restore(
     std::string_view blob, std::size_t threads, std::string* error,
-    std::shared_ptr<const RowGenerator> generator) {
+    std::shared_ptr<const RowGenerator> generator, NumaPolicy numa_policy) {
   const auto fail = [error](std::string message) {
     if (error != nullptr) *error = std::move(message);
     return nullptr;
@@ -337,7 +349,7 @@ std::unique_ptr<ShardDriver> ShardDriver::restore(
     return fail("checkpoint corrupted: " + std::to_string(r.remaining()) +
                 " trailing bytes after the last shard");
   }
-  driver->start_workers(threads);
+  driver->start_workers(threads, numa_policy);
   if (error != nullptr) error->clear();
   return driver;
 }
@@ -366,6 +378,11 @@ void ShardDriver::wake(Worker& worker) {
 }
 
 void ShardDriver::worker_loop(Worker& worker) {
+  if (worker.numa_node >= 0 &&
+      util::pin_current_thread_to_node(
+          static_cast<std::size_t>(worker.numa_node))) {
+    pinned_workers_.fetch_add(1, std::memory_order_release);
+  }
   std::vector<std::vector<Op>> batches;
   for (;;) {
     bool did_work = false;

@@ -1,0 +1,118 @@
+#include "util/numa.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace osched::util {
+
+namespace {
+
+/// Parses one decimal id chunk; returns -1 on anything non-numeric.
+int parse_cpu_id(std::string_view chunk) {
+  int value = 0;
+  bool any = false;
+  for (const char c : chunk) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+    any = true;
+    if (value > 1 << 22) return -1;  // implausible id; corrupt input
+  }
+  return any ? value : -1;
+}
+
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+NumaTopology probe_topology() {
+  NumaTopology topology;
+#if defined(__linux__)
+  // Nodes are numbered densely from 0 in every kernel this targets; a gap
+  // simply ends the walk (offline nodes beyond it cannot host workers
+  // anyway). Probing by open() avoids a directory-listing dependency.
+  for (int node = 0;; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in.is_open()) break;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<int> cpus = parse_cpulist(buffer.str());
+    if (!cpus.empty()) topology.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (topology.node_cpus.empty()) {
+    // Masked sysfs or non-Linux: one node covering every CPU the runtime
+    // reports (>= 1 by definition), where pinning degenerates to a no-op.
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<int> cpus(n);
+    for (unsigned i = 0; i < n; ++i) cpus[i] = static_cast<int>(i);
+    topology.node_cpus.push_back(std::move(cpus));
+  }
+  return topology;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(std::string_view text) {
+  std::vector<int> cpus;
+  std::string_view rest = trimmed(text);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view chunk = trimmed(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (chunk.empty()) continue;
+    const std::size_t dash = chunk.find('-');
+    if (dash == std::string_view::npos) {
+      const int id = parse_cpu_id(chunk);
+      if (id >= 0) cpus.push_back(id);
+      continue;
+    }
+    const int lo = parse_cpu_id(chunk.substr(0, dash));
+    const int hi = parse_cpu_id(chunk.substr(dash + 1));
+    if (lo < 0 || hi < lo) continue;  // malformed range: skip, keep the rest
+    for (int id = lo; id <= hi; ++id) cpus.push_back(id);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topology = probe_topology();
+  return topology;
+}
+
+bool pin_current_thread_to_node(std::size_t node) {
+  const NumaTopology& topology = numa_topology();
+  if (node >= topology.num_nodes()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : topology.node_cpus[node]) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  if (CPU_COUNT(&set) == 0) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace osched::util

@@ -1,0 +1,54 @@
+// NUMA topology detection and thread placement, without libnuma/hwloc.
+//
+// The shard driver's workers each own a fixed subset of sessions whose
+// state (job store, event queue, policy arrays) is allocated lazily while
+// the worker applies operations. On a multi-socket host the default
+// first-touch policy therefore already places a shard's pages on whichever
+// node its worker HAPPENS to run on — but an unpinned worker migrates, and
+// after a migration every hot array is remote. Pinning each worker to one
+// node (ShardDriverOptions::numa_policy) makes first-touch deterministic:
+// the worker's node is the shard's node, for the lifetime of the fleet.
+//
+// Topology comes from /sys/devices/system/node/node*/cpulist (present on
+// every modern Linux, no extra library); hosts without the node directory
+// — containers with masked sysfs, non-Linux builds — degrade to a single
+// node covering every CPU, where pinning is a no-op. Placement never
+// changes scheduling DECISIONS: sessions are bit-identical for any
+// placement, worker count, or policy (the worker-count invariance wall of
+// tests/streaming_test.cpp also covers pinned runs).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace osched::util {
+
+/// One entry per NUMA node, each listing the node's online CPU ids in
+/// ascending order. Nodes with no CPUs (memory-only nodes) are dropped —
+/// they cannot host a worker.
+struct NumaTopology {
+  std::vector<std::vector<int>> node_cpus;
+
+  std::size_t num_nodes() const { return node_cpus.size(); }
+  bool multi_node() const { return node_cpus.size() > 1; }
+};
+
+/// Parses the kernel's cpulist format: comma-separated ids and ranges
+/// ("0-3,8,10-11"), arbitrary whitespace/newline tail. Malformed chunks
+/// are skipped (the kernel never emits them; a truncated read just yields
+/// fewer CPUs). Exposed for unit tests.
+std::vector<int> parse_cpulist(std::string_view text);
+
+/// The host topology, probed once (sysfs walk) and cached. Always has at
+/// least one node with at least one CPU.
+const NumaTopology& numa_topology();
+
+/// Pins the CALLING thread to every CPU of `node` (an index into
+/// numa_topology()). Returns false — leaving affinity untouched — for an
+/// out-of-range node or when the platform refuses (non-Linux, restricted
+/// container). Callers treat failure as "run unpinned": placement is an
+/// optimization, never a correctness requirement.
+bool pin_current_thread_to_node(std::size_t node);
+
+}  // namespace osched::util

@@ -22,6 +22,7 @@
 #include "extensions/weighted_flow.hpp"
 #include "fuzz_seed.hpp"
 #include "sim/schedule_io.hpp"
+#include "util/simd_argmin.hpp"
 #include "workload/generators.hpp"
 
 namespace osched {
@@ -198,14 +199,15 @@ TEST(DispatchIndex, Theorem2IndexedEqualsLinearScan) {
   }
 }
 
-// The order table stores machine ids as uint16, so construction skips it at
-// m >= 65536 and dispatch degrades to the shadow-row scan. The skip used to
-// be silent; it is now attributable three ways — Instance::
-// dispatch_index_active(), RunSummary::dispatch_index_active, and a
-// one-time stderr note — and this pins the exact boundary. Sparse rows keep
-// the 65536-machine instance tiny (memory is O(eligible entries), not n×m).
-TEST(DispatchIndex, OrderTableStopsAtTheUint16IdCeiling) {
-  for (const std::size_t m : {std::size_t{65535}, std::size_t{65536}}) {
+// The order table stores machine ids as uint16 below m = 65536 and widens
+// to uint32 at the boundary — construction never skips it. This pins the
+// exact cutover (65535 → width 16, 65536/65537 → width 32), proves both
+// widths make bit-identical decisions against the exhaustive scan, and
+// checks the facade surfaces the width. Sparse rows keep the 65537-machine
+// instances tiny (memory is O(eligible entries), not n×m).
+TEST(DispatchIndex, OrderTableWidensAtTheUint16IdCeiling) {
+  for (const std::size_t m :
+       {std::size_t{65535}, std::size_t{65536}, std::size_t{65537}}) {
     std::vector<Job> jobs;
     std::vector<std::vector<SparseEntry>> rows;
     for (std::size_t k = 0; k < 12; ++k) {
@@ -214,7 +216,7 @@ TEST(DispatchIndex, OrderTableStopsAtTheUint16IdCeiling) {
       job.release = static_cast<Time>(k) * 0.25;
       jobs.push_back(job);
       // Eligible on a handful of machines spread across the full id range —
-      // including m-1, the id that only fits when m <= 65536.
+      // including m-1, the id that overflows uint16 once m > 65536.
       rows.push_back({{static_cast<MachineId>(k % 7), 2.0 + 0.125 * k},
                       {static_cast<MachineId>(m / 2 + k), 1.0 + 0.25 * k},
                       {static_cast<MachineId>(m - 1 - k), 3.0 + 0.5 * k}});
@@ -225,11 +227,16 @@ TEST(DispatchIndex, OrderTableStopsAtTheUint16IdCeiling) {
     }
     const Instance instance =
         Instance::from_sparse_rows(std::move(jobs), m, std::move(rows));
-    const bool expect_active = m < 65536;
-    EXPECT_EQ(instance.dispatch_index_active(), expect_active) << "m=" << m;
-    EXPECT_EQ(instance.p_order_row(0) != nullptr, expect_active) << "m=" << m;
+    const int expect_width = m < 65536 ? 16 : 32;
+    EXPECT_TRUE(instance.dispatch_index_active()) << "m=" << m;
+    EXPECT_EQ(instance.dispatch_order_width(), expect_width) << "m=" << m;
+    // Exactly one of the width-specific rows exists.
+    EXPECT_EQ(instance.p_order_row(0) != nullptr, expect_width == 16)
+        << "m=" << m;
+    EXPECT_EQ(instance.p_order32_row(0) != nullptr, expect_width == 32)
+        << "m=" << m;
 
-    // Either side of the boundary, indexed dispatch (with or without the
+    // Either side of the boundary, indexed dispatch (uint16 or uint32
     // table) stays bit-identical to the exhaustive scan.
     RejectionFlowOptions indexed;
     indexed.epsilon = 0.5;
@@ -239,10 +246,53 @@ TEST(DispatchIndex, OrderTableStopsAtTheUint16IdCeiling) {
     const RejectionFlowResult b = run_rejection_flow(instance, linear);
     expect_same_schedule(a.schedule, b.schedule, "m=" + std::to_string(m));
 
-    // And the facade surfaces the flag.
+    // And the facade surfaces activity, width, and a sane SIMD tier.
     const api::RunSummary summary =
         api::run(api::Algorithm::kTheorem1, instance);
-    EXPECT_EQ(summary.dispatch_index_active, expect_active) << "m=" << m;
+    EXPECT_TRUE(summary.dispatch_index_active) << "m=" << m;
+    EXPECT_EQ(summary.dispatch_order_width, expect_width) << "m=" << m;
+    EXPECT_TRUE(util::simd_tier_supported(summary.dispatch_simd_tier))
+        << "m=" << m;
+  }
+}
+
+// The same three boundary cells through the WEIGHTED policy (a second,
+// independent instantiation of the uint32 store views), dense rows this
+// time so the order table covers every id from 0 to m-1 contiguously.
+// Dense at m = 65537 would be 65537 doubles per job, so n is kept tiny.
+TEST(DispatchIndex, WeightedExtCrossesTheWidthBoundaryIdentically) {
+  for (const std::size_t m :
+       {std::size_t{65535}, std::size_t{65536}, std::size_t{65537}}) {
+    std::vector<Job> jobs;
+    for (std::size_t k = 0; k < 4; ++k) {
+      Job job;
+      job.id = static_cast<JobId>(k);
+      job.release = static_cast<Time>(k) * 0.5;
+      job.weight = 1.0 + 0.5 * k;
+      jobs.push_back(job);
+    }
+    // Machine-major matrix; deterministic, collision-rich sizes: many exact
+    // ties so the (p, id) tie-break in both order widths is exercised.
+    std::vector<std::vector<Work>> processing(m, std::vector<Work>(4));
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        processing[i][k] = 1.0 + static_cast<double>((i * 7 + k) % 13);
+      }
+    }
+    const Instance instance(std::move(jobs), std::move(processing));
+    EXPECT_EQ(instance.dispatch_order_width(), m < 65536 ? 16 : 32)
+        << "m=" << m;
+
+    WeightedFlowOptions indexed;
+    indexed.epsilon = 0.4;
+    indexed.dispatch = DispatchMode::kIndexed;
+    WeightedFlowOptions linear = indexed;
+    linear.dispatch = DispatchMode::kLinearScan;
+    const WeightedFlowResult a = run_weighted_rejection_flow(instance, indexed);
+    const WeightedFlowResult b = run_weighted_rejection_flow(instance, linear);
+    const std::string context = "wext m=" + std::to_string(m);
+    expect_same_schedule(a.schedule, b.schedule, context);
+    EXPECT_EQ(a.rejected_weight, b.rejected_weight) << context;
   }
 }
 

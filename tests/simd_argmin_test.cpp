@@ -1,0 +1,294 @@
+// Lockstep differential wall for the explicitly vectorized dispatch
+// kernels (util/simd_argmin.hpp).
+//
+// The contract under test: every tier the running CPU can execute —
+// scalar, AVX2, AVX-512 — produces BIT-IDENTICAL results (values compared
+// by bit pattern, indices exactly) for all three kernels, over rows that
+// include the dispatch path's full value zoo: ordinary positives, exact
+// ties, denormals, 0.0, FLT_MAX, +inf, and all-infinity rows. NaN and
+// -0.0 are excluded BY CONTRACT (the dispatch shadow rows never contain
+// them; the kernels' min-reassociation argument depends on it).
+//
+// On hardware without AVX2/AVX-512 the vector cells are skipped (the
+// scalar reference always runs), so the wall is green everywhere and
+// maximally strict where the silicon allows. The rotating OSCHED_FUZZ_SEED
+// hook explores fresh rows every CI run, reproducibly.
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fuzz_seed.hpp"
+#include "util/simd_argmin.hpp"
+
+namespace osched::util {
+namespace {
+
+std::uint64_t base_seed() {
+  return testing::fuzz_base_seed("simd_argmin_test", 523);
+}
+
+std::uint32_t bits_of(float v) {
+  std::uint32_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+/// Every tier the CPU can execute, scalar always included.
+std::vector<SimdTier> executable_tiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (simd_tier_supported(SimdTier::kAvx2)) tiers.push_back(SimdTier::kAvx2);
+  if (simd_tier_supported(SimdTier::kAvx512)) {
+    tiers.push_back(SimdTier::kAvx512);
+  }
+  return tiers;
+}
+
+void lb_fill_tier(SimdTier tier, const float* row, const float* pcm,
+                  const float* pmp, float coeff, float* lb, std::size_t m) {
+  switch (tier) {
+    case SimdTier::kScalar: simd::lb_fill_scalar(row, pcm, pmp, coeff, lb, m);
+      return;
+    case SimdTier::kAvx2: simd::lb_fill_avx2(row, pcm, pmp, coeff, lb, m);
+      return;
+    case SimdTier::kAvx512:
+      simd::lb_fill_avx512(row, pcm, pmp, coeff, lb, m);
+      return;
+  }
+}
+
+simd::ArgminResult block_argmin_tier(SimdTier tier, const float* lb,
+                                     std::size_t m, float* bmin) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return simd::block_minima_argmin_scalar(lb, m, bmin);
+    case SimdTier::kAvx2: return simd::block_minima_argmin_avx2(lb, m, bmin);
+    case SimdTier::kAvx512:
+      return simd::block_minima_argmin_avx512(lb, m, bmin);
+  }
+  return {};
+}
+
+simd::IdleArgmin idle_argmin_tier(SimdTier tier, const double* row,
+                                  const std::uint32_t* pend_n, std::size_t m,
+                                  double epsilon) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return simd::idle_lambda_argmin_scalar(row, pend_n, m, epsilon);
+    case SimdTier::kAvx2:
+      return simd::idle_lambda_argmin_avx2(row, pend_n, m, epsilon);
+    case SimdTier::kAvx512:
+      return simd::idle_lambda_argmin_avx512(row, pend_n, m, epsilon);
+  }
+  return {};
+}
+
+// Sizes straddling every lane/block boundary the kernels care about:
+// empty, sub-lane tails, exact 8/16 multiples, odd blocks, a large row.
+const std::size_t kSizes[] = {0,  1,  2,  3,  7,  8,   9,   15,  16, 17,
+                              23, 24, 31, 32, 33, 63,  64,  65,  96, 127,
+                              128, 129, 255, 256, 257, 1000};
+
+/// A float from the dispatch-value zoo: mostly ordinary positives with
+/// heavy tie mass, spiced with 0, denormals, FLT_MAX and +inf.
+float fuzz_value(std::mt19937_64& rng) {
+  const std::uint64_t kind = rng() % 16;
+  if (kind == 0) return 0.0f;
+  if (kind == 1) return std::numeric_limits<float>::infinity();
+  if (kind == 2) return FLT_MAX;
+  if (kind == 3) return std::numeric_limits<float>::denorm_min();
+  if (kind == 4) return FLT_MIN / 2;  // a larger denormal
+  // Quantized coarse grid => many exact cross-lane ties.
+  return 0.25f * static_cast<float>(rng() % 64 + 1);
+}
+
+TEST(SimdArgmin, TierReportingIsConsistent) {
+  const SimdTier active = active_simd_tier();
+  EXPECT_TRUE(simd_tier_supported(active));
+  // Support is downward closed.
+  if (simd_tier_supported(SimdTier::kAvx512)) {
+    EXPECT_TRUE(simd_tier_supported(SimdTier::kAvx2));
+  }
+  EXPECT_TRUE(simd_tier_supported(SimdTier::kScalar));
+  EXPECT_STREQ(to_string(SimdTier::kScalar), "scalar");
+  EXPECT_STREQ(to_string(SimdTier::kAvx2), "avx2");
+  EXPECT_STREQ(to_string(SimdTier::kAvx512), "avx512");
+}
+
+TEST(SimdArgmin, LbFillLockstep) {
+  std::mt19937_64 rng(base_seed() + 1);
+  const auto tiers = executable_tiers();
+  for (const std::size_t m : kSizes) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<float> row(m), pcm(m), pmp(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        row[i] = fuzz_value(rng);
+        // pcm is a small count-like factor, pmp a size-like one.
+        pcm[i] = static_cast<float>(rng() % 5);
+        pmp[i] = fuzz_value(rng);
+      }
+      const float coeff = 0.5f * static_cast<float>(rng() % 8 + 1);
+      std::vector<float> reference(m, -1.0f);
+      simd::lb_fill_scalar(row.data(), pcm.data(), pmp.data(), coeff,
+                           reference.data(), m);
+      for (const SimdTier tier : tiers) {
+        std::vector<float> lb(m, -2.0f);
+        lb_fill_tier(tier, row.data(), pcm.data(), pmp.data(), coeff,
+                     lb.data(), m);
+        for (std::size_t i = 0; i < m; ++i) {
+          ASSERT_EQ(bits_of(lb[i]), bits_of(reference[i]))
+              << to_string(tier) << " m=" << m << " i=" << i << " row="
+              << row[i] << " pcm=" << pcm[i] << " pmp=" << pmp[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdArgmin, BlockMinimaArgminLockstep) {
+  std::mt19937_64 rng(base_seed() + 2);
+  const auto tiers = executable_tiers();
+  for (const std::size_t m : kSizes) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<float> lb(m);
+      for (float& v : lb) v = fuzz_value(rng);
+      const std::size_t full = m / 8;
+      std::vector<float> ref_bmin(full, -1.0f);
+      const simd::ArgminResult reference =
+          simd::block_minima_argmin_scalar(lb.data(), m, ref_bmin.data());
+      for (const SimdTier tier : tiers) {
+        std::vector<float> bmin(full, -2.0f);
+        const simd::ArgminResult got =
+            block_argmin_tier(tier, lb.data(), m, bmin.data());
+        ASSERT_EQ(bits_of(got.value), bits_of(reference.value))
+            << to_string(tier) << " m=" << m;
+        ASSERT_EQ(got.index, reference.index) << to_string(tier) << " m=" << m;
+        for (std::size_t b = 0; b < full; ++b) {
+          ASSERT_EQ(bits_of(bmin[b]), bits_of(ref_bmin[b]))
+              << to_string(tier) << " m=" << m << " block=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdArgmin, BlockMinimaAllInfinityRow) {
+  // Rows of pure +inf: the minimum stays at the FLT_MAX seed and the index
+  // reports m ("nothing at or below the seed"), identically on every tier.
+  for (const std::size_t m : {std::size_t{5}, std::size_t{8}, std::size_t{24},
+                              std::size_t{33}}) {
+    std::vector<float> lb(m, std::numeric_limits<float>::infinity());
+    std::vector<float> bmin(m / 8);
+    for (const SimdTier tier : executable_tiers()) {
+      const simd::ArgminResult got =
+          block_argmin_tier(tier, lb.data(), m, bmin.data());
+      EXPECT_EQ(bits_of(got.value), bits_of(FLT_MAX))
+          << to_string(tier) << " m=" << m;
+      EXPECT_EQ(got.index, m) << to_string(tier) << " m=" << m;
+    }
+  }
+}
+
+TEST(SimdArgmin, BlockMinimaFirstIndexOnTies) {
+  // Hand-built tie patterns: the SAME minimum in several lanes and blocks;
+  // every tier must report the FIRST index.
+  const std::size_t m = 40;
+  std::vector<float> lb(m, 7.0f);
+  for (const std::size_t first : {std::size_t{0}, std::size_t{3},
+                                  std::size_t{8}, std::size_t{17},
+                                  std::size_t{33}, std::size_t{39}}) {
+    std::vector<float> row = lb;
+    for (std::size_t i = first; i < m; i += 5) row[i] = 1.5f;  // many ties
+    std::vector<float> bmin(m / 8);
+    for (const SimdTier tier : executable_tiers()) {
+      const simd::ArgminResult got =
+          block_argmin_tier(tier, row.data(), m, bmin.data());
+      EXPECT_EQ(got.index, first) << to_string(tier) << " first=" << first;
+      EXPECT_EQ(bits_of(got.value), bits_of(1.5f)) << to_string(tier);
+    }
+  }
+}
+
+TEST(SimdArgmin, IdleLambdaArgminLockstep) {
+  std::mt19937_64 rng(base_seed() + 3);
+  const auto tiers = executable_tiers();
+  const double epsilons[] = {0.2, 0.25, 1.0 / 3.0};
+  for (const std::size_t m : kSizes) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<double> row(m);
+      std::vector<std::uint32_t> pend(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        // Positive finite doubles with tie mass (the row is effective
+        // processing — never inf on the dense dispatch path).
+        row[i] = 0.125 * static_cast<double>(rng() % 96 + 1);
+        pend[i] = static_cast<std::uint32_t>(rng() % 3);  // ~1/3 idle
+      }
+      const double epsilon = epsilons[round % 3];
+      const simd::IdleArgmin reference = simd::idle_lambda_argmin_scalar(
+          row.data(), pend.data(), m, epsilon);
+      for (const SimdTier tier : tiers) {
+        const simd::IdleArgmin got =
+            idle_argmin_tier(tier, row.data(), pend.data(), m, epsilon);
+        ASSERT_EQ(got.index, reference.index)
+            << to_string(tier) << " m=" << m << " round=" << round;
+        ASSERT_EQ(bits_of(got.lambda), bits_of(reference.lambda))
+            << to_string(tier) << " m=" << m << " round=" << round;
+      }
+    }
+  }
+}
+
+TEST(SimdArgmin, IdleLambdaNoIdleMachine) {
+  // All machines busy: index m, lambda +infinity, on every tier.
+  for (const std::size_t m : {std::size_t{0}, std::size_t{3}, std::size_t{8},
+                              std::size_t{21}}) {
+    std::vector<double> row(m, 2.0);
+    std::vector<std::uint32_t> pend(m, 1);
+    for (const SimdTier tier : executable_tiers()) {
+      const simd::IdleArgmin got =
+          idle_argmin_tier(tier, row.data(), pend.data(), m, 0.25);
+      EXPECT_EQ(got.index, m) << to_string(tier) << " m=" << m;
+      EXPECT_TRUE(std::isinf(got.lambda)) << to_string(tier) << " m=" << m;
+    }
+  }
+}
+
+TEST(SimdArgmin, DispatchedWrappersMatchScalar) {
+  // The public (dispatched) entry points route to SOME tier; whatever it
+  // is, results must equal the scalar reference bit for bit.
+  std::mt19937_64 rng(base_seed() + 4);
+  const std::size_t m = 67;
+  std::vector<float> row(m), pcm(m), pmp(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    row[i] = fuzz_value(rng);
+    pcm[i] = static_cast<float>(rng() % 4);
+    pmp[i] = fuzz_value(rng);
+  }
+  std::vector<float> a(m), b(m);
+  simd::lb_fill(row.data(), pcm.data(), pmp.data(), 1.5f, a.data(), m);
+  simd::lb_fill_scalar(row.data(), pcm.data(), pmp.data(), 1.5f, b.data(), m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ASSERT_EQ(bits_of(a[i]), bits_of(b[i])) << i;
+  }
+  std::vector<float> bmin_a(m / 8), bmin_b(m / 8);
+  const simd::ArgminResult ra =
+      simd::block_minima_argmin(a.data(), m, bmin_a.data());
+  const simd::ArgminResult rb =
+      simd::block_minima_argmin_scalar(b.data(), m, bmin_b.data());
+  EXPECT_EQ(bits_of(ra.value), bits_of(rb.value));
+  EXPECT_EQ(ra.index, rb.index);
+}
+
+}  // namespace
+}  // namespace osched::util

@@ -6,9 +6,10 @@
 // (same schedule under a zero-tolerance diff, same counters, same
 // certificates, double for double) over all backends of the same workload,
 // for every family, eligibility density, machine count and seed. Plus the
-// CSR edge cases (single-eligible-machine jobs, the m = 65535 uint16
-// boundary), the façade accessor equivalences the checkers/metrics rely
-// on, and the generated family's materialize-vs-synthesize bit equality.
+// CSR edge cases (single-eligible-machine jobs, the uint16 → uint32
+// order-width boundary at m = 65535/65536/65537), the façade accessor
+// equivalences the checkers/metrics rely on, and the generated family's
+// materialize-vs-synthesize bit equality.
 //
 // The rotating OSCHED_FUZZ_SEED hook lets CI explore fresh instances every
 // run, reproducibly. `ctest -L backend-matrix` selects this wall.
@@ -245,35 +246,88 @@ TEST(StorageBackend, SingleEligibleMachineJobs) {
   expect_same_summary(a, b, "single-eligible");
 }
 
-TEST(StorageBackend, Uint16MachineBoundary) {
-  // m = 65535 is the last machine count with a (p, id) order table
-  // (uint16 ids); the sparse CSR must build it and agree with dense.
-  constexpr std::size_t kMachines = 65535;
-  std::vector<Job> jobs;
-  std::vector<std::vector<SparseEntry>> rows;
-  for (std::size_t j = 0; j < 6; ++j) {
-    Job job;
-    job.id = static_cast<JobId>(j);
-    job.release = static_cast<double>(j);
-    job.weight = 1.0;
-    jobs.push_back(job);
-    // A handful of eligible machines spread across the id range, including
-    // the very last machine.
-    std::vector<SparseEntry> row;
-    row.push_back(SparseEntry{static_cast<MachineId>(j), 2.0});
-    row.push_back(SparseEntry{static_cast<MachineId>(30000 + 7 * j), 1.5});
-    row.push_back(SparseEntry{static_cast<MachineId>(kMachines - 1), 3.0});
-    rows.push_back(std::move(row));
+TEST(StorageBackend, OrderWidthBoundaryAcrossMatrixBackends) {
+  // m = 65535 is the last machine count with uint16 order-table ids;
+  // 65536/65537 widen to uint32. Every cell must build the table at the
+  // right width in BOTH matrix backends and agree with dense bit for bit.
+  for (const std::size_t m :
+       {std::size_t{65535}, std::size_t{65536}, std::size_t{65537}}) {
+    std::vector<Job> jobs;
+    std::vector<std::vector<SparseEntry>> rows;
+    for (std::size_t j = 0; j < 6; ++j) {
+      Job job;
+      job.id = static_cast<JobId>(j);
+      job.release = static_cast<double>(j);
+      job.weight = 1.0;
+      jobs.push_back(job);
+      // A handful of eligible machines spread across the id range,
+      // including the very last machine (the id that overflows uint16
+      // once m > 65536).
+      std::vector<SparseEntry> row;
+      row.push_back(SparseEntry{static_cast<MachineId>(j), 2.0});
+      row.push_back(SparseEntry{static_cast<MachineId>(30000 + 7 * j), 1.5});
+      row.push_back(SparseEntry{static_cast<MachineId>(m - 1), 3.0});
+      rows.push_back(std::move(row));
+    }
+    const Instance sparse =
+        Instance::from_sparse_rows(jobs, m, std::move(rows));
+    ASSERT_TRUE(sparse.validate().empty()) << sparse.validate();
+    const int expect_width = m < 65536 ? 16 : 32;
+    const Instance dense = sparse.with_backend(StorageBackend::kDense);
+    for (const Instance* instance : {&sparse, &dense}) {
+      EXPECT_TRUE(instance->dispatch_index_active()) << "m=" << m;
+      EXPECT_EQ(instance->dispatch_order_width(), expect_width) << "m=" << m;
+    }
+    // Both widths remain order-table-equal across backends: the CSR-shaped
+    // tables must rank the same machines identically.
+    for (std::size_t j = 0; j < 6; ++j) {
+      const auto job = static_cast<JobId>(j);
+      const std::size_t count = sparse.eligible_machines(job).size();
+      if (expect_width == 16) {
+        const std::uint16_t* oa = dense.p_order_row(job);
+        const std::uint16_t* ob = sparse.p_order_row(job);
+        ASSERT_TRUE(oa != nullptr && ob != nullptr) << "m=" << m;
+        for (std::size_t k = 0; k < count; ++k) EXPECT_EQ(oa[k], ob[k]);
+      } else {
+        const std::uint32_t* oa = dense.p_order32_row(job);
+        const std::uint32_t* ob = sparse.p_order32_row(job);
+        ASSERT_TRUE(oa != nullptr && ob != nullptr) << "m=" << m;
+        for (std::size_t k = 0; k < count; ++k) EXPECT_EQ(oa[k], ob[k]);
+      }
+    }
+    expect_same_summary(api::run(api::Algorithm::kTheorem1, sparse),
+                        api::run(api::Algorithm::kTheorem1, dense),
+                        "width boundary m=" + std::to_string(m));
+    // And the indexed table (either width) stays bit-identical to the
+    // exhaustive linear scan, the mode with no order table at all.
+    RejectionFlowOptions indexed;
+    indexed.epsilon = 0.5;
+    RejectionFlowOptions linear = indexed;
+    linear.dispatch = DispatchMode::kLinearScan;
+    expect_same_schedule(run_rejection_flow(sparse, indexed).schedule,
+                         run_rejection_flow(sparse, linear).schedule,
+                         "vs linear m=" + std::to_string(m));
   }
-  const Instance sparse =
-      Instance::from_sparse_rows(jobs, kMachines, std::move(rows));
-  ASSERT_TRUE(sparse.validate().empty()) << sparse.validate();
-  EXPECT_NE(sparse.p_order_row(0), nullptr)
-      << "the order table exists through m = 65535";
-  const Instance dense = sparse.with_backend(StorageBackend::kDense);
-  expect_same_summary(api::run(api::Algorithm::kTheorem1, sparse),
+}
+
+TEST(StorageBackend, OrderWidthBoundaryGeneratorAgrees) {
+  // The generator backend never builds an order table — at the huge-m
+  // boundary its order-less dispatch must still match the dense twin's
+  // uint32-indexed dispatch decision for decision. Fully eligible closed
+  // form, tiny n so the dense materialization stays a few megabytes.
+  workload::ClosedFormConfig config;
+  config.num_jobs = 6;
+  config.num_machines = 65536;
+  config.seed = base_seed() + 65;
+  const Instance gen =
+      workload::make_closed_form_instance(config, StorageBackend::kGenerator);
+  const Instance dense =
+      workload::make_closed_form_instance(config, StorageBackend::kDense);
+  EXPECT_EQ(gen.dispatch_order_width(), 0);
+  EXPECT_EQ(dense.dispatch_order_width(), 32);
+  expect_same_summary(api::run(api::Algorithm::kTheorem1, gen),
                       api::run(api::Algorithm::kTheorem1, dense),
-                      "uint16 boundary");
+                      "generator at the width boundary");
 }
 
 TEST(StorageBackend, SparseValidationCatchesMalformedRows) {
